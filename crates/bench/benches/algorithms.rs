@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the end-to-end algorithms on small workloads —
+//! one group per paper experiment family (Fig. 9 / Fig. 12 / Fig. 13
+//! shapes at benchmark scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use desq_baselines::{lash, mllib_prefixspan, LashConfig, MllibConfig};
+use desq_bsp::Engine;
+use desq_core::{Dictionary, SequenceDb};
+use desq_datagen::{amzn_like, nyt_like, to_forest, AmznConfig, NytConfig};
+use desq_dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig};
+
+fn nyt() -> (Dictionary, SequenceDb) {
+    nyt_like(&NytConfig::new(3_000))
+}
+
+fn amzn_f() -> (Dictionary, SequenceDb) {
+    let (d, db) = amzn_like(&AmznConfig::new(3_000));
+    to_forest(&d, &db)
+}
+
+/// Fig. 9 shape: the four general algorithms on a selective (N1) and a
+/// loose (N4) constraint.
+fn bench_fig9(c: &mut Criterion) {
+    let (dict, db) = nyt();
+    let engine = Engine::new(4);
+    let parts = db.partition(4);
+    for (cname, sigma) in [("N1", 3u64), ("N4", 60u64)] {
+        let constraint = match cname {
+            "N1" => desq_dist::patterns::n1(),
+            _ => desq_dist::patterns::n4(),
+        };
+        let fst = constraint.compile(&dict).unwrap();
+        let mut group = c.benchmark_group(format!("fig9/{cname}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("semi_naive", sigma), |b| {
+            b.iter(|| {
+                black_box(
+                    naive(&engine, &parts, &fst, &dict, NaiveConfig::semi_naive(sigma)).unwrap(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("d_seq", sigma), |b| {
+            b.iter(|| {
+                black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap())
+            })
+        });
+        group.bench_function(BenchmarkId::new("d_cand", sigma), |b| {
+            b.iter(|| {
+                black_box(d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma)).unwrap())
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Fig. 12 shape: LASH vs D-SEQ vs D-CAND in the specialized setting.
+fn bench_fig12(c: &mut Criterion) {
+    let (dict, db) = amzn_f();
+    let engine = Engine::new(4);
+    let parts = db.partition(4);
+    let sigma = 8u64;
+    let fst = desq_dist::patterns::t3(1, 5).compile(&dict).unwrap();
+    let mut group = c.benchmark_group("fig12/T3(8,1,5)");
+    group.sample_size(10);
+    group.bench_function("lash", |b| {
+        b.iter(|| black_box(lash(&engine, &parts, &dict, LashConfig::new(sigma, 1, 5)).unwrap()))
+    });
+    group.bench_function("d_seq", |b| {
+        b.iter(|| black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap()))
+    });
+    group.bench_function("d_cand", |b| {
+        b.iter(|| {
+            black_box(d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 13 shape: MLlib PrefixSpan vs D-SEQ in the max-length-only setting.
+fn bench_fig13(c: &mut Criterion) {
+    let (dict, db) = amzn_f();
+    let engine = Engine::new(4);
+    let parts = db.partition(4);
+    let sigma = 150u64;
+    let fst = desq_dist::patterns::t1(5).compile(&dict).unwrap();
+    let mut group = c.benchmark_group("fig13/T1(150,5)");
+    group.sample_size(10);
+    group.bench_function("mllib", |b| {
+        b.iter(|| {
+            black_box(mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 5)).unwrap())
+        })
+    });
+    group.bench_function("d_seq", |b| {
+        b.iter(|| black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = algorithms;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9, bench_fig12, bench_fig13
+}
+criterion_main!(algorithms);

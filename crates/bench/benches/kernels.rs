@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the hot kernels:
+//! FST simulation (grid construction), pivot search (grid DP vs run
+//! enumeration), the ⊕ pivot merge, NFA construction/minimization/
+//! serialization, shuffle codecs, and local mining.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desq_bsp::Codec;
+use desq_core::fst::Grid;
+use desq_core::{Dictionary, Fst, SequenceDb};
+use desq_datagen::{nyt_like, NytConfig};
+use desq_dist::dcand::merge_pivots;
+use desq_dist::dcand::nfa::{Nfa, TrieBuilder};
+use desq_dist::PivotSearch;
+use desq_miner::{LocalMiner, MinerConfig};
+
+fn workload() -> (Dictionary, SequenceDb, Fst) {
+    let (dict, db) = nyt_like(&NytConfig::new(2_000));
+    let fst = desq_dist::patterns::n4().compile(&dict).unwrap();
+    (dict, db, fst)
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let (dict, db, fst) = workload();
+    let seqs: Vec<_> = db.sequences.iter().take(100).collect();
+    c.bench_function("grid/build_n4_100seqs", |b| {
+        b.iter(|| {
+            for seq in &seqs {
+                black_box(Grid::build(&fst, &dict, seq));
+            }
+        })
+    });
+}
+
+fn bench_pivot_search(c: &mut Criterion) {
+    let (dict, db, fst) = workload();
+    let last = dict.last_frequent(40);
+    let search = PivotSearch::new(&fst, &dict, last);
+    let seqs: Vec<_> = db.sequences.iter().take(100).collect();
+    c.bench_function("pivots/grid_n4_100seqs", |b| {
+        b.iter(|| {
+            for seq in &seqs {
+                black_box(search.pivots(seq));
+            }
+        })
+    });
+    c.bench_function("pivots/enumerated_n4_100seqs", |b| {
+        b.iter(|| {
+            for seq in &seqs {
+                black_box(search.pivots_enumerated(seq, usize::MAX).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let sets: Vec<Vec<u32>> = (0..20).map(|i| vec![i + 1, i + 5, i + 11, i + 40]).collect();
+    c.bench_function("pivots/merge_20sets", |b| {
+        b.iter(|| black_box(merge_pivots(black_box(&sets))))
+    });
+}
+
+fn bench_nfa(c: &mut Criterion) {
+    // Runs over a shared-suffix structure — the typical D-CAND shape.
+    let paths: Vec<Vec<Vec<u32>>> = (0..50u32)
+        .map(|i| {
+            let mut p = vec![vec![100 + i]];
+            p.extend((1..=6).map(|j| vec![j, j + 1]));
+            p
+        })
+        .collect();
+    c.bench_function("nfa/build_minimize_serialize", |b| {
+        b.iter(|| {
+            let mut t = TrieBuilder::new();
+            for p in &paths {
+                t.insert(p);
+            }
+            let nfa = t.minimize();
+            black_box(nfa.serialize())
+        })
+    });
+    let mut t = TrieBuilder::new();
+    for p in &paths {
+        t.insert(p);
+    }
+    let bytes = t.minimize().serialize();
+    c.bench_function("nfa/deserialize", |b| {
+        b.iter(|| black_box(Nfa::deserialize(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let seqs: Vec<Vec<u32>> = (0..1000).map(|i| (0..20).map(|j| i * 7 + j).collect()).collect();
+    c.bench_function("codec/encode_1000x20", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            for s in &seqs {
+                s.encode(&mut buf);
+            }
+            black_box(buf)
+        })
+    });
+    let mut buf = Vec::new();
+    for s in &seqs {
+        s.encode(&mut buf);
+    }
+    c.bench_function("codec/decode_1000x20", |b| {
+        b.iter(|| {
+            let mut slice = buf.as_slice();
+            let mut n = 0usize;
+            while !slice.is_empty() {
+                n += Vec::<u32>::decode(&mut slice).unwrap().len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_local_mining(c: &mut Criterion) {
+    let (dict, db, fst) = workload();
+    let inputs: Vec<(Vec<u32>, u64)> =
+        db.sequences.iter().take(300).map(|s| (s.clone(), 1)).collect();
+    c.bench_function("mining/desq_dfs_n4_300seqs", |b| {
+        b.iter(|| {
+            let miner = LocalMiner::new(&fst, &dict, MinerConfig::sequential(30));
+            black_box(miner.mine(&inputs))
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grid, bench_pivot_search, bench_merge, bench_nfa, bench_codec,
+              bench_local_mining
+}
+criterion_main!(kernels);

@@ -1,0 +1,131 @@
+//! Shared helpers for the reproduction targets.
+
+use desq_bsp::Engine;
+use desq_core::{Dictionary, Error, Fst, Result, Sequence, SequenceDb};
+use desq_dist::MiningResult;
+
+/// Per-sequence work budget standing in for the paper's executor memory
+/// limit: candidate generation / run enumeration beyond this aborts with
+/// the OOM-analog `ResourceExhausted`.
+pub const OOM_BUDGET: usize = 2_000_000;
+
+/// Outcome of one algorithm run: completed with measurements, or the
+/// OOM analog (the reason is reported on stderr when it occurs).
+#[allow(dead_code)]
+pub enum Outcome {
+    Done(MiningResult, f64),
+    Oom(String),
+}
+
+impl Outcome {
+    /// Wall-clock column.
+    pub fn time(&self) -> String {
+        match self {
+            Outcome::Done(_, secs) => desq_bench::report::secs(*secs),
+            Outcome::Oom(_) => "n/a (OOM)".to_string(),
+        }
+    }
+
+    /// Shuffle-size column.
+    pub fn shuffle(&self) -> String {
+        match self {
+            Outcome::Done(res, _) => desq_bench::report::bytes(res.metrics.shuffle_bytes),
+            Outcome::Oom(_) => "n/a (OOM)".to_string(),
+        }
+    }
+
+    /// Output-count column.
+    pub fn patterns(&self) -> String {
+        match self {
+            Outcome::Done(res, _) => res.patterns.len().to_string(),
+            Outcome::Oom(_) => "-".to_string(),
+        }
+    }
+
+    /// The completed result, if any.
+    pub fn result(&self) -> Option<&MiningResult> {
+        match self {
+            Outcome::Done(res, _) => Some(res),
+            Outcome::Oom(_) => None,
+        }
+    }
+}
+
+/// Runs one distributed algorithm, mapping `ResourceExhausted` to the OOM
+/// outcome and propagating any other failure as a panic (a reproduction bug).
+pub fn run_outcome(f: impl FnOnce() -> Result<MiningResult>) -> Outcome {
+    let (res, secs) = desq_bench::timed(f);
+    match res {
+        Ok(r) => Outcome::Done(r, secs),
+        Err(Error::ResourceExhausted(m)) => {
+            eprintln!("  [OOM analog: {m}]");
+            Outcome::Oom(m)
+        }
+        Err(other) => panic!("algorithm failed: {other}"),
+    }
+}
+
+/// The engine used across all reproduction targets.
+pub fn engine() -> Engine {
+    Engine::new(desq_bench::default_workers())
+}
+
+/// Standard partitioning: one map partition per worker.
+pub fn parts(db: &SequenceDb) -> Vec<&[Sequence]> {
+    db.partition(desq_bench::default_workers())
+}
+
+/// All four general algorithms on one workload.
+pub fn four_algorithms(
+    engine: &Engine,
+    db: &SequenceDb,
+    dict: &Dictionary,
+    fst: &Fst,
+    sigma: u64,
+) -> [(&'static str, Outcome); 4] {
+    use desq_dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig};
+    let ps = parts(db);
+    [
+        (
+            "NAIVE",
+            run_outcome(|| {
+                naive(engine, &ps, fst, dict, NaiveConfig::naive(sigma).with_budget(OOM_BUDGET))
+            }),
+        ),
+        (
+            "SEMI-NAIVE",
+            run_outcome(|| {
+                naive(
+                    engine,
+                    &ps,
+                    fst,
+                    dict,
+                    NaiveConfig::semi_naive(sigma).with_budget(OOM_BUDGET),
+                )
+            }),
+        ),
+        ("D-SEQ", run_outcome(|| d_seq(engine, &ps, fst, dict, DSeqConfig::new(sigma)))),
+        (
+            "D-CAND",
+            run_outcome(|| {
+                d_cand(engine, &ps, fst, dict, DCandConfig::new(sigma).with_run_budget(OOM_BUDGET))
+            }),
+        ),
+    ]
+}
+
+/// Asserts that all completed outcomes agree on the mined patterns.
+pub fn assert_agreement(outcomes: &[(&str, Outcome)]) {
+    let mut reference: Option<(&str, &MiningResult)> = None;
+    for (name, o) in outcomes {
+        if let Some(res) = o.result() {
+            match &reference {
+                None => reference = Some((name, res)),
+                Some((rname, rres)) => assert_eq!(
+                    rres.patterns, res.patterns,
+                    "{rname} and {name} disagree"
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 11: data, strong and weak scalability of D-SEQ and D-CAND
+//! (constraint T3(σ,1,5) on AMZN-F, as in the paper).
+
+use crate::common::run_outcome;
+use desq_bench::report::{secs, Table};
+use desq_bench::workloads::{self, sigma_for};
+use desq_bsp::Engine;
+use desq_core::{Dictionary, SequenceDb};
+use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
+
+fn both(
+    workers: usize,
+    dict: &Dictionary,
+    db: &SequenceDb,
+    sigma: u64,
+) -> (String, String) {
+    let eng = Engine::new(workers);
+    let ps = db.partition(workers);
+    let fst = desq_dist::patterns::t3(1, 5).compile(dict).unwrap();
+    let ds = run_outcome(|| d_seq(&eng, &ps, &fst, dict, DSeqConfig::new(sigma)));
+    let dc = run_outcome(|| d_cand(&eng, &ps, &fst, dict, DCandConfig::new(sigma)));
+    if let (Some(a), Some(b)) = (ds.result(), dc.result()) {
+        assert_eq!(a.patterns, b.patterns);
+    }
+    (ds.time(), dc.time())
+}
+
+pub fn run() {
+    let workers = desq_bench::default_workers();
+
+    // (a) Data scalability: grow the data, fix the workers. σ grows
+    // proportionally (the paper uses σ = 25/50/75/100 for 25–100%).
+    let mut a = Table::new(
+        &format!("Fig. 11a: data scalability ({workers} workers, T3(σ,1,5) on AMZN-F)"),
+        &["% of data", "σ", "D-SEQ", "D-CAND"],
+    );
+    for pct in [25, 50, 75, 100] {
+        let (dict, db) = workloads::amzn_f_fraction(pct);
+        let sigma = sigma_for(&db, 0.0025, 2);
+        let (ds, dc) = both(workers, &dict, &db, sigma);
+        a.row(vec![pct.to_string(), sigma.to_string(), ds, dc]);
+    }
+    a.print();
+
+    // (b) Strong scalability: fix the data, grow the workers.
+    let mut b = Table::new(
+        "Fig. 11b: strong scalability (100% of data)",
+        &["workers", "D-SEQ", "D-CAND"],
+    );
+    let (dict, db) = workloads::amzn_f_fraction(100);
+    let sigma = sigma_for(&db, 0.0025, 2);
+    for w in [2, 4, 8] {
+        let (ds, dc) = both(w, &dict, &db, sigma);
+        b.row(vec![w.to_string(), ds, dc]);
+    }
+    b.print();
+
+    // (c) Weak scalability: grow both together.
+    let mut c = Table::new(
+        "Fig. 11c: weak scalability (workers ∝ data)",
+        &["workers (% data)", "σ", "D-SEQ", "D-CAND"],
+    );
+    for (w, pct) in [(2, 25), (4, 50), (6, 75), (8, 100)] {
+        let (dict, db) = workloads::amzn_f_fraction(pct);
+        let sigma = sigma_for(&db, 0.0025, 2);
+        let (ds, dc) = both(w, &dict, &db, sigma);
+        c.row(vec![format!("{w} ({pct}%)"), sigma.to_string(), ds, dc]);
+    }
+    c.print();
+
+    // Reference: single-worker run for the parallel-efficiency shape.
+    let (ds1, _) = both(1, &dict, &db, sigma);
+    println!("reference: 1 worker D-SEQ = {ds1}; paper shape: near-linear in both directions");
+    let _ = secs(0.0);
+}

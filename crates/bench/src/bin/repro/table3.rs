@@ -1,0 +1,77 @@
+//! Tab. III: the constraint library with example frequent sequences.
+
+use crate::common::{engine, parts, run_outcome, OOM_BUDGET};
+use desq_bench::report::Table;
+use desq_bench::workloads::{self, sigma_for};
+use desq_core::{Dictionary, SequenceDb};
+use desq_dist::patterns::{self, Constraint};
+use desq_dist::{d_seq, DSeqConfig};
+
+fn examples(
+    t: &mut Table,
+    c: &Constraint,
+    dict: &Dictionary,
+    db: &SequenceDb,
+    sigma: u64,
+) {
+    let fst = match c.compile(dict) {
+        Ok(f) => f,
+        Err(e) => panic!("{}: {e}", c.name),
+    };
+    let eng = engine();
+    let ps = parts(db);
+    let outcome = run_outcome(|| {
+        d_seq(&eng, &ps, &fst, dict, DSeqConfig { run_budget: OOM_BUDGET, ..DSeqConfig::new(sigma) })
+    });
+    let examples = match outcome.result() {
+        Some(res) => {
+            let mut top: Vec<_> = res.patterns.iter().collect();
+            top.sort_by_key(|(s, f)| (std::cmp::Reverse(*f), std::cmp::Reverse(s.len())));
+            top.iter()
+                .take(2)
+                .map(|(s, f)| format!("{} ({f})", dict.render(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        None => "n/a (OOM)".to_string(),
+    };
+    t.row(vec![
+        format!("{}(σ={sigma})", c.name),
+        c.expr.clone(),
+        outcome.patterns(),
+        examples,
+    ]);
+}
+
+pub fn run() {
+    let mut t = Table::new(
+        "Table III: subsequence constraints with example frequent sequences",
+        &["constraint", "pattern expression", "#freq", "examples (support)"],
+    );
+
+    let (nyt_dict, nyt_db) = workloads::nyt();
+    for c in patterns::nyt_constraints() {
+        let sigma = match c.name.as_str() {
+            "N4" | "N5" => sigma_for(&nyt_db, 0.02, 10),
+            _ => sigma_for(&nyt_db, 0.0005, 3),
+        };
+        examples(&mut t, &c, &nyt_dict, &nyt_db, sigma);
+    }
+
+    let (amzn_dict, amzn_db) = workloads::amzn();
+    for c in patterns::amzn_constraints() {
+        let sigma = sigma_for(&amzn_db, 0.001, 5);
+        examples(&mut t, &c, &amzn_dict, &amzn_db, sigma);
+    }
+
+    // Traditional constraints, on the datasets the paper uses them with.
+    let t1 = patterns::t1(5);
+    examples(&mut t, &t1, &amzn_dict, &amzn_db, sigma_for(&amzn_db, 0.02, 10));
+    let t2 = patterns::t2(1, 5);
+    examples(&mut t, &t2, &nyt_dict, &nyt_db, sigma_for(&nyt_db, 0.01, 10));
+    let (f_dict, f_db) = workloads::amzn_f();
+    let t3 = patterns::t3(1, 5);
+    examples(&mut t, &t3, &f_dict, &f_db, sigma_for(&f_db, 0.0025, 5));
+
+    t.print();
+}

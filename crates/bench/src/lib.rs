@@ -1,0 +1,39 @@
+//! # desq-bench
+//!
+//! Benchmark and reproduction harness for the paper's evaluation
+//! (Sec. VII). The `repro` binary regenerates every table and figure:
+//!
+//! ```text
+//! repro table2   # dataset characteristics           (Tab. II)
+//! repro table3   # example constraints & patterns    (Tab. III)
+//! repro table4   # candidate statistics (CSPI)       (Tab. IV)
+//! repro table5   # speedup over sequential execution (Tab. V)
+//! repro fig9     # flexible constraints: 4 algorithms + shuffle sizes
+//! repro fig10    # D-SEQ / D-CAND ablations
+//! repro fig11    # data / strong / weak scalability
+//! repro fig12    # LASH setting (generalization overhead)
+//! repro fig13    # MLlib setting (σ sweep)
+//! repro all      # everything above
+//! ```
+//!
+//! Scale is controlled by `REPRO_SCALE` (default 1.0): dataset sizes are
+//! laptop-scale stand-ins for the paper's cluster corpora; support
+//! thresholds are chosen relative to dataset size. EXPERIMENTS.md records
+//! paper-versus-measured shapes for every experiment.
+
+pub mod report;
+pub mod workloads;
+
+use std::time::Instant;
+
+/// Times a closure, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Number of engine workers used across the harness.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}

@@ -1,0 +1,110 @@
+//! Table formatting for the reproduction harness.
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds as a human-readable duration.
+pub fn secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1e3)
+    } else if s < 100.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} min", s / 60.0)
+    }
+}
+
+/// Formats a byte count.
+pub fn bytes(b: u64) -> String {
+    if b < 10_000 {
+        format!("{b} B")
+    } else if b < 1_000_000 {
+        format!("{:.1} KB", b as f64 / 1e3)
+    } else {
+        format!("{:.1} MB", b as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // title + header + separator + 2 rows
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert_eq!(secs(0.5), "500 ms");
+        assert_eq!(secs(2.0), "2.00 s");
+        assert_eq!(secs(120.0), "2.0 min");
+        assert_eq!(bytes(100), "100 B");
+        assert_eq!(bytes(100_000), "100.0 KB");
+        assert_eq!(bytes(100_000_000), "100.0 MB");
+        assert_eq!(bytes(2_000_000), "2.0 MB");
+    }
+}

@@ -1,0 +1,117 @@
+//! Dataset and constraint workloads shared by the reproduction targets.
+
+use desq_core::{Dictionary, DictionaryBuilder, SequenceDb};
+use desq_datagen::{amzn_like, cw_like, nyt_like, to_forest, AmznConfig, CwConfig, NytConfig};
+
+/// Scale factor for dataset sizes (`REPRO_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("REPRO_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn scaled(base: usize) -> usize {
+    ((base as f64 * scale()) as usize).max(100)
+}
+
+/// Base sizes at scale 1.0 (sequences).
+pub const NYT_BASE: usize = 40_000;
+/// Base size of the AMZN-like dataset.
+pub const AMZN_BASE: usize = 40_000;
+/// Base size of the CW-like dataset.
+pub const CW_BASE: usize = 50_000;
+
+/// The NYT-like corpus at the current scale.
+pub fn nyt() -> (Dictionary, SequenceDb) {
+    nyt_like(&NytConfig::new(scaled(NYT_BASE)))
+}
+
+/// The AMZN-like database (DAG hierarchy) at the current scale.
+pub fn amzn() -> (Dictionary, SequenceDb) {
+    amzn_like(&AmznConfig::new(scaled(AMZN_BASE)))
+}
+
+/// The AMZN-F variant (forest hierarchy, the paper's LASH setting).
+pub fn amzn_f() -> (Dictionary, SequenceDb) {
+    let (d, db) = amzn();
+    to_forest(&d, &db)
+}
+
+/// A fraction of the AMZN-F database (for the Fig. 11 scalability sweeps).
+pub fn amzn_f_fraction(percent: usize) -> (Dictionary, SequenceDb) {
+    let (d, db) = amzn_f();
+    let keep = db.len() * percent / 100;
+    // Re-freeze on the sample so the f-list matches the smaller database,
+    // like the paper's random samples.
+    let sample = SequenceDb::new(db.sequences.into_iter().take(keep).collect());
+    refreeze(&d, sample)
+}
+
+/// The CW-like corpus (no hierarchy) at the current scale.
+pub fn cw() -> (Dictionary, SequenceDb) {
+    cw_like(&CwConfig::new(scaled(CW_BASE)))
+}
+
+/// The AMZN database with the hierarchy removed (the paper's MLlib setting
+/// uses AMZN *without* hierarchy).
+pub fn amzn_flat() -> (Dictionary, SequenceDb) {
+    let (d, db) = amzn();
+    let mut b = DictionaryBuilder::new();
+    for fid in 1..=d.max_fid() {
+        b.item(d.name(fid));
+    }
+    b.freeze(&db).expect("flat vocabulary is acyclic")
+}
+
+/// Rebuilds a dictionary (same names and edges) and recodes `db` under a
+/// fresh f-list.
+fn refreeze(d: &Dictionary, db: SequenceDb) -> (Dictionary, SequenceDb) {
+    let mut b = DictionaryBuilder::new();
+    for fid in 1..=d.max_fid() {
+        b.item(d.name(fid));
+    }
+    for fid in 1..=d.max_fid() {
+        for &p in d.parents(fid) {
+            b.edge(d.name(fid), d.name(p));
+        }
+    }
+    b.freeze(&db).expect("hierarchy stays acyclic")
+}
+
+/// A support threshold proportional to the database size:
+/// `max(lo, fraction * |D|)`.
+pub fn sigma_for(db: &SequenceDb, fraction: f64, lo: u64) -> u64 {
+    ((db.len() as f64 * fraction) as u64).max(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One combined test: `REPRO_SCALE` is process-global, so the env-var
+    /// dependent assertions must not run concurrently.
+    #[test]
+    fn scaled_variants() {
+        std::env::set_var("REPRO_SCALE", "0.02");
+        let (d25, db25) = amzn_f_fraction(25);
+        let (d100, db100) = amzn_f_fraction(100);
+        assert!(db25.len() * 3 < db100.len());
+        // Frequencies shrink with the sample.
+        let f25 = d25.doc_freq(1);
+        let f100 = d100.doc_freq(1);
+        assert!(f25 < f100);
+
+        let (d, _) = amzn_flat();
+        assert_eq!(d.max_ancestors(), 1);
+        std::env::remove_var("REPRO_SCALE");
+    }
+
+    #[test]
+    fn sigma_scales_with_db() {
+        let db = SequenceDb::new(vec![vec![1]; 1000]);
+        assert_eq!(sigma_for(&db, 0.01, 2), 10);
+        assert_eq!(sigma_for(&db, 0.000001, 2), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Byte-level serialization for shuffle data.
+//!
+//! Shuffle volume is a *measured quantity* in the paper's evaluation, so the
+//! engine serializes every record for real. The format is LEB128 varints for
+//! integers and length-prefixed payloads for containers — compact for the
+//! small item ids that dominate mining workloads (frequency-ranked encoding
+//! makes frequent items small numbers, which is precisely why the paper's
+//! preprocessing recodes items by frequency).
+
+use crate::error::{Error, Result};
+
+/// Encodes `v` as a LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint, advancing `buf`.
+#[inline]
+pub fn read_varint(buf: &mut &[u8]) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf
+            .split_first()
+            .ok_or_else(|| Error::Decode("varint: unexpected end of input".into()))?;
+        *buf = rest;
+        if shift >= 64 {
+            return Err(Error::Decode("varint: overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// A type that can be serialized into / deserialized from a shuffle stream.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes a value, advancing `buf` past it.
+    fn decode(buf: &mut &[u8]) -> Result<Self>;
+}
+
+impl Codec for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, u64::from(*self));
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let v = read_varint(buf)?;
+        u32::try_from(v).map_err(|_| Error::Decode(format!("u32 out of range: {v}")))
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, *self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        read_varint(buf)
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let (&b, rest) = buf
+            .split_first()
+            .ok_or_else(|| Error::Decode("bool: unexpected end of input".into()))?;
+        *buf = rest;
+        match b {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::Decode(format!("bool: invalid byte {other}"))),
+        }
+    }
+}
+
+impl Codec for Vec<u32> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.len() as u64);
+        for &v in self {
+            write_varint(buf, u64::from(v));
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = read_varint(buf)? as usize;
+        // Guard against hostile lengths: never pre-allocate more than the
+        // remaining input could possibly encode (1 byte per element minimum).
+        if len > buf.len() {
+            return Err(Error::Decode(format!("Vec<u32>: length {len} exceeds input")));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(u32::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = read_varint(buf)? as usize;
+        if len > buf.len() {
+            return Err(Error::Decode(format!("Vec<u8>: length {len} exceeds input")));
+        }
+        let (head, rest) = buf.split_at(len);
+        *buf = rest;
+        Ok(head.to_vec())
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let bytes = Vec::<u8>::decode(buf)?;
+        String::from_utf8(bytes).map_err(|e| Error::Decode(format!("String: {e}")))
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = T::decode(&mut slice).unwrap();
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "decode must consume everything");
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_varint(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(&mut buf, 300);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(vec![1u32, 2, 3, 1_000_000]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![0u8, 255, 7]);
+        roundtrip("hello Σ sequences".to_string());
+        roundtrip((42u32, vec![1u32, 2]));
+        roundtrip((1u32, 2u64, vec![3u8]));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut buf = Vec::new();
+        vec![1u32, 2, 3].encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut s = &buf[..cut];
+            assert!(Vec::<u32>::decode(&mut s).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Claimed length far beyond the buffer must not allocate/panic.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX / 2);
+        let mut s = buf.as_slice();
+        assert!(Vec::<u32>::decode(&mut s).is_err());
+        let mut s2 = buf.as_slice();
+        assert!(Vec::<u8>::decode(&mut s2).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let buf = [7u8];
+        let mut s = &buf[..];
+        assert!(bool::decode(&mut s).is_err());
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let buf = [0xffu8; 11];
+        let mut s = &buf[..];
+        assert!(read_varint(&mut s).is_err());
+    }
+}

@@ -1,0 +1,526 @@
+//! The BSP engine: parallel map, optional combine, byte shuffle, parallel
+//! reduce — one round of communication (Alg. 1 of the paper).
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::codec::Codec;
+use crate::error::{Error, Result};
+use crate::metrics::JobMetrics;
+
+/// Engine configuration: degree of parallelism.
+///
+/// `workers` is the number of threads running map/reduce tasks (the paper's
+/// executor cores); `reducers` the number of shuffle buckets (reduce tasks).
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    workers: usize,
+    reducers: usize,
+}
+
+/// Multiply-xor hash (Fx-style) used for shuffle routing.
+#[derive(Default)]
+struct RouteHasher {
+    h: u64,
+}
+
+impl Hasher for RouteHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h = (self.h.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.h = (self.h.rotate_left(5) ^ u64::from(v)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.h = (self.h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so that low bits depend on high bits (we bucket by
+        // modulus).
+        let mut x = self.h;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+}
+
+/// Shuffle bucket of a key.
+#[inline]
+pub fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
+    let mut h = RouteHasher::default();
+    key.hash(&mut h);
+    (h.finish() % buckets as u64) as usize
+}
+
+type CombineMap<K, CK> = std::collections::HashMap<
+    (K, CK),
+    u64,
+    std::hash::BuildHasherDefault<RouteHasher>,
+>;
+type GroupMap<K, V> =
+    std::collections::HashMap<K, Vec<V>, std::hash::BuildHasherDefault<RouteHasher>>;
+
+struct MapTaskOut {
+    buckets: Vec<Vec<u8>>,
+    emitted: u64,
+    shuffled: u64,
+}
+
+impl Engine {
+    /// An engine with `workers` threads and as many reduce buckets.
+    pub fn new(workers: usize) -> Engine {
+        let workers = workers.max(1);
+        Engine { workers, reducers: workers }
+    }
+
+    /// Overrides the number of reduce buckets.
+    pub fn with_reducers(mut self, reducers: usize) -> Engine {
+        self.reducers = reducers.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of reduce buckets.
+    pub fn reducers(&self) -> usize {
+        self.reducers
+    }
+
+    /// Runs a map → shuffle → reduce job without a combiner.
+    ///
+    /// The mapper is invoked once per input record and emits `(key, value)`
+    /// pairs; the reducer is invoked once per distinct key with all its
+    /// values. Output order is unspecified.
+    pub fn map_reduce<I, K, V, O, MF, RF>(
+        &self,
+        parts: &[&[I]],
+        map: MF,
+        reduce: RF,
+    ) -> Result<(Vec<O>, JobMetrics)>
+    where
+        I: Sync,
+        K: Codec + Hash + Eq + Send,
+        V: Codec + Send,
+        O: Send,
+        MF: Fn(&I, &mut dyn FnMut(K, V)) -> Result<()> + Sync,
+        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) -> Result<()> + Sync,
+    {
+        let mut metrics = JobMetrics::default();
+
+        // ---- map phase ----
+        let t0 = Instant::now();
+        let reducers = self.reducers;
+        let outs = self.run_tasks(parts.len(), |t| {
+            let mut out = MapTaskOut {
+                buckets: vec![Vec::new(); reducers],
+                emitted: 0,
+                shuffled: 0,
+            };
+            for item in parts[t] {
+                let mut emit = |k: K, v: V| {
+                    let b = bucket_of(&k, reducers);
+                    k.encode(&mut out.buckets[b]);
+                    v.encode(&mut out.buckets[b]);
+                    out.emitted += 1;
+                    out.shuffled += 1;
+                };
+                map(item, &mut emit)?;
+            }
+            Ok(out)
+        })?;
+        metrics.map_nanos = t0.elapsed().as_nanos() as u64;
+
+        let chunks = self.regroup(outs, &mut metrics);
+
+        // ---- reduce phase ----
+        let t1 = Instant::now();
+        let decode_group = |t: usize| -> Result<GroupMap<K, V>> {
+            let mut groups: GroupMap<K, V> = GroupMap::default();
+            for chunk in &chunks[t] {
+                let mut slice = chunk.as_slice();
+                while !slice.is_empty() {
+                    let k = K::decode(&mut slice)?;
+                    let v = V::decode(&mut slice)?;
+                    groups.entry(k).or_default().push(v);
+                }
+            }
+            Ok(groups)
+        };
+        let outputs = self.run_tasks(self.reducers, |t| {
+            let groups = decode_group(t)?;
+            let mut out: Vec<O> = Vec::new();
+            for (k, vs) in groups {
+                let mut emit = |o: O| out.push(o);
+                reduce(&k, vs, &mut emit)?;
+            }
+            Ok(out)
+        })?;
+        metrics.reduce_nanos = t1.elapsed().as_nanos() as u64;
+
+        let mut flat = Vec::new();
+        for o in outputs {
+            flat.extend(o);
+        }
+        metrics.output_records = flat.len() as u64;
+        Ok((flat, metrics))
+    }
+
+    /// Runs a map → combine → shuffle → reduce job.
+    ///
+    /// The combiner is MapReduce-style *weighted deduplication*: the mapper
+    /// emits `(key, payload, weight)` triples, and triples with identical
+    /// `(key, payload)` within one map task are merged by summing weights
+    /// before serialization. The reducer receives, per key, all distinct
+    /// payloads with their total weights (payloads from different map tasks
+    /// are merged reduce-side as well).
+    ///
+    /// This is exactly the aggregation D-CAND applies to identical NFAs
+    /// (Sec. VI-A) and MG-FSM/LASH apply to identical rewritten sequences.
+    pub fn map_combine_reduce<I, K, CK, O, MF, RF>(
+        &self,
+        parts: &[&[I]],
+        map: MF,
+        reduce: RF,
+    ) -> Result<(Vec<O>, JobMetrics)>
+    where
+        I: Sync,
+        K: Codec + Hash + Eq + Send,
+        CK: Codec + Hash + Eq + Send,
+        O: Send,
+        MF: Fn(&I, &mut dyn FnMut(K, CK, u64)) -> Result<()> + Sync,
+        RF: Fn(&K, Vec<(CK, u64)>, &mut dyn FnMut(O)) -> Result<()> + Sync,
+    {
+        let mut metrics = JobMetrics::default();
+
+        // ---- map + combine phase ----
+        let t0 = Instant::now();
+        let reducers = self.reducers;
+        let outs = self.run_tasks(parts.len(), |t| {
+            let mut agg: CombineMap<K, CK> = CombineMap::default();
+            let mut emitted = 0u64;
+            for item in parts[t] {
+                let mut emit = |k: K, ck: CK, w: u64| {
+                    emitted += 1;
+                    *agg.entry((k, ck)).or_insert(0) += w;
+                };
+                map(item, &mut emit)?;
+            }
+            let mut out = MapTaskOut {
+                buckets: vec![Vec::new(); reducers],
+                emitted,
+                shuffled: 0,
+            };
+            for ((k, ck), w) in agg {
+                let b = bucket_of(&k, reducers);
+                let buf = &mut out.buckets[b];
+                k.encode(buf);
+                ck.encode(buf);
+                w.encode(buf);
+                out.shuffled += 1;
+            }
+            Ok(out)
+        })?;
+        metrics.map_nanos = t0.elapsed().as_nanos() as u64;
+
+        let chunks = self.regroup(outs, &mut metrics);
+
+        // ---- reduce phase ----
+        let t1 = Instant::now();
+        let outputs = self.run_tasks(self.reducers, |t| {
+            // Merge duplicates across map tasks, then group by key.
+            let mut agg: CombineMap<K, CK> = CombineMap::default();
+            for chunk in &chunks[t] {
+                let mut slice = chunk.as_slice();
+                while !slice.is_empty() {
+                    let k = K::decode(&mut slice)?;
+                    let ck = CK::decode(&mut slice)?;
+                    let w = u64::decode(&mut slice)?;
+                    *agg.entry((k, ck)).or_insert(0) += w;
+                }
+            }
+            let mut groups: GroupMap<K, (CK, u64)> = GroupMap::default();
+            for ((k, ck), w) in agg {
+                groups.entry(k).or_default().push((ck, w));
+            }
+            let mut out: Vec<O> = Vec::new();
+            for (k, vs) in groups {
+                let mut emit = |o: O| out.push(o);
+                reduce(&k, vs, &mut emit)?;
+            }
+            Ok(out)
+        })?;
+        metrics.reduce_nanos = t1.elapsed().as_nanos() as u64;
+
+        let mut flat = Vec::new();
+        for o in outputs {
+            flat.extend(o);
+        }
+        metrics.output_records = flat.len() as u64;
+        Ok((flat, metrics))
+    }
+
+    /// Runs `n` independent tasks on the worker pool, collecting results.
+    /// The first error aborts the job.
+    fn run_tasks<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let failure: Mutex<Option<Error>> = Mutex::new(None);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..self.workers.min(n.max(1)) {
+                s.spawn(|_| loop {
+                    if failure.lock().is_some() {
+                        return;
+                    }
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= n {
+                        return;
+                    }
+                    match task(t) {
+                        Ok(out) => results.lock().push((t, out)),
+                        Err(e) => {
+                            let mut f = failure.lock();
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        let mut rs = results.into_inner();
+        rs.sort_by_key(|(t, _)| *t);
+        Ok(rs.into_iter().map(|(_, t)| t).collect())
+    }
+
+    /// Transposes map-task outputs into per-reducer chunk lists and fills in
+    /// shuffle metrics.
+    fn regroup(&self, outs: Vec<MapTaskOut>, metrics: &mut JobMetrics) -> Vec<Vec<Vec<u8>>> {
+        let mut chunks: Vec<Vec<Vec<u8>>> = (0..self.reducers).map(|_| Vec::new()).collect();
+        let mut reducer_bytes = vec![0u64; self.reducers];
+        for out in outs {
+            metrics.emitted_records += out.emitted;
+            metrics.shuffle_records += out.shuffled;
+            for (r, buf) in out.buckets.into_iter().enumerate() {
+                reducer_bytes[r] += buf.len() as u64;
+                if !buf.is_empty() {
+                    chunks[r].push(buf);
+                }
+            }
+        }
+        metrics.shuffle_bytes = reducer_bytes.iter().sum();
+        metrics.reducer_bytes = reducer_bytes;
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distributed word count: the "hello world" of the model.
+    #[test]
+    fn word_count() {
+        let data: Vec<Vec<u32>> = vec![vec![1, 2, 2], vec![2, 3], vec![1, 1, 1]];
+        let parts: Vec<&[Vec<u32>]> = vec![&data[0..2], &data[2..3]];
+        let engine = Engine::new(4);
+        let (mut out, metrics) = engine
+            .map_reduce(
+                &parts,
+                |seq: &Vec<u32>, emit: &mut dyn FnMut(u32, u64)| {
+                    for &w in seq {
+                        emit(w, 1);
+                    }
+                    Ok(())
+                },
+                |&k, vs: Vec<u64>, emit: &mut dyn FnMut((u32, u64))| {
+                    emit((k, vs.into_iter().sum()));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, 4), (2, 3), (3, 1)]);
+        assert_eq!(metrics.emitted_records, 8);
+        assert_eq!(metrics.shuffle_records, 8);
+        assert!(metrics.shuffle_bytes > 0);
+        assert_eq!(metrics.output_records, 3);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let data: Vec<Vec<u32>> = vec![vec![7; 100], vec![7; 100]];
+        let parts: Vec<&[Vec<u32>]> = vec![&data[0..1], &data[1..2]];
+        let engine = Engine::new(2);
+
+        let map = |seq: &Vec<u32>, emit: &mut dyn FnMut(u32, u32, u64)| {
+            for &w in seq {
+                emit(w, w, 1);
+            }
+            Ok(())
+        };
+        let reduce = |&k: &u32, vs: Vec<(u32, u64)>, emit: &mut dyn FnMut((u32, u64))| {
+            let total = vs.iter().map(|(_, w)| w).sum();
+            emit((k, total));
+            Ok(())
+        };
+        let (out, metrics) = engine.map_combine_reduce(&parts, map, reduce).unwrap();
+        assert_eq!(out, vec![(7, 200)]);
+        assert_eq!(metrics.emitted_records, 200);
+        // Each map task combines its 100 identical records into one.
+        assert_eq!(metrics.shuffle_records, 2);
+        assert!(metrics.combine_ratio() > 99.0);
+    }
+
+    #[test]
+    fn reducer_sees_all_values_of_a_key_exactly_once() {
+        let data: Vec<u32> = (0..1000).collect();
+        let parts: Vec<&[u32]> = data.chunks(37).collect();
+        let engine = Engine::new(3).with_reducers(5);
+        let (mut out, metrics) = engine
+            .map_reduce(
+                &parts,
+                |&x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+                    emit(x % 10, x);
+                    Ok(())
+                },
+                |&k, vs: Vec<u32>, emit: &mut dyn FnMut((u32, usize, u64))| {
+                    emit((k, vs.len(), vs.iter().map(|&v| u64::from(v)).sum()));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        out.sort();
+        assert_eq!(out.len(), 10);
+        for (k, n, sum) in out {
+            assert_eq!(n, 100);
+            // sum of k, k+10, ..., k+990
+            let expect: u64 = (0..100).map(|i| u64::from(k) + 10 * i).sum();
+            assert_eq!(sum, expect);
+        }
+        assert_eq!(metrics.reducer_bytes.len(), 5);
+    }
+
+    #[test]
+    fn mapper_error_aborts_job() {
+        let data = vec![1u32, 2, 3];
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(2);
+        let err = engine
+            .map_reduce(
+                &parts,
+                |&x: &u32, _emit: &mut dyn FnMut(u32, u32)| {
+                    if x == 2 {
+                        Err(Error::ResourceExhausted("boom".into()))
+                    } else {
+                        Ok(())
+                    }
+                },
+                |_k: &u32, _vs: Vec<u32>, _emit: &mut dyn FnMut(u32)| Ok(()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn reducer_error_aborts_job() {
+        let data = vec![1u32];
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(2);
+        let err = engine
+            .map_reduce(
+                &parts,
+                |&x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+                    emit(x, x);
+                    Ok(())
+                },
+                |_k: &u32, _vs: Vec<u32>, _emit: &mut dyn FnMut(u32)| {
+                    Err(Error::Worker("reduce failed".into()))
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Worker(_)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let parts: Vec<&[u32]> = vec![];
+        let engine = Engine::new(2);
+        let (out, metrics) = engine
+            .map_reduce(
+                &parts,
+                |&x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+                    emit(x, x);
+                    Ok(())
+                },
+                |&k: &u32, _vs: Vec<u32>, emit: &mut dyn FnMut(u32)| {
+                    emit(k);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(metrics.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn bucket_routing_is_stable_and_spread() {
+        let b1 = bucket_of(&42u32, 8);
+        let b2 = bucket_of(&42u32, 8);
+        assert_eq!(b1, b2);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u32..64 {
+            seen.insert(bucket_of(&k, 8));
+        }
+        assert!(seen.len() >= 6, "keys should spread over most buckets: {seen:?}");
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let data: Vec<u32> = (0..500).collect();
+        let parts: Vec<&[u32]> = data.chunks(23).collect();
+        let run = |workers| {
+            let engine = Engine::new(workers);
+            let (mut out, _) = engine
+                .map_reduce(
+                    &parts,
+                    |&x: &u32, emit: &mut dyn FnMut(u32, u64)| {
+                        emit(x % 7, u64::from(x));
+                        Ok(())
+                    },
+                    |&k, vs: Vec<u64>, emit: &mut dyn FnMut((u32, u64))| {
+                        emit((k, vs.into_iter().sum()));
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            out.sort();
+            out
+        };
+        assert_eq!(run(1), run(8));
+    }
+}

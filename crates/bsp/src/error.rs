@@ -1,0 +1,30 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors surfaced by a BSP job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed bytes in the shuffle stream.
+    Decode(String),
+    /// A worker exceeded a configured resource budget (the paper's
+    /// out-of-memory failures map to this).
+    ResourceExhausted(String),
+    /// Any other worker failure.
+    Worker(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Decode(m) => write!(f, "shuffle decode error: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resource budget exhausted: {m}"),
+            Error::Worker(m) => write!(f, "worker failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for BSP jobs.
+pub type Result<T> = std::result::Result<T, Error>;

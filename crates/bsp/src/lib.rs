@@ -1,0 +1,35 @@
+//! # desq-bsp
+//!
+//! A small, thread-backed **bulk-synchronous-parallel engine** with exactly
+//! one round of communication — the computational model of the paper
+//! (Sec. III, Alg. 1), as provided by MapReduce or Spark on a cluster.
+//!
+//! A job consists of three phases:
+//!
+//! 1. **map**: every input partition is processed independently by a worker;
+//!    the mapper emits `(key, value)` records;
+//! 2. **shuffle**: records are *serialized to bytes* (via [`Codec`]) and
+//!    routed to `R` reducer buckets by key hash. The byte volume is the
+//!    `shuffle_bytes` metric — the analog of Spark's `shuffleWriteBytes`
+//!    that the paper reports (Fig. 9c);
+//! 3. **reduce**: every bucket is decoded, grouped by key, and processed
+//!    independently by a worker.
+//!
+//! An optional **combiner** aggregates map-side records with equal keys
+//! before serialization (MapReduce `combine`), which D-CAND uses to collapse
+//! identical NFAs into weighted ones (Sec. VI-A "Aggregation").
+//!
+//! The engine is deliberately faithful to the cost model rather than to any
+//! particular cluster API: communication really passes through byte buffers,
+//! workers really run in parallel (scoped threads), and per-phase wall times
+//! and per-reducer byte volumes are recorded in [`JobMetrics`].
+
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+
+pub use codec::{read_varint, write_varint, Codec};
+pub use engine::Engine;
+pub use error::{Error, Result};
+pub use metrics::JobMetrics;

@@ -1,0 +1,57 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the DESQ model and the mining algorithms built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Pattern-expression syntax error with byte offset into the input.
+    Parse { msg: String, pos: usize },
+    /// A pattern expression referenced an item that is not in the dictionary.
+    UnknownItem(String),
+    /// The hierarchy under construction contains a cycle through this item.
+    CyclicHierarchy(String),
+    /// A configured resource budget (candidate count, NFA size, shuffle
+    /// volume, ...) was exceeded. Mirrors the out-of-memory failures the
+    /// paper reports for NAÏVE / SEMI-NAÏVE / D-CAND on loose constraints.
+    ResourceExhausted(String),
+    /// Malformed bytes encountered while decoding shuffle data.
+    Decode(String),
+    /// Invalid configuration or input for an operation.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, pos } => write!(f, "parse error at byte {pos}: {msg}"),
+            Error::UnknownItem(name) => write!(f, "unknown item: {name:?}"),
+            Error::CyclicHierarchy(name) => {
+                write!(f, "item hierarchy contains a cycle through {name:?}")
+            }
+            Error::ResourceExhausted(what) => write!(f, "resource budget exhausted: {what}"),
+            Error::Decode(msg) => write!(f, "decode error: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_context() {
+        let e = Error::Parse { msg: "unexpected ']'".into(), pos: 7 };
+        assert_eq!(e.to_string(), "parse error at byte 7: unexpected ']'");
+        assert!(Error::UnknownItem("VRB".into()).to_string().contains("VRB"));
+        assert!(Error::ResourceExhausted("candidates > 10".into())
+            .to_string()
+            .contains("candidates"));
+    }
+}

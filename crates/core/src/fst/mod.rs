@@ -1,0 +1,301 @@
+//! Finite-state transducers (FSTs) for subsequence predicates (Sec. IV).
+//!
+//! An FST "translates" an input sequence `T` into its candidate subsequences
+//! `G_π(T)`: every transition *matches* a set of input items (`in_δ`) and
+//! computes a set of output items for the matched item (`out_δ`, always
+//! ancestors of the input or ε). A run consumes the whole input sequence;
+//! accepting runs (ending in a final state) produce candidate subsequences by
+//! taking the Cartesian product of the per-position output sets.
+//!
+//! [`Fst::compile`] builds the transducer from a [`PatEx`] via Thompson
+//! construction and ε-elimination. [`Grid`] is the position–state grid of
+//! Sec. V-A used to memoize dead ends, [`runs`] enumerates accepting runs,
+//! and [`candidates`] materializes `G_π(T)` / `G^σ_π(T)`.
+
+pub mod candidates;
+mod compile;
+mod grid;
+pub mod runs;
+
+pub use grid::Grid;
+
+use crate::dictionary::Dictionary;
+use crate::error::Result;
+use crate::pexp::PatEx;
+use crate::sequence::{ItemId, EPSILON};
+
+/// The input label `in_δ` of a transition: the set of items it matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputLabel {
+    /// Matches any item (`.` expressions).
+    Any,
+    /// Matches exactly this item (`w=` expressions).
+    Exact(ItemId),
+    /// Matches any descendant of this item, including itself (`w` expressions).
+    Desc(ItemId),
+}
+
+/// The output function `out_δ` of a transition, evaluated on the matched item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OutputLabel {
+    /// Produces ε (uncaptured transitions).
+    None,
+    /// Produces the matched item: `(w)`, `(.)`.
+    Matched,
+    /// Produces the matched item or any of its ancestors: `(.^)`;
+    /// with a bound `w`, only ancestors that are descendants of `w`: `(w^)`.
+    Generalize(Option<ItemId>),
+    /// Always produces this fixed item: `(w=)`, `(w^=)`.
+    Const(ItemId),
+}
+
+/// A transition of the FST: matches one input item and produces an output set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// Acceptable input items.
+    pub input: InputLabel,
+    /// Output computation for the accepted item.
+    pub output: OutputLabel,
+    /// Target state.
+    pub to: u32,
+}
+
+impl Transition {
+    /// True iff this transition matches input item `t`.
+    #[inline]
+    pub fn matches(&self, t: ItemId, dict: &Dictionary) -> bool {
+        match self.input {
+            InputLabel::Any => true,
+            InputLabel::Exact(w) => t == w,
+            InputLabel::Desc(w) => dict.is_ancestor(w, t),
+        }
+    }
+
+    /// Appends the output set `out_δ(t)` to `buf`. ε is represented as
+    /// [`EPSILON`]. The output is sorted ascending (ancestor lists are).
+    #[inline]
+    pub fn outputs(&self, t: ItemId, dict: &Dictionary, buf: &mut Vec<ItemId>) {
+        match self.output {
+            OutputLabel::None => buf.push(EPSILON),
+            OutputLabel::Matched => buf.push(t),
+            OutputLabel::Const(w) => buf.push(w),
+            OutputLabel::Generalize(None) => buf.extend_from_slice(dict.ancestors(t)),
+            OutputLabel::Generalize(Some(w)) => {
+                for &a in dict.ancestors(t) {
+                    if dict.is_ancestor(w, a) {
+                        buf.push(a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if the transition can produce a non-ε output.
+    #[inline]
+    pub fn produces_output(&self) -> bool {
+        !matches!(self.output, OutputLabel::None)
+    }
+}
+
+/// A compiled finite-state transducer.
+///
+/// States are dense `u32` ids; every transition consumes exactly one input
+/// item (ε-input transitions are eliminated at compile time). States that
+/// cannot reach a final state are pruned.
+#[derive(Debug, Clone)]
+pub struct Fst {
+    initial: u32,
+    finals: Vec<bool>,
+    states: Vec<Vec<Transition>>,
+}
+
+impl Fst {
+    /// Compiles a pattern expression against a dictionary.
+    ///
+    /// Fails with [`crate::Error::UnknownItem`] if the expression references
+    /// an item that is not in the dictionary.
+    pub fn compile(pexp: &PatEx, dict: &Dictionary) -> Result<Fst> {
+        compile::compile(pexp, dict)
+    }
+
+    /// The initial state.
+    #[inline]
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.states.iter().map(|s| s.len()).sum()
+    }
+
+    /// Outgoing transitions of state `q`.
+    #[inline]
+    pub fn transitions(&self, q: u32) -> &[Transition] {
+        &self.states[q as usize]
+    }
+
+    /// True iff `q` is a final state.
+    #[inline]
+    pub fn is_final(&self, q: u32) -> bool {
+        self.finals[q as usize]
+    }
+
+    /// True iff the FST accepts the empty input sequence.
+    pub fn accepts_empty(&self) -> bool {
+        self.is_final(self.initial)
+    }
+
+    /// Renders the FST in Graphviz dot format (for debugging and
+    /// documentation; Fig. 4 of the paper is this output for the running
+    /// example's πex).
+    pub fn to_dot(&self, dict: &Dictionary) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph fst {\n  rankdir=LR;\n  node [shape=circle];\n");
+        for q in 0..self.num_states() as u32 {
+            if self.is_final(q) {
+                let _ = writeln!(out, "  q{q} [shape=doublecircle];");
+            }
+        }
+        let _ = writeln!(out, "  start [shape=point];\n  start -> q{};", self.initial);
+        for q in 0..self.num_states() as u32 {
+            for tr in self.transitions(q) {
+                let input = match tr.input {
+                    InputLabel::Any => ".".to_string(),
+                    InputLabel::Exact(w) => format!("{}=", dict.name(w)),
+                    InputLabel::Desc(w) => dict.name(w).to_string(),
+                };
+                let label = match tr.output {
+                    OutputLabel::None => input,
+                    OutputLabel::Matched => format!("({input})"),
+                    OutputLabel::Generalize(None) => format!("({input}^)"),
+                    OutputLabel::Generalize(Some(_)) => format!("({input}^)"),
+                    OutputLabel::Const(w) => format!("({input}:{})", dict.name(w)),
+                };
+                let _ = writeln!(out, "  q{q} -> q{} [label=\"{label}\"];", tr.to);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The last position of `seq` (0-based) whose item can produce `k` as an
+    /// output on *some* transition of this FST, or `None` if no position can.
+    ///
+    /// Used by the early-stopping heuristic of D-SEQ's local mining
+    /// (Sec. V-C): beyond this position, an expansion that does not yet
+    /// contain the pivot item can never produce it.
+    pub fn last_pivot_position(&self, seq: &[ItemId], k: ItemId, dict: &Dictionary) -> Option<usize> {
+        let mut buf = Vec::new();
+        for (i, &t) in seq.iter().enumerate().rev() {
+            // k must be an ancestor of t for any transition to output it
+            // (out_δ(t) ⊆ anc(t) ∪ {ε}).
+            if !dict.is_ancestor(k, t) {
+                continue;
+            }
+            for trs in &self.states {
+                for tr in trs {
+                    if tr.produces_output() && tr.matches(t, dict) {
+                        buf.clear();
+                        tr.outputs(t, dict, &mut buf);
+                        if buf.contains(&k) {
+                            return Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn toy_fst_structure_is_sane() {
+        let fx = toy::fixture();
+        assert!(fx.fst.num_states() >= 3);
+        assert!(fx.fst.num_transitions() >= 6);
+        assert!(!fx.fst.accepts_empty());
+    }
+
+    #[test]
+    fn transition_matching_respects_hierarchy() {
+        let fx = toy::fixture();
+        let d = &fx.dict;
+        let t = Transition { input: InputLabel::Desc(fx.big_a), output: OutputLabel::Matched, to: 0 };
+        assert!(t.matches(fx.a1, d));
+        assert!(t.matches(fx.a2, d));
+        assert!(t.matches(fx.big_a, d));
+        assert!(!t.matches(fx.b, d));
+
+        let e = Transition { input: InputLabel::Exact(fx.big_a), output: OutputLabel::Matched, to: 0 };
+        assert!(!e.matches(fx.a1, d));
+        assert!(e.matches(fx.big_a, d));
+    }
+
+    #[test]
+    fn transition_outputs() {
+        let fx = toy::fixture();
+        let d = &fx.dict;
+        let mut buf = Vec::new();
+
+        let gen = Transition { input: InputLabel::Any, output: OutputLabel::Generalize(None), to: 0 };
+        gen.outputs(fx.a1, d, &mut buf);
+        assert_eq!(buf, vec![fx.big_a, fx.a1]); // anc(a1) = {A, a1}, ascending
+
+        buf.clear();
+        let bounded = Transition {
+            input: InputLabel::Desc(fx.big_a),
+            output: OutputLabel::Generalize(Some(fx.big_a)),
+            to: 0,
+        };
+        bounded.outputs(fx.a1, d, &mut buf);
+        assert_eq!(buf, vec![fx.big_a, fx.a1]);
+
+        buf.clear();
+        let konst = Transition { input: InputLabel::Desc(fx.big_a), output: OutputLabel::Const(fx.big_a), to: 0 };
+        konst.outputs(fx.a2, d, &mut buf);
+        assert_eq!(buf, vec![fx.big_a]);
+
+        buf.clear();
+        let none = Transition { input: InputLabel::Any, output: OutputLabel::None, to: 0 };
+        none.outputs(fx.a1, d, &mut buf);
+        assert_eq!(buf, vec![crate::EPSILON]);
+    }
+
+    #[test]
+    fn dot_export_shows_fig4_structure() {
+        let fx = toy::fixture();
+        let dot = fx.fst.to_dot(&fx.dict);
+        // 3 states like the paper's Fig. 4, with the capture labels visible.
+        assert!(dot.contains("digraph fst"));
+        assert!(dot.contains("(A)"), "{dot}");
+        assert!(dot.contains("(b)"), "{dot}");
+        assert!(dot.contains("doublecircle"));
+        assert_eq!(dot.matches("-> q").count(), fx.fst.num_transitions() + 1);
+    }
+
+    #[test]
+    fn last_pivot_position_finds_rightmost_producer() {
+        let fx = toy::fixture();
+        // T2 = e e a1 e a1 e b; the rightmost position that can output a1 is 4.
+        let t2 = &fx.db.sequences[1];
+        assert_eq!(fx.fst.last_pivot_position(t2, fx.a1, &fx.dict), Some(4));
+        // A can also be produced at position 4 (via generalization of a1).
+        assert_eq!(fx.fst.last_pivot_position(t2, fx.big_a, &fx.dict), Some(4));
+        // b is produced at position 6.
+        assert_eq!(fx.fst.last_pivot_position(t2, fx.b, &fx.dict), Some(6));
+        // c can never be produced from T2.
+        assert_eq!(fx.fst.last_pivot_position(t2, fx.c, &fx.dict), None);
+    }
+}

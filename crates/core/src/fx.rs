@@ -1,0 +1,111 @@
+//! A small FxHash-style hasher.
+//!
+//! Mining code is dominated by integer-keyed hash maps (item ids, state ids,
+//! interned labels). The default SipHash is needlessly slow for this workload;
+//! the perf guidance for this workspace recommends an Fx-style multiply-xor
+//! hash. `rustc-hash` is not on the allowed dependency list, so we carry the
+//! ~40-line algorithm here (same recurrence as rustc's `FxHasher`).
+//!
+//! Not DoS-resistant — do not use for attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher with the same recurrence as rustc's `FxHasher`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreads() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&123], 246);
+
+        let mut h1 = FxHasher::default();
+        h1.write_u64(42);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(42);
+        assert_eq!(h1.finish(), h2.finish());
+
+        let mut h3 = FxHasher::default();
+        h3.write_u64(43);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn byte_stream_matches_varied_lengths() {
+        // Different byte strings must (very likely) hash differently.
+        let mut seen = FxHashSet::default();
+        for len in 0..32usize {
+            let bytes: Vec<u8> = (1..=len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 32);
+    }
+}

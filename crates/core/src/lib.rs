@@ -1,0 +1,54 @@
+//! # desq-core
+//!
+//! The DESQ computational model for frequent sequence mining (FSM) with
+//! *flexible subsequence constraints*, as used by the distributed D-SEQ and
+//! D-CAND algorithms of
+//!
+//! > A. Renz-Wieland, M. Bertsch, R. Gemulla:
+//! > *Scalable Frequent Sequence Mining with Flexible Subsequence Constraints*,
+//! > ICDE 2019.
+//!
+//! This crate provides the shared substrate:
+//!
+//! * [`Dictionary`]: an item vocabulary arranged in a directed acyclic
+//!   *hierarchy* (items generalize to ancestors), together with the *f-list*
+//!   (hierarchy-aware document frequencies) and the frequency-based item
+//!   encoding of the paper. After recoding, item ids ("fids") are frequency
+//!   ranks: fid 1 is the most frequent item, and the paper's total order `<`
+//!   (`w1 < w2` iff `f(w1) > f(w2)`) is plain integer order. The *pivot item*
+//!   of a sequence (Sec. III-B) is simply its maximum fid.
+//! * [`PatEx`]: the pattern-expression language of DESQ (regular expressions
+//!   with capture groups, hierarchies and generalizations), with a parser
+//!   ([`PatEx::parse`]) and a pretty-printer.
+//! * [`Fst`]: compilation of pattern expressions into finite-state
+//!   transducers (Sec. IV) via Thompson construction and ε-elimination, plus
+//!   FST *simulation*: the position–state [`Grid`](fst::Grid) with dead-end
+//!   memoization, enumeration of accepting runs, and generation of the
+//!   candidate subsequences `G_π(T)` / `G^σ_π(T)`.
+//!
+//! The running example of the paper (Fig. 2–8) is available as a reusable
+//! fixture in [`toy`]; most unit tests in this workspace assert against it.
+//!
+//! ```
+//! use desq_core::{toy, fst::candidates};
+//!
+//! let fx = toy::fixture();
+//! // G_πex(T5) = { a1b, a1a1b, a1Ab }   (paper, Sec. II)
+//! let cands = candidates::generate(&fx.fst, &fx.dict, &fx.db.sequences[4], None, usize::MAX)
+//!     .unwrap();
+//! assert_eq!(cands.len(), 3);
+//! ```
+
+pub mod dictionary;
+pub mod error;
+pub mod fst;
+pub mod fx;
+pub mod pexp;
+pub mod sequence;
+pub mod toy;
+
+pub use dictionary::{Dictionary, DictionaryBuilder};
+pub use error::{Error, Result};
+pub use fst::Fst;
+pub use pexp::PatEx;
+pub use sequence::{ItemId, Sequence, SequenceDb, EPSILON};

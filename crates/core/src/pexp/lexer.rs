@@ -1,0 +1,192 @@
+//! Tokenizer for pattern expressions.
+
+use crate::error::{Error, Result};
+
+/// A lexical token of the pattern-expression language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Item name (bare identifier or quoted string).
+    Ident(String),
+    /// Non-negative integer (inside `{...}`).
+    Number(u32),
+    Dot,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Star,
+    Plus,
+    Question,
+    Pipe,
+    Comma,
+    /// `^` (the paper's ↑).
+    Up,
+    /// `=`.
+    Eq,
+}
+
+/// Tokenizer that tracks byte offsets for error reporting.
+pub struct Lexer<'a> {
+    input: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, chars: input.char_indices().peekable() }
+    }
+
+    /// Tokenizes the whole input, returning `(token, byte_offset)` pairs.
+    pub fn tokenize(mut self) -> Result<Vec<(Token, usize)>> {
+        let mut out = Vec::new();
+        while let Some(&(pos, c)) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.chars.next();
+                continue;
+            }
+            let tok = match c {
+                '.' => self.single(Token::Dot),
+                '(' => self.single(Token::LParen),
+                ')' => self.single(Token::RParen),
+                '[' => self.single(Token::LBracket),
+                ']' => self.single(Token::RBracket),
+                '{' => self.single(Token::LBrace),
+                '}' => self.single(Token::RBrace),
+                '*' => self.single(Token::Star),
+                '+' => self.single(Token::Plus),
+                '?' => self.single(Token::Question),
+                '|' => self.single(Token::Pipe),
+                ',' => self.single(Token::Comma),
+                '^' | '↑' => self.single(Token::Up),
+                '=' => self.single(Token::Eq),
+                '\'' => self.quoted(pos)?,
+                c if c.is_ascii_digit() => self.number(pos)?,
+                c if is_ident_start(c) => self.ident(pos),
+                other => {
+                    return Err(Error::Parse {
+                        msg: format!("unexpected character {other:?}"),
+                        pos,
+                    })
+                }
+            };
+            out.push((tok, pos));
+        }
+        Ok(out)
+    }
+
+    fn single(&mut self, tok: Token) -> Token {
+        self.chars.next();
+        tok
+    }
+
+    fn quoted(&mut self, start: usize) -> Result<Token> {
+        self.chars.next(); // opening quote
+        let mut name = String::new();
+        for (_, c) in self.chars.by_ref() {
+            if c == '\'' {
+                return Ok(Token::Ident(name));
+            }
+            name.push(c);
+        }
+        Err(Error::Parse { msg: "unterminated quoted item".into(), pos: start })
+    }
+
+    fn number(&mut self, start: usize) -> Result<Token> {
+        let mut end = start;
+        while let Some(&(pos, c)) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                end = pos + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.input[start..end]
+            .parse::<u32>()
+            .map(Token::Number)
+            .map_err(|_| Error::Parse { msg: "number too large".into(), pos: start })
+    }
+
+    fn ident(&mut self, start: usize) -> Token {
+        let mut end = start;
+        while let Some(&(pos, c)) = self.chars.peek() {
+            if is_ident_continue(c) {
+                end = pos + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        Token::Ident(self.input[start..end].to_string())
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Lexer::new(s).tokenize().unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn tokenizes_operators_and_idents() {
+        assert_eq!(
+            toks(".*(A)"),
+            vec![Token::Dot, Token::Star, Token::LParen, Token::Ident("A".into()), Token::RParen]
+        );
+        assert_eq!(
+            toks("w^= x{1,2}"),
+            vec![
+                Token::Ident("w".into()),
+                Token::Up,
+                Token::Eq,
+                Token::Ident("x".into()),
+                Token::LBrace,
+                Token::Number(1),
+                Token::Comma,
+                Token::Number(2),
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_up_arrow_accepted() {
+        assert_eq!(toks("w↑"), vec![Token::Ident("w".into()), Token::Up]);
+    }
+
+    #[test]
+    fn quoted_strings() {
+        assert_eq!(toks("'A Storm of Swords'"), vec![Token::Ident("A Storm of Swords".into())]);
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn idents_with_dash_and_digits() {
+        assert_eq!(toks("pop-cd2"), vec![Token::Ident("pop-cd2".into())]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Lexer::new("a & b").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_reported() {
+        let toks = Lexer::new("ab cd").tokenize().unwrap();
+        assert_eq!(toks[0].1, 0);
+        assert_eq!(toks[1].1, 3);
+    }
+}

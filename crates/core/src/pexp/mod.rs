@@ -1,0 +1,333 @@
+//! DESQ pattern expressions (Sec. II, Tab. I of the paper).
+//!
+//! Pattern expressions are regular expressions over items, extended with
+//!
+//! * **capture groups** `( E )` — only captured parts produce output,
+//! * **hierarchies** — an item expression `w` matches any descendant of `w`
+//!   (use `w=` to match exactly `w`), and
+//! * **generalizations** `↑` — written `^` in this implementation: a captured
+//!   `(w^)` may output the matched item or any of its ancestors up to `w`;
+//!   `(w^=)` always generalizes fully (outputs `w`); `(.^)` outputs the
+//!   matched item or any of its ancestors.
+//!
+//! Syntax (ASCII rendition of the paper's notation):
+//!
+//! ```text
+//! E  :=  w | w= | w^ | w^= | . | .^            item / dot expressions
+//!     |  ( E )                                 capture group
+//!     |  [ E ]                                 grouping (no capture)
+//!     |  E*  E+  E?  E{n}  E{n,}  E{n,m}  E{,m} repetition
+//!     |  E1 E2                                 concatenation
+//!     |  E1 | E2                               alternation
+//! ```
+//!
+//! Item names are identifiers (`VERB`, `a1`, `lives_in`, ...) or
+//! single-quoted strings (`'MP3 Players'`). The example constraint of the
+//! paper is written `.*(A)[(.^)|.]*(b).*`.
+
+mod lexer;
+mod parser;
+
+use std::fmt;
+
+pub use lexer::{Lexer, Token};
+
+/// Abstract syntax tree of a pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatEx {
+    /// `w`, `w=`, `w^`, `w^=`: match a (descendant of) item `w`.
+    Item {
+        /// Item name, resolved against the dictionary at FST-compile time.
+        name: String,
+        /// `=`: match exactly `w` instead of any descendant.
+        exact: bool,
+        /// `^`: when captured, allow/force generalization.
+        up: bool,
+    },
+    /// `.` or `.^`: match any item.
+    Dot {
+        /// `^`: when captured, output ancestors of the matched item as well.
+        up: bool,
+    },
+    /// `( E )`: capture group — matched items inside produce output.
+    Capture(Box<PatEx>),
+    /// Juxtaposition `E1 E2 ...`.
+    Concat(Vec<PatEx>),
+    /// Alternation `E1 | E2 | ...`.
+    Alt(Vec<PatEx>),
+    /// `E*`.
+    Star(Box<PatEx>),
+    /// `E+`.
+    Plus(Box<PatEx>),
+    /// `E?`.
+    Optional(Box<PatEx>),
+    /// `E{min,max}` (`max = None` for `{min,}`).
+    Range {
+        inner: Box<PatEx>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+impl PatEx {
+    /// Parses a pattern expression from its textual form.
+    pub fn parse(input: &str) -> crate::Result<PatEx> {
+        parser::parse(input)
+    }
+
+    /// True if this node needs brackets when a postfix operator is applied.
+    fn is_atom(&self) -> bool {
+        matches!(self, PatEx::Item { .. } | PatEx::Dot { .. } | PatEx::Capture(_))
+    }
+
+    /// Wraps the expression with uncaptured `.*` context on both sides:
+    /// `E` becomes `.* E .*`.
+    ///
+    /// DESQ matches pattern expressions *within* an input sequence (items
+    /// before and after the match are skipped without producing output), so
+    /// application constraints like `ENTITY (VERB+) ENTITY` are used
+    /// unanchored. FST runs, however, always consume the whole input
+    /// sequence (Sec. IV), which is why the paper's running example spells
+    /// the context out: `πex = .*(A)[...]*(b).*`. The constraint library of
+    /// Tab. III applies this wrapper to the expressions as printed.
+    pub fn unanchored(self) -> PatEx {
+        let dotstar = || PatEx::Star(Box::new(PatEx::Dot { up: false }));
+        PatEx::Concat(vec![dotstar(), self, dotstar()])
+    }
+
+    /// Number of AST nodes (used to bound generated expressions in tests).
+    pub fn size(&self) -> usize {
+        match self {
+            PatEx::Item { .. } | PatEx::Dot { .. } => 1,
+            PatEx::Capture(e)
+            | PatEx::Star(e)
+            | PatEx::Plus(e)
+            | PatEx::Optional(e)
+            | PatEx::Range { inner: e, .. } => 1 + e.size(),
+            PatEx::Concat(es) | PatEx::Alt(es) => 1 + es.iter().map(PatEx::size).sum::<usize>(),
+        }
+    }
+}
+
+fn needs_quotes(name: &str) -> bool {
+    name.is_empty()
+        || name
+            .chars()
+            .any(|c| !(c.is_alphanumeric() || c == '_' || c == '-' || c == '\''))
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+impl fmt::Display for PatEx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatEx::Item { name, exact, up } => {
+                if needs_quotes(name) {
+                    write!(f, "'{name}'")?;
+                } else {
+                    write!(f, "{name}")?;
+                }
+                if *up {
+                    write!(f, "^")?;
+                }
+                if *exact {
+                    write!(f, "=")?;
+                }
+                Ok(())
+            }
+            PatEx::Dot { up } => {
+                write!(f, ".")?;
+                if *up {
+                    write!(f, "^")?;
+                }
+                Ok(())
+            }
+            PatEx::Capture(e) => write!(f, "({e})"),
+            PatEx::Concat(es) => {
+                let mut first = true;
+                for e in es {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    first = false;
+                    if matches!(e, PatEx::Alt(_) | PatEx::Concat(_)) {
+                        write!(f, "[{e}]")?;
+                    } else {
+                        write!(f, "{e}")?;
+                    }
+                }
+                Ok(())
+            }
+            PatEx::Alt(es) => {
+                let mut first = true;
+                for e in es {
+                    if !first {
+                        write!(f, "|")?;
+                    }
+                    first = false;
+                    if matches!(e, PatEx::Alt(_)) {
+                        write!(f, "[{e}]")?;
+                    } else {
+                        write!(f, "{e}")?;
+                    }
+                }
+                Ok(())
+            }
+            PatEx::Star(e) => write_postfix(f, e, "*"),
+            PatEx::Plus(e) => write_postfix(f, e, "+"),
+            PatEx::Optional(e) => write_postfix(f, e, "?"),
+            PatEx::Range { inner, min, max } => {
+                let suffix = match max {
+                    Some(m) if *m == *min => format!("{{{min}}}"),
+                    Some(m) => format!("{{{min},{m}}}"),
+                    None => format!("{{{min},}}"),
+                };
+                write_postfix(f, inner, &suffix)
+            }
+        }
+    }
+}
+
+fn write_postfix(f: &mut fmt::Formatter<'_>, inner: &PatEx, op: &str) -> fmt::Result {
+    if inner.is_atom() {
+        write!(f, "{inner}{op}")
+    } else {
+        write!(f, "[{inner}]{op}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> String {
+        PatEx::parse(s).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        let e = PatEx::parse(".*(A)[(.^)|.]*(b).*").unwrap();
+        // .* (A) [...]* (b) .*  — five concatenated factors.
+        match &e {
+            PatEx::Concat(es) => assert_eq!(es.len(), 5),
+            other => panic!("expected concat, got {other:?}"),
+        }
+        // The display form re-parses to the same AST.
+        let shown = e.to_string();
+        assert_eq!(PatEx::parse(&shown).unwrap(), e);
+    }
+
+    #[test]
+    fn parses_item_modifiers() {
+        assert_eq!(
+            PatEx::parse("w").unwrap(),
+            PatEx::Item { name: "w".into(), exact: false, up: false }
+        );
+        assert_eq!(
+            PatEx::parse("w=").unwrap(),
+            PatEx::Item { name: "w".into(), exact: true, up: false }
+        );
+        assert_eq!(
+            PatEx::parse("w^").unwrap(),
+            PatEx::Item { name: "w".into(), exact: false, up: true }
+        );
+        assert_eq!(
+            PatEx::parse("w^=").unwrap(),
+            PatEx::Item { name: "w".into(), exact: true, up: true }
+        );
+        assert_eq!(PatEx::parse(".^").unwrap(), PatEx::Dot { up: true });
+    }
+
+    #[test]
+    fn parses_ranges() {
+        let e = PatEx::parse("[.]{0,2}").unwrap();
+        assert_eq!(
+            e,
+            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 0, max: Some(2) }
+        );
+        assert_eq!(
+            PatEx::parse(".{3}").unwrap(),
+            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 3, max: Some(3) }
+        );
+        assert_eq!(
+            PatEx::parse(".{2,}").unwrap(),
+            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 2, max: None }
+        );
+        // {,m} is shorthand for {0,m} (used by constraint T1 of the paper).
+        assert_eq!(
+            PatEx::parse(".{,4}").unwrap(),
+            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 0, max: Some(4) }
+        );
+    }
+
+    #[test]
+    fn parses_paper_constraints() {
+        // From Tab. III of the paper (names adapted).
+        for s in [
+            "ENTITY (VERB+ NOUN+? PREP?) ENTITY",
+            "(ENTITY^ VERB+ NOUN+? PREP? ENTITY^)",
+            "(ENTITY^ be^=) DET? [ADV? ADJ? NOUN]",
+            "(.^){3} NOUN",
+            "[(.^). .]|[. (.^).]|[. .(.^)]",
+            "(Electr^)[.{0,2}(Electr^)]{1,4}",
+            "(Book)[.{0,2}(Book)]{1,4}",
+            "DigitalCamera[.{0,3}(.^)]{1,4}",
+            "(.)[.*(.)]{,4}",
+            "(.)[.{0,1}(.)]{1,4}",
+            "(.^)[.{0,1}(.^)]{1,4}",
+        ] {
+            let e = PatEx::parse(s).unwrap_or_else(|err| panic!("{s}: {err}"));
+            let shown = e.to_string();
+            assert_eq!(PatEx::parse(&shown).unwrap(), e, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn quoted_items() {
+        let e = PatEx::parse("('MP3 Players')").unwrap();
+        assert_eq!(
+            e,
+            PatEx::Capture(Box::new(PatEx::Item {
+                name: "MP3 Players".into(),
+                exact: false,
+                up: false
+            }))
+        );
+        assert_eq!(roundtrip("('MP3 Players')"), "('MP3 Players')");
+    }
+
+    #[test]
+    fn alternation_binds_weakest() {
+        let e = PatEx::parse("a b|c").unwrap();
+        match e {
+            PatEx::Alt(es) => {
+                assert_eq!(es.len(), 2);
+                assert!(matches!(&es[0], PatEx::Concat(v) if v.len() == 2));
+            }
+            other => panic!("expected alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "(", "[a", "a)", "a{2", "a{3,1}", "a|", "*", ".=", "a{}", "'x"] {
+            assert!(PatEx::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn display_wraps_ambiguous_children() {
+        // Star over a concat needs brackets; over an atom it does not.
+        let e = PatEx::Star(Box::new(PatEx::Concat(vec![
+            PatEx::Dot { up: false },
+            PatEx::Dot { up: false },
+        ])));
+        assert_eq!(e.to_string(), "[. .]*");
+        assert_eq!(PatEx::parse("[. .]*").unwrap(), e);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = PatEx::parse(".*(A)[(.^)|.]*(b).*").unwrap();
+        assert!(e.size() > 8);
+    }
+}

@@ -1,0 +1,266 @@
+//! Recursive-descent parser for pattern expressions.
+//!
+//! Grammar (highest to lowest precedence):
+//!
+//! ```text
+//! primary := '.' '^'? | IDENT ('^')? ('=')? | '(' alt ')' | '[' alt ']'
+//! postfix := primary ('*' | '+' | '?' | '{' bounds '}')*
+//! concat  := postfix+
+//! alt     := concat ('|' concat)*
+//! ```
+
+use super::lexer::{Lexer, Token};
+use super::PatEx;
+use crate::error::{Error, Result};
+
+pub(super) fn parse(input: &str) -> Result<PatEx> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let e = p.alt()?;
+    if let Some((tok, at)) = p.peek_with_pos() {
+        return Err(Error::Parse { msg: format!("unexpected {tok:?}"), pos: at });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek_with_pos(&self) -> Option<(&Token, usize)> {
+        self.tokens.get(self.pos).map(|(t, p)| (t, *p))
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(Error::Parse {
+                msg: format!("expected {want:?}, found {other:?}"),
+                pos: self.here(),
+            }),
+        }
+    }
+
+    fn alt(&mut self) -> Result<PatEx> {
+        let mut branches = vec![self.concat()?];
+        while matches!(self.peek(), Some(Token::Pipe)) {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { PatEx::Alt(branches) })
+    }
+
+    fn concat(&mut self) -> Result<PatEx> {
+        let mut factors = vec![self.postfix()?];
+        while self.starts_primary() {
+            factors.push(self.postfix()?);
+        }
+        Ok(if factors.len() == 1 { factors.pop().unwrap() } else { PatEx::Concat(factors) })
+    }
+
+    fn starts_primary(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Dot | Token::Ident(_) | Token::LParen | Token::LBracket)
+        )
+    }
+
+    fn postfix(&mut self) -> Result<PatEx> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    e = PatEx::Star(Box::new(e));
+                }
+                Some(Token::Plus) => {
+                    self.bump();
+                    e = PatEx::Plus(Box::new(e));
+                }
+                Some(Token::Question) => {
+                    self.bump();
+                    e = PatEx::Optional(Box::new(e));
+                }
+                Some(Token::LBrace) => {
+                    let at = self.here();
+                    self.bump();
+                    let (min, max) = self.bounds(at)?;
+                    e = PatEx::Range { inner: Box::new(e), min, max };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// Parses `n`, `n,`, `n,m` or `,m` followed by `}`.
+    fn bounds(&mut self, at: usize) -> Result<(u32, Option<u32>)> {
+        let min = match self.peek() {
+            Some(Token::Number(n)) => {
+                let n = *n;
+                self.bump();
+                Some(n)
+            }
+            _ => None,
+        };
+        let (min, max) = if matches!(self.peek(), Some(Token::Comma)) {
+            self.bump();
+            let max = match self.peek() {
+                Some(Token::Number(m)) => {
+                    let m = *m;
+                    self.bump();
+                    Some(m)
+                }
+                _ => None,
+            };
+            match (min, max) {
+                (None, None) => {
+                    return Err(Error::Parse { msg: "empty repetition bounds".into(), pos: at })
+                }
+                (mn, mx) => (mn.unwrap_or(0), mx),
+            }
+        } else {
+            match min {
+                Some(n) => (n, Some(n)),
+                None => {
+                    return Err(Error::Parse { msg: "empty repetition bounds".into(), pos: at })
+                }
+            }
+        };
+        if let Some(m) = max {
+            if m < min {
+                return Err(Error::Parse {
+                    msg: format!("repetition maximum {m} below minimum {min}"),
+                    pos: at,
+                });
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        Ok((min, max))
+    }
+
+    fn primary(&mut self) -> Result<PatEx> {
+        let at = self.here();
+        match self.bump() {
+            Some(Token::Dot) => {
+                let up = self.eat_up();
+                if matches!(self.peek(), Some(Token::Eq)) {
+                    return Err(Error::Parse { msg: "'.' cannot take '='".into(), pos: at });
+                }
+                Ok(PatEx::Dot { up })
+            }
+            Some(Token::Ident(name)) => {
+                let up = self.eat_up();
+                let exact = self.eat_eq();
+                Ok(PatEx::Item { name, exact, up })
+            }
+            Some(Token::LParen) => {
+                let inner = self.alt()?;
+                self.expect(&Token::RParen)?;
+                Ok(PatEx::Capture(Box::new(inner)))
+            }
+            Some(Token::LBracket) => {
+                let inner = self.alt()?;
+                self.expect(&Token::RBracket)?;
+                Ok(inner)
+            }
+            other => Err(Error::Parse {
+                msg: format!("expected item, '.', '(' or '[', found {other:?}"),
+                pos: at,
+            }),
+        }
+    }
+
+    fn eat_up(&mut self) -> bool {
+        if matches!(self.peek(), Some(Token::Up)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_eq(&mut self) -> bool {
+        if matches!(self.peek(), Some(Token::Eq)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::PatEx;
+
+    #[test]
+    fn capture_groups_versus_brackets() {
+        let cap = PatEx::parse("(a b)").unwrap();
+        assert!(matches!(cap, PatEx::Capture(_)));
+        let grp = PatEx::parse("[a b]").unwrap();
+        assert!(matches!(grp, PatEx::Concat(_)));
+    }
+
+    #[test]
+    fn postfix_chains() {
+        // a*? = Optional(Star(a))
+        let e = PatEx::parse("a*?").unwrap();
+        assert!(matches!(e, PatEx::Optional(inner) if matches!(*inner, PatEx::Star(_))));
+    }
+
+    #[test]
+    fn nested_ranges() {
+        let e = PatEx::parse("[a{1,2}]{3}").unwrap();
+        match e {
+            PatEx::Range { inner, min: 3, max: Some(3) } => {
+                assert!(matches!(*inner, PatEx::Range { min: 1, max: Some(2), .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = PatEx::parse("abc )").unwrap_err();
+        match err {
+            crate::Error::Parse { pos, .. } => assert_eq!(pos, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deeply_nested_ok() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push('[');
+        }
+        s.push('a');
+        for _ in 0..200 {
+            s.push(']');
+        }
+        assert!(PatEx::parse(&s).is_ok());
+    }
+}

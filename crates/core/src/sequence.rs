@@ -1,0 +1,128 @@
+//! Sequences and sequence databases.
+//!
+//! After dictionary freezing (see [`crate::dictionary`]), items are encoded as
+//! *fids* — frequency ranks, with fid 1 the most frequent item. The paper's
+//! total item order `<` (less-frequent items are *larger*) is then plain
+//! integer order on fids, so the *pivot item* of a sequence (its largest item
+//! w.r.t. `<`, Sec. III-B) is its maximum fid.
+
+/// An item identifier (frequency rank after recoding; raw id before).
+pub type ItemId = u32;
+
+/// The reserved id for ε, the empty output. ε is smaller than every item.
+pub const EPSILON: ItemId = 0;
+
+/// An input or output sequence: a list of items.
+pub type Sequence = Vec<ItemId>;
+
+/// The pivot item of a sequence: its maximum item id (Sec. III-B).
+///
+/// Returns [`EPSILON`] for the empty sequence.
+#[inline]
+pub fn pivot(seq: &[ItemId]) -> ItemId {
+    seq.iter().copied().max().unwrap_or(EPSILON)
+}
+
+/// A sequence database `D = { T1, ..., T|D| }`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequenceDb {
+    /// The input sequences. Input sequences are assumed distinct in the
+    /// paper's exposition; the implementation does not rely on it (support
+    /// counts sequences by index).
+    pub sequences: Vec<Sequence>,
+}
+
+impl SequenceDb {
+    /// Creates a database from raw sequences.
+    pub fn new(sequences: Vec<Sequence>) -> Self {
+        SequenceDb { sequences }
+    }
+
+    /// Number of input sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True if the database holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Total number of items across all sequences.
+    pub fn total_items(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// Length of the longest sequence.
+    pub fn max_len(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Mean sequence length.
+    pub fn mean_len(&self) -> f64 {
+        if self.sequences.is_empty() {
+            0.0
+        } else {
+            self.total_items() as f64 / self.sequences.len() as f64
+        }
+    }
+
+    /// Splits the database into `n` contiguous chunks of near-equal size
+    /// (the "machines" of the distributed setting).
+    pub fn partition(&self, n: usize) -> Vec<&[Sequence]> {
+        let n = n.max(1);
+        let len = self.sequences.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let sz = base + usize::from(i < extra);
+            out.push(&self.sequences[start..start + sz]);
+            start += sz;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pivot_is_max_item() {
+        assert_eq!(pivot(&[3, 1, 2]), 3);
+        assert_eq!(pivot(&[7]), 7);
+        assert_eq!(pivot(&[]), EPSILON);
+    }
+
+    #[test]
+    fn stats() {
+        let db = SequenceDb::new(vec![vec![1, 2, 3], vec![4], vec![5, 6]]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.total_items(), 6);
+        assert_eq!(db.max_len(), 3);
+        assert!((db.mean_len() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_covers_all_sequences_evenly() {
+        let db = SequenceDb::new((0..10).map(|i| vec![i]).collect());
+        let parts = db.partition(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 10);
+        // sizes differ by at most one
+        let sizes: Vec<_> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let flat: Vec<_> = parts.concat();
+        assert_eq!(flat, db.sequences);
+    }
+
+    #[test]
+    fn partition_more_workers_than_sequences() {
+        let db = SequenceDb::new(vec![vec![1], vec![2]]);
+        let parts = db.partition(5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 2);
+    }
+}

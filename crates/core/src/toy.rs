@@ -1,0 +1,123 @@
+//! The running example of the paper (Fig. 2): a reusable fixture.
+//!
+//! Sequence database `D_ex`:
+//!
+//! ```text
+//! T1: a1 c d c b          T4: a2 d b
+//! T2: e e a1 e a1 e b     T5: a1 a1 b
+//! T3: c d c b
+//! ```
+//!
+//! Hierarchy: `a1 ⇒ A`, `a2 ⇒ A`. Item frequencies (hierarchy-aware document
+//! frequencies, Fig. 2c): b:5, A:4, d:3, a1:3, c:2, e:1, a2:1, which is also
+//! the total order `b < A < d < a1 < c < e < a2` used throughout the paper's
+//! examples.
+//!
+//! The example subsequence constraint is `πex` (paper notation
+//! `.*(A)[(.↑).*]*(b).*`). We write it `.*(A)[(.^)|.]*(b).*`: the paper's
+//! Fig. 4 FST has independent `.` and `(.↑)` self-loops at `q1`, i.e. matched
+//! items between `(A)` and `(b)` may be captured-and-generalized or skipped
+//! in any interleaving — which is what `[(.^)|.]*` compiles to, and what the
+//! candidate sets of Fig. 3 require (e.g. `a1 d b ∈ G_πex(T1)` skips the `c`
+//! right after the match of `(A)`).
+
+use crate::dictionary::{Dictionary, DictionaryBuilder};
+use crate::fst::Fst;
+use crate::pexp::PatEx;
+use crate::sequence::{ItemId, SequenceDb};
+
+/// The paper's running example, frozen and compiled.
+pub struct Toy {
+    /// Frequency-encoded dictionary (Fig. 2b/2c).
+    pub dict: Dictionary,
+    /// Recoded sequence database (Fig. 2a); order T1..T5.
+    pub db: SequenceDb,
+    /// The pattern expression πex.
+    pub pexp: PatEx,
+    /// πex compiled to an FST (Fig. 4).
+    pub fst: Fst,
+    /// fid of item `b` (1).
+    pub b: ItemId,
+    /// fid of item `A` (2).
+    pub big_a: ItemId,
+    /// fid of item `d` (3).
+    pub d: ItemId,
+    /// fid of item `a1` (4).
+    pub a1: ItemId,
+    /// fid of item `c` (5).
+    pub c: ItemId,
+    /// fid of item `e` (6).
+    pub e: ItemId,
+    /// fid of item `a2` (7).
+    pub a2: ItemId,
+}
+
+/// The example pattern expression of the paper, in ASCII syntax
+/// (see the module docs for why the middle is `[(.^)|.]*`).
+pub const PATTERN: &str = ".*(A)[(.^)|.]*(b).*";
+
+/// Builds the running example.
+pub fn fixture() -> Toy {
+    let mut b = DictionaryBuilder::new();
+    // Insertion order serves as the tie-break, matching Fig. 2c exactly:
+    // f(d) = f(a1) = 3 with d < a1, and f(e) = f(a2) = 1 with e < a2.
+    for name in ["b", "A", "d", "a1", "c", "e", "a2"] {
+        b.item(name);
+    }
+    b.edge("a1", "A");
+    b.edge("a2", "A");
+
+    let g = |name: &str, b: &DictionaryBuilder| b.id_of(name).unwrap();
+    let raw = SequenceDb::new(vec![
+        vec![g("a1", &b), g("c", &b), g("d", &b), g("c", &b), g("b", &b)],
+        vec![
+            g("e", &b),
+            g("e", &b),
+            g("a1", &b),
+            g("e", &b),
+            g("a1", &b),
+            g("e", &b),
+            g("b", &b),
+        ],
+        vec![g("c", &b), g("d", &b), g("c", &b), g("b", &b)],
+        vec![g("a2", &b), g("d", &b), g("b", &b)],
+        vec![g("a1", &b), g("a1", &b), g("b", &b)],
+    ]);
+
+    let (dict, db) = b.freeze(&raw).expect("toy hierarchy is acyclic");
+    let pexp = PatEx::parse(PATTERN).expect("toy pattern parses");
+    let fst = Fst::compile(&pexp, &dict).expect("toy pattern compiles");
+
+    let id = |n: &str| dict.id_of(n).unwrap();
+    Toy {
+        b: id("b"),
+        big_a: id("A"),
+        d: id("d"),
+        a1: id("a1"),
+        c: id("c"),
+        e: id("e"),
+        a2: id("a2"),
+        dict,
+        db,
+        pexp,
+        fst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fids_are_the_paper_order() {
+        let fx = fixture();
+        assert_eq!((fx.b, fx.big_a, fx.d, fx.a1, fx.c, fx.e, fx.a2), (1, 2, 3, 4, 5, 6, 7));
+    }
+
+    #[test]
+    fn database_shape() {
+        let fx = fixture();
+        assert_eq!(fx.db.len(), 5);
+        assert_eq!(fx.db.sequences[4], vec![fx.a1, fx.a1, fx.b]);
+    }
+}

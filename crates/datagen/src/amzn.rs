@@ -1,0 +1,267 @@
+//! AMZN-like purchase sequences over a DAG-shaped product catalog, and the
+//! AMZN-F forest variant.
+//!
+//! Mirrors the Amazon review data of the paper: one input sequence per
+//! customer (the products they reviewed, in order), items generalizing to
+//! one or more categories and to departments. The department/category names
+//! (`Electr`, `Book`, `MusicInstr`, `DigitalCamera`, ...) are the hierarchy
+//! roots the A1–A4 constraints of Tab. III refer to. Buying behaviour is
+//! correlated (category interests; camera purchases followed by accessory
+//! purchases) so the recommendation constraints select non-trivial
+//! patterns.
+
+use desq_core::{Dictionary, DictionaryBuilder, ItemId, SequenceDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration of the AMZN-like generator.
+#[derive(Debug, Clone)]
+pub struct AmznConfig {
+    /// Number of customers (input sequences).
+    pub customers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Products per (leaf) category.
+    pub products_per_category: usize,
+    /// Probability of a second category parent (DAG-ness).
+    pub extra_parent_prob: f64,
+}
+
+impl AmznConfig {
+    /// A small default suitable for tests and examples.
+    pub fn new(customers: usize) -> AmznConfig {
+        AmznConfig {
+            customers,
+            seed: 0xa3_2a00,
+            products_per_category: 60,
+            extra_parent_prob: 0.45,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> AmznConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The fixed category skeleton: (department, categories).
+const CATALOG: &[(&str, &[&str])] = &[
+    (
+        "Electr",
+        &[
+            "DigitalCamera",
+            "Lenses",
+            "Tripods",
+            "Batteries",
+            "MemoryCards",
+            "MP3Players",
+            "Headphones",
+            "Laptops",
+            "Mice",
+            "Keyboards",
+        ],
+    ),
+    ("Book", &["Fantasy", "SciFi", "Mystery", "Romance", "Biography", "Cooking"]),
+    ("MusicInstr", &["Guitars", "Drums", "Pianos", "BagsCases", "Strings"]),
+    ("Home", &["Kitchen", "Garden", "Furniture", "Lighting"]),
+    ("Clothing", &["Shoes", "Shirts", "Jackets"]),
+];
+
+/// Accessory categories boosted after a `DigitalCamera` purchase (feeds A3).
+const CAMERA_ACCESSORIES: &[&str] = &["Lenses", "Tripods", "Batteries", "MemoryCards"];
+
+struct Catalog {
+    /// Product ids per category, aligned with the flattened CATALOG order.
+    products: Vec<Vec<ItemId>>,
+    category_names: Vec<&'static str>,
+    /// Department index per category.
+    department: Vec<usize>,
+    /// Category indices per department.
+    by_department: Vec<Vec<usize>>,
+    camera_idx: usize,
+    accessory_idx: Vec<usize>,
+}
+
+fn build_catalog(b: &mut DictionaryBuilder, cfg: &AmznConfig, rng: &mut StdRng) -> Catalog {
+    let mut category_names = Vec::new();
+    let mut department = Vec::new();
+    let mut by_department = Vec::new();
+    for (d, (dept, cats)) in CATALOG.iter().enumerate() {
+        b.item(dept);
+        let mut idxs = Vec::new();
+        for cat in cats.iter() {
+            b.edge(cat, dept);
+            idxs.push(category_names.len());
+            category_names.push(*cat);
+            department.push(d);
+        }
+        by_department.push(idxs);
+    }
+    let ncat = category_names.len();
+    let mut products = vec![Vec::new(); ncat];
+    for (c, &cat) in category_names.iter().enumerate() {
+        for i in 0..cfg.products_per_category {
+            let name = format!("{cat}_p{i}");
+            b.edge(&name, cat);
+            // DAG: some products belong to a second (or third) category.
+            if rng.gen_bool(cfg.extra_parent_prob) {
+                let other = rng.gen_range(0..ncat);
+                if other != c {
+                    b.edge(&name, category_names[other]);
+                }
+                if rng.gen_bool(0.25) {
+                    let third = rng.gen_range(0..ncat);
+                    if third != c && third != other {
+                        b.edge(&name, category_names[third]);
+                    }
+                }
+            }
+            products[c].push(b.id_of(&name).unwrap());
+        }
+    }
+    let camera_idx = category_names.iter().position(|&c| c == "DigitalCamera").unwrap();
+    let accessory_idx = CAMERA_ACCESSORIES
+        .iter()
+        .map(|a| category_names.iter().position(|&c| c == *a).unwrap())
+        .collect();
+    Catalog { products, category_names, department, by_department, camera_idx, accessory_idx }
+}
+
+/// Generates the AMZN-like database; returns the frozen dictionary and
+/// database (DAG hierarchy).
+pub fn amzn_like(cfg: &AmznConfig) -> (Dictionary, SequenceDb) {
+    let mut b = DictionaryBuilder::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cat = build_catalog(&mut b, cfg, &mut rng);
+    let product_zipf = Zipf::new(cfg.products_per_category, 1.1);
+    let ncat = cat.category_names.len();
+
+    let mut sequences = Vec::with_capacity(cfg.customers);
+    for _ in 0..cfg.customers {
+        // 1–2 category interests; heavier-tailed basket length with mean ≈ 4.
+        let primary = rng.gen_range(0..ncat);
+        let secondary = cat.by_department[cat.department[primary]]
+            [rng.gen_range(0..cat.by_department[cat.department[primary]].len())];
+        let len = sample_length(&mut rng);
+        let mut seq: Vec<ItemId> = Vec::with_capacity(len);
+        let mut boost_accessories = 0usize;
+        for _ in 0..len {
+            let c = if boost_accessories > 0 && rng.gen_bool(0.7) {
+                boost_accessories -= 1;
+                cat.accessory_idx[rng.gen_range(0..cat.accessory_idx.len())]
+            } else {
+                match rng.gen_range(0..100) {
+                    0..=59 => primary,
+                    60..=84 => secondary,
+                    _ => rng.gen_range(0..ncat),
+                }
+            };
+            let p = cat.products[c][product_zipf.sample(&mut rng)];
+            if c == cat.camera_idx {
+                boost_accessories = 3;
+            }
+            seq.push(p);
+        }
+        sequences.push(seq);
+    }
+
+    b.freeze(&SequenceDb::new(sequences)).expect("catalog is acyclic")
+}
+
+/// Basket length: geometric-ish with mean ≈ 4 and a heavy tail.
+fn sample_length(rng: &mut StdRng) -> usize {
+    let mut len = 1;
+    while len < 200 && rng.gen_bool(0.72) {
+        len += 1;
+    }
+    if rng.gen_bool(0.01) {
+        len += rng.gen_range(20..80); // the paper's max length is huge
+    }
+    len
+}
+
+/// The paper's AMZN-F construction: for items with several parents keep
+/// only the generalization to the *most frequent* parent, yielding a forest
+/// hierarchy (required by LASH).
+///
+/// (The paper additionally contracts hierarchy-only items with a single
+/// child of identical frequency; that is a size optimization with no effect
+/// on mining results and is not applied here.)
+pub fn to_forest(dict: &Dictionary, db: &SequenceDb) -> (Dictionary, SequenceDb) {
+    let mut b = DictionaryBuilder::new();
+    // Insert items in fid order so provisional ids equal old fids.
+    for fid in 1..=dict.max_fid() {
+        b.item(dict.name(fid));
+    }
+    for fid in 1..=dict.max_fid() {
+        let parents = dict.parents(fid);
+        if parents.is_empty() {
+            continue;
+        }
+        // Most frequent parent = smallest fid (fids are frequency ranks).
+        let keep = *parents.iter().min().unwrap();
+        b.edge(dict.name(fid), dict.name(keep));
+    }
+    b.freeze(db).expect("forest of a DAG is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_shape_matches_amzn() {
+        let (dict, db) = amzn_like(&AmznConfig::new(800));
+        assert_eq!(db.len(), 800);
+        let len = db.mean_len();
+        assert!(len > 2.0 && len < 8.0, "mean length {len}");
+        // product → category(ies) → department: mean ancestors well above a
+        // forest's, some products with several category parents.
+        let m = dict.mean_ancestors();
+        assert!(m > 2.5, "mean ancestors {m}");
+        let multi = (1..=dict.max_fid()).filter(|&f| dict.parents(f).len() > 1).count();
+        assert!(multi > 0, "DAG must have multi-parent items");
+    }
+
+    #[test]
+    fn forest_variant_has_single_parents() {
+        let (dict, db) = amzn_like(&AmznConfig::new(300));
+        let (fdict, fdb) = to_forest(&dict, &db);
+        for fid in 1..=fdict.max_fid() {
+            assert!(fdict.parents(fid).len() <= 1, "{}", fdict.name(fid));
+        }
+        // Same data, same total items.
+        assert_eq!(fdb.total_items(), db.total_items());
+        // Forest has no more ancestor links than the DAG.
+        assert!(fdict.mean_ancestors() <= dict.mean_ancestors());
+    }
+
+    #[test]
+    fn category_roots_exist_for_a_constraints() {
+        let (dict, _) = amzn_like(&AmznConfig::new(100));
+        for name in ["Electr", "Book", "MusicInstr", "DigitalCamera"] {
+            assert!(dict.id_of(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn a_constraints_find_patterns() {
+        use desq_dist::patterns;
+        let (dict, db) = amzn_like(&AmznConfig::new(2000));
+        for c in patterns::amzn_constraints() {
+            let fst = c.compile(&dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+            let out = desq_miner::desq_dfs(&db, &fst, &dict, 3);
+            assert!(!out.is_empty(), "{} finds nothing", c.name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, db1) = amzn_like(&AmznConfig::new(100));
+        let (_, db2) = amzn_like(&AmznConfig::new(100));
+        assert_eq!(db1, db2);
+    }
+}

@@ -1,0 +1,118 @@
+//! CW-like corpus: hierarchy-free web text with embedded frequent phrases.
+//!
+//! Substitute for the ClueWeb09 sample (CW50) of the paper: no item
+//! hierarchy, Zipf unigrams, and a phrase mixture so that the n-gram
+//! constraints (`T2`) mine non-trivial patterns.
+
+use desq_core::{Dictionary, DictionaryBuilder, ItemId, SequenceDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration of the CW-like generator.
+#[derive(Debug, Clone)]
+pub struct CwConfig {
+    /// Number of sentences.
+    pub sentences: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Number of fixed phrases embedded in the text.
+    pub phrases: usize,
+    /// Mean sentence length (approximate).
+    pub mean_len: usize,
+}
+
+impl CwConfig {
+    /// A small default suitable for tests and examples.
+    pub fn new(sentences: usize) -> CwConfig {
+        CwConfig { sentences, seed: 0xc1eb, vocab: 5_000, phrases: 200, mean_len: 19 }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> CwConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates the CW-like database (no hierarchy).
+pub fn cw_like(cfg: &CwConfig) -> (Dictionary, SequenceDb) {
+    let mut b = DictionaryBuilder::new();
+    let words: Vec<ItemId> = (0..cfg.vocab).map(|i| b.item(&format!("w{i}"))).collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let unigram = Zipf::new(cfg.vocab, 1.1);
+    let phrase_pick = Zipf::new(cfg.phrases.max(1), 1.0);
+    // Fixed phrases of 2–4 Zipf-sampled words.
+    let phrases: Vec<Vec<ItemId>> = (0..cfg.phrases)
+        .map(|_| {
+            let len = rng.gen_range(2..=4);
+            (0..len).map(|_| words[unigram.sample(&mut rng)]).collect()
+        })
+        .collect();
+
+    let mut sequences = Vec::with_capacity(cfg.sentences);
+    for _ in 0..cfg.sentences {
+        let target = sample_len(&mut rng, cfg.mean_len);
+        let mut seq: Vec<ItemId> = Vec::with_capacity(target + 4);
+        while seq.len() < target {
+            if !phrases.is_empty() && rng.gen_bool(0.3) {
+                seq.extend_from_slice(&phrases[phrase_pick.sample(&mut rng)]);
+            } else {
+                seq.push(words[unigram.sample(&mut rng)]);
+            }
+        }
+        sequences.push(seq);
+    }
+
+    b.freeze(&SequenceDb::new(sequences)).expect("flat vocabulary is acyclic")
+}
+
+fn sample_len(rng: &mut StdRng, mean: usize) -> usize {
+    // Roughly geometric around the mean, min 3.
+    let mut len = 3;
+    let p = 1.0 - 1.0 / (mean.max(4) as f64 - 2.0);
+    while len < 400 && rng.gen_bool(p) {
+        len += 1;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_hierarchy() {
+        let (dict, db) = cw_like(&CwConfig::new(300));
+        assert_eq!(db.len(), 300);
+        assert_eq!(dict.max_ancestors(), 1, "CW50 has no hierarchy");
+        assert!((dict.mean_ancestors() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phrases_make_t2_productive() {
+        use desq_dist::patterns;
+        let (dict, db) = cw_like(&CwConfig::new(800));
+        let fst = patterns::t2(0, 3).compile(&dict).unwrap();
+        let out = desq_miner::desq_dfs(&db, &fst, &dict, 5);
+        assert!(!out.is_empty(), "embedded phrases should be frequent");
+    }
+
+    #[test]
+    fn lengths_resemble_web_text() {
+        let (_, db) = cw_like(&CwConfig::new(1000));
+        let len = db.mean_len();
+        assert!(len > 10.0 && len < 30.0, "mean length {len}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = cw_like(&CwConfig::new(50));
+        let (_, b) = cw_like(&CwConfig::new(50));
+        assert_eq!(a, b);
+    }
+}

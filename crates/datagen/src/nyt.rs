@@ -1,0 +1,295 @@
+//! NYT-like corpus: sentences with word → lemma → POS and typed entities.
+//!
+//! Mirrors the hierarchy of the New York Times Annotated Corpus as used in
+//! the paper: words generalize to their lemma and to their part-of-speech
+//! tag, named entities to their type (`PER`, `ORG`, `LOC`) and to `ENTITY`.
+//! Sentences are compositions of clauses; a fraction of them are
+//! *relational* (`ENTITY VERB+ NOUN? PREP? ENTITY`) or *copular*
+//! (`ENTITY be-form DET? ADV? ADJ? NOUN`) so that the N1–N5 constraints of
+//! Tab. III select non-trivial patterns, exactly as they do on real news
+//! text.
+
+use desq_core::{Dictionary, DictionaryBuilder, ItemId, SequenceDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration of the NYT-like generator.
+#[derive(Debug, Clone)]
+pub struct NytConfig {
+    /// Number of sentences (input sequences).
+    pub sentences: usize,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+    /// Open-class lemmas per part of speech.
+    pub lemmas_per_pos: usize,
+    /// Inflected forms per open-class lemma.
+    pub inflections: usize,
+    /// Entities per type (PER / ORG / LOC).
+    pub entities_per_type: usize,
+}
+
+impl NytConfig {
+    /// A small default suitable for tests and examples.
+    pub fn new(sentences: usize) -> NytConfig {
+        NytConfig {
+            sentences,
+            seed: 0x4e59_7400,
+            lemmas_per_pos: 400,
+            inflections: 3,
+            entities_per_type: 150,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> NytConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+struct Vocab {
+    /// Inflected word ids per open-class POS: `words[pos][lemma][infl]`.
+    nouns: Vec<Vec<ItemId>>,
+    verbs: Vec<Vec<ItemId>>,
+    adjs: Vec<Vec<ItemId>>,
+    advs: Vec<Vec<ItemId>>,
+    be_forms: Vec<ItemId>,
+    dets: Vec<ItemId>,
+    preps: Vec<ItemId>,
+    conjs: Vec<ItemId>,
+    prons: Vec<ItemId>,
+    entities: Vec<ItemId>, // all types pooled
+}
+
+fn build_vocab(b: &mut DictionaryBuilder, cfg: &NytConfig) -> Vocab {
+    // POS roots and entity types.
+    for pos in ["NOUN", "VERB", "ADJ", "ADV", "DET", "PREP", "PRON", "CONJ", "ENTITY"] {
+        b.item(pos);
+    }
+    for ty in ["PER", "ORG", "LOC"] {
+        b.edge(ty, "ENTITY");
+    }
+
+    let open_class = |b: &mut DictionaryBuilder, pos: &str, prefix: &str| -> Vec<Vec<ItemId>> {
+        (0..cfg.lemmas_per_pos)
+            .map(|i| {
+                let lemma = format!("{prefix}{i}");
+                b.edge(&lemma, pos);
+                (0..cfg.inflections)
+                    .map(|j| {
+                        let word = format!("{lemma}_{j}");
+                        b.edge(&word, &lemma);
+                        b.id_of(&word).unwrap()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let nouns = open_class(b, "NOUN", "n");
+    let verbs = open_class(b, "VERB", "v");
+    let adjs = open_class(b, "ADJ", "adj");
+    let advs = open_class(b, "ADV", "adv");
+
+    // The copula: word forms under the lemma `be` (used by N3's `be^=`).
+    b.edge("be", "VERB");
+    let be_forms: Vec<ItemId> = ["is", "was", "are", "were", "been", "being"]
+        .iter()
+        .map(|w| {
+            b.edge(w, "be");
+            b.id_of(w).unwrap()
+        })
+        .collect();
+
+    let closed = |b: &mut DictionaryBuilder, pos: &str, words: &[&str]| -> Vec<ItemId> {
+        words
+            .iter()
+            .map(|w| {
+                b.edge(w, pos);
+                b.id_of(w).unwrap()
+            })
+            .collect()
+    };
+    let dets = closed(b, "DET", &["the", "a", "an", "this", "that", "its"]);
+    let preps = closed(b, "PREP", &["of", "in", "to", "for", "with", "on", "at", "by", "from"]);
+    let conjs = closed(b, "CONJ", &["and", "or", "but", "while"]);
+    let prons = closed(b, "PRON", &["he", "she", "it", "they", "who"]);
+
+    let mut entities = Vec::new();
+    for (ty, prefix) in [("PER", "per"), ("ORG", "org"), ("LOC", "loc")] {
+        for i in 0..cfg.entities_per_type {
+            let e = format!("{prefix}{i}");
+            b.edge(&e, ty);
+            entities.push(b.id_of(&e).unwrap());
+        }
+    }
+
+    Vocab { nouns, verbs, adjs, advs, be_forms, dets, preps, conjs, prons, entities }
+}
+
+struct Sampler {
+    lemma: Zipf,
+    entity: Zipf,
+    closed_small: Zipf,
+    /// Relational phrases use a small pool of common verbs with a steep
+    /// distribution — news text repeats "lives in" / "works for" style
+    /// phrases, which is what makes N1/N2 mining meaningful.
+    rel_verb: Zipf,
+    inflection: Zipf,
+}
+
+impl Sampler {
+    fn word(&self, rng: &mut StdRng, class: &[Vec<ItemId>]) -> ItemId {
+        let lemma = &class[self.lemma.sample(rng)];
+        lemma[rng.gen_range(0..lemma.len())]
+    }
+
+    fn rel_word(&self, rng: &mut StdRng, class: &[Vec<ItemId>]) -> ItemId {
+        let lemma = &class[self.rel_verb.sample(rng).min(class.len() - 1)];
+        lemma[self.inflection.sample(rng).min(lemma.len() - 1)]
+    }
+
+    fn closed(&self, rng: &mut StdRng, words: &[ItemId]) -> ItemId {
+        words[self.closed_small.sample(rng).min(words.len() - 1)]
+    }
+
+    fn entity(&self, rng: &mut StdRng, v: &Vocab) -> ItemId {
+        v.entities[self.entity.sample(rng)]
+    }
+}
+
+/// Generates the NYT-like corpus; returns the frozen (frequency-encoded)
+/// dictionary and database.
+pub fn nyt_like(cfg: &NytConfig) -> (Dictionary, SequenceDb) {
+    let mut b = DictionaryBuilder::new();
+    let v = build_vocab(&mut b, cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let s = Sampler {
+        lemma: Zipf::new(cfg.lemmas_per_pos, 1.05),
+        entity: Zipf::new(v.entities.len(), 1.05),
+        closed_small: Zipf::new(12, 0.9),
+        rel_verb: Zipf::new(cfg.lemmas_per_pos.min(25), 1.3),
+        inflection: Zipf::new(cfg.inflections, 1.5),
+    };
+
+    let mut sequences = Vec::with_capacity(cfg.sentences);
+    for _ in 0..cfg.sentences {
+        let mut sent: Vec<ItemId> = Vec::with_capacity(24);
+        let clauses = 1 + rng.gen_range(0..3);
+        for c in 0..clauses {
+            if c > 0 {
+                sent.push(s.closed(&mut rng, &v.conjs));
+            }
+            match rng.gen_range(0..100) {
+                // Relational clause: ENT VERB+ NOUN? PREP? ENT (feeds N1/N2).
+                0..=17 => {
+                    sent.push(s.entity(&mut rng, &v));
+                    sent.push(s.rel_word(&mut rng, &v.verbs));
+                    if rng.gen_bool(0.25) {
+                        sent.push(s.rel_word(&mut rng, &v.verbs));
+                    }
+                    if rng.gen_bool(0.35) {
+                        sent.push(s.rel_word(&mut rng, &v.nouns));
+                    }
+                    if rng.gen_bool(0.35) {
+                        sent.push(s.closed(&mut rng, &v.preps));
+                    }
+                    sent.push(s.entity(&mut rng, &v));
+                }
+                // Copular clause: ENT be DET? ADV? ADJ? NOUN (feeds N3).
+                18..=29 => {
+                    sent.push(s.entity(&mut rng, &v));
+                    sent.push(v.be_forms[rng.gen_range(0..v.be_forms.len())]);
+                    if rng.gen_bool(0.6) {
+                        sent.push(s.closed(&mut rng, &v.dets));
+                    }
+                    if rng.gen_bool(0.25) {
+                        sent.push(s.word(&mut rng, &v.advs));
+                    }
+                    if rng.gen_bool(0.5) {
+                        sent.push(s.word(&mut rng, &v.adjs));
+                    }
+                    sent.push(s.word(&mut rng, &v.nouns));
+                }
+                // Plain clause: NP VP NP PP? (feeds N4/N5 n-grams).
+                _ => {
+                    sent.push(s.closed(&mut rng, &v.dets));
+                    if rng.gen_bool(0.35) {
+                        sent.push(s.word(&mut rng, &v.adjs));
+                    }
+                    sent.push(s.word(&mut rng, &v.nouns));
+                    if rng.gen_bool(0.2) {
+                        sent.push(s.closed(&mut rng, &v.prons));
+                    }
+                    sent.push(s.word(&mut rng, &v.verbs));
+                    if rng.gen_bool(0.3) {
+                        sent.push(s.word(&mut rng, &v.advs));
+                    }
+                    sent.push(s.closed(&mut rng, &v.dets));
+                    sent.push(s.word(&mut rng, &v.nouns));
+                    if rng.gen_bool(0.55) {
+                        sent.push(s.closed(&mut rng, &v.preps));
+                        sent.push(s.closed(&mut rng, &v.dets));
+                        sent.push(s.word(&mut rng, &v.nouns));
+                    }
+                }
+            }
+        }
+        sequences.push(sent);
+    }
+
+    b.freeze(&SequenceDb::new(sequences)).expect("generated hierarchy is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_shape_matches_nyt() {
+        let (dict, db) = nyt_like(&NytConfig::new(500));
+        assert_eq!(db.len(), 500);
+        // word → lemma → POS gives 3 ancestors for open-class words,
+        // entity → type → ENTITY for entities.
+        assert!(dict.max_ancestors() >= 3);
+        let m = dict.mean_ancestors();
+        assert!(m > 1.8 && m < 3.5, "mean ancestors {m}");
+        // Sentence lengths resemble news text.
+        let len = db.mean_len();
+        assert!(len > 6.0 && len < 30.0, "mean length {len}");
+    }
+
+    #[test]
+    fn entity_hierarchy_wired() {
+        let (dict, _) = nyt_like(&NytConfig::new(100));
+        let ent = dict.id_of("ENTITY").unwrap();
+        let per = dict.id_of("PER").unwrap();
+        let per0 = dict.id_of("per0").unwrap();
+        assert!(dict.is_ancestor(ent, per0));
+        assert!(dict.is_ancestor(per, per0));
+        let be = dict.id_of("be").unwrap();
+        let was = dict.id_of("was").unwrap();
+        assert!(dict.is_ancestor(be, was));
+        assert!(dict.is_ancestor(dict.id_of("VERB").unwrap(), was));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (d1, db1) = nyt_like(&NytConfig::new(50));
+        let (d2, db2) = nyt_like(&NytConfig::new(50));
+        assert_eq!(db1, db2);
+        assert_eq!(d1.len(), d2.len());
+    }
+
+    #[test]
+    fn n_constraints_find_patterns() {
+        use desq_dist::patterns;
+        let (dict, db) = nyt_like(&NytConfig::new(800));
+        for c in patterns::nyt_constraints() {
+            let fst = c.compile(&dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+            let out = desq_miner::desq_dfs(&db, &fst, &dict, 4);
+            assert!(!out.is_empty(), "{} finds nothing", c.name);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Dataset characteristics — the rows of Tab. II.
+
+use desq_core::fx::FxHashSet;
+use desq_core::{Dictionary, SequenceDb};
+
+/// The statistics the paper reports per dataset (Tab. II).
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Total sequences.
+    pub sequences: usize,
+    /// Total items across sequences.
+    pub total_items: usize,
+    /// Distinct items occurring in the data.
+    pub unique_items: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+    /// Mean sequence length.
+    pub mean_len: f64,
+    /// Items in the hierarchy (vocabulary size).
+    pub hierarchy_items: usize,
+    /// Maximum ancestors per item (including self).
+    pub max_ancestors: usize,
+    /// Mean ancestors per item (including self).
+    pub mean_ancestors: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a frozen dataset.
+    pub fn compute(dict: &Dictionary, db: &SequenceDb) -> DatasetStats {
+        let mut unique: FxHashSet<u32> = FxHashSet::default();
+        for seq in &db.sequences {
+            unique.extend(seq.iter().copied());
+        }
+        DatasetStats {
+            sequences: db.len(),
+            total_items: db.total_items(),
+            unique_items: unique.len(),
+            max_len: db.max_len(),
+            mean_len: db.mean_len(),
+            hierarchy_items: dict.len(),
+            max_ancestors: dict.max_ancestors(),
+            mean_ancestors: dict.mean_ancestors(),
+        }
+    }
+
+    /// Renders one row of the Tab. II reproduction.
+    pub fn row(&self, name: &str) -> String {
+        format!(
+            "{name:<8} {:>10} {:>12} {:>10} {:>8} {:>8.1} {:>12} {:>6} {:>6.1}",
+            self.sequences,
+            self.total_items,
+            self.unique_items,
+            self.max_len,
+            self.mean_len,
+            self.hierarchy_items,
+            self.max_ancestors,
+            self.mean_ancestors,
+        )
+    }
+
+    /// The header matching [`DatasetStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<8} {:>10} {:>12} {:>10} {:>8} {:>8} {:>12} {:>6} {:>6}",
+            "dataset",
+            "sequences",
+            "total-items",
+            "uniq-items",
+            "max-len",
+            "mean-len",
+            "hier-items",
+            "max-anc",
+            "mean-anc",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nyt::{nyt_like, NytConfig};
+
+    #[test]
+    fn stats_are_consistent() {
+        let (dict, db) = nyt_like(&NytConfig::new(200));
+        let s = DatasetStats::compute(&dict, &db);
+        assert_eq!(s.sequences, 200);
+        assert!(s.total_items > 0);
+        assert!(s.unique_items <= s.hierarchy_items);
+        assert!(s.max_len >= s.mean_len as usize);
+        assert!(s.max_ancestors >= s.mean_ancestors as usize);
+        let row = s.row("NYT");
+        assert!(row.starts_with("NYT"));
+        assert_eq!(
+            DatasetStats::header().split_whitespace().count(),
+            row.split_whitespace().count()
+        );
+    }
+}

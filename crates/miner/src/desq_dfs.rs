@@ -1,0 +1,453 @@
+//! DESQ-DFS: pattern growth over `(sequence, position, state)` projections.
+//!
+//! Mining starts with the empty prefix and expands it by one output item at
+//! a time, forming a search tree (Fig. 6 of the paper). Each node holds a
+//! *projected database*: snapshots `(T, i, q)` from which the prefix can be
+//! produced — sequence `T`, last-read position `i`, current FST state `q`.
+//! Expanding a node resumes FST simulation from every snapshot: transitions
+//! with ε output are followed silently; the first transition that produces
+//! output extends the prefix.
+//!
+//! A prefix is *emitted* when enough (weighted) sequences can complete it —
+//! i.e. consume their remaining items with ε output and end in a final
+//! state. A node is *expanded* while enough sequences remain in its
+//! projection (prefix support is antimonotone; π-support is not).
+//!
+//! [`LocalMiner`] adds the partition-local restrictions of D-SEQ
+//! (Sec. V-C): at partition `P_k` no expansion uses items `> k`, only pivot
+//! sequences (max item = `k`) are emitted, and the *early stopping*
+//! heuristic drops snapshots that can no longer produce the pivot item.
+
+use desq_core::fst::{Grid, OutputLabel};
+use desq_core::fx::FxHashMap;
+use desq_core::{Dictionary, Fst, ItemId, Sequence, SequenceDb};
+
+/// Configuration of a [`LocalMiner`].
+#[derive(Debug, Clone, Copy)]
+pub struct MinerConfig {
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// If set, expansions never use items greater than this (item-based
+    /// partitioning: partition `P_k` owns no sequence with items `> k`).
+    pub max_item: Option<ItemId>,
+    /// If set, only sequences containing this item (their pivot, given
+    /// `max_item = Some(k)`) are emitted.
+    pub require_pivot: Option<ItemId>,
+    /// Early-stopping heuristic (Sec. V-C): per input sequence, determine
+    /// the last position that can produce the pivot item and stop using the
+    /// sequence for non-pivot prefixes beyond it. Only effective when
+    /// `require_pivot` is set.
+    pub early_stop: bool,
+    /// Largest fid considered frequent. `None` derives it from `sigma` and
+    /// the dictionary's f-list; distributed callers pass the value computed
+    /// on the *global* database, which stays correct when local inputs are
+    /// weighted aggregates.
+    pub last_frequent: Option<ItemId>,
+}
+
+impl MinerConfig {
+    /// Unrestricted sequential mining at threshold `sigma`.
+    pub fn sequential(sigma: u64) -> MinerConfig {
+        MinerConfig {
+            sigma,
+            max_item: None,
+            require_pivot: None,
+            early_stop: false,
+            last_frequent: None,
+        }
+    }
+
+    /// Partition-local mining for pivot `k` (used by D-SEQ).
+    pub fn for_pivot(sigma: u64, k: ItemId, early_stop: bool) -> MinerConfig {
+        MinerConfig {
+            sigma,
+            max_item: Some(k),
+            require_pivot: Some(k),
+            early_stop,
+            last_frequent: None,
+        }
+    }
+
+    /// Overrides the frequent-item boundary (see `last_frequent`).
+    pub fn with_last_frequent(mut self, fid: ItemId) -> MinerConfig {
+        self.last_frequent = Some(fid);
+        self
+    }
+}
+
+/// Pattern-growth miner over a set of weighted input sequences.
+pub struct LocalMiner<'a> {
+    fst: &'a Fst,
+    dict: &'a Dictionary,
+    config: MinerConfig,
+}
+
+/// One projected-database snapshot: (input index, last-read position, state).
+type Snapshot = (u32, u32, u32);
+
+/// Per-sequence simulation tables, computed once per input sequence.
+struct SeqCtx {
+    weight: u64,
+    grid: Grid,
+    /// `eps_fin[i * |Q| + q]`: from `(i, q)`, the rest of the sequence can be
+    /// consumed producing only ε, ending in a final state.
+    eps_fin: Vec<bool>,
+    num_states: usize,
+    len: usize,
+    /// Last position that can output the pivot item (`usize::MAX` = none).
+    last_pivot_pos: usize,
+}
+
+impl<'a> LocalMiner<'a> {
+    /// Creates a miner for the given FST and dictionary.
+    pub fn new(fst: &'a Fst, dict: &'a Dictionary, config: MinerConfig) -> Self {
+        LocalMiner { fst, dict, config }
+    }
+
+    /// Mines the weighted input collection; returns `(pattern, frequency)`
+    /// pairs sorted lexicographically.
+    pub fn mine(&self, inputs: &[(Sequence, u64)]) -> Vec<(Sequence, u64)> {
+        let ctxs: Vec<SeqCtx> = inputs
+            .iter()
+            .map(|(seq, w)| self.prepare(seq, *w))
+            .collect();
+
+        // Root projection: every accepted sequence at (0, initial).
+        let mut root: Vec<Snapshot> = Vec::new();
+        for (idx, ctx) in ctxs.iter().enumerate() {
+            if ctx.grid.accepts() {
+                root.push((idx as u32, 0, self.fst.initial()));
+            }
+        }
+
+        let mut out = Vec::new();
+        let mut prefix: Sequence = Vec::new();
+        self.expand(inputs, &ctxs, &root, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    fn prepare(&self, seq: &[ItemId], weight: u64) -> SeqCtx {
+        let grid = Grid::build(self.fst, self.dict, seq);
+        let n = seq.len();
+        let q = self.fst.num_states();
+        let mut eps_fin = vec![false; (n + 1) * q];
+        for s in 0..q as u32 {
+            eps_fin[n * q + s as usize] = self.fst.is_final(s);
+        }
+        for i in (0..n).rev() {
+            for s in 0..q as u32 {
+                let ok = self.fst.transitions(s).iter().any(|tr| {
+                    matches!(tr.output, OutputLabel::None)
+                        && tr.matches(seq[i], self.dict)
+                        && eps_fin[(i + 1) * q + tr.to as usize]
+                });
+                eps_fin[i * q + s as usize] = ok;
+            }
+        }
+        let last_pivot_pos = match (self.config.require_pivot, self.config.early_stop) {
+            (Some(k), true) => self
+                .fst
+                .last_pivot_position(seq, k, self.dict)
+                .unwrap_or(usize::MAX),
+            _ => usize::MAX,
+        };
+        SeqCtx { weight, grid, eps_fin, num_states: q, len: n, last_pivot_pos }
+    }
+
+    /// Weighted count of distinct sequences with a snapshot satisfying `pred`.
+    fn weighted_distinct(
+        ctxs: &[SeqCtx],
+        snaps: &[Snapshot],
+        mut pred: impl FnMut(&SeqCtx, u32, u32) -> bool,
+    ) -> u64 {
+        // Snapshots are sorted by sequence index.
+        let mut total = 0u64;
+        let mut last: Option<u32> = None;
+        for &(s, i, q) in snaps {
+            if last == Some(s) {
+                continue;
+            }
+            if pred(&ctxs[s as usize], i, q) {
+                total += ctxs[s as usize].weight;
+                last = Some(s);
+            }
+        }
+        total
+    }
+
+    fn expand(
+        &self,
+        inputs: &[(Sequence, u64)],
+        ctxs: &[SeqCtx],
+        snaps: &[Snapshot],
+        prefix: &mut Sequence,
+        out: &mut Vec<(Sequence, u64)>,
+    ) {
+        // Emit the prefix if enough sequences can complete it with ε output.
+        if !prefix.is_empty() {
+            let support = Self::weighted_distinct(ctxs, snaps, |ctx, i, q| {
+                ctx.eps_fin[i as usize * ctx.num_states + q as usize]
+            });
+            if support >= self.config.sigma {
+                let pivot_ok = match self.config.require_pivot {
+                    Some(k) => prefix.contains(&k),
+                    None => true,
+                };
+                if pivot_ok {
+                    out.push((prefix.clone(), support));
+                }
+            }
+        }
+
+        // Build children: resume simulation from every snapshot, following
+        // ε-output transitions silently until an output-producing transition
+        // extends the prefix.
+        let max_item = self.config.max_item.unwrap_or(ItemId::MAX);
+        let last_frequent = self
+            .config
+            .last_frequent
+            .unwrap_or_else(|| self.dict.last_frequent(self.config.sigma));
+        let prefix_has_pivot = match self.config.require_pivot {
+            Some(k) => prefix.contains(&k),
+            None => true,
+        };
+
+        let mut children: FxHashMap<ItemId, Vec<Snapshot>> = FxHashMap::default();
+        let mut outbuf: Vec<ItemId> = Vec::new();
+        // ε-walk worklist and visited set, reused across snapshots.
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        let mut visited: Vec<(u32, u32)> = Vec::new();
+
+        for &(s, i0, q0) in snaps {
+            let ctx = &ctxs[s as usize];
+            let seq = &inputs[s as usize].0;
+            stack.clear();
+            visited.clear();
+            stack.push((i0, q0));
+            visited.push((i0, q0));
+            while let Some((i, q)) = stack.pop() {
+                let i_us = i as usize;
+                if i_us == ctx.len {
+                    continue;
+                }
+                for tr in self.fst.transitions(q) {
+                    if !tr.matches(seq[i_us], self.dict) {
+                        continue;
+                    }
+                    if !ctx.grid.is_alive(i_us + 1, tr.to) {
+                        continue;
+                    }
+                    if matches!(tr.output, OutputLabel::None) {
+                        let coord = (i + 1, tr.to);
+                        if !visited.contains(&coord) {
+                            visited.push(coord);
+                            stack.push(coord);
+                        }
+                        continue;
+                    }
+                    outbuf.clear();
+                    tr.outputs(seq[i_us], self.dict, &mut outbuf);
+                    for &w in &outbuf {
+                        // fids are frequency ranks: w is frequent iff
+                        // w <= last_frequent.
+                        if w > max_item || w > last_frequent {
+                            continue;
+                        }
+                        // Early stopping: if neither the prefix nor this
+                        // expansion contains the pivot and no later position
+                        // can produce it, the snapshot is useless.
+                        if let Some(k) = self.config.require_pivot {
+                            if self.config.early_stop
+                                && !prefix_has_pivot
+                                && w != k
+                                && i_us >= ctx.last_pivot_pos
+                            {
+                                continue;
+                            }
+                        }
+                        children.entry(w).or_default().push((s, i + 1, tr.to));
+                    }
+                }
+            }
+        }
+
+        // Deterministic order; dedup snapshots; recurse while the prefix
+        // support bound σ can still be met.
+        let mut items: Vec<ItemId> = children.keys().copied().collect();
+        items.sort_unstable();
+        for w in items {
+            let mut snaps = children.remove(&w).unwrap();
+            snaps.sort_unstable();
+            snaps.dedup();
+            let prefix_support = Self::weighted_distinct(ctxs, &snaps, |_, _, _| true);
+            if prefix_support < self.config.sigma {
+                continue;
+            }
+            prefix.push(w);
+            self.expand(inputs, ctxs, &snaps, prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// Sequential DESQ-DFS over a whole database (each sequence has weight 1).
+pub fn desq_dfs(
+    db: &SequenceDb,
+    fst: &Fst,
+    dict: &Dictionary,
+    sigma: u64,
+) -> Vec<(Sequence, u64)> {
+    let inputs: Vec<(Sequence, u64)> =
+        db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+    LocalMiner::new(fst, dict, MinerConfig::sequential(sigma)).mine(&inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desq_count;
+    use desq_core::toy;
+
+    #[test]
+    fn matches_paper_result_on_toy() {
+        let fx = toy::fixture();
+        let out = desq_dfs(&fx.db, &fx.fst, &fx.dict, 2);
+        let rendered: Vec<(String, u64)> =
+            out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("a1 b".to_string(), 3),
+                ("a1 A b".to_string(), 2),
+                ("a1 a1 b".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn agrees_with_desq_count_across_sigmas() {
+        let fx = toy::fixture();
+        for sigma in 1..=5 {
+            let dfs = desq_dfs(&fx.db, &fx.fst, &fx.dict, sigma);
+            let cnt = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            assert_eq!(dfs, cnt, "sigma = {sigma}");
+        }
+    }
+
+    #[test]
+    fn pivot_restricted_mining_matches_fig6() {
+        // Partition P_a1 of the paper's Fig. 6 yields a1 a1 b, a1 A b, a1 b.
+        let fx = toy::fixture();
+        let inputs: Vec<(Sequence, u64)> =
+            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let miner =
+            LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(2, fx.a1, false));
+        let out = miner.mine(&inputs);
+        let rendered: Vec<(String, u64)> =
+            out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("a1 b".to_string(), 3),
+                ("a1 A b".to_string(), 2),
+                ("a1 a1 b".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn pivot_partition_c_is_empty_at_sigma2() {
+        // All candidates with pivot c occur only in T1, so nothing is
+        // frequent at σ = 2 in partition P_c (paper Fig. 3: P_c mines
+        // nothing; a1 b would be found but has pivot a1 < c and must not be
+        // emitted here).
+        let fx = toy::fixture();
+        let inputs: Vec<(Sequence, u64)> =
+            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        for early_stop in [false, true] {
+            let miner = LocalMiner::new(
+                &fx.fst,
+                &fx.dict,
+                MinerConfig::for_pivot(2, fx.c, early_stop),
+            );
+            assert!(miner.mine(&inputs).is_empty(), "early_stop = {early_stop}");
+        }
+    }
+
+    #[test]
+    fn early_stopping_does_not_change_results() {
+        let fx = toy::fixture();
+        let inputs: Vec<(Sequence, u64)> =
+            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        for sigma in 1..=3 {
+            for k in 1..=fx.dict.max_fid() {
+                let plain = LocalMiner::new(
+                    &fx.fst,
+                    &fx.dict,
+                    MinerConfig::for_pivot(sigma, k, false),
+                )
+                .mine(&inputs);
+                let stopped = LocalMiner::new(
+                    &fx.fst,
+                    &fx.dict,
+                    MinerConfig::for_pivot(sigma, k, true),
+                )
+                .mine(&inputs);
+                assert_eq!(plain, stopped, "sigma={sigma} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_pivot_partitions_equals_sequential_result() {
+        // Item-based partitioning correctness: every frequent sequence is
+        // found in exactly one partition.
+        let fx = toy::fixture();
+        let inputs: Vec<(Sequence, u64)> =
+            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        for sigma in 1..=4 {
+            let mut union: Vec<(Sequence, u64)> = Vec::new();
+            for k in 1..=fx.dict.max_fid() {
+                let part = LocalMiner::new(
+                    &fx.fst,
+                    &fx.dict,
+                    MinerConfig::for_pivot(sigma, k, true),
+                )
+                .mine(&inputs);
+                union.extend(part);
+            }
+            union.sort();
+            let seq = desq_dfs(&fx.db, &fx.fst, &fx.dict, sigma);
+            assert_eq!(union, seq, "sigma = {sigma}");
+        }
+    }
+
+    #[test]
+    fn weights_scale_support() {
+        let fx = toy::fixture();
+        let inputs: Vec<(Sequence, u64)> =
+            fx.db.sequences.iter().map(|s| (s.clone(), 10)).collect();
+        // Weights are rescaled ×10, so keep the item filter of the
+        // unweighted database (σ_effective = 2).
+        let config = MinerConfig::sequential(20).with_last_frequent(fx.dict.last_frequent(2));
+        let out = LocalMiner::new(&fx.fst, &fx.dict, config).mine(&inputs);
+        let rendered: Vec<(String, u64)> =
+            out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("a1 b".to_string(), 30),
+                ("a1 A b".to_string(), 20),
+                ("a1 a1 b".to_string(), 20),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let fx = toy::fixture();
+        let out = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1)).mine(&[]);
+        assert!(out.is_empty());
+    }
+}

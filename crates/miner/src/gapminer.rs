@@ -1,0 +1,254 @@
+//! Gap-constrained pattern growth with optional hierarchy generalization —
+//! the local miner of MG-FSM and LASH.
+//!
+//! Mines sequences `S = s1...sk` with `min_len <= k <= max_len` such that
+//! there are positions `i1 < ... < ik` in the input with
+//! `i_{j+1} - i_j - 1 <= gamma` (at most γ uncaptured items between
+//! consecutive matches) and `t_{i_j}` generalizes to `s_j` (with
+//! `generalize = false`, items must match exactly). These are exactly the
+//! candidate sets of the paper's traditional constraints
+//! `T2(σ, γ, λ) = (.)[.{0,γ}(.)]{1,λ-1}` (no hierarchy) and
+//! `T3(σ, γ, λ) = (.^)[.{0,γ}(.^)]{1,λ-1}` (hierarchy), which is asserted by
+//! cross-validation tests against the FST-based miners.
+//!
+//! Like [`crate::LocalMiner`], the miner supports pivot restrictions so it
+//! can serve as the reduce phase of the LASH-style distributed baseline.
+
+use desq_core::fx::FxHashMap;
+use desq_core::{Dictionary, ItemId, Sequence, SequenceDb};
+
+/// Gap/length/hierarchy-constrained miner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GapMiner {
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// Maximum gap γ between consecutive matched positions.
+    pub gamma: usize,
+    /// Maximum pattern length λ.
+    pub max_len: usize,
+    /// Minimum pattern length (2 for the paper's T2/T3 constraints).
+    pub min_len: usize,
+    /// Generalize matched items along the hierarchy (LASH) or not (MG-FSM).
+    pub generalize: bool,
+    /// Expansions never use items greater than this (pivot partitioning).
+    pub max_item: Option<ItemId>,
+    /// Only emit sequences containing this item.
+    pub require_pivot: Option<ItemId>,
+}
+
+impl GapMiner {
+    /// Sequential miner for the T2/T3 constraint family.
+    pub fn new(sigma: u64, gamma: usize, max_len: usize, generalize: bool) -> GapMiner {
+        GapMiner {
+            sigma,
+            gamma,
+            max_len,
+            min_len: 2,
+            generalize,
+            max_item: None,
+            require_pivot: None,
+        }
+    }
+
+    /// Restricts the miner to pivot `k` (LASH partitions).
+    pub fn for_pivot(mut self, k: ItemId) -> GapMiner {
+        self.max_item = Some(k);
+        self.require_pivot = Some(k);
+        self
+    }
+
+    /// Mines a database (weight 1 per sequence).
+    pub fn mine(&self, db: &SequenceDb, dict: &Dictionary) -> Vec<(Sequence, u64)> {
+        let inputs: Vec<(Sequence, u64)> =
+            db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        self.mine_weighted(&inputs, dict)
+    }
+
+    /// Mines a weighted collection.
+    pub fn mine_weighted(
+        &self,
+        inputs: &[(Sequence, u64)],
+        dict: &Dictionary,
+    ) -> Vec<(Sequence, u64)> {
+        let mut out = Vec::new();
+        if self.max_len < self.min_len || self.sigma == 0 {
+            return out;
+        }
+        let last_frequent = dict.last_frequent(self.sigma);
+        // Root: match the first pattern item at any position.
+        let mut children: FxHashMap<ItemId, Vec<(u32, u32)>> = FxHashMap::default();
+        for (s, (seq, _)) in inputs.iter().enumerate() {
+            for (p, &t) in seq.iter().enumerate() {
+                self.outputs(t, dict, last_frequent, |w| {
+                    children.entry(w).or_default().push((s as u32, p as u32));
+                });
+            }
+        }
+        let mut prefix = Vec::new();
+        self.grow(inputs, dict, last_frequent, children, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    /// Emits the (filtered) output items for input item `t`.
+    fn outputs(
+        &self,
+        t: ItemId,
+        dict: &Dictionary,
+        last_frequent: ItemId,
+        mut f: impl FnMut(ItemId),
+    ) {
+        if t == desq_core::EPSILON {
+            // ε doubles as the blank symbol in LASH-style rewrites: it
+            // occupies a position (counts toward gaps) but never matches.
+            return;
+        }
+        let max_item = self.max_item.unwrap_or(ItemId::MAX);
+        if self.generalize {
+            for &a in dict.ancestors(t) {
+                if a <= last_frequent && a <= max_item {
+                    f(a);
+                }
+            }
+        } else if t <= last_frequent && t <= max_item {
+            f(t);
+        }
+    }
+
+    fn grow(
+        &self,
+        inputs: &[(Sequence, u64)],
+        dict: &Dictionary,
+        last_frequent: ItemId,
+        children: FxHashMap<ItemId, Vec<(u32, u32)>>,
+        prefix: &mut Sequence,
+        out: &mut Vec<(Sequence, u64)>,
+    ) {
+        let mut items: Vec<ItemId> = children.keys().copied().collect();
+        items.sort_unstable();
+        for w in items {
+            let mut entries = children[&w].clone();
+            entries.sort_unstable();
+            entries.dedup();
+            // Weighted support: distinct sequences present in the projection.
+            let mut support = 0u64;
+            let mut last = u32::MAX;
+            for &(s, _) in &entries {
+                if s != last {
+                    support += inputs[s as usize].1;
+                    last = s;
+                }
+            }
+            if support < self.sigma {
+                continue;
+            }
+            prefix.push(w);
+            if prefix.len() >= self.min_len {
+                let pivot_ok = match self.require_pivot {
+                    Some(k) => prefix.contains(&k),
+                    None => true,
+                };
+                if pivot_ok {
+                    out.push((prefix.clone(), support));
+                }
+            }
+            if prefix.len() < self.max_len {
+                // Next matches within gap γ of the previous position.
+                let mut next: FxHashMap<ItemId, Vec<(u32, u32)>> = FxHashMap::default();
+                for &(s, p) in &entries {
+                    let seq = &inputs[s as usize].0;
+                    let lo = p as usize + 1;
+                    let hi = (lo + self.gamma).min(seq.len().saturating_sub(1));
+                    for q in lo..=hi.min(seq.len().wrapping_sub(1)) {
+                        if q >= seq.len() {
+                            break;
+                        }
+                        self.outputs(seq[q], dict, last_frequent, |v| {
+                            next.entry(v).or_default().push((s, q as u32));
+                        });
+                    }
+                }
+                self.grow(inputs, dict, last_frequent, next, prefix, out);
+            }
+            prefix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desq_core::toy;
+
+    #[test]
+    fn gap_constraint_enforced() {
+        let fx = toy::fixture();
+        // T1 = a1 c d c b: with γ = 0 only adjacent pairs match.
+        let db = SequenceDb::new(vec![fx.db.sequences[0].clone()]);
+        let m = GapMiner::new(1, 0, 2, false);
+        let out = m.mine(&db, &fx.dict);
+        let rendered: Vec<String> = out.iter().map(|(s, _)| fx.dict.render(s)).collect();
+        assert_eq!(rendered, vec!["d c", "a1 c", "c b", "c d"]); // fid order
+    }
+
+    #[test]
+    fn larger_gap_allows_skips() {
+        let fx = toy::fixture();
+        let db = SequenceDb::new(vec![fx.db.sequences[0].clone()]); // a1 c d c b
+        let m = GapMiner::new(1, 1, 2, false);
+        let out = m.mine(&db, &fx.dict);
+        let rendered: Vec<String> = out.iter().map(|(s, _)| fx.dict.render(s)).collect();
+        // pairs with gap <= 1
+        assert!(rendered.contains(&"a1 d".to_string()));
+        assert!(rendered.contains(&"d b".to_string()));
+        assert!(!rendered.contains(&"a1 b".to_string()), "gap 3 > 1");
+    }
+
+    #[test]
+    fn hierarchy_generalization() {
+        let fx = toy::fixture();
+        // T5 = a1 a1 b, generalize: a1 → {a1, A}.
+        let db = SequenceDb::new(vec![fx.db.sequences[4].clone()]);
+        let m = GapMiner::new(1, 0, 2, true);
+        let out = m.mine(&db, &fx.dict);
+        let rendered: Vec<String> = out.iter().map(|(s, _)| fx.dict.render(s)).collect();
+        for want in ["a1 a1", "a1 A", "A a1", "A A", "a1 b", "A b"] {
+            assert!(rendered.contains(&want.to_string()), "missing {want}: {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn max_len_and_min_len() {
+        let fx = toy::fixture();
+        let db = SequenceDb::new(vec![fx.db.sequences[0].clone()]);
+        let mut m = GapMiner::new(1, 4, 3, false);
+        m.min_len = 3;
+        let out = m.mine(&db, &fx.dict);
+        assert!(out.iter().all(|(s, _)| s.len() == 3));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn pivot_restriction() {
+        let fx = toy::fixture();
+        let m = GapMiner::new(1, 1, 2, false).for_pivot(fx.d);
+        let out = m.mine(&fx.db, &fx.dict);
+        // every output contains d and nothing larger
+        for (s, _) in &out {
+            assert!(s.contains(&fx.d));
+            assert!(s.iter().all(|&w| w <= fx.d));
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn infrequent_items_never_expanded() {
+        let fx = toy::fixture();
+        // σ = 2: e (fid 6) and a2 (fid 7) are infrequent.
+        let m = GapMiner::new(2, 2, 3, true);
+        let out = m.mine(&fx.db, &fx.dict);
+        for (s, _) in &out {
+            assert!(s.iter().all(|&w| w <= 5), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # desq-miner
+//!
+//! Sequential frequent-sequence miners:
+//!
+//! * [`desq_dfs()`](desq_dfs()) — the DESQ-DFS pattern-growth algorithm over projected
+//!   databases of `(sequence, position, FST state)` snapshots. This is both
+//!   the sequential baseline of Tab. V and, through [`LocalMiner`]'s pivot
+//!   restrictions and early stopping, the local mining phase of D-SEQ
+//!   (Sec. V-C).
+//! * [`desq_count()`](desq_count()) — DESQ-COUNT: per-sequence candidate generation plus
+//!   counting; doubles as the brute-force reference implementation that all
+//!   other miners are validated against.
+//! * [`prefixspan`] — classic PrefixSpan (maximum-length constraint only,
+//!   arbitrary gaps, no hierarchy): the computation MLlib's distributed
+//!   PrefixSpan performs, used in the Fig. 13 comparison.
+//! * [`gapminer`] — pattern growth under maximum-gap / maximum-length /
+//!   hierarchy constraints: the local miner of MG-FSM and LASH (Fig. 12).
+
+pub mod desq_count;
+pub mod desq_dfs;
+pub mod gapminer;
+pub mod prefixspan;
+
+pub use desq_count::desq_count;
+pub use desq_dfs::{desq_dfs, LocalMiner, MinerConfig};
+pub use gapminer::GapMiner;
+pub use prefixspan::PrefixSpan;
+
+use desq_core::Sequence;
+
+/// Sorts mining output lexicographically (results of all miners are sets;
+/// sorting makes them comparable).
+pub fn sort_patterns(mut patterns: Vec<(Sequence, u64)>) -> Vec<(Sequence, u64)> {
+    patterns.sort();
+    patterns
+}

@@ -1,0 +1,156 @@
+//! PrefixSpan (Pei et al., ICDE '01) with a maximum-length constraint.
+//!
+//! Mines *all* subsequences (arbitrary gaps, no hierarchy) of length
+//! `1..=max_len` — the semantics of the paper's constraint
+//! `T1(σ, λ) = (.)[.*(.)]{,λ-1}` and of Spark MLlib's PrefixSpan. Uses
+//! pseudo-projection: a projected database is a list of
+//! `(sequence, suffix start)` pairs; support counting uses the first
+//! occurrence of each item in each suffix.
+
+use desq_core::fx::{FxHashMap, FxHashSet};
+use desq_core::{ItemId, Sequence, SequenceDb};
+
+/// PrefixSpan configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSpan {
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// Maximum pattern length λ.
+    pub max_len: usize,
+}
+
+impl PrefixSpan {
+    /// Creates a miner with threshold `sigma` and maximum length `max_len`.
+    pub fn new(sigma: u64, max_len: usize) -> PrefixSpan {
+        PrefixSpan { sigma, max_len }
+    }
+
+    /// Mines the database; returns `(pattern, frequency)` sorted
+    /// lexicographically.
+    pub fn mine(&self, db: &SequenceDb) -> Vec<(Sequence, u64)> {
+        self.mine_weighted(
+            &db.sequences.iter().map(|s| (s.clone(), 1)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mines a weighted collection (weights scale support counts).
+    pub fn mine_weighted(&self, inputs: &[(Sequence, u64)]) -> Vec<(Sequence, u64)> {
+        let mut out = Vec::new();
+        if self.max_len == 0 || self.sigma == 0 {
+            return out;
+        }
+        // Root projection: every sequence from position 0.
+        let proj: Vec<(u32, u32)> =
+            (0..inputs.len()).map(|i| (i as u32, 0)).collect();
+        let mut prefix = Vec::new();
+        self.expand(inputs, &proj, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    fn expand(
+        &self,
+        inputs: &[(Sequence, u64)],
+        proj: &[(u32, u32)],
+        prefix: &mut Sequence,
+        out: &mut Vec<(Sequence, u64)>,
+    ) {
+        // For each item: weighted support and the projected entries
+        // (first occurrence per sequence suffices for both).
+        let mut support: FxHashMap<ItemId, u64> = FxHashMap::default();
+        let mut children: FxHashMap<ItemId, Vec<(u32, u32)>> = FxHashMap::default();
+        let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+        for &(s, start) in proj {
+            let (seq, w) = &inputs[s as usize];
+            seen.clear();
+            for (ofs, &t) in seq[start as usize..].iter().enumerate() {
+                if seen.insert(t) {
+                    *support.entry(t).or_insert(0) += w;
+                    children
+                        .entry(t)
+                        .or_default()
+                        .push((s, start + ofs as u32 + 1));
+                }
+            }
+        }
+
+        let mut items: Vec<ItemId> = support
+            .iter()
+            .filter(|&(_, &f)| f >= self.sigma)
+            .map(|(&w, _)| w)
+            .collect();
+        items.sort_unstable();
+        for w in items {
+            prefix.push(w);
+            out.push((prefix.clone(), support[&w]));
+            if prefix.len() < self.max_len {
+                let child = &children[&w];
+                self.expand(inputs, child, prefix, out);
+            }
+            prefix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(seqs: &[&[ItemId]]) -> SequenceDb {
+        SequenceDb::new(seqs.iter().map(|s| s.to_vec()).collect())
+    }
+
+    #[test]
+    fn mines_all_subsequences_up_to_max_len() {
+        // D = { [1,2,3], [1,3], [2,3] }
+        let db = db(&[&[1, 2, 3], &[1, 3], &[2, 3]]);
+        let ps = PrefixSpan::new(2, 2);
+        let out = ps.mine(&db);
+        assert_eq!(
+            out,
+            vec![
+                (vec![1], 2),
+                (vec![1, 3], 2),
+                (vec![2], 2),
+                (vec![2, 3], 2),
+                (vec![3], 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn max_len_limits_depth() {
+        let db = db(&[&[1, 2, 3], &[1, 2, 3]]);
+        let out1 = PrefixSpan::new(2, 1).mine(&db);
+        assert!(out1.iter().all(|(s, _)| s.len() == 1));
+        let out3 = PrefixSpan::new(2, 3).mine(&db);
+        assert!(out3.contains(&(vec![1, 2, 3], 2)));
+    }
+
+    #[test]
+    fn gaps_are_arbitrary() {
+        let db = db(&[&[1, 9, 9, 9, 2], &[1, 2]]);
+        let out = PrefixSpan::new(2, 2).mine(&db);
+        assert!(out.contains(&(vec![1, 2], 2)));
+    }
+
+    #[test]
+    fn repeated_items_counted_once_per_sequence() {
+        let db = db(&[&[5, 5, 5], &[5]]);
+        let out = PrefixSpan::new(2, 1).mine(&db);
+        assert_eq!(out, vec![(vec![5], 2)]);
+    }
+
+    #[test]
+    fn weights_scale_support() {
+        let inputs = vec![(vec![1, 2], 3u64), (vec![1], 2)];
+        let out = PrefixSpan::new(5, 2).mine_weighted(&inputs);
+        assert_eq!(out, vec![(vec![1], 5)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(PrefixSpan::new(1, 3).mine(&SequenceDb::default()).is_empty());
+        assert!(PrefixSpan::new(1, 0).mine(&db(&[&[1]])).is_empty());
+    }
+}

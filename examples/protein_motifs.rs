@@ -1,0 +1,67 @@
+//! Mining protein sequences that exhibit a given motif — one of the
+//! motivating applications for regular-expression constraints cited by the
+//! paper (Trasarti et al., ICDM '08).
+//!
+//! Amino-acid sequences have no item hierarchy; a *motif* constrains which
+//! subsequences are of interest, e.g. "an N-glycosylation-like site:
+//! N, anything but P, then S or T" — and we mine which concrete residues
+//! fill the variable positions frequently.
+//!
+//! Run with: `cargo run --release --example protein_motifs`
+
+use desq::bsp::Engine;
+use desq::core::{DictionaryBuilder, SequenceDb};
+use desq::dist::{d_cand, patterns::compile_unanchored, DCandConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const AMINO_ACIDS: &[&str] = &[
+    "A", "R", "N", "D", "C", "Q", "E", "G", "H", "I", "L", "K", "M", "F", "P", "S", "T", "W",
+    "Y", "V",
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic proteome: random residue chains with an embedded
+    // N-x-S/T-rich family.
+    let mut b = DictionaryBuilder::new();
+    let ids: Vec<u32> = AMINO_ACIDS.iter().map(|a| b.item(a)).collect();
+    let n_id = b.id_of("N").unwrap();
+    let s_id = b.id_of("S").unwrap();
+    let t_id = b.id_of("T").unwrap();
+    let g_id = b.id_of("G").unwrap();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut proteins = Vec::new();
+    for _ in 0..20_000 {
+        let len = rng.gen_range(20..60);
+        let mut p: Vec<u32> = (0..len).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+        // 40% of proteins carry the motif N-G-S or N-G-T somewhere.
+        if rng.gen_bool(0.4) {
+            let at = rng.gen_range(0..len - 3);
+            p[at] = n_id;
+            p[at + 1] = g_id;
+            p[at + 2] = if rng.gen_bool(0.5) { s_id } else { t_id };
+        }
+        proteins.push(p);
+    }
+    let (dict, db) = b.freeze(&SequenceDb::new(proteins))?;
+
+    // The motif constraint: N, one arbitrary (captured) residue, then S or T
+    // — mined with exact-match items (no hierarchy to generalize along).
+    let motif = "N=(.)[S=|T=]";
+    let fst = compile_unanchored(motif, &dict)?;
+
+    let engine = Engine::new(4);
+    let parts = db.partition(8);
+    let res = d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(50))?;
+    println!("motif `{motif}` across {} proteins:", db.len());
+    let mut top: Vec<_> = res.patterns.iter().collect();
+    top.sort_by_key(|(_, f)| std::cmp::Reverse(*f));
+    for (pattern, freq) in top.iter().take(10) {
+        println!("  N-{}-[S/T]   {freq}", dict.render(pattern));
+    }
+    // The planted G should dominate the variable position.
+    assert_eq!(dict.render(&top[0].0), "G");
+    println!("\nthe planted glycine dominates, as designed — motif mining works.");
+    Ok(())
+}

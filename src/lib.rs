@@ -1,0 +1,31 @@
+//! # desq
+//!
+//! Facade crate for the Rust reproduction of *Scalable Frequent Sequence
+//! Mining with Flexible Subsequence Constraints* (ICDE 2019): distributed
+//! frequent sequence mining with DESQ-style flexible subsequence constraints
+//! via the **D-SEQ** and **D-CAND** algorithms.
+//!
+//! This crate re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — the DESQ model: dictionaries/hierarchies, pattern
+//!   expressions, finite-state transducers, candidate generation.
+//! * [`miner`] — sequential miners (DESQ-DFS, DESQ-COUNT, PrefixSpan,
+//!   gap-constrained mining).
+//! * [`bsp`] — the thread-backed bulk-synchronous-parallel engine with
+//!   byte-accurate shuffle accounting.
+//! * [`dist`] — the paper's contribution: D-SEQ, D-CAND and the NAÏVE /
+//!   SEMI-NAÏVE baselines, plus the constraint library of Tab. III.
+//! * [`baselines`] — specialized scalable miners (LASH/MG-FSM-style,
+//!   MLlib-style PrefixSpan) used in the paper's comparisons.
+//! * [`datagen`] — synthetic analogs of the NYT / AMZN / AMZN-F / CW50
+//!   corpora.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
+//! system inventory.
+
+pub use desq_baselines as baselines;
+pub use desq_bsp as bsp;
+pub use desq_core as core;
+pub use desq_datagen as datagen;
+pub use desq_dist as dist;
+pub use desq_miner as miner;

@@ -1,0 +1,159 @@
+//! Edge cases and failure injection across the public API.
+
+use desq::bsp::Engine;
+use desq::core::{toy, DictionaryBuilder, Error, Fst, PatEx, Sequence, SequenceDb};
+use desq::dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig};
+use desq::miner::{desq_count, desq_dfs};
+
+#[test]
+fn empty_database() {
+    let fx = toy::fixture();
+    let empty = SequenceDb::default();
+    let engine = Engine::new(2);
+    let parts = empty.partition(2);
+    for res in [
+        d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(1)).unwrap(),
+        d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(1)).unwrap(),
+        naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(1)).unwrap(),
+    ] {
+        assert!(res.patterns.is_empty());
+        assert_eq!(res.metrics.shuffle_bytes, 0);
+    }
+}
+
+#[test]
+fn sigma_above_database_size() {
+    let fx = toy::fixture();
+    let engine = Engine::new(2);
+    let parts = fx.db.partition(2);
+    let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(100)).unwrap();
+    assert!(res.patterns.is_empty());
+}
+
+#[test]
+fn empty_sequences_in_database() {
+    let fx = toy::fixture();
+    let mut db = fx.db.clone();
+    db.sequences.push(Vec::new());
+    db.sequences.insert(0, Vec::new());
+    let engine = Engine::new(2);
+    let parts = db.partition(3);
+    let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+    let reference = desq_count(&db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
+    assert_eq!(res.patterns, reference);
+    assert_eq!(res.patterns.len(), 3);
+}
+
+#[test]
+fn pattern_that_matches_everything_vs_nothing() {
+    let fx = toy::fixture();
+    // Matches every sequence, outputs nothing: no frequent sequences.
+    let all = Fst::compile(&PatEx::parse(".*").unwrap(), &fx.dict).unwrap();
+    assert!(desq_dfs(&fx.db, &all, &fx.dict, 1).is_empty());
+    // Matches nothing (item 'e' exactly at the start, twice... T2 starts
+    // with e e, so pick something absent).
+    let none = Fst::compile(&PatEx::parse("(c=)(c=)(c=)(c=)(c=)(c=)").unwrap(), &fx.dict)
+        .unwrap();
+    assert!(desq_dfs(&fx.db, &none, &fx.dict, 1).is_empty());
+}
+
+#[test]
+fn capture_of_whole_sequence() {
+    let fx = toy::fixture();
+    // `(.)*` captures every item: every full sequence of frequent items is
+    // its own candidate... along with all ways to have matched. Anchored
+    // compile (no unanchored wrap) — candidates are exactly the full input
+    // sequences consisting of frequent items.
+    let fst = Fst::compile(&PatEx::parse("[(.)]*").unwrap(), &fx.dict).unwrap();
+    let out = desq_dfs(&fx.db, &fst, &fx.dict, 1);
+    // T5 = a1 a1 b appears once; T3 = c d c b once; T1 once; (T2, T4 have
+    // infrequent items at σ=1? no — σ=1 keeps everything, so all five).
+    assert!(out.iter().any(|(s, f)| *f == 1 && *s == fx.db.sequences[4]));
+    assert_eq!(out.len(), 5, "{out:?}");
+}
+
+#[test]
+fn deep_hierarchy_generalization() {
+    // A chain hierarchy of depth 12: a0 => a1 => ... => a11.
+    let mut b = DictionaryBuilder::new();
+    for i in 0..12 {
+        b.item(&format!("a{i}"));
+    }
+    for i in 0..11 {
+        b.edge(&format!("a{i}"), &format!("a{}", i + 1));
+    }
+    let leaf = b.id_of("a0").unwrap();
+    let db = SequenceDb::new(vec![vec![leaf], vec![leaf]]);
+    let (dict, db) = b.freeze(&db).unwrap();
+    let fst = Fst::compile(&PatEx::parse("(.^)").unwrap(), &dict).unwrap();
+    let out = desq_dfs(&db, &fst, &dict, 2);
+    // Every generalization level is a frequent pattern of support 2.
+    assert_eq!(out.len(), 12);
+    assert!(out.iter().all(|(s, f)| s.len() == 1 && *f == 2));
+}
+
+#[test]
+fn weights_and_duplicates_in_database() {
+    // The paper assumes distinct input sequences; the implementation must
+    // count duplicates separately anyway.
+    let fx = toy::fixture();
+    let mut db = fx.db.clone();
+    db.sequences.push(fx.db.sequences[4].clone()); // duplicate T5
+    let reference = desq_count(&db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
+    let engine = Engine::new(2);
+    let parts = db.partition(2);
+    let ds = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+    assert_eq!(ds.patterns, reference);
+    // a1 a1 b now has support 3.
+    let a1a1b = vec![fx.a1, fx.a1, fx.b];
+    assert_eq!(reference.iter().find(|(s, _)| *s == a1a1b).unwrap().1, 3);
+}
+
+#[test]
+fn run_budget_zero_always_oom_for_matching_input() {
+    let fx = toy::fixture();
+    let engine = Engine::new(1);
+    let parts = fx.db.partition(1);
+    let err = d_cand(
+        &engine,
+        &parts,
+        &fx.fst,
+        &fx.dict,
+        DCandConfig::new(2).with_run_budget(0),
+    )
+    .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)));
+}
+
+#[test]
+fn unknown_items_in_pattern_surface_cleanly() {
+    let fx = toy::fixture();
+    let e = PatEx::parse("(NOPE)").unwrap();
+    match Fst::compile(&e, &fx.dict) {
+        Err(Error::UnknownItem(name)) => assert_eq!(name, "NOPE"),
+        other => panic!("expected UnknownItem, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_worker_engine_handles_many_partitions() {
+    let fx = toy::fixture();
+    let engine = Engine::new(1).with_reducers(16);
+    let parts: Vec<&[Sequence]> =
+        fx.db.sequences.iter().map(std::slice::from_ref).collect();
+    let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+    assert_eq!(res.patterns.len(), 3);
+    assert_eq!(res.metrics.reducer_bytes.len(), 16);
+}
+
+#[test]
+fn corrupted_nfa_bytes_reported_as_decode_error() {
+    use desq::dist::dcand::nfa::Nfa;
+    // Flags byte with invalid bits set.
+    let err = Nfa::deserialize(&[0xff, 0x00]).unwrap_err();
+    assert!(matches!(err, Error::Decode(_)));
+    // Reference to a state that does not exist yet.
+    // HAS_SRC (1) with src = 9 on an empty automaton.
+    let err = Nfa::deserialize(&[0x01, 0x09, 0x01, 0x02]).unwrap_err();
+    assert!(matches!(err, Error::Decode(_)));
+}

@@ -1,0 +1,275 @@
+//! Property-based tests of the core invariants, on random hierarchies,
+//! databases and pattern expressions.
+
+use proptest::prelude::*;
+
+use desq::bsp::Engine;
+use desq::core::fst::candidates;
+use desq::core::{Dictionary, DictionaryBuilder, Fst, ItemId, PatEx, Sequence, SequenceDb};
+use desq::dist::dcand::merge_pivots;
+use desq::dist::dcand::nfa::TrieBuilder;
+use desq::dist::{d_cand, d_seq, DCandConfig, DSeqConfig, PivotSearch};
+use desq::miner::desq_count;
+
+const BUDGET: usize = 100_000;
+
+/// A random DAG dictionary over items `i0..i{n-1}` (edges only from later to
+/// earlier items — acyclic by construction), frozen over a random database.
+#[derive(Debug, Clone)]
+struct World {
+    dict: Dictionary,
+    db: SequenceDb,
+}
+
+fn arb_world() -> impl Strategy<Value = World> {
+    (3usize..7)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((1..n, 0..n), 0..n);
+            let seqs = proptest::collection::vec(
+                proptest::collection::vec(1..=n as ItemId, 0..7),
+                1..6,
+            );
+            (Just(n), edges, seqs)
+        })
+        .prop_map(|(n, edges, seqs)| {
+            let mut b = DictionaryBuilder::new();
+            for i in 0..n {
+                b.item(&format!("i{i}"));
+            }
+            for (child, parent) in edges {
+                if parent < child {
+                    b.edge(&format!("i{child}"), &format!("i{parent}"));
+                }
+            }
+            let (dict, db) = b.freeze(&SequenceDb::new(seqs)).unwrap();
+            World { dict, db }
+        })
+}
+
+fn arb_pexp(items: usize) -> impl Strategy<Value = PatEx> {
+    let leaf = prop_oneof![
+        (0..items).prop_map(|i| PatEx::Item {
+            name: format!("i{i}"),
+            exact: false,
+            up: false
+        }),
+        (0..items).prop_map(|i| PatEx::Item { name: format!("i{i}"), exact: true, up: false }),
+        (0..items).prop_map(|i| PatEx::Item { name: format!("i{i}"), exact: false, up: true }),
+        Just(PatEx::Dot { up: false }),
+        Just(PatEx::Dot { up: true }),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| PatEx::Capture(Box::new(e))),
+            inner.clone().prop_map(|e| PatEx::Star(Box::new(e))),
+            inner.clone().prop_map(|e| PatEx::Plus(Box::new(e))),
+            inner.clone().prop_map(|e| PatEx::Optional(Box::new(e))),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(PatEx::Concat),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(PatEx::Alt),
+            (inner, 0u32..2, 1u32..3).prop_map(|(e, mn, extra)| PatEx::Range {
+                inner: Box::new(e),
+                min: mn,
+                max: Some(mn + extra),
+            }),
+        ]
+    })
+}
+
+/// Brute-force pivot set of a run: pivots of every candidate in the
+/// Cartesian product of the output sets.
+fn pivots_by_product(sets: &[Vec<ItemId>]) -> Vec<ItemId> {
+    let mut out: Vec<ItemId> = Vec::new();
+    let mut idx = vec![0usize; sets.len()];
+    loop {
+        let max = idx.iter().zip(sets).map(|(&i, s)| s[i]).max().unwrap();
+        if !out.contains(&max) {
+            out.push(max);
+        }
+        // odometer
+        let mut d = 0;
+        loop {
+            if d == sets.len() {
+                out.sort_unstable();
+                return out;
+            }
+            idx[d] += 1;
+            if idx[d] < sets[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Th. 1: the ⊕ merge equals the brute-force pivot computation.
+    #[test]
+    fn pivot_merge_matches_cartesian_product(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(1u32..12, 1..4), 1..5)
+    ) {
+        let sets: Vec<Vec<ItemId>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().collect::<Vec<_>>())
+            .collect();
+        prop_assert_eq!(merge_pivots(&sets), pivots_by_product(&sets));
+    }
+
+    /// Pattern expressions render and re-parse to the same AST.
+    #[test]
+    fn pexp_display_parse_roundtrip(e in arb_pexp(4)) {
+        let shown = e.to_string();
+        let back = PatEx::parse(&shown).unwrap();
+        prop_assert_eq!(back, e, "display form: {}", shown);
+    }
+
+    /// The grid pivot search equals the definition (pivots of G^σ_π(T)),
+    /// and run-enumerated pivot search agrees.
+    #[test]
+    fn pivot_search_matches_definition(world in arb_world(), e in arb_pexp(4), sigma in 1u64..3) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // pattern references an absent item
+        };
+        let last = world.dict.last_frequent(sigma);
+        let search = PivotSearch::new(&fst, &world.dict, last);
+        for seq in &world.db.sequences {
+            let cands = match candidates::generate(&fst, &world.dict, seq, Some(sigma), BUDGET) {
+                Ok(c) => c,
+                Err(_) => continue, // exploded: skip this sequence
+            };
+            let mut expect: Vec<ItemId> =
+                cands.iter().map(|s| desq::core::sequence::pivot(s)).collect();
+            expect.sort_unstable();
+            expect.dedup();
+            let got: Vec<ItemId> = search.pivots(seq).iter().map(|p| p.item).collect();
+            prop_assert_eq!(&got, &expect, "seq {:?}", seq);
+            if let Ok(en) = search.pivots_enumerated(seq, BUDGET) {
+                prop_assert_eq!(&en, &expect, "enumerated, seq {:?}", seq);
+            }
+        }
+    }
+
+    /// D-SEQ's per-pivot rewriting preserves the pivot-k candidate sets
+    /// exactly (including the safety clamps for adversarial FSTs).
+    #[test]
+    fn rewriting_preserves_pivot_candidates(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let last = world.dict.last_frequent(sigma);
+        let search = PivotSearch::new(&fst, &world.dict, last);
+        for seq in &world.db.sequences {
+            let full = match candidates::generate(&fst, &world.dict, seq, Some(sigma), BUDGET) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            for pr in search.pivots(seq) {
+                let trimmed = seq[pr.first as usize..=pr.last as usize].to_vec();
+                let cut = match candidates::generate(
+                    &fst, &world.dict, &trimmed, Some(sigma), BUDGET,
+                ) {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let fk: std::collections::BTreeSet<&Sequence> = full
+                    .iter()
+                    .filter(|s| desq::core::sequence::pivot(s) == pr.item)
+                    .collect();
+                let ck: std::collections::BTreeSet<&Sequence> = cut
+                    .iter()
+                    .filter(|s| desq::core::sequence::pivot(s) == pr.item)
+                    .collect();
+                prop_assert_eq!(fk, ck, "pivot {} of {:?} (range {}..={})",
+                    pr.item, seq, pr.first, pr.last);
+            }
+        }
+    }
+
+    /// The full distributed algorithms agree with the brute-force reference
+    /// on random worlds and patterns.
+    #[test]
+    fn distributed_matches_reference(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let reference = match desq_count(&world.db, &fst, &world.dict, sigma, BUDGET) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // candidate explosion: skip
+        };
+        let engine = Engine::new(2);
+        let parts = world.db.partition(2);
+        let ds = d_seq(&engine, &parts, &fst, &world.dict, DSeqConfig::new(sigma)).unwrap();
+        prop_assert_eq!(&ds.patterns, &reference, "d_seq");
+        if let Ok(dc) = d_cand(
+            &engine, &parts, &fst, &world.dict,
+            DCandConfig::new(sigma).with_run_budget(BUDGET),
+        ) {
+            prop_assert_eq!(&dc.patterns, &reference, "d_cand");
+        }
+    }
+
+    /// NFA tries: minimization preserves the language and never grows;
+    /// serialization round-trips.
+    #[test]
+    fn nfa_invariants(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::btree_set(1u32..9, 1..3), 1..5),
+            1..6)
+    ) {
+        let paths: Vec<Vec<Vec<ItemId>>> = paths
+            .into_iter()
+            .map(|p| p.into_iter().map(|s| s.into_iter().collect()).collect())
+            .collect();
+        let mut trie = TrieBuilder::new();
+        let mut trie2 = TrieBuilder::new();
+        for p in &paths {
+            trie.insert(p);
+            trie2.insert(p);
+        }
+        let nodes = trie.num_nodes();
+        let raw = trie.into_nfa();
+        let min = trie2.minimize();
+        prop_assert_eq!(raw.language(), min.language());
+        prop_assert!(min.num_states() <= nodes);
+        let bytes = min.serialize();
+        let back = desq::dist::dcand::nfa::Nfa::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back.language(), min.language());
+    }
+
+    /// Dictionary freezing: fids are frequency-ranked and hierarchy is
+    /// preserved under renaming.
+    #[test]
+    fn dictionary_freeze_invariants(world in arb_world()) {
+        let d = &world.dict;
+        // Non-increasing document frequencies.
+        for fid in 1..d.max_fid() {
+            prop_assert!(d.doc_freq(fid) >= d.doc_freq(fid + 1));
+        }
+        // Ancestor lists contain self and only valid fids, sorted.
+        for fid in 1..=d.max_fid() {
+            let anc = d.ancestors(fid);
+            prop_assert!(anc.contains(&fid));
+            prop_assert!(anc.windows(2).all(|w| w[0] < w[1]));
+            for &a in anc {
+                prop_assert!(a >= 1 && a <= d.max_fid());
+            }
+        }
+        // Recoded sequences stay in range.
+        for seq in &world.db.sequences {
+            for &t in seq {
+                prop_assert!(t >= 1 && t <= d.max_fid());
+            }
+        }
+    }
+}
