@@ -40,7 +40,12 @@ pub struct LashConfig {
 impl LashConfig {
     /// The LASH setting `T3(σ, γ, λ)`.
     pub fn new(sigma: u64, gamma: usize, lambda: usize) -> LashConfig {
-        LashConfig { sigma, gamma, lambda, generalize: true }
+        LashConfig {
+            sigma,
+            gamma,
+            lambda,
+            generalize: true,
+        }
     }
 
     /// The MG-FSM setting `T2(σ, γ, λ)` (no hierarchy generalization).
@@ -63,7 +68,9 @@ fn can_output(
         return false;
     }
     if generalize {
-        dict.ancestors(t).iter().any(|&a| a <= p && a <= last_frequent)
+        dict.ancestors(t)
+            .iter()
+            .any(|&a| a <= p && a <= last_frequent)
     } else {
         t <= p && t <= last_frequent
     }
@@ -160,8 +167,7 @@ fn rewrite(
     }
     // Join with γ+1 blanks: local mining cannot match across parts.
     let sep = config.gamma + 1;
-    let total: usize =
-        parts.iter().map(Vec::len).sum::<usize>() + sep * (parts.len() - 1);
+    let total: usize = parts.iter().map(Vec::len).sum::<usize>() + sep * (parts.len() - 1);
     let mut out = Vec::with_capacity(total);
     for (i, part) in parts.iter().enumerate() {
         if i > 0 {
@@ -190,31 +196,26 @@ pub fn lash(
         Ok(())
     };
 
-    let reduce = |&p: &ItemId,
-                  inputs: Vec<(Sequence, u64)>,
-                  emit: &mut dyn FnMut((Sequence, u64))| {
-        let miner = GapMiner {
-            sigma: config.sigma,
-            gamma: config.gamma,
-            max_len: config.lambda,
-            min_len: 2,
-            generalize: config.generalize,
-            max_item: Some(p),
-            require_pivot: Some(p),
+    let reduce =
+        |&p: &ItemId, inputs: Vec<(Sequence, u64)>, emit: &mut dyn FnMut((Sequence, u64))| {
+            let miner = GapMiner {
+                sigma: config.sigma,
+                gamma: config.gamma,
+                max_len: config.lambda,
+                min_len: 2,
+                generalize: config.generalize,
+                max_item: Some(p),
+                require_pivot: Some(p),
+            };
+            for (pattern, freq) in miner.mine_weighted(&inputs, dict) {
+                emit((pattern, freq));
+            }
+            Ok(())
         };
-        for (pattern, freq) in miner.mine_weighted(&inputs, dict) {
-            emit((pattern, freq));
-        }
-        Ok(())
-    };
 
     let (mut patterns, metrics) = engine
         .map_combine_reduce(parts, map, reduce)
-        .map_err(|e| match e {
-            desq_bsp::Error::ResourceExhausted(m) => desq_core::Error::ResourceExhausted(m),
-            desq_bsp::Error::Decode(m) => desq_core::Error::Decode(m),
-            desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
-        })?;
+        .map_err(crate::from_bsp)?;
     patterns.sort();
     Ok(MiningResult { patterns, metrics })
 }
@@ -235,8 +236,8 @@ mod tests {
                 for lambda in 2..=4usize {
                     let cfg = LashConfig::new(sigma, gamma, lambda);
                     let dist = lash(&engine, &parts, &fx.dict, cfg).unwrap();
-                    let seq_miner = GapMiner::new(sigma, gamma, lambda, true)
-                        .mine(&fx.db, &fx.dict);
+                    let seq_miner =
+                        GapMiner::new(sigma, gamma, lambda, true).mine(&fx.db, &fx.dict);
                     assert_eq!(
                         dist.patterns, seq_miner,
                         "vs GapMiner σ={sigma} γ={gamma} λ={lambda}"
@@ -244,13 +245,8 @@ mod tests {
                     // And against the general FST-based reference.
                     let c = desq_dist::patterns::t3(gamma, lambda);
                     let fst = c.compile(&fx.dict).unwrap();
-                    let reference =
-                        desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
-                    assert_eq!(
-                        dist.patterns, reference,
-                        "vs DESQ {} σ={sigma}",
-                        c.name
-                    );
+                    let reference = desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
+                    assert_eq!(dist.patterns, reference, "vs DESQ {} σ={sigma}", c.name);
                 }
             }
         }
@@ -267,8 +263,7 @@ mod tests {
                 let dist = lash(&engine, &parts, &fx.dict, cfg).unwrap();
                 let c = desq_dist::patterns::t2(gamma, 3);
                 let fst = c.compile(&fx.dict).unwrap();
-                let reference =
-                    desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
+                let reference = desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
                 assert_eq!(dist.patterns, reference, "{} σ={sigma}", c.name);
             }
         }
@@ -285,10 +280,7 @@ mod tests {
         let cfg = LashConfig::new(2, 1, 5);
         let t2 = &fx.db.sequences[1];
         let r = rewrite(&fx.dict, t2, fx.a1, lf, &cfg).unwrap();
-        assert_eq!(
-            r,
-            vec![fx.a1, EPSILON, fx.a1, EPSILON, fx.b]
-        );
+        assert_eq!(r, vec![fx.a1, EPSILON, fx.a1, EPSILON, fx.b]);
         // With γ = 0 the blanks split everything; singleton parts die.
         let cfg0 = LashConfig::new(2, 0, 5);
         let r0 = rewrite(&fx.dict, t2, fx.a1, lf, &cfg0);

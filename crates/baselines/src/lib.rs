@@ -21,3 +21,12 @@ pub mod mllib;
 
 pub use lash::{lash, LashConfig};
 pub use mllib::{mllib_prefixspan, MllibConfig};
+
+/// Maps an engine error back into the workspace error type.
+pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {
+    match e {
+        desq_bsp::Error::ResourceExhausted(m) => desq_core::Error::ResourceExhausted(m),
+        desq_bsp::Error::Decode(m) => desq_core::Error::Decode(m),
+        desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
+    }
+}

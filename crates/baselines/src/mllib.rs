@@ -17,7 +17,7 @@
 
 use desq_bsp::{Engine, JobMetrics};
 use desq_core::fx::FxHashSet;
-use desq_core::{Error, ItemId, Result, Sequence};
+use desq_core::{ItemId, Result, Sequence};
 use desq_dist::MiningResult;
 use desq_miner::PrefixSpan;
 
@@ -37,13 +37,7 @@ impl MllibConfig {
     }
 }
 
-fn from_bsp(e: desq_bsp::Error) -> Error {
-    match e {
-        desq_bsp::Error::ResourceExhausted(m) => Error::ResourceExhausted(m),
-        desq_bsp::Error::Decode(m) => Error::Decode(m),
-        desq_bsp::Error::Worker(m) => Error::Invalid(m),
-    }
-}
+use crate::from_bsp;
 
 /// Runs the MLlib-style distributed PrefixSpan.
 pub fn mllib_prefixspan(
@@ -52,7 +46,10 @@ pub fn mllib_prefixspan(
     config: MllibConfig,
 ) -> Result<MiningResult> {
     if config.max_len == 0 {
-        return Ok(MiningResult { patterns: Vec::new(), metrics: JobMetrics::default() });
+        return Ok(MiningResult {
+            patterns: Vec::new(),
+            metrics: JobMetrics::default(),
+        });
     }
 
     // Round 1: frequent items (distributed word count with combining).
@@ -147,8 +144,7 @@ mod tests {
         for sigma in 1..=3u64 {
             for lambda in 1..=4usize {
                 let dist =
-                    mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, lambda))
-                        .unwrap();
+                    mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, lambda)).unwrap();
                 let seq = PrefixSpan::new(sigma, lambda).mine(&fx.db);
                 assert_eq!(dist.patterns, seq, "σ={sigma} λ={lambda}");
             }
@@ -164,8 +160,7 @@ mod tests {
             let c = desq_dist::patterns::t1(3);
             let fst = c.compile(&fx.dict).unwrap();
             let reference = desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
-            let dist =
-                mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 3)).unwrap();
+            let dist = mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 3)).unwrap();
             assert_eq!(dist.patterns, reference, "{} σ={sigma}", c.name);
         }
     }

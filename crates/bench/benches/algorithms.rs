@@ -69,9 +69,7 @@ fn bench_fig12(c: &mut Criterion) {
         b.iter(|| black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap()))
     });
     group.bench_function("d_cand", |b| {
-        b.iter(|| {
-            black_box(d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma)).unwrap())
-        })
+        b.iter(|| black_box(d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma)).unwrap()))
     });
     group.finish();
 }
@@ -86,9 +84,7 @@ fn bench_fig13(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13/T1(150,5)");
     group.sample_size(10);
     group.bench_function("mllib", |b| {
-        b.iter(|| {
-            black_box(mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 5)).unwrap())
-        })
+        b.iter(|| black_box(mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 5)).unwrap()))
     });
     group.bench_function("d_seq", |b| {
         b.iter(|| black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap()))

@@ -53,7 +53,9 @@ fn bench_pivot_search(c: &mut Criterion) {
 }
 
 fn bench_merge(c: &mut Criterion) {
-    let sets: Vec<Vec<u32>> = (0..20).map(|i| vec![i + 1, i + 5, i + 11, i + 40]).collect();
+    let sets: Vec<Vec<u32>> = (0..20)
+        .map(|i| vec![i + 1, i + 5, i + 11, i + 40])
+        .collect();
     c.bench_function("pivots/merge_20sets", |b| {
         b.iter(|| black_box(merge_pivots(black_box(&sets))))
     });
@@ -89,7 +91,9 @@ fn bench_nfa(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
-    let seqs: Vec<Vec<u32>> = (0..1000).map(|i| (0..20).map(|j| i * 7 + j).collect()).collect();
+    let seqs: Vec<Vec<u32>> = (0..1000)
+        .map(|i| (0..20).map(|j| i * 7 + j).collect())
+        .collect();
     c.bench_function("codec/encode_1000x20", |b| {
         b.iter(|| {
             let mut buf = Vec::new();
@@ -117,8 +121,12 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_local_mining(c: &mut Criterion) {
     let (dict, db, fst) = workload();
-    let inputs: Vec<(Vec<u32>, u64)> =
-        db.sequences.iter().take(300).map(|s| (s.clone(), 1)).collect();
+    let inputs: Vec<(Vec<u32>, u64)> = db
+        .sequences
+        .iter()
+        .take(300)
+        .map(|s| (s.clone(), 1))
+        .collect();
     c.bench_function("mining/desq_dfs_n4_300seqs", |b| {
         b.iter(|| {
             let miner = LocalMiner::new(&fst, &dict, MinerConfig::sequential(30));

@@ -89,7 +89,13 @@ pub fn four_algorithms(
         (
             "NAIVE",
             run_outcome(|| {
-                naive(engine, &ps, fst, dict, NaiveConfig::naive(sigma).with_budget(OOM_BUDGET))
+                naive(
+                    engine,
+                    &ps,
+                    fst,
+                    dict,
+                    NaiveConfig::naive(sigma).with_budget(OOM_BUDGET),
+                )
             }),
         ),
         (
@@ -104,11 +110,20 @@ pub fn four_algorithms(
                 )
             }),
         ),
-        ("D-SEQ", run_outcome(|| d_seq(engine, &ps, fst, dict, DSeqConfig::new(sigma)))),
+        (
+            "D-SEQ",
+            run_outcome(|| d_seq(engine, &ps, fst, dict, DSeqConfig::new(sigma))),
+        ),
         (
             "D-CAND",
             run_outcome(|| {
-                d_cand(engine, &ps, fst, dict, DCandConfig::new(sigma).with_run_budget(OOM_BUDGET))
+                d_cand(
+                    engine,
+                    &ps,
+                    fst,
+                    dict,
+                    DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
+                )
             }),
         ),
     ]
@@ -121,10 +136,9 @@ pub fn assert_agreement(outcomes: &[(&str, Outcome)]) {
         if let Some(res) = o.result() {
             match &reference {
                 None => reference = Some((name, res)),
-                Some((rname, rres)) => assert_eq!(
-                    rres.patterns, res.patterns,
-                    "{rname} and {name} disagree"
-                ),
+                Some((rname, rres)) => {
+                    assert_eq!(rres.patterns, res.patterns, "{rname} and {name} disagree")
+                }
             }
         }
     }

@@ -50,7 +50,13 @@ fn dseq_ablation(t: &mut Table, w: &Workload) {
                 run_budget: OOM_BUDGET,
             },
         ),
-        ("full D-SEQ", DSeqConfig { run_budget: OOM_BUDGET, ..DSeqConfig::new(w.sigma) }),
+        (
+            "full D-SEQ",
+            DSeqConfig {
+                run_budget: OOM_BUDGET,
+                ..DSeqConfig::new(w.sigma)
+            },
+        ),
     ];
     let mut reference: Option<Vec<(Vec<u32>, u64)>> = None;
     let mut cells = vec![format!("{}(σ={})", w.constraint.name, w.sigma)];
@@ -90,7 +96,10 @@ fn dcand_ablation(t: &mut Table, w: &Workload) {
                 run_budget: OOM_BUDGET,
             },
         ),
-        ("full D-CAND", DCandConfig::new(w.sigma).with_run_budget(OOM_BUDGET)),
+        (
+            "full D-CAND",
+            DCandConfig::new(w.sigma).with_run_budget(OOM_BUDGET),
+        ),
     ];
     let mut reference: Option<Vec<(Vec<u32>, u64)>> = None;
     let mut cells = vec![format!("{}(σ={})", w.constraint.name, w.sigma)];
@@ -151,7 +160,13 @@ pub fn run() {
 
     let mut a = Table::new(
         "Fig. 10a: D-SEQ ablation (cumulative enhancements)",
-        &["constraint", "no stop/rewr/grid", "no stop/rewr", "no stop", "full D-SEQ"],
+        &[
+            "constraint",
+            "no stop/rewr/grid",
+            "no stop/rewr",
+            "no stop",
+            "full D-SEQ",
+        ],
     );
     for w in [&a1, &n5, &t3_16, &t3_loose] {
         dseq_ablation(&mut a, w);

@@ -8,12 +8,7 @@ use desq_bsp::Engine;
 use desq_core::{Dictionary, SequenceDb};
 use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
 
-fn both(
-    workers: usize,
-    dict: &Dictionary,
-    db: &SequenceDb,
-    sigma: u64,
-) -> (String, String) {
+fn both(workers: usize, dict: &Dictionary, db: &SequenceDb, sigma: u64) -> (String, String) {
     let eng = Engine::new(workers);
     let ps = db.partition(workers);
     let fst = desq_dist::patterns::t3(1, 5).compile(dict).unwrap();

@@ -36,7 +36,13 @@ fn row(
     let fst = c.compile(dict).unwrap();
     let ds = run_outcome(|| d_seq(&eng, &ps, &fst, dict, DSeqConfig::new(sigma)));
     let dc = run_outcome(|| {
-        d_cand(&eng, &ps, &fst, dict, DCandConfig::new(sigma).with_run_budget(OOM_BUDGET))
+        d_cand(
+            &eng,
+            &ps,
+            &fst,
+            dict,
+            DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
+        )
     });
 
     // Generalization overhead, the paper's headline number for Fig. 12.
@@ -63,10 +69,46 @@ pub fn run() {
         "Fig. 12a: LASH setting on AMZN-F (time, overhead vs LASH)",
         &["constraint", "LASH", "D-SEQ", "D-CAND"],
     );
-    row(&mut a, &format!("T3({lo},1,5)"), &f_dict, &f_db, lo, 1, 5, true);
-    row(&mut a, &format!("T3({vlo},1,5)"), &f_dict, &f_db, vlo, 1, 5, true);
-    row(&mut a, &format!("T3({lo},2,5)"), &f_dict, &f_db, lo, 2, 5, true);
-    row(&mut a, &format!("T3({lo},1,6)"), &f_dict, &f_db, lo, 1, 6, true);
+    row(
+        &mut a,
+        &format!("T3({lo},1,5)"),
+        &f_dict,
+        &f_db,
+        lo,
+        1,
+        5,
+        true,
+    );
+    row(
+        &mut a,
+        &format!("T3({vlo},1,5)"),
+        &f_dict,
+        &f_db,
+        vlo,
+        1,
+        5,
+        true,
+    );
+    row(
+        &mut a,
+        &format!("T3({lo},2,5)"),
+        &f_dict,
+        &f_db,
+        lo,
+        2,
+        5,
+        true,
+    );
+    row(
+        &mut a,
+        &format!("T3({lo},1,6)"),
+        &f_dict,
+        &f_db,
+        lo,
+        1,
+        6,
+        true,
+    );
     a.print();
 
     let (cw_dict, cw_db) = workloads::cw();
@@ -76,8 +118,26 @@ pub fn run() {
         "Fig. 12b: MG-FSM setting on CW50 (no hierarchy)",
         &["constraint", "LASH", "D-SEQ", "D-CAND"],
     );
-    row(&mut b, &format!("T2({s1},0,5)"), &cw_dict, &cw_db, s1, 0, 5, false);
-    row(&mut b, &format!("T2({s2},0,5)"), &cw_dict, &cw_db, s2, 0, 5, false);
+    row(
+        &mut b,
+        &format!("T2({s1},0,5)"),
+        &cw_dict,
+        &cw_db,
+        s1,
+        0,
+        5,
+        false,
+    );
+    row(
+        &mut b,
+        &format!("T2({s2},0,5)"),
+        &cw_dict,
+        &cw_db,
+        s2,
+        0,
+        5,
+        false,
+    );
     b.print();
     println!(
         "paper shape: D-SEQ within 1.3x-2.5x and D-CAND within 0.9x-2.8x of the\n\

@@ -36,21 +36,40 @@ pub fn run() {
         let la = run_outcome(|| lash(&eng, &ps, &dict, lash_cfg));
         let ds = run_outcome(|| d_seq(&eng, &ps, &fst, &dict, DSeqConfig::new(sigma)));
         let dc = run_outcome(|| {
-            d_cand(&eng, &ps, &fst, &dict, DCandConfig::new(sigma).with_run_budget(OOM_BUDGET))
+            d_cand(
+                &eng,
+                &ps,
+                &fst,
+                &dict,
+                DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
+            )
         });
 
         // MLlib and D-SEQ implement T1 exactly (patterns of length 1..=5);
         // LASH's specialized setting mines length >= 2 only, so compare on
         // the common part.
         if let (Some(a), Some(b)) = (ml.result(), ds.result()) {
-            assert_eq!(a.patterns, b.patterns, "MLlib and D-SEQ disagree at σ={sigma}");
+            assert_eq!(
+                a.patterns, b.patterns,
+                "MLlib and D-SEQ disagree at σ={sigma}"
+            );
         }
         if let (Some(a), Some(b)) = (ml.result(), la.result()) {
-            let long: Vec<_> =
-                a.patterns.iter().filter(|(s, _)| s.len() >= 2).cloned().collect();
+            let long: Vec<_> = a
+                .patterns
+                .iter()
+                .filter(|(s, _)| s.len() >= 2)
+                .cloned()
+                .collect();
             assert_eq!(long, b.patterns, "MLlib and LASH disagree at σ={sigma}");
         }
-        t.row(vec![sigma.to_string(), ml.time(), la.time(), ds.time(), dc.time()]);
+        t.row(vec![
+            sigma.to_string(),
+            ml.time(),
+            la.time(),
+            ds.time(),
+            dc.time(),
+        ]);
     }
     t.print();
     println!(

@@ -7,12 +7,7 @@ use desq_bench::workloads::{self, sigma_for};
 use desq_core::{Dictionary, SequenceDb};
 use desq_dist::patterns::{self, Constraint};
 
-fn block(
-    title: &str,
-    constraints: &[(Constraint, u64)],
-    dict: &Dictionary,
-    db: &SequenceDb,
-) {
+fn block(title: &str, constraints: &[(Constraint, u64)], dict: &Dictionary, db: &SequenceDb) {
     let mut t = Table::new(
         title,
         &["constraint", "NAIVE", "SEMI-NAIVE", "D-SEQ", "D-CAND"],
@@ -23,7 +18,9 @@ fn block(
     );
     let eng = engine();
     for (c, sigma) in constraints {
-        let fst = c.compile(dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+        let fst = c
+            .compile(dict)
+            .unwrap_or_else(|e| panic!("{}: {e}", c.name));
         let outcomes = four_algorithms(&eng, db, dict, &fst, *sigma);
         assert_agreement(&outcomes);
         t.row(
@@ -53,14 +50,24 @@ pub fn run() {
             (c, sigma)
         })
         .collect();
-    block("Fig. 9a: total time on NYT", &nyt_constraints, &nyt_dict, &nyt_db);
+    block(
+        "Fig. 9a: total time on NYT",
+        &nyt_constraints,
+        &nyt_dict,
+        &nyt_db,
+    );
 
     let (amzn_dict, amzn_db) = workloads::amzn();
     let amzn_constraints: Vec<(Constraint, u64)> = patterns::amzn_constraints()
         .into_iter()
         .map(|c| (c, sigma_for(&amzn_db, 0.001, 5)))
         .collect();
-    block("Fig. 9b: total time on AMZN", &amzn_constraints, &amzn_dict, &amzn_db);
+    block(
+        "Fig. 9b: total time on AMZN",
+        &amzn_constraints,
+        &amzn_dict,
+        &amzn_db,
+    );
 
     println!(
         "paper shape: naïve methods competitive on selective constraints (N1-N3),\n\

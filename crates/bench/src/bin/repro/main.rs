@@ -48,5 +48,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    eprintln!("\n[repro {cmd} finished in {:.1} s]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[repro {cmd} finished in {:.1} s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -7,13 +7,7 @@ use desq_core::{Dictionary, SequenceDb};
 use desq_dist::patterns::{self, Constraint};
 use desq_dist::{d_seq, DSeqConfig};
 
-fn examples(
-    t: &mut Table,
-    c: &Constraint,
-    dict: &Dictionary,
-    db: &SequenceDb,
-    sigma: u64,
-) {
+fn examples(t: &mut Table, c: &Constraint, dict: &Dictionary, db: &SequenceDb, sigma: u64) {
     let fst = match c.compile(dict) {
         Ok(f) => f,
         Err(e) => panic!("{}: {e}", c.name),
@@ -21,7 +15,16 @@ fn examples(
     let eng = engine();
     let ps = parts(db);
     let outcome = run_outcome(|| {
-        d_seq(&eng, &ps, &fst, dict, DSeqConfig { run_budget: OOM_BUDGET, ..DSeqConfig::new(sigma) })
+        d_seq(
+            &eng,
+            &ps,
+            &fst,
+            dict,
+            DSeqConfig {
+                run_budget: OOM_BUDGET,
+                ..DSeqConfig::new(sigma)
+            },
+        )
     });
     let examples = match outcome.result() {
         Some(res) => {
@@ -46,7 +49,12 @@ fn examples(
 pub fn run() {
     let mut t = Table::new(
         "Table III: subsequence constraints with example frequent sequences",
-        &["constraint", "pattern expression", "#freq", "examples (support)"],
+        &[
+            "constraint",
+            "pattern expression",
+            "#freq",
+            "examples (support)",
+        ],
     );
 
     let (nyt_dict, nyt_db) = workloads::nyt();
@@ -66,9 +74,21 @@ pub fn run() {
 
     // Traditional constraints, on the datasets the paper uses them with.
     let t1 = patterns::t1(5);
-    examples(&mut t, &t1, &amzn_dict, &amzn_db, sigma_for(&amzn_db, 0.02, 10));
+    examples(
+        &mut t,
+        &t1,
+        &amzn_dict,
+        &amzn_db,
+        sigma_for(&amzn_db, 0.02, 10),
+    );
     let t2 = patterns::t2(1, 5);
-    examples(&mut t, &t2, &nyt_dict, &nyt_db, sigma_for(&nyt_db, 0.01, 10));
+    examples(
+        &mut t,
+        &t2,
+        &nyt_dict,
+        &nyt_db,
+        sigma_for(&nyt_db, 0.01, 10),
+    );
     let (f_dict, f_db) = workloads::amzn_f();
     let t3 = patterns::t3(1, 5);
     examples(&mut t, &t3, &f_dict, &f_db, sigma_for(&f_db, 0.0025, 5));

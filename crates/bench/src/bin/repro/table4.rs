@@ -12,7 +12,9 @@ const SAMPLE: usize = 4_000;
 const BUDGET: usize = 300_000;
 
 fn cspi_row(t: &mut Table, c: &Constraint, dict: &Dictionary, db: &SequenceDb, sigma: u64) {
-    let fst = c.compile(dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+    let fst = c
+        .compile(dict)
+        .unwrap_or_else(|e| panic!("{}: {e}", c.name));
     let step = (db.len() / SAMPLE).max(1);
     let mut matched = 0usize;
     let mut examined = 0usize;
@@ -37,7 +39,11 @@ fn cspi_row(t: &mut Table, c: &Constraint, dict: &Dictionary, db: &SequenceDb, s
     }
     counts.sort_unstable();
     let total: usize = counts.iter().sum();
-    let mean = if counts.is_empty() { 0.0 } else { total as f64 / counts.len() as f64 };
+    let mean = if counts.is_empty() {
+        0.0
+    } else {
+        total as f64 / counts.len() as f64
+    };
     let median = counts.get(counts.len() / 2).copied().unwrap_or(0);
     let est_total = total as f64 * step as f64;
     t.row(vec![
@@ -52,7 +58,13 @@ fn cspi_row(t: &mut Table, c: &Constraint, dict: &Dictionary, db: &SequenceDb, s
 pub fn run() {
     let mut t = Table::new(
         "Table IV: candidate subsequence statistics (sampled)",
-        &["constraint", "matched %", "# cand. seqs", "CSPI mean", "CSPI median"],
+        &[
+            "constraint",
+            "matched %",
+            "# cand. seqs",
+            "CSPI mean",
+            "CSPI median",
+        ],
     );
     let (nyt_dict, nyt_db) = workloads::nyt();
     for c in patterns::nyt_constraints() {
@@ -64,15 +76,33 @@ pub fn run() {
     }
     let (amzn_dict, amzn_db) = workloads::amzn();
     for c in patterns::amzn_constraints() {
-        cspi_row(&mut t, &c, &amzn_dict, &amzn_db, sigma_for(&amzn_db, 0.001, 5));
+        cspi_row(
+            &mut t,
+            &c,
+            &amzn_dict,
+            &amzn_db,
+            sigma_for(&amzn_db, 0.001, 5),
+        );
     }
     let (f_dict, f_db) = workloads::amzn_f();
     for (frac, lo) in [(0.0025, 5), (0.00025, 2)] {
-        cspi_row(&mut t, &patterns::t3(1, 5), &f_dict, &f_db, sigma_for(&f_db, frac, lo));
+        cspi_row(
+            &mut t,
+            &patterns::t3(1, 5),
+            &f_dict,
+            &f_db,
+            sigma_for(&f_db, frac, lo),
+        );
     }
     let (flat_dict, flat_db) = workloads::amzn_flat();
     for (frac, lo) in [(0.16, 50), (0.04, 20), (0.01, 5)] {
-        cspi_row(&mut t, &patterns::t1(5), &flat_dict, &flat_db, sigma_for(&flat_db, frac, lo));
+        cspi_row(
+            &mut t,
+            &patterns::t1(5),
+            &flat_dict,
+            &flat_db,
+            sigma_for(&flat_db, frac, lo),
+        );
     }
     t.print();
     println!(

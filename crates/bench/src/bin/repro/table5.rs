@@ -17,14 +17,22 @@ fn speedup_row(
     db: &SequenceDb,
     sigma: u64,
 ) {
-    let fst = c.compile(dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+    let fst = c
+        .compile(dict)
+        .unwrap_or_else(|e| panic!("{}: {e}", c.name));
     let (seq_out, seq_time) = timed(|| desq_dfs(db, &fst, dict, sigma));
 
     let eng = engine();
     let ps = parts(db);
     let ds = run_outcome(|| d_seq(&eng, &ps, &fst, dict, DSeqConfig::new(sigma)));
     let dc = run_outcome(|| {
-        d_cand(&eng, &ps, &fst, dict, DCandConfig::new(sigma).with_run_budget(OOM_BUDGET))
+        d_cand(
+            &eng,
+            &ps,
+            &fst,
+            dict,
+            DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
+        )
     });
     for o in [&ds, &dc] {
         if let Some(res) = o.result() {

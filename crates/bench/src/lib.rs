@@ -35,5 +35,8 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// Number of engine workers used across the harness.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }

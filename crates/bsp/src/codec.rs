@@ -104,7 +104,9 @@ impl Codec for Vec<u32> {
         // Guard against hostile lengths: never pre-allocate more than the
         // remaining input could possibly encode (1 byte per element minimum).
         if len > buf.len() {
-            return Err(Error::Decode(format!("Vec<u32>: length {len} exceeds input")));
+            return Err(Error::Decode(format!(
+                "Vec<u32>: length {len} exceeds input"
+            )));
         }
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
@@ -123,7 +125,9 @@ impl Codec for Vec<u8> {
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         let len = read_varint(buf)? as usize;
         if len > buf.len() {
-            return Err(Error::Decode(format!("Vec<u8>: length {len} exceeds input")));
+            return Err(Error::Decode(format!(
+                "Vec<u8>: length {len} exceeds input"
+            )));
         }
         let (head, rest) = buf.split_at(len);
         *buf = rest;

@@ -65,11 +65,8 @@ pub fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
     (h.finish() % buckets as u64) as usize
 }
 
-type CombineMap<K, CK> = std::collections::HashMap<
-    (K, CK),
-    u64,
-    std::hash::BuildHasherDefault<RouteHasher>,
->;
+type CombineMap<K, CK> =
+    std::collections::HashMap<(K, CK), u64, std::hash::BuildHasherDefault<RouteHasher>>;
 type GroupMap<K, V> =
     std::collections::HashMap<K, Vec<V>, std::hash::BuildHasherDefault<RouteHasher>>;
 
@@ -83,7 +80,10 @@ impl Engine {
     /// An engine with `workers` threads and as many reduce buckets.
     pub fn new(workers: usize) -> Engine {
         let workers = workers.max(1);
-        Engine { workers, reducers: workers }
+        Engine {
+            workers,
+            reducers: workers,
+        }
     }
 
     /// Overrides the number of reduce buckets.
@@ -496,7 +496,10 @@ mod tests {
         for k in 0u32..64 {
             seen.insert(bucket_of(&k, 8));
         }
-        assert!(seen.len() >= 6, "keys should spread over most buckets: {seen:?}");
+        assert!(
+            seen.len() >= 6,
+            "keys should spread over most buckets: {seen:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Offline shim for the `crossbeam::thread` scoped-threads API this
+//! workspace uses, implemented over `std::thread::scope` (stable since Rust
+//! 1.63, which post-dates crossbeam's scoped threads).
+
+pub mod thread {
+    //! Scoped threads: spawn borrows-allowed worker threads that are joined
+    //! before the scope returns.
+
+    /// Handle passed to [`scope`] closures for spawning scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a unit token in
+        /// place of crossbeam's nested-scope handle (the workspace never
+        /// spawns nested scoped threads).
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()));
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+    /// function returns. A panicking worker propagates its panic (callers in
+    /// this workspace `expect()` the result either way).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.into_inner(), 8);
+    }
+}

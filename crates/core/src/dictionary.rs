@@ -103,8 +103,9 @@ impl DictionaryBuilder {
                 indegree[p as usize] += 1;
             }
         }
-        let mut stack: Vec<ItemId> =
-            (1..n as ItemId).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut stack: Vec<ItemId> = (1..n as ItemId)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = stack.pop() {
             order.push(i);
@@ -194,8 +195,10 @@ impl DictionaryBuilder {
                 .collect();
             ps.sort_unstable();
             parents.push(ps.into_boxed_slice());
-            let mut ans: Vec<ItemId> =
-                anc[old as usize].iter().map(|&a| old_to_new[a as usize]).collect();
+            let mut ans: Vec<ItemId> = anc[old as usize]
+                .iter()
+                .map(|&a| old_to_new[a as usize])
+                .collect();
             ans.sort_unstable();
             ancestors.push(ans.into_boxed_slice());
         }
@@ -224,7 +227,11 @@ impl DictionaryBuilder {
         let recoded = SequenceDb::new(
             db.sequences
                 .iter()
-                .map(|s| s.iter().map(|&it| old_to_new[it as usize]).collect::<Sequence>())
+                .map(|s| {
+                    s.iter()
+                        .map(|&it| old_to_new[it as usize])
+                        .collect::<Sequence>()
+                })
                 .collect(),
         );
         Ok((dict, recoded))
@@ -272,7 +279,10 @@ impl Dictionary {
 
     /// Renders a sequence as space-separated item names.
     pub fn render(&self, seq: &[ItemId]) -> String {
-        seq.iter().map(|&w| self.name(w)).collect::<Vec<_>>().join(" ")
+        seq.iter()
+            .map(|&w| self.name(w))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// Direct generalizations (parents) of an item.
@@ -345,7 +355,12 @@ impl Dictionary {
 
     /// Maximum number of ancestors (including self) over all items.
     pub fn max_ancestors(&self) -> usize {
-        self.ancestors.iter().skip(1).map(|a| a.len()).max().unwrap_or(0)
+        self.ancestors
+            .iter()
+            .skip(1)
+            .map(|a| a.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -359,7 +374,15 @@ mod tests {
         let fx = toy::fixture();
         let d = &fx.dict;
         // Order: b < A < d < a1 < c < e < a2 with f = 5,4,3,3,2,1,1.
-        let expect = [("b", 5), ("A", 4), ("d", 3), ("a1", 3), ("c", 2), ("e", 1), ("a2", 1)];
+        let expect = [
+            ("b", 5),
+            ("A", 4),
+            ("d", 3),
+            ("a1", 3),
+            ("c", 2),
+            ("e", 1),
+            ("a2", 1),
+        ];
         for (rank, (name, f)) in expect.iter().enumerate() {
             let fid = (rank + 1) as ItemId;
             assert_eq!(d.name(fid), *name, "rank {rank}");

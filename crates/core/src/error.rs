@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_renders_context() {
-        let e = Error::Parse { msg: "unexpected ']'".into(), pos: 7 };
+        let e = Error::Parse {
+            msg: "unexpected ']'".into(),
+            pos: 7,
+        };
         assert_eq!(e.to_string(), "parse error at byte 7: unexpected ']'");
         assert!(Error::UnknownItem("VRB".into()).to_string().contains("VRB"));
         assert!(Error::ResourceExhausted("candidates > 10".into())

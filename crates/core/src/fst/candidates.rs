@@ -136,7 +136,10 @@ pub fn stats(
     budget: usize,
 ) -> Result<CandidateStats> {
     let cands = generate(fst, dict, seq, sigma, budget)?;
-    Ok(CandidateStats { candidates: cands.len(), matched: !cands.is_empty() })
+    Ok(CandidateStats {
+        candidates: cands.len(),
+        matched: !cands.is_empty(),
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +162,15 @@ mod tests {
         let c1 = generate(&fx.fst, d, &fx.db.sequences[0], None, usize::MAX).unwrap();
         assert_eq!(
             named(d, &c1),
-            vec!["a1 b", "a1 c b", "a1 c c b", "a1 c d b", "a1 c d c b", "a1 d b", "a1 d c b"]
+            vec![
+                "a1 b",
+                "a1 c b",
+                "a1 c c b",
+                "a1 c d b",
+                "a1 c d c b",
+                "a1 d b",
+                "a1 d c b"
+            ]
         );
 
         // T2 = e e a1 e a1 e b: 11 candidates per Fig. 3.
@@ -168,8 +179,17 @@ mod tests {
         assert_eq!(
             named(d, &c2),
             vec![
-                "a1 A b", "a1 A e b", "a1 a1 b", "a1 a1 e b", "a1 b", "a1 e A b", "a1 e A e b",
-                "a1 e a1 b", "a1 e a1 e b", "a1 e b", "a1 e e b"
+                "a1 A b",
+                "a1 A e b",
+                "a1 a1 b",
+                "a1 a1 e b",
+                "a1 b",
+                "a1 e A b",
+                "a1 e A e b",
+                "a1 e a1 b",
+                "a1 e a1 e b",
+                "a1 e b",
+                "a1 e e b"
             ]
         );
 

@@ -67,10 +67,10 @@ impl<'a> Builder<'a> {
                     OutputLabel::None
                 } else {
                     match (up, exact) {
-                        (false, false) => OutputLabel::Matched, // (w)
-                        (false, true) => OutputLabel::Const(w), // (w=)
+                        (false, false) => OutputLabel::Matched,            // (w)
+                        (false, true) => OutputLabel::Const(w),            // (w=)
                         (true, false) => OutputLabel::Generalize(Some(w)), // (w^)
-                        (true, true) => OutputLabel::Const(w),  // (w^=): always generalize to w
+                        (true, true) => OutputLabel::Const(w), // (w^=): always generalize to w
                     }
                 };
                 Ok(self.atom(input, output))
@@ -89,15 +89,16 @@ impl<'a> Builder<'a> {
             PatEx::Concat(es) => {
                 let mut iter = es.iter();
                 let first = self.compile(iter.next().expect("non-empty concat"), captured)?;
-                let mut cur = first;
+                let mut end = first.end;
                 for e in iter {
                     let next = self.compile(e, captured)?;
-                    self.eps(cur.end, next.start);
-                    cur = Frag { start: first.start, end: next.end };
-                    // keep chaining from the newest end
-                    cur.end = next.end;
+                    self.eps(end, next.start);
+                    end = next.end;
                 }
-                Ok(Frag { start: first.start, end: cur.end })
+                Ok(Frag {
+                    start: first.start,
+                    end,
+                })
             }
             PatEx::Alt(es) => {
                 let start = self.state();
@@ -191,7 +192,10 @@ fn closure(states: &[NState], s: u32, out: &mut Vec<u32>, seen: &mut FxHashSet<u
 }
 
 pub(super) fn compile(pexp: &PatEx, dict: &Dictionary) -> Result<Fst> {
-    let mut b = Builder { states: Vec::new(), dict };
+    let mut b = Builder {
+        states: Vec::new(),
+        dict,
+    };
     let frag = b.compile(pexp, false)?;
     let nstates = b.states;
     let nfinal = frag.end;
@@ -242,8 +246,7 @@ pub(super) fn compile(pexp: &PatEx, dict: &Dictionary) -> Result<Fst> {
         }
     }
     let mut co = vec![false; n];
-    let mut stack: Vec<u32> =
-        (0..n as u32).filter(|&q| ffinal[q as usize]).collect();
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&q| ffinal[q as usize]).collect();
     for &q in &stack {
         co[q as usize] = true;
     }
@@ -280,14 +283,22 @@ pub(super) fn compile(pexp: &PatEx, dict: &Dictionary) -> Result<Fst> {
         let mut trs: Vec<Transition> = ftrans[q]
             .iter()
             .filter(|t| keep[t.to as usize])
-            .map(|t| Transition { input: t.input, output: t.output, to: remap[t.to as usize] })
+            .map(|t| Transition {
+                input: t.input,
+                output: t.output,
+                to: remap[t.to as usize],
+            })
             .collect();
         trs.sort_by_key(|t| (t.to, t.input, t.output));
         states[remap[q] as usize] = trs;
     }
 
     let (initial, finals, states) = quotient(0, finals, states);
-    Ok(Fst { initial, finals, states })
+    Ok(Fst {
+        initial,
+        finals,
+        states,
+    })
 }
 
 /// Merges forward-bisimilar states (identical finality and identical
@@ -347,7 +358,11 @@ fn quotient(
         filled[g] = true;
         let mut trs: Vec<Transition> = states[q]
             .iter()
-            .map(|t| Transition { input: t.input, output: t.output, to: group[t.to as usize] })
+            .map(|t| Transition {
+                input: t.input,
+                output: t.output,
+                to: group[t.to as usize],
+            })
             .collect();
         trs.sort_by_key(|t| (t.to, t.input, t.output));
         trs.dedup();

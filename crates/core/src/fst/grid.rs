@@ -62,7 +62,11 @@ impl Grid {
             }
         }
 
-        Grid { n, num_states: q, alive }
+        Grid {
+            n,
+            num_states: q,
+            alive,
+        }
     }
 
     /// Sequence length this grid was built for.

@@ -191,7 +191,12 @@ impl Fst {
     /// Used by the early-stopping heuristic of D-SEQ's local mining
     /// (Sec. V-C): beyond this position, an expansion that does not yet
     /// contain the pivot item can never produce it.
-    pub fn last_pivot_position(&self, seq: &[ItemId], k: ItemId, dict: &Dictionary) -> Option<usize> {
+    pub fn last_pivot_position(
+        &self,
+        seq: &[ItemId],
+        k: ItemId,
+        dict: &Dictionary,
+    ) -> Option<usize> {
         let mut buf = Vec::new();
         for (i, &t) in seq.iter().enumerate().rev() {
             // k must be an ancestor of t for any transition to output it
@@ -232,13 +237,21 @@ mod tests {
     fn transition_matching_respects_hierarchy() {
         let fx = toy::fixture();
         let d = &fx.dict;
-        let t = Transition { input: InputLabel::Desc(fx.big_a), output: OutputLabel::Matched, to: 0 };
+        let t = Transition {
+            input: InputLabel::Desc(fx.big_a),
+            output: OutputLabel::Matched,
+            to: 0,
+        };
         assert!(t.matches(fx.a1, d));
         assert!(t.matches(fx.a2, d));
         assert!(t.matches(fx.big_a, d));
         assert!(!t.matches(fx.b, d));
 
-        let e = Transition { input: InputLabel::Exact(fx.big_a), output: OutputLabel::Matched, to: 0 };
+        let e = Transition {
+            input: InputLabel::Exact(fx.big_a),
+            output: OutputLabel::Matched,
+            to: 0,
+        };
         assert!(!e.matches(fx.a1, d));
         assert!(e.matches(fx.big_a, d));
     }
@@ -249,7 +262,11 @@ mod tests {
         let d = &fx.dict;
         let mut buf = Vec::new();
 
-        let gen = Transition { input: InputLabel::Any, output: OutputLabel::Generalize(None), to: 0 };
+        let gen = Transition {
+            input: InputLabel::Any,
+            output: OutputLabel::Generalize(None),
+            to: 0,
+        };
         gen.outputs(fx.a1, d, &mut buf);
         assert_eq!(buf, vec![fx.big_a, fx.a1]); // anc(a1) = {A, a1}, ascending
 
@@ -263,12 +280,20 @@ mod tests {
         assert_eq!(buf, vec![fx.big_a, fx.a1]);
 
         buf.clear();
-        let konst = Transition { input: InputLabel::Desc(fx.big_a), output: OutputLabel::Const(fx.big_a), to: 0 };
+        let konst = Transition {
+            input: InputLabel::Desc(fx.big_a),
+            output: OutputLabel::Const(fx.big_a),
+            to: 0,
+        };
         konst.outputs(fx.a2, d, &mut buf);
         assert_eq!(buf, vec![fx.big_a]);
 
         buf.clear();
-        let none = Transition { input: InputLabel::Any, output: OutputLabel::None, to: 0 };
+        let none = Transition {
+            input: InputLabel::Any,
+            output: OutputLabel::None,
+            to: 0,
+        };
         none.outputs(fx.a1, d, &mut buf);
         assert_eq!(buf, vec![crate::EPSILON]);
     }

@@ -36,7 +36,10 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `input`.
     pub fn new(input: &'a str) -> Self {
-        Lexer { input, chars: input.char_indices().peekable() }
+        Lexer {
+            input,
+            chars: input.char_indices().peekable(),
+        }
     }
 
     /// Tokenizes the whole input, returning `(token, byte_offset)` pairs.
@@ -91,7 +94,10 @@ impl<'a> Lexer<'a> {
             }
             name.push(c);
         }
-        Err(Error::Parse { msg: "unterminated quoted item".into(), pos: start })
+        Err(Error::Parse {
+            msg: "unterminated quoted item".into(),
+            pos: start,
+        })
     }
 
     fn number(&mut self, start: usize) -> Result<Token> {
@@ -107,7 +113,10 @@ impl<'a> Lexer<'a> {
         self.input[start..end]
             .parse::<u32>()
             .map(Token::Number)
-            .map_err(|_| Error::Parse { msg: "number too large".into(), pos: start })
+            .map_err(|_| Error::Parse {
+                msg: "number too large".into(),
+                pos: start,
+            })
     }
 
     fn ident(&mut self, start: usize) -> Token {
@@ -137,14 +146,25 @@ mod tests {
     use super::*;
 
     fn toks(s: &str) -> Vec<Token> {
-        Lexer::new(s).tokenize().unwrap().into_iter().map(|(t, _)| t).collect()
+        Lexer::new(s)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     }
 
     #[test]
     fn tokenizes_operators_and_idents() {
         assert_eq!(
             toks(".*(A)"),
-            vec![Token::Dot, Token::Star, Token::LParen, Token::Ident("A".into()), Token::RParen]
+            vec![
+                Token::Dot,
+                Token::Star,
+                Token::LParen,
+                Token::Ident("A".into()),
+                Token::RParen
+            ]
         );
         assert_eq!(
             toks("w^= x{1,2}"),
@@ -169,7 +189,10 @@ mod tests {
 
     #[test]
     fn quoted_strings() {
-        assert_eq!(toks("'A Storm of Swords'"), vec![Token::Ident("A Storm of Swords".into())]);
+        assert_eq!(
+            toks("'A Storm of Swords'"),
+            vec![Token::Ident("A Storm of Swords".into())]
+        );
         assert!(Lexer::new("'oops").tokenize().is_err());
     }
 

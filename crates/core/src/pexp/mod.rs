@@ -77,7 +77,10 @@ impl PatEx {
 
     /// True if this node needs brackets when a postfix operator is applied.
     fn is_atom(&self) -> bool {
-        matches!(self, PatEx::Item { .. } | PatEx::Dot { .. } | PatEx::Capture(_))
+        matches!(
+            self,
+            PatEx::Item { .. } | PatEx::Dot { .. } | PatEx::Capture(_)
+        )
     }
 
     /// Wraps the expression with uncaptured `.*` context on both sides:
@@ -220,19 +223,35 @@ mod tests {
     fn parses_item_modifiers() {
         assert_eq!(
             PatEx::parse("w").unwrap(),
-            PatEx::Item { name: "w".into(), exact: false, up: false }
+            PatEx::Item {
+                name: "w".into(),
+                exact: false,
+                up: false
+            }
         );
         assert_eq!(
             PatEx::parse("w=").unwrap(),
-            PatEx::Item { name: "w".into(), exact: true, up: false }
+            PatEx::Item {
+                name: "w".into(),
+                exact: true,
+                up: false
+            }
         );
         assert_eq!(
             PatEx::parse("w^").unwrap(),
-            PatEx::Item { name: "w".into(), exact: false, up: true }
+            PatEx::Item {
+                name: "w".into(),
+                exact: false,
+                up: true
+            }
         );
         assert_eq!(
             PatEx::parse("w^=").unwrap(),
-            PatEx::Item { name: "w".into(), exact: true, up: true }
+            PatEx::Item {
+                name: "w".into(),
+                exact: true,
+                up: true
+            }
         );
         assert_eq!(PatEx::parse(".^").unwrap(), PatEx::Dot { up: true });
     }
@@ -242,20 +261,36 @@ mod tests {
         let e = PatEx::parse("[.]{0,2}").unwrap();
         assert_eq!(
             e,
-            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 0, max: Some(2) }
+            PatEx::Range {
+                inner: Box::new(PatEx::Dot { up: false }),
+                min: 0,
+                max: Some(2)
+            }
         );
         assert_eq!(
             PatEx::parse(".{3}").unwrap(),
-            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 3, max: Some(3) }
+            PatEx::Range {
+                inner: Box::new(PatEx::Dot { up: false }),
+                min: 3,
+                max: Some(3)
+            }
         );
         assert_eq!(
             PatEx::parse(".{2,}").unwrap(),
-            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 2, max: None }
+            PatEx::Range {
+                inner: Box::new(PatEx::Dot { up: false }),
+                min: 2,
+                max: None
+            }
         );
         // {,m} is shorthand for {0,m} (used by constraint T1 of the paper).
         assert_eq!(
             PatEx::parse(".{,4}").unwrap(),
-            PatEx::Range { inner: Box::new(PatEx::Dot { up: false }), min: 0, max: Some(4) }
+            PatEx::Range {
+                inner: Box::new(PatEx::Dot { up: false }),
+                min: 0,
+                max: Some(4)
+            }
         );
     }
 
@@ -309,7 +344,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for s in ["", "(", "[a", "a)", "a{2", "a{3,1}", "a|", "*", ".=", "a{}", "'x"] {
+        for s in [
+            "", "(", "[a", "a)", "a{2", "a{3,1}", "a|", "*", ".=", "a{}", "'x",
+        ] {
             assert!(PatEx::parse(s).is_err(), "should reject {s:?}");
         }
     }

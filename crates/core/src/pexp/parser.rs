@@ -15,10 +15,17 @@ use crate::error::{Error, Result};
 
 pub(super) fn parse(input: &str) -> Result<PatEx> {
     let tokens = Lexer::new(input).tokenize()?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let e = p.alt()?;
     if let Some((tok, at)) = p.peek_with_pos() {
-        return Err(Error::Parse { msg: format!("unexpected {tok:?}"), pos: at });
+        return Err(Error::Parse {
+            msg: format!("unexpected {tok:?}"),
+            pos: at,
+        });
     }
     Ok(e)
 }
@@ -39,7 +46,10 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(self.input_len)
+        self.tokens
+            .get(self.pos)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.input_len)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -69,7 +79,11 @@ impl Parser {
             self.bump();
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { PatEx::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            PatEx::Alt(branches)
+        })
     }
 
     fn concat(&mut self) -> Result<PatEx> {
@@ -77,7 +91,11 @@ impl Parser {
         while self.starts_primary() {
             factors.push(self.postfix()?);
         }
-        Ok(if factors.len() == 1 { factors.pop().unwrap() } else { PatEx::Concat(factors) })
+        Ok(if factors.len() == 1 {
+            factors.pop().unwrap()
+        } else {
+            PatEx::Concat(factors)
+        })
     }
 
     fn starts_primary(&self) -> bool {
@@ -107,7 +125,11 @@ impl Parser {
                     let at = self.here();
                     self.bump();
                     let (min, max) = self.bounds(at)?;
-                    e = PatEx::Range { inner: Box::new(e), min, max };
+                    e = PatEx::Range {
+                        inner: Box::new(e),
+                        min,
+                        max,
+                    };
                 }
                 _ => break,
             }
@@ -137,7 +159,10 @@ impl Parser {
             };
             match (min, max) {
                 (None, None) => {
-                    return Err(Error::Parse { msg: "empty repetition bounds".into(), pos: at })
+                    return Err(Error::Parse {
+                        msg: "empty repetition bounds".into(),
+                        pos: at,
+                    })
                 }
                 (mn, mx) => (mn.unwrap_or(0), mx),
             }
@@ -145,7 +170,10 @@ impl Parser {
             match min {
                 Some(n) => (n, Some(n)),
                 None => {
-                    return Err(Error::Parse { msg: "empty repetition bounds".into(), pos: at })
+                    return Err(Error::Parse {
+                        msg: "empty repetition bounds".into(),
+                        pos: at,
+                    })
                 }
             }
         };
@@ -167,7 +195,10 @@ impl Parser {
             Some(Token::Dot) => {
                 let up = self.eat_up();
                 if matches!(self.peek(), Some(Token::Eq)) {
-                    return Err(Error::Parse { msg: "'.' cannot take '='".into(), pos: at });
+                    return Err(Error::Parse {
+                        msg: "'.' cannot take '='".into(),
+                        pos: at,
+                    });
                 }
                 Ok(PatEx::Dot { up })
             }
@@ -235,8 +266,19 @@ mod tests {
     fn nested_ranges() {
         let e = PatEx::parse("[a{1,2}]{3}").unwrap();
         match e {
-            PatEx::Range { inner, min: 3, max: Some(3) } => {
-                assert!(matches!(*inner, PatEx::Range { min: 1, max: Some(2), .. }));
+            PatEx::Range {
+                inner,
+                min: 3,
+                max: Some(3),
+            } => {
+                assert!(matches!(
+                    *inner,
+                    PatEx::Range {
+                        min: 1,
+                        max: Some(2),
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

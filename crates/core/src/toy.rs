@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn fids_are_the_paper_order() {
         let fx = fixture();
-        assert_eq!((fx.b, fx.big_a, fx.d, fx.a1, fx.c, fx.e, fx.a2), (1, 2, 3, 4, 5, 6, 7));
+        assert_eq!(
+            (fx.b, fx.big_a, fx.d, fx.a1, fx.c, fx.e, fx.a2),
+            (1, 2, 3, 4, 5, 6, 7)
+        );
     }
 
     #[test]

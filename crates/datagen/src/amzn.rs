@@ -64,8 +64,21 @@ const CATALOG: &[(&str, &[&str])] = &[
             "Keyboards",
         ],
     ),
-    ("Book", &["Fantasy", "SciFi", "Mystery", "Romance", "Biography", "Cooking"]),
-    ("MusicInstr", &["Guitars", "Drums", "Pianos", "BagsCases", "Strings"]),
+    (
+        "Book",
+        &[
+            "Fantasy",
+            "SciFi",
+            "Mystery",
+            "Romance",
+            "Biography",
+            "Cooking",
+        ],
+    ),
+    (
+        "MusicInstr",
+        &["Guitars", "Drums", "Pianos", "BagsCases", "Strings"],
+    ),
     ("Home", &["Kitchen", "Garden", "Furniture", "Lighting"]),
     ("Clothing", &["Shoes", "Shirts", "Jackets"]),
 ];
@@ -122,12 +135,22 @@ fn build_catalog(b: &mut DictionaryBuilder, cfg: &AmznConfig, rng: &mut StdRng) 
             products[c].push(b.id_of(&name).unwrap());
         }
     }
-    let camera_idx = category_names.iter().position(|&c| c == "DigitalCamera").unwrap();
+    let camera_idx = category_names
+        .iter()
+        .position(|&c| c == "DigitalCamera")
+        .unwrap();
     let accessory_idx = CAMERA_ACCESSORIES
         .iter()
         .map(|a| category_names.iter().position(|&c| c == *a).unwrap())
         .collect();
-    Catalog { products, category_names, department, by_department, camera_idx, accessory_idx }
+    Catalog {
+        products,
+        category_names,
+        department,
+        by_department,
+        camera_idx,
+        accessory_idx,
+    }
 }
 
 /// Generates the AMZN-like database; returns the frozen dictionary and
@@ -168,7 +191,8 @@ pub fn amzn_like(cfg: &AmznConfig) -> (Dictionary, SequenceDb) {
         sequences.push(seq);
     }
 
-    b.freeze(&SequenceDb::new(sequences)).expect("catalog is acyclic")
+    b.freeze(&SequenceDb::new(sequences))
+        .expect("catalog is acyclic")
 }
 
 /// Basket length: geometric-ish with mean ≈ 4 and a heavy tail.
@@ -178,7 +202,7 @@ fn sample_length(rng: &mut StdRng) -> usize {
         len += 1;
     }
     if rng.gen_bool(0.01) {
-        len += rng.gen_range(20..80); // the paper's max length is huge
+        len += rng.gen_range(20..80usize); // the paper's max length is huge
     }
     len
 }
@@ -222,7 +246,9 @@ mod tests {
         // forest's, some products with several category parents.
         let m = dict.mean_ancestors();
         assert!(m > 2.5, "mean ancestors {m}");
-        let multi = (1..=dict.max_fid()).filter(|&f| dict.parents(f).len() > 1).count();
+        let multi = (1..=dict.max_fid())
+            .filter(|&f| dict.parents(f).len() > 1)
+            .count();
         assert!(multi > 0, "DAG must have multi-parent items");
     }
 
@@ -252,7 +278,9 @@ mod tests {
         use desq_dist::patterns;
         let (dict, db) = amzn_like(&AmznConfig::new(2000));
         for c in patterns::amzn_constraints() {
-            let fst = c.compile(&dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+            let fst = c
+                .compile(&dict)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name));
             let out = desq_miner::desq_dfs(&db, &fst, &dict, 3);
             assert!(!out.is_empty(), "{} finds nothing", c.name);
         }

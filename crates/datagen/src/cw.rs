@@ -28,7 +28,13 @@ pub struct CwConfig {
 impl CwConfig {
     /// A small default suitable for tests and examples.
     pub fn new(sentences: usize) -> CwConfig {
-        CwConfig { sentences, seed: 0xc1eb, vocab: 5_000, phrases: 200, mean_len: 19 }
+        CwConfig {
+            sentences,
+            seed: 0xc1eb,
+            vocab: 5_000,
+            phrases: 200,
+            mean_len: 19,
+        }
     }
 
     /// Sets the RNG seed.
@@ -68,7 +74,8 @@ pub fn cw_like(cfg: &CwConfig) -> (Dictionary, SequenceDb) {
         sequences.push(seq);
     }
 
-    b.freeze(&SequenceDb::new(sequences)).expect("flat vocabulary is acyclic")
+    b.freeze(&SequenceDb::new(sequences))
+        .expect("flat vocabulary is acyclic")
 }
 
 fn sample_len(rng: &mut StdRng, mean: usize) -> usize {

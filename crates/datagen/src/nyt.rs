@@ -65,7 +65,9 @@ struct Vocab {
 
 fn build_vocab(b: &mut DictionaryBuilder, cfg: &NytConfig) -> Vocab {
     // POS roots and entity types.
-    for pos in ["NOUN", "VERB", "ADJ", "ADV", "DET", "PREP", "PRON", "CONJ", "ENTITY"] {
+    for pos in [
+        "NOUN", "VERB", "ADJ", "ADV", "DET", "PREP", "PRON", "CONJ", "ENTITY",
+    ] {
         b.item(pos);
     }
     for ty in ["PER", "ORG", "LOC"] {
@@ -112,7 +114,11 @@ fn build_vocab(b: &mut DictionaryBuilder, cfg: &NytConfig) -> Vocab {
             .collect()
     };
     let dets = closed(b, "DET", &["the", "a", "an", "this", "that", "its"]);
-    let preps = closed(b, "PREP", &["of", "in", "to", "for", "with", "on", "at", "by", "from"]);
+    let preps = closed(
+        b,
+        "PREP",
+        &["of", "in", "to", "for", "with", "on", "at", "by", "from"],
+    );
     let conjs = closed(b, "CONJ", &["and", "or", "but", "while"]);
     let prons = closed(b, "PRON", &["he", "she", "it", "they", "who"]);
 
@@ -125,7 +131,18 @@ fn build_vocab(b: &mut DictionaryBuilder, cfg: &NytConfig) -> Vocab {
         }
     }
 
-    Vocab { nouns, verbs, adjs, advs, be_forms, dets, preps, conjs, prons, entities }
+    Vocab {
+        nouns,
+        verbs,
+        adjs,
+        advs,
+        be_forms,
+        dets,
+        preps,
+        conjs,
+        prons,
+        entities,
+    }
 }
 
 struct Sampler {
@@ -239,7 +256,8 @@ pub fn nyt_like(cfg: &NytConfig) -> (Dictionary, SequenceDb) {
         sequences.push(sent);
     }
 
-    b.freeze(&SequenceDb::new(sequences)).expect("generated hierarchy is acyclic")
+    b.freeze(&SequenceDb::new(sequences))
+        .expect("generated hierarchy is acyclic")
 }
 
 #[cfg(test)]
@@ -287,7 +305,9 @@ mod tests {
         use desq_dist::patterns;
         let (dict, db) = nyt_like(&NytConfig::new(800));
         for c in patterns::nyt_constraints() {
-            let fst = c.compile(&dict).unwrap_or_else(|e| panic!("{}: {e}", c.name));
+            let fst = c
+                .compile(&dict)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name));
             let out = desq_miner::desq_dfs(&db, &fst, &dict, 4);
             assert!(!out.is_empty(), "{} finds nothing", c.name);
         }

@@ -1,0 +1,349 @@
+//! D-CAND: distributed mining with compressed candidate representations
+//! (Sec. VI of the paper).
+//!
+//! For every input sequence `T`, the mapper enumerates the accepting runs of
+//! the FST, σ-filters their output sets, and computes the pivot set of each
+//! run with the ⊕ merge of Th. 1 ([`merge_pivots`]). For every pivot `p` it
+//! builds a trie/NFA representing exactly the candidates of `G^σ_π(T)` with
+//! pivot `p`: each run is decomposed by the *first position producing `p`*
+//! into product terms (`< p` before, `= p` at, `≤ p` after the first
+//! occurrence), which keeps the per-position-set Cartesian semantics intact.
+//! The serialized NFA is shipped to partition `P_p`; identical NFAs are
+//! aggregated into weighted ones by the engine's combiner (Sec. VI-A
+//! "Aggregation"), and suffix-sharing minimization shrinks them further
+//! ([`nfa::TrieBuilder::minimize`]).
+//!
+//! Reducers decode the NFAs, expand each one into its (deduplicated)
+//! candidate set, and count candidates weighted by the number of source
+//! sequences — DESQ-COUNT over compressed inputs. Run enumeration and NFA
+//! expansion are bounded by [`DCandConfig::run_budget`], the analog of the
+//! paper's executor memory limit: loose constraints (e.g. `T1` at low σ)
+//! exhaust it exactly where the paper reports out-of-memory failures.
+
+pub mod nfa;
+
+use desq_core::fst::{runs, Grid};
+use desq_core::fx::FxHashMap;
+use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence};
+
+use desq_bsp::Engine;
+
+use crate::pivots::PivotSearch;
+use crate::{from_bsp, to_bsp, MiningResult};
+use nfa::{Nfa, TrieBuilder};
+
+/// Configuration of the D-CAND algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct DCandConfig {
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// Merge suffix-equivalent NFA states before serialization
+    /// (Fig. 10b "full D-CAND" vs "tries").
+    pub minimize: bool,
+    /// Aggregate identical serialized NFAs into weighted records via the
+    /// engine's combiner (Fig. 10b "tries" vs "tries, no agg").
+    pub aggregate: bool,
+    /// Work budget per sequence (map side: accepting runs walked and trie
+    /// insertions; reduce side: NFA expansion steps). Exceeding it aborts
+    /// with [`Error::ResourceExhausted`] — the paper's OOM analog.
+    pub run_budget: usize,
+}
+
+impl DCandConfig {
+    /// Full D-CAND at threshold `sigma` (minimization and aggregation on,
+    /// unbounded budget).
+    pub fn new(sigma: u64) -> DCandConfig {
+        DCandConfig {
+            sigma,
+            minimize: true,
+            aggregate: true,
+            run_budget: usize::MAX,
+        }
+    }
+
+    /// Overrides the work budget.
+    pub fn with_run_budget(mut self, budget: usize) -> DCandConfig {
+        self.run_budget = budget;
+        self
+    }
+}
+
+/// The ⊕ pivot merge of Th. 1: the pivot set of a run with output sets
+/// `sets` — i.e. `{ max(w_1..w_k) : w_i ∈ sets_i }` — equals the distinct
+/// elements of the union that are no smaller than the largest per-set
+/// minimum. Sets must be non-empty and sorted ascending; the result is
+/// sorted ascending. An empty slice yields the empty set.
+pub fn merge_pivots(sets: &[Vec<ItemId>]) -> Vec<ItemId> {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let threshold = sets.iter().map(|s| s[0]).max().expect("non-empty slice");
+    let mut out: Vec<ItemId> = Vec::new();
+    for s in sets {
+        for &w in s {
+            if w >= threshold && !out.contains(&w) {
+                out.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Decomposes `path` (σ-filtered, ε-free output sets of one accepting run)
+/// into product terms whose union is exactly the pivot-`p` candidates of
+/// the run, and inserts them into `trie`. Term `j` fixes the *first*
+/// occurrence of `p` at position `j`: items `< p` before, `p` at, `≤ p`
+/// after — so terms are disjoint and their union complete.
+fn insert_pivot_terms(
+    trie: &mut TrieBuilder,
+    path: &[Vec<ItemId>],
+    p: ItemId,
+    budget: usize,
+    work: &mut usize,
+) -> Result<()> {
+    let mut term: Vec<Vec<ItemId>> = Vec::with_capacity(path.len());
+    'first_occurrence: for j in 0..path.len() {
+        if !path[j].contains(&p) {
+            continue;
+        }
+        term.clear();
+        for (i, set) in path.iter().enumerate() {
+            let restricted: Vec<ItemId> = if i < j {
+                set.iter().copied().filter(|&w| w < p).collect()
+            } else if i == j {
+                vec![p]
+            } else {
+                set.iter().copied().filter(|&w| w <= p).collect()
+            };
+            if restricted.is_empty() {
+                continue 'first_occurrence;
+            }
+            term.push(restricted);
+        }
+        *work += 1;
+        if *work > budget {
+            return Err(Error::ResourceExhausted(format!(
+                "D-CAND trie construction exceeded budget of {budget}"
+            )));
+        }
+        trie.insert(&term);
+    }
+    Ok(())
+}
+
+/// Builds the per-pivot serialized NFAs for one input sequence.
+fn representations(
+    search: &PivotSearch<'_>,
+    fst: &Fst,
+    dict: &Dictionary,
+    seq: &Sequence,
+    config: &DCandConfig,
+) -> Result<Vec<(ItemId, Vec<u8>)>> {
+    let grid = Grid::build(fst, dict, seq);
+    if !grid.accepts() {
+        return Ok(Vec::new());
+    }
+    let budget = config.run_budget;
+    let mut work = 0usize;
+    let mut exhausted = false;
+    let mut paths: Vec<Vec<Vec<ItemId>>> = Vec::new();
+    let completed = runs::for_each_accepting_run(fst, dict, seq, &grid, |path| {
+        work += 1;
+        if work > budget {
+            exhausted = true;
+            return false;
+        }
+        if let Some(sets) = search.filtered_run_sets(path, seq) {
+            if !sets.is_empty() {
+                paths.push(sets);
+            }
+        }
+        true
+    });
+    if exhausted || !completed {
+        return Err(Error::ResourceExhausted(format!(
+            "D-CAND run enumeration exceeded budget of {budget}"
+        )));
+    }
+    let mut tries: std::collections::BTreeMap<ItemId, TrieBuilder> =
+        std::collections::BTreeMap::new();
+    for path in &paths {
+        for p in merge_pivots(path) {
+            let trie = tries.entry(p).or_default();
+            insert_pivot_terms(trie, path, p, budget, &mut work)?;
+        }
+    }
+    Ok(tries
+        .into_iter()
+        .map(|(p, trie)| {
+            let nfa = if config.minimize {
+                trie.minimize()
+            } else {
+                trie.into_nfa()
+            };
+            (p, nfa.serialize())
+        })
+        .collect())
+}
+
+/// Runs the D-CAND algorithm: one BSP round shipping per-pivot NFAs.
+pub fn d_cand(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DCandConfig,
+) -> Result<MiningResult> {
+    if config.sigma == 0 {
+        return Err(Error::Invalid("sigma must be positive".into()));
+    }
+    let last_frequent = dict.last_frequent(config.sigma);
+    let search = PivotSearch::new(fst, dict, last_frequent);
+
+    let reduce = |_p: &ItemId,
+                  inputs: Vec<(Vec<u8>, u64)>,
+                  emit: &mut dyn FnMut((Sequence, u64))|
+     -> desq_bsp::Result<()> {
+        let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+        for (bytes, weight) in inputs {
+            let nfa = Nfa::deserialize(&bytes).map_err(to_bsp)?;
+            for candidate in nfa.expand(config.run_budget).map_err(to_bsp)? {
+                *counts.entry(candidate).or_insert(0) += weight;
+            }
+        }
+        for (candidate, freq) in counts {
+            if freq >= config.sigma {
+                emit((candidate, freq));
+            }
+        }
+        Ok(())
+    };
+
+    let (mut patterns, metrics) = if config.aggregate {
+        engine
+            .map_combine_reduce(
+                parts,
+                |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Vec<u8>, u64)| {
+                    for (p, bytes) in
+                        representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
+                    {
+                        emit(p, bytes, 1);
+                    }
+                    Ok(())
+                },
+                reduce,
+            )
+            .map_err(from_bsp)?
+    } else {
+        engine
+            .map_reduce(
+                parts,
+                |seq: &Sequence, emit: &mut dyn FnMut(ItemId, (Vec<u8>, u64))| {
+                    for (p, bytes) in
+                        representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
+                    {
+                        emit(p, (bytes, 1));
+                    }
+                    Ok(())
+                },
+                reduce,
+            )
+            .map_err(from_bsp)?
+    };
+    patterns.sort();
+    Ok(MiningResult { patterns, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desq_core::toy;
+    use desq_miner::desq_count;
+
+    #[test]
+    fn merge_pivots_matches_theorem_examples() {
+        // Paper running example: the run sets of r2 on T5 are {a1}, {A, a1},
+        // {b}; achievable pivots are a1 only (A and b are below the largest
+        // minimum a1).
+        let fx = toy::fixture();
+        let sets = vec![vec![fx.a1], vec![fx.big_a, fx.a1], vec![fx.b]];
+        assert_eq!(merge_pivots(&sets), vec![fx.a1]);
+        // Degenerate cases.
+        assert!(merge_pivots(&[]).is_empty());
+        assert_eq!(merge_pivots(&[vec![3, 7]]), vec![3, 7]);
+        assert_eq!(merge_pivots(&[vec![1, 5], vec![2, 9]]), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn toy_matches_reference_across_configs() {
+        let fx = toy::fixture();
+        let engine = Engine::new(2);
+        let parts = fx.db.partition(3);
+        for sigma in 1..=4 {
+            let reference = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            for minimize in [false, true] {
+                for aggregate in [false, true] {
+                    let cfg = DCandConfig {
+                        sigma,
+                        minimize,
+                        aggregate,
+                        run_budget: usize::MAX,
+                    };
+                    let res = d_cand(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap();
+                    assert_eq!(
+                        res.patterns, reference,
+                        "σ={sigma} min={minimize} agg={aggregate}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_never_grows_shuffle() {
+        let fx = toy::fixture();
+        let engine = Engine::new(1);
+        let parts = fx.db.partition(1);
+        let plain = d_cand(
+            &engine,
+            &parts,
+            &fx.fst,
+            &fx.dict,
+            DCandConfig {
+                minimize: false,
+                ..DCandConfig::new(2)
+            },
+        )
+        .unwrap();
+        let minimized = d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap();
+        assert!(minimized.metrics.shuffle_bytes <= plain.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn zero_budget_exhausts_on_matching_input() {
+        let fx = toy::fixture();
+        let engine = Engine::new(1);
+        let parts = fx.db.partition(1);
+        let err = d_cand(
+            &engine,
+            &parts,
+            &fx.fst,
+            &fx.dict,
+            DCandConfig::new(2).with_run_budget(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn zero_sigma_rejected() {
+        let fx = toy::fixture();
+        let engine = Engine::new(1);
+        let parts = fx.db.partition(1);
+        assert!(matches!(
+            d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(0)),
+            Err(Error::Invalid(_))
+        ));
+    }
+}

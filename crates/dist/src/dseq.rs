@@ -1,0 +1,221 @@
+//! D-SEQ: distributed mining with the input-sequence representation
+//! (Sec. V of the paper).
+//!
+//! The mapper computes the pivot set `K^σ(T)` of every input sequence —
+//! with the grid DP of [`PivotSearch::pivots`] or, in the "no grid"
+//! ablation, by bounded run enumeration — and ships the (optionally
+//! rewritten) input sequence itself to every pivot partition. Identical
+//! `(pivot, sequence)` records are aggregated into weighted ones by the
+//! engine's combiner. Reducers run partition-restricted DESQ-DFS
+//! ([`desq_miner::LocalMiner`]): expansions never use items above the
+//! pivot, only pivot sequences are emitted, and the early-stopping
+//! heuristic prunes snapshots that can no longer produce the pivot
+//! (Sec. V-C).
+
+use desq_bsp::Engine;
+use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence};
+use desq_miner::{LocalMiner, MinerConfig};
+
+use crate::pivots::PivotSearch;
+use crate::{from_bsp, to_bsp, MiningResult};
+
+/// Configuration of the D-SEQ algorithm. The boolean flags correspond to
+/// the cumulative enhancements of Fig. 10a.
+#[derive(Debug, Clone, Copy)]
+pub struct DSeqConfig {
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// Compute pivot sets by grid DP (otherwise: run enumeration bounded by
+    /// `run_budget` — can exhaust the budget on loose constraints).
+    pub use_grid: bool,
+    /// Ship rewritten (trimmed) sequences instead of full ones.
+    pub rewrite: bool,
+    /// Early stopping in the partition-local miners.
+    pub early_stop: bool,
+    /// Budget for run enumeration when `use_grid` is off; the paper's OOM
+    /// analog.
+    pub run_budget: usize,
+}
+
+impl DSeqConfig {
+    /// Full D-SEQ at threshold `sigma` (grid, rewriting and early stopping
+    /// on).
+    pub fn new(sigma: u64) -> DSeqConfig {
+        DSeqConfig {
+            sigma,
+            use_grid: true,
+            rewrite: true,
+            early_stop: true,
+            run_budget: usize::MAX,
+        }
+    }
+
+    /// Overrides the run-enumeration budget.
+    pub fn with_run_budget(mut self, budget: usize) -> DSeqConfig {
+        self.run_budget = budget;
+        self
+    }
+}
+
+/// Runs the D-SEQ algorithm: one BSP round shipping rewritten sequences.
+pub fn d_seq(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DSeqConfig,
+) -> Result<MiningResult> {
+    if config.sigma == 0 {
+        return Err(Error::Invalid("sigma must be positive".into()));
+    }
+    let last_frequent = dict.last_frequent(config.sigma);
+    let search = PivotSearch::new(fst, dict, last_frequent);
+
+    let map = |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence, u64)| {
+        let ranges = if config.use_grid {
+            search.pivots(seq)
+        } else {
+            search
+                .pivots_enumerated_ranges(seq, config.run_budget)
+                .map_err(to_bsp)?
+        };
+        for pr in ranges {
+            let payload = if config.rewrite {
+                seq[pr.first as usize..=pr.last as usize].to_vec()
+            } else {
+                seq.clone()
+            };
+            emit(pr.item, payload, 1);
+        }
+        Ok(())
+    };
+    let reduce =
+        |&p: &ItemId, inputs: Vec<(Sequence, u64)>, emit: &mut dyn FnMut((Sequence, u64))| {
+            let miner_config = MinerConfig::for_pivot(config.sigma, p, config.early_stop)
+                .with_last_frequent(last_frequent);
+            for pattern in LocalMiner::new(fst, dict, miner_config).mine(&inputs) {
+                emit(pattern);
+            }
+            Ok(())
+        };
+
+    let (mut patterns, metrics) = engine
+        .map_combine_reduce(parts, map, reduce)
+        .map_err(from_bsp)?;
+    patterns.sort();
+    Ok(MiningResult { patterns, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desq_core::toy;
+    use desq_miner::{desq_count, desq_dfs};
+
+    #[test]
+    fn toy_matches_paper_result() {
+        let fx = toy::fixture();
+        let engine = Engine::new(2);
+        let parts = fx.db.partition(2);
+        let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+        let rendered: Vec<(String, u64)> = res
+            .patterns
+            .iter()
+            .map(|(s, f)| (fx.dict.render(s), *f))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("a1 b".to_string(), 3),
+                ("a1 A b".to_string(), 2),
+                ("a1 a1 b".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn all_ablations_match_reference_on_toy() {
+        let fx = toy::fixture();
+        let engine = Engine::new(3);
+        let parts = fx.db.partition(2);
+        for sigma in 1..=4 {
+            let reference = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            for use_grid in [true, false] {
+                for rewrite in [true, false] {
+                    for early_stop in [true, false] {
+                        let cfg = DSeqConfig {
+                            sigma,
+                            use_grid,
+                            rewrite,
+                            early_stop,
+                            run_budget: usize::MAX,
+                        };
+                        let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap();
+                        assert_eq!(
+                            res.patterns, reference,
+                            "σ={sigma} grid={use_grid} rewrite={rewrite} stop={early_stop}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_shrinks_shuffle() {
+        let fx = toy::fixture();
+        let engine = Engine::new(1);
+        let parts = fx.db.partition(1);
+        let full = d_seq(
+            &engine,
+            &parts,
+            &fx.fst,
+            &fx.dict,
+            DSeqConfig {
+                rewrite: false,
+                ..DSeqConfig::new(2)
+            },
+        )
+        .unwrap();
+        let rewritten = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+        // T2 loses its two leading e's.
+        assert!(rewritten.metrics.shuffle_bytes < full.metrics.shuffle_bytes);
+        assert_eq!(rewritten.patterns, full.patterns);
+    }
+
+    #[test]
+    fn agrees_with_sequential_dfs() {
+        let fx = toy::fixture();
+        let engine = Engine::new(2);
+        let parts = fx.db.partition(3);
+        for sigma in 1..=5 {
+            let seq = desq_dfs(&fx.db, &fx.fst, &fx.dict, sigma);
+            let dist = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(sigma)).unwrap();
+            assert_eq!(dist.patterns, seq, "σ={sigma}");
+        }
+    }
+
+    #[test]
+    fn no_grid_ablation_respects_budget() {
+        let fx = toy::fixture();
+        let engine = Engine::new(1);
+        let parts = fx.db.partition(1);
+        let cfg = DSeqConfig {
+            use_grid: false,
+            ..DSeqConfig::new(2).with_run_budget(1)
+        };
+        let err = d_seq(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn zero_sigma_rejected() {
+        let fx = toy::fixture();
+        let engine = Engine::new(1);
+        let parts = fx.db.partition(1);
+        assert!(matches!(
+            d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(0)),
+            Err(Error::Invalid(_))
+        ));
+    }
+}

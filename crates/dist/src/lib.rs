@@ -1,0 +1,72 @@
+//! # desq-dist
+//!
+//! The distributed frequent-sequence-mining algorithms of
+//!
+//! > A. Renz-Wieland, M. Bertsch, R. Gemulla:
+//! > *Scalable Frequent Sequence Mining with Flexible Subsequence Constraints*,
+//! > ICDE 2019.
+//!
+//! All algorithms follow the item-based partitioning framework of Alg. 1:
+//! one map-shuffle-reduce round over the [`desq_bsp::Engine`]. Mappers send,
+//! for every input sequence `T` and every *pivot item* `p ∈ K^σ(T)`, a
+//! representation of the candidate subsequences of `T` with pivot `p` to
+//! partition `P_p`; reducers mine each partition independently. The
+//! algorithms differ only in the representation they ship:
+//!
+//! * [`naive`] — NAÏVE sends the candidate subsequences `G_π(T)` verbatim,
+//!   SEMI-NAÏVE the frequency-filtered `G^σ_π(T)` (Sec. III-C);
+//! * [`d_seq`] — D-SEQ sends *rewritten input sequences* `ρ_p(T)` and runs
+//!   restricted DESQ-DFS per partition (Sec. V);
+//! * [`d_cand`] — D-CAND sends *NFAs* that compactly represent the pivot-`p`
+//!   candidates, with optional minimization and weighted aggregation of
+//!   identical NFAs (Sec. VI).
+//!
+//! Supporting machinery: [`PivotSearch`] computes pivot sets `K^σ(T)` either
+//! by dynamic programming over the position–state grid or by run enumeration
+//! (Sec. V-A/V-B), [`dcand::merge_pivots`] is the ⊕ pivot-merge of Th. 1,
+//! [`dcand::nfa`] holds the trie/NFA construction with byte-level
+//! serialization for shuffle accounting, and [`patterns`] is the constraint
+//! library of Tab. III.
+
+pub mod dcand;
+pub mod dseq;
+pub mod naive;
+pub mod patterns;
+pub mod pivots;
+
+pub use dcand::{d_cand, DCandConfig};
+pub use dseq::{d_seq, DSeqConfig};
+pub use naive::{naive, semi_naive, NaiveConfig};
+pub use pivots::{PivotRange, PivotSearch};
+
+use desq_bsp::JobMetrics;
+use desq_core::Sequence;
+
+/// Outcome of one distributed mining job.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// The frequent sequences with their frequencies, sorted
+    /// lexicographically (identical across all algorithms).
+    pub patterns: Vec<(Sequence, u64)>,
+    /// Engine measurements (wall times, shuffle volume, balance).
+    pub metrics: JobMetrics,
+}
+
+/// Maps an engine error back into the workspace error type.
+pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {
+    match e {
+        desq_bsp::Error::ResourceExhausted(m) => desq_core::Error::ResourceExhausted(m),
+        desq_bsp::Error::Decode(m) => desq_core::Error::Decode(m),
+        desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
+    }
+}
+
+/// Maps a workspace error into the engine error type (for map/reduce
+/// closures running inside a BSP job).
+pub(crate) fn to_bsp(e: desq_core::Error) -> desq_bsp::Error {
+    match e {
+        desq_core::Error::ResourceExhausted(m) => desq_bsp::Error::ResourceExhausted(m),
+        desq_core::Error::Decode(m) => desq_bsp::Error::Decode(m),
+        other => desq_bsp::Error::Worker(other.to_string()),
+    }
+}

@@ -1,0 +1,434 @@
+//! Pivot search: computing `K^σ(T)` — the pivot items of the candidate
+//! subsequences `G^σ_π(T)` — and the rewritten ranges `ρ_p(T)` (Sec. V-A
+//! and V-B of the paper).
+//!
+//! The pivot item of a candidate is its largest item; because fids are
+//! frequency ranks, that is its maximum fid. [`PivotSearch::pivots`]
+//! computes the full pivot set by dynamic programming over the
+//! position–state [`Grid`]: for every alive coordinate it maintains the set
+//! of achievable "maximum output item of an accepting completion", merging
+//! transition contributions with the ⊕ operator of Th. 1 (implemented in
+//! [`crate::dcand::merge_pivots`]). This is polynomial even when the number
+//! of accepting runs is exponential. [`PivotSearch::pivots_enumerated`] is
+//! the ablation variant that enumerates runs instead (bounded by a budget —
+//! the paper's "no grid" configuration of Fig. 10a).
+//!
+//! Rewriting: the paper shortens the input sent to partition `P_p` by
+//! dropping irrelevant prefixes and suffixes. This implementation applies
+//! *safety-clamped* trimming: a leading position is dropped only while every
+//! alive run idles in the initial state with ε output (the `.*` prefix
+//! shape), and a trailing position only while every alive coordinate is
+//! final with ε-output continuations (the `.*` suffix shape). Under these
+//! conditions trimming provably preserves the candidate sets of **all**
+//! pivots, including for adversarial FSTs where more aggressive per-pivot
+//! trimming would change results.
+
+use desq_core::fst::{runs, Grid, OutputLabel};
+use desq_core::{Dictionary, Error, Fst, ItemId, Result, EPSILON};
+
+use crate::dcand::merge_pivots;
+
+/// One pivot of a sequence together with the rewritten range: partition
+/// `P_item` receives `seq[first..=last]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PivotRange {
+    /// The pivot item (a frequent fid).
+    pub item: ItemId,
+    /// First position of the rewritten sequence (inclusive).
+    pub first: u32,
+    /// Last position of the rewritten sequence (inclusive).
+    pub last: u32,
+}
+
+/// Pivot computation for one compiled FST over one dictionary.
+pub struct PivotSearch<'a> {
+    fst: &'a Fst,
+    dict: &'a Dictionary,
+    last_frequent: ItemId,
+}
+
+impl<'a> PivotSearch<'a> {
+    /// Creates a pivot search. `last_frequent` is the largest frequent fid
+    /// (`dict.last_frequent(sigma)`), computed on the *global* database.
+    pub fn new(fst: &'a Fst, dict: &'a Dictionary, last_frequent: ItemId) -> PivotSearch<'a> {
+        PivotSearch {
+            fst,
+            dict,
+            last_frequent,
+        }
+    }
+
+    /// The σ-filtered output set of `tr` on input item `t`, with ε encoded
+    /// as [`EPSILON`]. An empty result means the transition cannot occur on
+    /// any all-frequent candidate (the run is dead under the σ filter).
+    fn filtered_outputs(&self, tr: &desq_core::fst::Transition, t: ItemId) -> Vec<ItemId> {
+        let mut buf = Vec::new();
+        tr.outputs(t, self.dict, &mut buf);
+        buf.retain(|&w| w == EPSILON || w <= self.last_frequent);
+        buf
+    }
+
+    /// `K^σ(T)`, with the shared rewritten range, sorted ascending by item.
+    pub fn pivots(&self, seq: &[ItemId]) -> Vec<PivotRange> {
+        let grid = Grid::build(self.fst, self.dict, seq);
+        let pivots = self.pivot_set(seq, &grid);
+        if pivots.is_empty() {
+            return Vec::new();
+        }
+        let (first, last) = self
+            .safe_range_with(seq, &grid)
+            .expect("pivots imply a range");
+        pivots
+            .into_iter()
+            .map(|item| PivotRange {
+                item,
+                first: first as u32,
+                last: last as u32,
+            })
+            .collect()
+    }
+
+    /// The pivot set alone (no ranges), via the grid DP.
+    fn pivot_set(&self, seq: &[ItemId], grid: &Grid) -> Vec<ItemId> {
+        if seq.is_empty() || !grid.accepts() {
+            return Vec::new();
+        }
+        let n = seq.len();
+        let q = self.fst.num_states();
+        // pivs[i * q + s]: sorted set of achievable maxima of the outputs
+        // produced from coordinate (i, s) to acceptance. EPSILON marks the
+        // all-ε completion.
+        let mut pivs: Vec<Vec<ItemId>> = vec![Vec::new(); (n + 1) * q];
+        for s in 0..q as u32 {
+            if grid.is_alive(n, s) {
+                pivs[n * q + s as usize] = vec![EPSILON];
+            }
+        }
+        for i in (0..n).rev() {
+            for s in 0..q as u32 {
+                if !grid.is_alive(i, s) {
+                    continue;
+                }
+                let mut acc: Vec<ItemId> = Vec::new();
+                for tr in self.fst.transitions(s) {
+                    if !tr.matches(seq[i], self.dict) || !grid.is_alive(i + 1, tr.to) {
+                        continue;
+                    }
+                    let outs = self.filtered_outputs(tr, seq[i]);
+                    if outs.is_empty() {
+                        continue;
+                    }
+                    let rest = &pivs[(i + 1) * q + tr.to as usize];
+                    if rest.is_empty() {
+                        continue;
+                    }
+                    // ⊕ of two sorted sets: elements of the union no
+                    // smaller than the larger of the two minima.
+                    let threshold = outs[0].max(rest[0]);
+                    for &w in outs.iter().chain(rest.iter()) {
+                        if w >= threshold && !acc.contains(&w) {
+                            acc.push(w);
+                        }
+                    }
+                }
+                acc.sort_unstable();
+                pivs[i * q + s as usize] = acc;
+            }
+        }
+        let mut out = std::mem::take(&mut pivs[self.fst.initial() as usize]);
+        out.retain(|&w| w != EPSILON);
+        out
+    }
+
+    /// `K^σ(T)` by explicit run enumeration (the "no grid" ablation).
+    /// `budget` bounds the number of runs walked.
+    pub fn pivots_enumerated(&self, seq: &[ItemId], budget: usize) -> Result<Vec<ItemId>> {
+        let grid = Grid::build(self.fst, self.dict, seq);
+        self.enumerated_set(seq, &grid, budget)
+    }
+
+    /// Like [`Self::pivots`], but computing the pivot set by run
+    /// enumeration while sharing one grid for the rewritten range (used by
+    /// D-SEQ's "no grid" ablation so the range does not rebuild it).
+    pub fn pivots_enumerated_ranges(
+        &self,
+        seq: &[ItemId],
+        budget: usize,
+    ) -> Result<Vec<PivotRange>> {
+        let grid = Grid::build(self.fst, self.dict, seq);
+        let pivots = self.enumerated_set(seq, &grid, budget)?;
+        if pivots.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (first, last) = self
+            .safe_range_with(seq, &grid)
+            .expect("pivots imply a range");
+        Ok(pivots
+            .into_iter()
+            .map(|item| PivotRange {
+                item,
+                first: first as u32,
+                last: last as u32,
+            })
+            .collect())
+    }
+
+    fn enumerated_set(&self, seq: &[ItemId], grid: &Grid, budget: usize) -> Result<Vec<ItemId>> {
+        if !grid.accepts() {
+            return Ok(Vec::new());
+        }
+        let mut work = 0usize;
+        let mut exhausted = false;
+        let mut pivots: Vec<ItemId> = Vec::new();
+        let mut sets: Vec<Vec<ItemId>> = Vec::new();
+        let completed = runs::for_each_accepting_run(self.fst, self.dict, seq, grid, |path| {
+            work += 1;
+            if work > budget {
+                exhausted = true;
+                return false;
+            }
+            sets.clear();
+            for (tr, &t) in path.iter().zip(seq) {
+                let buf = self.filtered_outputs(tr, t);
+                if buf.is_empty() {
+                    return true; // dead under the σ filter
+                }
+                if buf != [EPSILON] {
+                    sets.push(buf);
+                }
+            }
+            for p in merge_pivots(&sets) {
+                if !pivots.contains(&p) {
+                    pivots.push(p);
+                }
+            }
+            true
+        });
+        if exhausted || !completed {
+            return Err(Error::ResourceExhausted(format!(
+                "pivot enumeration exceeded budget of {budget}"
+            )));
+        }
+        pivots.sort_unstable();
+        Ok(pivots)
+    }
+
+    /// The safety-clamped rewritten range shared by all pivots of `seq`, or
+    /// `None` if the FST rejects the sequence.
+    pub fn safe_range(&self, seq: &[ItemId]) -> Option<(usize, usize)> {
+        let grid = Grid::build(self.fst, self.dict, seq);
+        self.safe_range_with(seq, &grid)
+    }
+
+    fn safe_range_with(&self, seq: &[ItemId], grid: &Grid) -> Option<(usize, usize)> {
+        if seq.is_empty() || !grid.accepts() {
+            return None;
+        }
+        let first = self.safe_front(seq, grid);
+        if first == seq.len() {
+            // Every position idles in the initial state: only the empty
+            // candidate exists. Keep a minimal non-empty range.
+            return Some((0, seq.len() - 1));
+        }
+        let last = seq.len() - 1 - self.safe_back(seq, grid, first);
+        Some((first, last))
+    }
+
+    /// Number of leading positions provably droppable: while the only alive
+    /// coordinate is the initial state and all its alive transitions are
+    /// ε-output self-loops, every alive run idles there.
+    fn safe_front(&self, seq: &[ItemId], grid: &Grid) -> usize {
+        let initial = self.fst.initial();
+        let mut i = 0;
+        while i < seq.len() {
+            if !grid.is_alive(i, initial) {
+                return i;
+            }
+            for tr in self.fst.transitions(initial) {
+                if !tr.matches(seq[i], self.dict) || !grid.is_alive(i + 1, tr.to) {
+                    continue;
+                }
+                if tr.produces_output() || tr.to != initial {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Number of trailing positions provably droppable (symmetric to
+    /// [`Self::safe_front`]): position `j` may go while every
+    /// forward-reachable coordinate `(j, s)` satisfies "alive iff final" and
+    /// all alive transitions produce ε — then ending at `j` accepts exactly
+    /// the runs that previously consumed the suffix silently.
+    fn safe_back(&self, seq: &[ItemId], grid: &Grid, first: usize) -> usize {
+        let n = seq.len();
+        let q = self.fst.num_states();
+        // Forward reachability (the grid only stores aliveness).
+        let mut fwd = vec![false; (n + 1) * q];
+        fwd[self.fst.initial() as usize] = true;
+        for i in 0..n {
+            for s in 0..q as u32 {
+                if !fwd[i * q + s as usize] {
+                    continue;
+                }
+                for tr in self.fst.transitions(s) {
+                    if tr.matches(seq[i], self.dict) {
+                        fwd[(i + 1) * q + tr.to as usize] = true;
+                    }
+                }
+            }
+        }
+        let mut dropped = 0;
+        'outer: while dropped + first + 1 < n {
+            let j = n - 1 - dropped;
+            for s in 0..q as u32 {
+                if !fwd[j * q + s as usize] {
+                    continue;
+                }
+                let alive = grid.is_alive(j, s);
+                if alive != self.fst.is_final(s) {
+                    break 'outer;
+                }
+                if !alive {
+                    continue;
+                }
+                for tr in self.fst.transitions(s) {
+                    if tr.matches(seq[j], self.dict)
+                        && grid.is_alive(j + 1, tr.to)
+                        && tr.produces_output()
+                    {
+                        break 'outer;
+                    }
+                }
+            }
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// The largest frequent fid this search filters with.
+    pub fn last_frequent(&self) -> ItemId {
+        self.last_frequent
+    }
+
+    /// Like [`Self::filtered_outputs`], exposed for D-CAND's run collection.
+    pub(crate) fn filtered_run_sets(
+        &self,
+        path: &[&desq_core::fst::Transition],
+        seq: &[ItemId],
+    ) -> Option<Vec<Vec<ItemId>>> {
+        let mut sets = Vec::new();
+        for (tr, &t) in path.iter().zip(seq) {
+            if matches!(tr.output, OutputLabel::None) {
+                continue;
+            }
+            let buf = self.filtered_outputs(tr, t);
+            if buf.is_empty() {
+                return None;
+            }
+            sets.push(buf);
+        }
+        Some(sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desq_core::fst::candidates;
+    use desq_core::toy;
+
+    #[test]
+    fn toy_pivots_match_fig3() {
+        let fx = toy::fixture();
+        let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(2));
+        let expected: [&[ItemId]; 5] = [&[fx.a1, fx.c], &[fx.a1], &[], &[], &[fx.a1]];
+        for (t, expect) in fx.db.sequences.iter().zip(expected) {
+            let got: Vec<ItemId> = search.pivots(t).iter().map(|p| p.item).collect();
+            assert_eq!(got, expect, "K({})", fx.dict.render(t));
+        }
+    }
+
+    #[test]
+    fn grid_and_enumeration_agree_on_toy() {
+        let fx = toy::fixture();
+        for sigma in 1..=5 {
+            let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(sigma));
+            for seq in &fx.db.sequences {
+                let grid: Vec<ItemId> = search.pivots(seq).iter().map(|p| p.item).collect();
+                let enumerated = search.pivots_enumerated(seq, usize::MAX).unwrap();
+                assert_eq!(grid, enumerated, "σ={sigma}, seq {seq:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivots_match_candidate_definition_on_toy() {
+        let fx = toy::fixture();
+        for sigma in 1..=5u64 {
+            let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(sigma));
+            for seq in &fx.db.sequences {
+                let cands =
+                    candidates::generate(&fx.fst, &fx.dict, seq, Some(sigma), usize::MAX).unwrap();
+                let mut expect: Vec<ItemId> = cands
+                    .iter()
+                    .map(|c| desq_core::sequence::pivot(c))
+                    .collect();
+                expect.sort_unstable();
+                expect.dedup();
+                let got: Vec<ItemId> = search.pivots(seq).iter().map(|p| p.item).collect();
+                assert_eq!(got, expect, "σ={sigma}, seq {seq:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_trims_t2_prefix() {
+        let fx = toy::fixture();
+        let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(2));
+        let t2 = &fx.db.sequences[1];
+        let pr = search.pivots(t2);
+        assert_eq!(pr.len(), 1);
+        assert_eq!((pr[0].first, pr[0].last), (2, 6));
+    }
+
+    #[test]
+    fn rewriting_preserves_candidates_on_toy() {
+        let fx = toy::fixture();
+        for sigma in 1..=4u64 {
+            let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(sigma));
+            for seq in &fx.db.sequences {
+                for pr in search.pivots(seq) {
+                    let trimmed = &seq[pr.first as usize..=pr.last as usize];
+                    let full =
+                        candidates::generate(&fx.fst, &fx.dict, seq, Some(sigma), usize::MAX)
+                            .unwrap();
+                    let cut =
+                        candidates::generate(&fx.fst, &fx.dict, trimmed, Some(sigma), usize::MAX)
+                            .unwrap();
+                    assert_eq!(full, cut, "σ={sigma}, pivot {} of {seq:?}", pr.item);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_budget_respected() {
+        let fx = toy::fixture();
+        let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(1));
+        let t2 = &fx.db.sequences[1];
+        let err = search.pivots_enumerated(t2, 1).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn empty_and_rejected_sequences_have_no_pivots() {
+        let fx = toy::fixture();
+        let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(2));
+        assert!(search.pivots(&[]).is_empty());
+        assert!(search.pivots(&fx.db.sequences[2]).is_empty()); // T3 rejected
+        assert!(search.safe_range(&[]).is_none());
+    }
+}

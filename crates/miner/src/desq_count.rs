@@ -33,8 +33,7 @@ pub fn desq_count(
             *counts.entry(c).or_insert(0) += 1;
         }
     }
-    let mut out: Vec<(Sequence, u64)> =
-        counts.into_iter().filter(|&(_, f)| f >= sigma).collect();
+    let mut out: Vec<(Sequence, u64)> = counts.into_iter().filter(|&(_, f)| f >= sigma).collect();
     out.sort();
     Ok(out)
 }
@@ -70,8 +69,7 @@ mod tests {
         // All candidates of all sequences are frequent at σ = 1:
         // 7 (T1) + 11 (T2) + 0 (T3) + 2 (T4) + 3 (T5), with
         // a1b/a1a1b/a1Ab shared between T2 and T5 and a1b also in T1.
-        let distinct: std::collections::HashSet<_> =
-            out.iter().map(|(s, _)| s.clone()).collect();
+        let distinct: std::collections::HashSet<_> = out.iter().map(|(s, _)| s.clone()).collect();
         assert_eq!(distinct.len(), 7 + 11 + 2 + 3 - 4);
         // a1 b appears in T1, T2, T5.
         let a1b = vec![fx.a1, fx.b];

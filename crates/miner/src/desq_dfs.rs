@@ -152,7 +152,14 @@ impl<'a> LocalMiner<'a> {
                 .unwrap_or(usize::MAX),
             _ => usize::MAX,
         };
-        SeqCtx { weight, grid, eps_fin, num_states: q, len: n, last_pivot_pos }
+        SeqCtx {
+            weight,
+            grid,
+            eps_fin,
+            num_states: q,
+            len: n,
+            last_pivot_pos,
+        }
     }
 
     /// Weighted count of distinct sequences with a snapshot satisfying `pred`.
@@ -292,14 +299,8 @@ impl<'a> LocalMiner<'a> {
 }
 
 /// Sequential DESQ-DFS over a whole database (each sequence has weight 1).
-pub fn desq_dfs(
-    db: &SequenceDb,
-    fst: &Fst,
-    dict: &Dictionary,
-    sigma: u64,
-) -> Vec<(Sequence, u64)> {
-    let inputs: Vec<(Sequence, u64)> =
-        db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+pub fn desq_dfs(db: &SequenceDb, fst: &Fst, dict: &Dictionary, sigma: u64) -> Vec<(Sequence, u64)> {
+    let inputs: Vec<(Sequence, u64)> = db.sequences.iter().map(|s| (s.clone(), 1)).collect();
     LocalMiner::new(fst, dict, MinerConfig::sequential(sigma)).mine(&inputs)
 }
 
@@ -339,10 +340,8 @@ mod tests {
     fn pivot_restricted_mining_matches_fig6() {
         // Partition P_a1 of the paper's Fig. 6 yields a1 a1 b, a1 A b, a1 b.
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> =
-            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
-        let miner =
-            LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(2, fx.a1, false));
+        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(2, fx.a1, false));
         let out = miner.mine(&inputs);
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
@@ -363,8 +362,7 @@ mod tests {
         // nothing; a1 b would be found but has pivot a1 < c and must not be
         // emitted here).
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> =
-            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
         for early_stop in [false, true] {
             let miner = LocalMiner::new(
                 &fx.fst,
@@ -378,22 +376,15 @@ mod tests {
     #[test]
     fn early_stopping_does_not_change_results() {
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> =
-            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
         for sigma in 1..=3 {
             for k in 1..=fx.dict.max_fid() {
-                let plain = LocalMiner::new(
-                    &fx.fst,
-                    &fx.dict,
-                    MinerConfig::for_pivot(sigma, k, false),
-                )
-                .mine(&inputs);
-                let stopped = LocalMiner::new(
-                    &fx.fst,
-                    &fx.dict,
-                    MinerConfig::for_pivot(sigma, k, true),
-                )
-                .mine(&inputs);
+                let plain =
+                    LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(sigma, k, false))
+                        .mine(&inputs);
+                let stopped =
+                    LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(sigma, k, true))
+                        .mine(&inputs);
                 assert_eq!(plain, stopped, "sigma={sigma} k={k}");
             }
         }
@@ -404,17 +395,13 @@ mod tests {
         // Item-based partitioning correctness: every frequent sequence is
         // found in exactly one partition.
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> =
-            fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
         for sigma in 1..=4 {
             let mut union: Vec<(Sequence, u64)> = Vec::new();
             for k in 1..=fx.dict.max_fid() {
-                let part = LocalMiner::new(
-                    &fx.fst,
-                    &fx.dict,
-                    MinerConfig::for_pivot(sigma, k, true),
-                )
-                .mine(&inputs);
+                let part =
+                    LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(sigma, k, true))
+                        .mine(&inputs);
                 union.extend(part);
             }
             union.sort();

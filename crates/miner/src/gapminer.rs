@@ -59,8 +59,7 @@ impl GapMiner {
 
     /// Mines a database (weight 1 per sequence).
     pub fn mine(&self, db: &SequenceDb, dict: &Dictionary) -> Vec<(Sequence, u64)> {
-        let inputs: Vec<(Sequence, u64)> =
-            db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs: Vec<(Sequence, u64)> = db.sequences.iter().map(|s| (s.clone(), 1)).collect();
         self.mine_weighted(&inputs, dict)
     }
 
@@ -213,7 +212,10 @@ mod tests {
         let out = m.mine(&db, &fx.dict);
         let rendered: Vec<String> = out.iter().map(|(s, _)| fx.dict.render(s)).collect();
         for want in ["a1 a1", "a1 A", "A a1", "A A", "a1 b", "A b"] {
-            assert!(rendered.contains(&want.to_string()), "missing {want}: {rendered:?}");
+            assert!(
+                rendered.contains(&want.to_string()),
+                "missing {want}: {rendered:?}"
+            );
         }
     }
 

@@ -29,7 +29,10 @@ impl PrefixSpan {
     /// lexicographically.
     pub fn mine(&self, db: &SequenceDb) -> Vec<(Sequence, u64)> {
         self.mine_weighted(
-            &db.sequences.iter().map(|s| (s.clone(), 1)).collect::<Vec<_>>(),
+            &db.sequences
+                .iter()
+                .map(|s| (s.clone(), 1))
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -40,8 +43,7 @@ impl PrefixSpan {
             return out;
         }
         // Root projection: every sequence from position 0.
-        let proj: Vec<(u32, u32)> =
-            (0..inputs.len()).map(|i| (i as u32, 0)).collect();
+        let proj: Vec<(u32, u32)> = (0..inputs.len()).map(|i| (i as u32, 0)).collect();
         let mut prefix = Vec::new();
         self.expand(inputs, &proj, &mut prefix, &mut out);
         out.sort();
@@ -150,7 +152,9 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(PrefixSpan::new(1, 3).mine(&SequenceDb::default()).is_empty());
+        assert!(PrefixSpan::new(1, 3)
+            .mine(&SequenceDb::default())
+            .is_empty());
         assert!(PrefixSpan::new(1, 0).mine(&db(&[&[1]])).is_empty());
     }
 }

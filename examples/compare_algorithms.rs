@@ -15,10 +15,7 @@ use desq::dist::{
     d_cand, d_seq, naive, patterns, DCandConfig, DSeqConfig, MiningResult, NaiveConfig,
 };
 
-fn run(
-    name: &str,
-    f: impl FnOnce() -> desq::core::Result<MiningResult>,
-) -> Option<MiningResult> {
+fn run(name: &str, f: impl FnOnce() -> desq::core::Result<MiningResult>) -> Option<MiningResult> {
     match f() {
         Ok(res) => {
             println!(
@@ -40,14 +37,34 @@ fn compare(engine: &Engine, db: &SequenceDb, dict: &Dictionary, fst: &Fst, sigma
     let parts = db.partition(8);
     let budget = 2_000_000;
     let nv = run("NAIVE", || {
-        naive(engine, &parts, fst, dict, NaiveConfig::naive(sigma).with_budget(budget))
+        naive(
+            engine,
+            &parts,
+            fst,
+            dict,
+            NaiveConfig::naive(sigma).with_budget(budget),
+        )
     });
     let sn = run("SEMI-NAIVE", || {
-        naive(engine, &parts, fst, dict, NaiveConfig::semi_naive(sigma).with_budget(budget))
+        naive(
+            engine,
+            &parts,
+            fst,
+            dict,
+            NaiveConfig::semi_naive(sigma).with_budget(budget),
+        )
     });
-    let ds = run("D-SEQ", || d_seq(engine, &parts, fst, dict, DSeqConfig::new(sigma)));
+    let ds = run("D-SEQ", || {
+        d_seq(engine, &parts, fst, dict, DSeqConfig::new(sigma))
+    });
     let dc = run("D-CAND", || {
-        d_cand(engine, &parts, fst, dict, DCandConfig::new(sigma).with_run_budget(budget))
+        d_cand(
+            engine,
+            &parts,
+            fst,
+            dict,
+            DCandConfig::new(sigma).with_run_budget(budget),
+        )
     });
     // Whatever completed must agree.
     let mut results: Vec<MiningResult> = [nv, sn, ds, dc].into_iter().flatten().collect();

@@ -16,8 +16,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const AMINO_ACIDS: &[&str] = &[
-    "A", "R", "N", "D", "C", "Q", "E", "G", "H", "I", "L", "K", "M", "F", "P", "S", "T", "W",
-    "Y", "V",
+    "A", "R", "N", "D", "C", "Q", "E", "G", "H", "I", "L", "K", "M", "F", "P", "S", "T", "W", "Y",
+    "V",
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
     let mut proteins = Vec::new();
     for _ in 0..20_000 {
-        let len = rng.gen_range(20..60);
+        let len = rng.gen_range(20..60usize);
         let mut p: Vec<u32> = (0..len).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
         // 40% of proteins carry the motif N-G-S or N-G-T somewhere.
         if rng.gen_bool(0.4) {

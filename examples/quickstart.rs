@@ -24,7 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let id = |name: &str| builder.id_of(name).unwrap();
     let raw = SequenceDb::new(vec![
         vec![id("a1"), id("c"), id("d"), id("c"), id("b")],
-        vec![id("e"), id("e"), id("a1"), id("e"), id("a1"), id("e"), id("b")],
+        vec![
+            id("e"),
+            id("e"),
+            id("a1"),
+            id("e"),
+            id("a1"),
+            id("e"),
+            id("b"),
+        ],
         vec![id("c"), id("d"), id("c"), id("b")],
         vec![id("a2"), id("d"), id("b")],
         vec![id("a1"), id("a1"), id("b")],
@@ -42,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    be captured (generalized) or skipped.
     let pexp = PatEx::parse(".*(A)[(.^)|.]*(b).*")?;
     let fst = Fst::compile(&pexp, &dict)?;
-    println!("\nconstraint πex compiled to an FST with {} states", fst.num_states());
+    println!(
+        "\nconstraint πex compiled to an FST with {} states",
+        fst.num_states()
+    );
 
     // 5. Mine with σ = 2, distributed across 2 workers.
     let sigma = 2;

@@ -50,7 +50,12 @@ fn check_all(dict: &Dictionary, db: &SequenceDb, fst: &Fst, sigma: u64, what: &s
 
     for minimize in [true, false] {
         for aggregate in [true, false] {
-            let cfg = DCandConfig { sigma, minimize, aggregate, run_budget: usize::MAX };
+            let cfg = DCandConfig {
+                sigma,
+                minimize,
+                aggregate,
+                run_budget: usize::MAX,
+            };
             let res = d_cand(&engine, &parts, fst, dict, cfg).unwrap();
             assert_eq!(
                 res.patterns, reference,
@@ -65,7 +70,11 @@ fn all_algorithms_agree_on_nyt_constraints() {
     let (dict, db) = nyt_like(&NytConfig::new(300));
     for c in patterns::nyt_constraints() {
         let fst = c.compile(&dict).unwrap();
-        let sigma = if matches!(c.name.as_str(), "N4" | "N5") { 20 } else { 2 };
+        let sigma = if matches!(c.name.as_str(), "N4" | "N5") {
+            20
+        } else {
+            2
+        };
         check_all(&dict, &db, &fst, sigma, &c.name);
     }
 }
@@ -114,7 +123,13 @@ fn specialized_baselines_agree_with_general_algorithms() {
     for (sigma, gamma, lambda) in [(2, 1, 4), (5, 0, 3), (3, 2, 5)] {
         let fst = patterns::t3(gamma, lambda).compile(&fdict).unwrap();
         let reference = desq_count(&fdb, &fst, &fdict, sigma, usize::MAX).unwrap();
-        let l = lash(&engine, &parts, &fdict, LashConfig::new(sigma, gamma, lambda)).unwrap();
+        let l = lash(
+            &engine,
+            &parts,
+            &fdict,
+            LashConfig::new(sigma, gamma, lambda),
+        )
+        .unwrap();
         assert_eq!(l.patterns, reference, "LASH T3({sigma},{gamma},{lambda})");
         let g = GapMiner::new(sigma, gamma, lambda, true).mine(&fdb, &fdict);
         assert_eq!(g, reference, "GapMiner T3({sigma},{gamma},{lambda})");

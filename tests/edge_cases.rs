@@ -52,8 +52,7 @@ fn pattern_that_matches_everything_vs_nothing() {
     assert!(desq_dfs(&fx.db, &all, &fx.dict, 1).is_empty());
     // Matches nothing (item 'e' exactly at the start, twice... T2 starts
     // with e e, so pick something absent).
-    let none = Fst::compile(&PatEx::parse("(c=)(c=)(c=)(c=)(c=)(c=)").unwrap(), &fx.dict)
-        .unwrap();
+    let none = Fst::compile(&PatEx::parse("(c=)(c=)(c=)(c=)(c=)(c=)").unwrap(), &fx.dict).unwrap();
     assert!(desq_dfs(&fx.db, &none, &fx.dict, 1).is_empty());
 }
 
@@ -139,8 +138,7 @@ fn unknown_items_in_pattern_surface_cleanly() {
 fn single_worker_engine_handles_many_partitions() {
     let fx = toy::fixture();
     let engine = Engine::new(1).with_reducers(16);
-    let parts: Vec<&[Sequence]> =
-        fx.db.sequences.iter().map(std::slice::from_ref).collect();
+    let parts: Vec<&[Sequence]> = fx.db.sequences.iter().map(std::slice::from_ref).collect();
     let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
     assert_eq!(res.patterns.len(), 3);
     assert_eq!(res.metrics.reducer_bytes.len(), 16);

@@ -18,13 +18,29 @@ fn frequent_sequences_of_the_running_example() {
         (vec![fx.a1, fx.a1, fx.b], 2),
     ];
     for (name, res) in [
-        ("NAIVE", naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(2)).unwrap()),
+        (
+            "NAIVE",
+            naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(2)).unwrap(),
+        ),
         (
             "SEMI-NAIVE",
-            naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::semi_naive(2)).unwrap(),
+            naive(
+                &engine,
+                &parts,
+                &fx.fst,
+                &fx.dict,
+                NaiveConfig::semi_naive(2),
+            )
+            .unwrap(),
         ),
-        ("D-SEQ", d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap()),
-        ("D-CAND", d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap()),
+        (
+            "D-SEQ",
+            d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap(),
+        ),
+        (
+            "D-CAND",
+            d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap(),
+        ),
     ] {
         assert_eq!(res.patterns, expect, "{name}");
     }
@@ -61,7 +77,10 @@ fn fig3_candidate_representation_for_t1() {
         .partition(|s| desq::core::sequence::pivot(s) == fx.c);
     let mut pc: Vec<String> = pc.iter().map(|s| fx.dict.render(s)).collect();
     pc.sort();
-    assert_eq!(pc, vec!["a1 c b", "a1 c c b", "a1 c d b", "a1 c d c b", "a1 d c b"]);
+    assert_eq!(
+        pc,
+        vec!["a1 c b", "a1 c c b", "a1 c d b", "a1 c d c b", "a1 d c b"]
+    );
     let mut pa1: Vec<String> = pa1.iter().map(|s| fx.dict.render(s)).collect();
     pa1.sort();
     assert_eq!(pa1, vec!["a1 b", "a1 d b"]);
@@ -103,7 +122,11 @@ fn partitions_only_for_frequent_pivots() {
     let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(2));
     for t in &fx.db.sequences {
         for p in search.pivots(t) {
-            assert!(fx.dict.is_frequent(p.item, 2), "pivot {} infrequent", p.item);
+            assert!(
+                fx.dict.is_frequent(p.item, 2),
+                "pivot {} infrequent",
+                p.item
+            );
         }
     }
 }

@@ -8,7 +8,7 @@ use desq::core::fst::candidates;
 use desq::core::{Dictionary, DictionaryBuilder, Fst, ItemId, PatEx, Sequence, SequenceDb};
 use desq::dist::dcand::merge_pivots;
 use desq::dist::dcand::nfa::TrieBuilder;
-use desq::dist::{d_cand, d_seq, DCandConfig, DSeqConfig, PivotSearch};
+use desq::dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig, PivotSearch};
 use desq::miner::desq_count;
 
 const BUDGET: usize = 100_000;
@@ -25,10 +25,8 @@ fn arb_world() -> impl Strategy<Value = World> {
     (3usize..7)
         .prop_flat_map(|n| {
             let edges = proptest::collection::vec((1..n, 0..n), 0..n);
-            let seqs = proptest::collection::vec(
-                proptest::collection::vec(1..=n as ItemId, 0..7),
-                1..6,
-            );
+            let seqs =
+                proptest::collection::vec(proptest::collection::vec(1..=n as ItemId, 0..7), 1..6);
             (Just(n), edges, seqs)
         })
         .prop_map(|(n, edges, seqs)| {
@@ -53,8 +51,16 @@ fn arb_pexp(items: usize) -> impl Strategy<Value = PatEx> {
             exact: false,
             up: false
         }),
-        (0..items).prop_map(|i| PatEx::Item { name: format!("i{i}"), exact: true, up: false }),
-        (0..items).prop_map(|i| PatEx::Item { name: format!("i{i}"), exact: false, up: true }),
+        (0..items).prop_map(|i| PatEx::Item {
+            name: format!("i{i}"),
+            exact: true,
+            up: false
+        }),
+        (0..items).prop_map(|i| PatEx::Item {
+            name: format!("i{i}"),
+            exact: false,
+            up: true
+        }),
         Just(PatEx::Dot { up: false }),
         Just(PatEx::Dot { up: true }),
     ];
@@ -215,6 +221,49 @@ proptest! {
             DCandConfig::new(sigma).with_run_budget(BUDGET),
         ) {
             prop_assert_eq!(&dc.patterns, &reference, "d_cand");
+        }
+    }
+
+    /// The naive distributed baselines agree with the reference on random
+    /// worlds, and pivot search returns well-formed, frequent pivot ranges.
+    #[test]
+    fn naive_baselines_and_pivot_ranges_are_sound(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let reference = match desq_count(&world.db, &fst, &world.dict, sigma, BUDGET) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // candidate explosion: skip
+        };
+        let engine = Engine::new(2);
+        let parts = world.db.partition(3);
+        let nv = naive(
+            &engine, &parts, &fst, &world.dict,
+            NaiveConfig::naive(sigma).with_budget(BUDGET),
+        );
+        if let Ok(nv) = nv {
+            prop_assert_eq!(&nv.patterns, &reference, "naive");
+        }
+        let sn = naive(
+            &engine, &parts, &fst, &world.dict,
+            NaiveConfig::semi_naive(sigma).with_budget(BUDGET),
+        );
+        if let Ok(sn) = sn {
+            prop_assert_eq!(&sn.patterns, &reference, "semi-naive");
+        }
+        let search = PivotSearch::new(&fst, &world.dict, world.dict.last_frequent(sigma));
+        for seq in &world.db.sequences {
+            for pr in search.pivots(seq) {
+                prop_assert!(pr.first <= pr.last, "range of {:?}", seq);
+                prop_assert!((pr.last as usize) < seq.len(), "range end of {:?}", seq);
+                prop_assert!(
+                    world.dict.is_frequent(pr.item, sigma),
+                    "infrequent pivot {} of {:?}", pr.item, seq
+                );
+            }
         }
     }
 
