@@ -1,0 +1,105 @@
+//! [`Miner`]-trait adapters for the specialized scalable baselines.
+//!
+//! As with the other adapters, σ comes from the [`MiningContext`] (the
+//! wrapped config's `sigma` field is overridden) and the BSP engine is
+//! created from the context's parallelism settings. Neither baseline uses
+//! an FST — the constraint is encoded in the config parameters.
+
+use desq_bsp::Engine;
+use desq_core::mining::{Miner, MiningContext, MiningResult};
+use desq_core::Result;
+
+use crate::lash::lash_impl;
+use crate::mllib::mllib_impl;
+use crate::{LashConfig, MllibConfig};
+
+/// The MG-FSM/LASH-style miner behind the unified API (max gap, max
+/// length, optional hierarchy generalization).
+#[derive(Debug, Clone, Copy)]
+pub struct Lash(pub LashConfig);
+
+impl Miner for Lash {
+    fn name(&self) -> &'static str {
+        if self.0.generalize {
+            "LASH"
+        } else {
+            "MG-FSM"
+        }
+    }
+
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult> {
+        ctx.validate()?;
+        let mut cfg = self.0;
+        cfg.sigma = ctx.sigma;
+        let engine = Engine::new(ctx.workers).with_reducers(ctx.reducers);
+        let parts = ctx.db.partition(ctx.partitions);
+        lash_impl(&engine, &parts, ctx.dict, cfg)
+    }
+}
+
+/// The MLlib-style distributed PrefixSpan behind the unified API (max
+/// length only, two rounds of communication).
+#[derive(Debug, Clone, Copy)]
+pub struct Mllib(pub MllibConfig);
+
+impl Miner for Mllib {
+    fn name(&self) -> &'static str {
+        "MLlib-PrefixSpan"
+    }
+
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult> {
+        ctx.validate()?;
+        let mut cfg = self.0;
+        cfg.sigma = ctx.sigma;
+        let engine = Engine::new(ctx.workers).with_reducers(ctx.reducers);
+        let parts = ctx.db.partition(ctx.partitions);
+        mllib_impl(&engine, &parts, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desq_core::{toy, Error};
+
+    #[test]
+    fn adapters_take_sigma_from_context() {
+        let fx = toy::fixture();
+        let ctx = desq_core::MiningContext::sequential(&fx.db, &fx.dict, 1).with_parallelism(2, 2);
+        // The config's sigma (99) is overridden by the context's (1).
+        let l = Lash(LashConfig::new(99, 1, 3)).mine(&ctx).unwrap();
+        assert!(!l.patterns.is_empty());
+        let m = Mllib(MllibConfig::new(99, 3)).mine(&ctx).unwrap();
+        assert!(!m.patterns.is_empty());
+        for res in [&l, &m] {
+            assert!(res.is_sorted());
+            assert_eq!(res.metrics.input_sequences, 5);
+            assert_eq!(res.metrics.workers, 2);
+            assert!(res.metrics.shuffle_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_rejected_uniformly() {
+        let fx = toy::fixture();
+        let ctx = desq_core::MiningContext::sequential(&fx.db, &fx.dict, 0);
+        assert!(matches!(
+            Lash(LashConfig::new(1, 1, 3)).mine(&ctx),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            Mllib(MllibConfig::new(1, 3)).mine(&ctx),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Lash(LashConfig::new(1, 1, 3)).name(), "LASH");
+        assert_eq!(
+            Lash(LashConfig::new(1, 1, 3).without_hierarchy()).name(),
+            "MG-FSM"
+        );
+        assert_eq!(Mllib(MllibConfig::new(1, 3)).name(), "MLlib-PrefixSpan");
+    }
+}

@@ -178,13 +178,15 @@ fn rewrite(
     Some(out)
 }
 
-/// Runs the LASH-style distributed miner.
-pub fn lash(
+/// The workhorse behind [`lash`] and [`crate::algo::Lash`].
+pub(crate) fn lash_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
     dict: &Dictionary,
     config: LashConfig,
 ) -> Result<MiningResult> {
+    desq_core::mining::validate_sigma(config.sigma)?;
+    let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
 
     let map = |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence, u64)| {
@@ -213,18 +215,48 @@ pub fn lash(
             Ok(())
         };
 
-    let (mut patterns, metrics) = engine
+    let (patterns, job) = engine
         .map_combine_reduce(parts, map, reduce)
         .map_err(crate::from_bsp)?;
-    patterns.sort();
+    let patterns = desq_miner::sort_patterns(patterns);
+    let input_sequences: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let metrics = desq_dist::metrics_from_job(
+        job,
+        t0.elapsed().as_nanos() as u64,
+        engine.workers(),
+        input_sequences,
+    );
     Ok(MiningResult { patterns, metrics })
+}
+
+/// Runs the LASH-style distributed miner.
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::Lash \
+            (or desq_baselines::algo::Lash via the Miner trait)"
+)]
+pub fn lash(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    dict: &Dictionary,
+    config: LashConfig,
+) -> Result<MiningResult> {
+    lash_impl(engine, parts, dict, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use desq_core::mining::{Miner, MiningContext};
     use desq_core::toy;
-    use desq_miner::desq_count;
+
+    /// Brute-force FST-based reference through the Miner trait.
+    fn reference(fx: &toy::Toy, fst: &desq_core::Fst, sigma: u64) -> Vec<(Sequence, u64)> {
+        desq_miner::algo::DesqCount
+            .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(fst))
+            .unwrap()
+            .patterns
+    }
 
     #[test]
     fn lash_matches_gapminer_and_desq_t3_on_toy() {
@@ -235,7 +267,7 @@ mod tests {
             for gamma in 0..=2usize {
                 for lambda in 2..=4usize {
                     let cfg = LashConfig::new(sigma, gamma, lambda);
-                    let dist = lash(&engine, &parts, &fx.dict, cfg).unwrap();
+                    let dist = lash_impl(&engine, &parts, &fx.dict, cfg).unwrap();
                     let seq_miner =
                         GapMiner::new(sigma, gamma, lambda, true).mine(&fx.db, &fx.dict);
                     assert_eq!(
@@ -245,7 +277,7 @@ mod tests {
                     // And against the general FST-based reference.
                     let c = desq_dist::patterns::t3(gamma, lambda);
                     let fst = c.compile(&fx.dict).unwrap();
-                    let reference = desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
+                    let reference = reference(&fx, &fst, sigma);
                     assert_eq!(dist.patterns, reference, "vs DESQ {} σ={sigma}", c.name);
                 }
             }
@@ -260,10 +292,10 @@ mod tests {
         for sigma in 1..=2u64 {
             for gamma in 0..=1usize {
                 let cfg = LashConfig::new(sigma, gamma, 3).without_hierarchy();
-                let dist = lash(&engine, &parts, &fx.dict, cfg).unwrap();
+                let dist = lash_impl(&engine, &parts, &fx.dict, cfg).unwrap();
                 let c = desq_dist::patterns::t2(gamma, 3);
                 let fst = c.compile(&fx.dict).unwrap();
-                let reference = desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
+                let reference = reference(&fx, &fst, sigma);
                 assert_eq!(dist.patterns, reference, "{} σ={sigma}", c.name);
             }
         }
@@ -292,7 +324,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(2);
         let parts = fx.db.partition(2);
-        let res = lash(&engine, &parts, &fx.dict, LashConfig::new(2, 1, 5)).unwrap();
+        let res = lash_impl(&engine, &parts, &fx.dict, LashConfig::new(2, 1, 5)).unwrap();
         // Rough sanity: rewritten representations for the toy db are small.
         assert!(res.metrics.shuffle_bytes < 200);
     }

@@ -16,11 +16,16 @@
 //! equivalent T1/T2/T3 pattern expressions, which the cross-validation
 //! tests assert.
 
+pub mod algo;
 pub mod lash;
 pub mod mllib;
 
-pub use lash::{lash, LashConfig};
-pub use mllib::{mllib_prefixspan, MllibConfig};
+#[allow(deprecated)]
+pub use lash::lash;
+pub use lash::LashConfig;
+#[allow(deprecated)]
+pub use mllib::mllib_prefixspan;
+pub use mllib::MllibConfig;
 
 /// Maps an engine error back into the workspace error type.
 pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {

@@ -39,16 +39,24 @@ impl MllibConfig {
 
 use crate::from_bsp;
 
-/// Runs the MLlib-style distributed PrefixSpan.
-pub fn mllib_prefixspan(
+/// The workhorse behind [`mllib_prefixspan`] and [`crate::algo::Mllib`].
+pub(crate) fn mllib_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
     config: MllibConfig,
 ) -> Result<MiningResult> {
+    desq_core::mining::validate_sigma(config.sigma)?;
+    let t0 = std::time::Instant::now();
+    let input_sequences: u64 = parts.iter().map(|p| p.len() as u64).sum();
     if config.max_len == 0 {
         return Ok(MiningResult {
             patterns: Vec::new(),
-            metrics: JobMetrics::default(),
+            metrics: desq_dist::metrics_from_job(
+                JobMetrics::default(),
+                t0.elapsed().as_nanos() as u64,
+                engine.workers(),
+                input_sequences,
+            ),
         });
     }
 
@@ -115,10 +123,11 @@ pub fn mllib_prefixspan(
         )
         .map_err(from_bsp)?;
 
-    let mut patterns: Vec<(Sequence, u64)> = nested.into_iter().flatten().collect();
-    patterns.sort();
+    let patterns = desq_miner::sort_patterns(nested.into_iter().flatten().collect());
 
-    let metrics = JobMetrics {
+    // Both rounds' measurements are summed — this faithfully exposes the
+    // extra communication relative to the single-round D-SEQ/D-CAND.
+    let job = JobMetrics {
         map_nanos: m1.map_nanos + m2.map_nanos,
         reduce_nanos: m1.reduce_nanos + m2.reduce_nanos,
         emitted_records: m1.emitted_records + m2.emitted_records,
@@ -127,14 +136,34 @@ pub fn mllib_prefixspan(
         reducer_bytes: m2.reducer_bytes,
         output_records: patterns.len() as u64,
     };
+    let metrics = desq_dist::metrics_from_job(
+        job,
+        t0.elapsed().as_nanos() as u64,
+        engine.workers(),
+        input_sequences,
+    );
     Ok(MiningResult { patterns, metrics })
+}
+
+/// Runs the MLlib-style distributed PrefixSpan.
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::Mllib \
+            (or desq_baselines::algo::Mllib via the Miner trait)"
+)]
+pub fn mllib_prefixspan(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    config: MllibConfig,
+) -> Result<MiningResult> {
+    mllib_impl(engine, parts, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use desq_core::mining::{Miner, MiningContext};
     use desq_core::toy;
-    use desq_miner::desq_count;
 
     #[test]
     fn matches_sequential_prefixspan_on_toy() {
@@ -143,8 +172,7 @@ mod tests {
         let parts = fx.db.partition(2);
         for sigma in 1..=3u64 {
             for lambda in 1..=4usize {
-                let dist =
-                    mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, lambda)).unwrap();
+                let dist = mllib_impl(&engine, &parts, MllibConfig::new(sigma, lambda)).unwrap();
                 let seq = PrefixSpan::new(sigma, lambda).mine(&fx.db);
                 assert_eq!(dist.patterns, seq, "σ={sigma} λ={lambda}");
             }
@@ -159,8 +187,11 @@ mod tests {
         for sigma in 2..=3u64 {
             let c = desq_dist::patterns::t1(3);
             let fst = c.compile(&fx.dict).unwrap();
-            let reference = desq_count(&fx.db, &fst, &fx.dict, sigma, usize::MAX).unwrap();
-            let dist = mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 3)).unwrap();
+            let reference = desq_miner::algo::DesqCount
+                .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(&fst))
+                .unwrap()
+                .patterns;
+            let dist = mllib_impl(&engine, &parts, MllibConfig::new(sigma, 3)).unwrap();
             assert_eq!(dist.patterns, reference, "{} σ={sigma}", c.name);
         }
     }
@@ -170,7 +201,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(2);
         let parts = fx.db.partition(2);
-        let res = mllib_prefixspan(&engine, &parts, MllibConfig::new(2, 3)).unwrap();
+        let res = mllib_impl(&engine, &parts, MllibConfig::new(2, 3)).unwrap();
         // Both rounds shuffle something.
         assert!(res.metrics.shuffle_records > 0);
         assert!(res.metrics.shuffle_bytes > 0);
@@ -181,7 +212,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
-        let res = mllib_prefixspan(&engine, &parts, MllibConfig::new(1, 0)).unwrap();
+        let res = mllib_impl(&engine, &parts, MllibConfig::new(1, 0)).unwrap();
         assert!(res.patterns.is_empty());
     }
 }

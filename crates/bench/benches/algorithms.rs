@@ -1,54 +1,60 @@
 //! Criterion benchmarks of the end-to-end algorithms on small workloads —
 //! one group per paper experiment family (Fig. 9 / Fig. 12 / Fig. 13
-//! shapes at benchmark scale).
+//! shapes at benchmark scale), all dispatched through the unified
+//! `MiningSession` API.
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use desq_baselines::{lash, mllib_prefixspan, LashConfig, MllibConfig};
-use desq_bsp::Engine;
+use desq::session::{AlgorithmSpec, MiningSession};
+use desq_baselines::LashConfig;
 use desq_core::{Dictionary, SequenceDb};
 use desq_datagen::{amzn_like, nyt_like, to_forest, AmznConfig, NytConfig};
-use desq_dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig};
 
-fn nyt() -> (Dictionary, SequenceDb) {
-    nyt_like(&NytConfig::new(3_000))
+fn nyt() -> (Arc<Dictionary>, Arc<SequenceDb>) {
+    let (d, db) = nyt_like(&NytConfig::new(3_000));
+    (Arc::new(d), Arc::new(db))
 }
 
-fn amzn_f() -> (Dictionary, SequenceDb) {
+fn amzn_f() -> (Arc<Dictionary>, Arc<SequenceDb>) {
     let (d, db) = amzn_like(&AmznConfig::new(3_000));
-    to_forest(&d, &db)
+    let (d, db) = to_forest(&d, &db);
+    (Arc::new(d), Arc::new(db))
+}
+
+fn session(dict: &Arc<Dictionary>, db: &Arc<SequenceDb>, expr: &str, sigma: u64) -> MiningSession {
+    MiningSession::builder()
+        .dictionary(dict.clone())
+        .database(db.clone())
+        .pattern_unanchored(expr)
+        .sigma(sigma)
+        .workers(4)
+        .build()
+        .unwrap()
 }
 
 /// Fig. 9 shape: the four general algorithms on a selective (N1) and a
 /// loose (N4) constraint.
 fn bench_fig9(c: &mut Criterion) {
     let (dict, db) = nyt();
-    let engine = Engine::new(4);
-    let parts = db.partition(4);
     for (cname, sigma) in [("N1", 3u64), ("N4", 60u64)] {
         let constraint = match cname {
             "N1" => desq_dist::patterns::n1(),
             _ => desq_dist::patterns::n4(),
         };
-        let fst = constraint.compile(&dict).unwrap();
+        let base = session(&dict, &db, &constraint.expr, sigma);
         let mut group = c.benchmark_group(format!("fig9/{cname}"));
         group.sample_size(10);
-        group.bench_function(BenchmarkId::new("semi_naive", sigma), |b| {
-            b.iter(|| {
-                black_box(
-                    naive(&engine, &parts, &fst, &dict, NaiveConfig::semi_naive(sigma)).unwrap(),
-                )
-            })
-        });
-        group.bench_function(BenchmarkId::new("d_seq", sigma), |b| {
-            b.iter(|| {
-                black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap())
-            })
-        });
-        group.bench_function(BenchmarkId::new("d_cand", sigma), |b| {
-            b.iter(|| {
-                black_box(d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma)).unwrap())
-            })
-        });
+        for spec in [
+            AlgorithmSpec::SemiNaive,
+            AlgorithmSpec::d_seq(),
+            AlgorithmSpec::d_cand(),
+        ] {
+            let run = base.with_algorithm(spec).unwrap();
+            group.bench_function(BenchmarkId::new(spec.name(), sigma), |b| {
+                b.iter(|| black_box(run.run().unwrap()))
+            });
+        }
         group.finish();
     }
 }
@@ -56,39 +62,32 @@ fn bench_fig9(c: &mut Criterion) {
 /// Fig. 12 shape: LASH vs D-SEQ vs D-CAND in the specialized setting.
 fn bench_fig12(c: &mut Criterion) {
     let (dict, db) = amzn_f();
-    let engine = Engine::new(4);
-    let parts = db.partition(4);
     let sigma = 8u64;
-    let fst = desq_dist::patterns::t3(1, 5).compile(&dict).unwrap();
+    let base = session(&dict, &db, &desq_dist::patterns::t3(1, 5).expr, sigma);
     let mut group = c.benchmark_group("fig12/T3(8,1,5)");
     group.sample_size(10);
-    group.bench_function("lash", |b| {
-        b.iter(|| black_box(lash(&engine, &parts, &dict, LashConfig::new(sigma, 1, 5)).unwrap()))
-    });
-    group.bench_function("d_seq", |b| {
-        b.iter(|| black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap()))
-    });
-    group.bench_function("d_cand", |b| {
-        b.iter(|| black_box(d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma)).unwrap()))
-    });
+    for spec in [
+        AlgorithmSpec::Lash(LashConfig::new(sigma, 1, 5)),
+        AlgorithmSpec::d_seq(),
+        AlgorithmSpec::d_cand(),
+    ] {
+        let run = base.with_algorithm(spec).unwrap();
+        group.bench_function(spec.name(), |b| b.iter(|| black_box(run.run().unwrap())));
+    }
     group.finish();
 }
 
 /// Fig. 13 shape: MLlib PrefixSpan vs D-SEQ in the max-length-only setting.
 fn bench_fig13(c: &mut Criterion) {
     let (dict, db) = amzn_f();
-    let engine = Engine::new(4);
-    let parts = db.partition(4);
     let sigma = 150u64;
-    let fst = desq_dist::patterns::t1(5).compile(&dict).unwrap();
+    let base = session(&dict, &db, &desq_dist::patterns::t1(5).expr, sigma);
     let mut group = c.benchmark_group("fig13/T1(150,5)");
     group.sample_size(10);
-    group.bench_function("mllib", |b| {
-        b.iter(|| black_box(mllib_prefixspan(&engine, &parts, MllibConfig::new(sigma, 5)).unwrap()))
-    });
-    group.bench_function("d_seq", |b| {
-        b.iter(|| black_box(d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma)).unwrap()))
-    });
+    for spec in [AlgorithmSpec::Mllib { max_len: 5 }, AlgorithmSpec::d_seq()] {
+        let run = base.with_algorithm(spec).unwrap();
+        group.bench_function(spec.name(), |b| b.iter(|| black_box(run.run().unwrap())));
+    }
     group.finish();
 }
 

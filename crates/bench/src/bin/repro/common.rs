@@ -1,19 +1,18 @@
 //! Shared helpers for the reproduction targets.
+//!
+//! Everything runs through the unified session API: a target builds one
+//! [`MiningSession`] per workload (see
+//! [`desq_bench::workloads::session_for`]) and dispatches it to each
+//! algorithm with [`MiningSession::with_algorithm`].
 
-use desq_bsp::Engine;
-use desq_core::{Dictionary, Error, Fst, Result, Sequence, SequenceDb};
-use desq_dist::MiningResult;
-
-/// Per-sequence work budget standing in for the paper's executor memory
-/// limit: candidate generation / run enumeration beyond this aborts with
-/// the OOM-analog `ResourceExhausted`.
-pub const OOM_BUDGET: usize = 2_000_000;
+use desq::core::{Error, MiningResult, Result};
+use desq::session::{AlgorithmSpec, MiningSession};
 
 /// Outcome of one algorithm run: completed with measurements, or the
 /// OOM analog (the reason is reported on stderr when it occurs).
 #[allow(dead_code)]
 pub enum Outcome {
-    Done(MiningResult, f64),
+    Done(MiningResult),
     Oom(String),
 }
 
@@ -21,7 +20,7 @@ impl Outcome {
     /// Wall-clock column.
     pub fn time(&self) -> String {
         match self {
-            Outcome::Done(_, secs) => desq_bench::report::secs(*secs),
+            Outcome::Done(res) => desq_bench::report::secs(res.metrics.total_secs()),
             Outcome::Oom(_) => "n/a (OOM)".to_string(),
         }
     }
@@ -29,7 +28,7 @@ impl Outcome {
     /// Shuffle-size column.
     pub fn shuffle(&self) -> String {
         match self {
-            Outcome::Done(res, _) => desq_bench::report::bytes(res.metrics.shuffle_bytes),
+            Outcome::Done(res) => desq_bench::report::bytes(res.metrics.shuffle_bytes),
             Outcome::Oom(_) => "n/a (OOM)".to_string(),
         }
     }
@@ -37,7 +36,7 @@ impl Outcome {
     /// Output-count column.
     pub fn patterns(&self) -> String {
         match self {
-            Outcome::Done(res, _) => res.patterns.len().to_string(),
+            Outcome::Done(res) => res.patterns.len().to_string(),
             Outcome::Oom(_) => "-".to_string(),
         }
     }
@@ -45,18 +44,17 @@ impl Outcome {
     /// The completed result, if any.
     pub fn result(&self) -> Option<&MiningResult> {
         match self {
-            Outcome::Done(res, _) => Some(res),
+            Outcome::Done(res) => Some(res),
             Outcome::Oom(_) => None,
         }
     }
 }
 
-/// Runs one distributed algorithm, mapping `ResourceExhausted` to the OOM
-/// outcome and propagating any other failure as a panic (a reproduction bug).
+/// Runs one algorithm, mapping `ResourceExhausted` to the OOM outcome and
+/// propagating any other failure as a panic (a reproduction bug).
 pub fn run_outcome(f: impl FnOnce() -> Result<MiningResult>) -> Outcome {
-    let (res, secs) = desq_bench::timed(f);
-    match res {
-        Ok(r) => Outcome::Done(r, secs),
+    match f() {
+        Ok(r) => Outcome::Done(r),
         Err(Error::ResourceExhausted(m)) => {
             eprintln!("  [OOM analog: {m}]");
             Outcome::Oom(m)
@@ -65,68 +63,20 @@ pub fn run_outcome(f: impl FnOnce() -> Result<MiningResult>) -> Outcome {
     }
 }
 
-/// The engine used across all reproduction targets.
-pub fn engine() -> Engine {
-    Engine::new(desq_bench::default_workers())
+/// Dispatches `base` to `spec` and wraps the run in an [`Outcome`].
+pub fn run_spec(base: &MiningSession, spec: AlgorithmSpec) -> Outcome {
+    run_outcome(|| base.with_algorithm(spec)?.run())
 }
 
-/// Standard partitioning: one map partition per worker.
-pub fn parts(db: &SequenceDb) -> Vec<&[Sequence]> {
-    db.partition(desq_bench::default_workers())
-}
-
-/// All four general algorithms on one workload.
-pub fn four_algorithms(
-    engine: &Engine,
-    db: &SequenceDb,
-    dict: &Dictionary,
-    fst: &Fst,
-    sigma: u64,
-) -> [(&'static str, Outcome); 4] {
-    use desq_dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig};
-    let ps = parts(db);
+/// All four general algorithms on one workload session.
+pub fn four_algorithms(base: &MiningSession) -> [(&'static str, Outcome); 4] {
     [
-        (
-            "NAIVE",
-            run_outcome(|| {
-                naive(
-                    engine,
-                    &ps,
-                    fst,
-                    dict,
-                    NaiveConfig::naive(sigma).with_budget(OOM_BUDGET),
-                )
-            }),
-        ),
-        (
-            "SEMI-NAIVE",
-            run_outcome(|| {
-                naive(
-                    engine,
-                    &ps,
-                    fst,
-                    dict,
-                    NaiveConfig::semi_naive(sigma).with_budget(OOM_BUDGET),
-                )
-            }),
-        ),
-        (
-            "D-SEQ",
-            run_outcome(|| d_seq(engine, &ps, fst, dict, DSeqConfig::new(sigma))),
-        ),
-        (
-            "D-CAND",
-            run_outcome(|| {
-                d_cand(
-                    engine,
-                    &ps,
-                    fst,
-                    dict,
-                    DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
-                )
-            }),
-        ),
+        AlgorithmSpec::Naive,
+        AlgorithmSpec::SemiNaive,
+        AlgorithmSpec::d_seq(),
+        AlgorithmSpec::d_cand(),
     ]
+    .map(|spec| (spec.name(), run_spec(base, spec)))
 }
 
 /// Asserts that all completed outcomes agree on the mined patterns.

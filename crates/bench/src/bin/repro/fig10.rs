@@ -1,67 +1,64 @@
 //! Fig. 10: component ablations of D-SEQ (grid, rewrites, early stopping)
 //! and D-CAND (NFA minimization, aggregation).
 
-use crate::common::{engine, parts, run_outcome, OOM_BUDGET};
+use std::sync::Arc;
+
+use crate::common::run_spec;
+use desq::session::{AlgorithmSpec, MiningSession};
 use desq_bench::report::Table;
-use desq_bench::workloads::{self, sigma_for};
+use desq_bench::workloads::{self, session_for, sigma_for};
 use desq_core::{Dictionary, SequenceDb};
 use desq_dist::patterns::{self, Constraint};
-use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
+use desq_dist::{DCandConfig, DSeqConfig};
 
 struct Workload {
     constraint: Constraint,
-    dict: Dictionary,
-    db: SequenceDb,
+    dict: Arc<Dictionary>,
+    db: Arc<SequenceDb>,
     sigma: u64,
 }
 
+impl Workload {
+    fn session(&self) -> MiningSession {
+        session_for(&self.dict, &self.db, &self.constraint, self.sigma)
+    }
+}
+
 fn dseq_ablation(t: &mut Table, w: &Workload) {
-    let fst = w.constraint.compile(&w.dict).unwrap();
-    let eng = engine();
-    let ps = parts(&w.db);
+    let base = w.session();
+    // The boolean flags are the cumulative enhancements of Fig. 10a; σ and
+    // budget come from the session.
     let variants: [(&str, DSeqConfig); 4] = [
         (
             "no stop, no rewrites, no grid",
             DSeqConfig {
-                sigma: w.sigma,
                 use_grid: false,
                 rewrite: false,
                 early_stop: false,
-                run_budget: OOM_BUDGET,
+                ..DSeqConfig::new(1)
             },
         ),
         (
             "no stop, no rewrites",
             DSeqConfig {
-                sigma: w.sigma,
-                use_grid: true,
                 rewrite: false,
                 early_stop: false,
-                run_budget: OOM_BUDGET,
+                ..DSeqConfig::new(1)
             },
         ),
         (
             "no stop",
             DSeqConfig {
-                sigma: w.sigma,
-                use_grid: true,
-                rewrite: true,
                 early_stop: false,
-                run_budget: OOM_BUDGET,
+                ..DSeqConfig::new(1)
             },
         ),
-        (
-            "full D-SEQ",
-            DSeqConfig {
-                run_budget: OOM_BUDGET,
-                ..DSeqConfig::new(w.sigma)
-            },
-        ),
+        ("full D-SEQ", DSeqConfig::new(1)),
     ];
     let mut reference: Option<Vec<(Vec<u32>, u64)>> = None;
     let mut cells = vec![format!("{}(σ={})", w.constraint.name, w.sigma)];
     for (_, cfg) in &variants {
-        let o = run_outcome(|| d_seq(&eng, &ps, &fst, &w.dict, *cfg));
+        let o = run_spec(&base, AlgorithmSpec::DSeq(*cfg));
         if let Some(res) = o.result() {
             match &reference {
                 None => reference = Some(res.patterns.clone()),
@@ -74,37 +71,29 @@ fn dseq_ablation(t: &mut Table, w: &Workload) {
 }
 
 fn dcand_ablation(t: &mut Table, w: &Workload) {
-    let fst = w.constraint.compile(&w.dict).unwrap();
-    let eng = engine();
-    let ps = parts(&w.db);
+    let base = w.session();
     let variants: [(&str, DCandConfig); 3] = [
         (
             "tries, no agg",
             DCandConfig {
-                sigma: w.sigma,
                 minimize: false,
                 aggregate: false,
-                run_budget: OOM_BUDGET,
+                ..DCandConfig::new(1)
             },
         ),
         (
             "tries",
             DCandConfig {
-                sigma: w.sigma,
                 minimize: false,
-                aggregate: true,
-                run_budget: OOM_BUDGET,
+                ..DCandConfig::new(1)
             },
         ),
-        (
-            "full D-CAND",
-            DCandConfig::new(w.sigma).with_run_budget(OOM_BUDGET),
-        ),
+        ("full D-CAND", DCandConfig::new(1)),
     ];
     let mut reference: Option<Vec<(Vec<u32>, u64)>> = None;
     let mut cells = vec![format!("{}(σ={})", w.constraint.name, w.sigma)];
     for (_, cfg) in &variants {
-        let o = run_outcome(|| d_cand(&eng, &ps, &fst, &w.dict, *cfg));
+        let o = run_spec(&base, AlgorithmSpec::DCand(*cfg));
         if let Some(res) = o.result() {
             match &reference {
                 None => reference = Some(res.patterns.clone()),
@@ -123,9 +112,9 @@ fn dcand_ablation(t: &mut Table, w: &Workload) {
 }
 
 pub fn run() {
-    let (nyt_dict, nyt_db) = workloads::nyt();
-    let (amzn_dict, amzn_db) = workloads::amzn();
-    let (f_dict, f_db) = workloads::amzn_f();
+    let (nyt_dict, nyt_db) = workloads::shared(workloads::nyt());
+    let (amzn_dict, amzn_db) = workloads::shared(workloads::amzn());
+    let (f_dict, f_db) = workloads::shared(workloads::amzn_f());
 
     let a1 = Workload {
         sigma: sigma_for(&amzn_db, 0.001, 5),

@@ -1,19 +1,31 @@
 //! Fig. 11: data, strong and weak scalability of D-SEQ and D-CAND
 //! (constraint T3(σ,1,5) on AMZN-F, as in the paper).
 
-use crate::common::run_outcome;
-use desq_bench::report::{secs, Table};
-use desq_bench::workloads::{self, sigma_for};
-use desq_bsp::Engine;
-use desq_core::{Dictionary, SequenceDb};
-use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
+use std::sync::Arc;
 
-fn both(workers: usize, dict: &Dictionary, db: &SequenceDb, sigma: u64) -> (String, String) {
-    let eng = Engine::new(workers);
-    let ps = db.partition(workers);
-    let fst = desq_dist::patterns::t3(1, 5).compile(dict).unwrap();
-    let ds = run_outcome(|| d_seq(&eng, &ps, &fst, dict, DSeqConfig::new(sigma)));
-    let dc = run_outcome(|| d_cand(&eng, &ps, &fst, dict, DCandConfig::new(sigma)));
+use crate::common::run_spec;
+use desq::session::{AlgorithmSpec, MiningSession};
+use desq_bench::report::Table;
+use desq_bench::workloads::{self, sigma_for, OOM_BUDGET};
+use desq_core::{Dictionary, SequenceDb};
+
+fn both(
+    workers: usize,
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
+    sigma: u64,
+) -> (String, String) {
+    let base = MiningSession::builder()
+        .dictionary(dict.clone())
+        .database(db.clone())
+        .pattern_unanchored(&desq_dist::patterns::t3(1, 5).expr)
+        .sigma(sigma)
+        .workers(workers)
+        .budget(OOM_BUDGET)
+        .build()
+        .unwrap();
+    let ds = run_spec(&base, AlgorithmSpec::d_seq());
+    let dc = run_spec(&base, AlgorithmSpec::d_cand());
     if let (Some(a), Some(b)) = (ds.result(), dc.result()) {
         assert_eq!(a.patterns, b.patterns);
     }
@@ -30,7 +42,7 @@ pub fn run() {
         &["% of data", "σ", "D-SEQ", "D-CAND"],
     );
     for pct in [25, 50, 75, 100] {
-        let (dict, db) = workloads::amzn_f_fraction(pct);
+        let (dict, db) = workloads::shared(workloads::amzn_f_fraction(pct));
         let sigma = sigma_for(&db, 0.0025, 2);
         let (ds, dc) = both(workers, &dict, &db, sigma);
         a.row(vec![pct.to_string(), sigma.to_string(), ds, dc]);
@@ -42,7 +54,7 @@ pub fn run() {
         "Fig. 11b: strong scalability (100% of data)",
         &["workers", "D-SEQ", "D-CAND"],
     );
-    let (dict, db) = workloads::amzn_f_fraction(100);
+    let (dict, db) = workloads::shared(workloads::amzn_f_fraction(100));
     let sigma = sigma_for(&db, 0.0025, 2);
     for w in [2, 4, 8] {
         let (ds, dc) = both(w, &dict, &db, sigma);
@@ -56,7 +68,7 @@ pub fn run() {
         &["workers (% data)", "σ", "D-SEQ", "D-CAND"],
     );
     for (w, pct) in [(2, 25), (4, 50), (6, 75), (8, 100)] {
-        let (dict, db) = workloads::amzn_f_fraction(pct);
+        let (dict, db) = workloads::shared(workloads::amzn_f_fraction(pct));
         let sigma = sigma_for(&db, 0.0025, 2);
         let (ds, dc) = both(w, &dict, &db, sigma);
         c.row(vec![format!("{w} ({pct}%)"), sigma.to_string(), ds, dc]);
@@ -66,5 +78,4 @@ pub fn run() {
     // Reference: single-worker run for the parallel-efficiency shape.
     let (ds1, _) = both(1, &dict, &db, sigma);
     println!("reference: 1 worker D-SEQ = {ds1}; paper shape: near-linear in both directions");
-    let _ = secs(0.0);
 }

@@ -1,53 +1,51 @@
 //! Fig. 12: the LASH setting — generalization overhead of D-SEQ/D-CAND over
 //! the specialized LASH algorithm (max gap, max length, hierarchy).
 
-use crate::common::{engine, parts, run_outcome, Outcome, OOM_BUDGET};
-use desq_baselines::{lash, LashConfig};
+use std::sync::Arc;
+
+use crate::common::{run_spec, Outcome};
+use desq::session::AlgorithmSpec;
+use desq_baselines::LashConfig;
 use desq_bench::report::Table;
-use desq_bench::workloads::{self, sigma_for};
+use desq_bench::workloads::{self, session_for, sigma_for};
 use desq_core::{Dictionary, SequenceDb};
-use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
 
 #[allow(clippy::too_many_arguments)] // a table row is exactly this wide
 fn row(
     t: &mut Table,
     name: &str,
-    dict: &Dictionary,
-    db: &SequenceDb,
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
     sigma: u64,
     gamma: usize,
     lambda: usize,
     hierarchy: bool,
 ) {
-    let eng = engine();
-    let ps = parts(db);
-
-    let mut lash_cfg = LashConfig::new(sigma, gamma, lambda);
-    if !hierarchy {
-        lash_cfg = lash_cfg.without_hierarchy();
-    }
-    let l = run_outcome(|| lash(&eng, &ps, dict, lash_cfg));
-
     let c = if hierarchy {
         desq_dist::patterns::t3(gamma, lambda)
     } else {
         desq_dist::patterns::t2(gamma, lambda)
     };
-    let fst = c.compile(dict).unwrap();
-    let ds = run_outcome(|| d_seq(&eng, &ps, &fst, dict, DSeqConfig::new(sigma)));
-    let dc = run_outcome(|| {
-        d_cand(
-            &eng,
-            &ps,
-            &fst,
-            dict,
-            DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
-        )
-    });
+    // One session carries both the compiled T2/T3 constraint (for
+    // D-SEQ/D-CAND) and the parameters LASH mines natively.
+    let base = session_for(dict, db, &c, sigma);
+
+    let mut lash_cfg = LashConfig::new(sigma, gamma, lambda);
+    if !hierarchy {
+        lash_cfg = lash_cfg.without_hierarchy();
+    }
+    let l = run_spec(&base, AlgorithmSpec::Lash(lash_cfg));
+    let ds = run_spec(&base, AlgorithmSpec::d_seq());
+    let dc = run_spec(&base, AlgorithmSpec::d_cand());
 
     // Generalization overhead, the paper's headline number for Fig. 12.
     let overhead = |o: &Outcome| match (o, &l) {
-        (Outcome::Done(_, s), Outcome::Done(_, ls)) => format!("{:.1}x", s / ls),
+        (Outcome::Done(res), Outcome::Done(lres)) => {
+            format!(
+                "{:.1}x",
+                res.metrics.total_secs() / lres.metrics.total_secs()
+            )
+        }
         _ => "-".to_string(),
     };
     if let (Some(a), Some(b)) = (l.result(), ds.result()) {
@@ -62,7 +60,7 @@ fn row(
 }
 
 pub fn run() {
-    let (f_dict, f_db) = workloads::amzn_f();
+    let (f_dict, f_db) = workloads::shared(workloads::amzn_f());
     let lo = sigma_for(&f_db, 0.0025, 5);
     let vlo = sigma_for(&f_db, 0.00025, 2);
     let mut a = Table::new(
@@ -111,7 +109,7 @@ pub fn run() {
     );
     a.print();
 
-    let (cw_dict, cw_db) = workloads::cw();
+    let (cw_dict, cw_db) = workloads::shared(workloads::cw());
     let s1 = sigma_for(&cw_db, 0.002, 5);
     let s2 = sigma_for(&cw_db, 0.02, 20);
     let mut b = Table::new(

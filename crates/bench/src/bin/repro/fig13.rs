@@ -3,21 +3,18 @@
 //! All subsequences of length ≤ 5 with arbitrary gaps: the loosest possible
 //! constraint. MLlib's PrefixSpan and LASH (γ large) mine it natively;
 //! D-SEQ mines it via the T1 pattern expression; D-CAND's run enumeration
-//! explodes at low σ (the paper reports OOM — reproduced via the run
-//! budget).
+//! explodes at low σ (the paper reports OOM — reproduced via the session's
+//! work budget).
 
-use crate::common::{engine, parts, run_outcome, OOM_BUDGET};
-use desq_baselines::{lash, mllib_prefixspan, LashConfig, MllibConfig};
+use crate::common::run_spec;
+use desq::session::AlgorithmSpec;
+use desq_baselines::LashConfig;
 use desq_bench::report::Table;
-use desq_bench::workloads::{self, sigma_for};
-use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
+use desq_bench::workloads::{self, session_for, sigma_for};
 
 pub fn run() {
-    let (dict, db) = workloads::amzn_flat();
-    let eng = engine();
-    let ps = parts(&db);
+    let (dict, db) = workloads::shared(workloads::amzn_flat());
     let c = desq_dist::patterns::t1(5);
-    let fst = c.compile(&dict).unwrap();
     // γ larger than any sequence = arbitrary gaps for LASH; include
     // singleton patterns to match T1 exactly.
     let max_gap = db.max_len();
@@ -30,20 +27,14 @@ pub fn run() {
     // we sweep the same relative ladder.
     for frac in [0.16, 0.04, 0.01, 0.0025] {
         let sigma = sigma_for(&db, frac, 2);
-        let ml = run_outcome(|| mllib_prefixspan(&eng, &ps, MllibConfig::new(sigma, 5)));
-        let mut lash_cfg = LashConfig::new(sigma, max_gap, 5).without_hierarchy();
-        lash_cfg.sigma = sigma;
-        let la = run_outcome(|| lash(&eng, &ps, &dict, lash_cfg));
-        let ds = run_outcome(|| d_seq(&eng, &ps, &fst, &dict, DSeqConfig::new(sigma)));
-        let dc = run_outcome(|| {
-            d_cand(
-                &eng,
-                &ps,
-                &fst,
-                &dict,
-                DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
-            )
-        });
+        let base = session_for(&dict, &db, &c, sigma);
+        let ml = run_spec(&base, AlgorithmSpec::Mllib { max_len: 5 });
+        let la = run_spec(
+            &base,
+            AlgorithmSpec::Lash(LashConfig::new(sigma, max_gap, 5).without_hierarchy()),
+        );
+        let ds = run_spec(&base, AlgorithmSpec::d_seq());
+        let dc = run_spec(&base, AlgorithmSpec::d_cand());
 
         // MLlib and D-SEQ implement T1 exactly (patterns of length 1..=5);
         // LASH's specialized setting mines length >= 2 only, so compare on

@@ -1,13 +1,20 @@
 //! Fig. 9: performance of all four algorithms under flexible constraints,
 //! including shuffle sizes (9c).
 
-use crate::common::{assert_agreement, engine, four_algorithms};
+use std::sync::Arc;
+
+use crate::common::{assert_agreement, four_algorithms};
 use desq_bench::report::Table;
-use desq_bench::workloads::{self, sigma_for};
+use desq_bench::workloads::{self, session_for, sigma_for};
 use desq_core::{Dictionary, SequenceDb};
 use desq_dist::patterns::{self, Constraint};
 
-fn block(title: &str, constraints: &[(Constraint, u64)], dict: &Dictionary, db: &SequenceDb) {
+fn block(
+    title: &str,
+    constraints: &[(Constraint, u64)],
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
+) {
     let mut t = Table::new(
         title,
         &["constraint", "NAIVE", "SEMI-NAIVE", "D-SEQ", "D-CAND"],
@@ -16,12 +23,9 @@ fn block(title: &str, constraints: &[(Constraint, u64)], dict: &Dictionary, db: 
         &format!("{title} — shuffle sizes (Fig. 9c)"),
         &["constraint", "NAIVE", "SEMI-NAIVE", "D-SEQ", "D-CAND"],
     );
-    let eng = engine();
     for (c, sigma) in constraints {
-        let fst = c
-            .compile(dict)
-            .unwrap_or_else(|e| panic!("{}: {e}", c.name));
-        let outcomes = four_algorithms(&eng, db, dict, &fst, *sigma);
+        let base = session_for(dict, db, c, *sigma);
+        let outcomes = four_algorithms(&base);
         assert_agreement(&outcomes);
         t.row(
             std::iter::once(format!("{}(σ={sigma})", c.name))
@@ -39,7 +43,7 @@ fn block(title: &str, constraints: &[(Constraint, u64)], dict: &Dictionary, db: 
 }
 
 pub fn run() {
-    let (nyt_dict, nyt_db) = workloads::nyt();
+    let (nyt_dict, nyt_db) = workloads::shared(workloads::nyt());
     let nyt_constraints: Vec<(Constraint, u64)> = patterns::nyt_constraints()
         .into_iter()
         .map(|c| {
@@ -57,7 +61,7 @@ pub fn run() {
         &nyt_db,
     );
 
-    let (amzn_dict, amzn_db) = workloads::amzn();
+    let (amzn_dict, amzn_db) = workloads::shared(workloads::amzn());
     let amzn_constraints: Vec<(Constraint, u64)> = patterns::amzn_constraints()
         .into_iter()
         .map(|c| (c, sigma_for(&amzn_db, 0.001, 5)))

@@ -1,31 +1,23 @@
 //! Tab. III: the constraint library with example frequent sequences.
 
-use crate::common::{engine, parts, run_outcome, OOM_BUDGET};
+use std::sync::Arc;
+
+use crate::common::run_spec;
+use desq::session::AlgorithmSpec;
 use desq_bench::report::Table;
-use desq_bench::workloads::{self, sigma_for};
+use desq_bench::workloads::{self, session_for, sigma_for};
 use desq_core::{Dictionary, SequenceDb};
 use desq_dist::patterns::{self, Constraint};
-use desq_dist::{d_seq, DSeqConfig};
 
-fn examples(t: &mut Table, c: &Constraint, dict: &Dictionary, db: &SequenceDb, sigma: u64) {
-    let fst = match c.compile(dict) {
-        Ok(f) => f,
-        Err(e) => panic!("{}: {e}", c.name),
-    };
-    let eng = engine();
-    let ps = parts(db);
-    let outcome = run_outcome(|| {
-        d_seq(
-            &eng,
-            &ps,
-            &fst,
-            dict,
-            DSeqConfig {
-                run_budget: OOM_BUDGET,
-                ..DSeqConfig::new(sigma)
-            },
-        )
-    });
+fn examples(
+    t: &mut Table,
+    c: &Constraint,
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
+    sigma: u64,
+) {
+    let base = session_for(dict, db, c, sigma);
+    let outcome = run_spec(&base, AlgorithmSpec::d_seq());
     let examples = match outcome.result() {
         Some(res) => {
             let mut top: Vec<_> = res.patterns.iter().collect();
@@ -57,7 +49,7 @@ pub fn run() {
         ],
     );
 
-    let (nyt_dict, nyt_db) = workloads::nyt();
+    let (nyt_dict, nyt_db) = workloads::shared(workloads::nyt());
     for c in patterns::nyt_constraints() {
         let sigma = match c.name.as_str() {
             "N4" | "N5" => sigma_for(&nyt_db, 0.02, 10),
@@ -66,7 +58,7 @@ pub fn run() {
         examples(&mut t, &c, &nyt_dict, &nyt_db, sigma);
     }
 
-    let (amzn_dict, amzn_db) = workloads::amzn();
+    let (amzn_dict, amzn_db) = workloads::shared(workloads::amzn());
     for c in patterns::amzn_constraints() {
         let sigma = sigma_for(&amzn_db, 0.001, 5);
         examples(&mut t, &c, &amzn_dict, &amzn_db, sigma);
@@ -89,7 +81,7 @@ pub fn run() {
         &nyt_db,
         sigma_for(&nyt_db, 0.01, 10),
     );
-    let (f_dict, f_db) = workloads::amzn_f();
+    let (f_dict, f_db) = workloads::shared(workloads::amzn_f());
     let t3 = patterns::t3(1, 5);
     examples(&mut t, &t3, &f_dict, &f_db, sigma_for(&f_db, 0.0025, 5));
 

@@ -1,46 +1,47 @@
 //! Tab. V: speedup of the distributed algorithms over sequential DESQ-DFS.
 
-use crate::common::{engine, parts, run_outcome, Outcome, OOM_BUDGET};
+use std::sync::Arc;
+
+use crate::common::{run_spec, Outcome};
+use desq::session::AlgorithmSpec;
+use desq_bench::default_workers;
 use desq_bench::report::{secs, Table};
-use desq_bench::workloads::{self, sigma_for};
-use desq_bench::{default_workers, timed};
+use desq_bench::workloads::{self, session_for, sigma_for};
 use desq_core::{Dictionary, SequenceDb};
 use desq_dist::patterns::Constraint;
-use desq_dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
-use desq_miner::desq_dfs;
 
 fn speedup_row(
     t: &mut Table,
     c: &Constraint,
     dataset: &str,
-    dict: &Dictionary,
-    db: &SequenceDb,
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
     sigma: u64,
 ) {
-    let fst = c
-        .compile(dict)
+    let base = session_for(dict, db, c, sigma);
+    let seq = base
+        .with_algorithm(AlgorithmSpec::DesqDfs)
+        .unwrap()
+        .run()
         .unwrap_or_else(|e| panic!("{}: {e}", c.name));
-    let (seq_out, seq_time) = timed(|| desq_dfs(db, &fst, dict, sigma));
+    let seq_time = seq.metrics.total_secs();
 
-    let eng = engine();
-    let ps = parts(db);
-    let ds = run_outcome(|| d_seq(&eng, &ps, &fst, dict, DSeqConfig::new(sigma)));
-    let dc = run_outcome(|| {
-        d_cand(
-            &eng,
-            &ps,
-            &fst,
-            dict,
-            DCandConfig::new(sigma).with_run_budget(OOM_BUDGET),
-        )
-    });
+    let ds = run_spec(&base, AlgorithmSpec::d_seq());
+    let dc = run_spec(&base, AlgorithmSpec::d_cand());
     for o in [&ds, &dc] {
         if let Some(res) = o.result() {
-            assert_eq!(res.patterns, seq_out, "{} disagrees with DESQ-DFS", c.name);
+            assert_eq!(
+                res.patterns, seq.patterns,
+                "{} disagrees with DESQ-DFS",
+                c.name
+            );
         }
     }
     let speedup = |o: &Outcome| match o {
-        Outcome::Done(_, s) => format!("{} ({:.1}x)", secs(*s), seq_time / s),
+        Outcome::Done(res) => {
+            let s = res.metrics.total_secs();
+            format!("{} ({:.1}x)", secs(s), seq_time / s)
+        }
         Outcome::Oom(_) => "n/a (OOM)".to_string(),
     };
     t.row(vec![
@@ -61,7 +62,7 @@ pub fn run() {
         ),
         &["constraint", "dataset", "DESQ-DFS", "D-SEQ", "D-CAND"],
     );
-    let (nyt_dict, nyt_db) = workloads::nyt();
+    let (nyt_dict, nyt_db) = workloads::shared(workloads::nyt());
     speedup_row(
         &mut t,
         &desq_dist::patterns::n4(),
@@ -78,7 +79,7 @@ pub fn run() {
         &nyt_db,
         sigma_for(&nyt_db, 0.02, 10),
     );
-    let (f_dict, f_db) = workloads::amzn_f();
+    let (f_dict, f_db) = workloads::shared(workloads::amzn_f());
     speedup_row(
         &mut t,
         &desq_dist::patterns::t3(1, 5),
@@ -103,7 +104,7 @@ pub fn run() {
         &f_db,
         sigma_for(&f_db, 0.0025, 5),
     );
-    let (cw_dict, cw_db) = workloads::cw();
+    let (cw_dict, cw_db) = workloads::shared(workloads::cw());
     speedup_row(
         &mut t,
         &desq_dist::patterns::t2(0, 5),

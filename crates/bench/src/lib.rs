@@ -24,19 +24,8 @@
 pub mod report;
 pub mod workloads;
 
-use std::time::Instant;
-
-/// Times a closure, returning its result and the elapsed seconds.
-pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64())
-}
-
-/// Number of engine workers used across the harness.
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(8)
-}
+/// Number of engine workers used across the harness — the session API's
+/// workspace-wide default, re-exported so every target shares one
+/// convention. (Run timing comes from `MiningMetrics::total_secs()`; the
+/// harness no longer measures wall time itself.)
+pub use desq::session::default_workers;

@@ -1,7 +1,43 @@
-//! Dataset and constraint workloads shared by the reproduction targets.
+//! Dataset and constraint workloads shared by the reproduction targets,
+//! plus the standard [`MiningSession`] wiring they all run through.
 
+use std::sync::Arc;
+
+use desq::session::MiningSession;
 use desq_core::{Dictionary, DictionaryBuilder, SequenceDb};
 use desq_datagen::{amzn_like, cw_like, nyt_like, to_forest, AmznConfig, CwConfig, NytConfig};
+use desq_dist::patterns::Constraint;
+
+/// Per-sequence work budget standing in for the paper's executor memory
+/// limit: candidate generation / run enumeration beyond this aborts with
+/// the OOM-analog `ResourceExhausted`.
+pub const OOM_BUDGET: usize = 2_000_000;
+
+/// Wraps a generated workload in `Arc`s for cheap sharing across sessions.
+pub fn shared((dict, db): (Dictionary, SequenceDb)) -> (Arc<Dictionary>, Arc<SequenceDb>) {
+    (Arc::new(dict), Arc::new(db))
+}
+
+/// The standard session for one `(dataset, constraint, σ)` workload:
+/// harness-wide worker count, one map partition per worker, and the
+/// OOM-analog work budget. Pick the algorithm per run with
+/// [`MiningSession::with_algorithm`].
+pub fn session_for(
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
+    c: &Constraint,
+    sigma: u64,
+) -> MiningSession {
+    MiningSession::builder()
+        .dictionary(dict.clone())
+        .database(db.clone())
+        .pattern_unanchored(&c.expr)
+        .sigma(sigma)
+        .workers(crate::default_workers())
+        .budget(OOM_BUDGET)
+        .build()
+        .unwrap_or_else(|e| panic!("session for {}: {e}", c.name))
+}
 
 /// Scale factor for dataset sizes (`REPRO_SCALE`, default 1.0).
 pub fn scale() -> f64 {

@@ -25,6 +25,11 @@
 //!   FST *simulation*: the position–state [`Grid`](fst::Grid) with dead-end
 //!   memoization, enumeration of accepting runs, and generation of the
 //!   candidate subsequences `G_π(T)` / `G^σ_π(T)`.
+//! * [`mining`]: the unified mining API substrate — the [`Miner`] trait,
+//!   [`MiningContext`] requests, [`Limits`], and the uniform
+//!   [`MiningResult`] / [`MiningMetrics`] every algorithm returns. The
+//!   ergonomic builder on top lives in the facade crate
+//!   (`desq::session::MiningSession`).
 //!
 //! The running example of the paper (Fig. 2–8) is available as a reusable
 //! fixture in [`toy`]; most unit tests in this workspace assert against it.
@@ -43,6 +48,7 @@ pub mod dictionary;
 pub mod error;
 pub mod fst;
 pub mod fx;
+pub mod mining;
 pub mod pexp;
 pub mod sequence;
 pub mod toy;
@@ -50,5 +56,6 @@ pub mod toy;
 pub use dictionary::{Dictionary, DictionaryBuilder};
 pub use error::{Error, Result};
 pub use fst::Fst;
+pub use mining::{Limits, Miner, MiningContext, MiningMetrics, MiningResult};
 pub use pexp::PatEx;
 pub use sequence::{ItemId, Sequence, SequenceDb, EPSILON};

@@ -1,0 +1,424 @@
+//! The unified mining API substrate: one [`Miner`] trait, one
+//! [`MiningResult`], one validation path — shared by all eight algorithms
+//! of this reproduction (DESQ-DFS, DESQ-COUNT, PrefixSpan, the gap miner,
+//! NAÏVE, SEMI-NAÏVE, D-SEQ, D-CAND) plus the LASH and MLlib baselines.
+//!
+//! The paper's value proposition is that *one* declarative constraint
+//! language drives *many* execution strategies. This module is the
+//! corresponding *request/response* surface: a [`MiningContext`] describes
+//! what to mine (database, dictionary, compiled constraint, threshold,
+//! [`Limits`], parallelism), every algorithm implements [`Miner`], and every
+//! run returns a [`MiningResult`] whose [`MiningMetrics`] are uniform across
+//! sequential and distributed execution.
+//!
+//! The ergonomic entry point — a builder that compiles pattern expressions
+//! and dispatches on an algorithm enum — lives in the facade crate
+//! (`desq::session::MiningSession`); this module holds only the pieces the
+//! algorithm crates need to implement.
+
+use crate::{Dictionary, Error, Fst, Result, Sequence, SequenceDb};
+
+/// Default per-sequence work budget (candidates generated, accepting runs
+/// walked, NFA expansion steps — whatever the algorithm's unit of work is).
+///
+/// Large enough that realistic workloads never hit it, small enough that a
+/// runaway constraint (e.g. `T1` at very low σ) aborts with a descriptive
+/// [`Error::ResourceExhausted`] instead of exhausting memory — the analog
+/// of the paper's executor memory limit.
+pub const DEFAULT_BUDGET: usize = 10_000_000;
+
+/// Resource limits of one mining run, validated once at session build time.
+///
+/// Replaces the bare positional `budget: usize` arguments of the historical
+/// free functions (`desq_count(db, fst, dict, sigma, budget)`), whose
+/// call-site ordering was a foot-gun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Per-sequence work budget; exceeding it aborts the run with
+    /// [`Error::ResourceExhausted`]. See [`DEFAULT_BUDGET`].
+    pub budget: usize,
+    /// Upper bound on the number of result patterns. Exceeding it is an
+    /// error (never a silent truncation): the run aborts with
+    /// [`Error::ResourceExhausted`] naming the limit.
+    pub max_patterns: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            budget: DEFAULT_BUDGET,
+            max_patterns: usize::MAX,
+        }
+    }
+}
+
+impl Limits {
+    /// Unbounded limits (the historical `usize::MAX` behavior).
+    pub fn unbounded() -> Limits {
+        Limits {
+            budget: usize::MAX,
+            max_patterns: usize::MAX,
+        }
+    }
+
+    /// Overrides the work budget.
+    pub fn with_budget(mut self, budget: usize) -> Limits {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the pattern cap.
+    pub fn with_max_patterns(mut self, max_patterns: usize) -> Limits {
+        self.max_patterns = max_patterns;
+        self
+    }
+
+    /// Validates the limits (both bounds must be positive).
+    pub fn validate(&self) -> Result<()> {
+        if self.budget == 0 {
+            return Err(Error::Invalid(
+                "work budget must be positive (use Limits::unbounded() for no limit)".into(),
+            ));
+        }
+        if self.max_patterns == 0 {
+            return Err(Error::Invalid(
+                "max_patterns must be positive (use Limits::unbounded() for no limit)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The single σ check shared by every algorithm and by the session builder.
+///
+/// Historically this check was duplicated across `desq_count`, `d_seq`,
+/// `d_cand` and `naive` (and missing from `desq_dfs`); it now lives here
+/// and nowhere else.
+pub fn validate_sigma(sigma: u64) -> Result<()> {
+    if sigma == 0 {
+        Err(Error::Invalid(
+            "sigma must be positive (σ = 0 would make every candidate frequent)".into(),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// One mining request: everything a [`Miner`] needs to run.
+///
+/// The FST is optional because the traditional-constraint miners
+/// (PrefixSpan, the gap miner, LASH, MLlib-PrefixSpan) encode their
+/// constraint in algorithm parameters instead of a compiled pattern
+/// expression; FST-based miners obtain it through [`MiningContext::fst`],
+/// which produces a descriptive error when absent.
+#[derive(Clone, Copy)]
+pub struct MiningContext<'a> {
+    /// The input sequence database.
+    pub db: &'a SequenceDb,
+    /// The frozen dictionary (hierarchy + f-list encoding).
+    pub dict: &'a Dictionary,
+    /// The compiled subsequence constraint, if the algorithm needs one.
+    pub fst: Option<&'a Fst>,
+    /// Minimum support threshold σ (validated positive).
+    pub sigma: u64,
+    /// Resource limits.
+    pub limits: Limits,
+    /// Worker threads for distributed algorithms (sequential miners ignore
+    /// it and report 1 in their metrics).
+    pub workers: usize,
+    /// Number of map partitions ("machines") for distributed algorithms.
+    pub partitions: usize,
+    /// Number of shuffle buckets (reduce tasks) for distributed
+    /// algorithms; usually equals `workers`.
+    pub reducers: usize,
+}
+
+impl<'a> MiningContext<'a> {
+    /// A sequential single-worker context with default limits.
+    pub fn sequential(db: &'a SequenceDb, dict: &'a Dictionary, sigma: u64) -> MiningContext<'a> {
+        MiningContext {
+            db,
+            dict,
+            fst: None,
+            sigma,
+            limits: Limits::default(),
+            workers: 1,
+            partitions: 1,
+            reducers: 1,
+        }
+    }
+
+    /// Attaches a compiled constraint.
+    pub fn with_fst(mut self, fst: &'a Fst) -> MiningContext<'a> {
+        self.fst = Some(fst);
+        self
+    }
+
+    /// Overrides the limits.
+    pub fn with_limits(mut self, limits: Limits) -> MiningContext<'a> {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets worker threads and map partitions for distributed execution
+    /// (the reducer count follows the worker count; override it afterwards
+    /// with [`with_reducers`](Self::with_reducers)).
+    pub fn with_parallelism(mut self, workers: usize, partitions: usize) -> MiningContext<'a> {
+        self.workers = workers;
+        self.partitions = partitions;
+        self.reducers = workers;
+        self
+    }
+
+    /// Overrides the number of shuffle buckets (reduce tasks).
+    pub fn with_reducers(mut self, reducers: usize) -> MiningContext<'a> {
+        self.reducers = reducers;
+        self
+    }
+
+    /// The compiled constraint, or a descriptive error if none was given.
+    pub fn fst(&self) -> Result<&'a Fst> {
+        self.fst.ok_or_else(|| {
+            Error::Invalid(
+                "this algorithm requires a subsequence constraint: \
+                 provide a pattern expression or a pre-compiled FST"
+                    .into(),
+            )
+        })
+    }
+
+    /// Validates the whole request (σ, limits, parallelism) in one place.
+    pub fn validate(&self) -> Result<()> {
+        validate_sigma(self.sigma)?;
+        self.limits.validate()?;
+        if self.workers == 0 {
+            return Err(Error::Invalid("worker count must be positive".into()));
+        }
+        if self.partitions == 0 {
+            return Err(Error::Invalid("partition count must be positive".into()));
+        }
+        if self.reducers == 0 {
+            return Err(Error::Invalid("reducer count must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Uniform measurements of one mining run.
+///
+/// Distributed algorithms fill the shuffle fields from the BSP engine's
+/// job metrics; sequential miners report wall time and work counts with
+/// legitimately-zero shuffle volume (nothing is communicated).
+#[derive(Debug, Clone, Default)]
+pub struct MiningMetrics {
+    /// End-to-end wall-clock nanoseconds of the run.
+    pub wall_nanos: u64,
+    /// Wall-clock nanoseconds of the map (+ combine + serialize) phase;
+    /// 0 for sequential miners (no separate map phase).
+    pub map_nanos: u64,
+    /// Wall-clock nanoseconds of the reduce ("mine") phase; for sequential
+    /// miners this equals the whole mining time.
+    pub reduce_nanos: u64,
+    /// Number of input sequences mined.
+    pub input_sequences: u64,
+    /// Work records produced before combining: mapper emissions for
+    /// distributed algorithms, generated candidates / emitted patterns for
+    /// sequential ones.
+    pub emitted_records: u64,
+    /// Records written to the shuffle after combining (0 when sequential).
+    pub shuffle_records: u64,
+    /// Total serialized shuffle volume in bytes (0 when sequential).
+    pub shuffle_bytes: u64,
+    /// Shuffle bytes received per reducer (empty when sequential).
+    pub reducer_bytes: Vec<u64>,
+    /// Result patterns produced.
+    pub output_records: u64,
+    /// Worker threads used (1 for sequential miners).
+    pub workers: u64,
+}
+
+impl MiningMetrics {
+    /// Metrics of a sequential run: wall time, input/output counts and a
+    /// work counter, with zero communication.
+    pub fn sequential(wall_nanos: u64, input_sequences: u64, work: u64, output: u64) -> Self {
+        MiningMetrics {
+            wall_nanos,
+            map_nanos: 0,
+            reduce_nanos: wall_nanos,
+            input_sequences,
+            emitted_records: work,
+            shuffle_records: 0,
+            shuffle_bytes: 0,
+            reducer_bytes: Vec::new(),
+            output_records: output,
+            workers: 1,
+        }
+    }
+
+    /// Map-phase wall time in seconds.
+    pub fn map_secs(&self) -> f64 {
+        self.map_nanos as f64 / 1e9
+    }
+
+    /// Reduce-("mine"-)phase wall time in seconds.
+    pub fn reduce_secs(&self) -> f64 {
+        self.reduce_nanos as f64 / 1e9
+    }
+
+    /// End-to-end wall time in seconds (falls back to map + reduce when no
+    /// end-to-end measurement was taken).
+    pub fn total_secs(&self) -> f64 {
+        if self.wall_nanos > 0 {
+            self.wall_nanos as f64 / 1e9
+        } else {
+            self.map_secs() + self.reduce_secs()
+        }
+    }
+
+    /// Ratio of the largest reducer's byte volume to the mean — 1.0 is a
+    /// perfectly balanced shuffle (and the sequential value).
+    pub fn balance(&self) -> f64 {
+        if self.reducer_bytes.is_empty() || self.shuffle_bytes == 0 {
+            return 1.0;
+        }
+        let max = *self.reducer_bytes.iter().max().unwrap() as f64;
+        let mean = self.shuffle_bytes as f64 / self.reducer_bytes.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Combine effectiveness: emitted records per shuffled record.
+    pub fn combine_ratio(&self) -> f64 {
+        if self.shuffle_records == 0 {
+            1.0
+        } else {
+            self.emitted_records as f64 / self.shuffle_records as f64
+        }
+    }
+}
+
+/// Outcome of one mining run — identical shape for every algorithm.
+///
+/// **Invariant:** `patterns` is sorted lexicographically by pattern (the
+/// results of all miners are *sets*; the sort makes them directly
+/// comparable across algorithms). Every [`Miner`] implementation upholds
+/// this; `tests/paper_example.rs` asserts it in one place for all
+/// algorithms. Streaming consumers that do not need the ordering can use
+/// the facade's `PatternStream` instead, which yields patterns in
+/// discovery order without the eager sort.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// The frequent sequences with their frequencies, sorted
+    /// lexicographically (identical across all algorithms under the same
+    /// constraint).
+    pub patterns: Vec<(Sequence, u64)>,
+    /// Uniform run measurements.
+    pub metrics: MiningMetrics,
+}
+
+impl MiningResult {
+    /// True iff `patterns` satisfies the documented sortedness invariant.
+    pub fn is_sorted(&self) -> bool {
+        self.patterns.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+/// One frequent-sequence-mining algorithm behind the unified API.
+///
+/// Implementations exist for every algorithm in the workspace: the
+/// sequential miners in `desq-miner` (`algo::{DesqDfs, DesqCount,
+/// PrefixSpan, GapMiner}`), the distributed algorithms in `desq-dist`
+/// (`algo::{Naive, DSeq, DCand}`), and the specialized baselines in
+/// `desq-baselines` (`algo::{Lash, Mllib}`). Implementations must
+/// validate the context (or rely on the session having done so), honor
+/// [`MiningContext::limits`], and return sorted patterns (see
+/// [`MiningResult`]).
+pub trait Miner {
+    /// Display name of the algorithm (e.g. `"D-SEQ"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm on one request.
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn limits_default_and_validation() {
+        let l = Limits::default();
+        assert_eq!(l.budget, DEFAULT_BUDGET);
+        assert_eq!(l.max_patterns, usize::MAX);
+        assert!(l.validate().is_ok());
+        assert!(matches!(
+            Limits::default().with_budget(0).validate(),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            Limits::default().with_max_patterns(0).validate(),
+            Err(Error::Invalid(_))
+        ));
+        assert!(Limits::unbounded().validate().is_ok());
+    }
+
+    #[test]
+    fn sigma_validator_is_the_single_source_of_truth() {
+        assert!(validate_sigma(1).is_ok());
+        let err = validate_sigma(0).unwrap_err();
+        assert!(matches!(err, Error::Invalid(ref m) if m.contains("sigma")));
+    }
+
+    #[test]
+    fn context_validation_covers_all_fields() {
+        let fx = toy::fixture();
+        let ok = MiningContext::sequential(&fx.db, &fx.dict, 2).with_fst(&fx.fst);
+        assert!(ok.validate().is_ok());
+        assert!(ok.fst().is_ok());
+
+        let no_fst = MiningContext::sequential(&fx.db, &fx.dict, 2);
+        assert!(matches!(no_fst.fst(), Err(Error::Invalid(_))));
+
+        let zero_sigma = MiningContext::sequential(&fx.db, &fx.dict, 0);
+        assert!(matches!(zero_sigma.validate(), Err(Error::Invalid(_))));
+
+        let mut bad_workers = ok;
+        bad_workers.workers = 0;
+        assert!(matches!(bad_workers.validate(), Err(Error::Invalid(_))));
+
+        let mut bad_parts = ok;
+        bad_parts.partitions = 0;
+        assert!(matches!(bad_parts.validate(), Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn sequential_metrics_report_work() {
+        let m = MiningMetrics::sequential(2_000_000_000, 5, 17, 3);
+        assert!((m.total_secs() - 2.0).abs() < 1e-9);
+        assert!((m.reduce_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(m.input_sequences, 5);
+        assert_eq!(m.emitted_records, 17);
+        assert_eq!(m.output_records, 3);
+        assert_eq!(m.workers, 1);
+        assert_eq!(m.balance(), 1.0);
+        assert_eq!(m.combine_ratio(), 1.0);
+    }
+
+    #[test]
+    fn sortedness_invariant_helper() {
+        let sorted = MiningResult {
+            patterns: vec![(vec![1], 2), (vec![1, 2], 1), (vec![2], 9)],
+            metrics: MiningMetrics::default(),
+        };
+        assert!(sorted.is_sorted());
+        let unsorted = MiningResult {
+            patterns: vec![(vec![2], 9), (vec![1], 2)],
+            metrics: MiningMetrics::default(),
+        };
+        assert!(!unsorted.is_sorted());
+    }
+}

@@ -281,7 +281,11 @@ mod tests {
             let fst = c
                 .compile(&dict)
                 .unwrap_or_else(|e| panic!("{}: {e}", c.name));
-            let out = desq_miner::desq_dfs(&db, &fst, &dict, 3);
+            use desq_core::mining::{Miner, MiningContext};
+            let out = desq_miner::algo::DesqDfs
+                .mine(&MiningContext::sequential(&db, &dict, 3).with_fst(&fst))
+                .unwrap()
+                .patterns;
             assert!(!out.is_empty(), "{} finds nothing", c.name);
         }
     }

@@ -105,7 +105,11 @@ mod tests {
         use desq_dist::patterns;
         let (dict, db) = cw_like(&CwConfig::new(800));
         let fst = patterns::t2(0, 3).compile(&dict).unwrap();
-        let out = desq_miner::desq_dfs(&db, &fst, &dict, 5);
+        use desq_core::mining::{Miner, MiningContext};
+        let out = desq_miner::algo::DesqDfs
+            .mine(&MiningContext::sequential(&db, &dict, 5).with_fst(&fst))
+            .unwrap()
+            .patterns;
         assert!(!out.is_empty(), "embedded phrases should be frequent");
     }
 

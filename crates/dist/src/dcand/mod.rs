@@ -187,17 +187,16 @@ fn representations(
         .collect())
 }
 
-/// Runs the D-CAND algorithm: one BSP round shipping per-pivot NFAs.
-pub fn d_cand(
+/// The workhorse behind [`d_cand`] and [`crate::algo::DCand`].
+pub(crate) fn d_cand_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
     fst: &Fst,
     dict: &Dictionary,
     config: DCandConfig,
 ) -> Result<MiningResult> {
-    if config.sigma == 0 {
-        return Err(Error::Invalid("sigma must be positive".into()));
-    }
+    desq_core::mining::validate_sigma(config.sigma)?;
+    let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
     let search = PivotSearch::new(fst, dict, last_frequent);
 
@@ -220,7 +219,7 @@ pub fn d_cand(
         Ok(())
     };
 
-    let (mut patterns, metrics) = if config.aggregate {
+    let (patterns, job) = if config.aggregate {
         engine
             .map_combine_reduce(
                 parts,
@@ -251,15 +250,37 @@ pub fn d_cand(
             )
             .map_err(from_bsp)?
     };
-    patterns.sort();
+    let patterns = desq_miner::sort_patterns(patterns);
+    let metrics = crate::metrics_from_job(
+        job,
+        t0.elapsed().as_nanos() as u64,
+        engine.workers(),
+        crate::input_len(parts),
+    );
     Ok(MiningResult { patterns, metrics })
+}
+
+/// Runs the D-CAND algorithm: one BSP round shipping per-pivot NFAs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::DCand \
+            (or desq_dist::algo::DCand via the Miner trait)"
+)]
+pub fn d_cand(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DCandConfig,
+) -> Result<MiningResult> {
+    d_cand_impl(engine, parts, fst, dict, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use desq_core::mining::{Miner, MiningContext};
     use desq_core::toy;
-    use desq_miner::desq_count;
 
     #[test]
     fn merge_pivots_matches_theorem_examples() {
@@ -281,7 +302,10 @@ mod tests {
         let engine = Engine::new(2);
         let parts = fx.db.partition(3);
         for sigma in 1..=4 {
-            let reference = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            let reference = desq_miner::algo::DesqCount
+                .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(&fx.fst))
+                .unwrap()
+                .patterns;
             for minimize in [false, true] {
                 for aggregate in [false, true] {
                     let cfg = DCandConfig {
@@ -290,7 +314,7 @@ mod tests {
                         aggregate,
                         run_budget: usize::MAX,
                     };
-                    let res = d_cand(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap();
+                    let res = d_cand_impl(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap();
                     assert_eq!(
                         res.patterns, reference,
                         "σ={sigma} min={minimize} agg={aggregate}"
@@ -305,7 +329,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
-        let plain = d_cand(
+        let plain = d_cand_impl(
             &engine,
             &parts,
             &fx.fst,
@@ -316,7 +340,8 @@ mod tests {
             },
         )
         .unwrap();
-        let minimized = d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap();
+        let minimized =
+            d_cand_impl(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap();
         assert!(minimized.metrics.shuffle_bytes <= plain.metrics.shuffle_bytes);
     }
 
@@ -325,7 +350,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
-        let err = d_cand(
+        let err = d_cand_impl(
             &engine,
             &parts,
             &fx.fst,
@@ -342,7 +367,7 @@ mod tests {
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
         assert!(matches!(
-            d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(0)),
+            d_cand_impl(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(0)),
             Err(Error::Invalid(_))
         ));
     }

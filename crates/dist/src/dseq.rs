@@ -13,7 +13,7 @@
 //! (Sec. V-C).
 
 use desq_bsp::Engine;
-use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence};
+use desq_core::{Dictionary, Fst, ItemId, Result, Sequence};
 use desq_miner::{LocalMiner, MinerConfig};
 
 use crate::pivots::PivotSearch;
@@ -57,17 +57,16 @@ impl DSeqConfig {
     }
 }
 
-/// Runs the D-SEQ algorithm: one BSP round shipping rewritten sequences.
-pub fn d_seq(
+/// The workhorse behind [`d_seq`] and [`crate::algo::DSeq`].
+pub(crate) fn d_seq_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
     fst: &Fst,
     dict: &Dictionary,
     config: DSeqConfig,
 ) -> Result<MiningResult> {
-    if config.sigma == 0 {
-        return Err(Error::Invalid("sigma must be positive".into()));
-    }
+    desq_core::mining::validate_sigma(config.sigma)?;
+    let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
     let search = PivotSearch::new(fst, dict, last_frequent);
 
@@ -99,25 +98,55 @@ pub fn d_seq(
             Ok(())
         };
 
-    let (mut patterns, metrics) = engine
+    let (patterns, job) = engine
         .map_combine_reduce(parts, map, reduce)
         .map_err(from_bsp)?;
-    patterns.sort();
+    let patterns = desq_miner::sort_patterns(patterns);
+    let metrics = crate::metrics_from_job(
+        job,
+        t0.elapsed().as_nanos() as u64,
+        engine.workers(),
+        crate::input_len(parts),
+    );
     Ok(MiningResult { patterns, metrics })
+}
+
+/// Runs the D-SEQ algorithm: one BSP round shipping rewritten sequences.
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::DSeq \
+            (or desq_dist::algo::DSeq via the Miner trait)"
+)]
+pub fn d_seq(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DSeqConfig,
+) -> Result<MiningResult> {
+    d_seq_impl(engine, parts, fst, dict, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use desq_core::toy;
-    use desq_miner::{desq_count, desq_dfs};
+    use desq_core::mining::{Miner, MiningContext};
+    use desq_core::{toy, Error};
+
+    /// Brute-force DESQ-COUNT reference through the Miner trait.
+    fn reference(fx: &toy::Toy, sigma: u64) -> Vec<(Sequence, u64)> {
+        desq_miner::algo::DesqCount
+            .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(&fx.fst))
+            .unwrap()
+            .patterns
+    }
 
     #[test]
     fn toy_matches_paper_result() {
         let fx = toy::fixture();
         let engine = Engine::new(2);
         let parts = fx.db.partition(2);
-        let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+        let res = d_seq_impl(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
         let rendered: Vec<(String, u64)> = res
             .patterns
             .iter()
@@ -139,7 +168,7 @@ mod tests {
         let engine = Engine::new(3);
         let parts = fx.db.partition(2);
         for sigma in 1..=4 {
-            let reference = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            let reference = reference(&fx, sigma);
             for use_grid in [true, false] {
                 for rewrite in [true, false] {
                     for early_stop in [true, false] {
@@ -150,7 +179,7 @@ mod tests {
                             early_stop,
                             run_budget: usize::MAX,
                         };
-                        let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap();
+                        let res = d_seq_impl(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap();
                         assert_eq!(
                             res.patterns, reference,
                             "σ={sigma} grid={use_grid} rewrite={rewrite} stop={early_stop}"
@@ -166,7 +195,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
-        let full = d_seq(
+        let full = d_seq_impl(
             &engine,
             &parts,
             &fx.fst,
@@ -177,7 +206,7 @@ mod tests {
             },
         )
         .unwrap();
-        let rewritten = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+        let rewritten = d_seq_impl(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
         // T2 loses its two leading e's.
         assert!(rewritten.metrics.shuffle_bytes < full.metrics.shuffle_bytes);
         assert_eq!(rewritten.patterns, full.patterns);
@@ -189,8 +218,12 @@ mod tests {
         let engine = Engine::new(2);
         let parts = fx.db.partition(3);
         for sigma in 1..=5 {
-            let seq = desq_dfs(&fx.db, &fx.fst, &fx.dict, sigma);
-            let dist = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(sigma)).unwrap();
+            let seq = desq_miner::algo::DesqDfs
+                .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(&fx.fst))
+                .unwrap()
+                .patterns;
+            let dist =
+                d_seq_impl(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(sigma)).unwrap();
             assert_eq!(dist.patterns, seq, "σ={sigma}");
         }
     }
@@ -204,7 +237,7 @@ mod tests {
             use_grid: false,
             ..DSeqConfig::new(2).with_run_budget(1)
         };
-        let err = d_seq(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap_err();
+        let err = d_seq_impl(&engine, &parts, &fx.fst, &fx.dict, cfg).unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted(_)));
     }
 
@@ -214,7 +247,7 @@ mod tests {
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
         assert!(matches!(
-            d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(0)),
+            d_seq_impl(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(0)),
             Err(Error::Invalid(_))
         ));
     }

@@ -13,7 +13,7 @@
 //! partition `P_p`; reducers mine each partition independently. The
 //! algorithms differ only in the representation they ship:
 //!
-//! * [`naive`] — NAÏVE sends the candidate subsequences `G_π(T)` verbatim,
+//! * [`naive`](mod@naive) — NAÏVE sends the candidate subsequences `G_π(T)` verbatim,
 //!   SEMI-NAÏVE the frequency-filtered `G^σ_π(T)` (Sec. III-C);
 //! * [`d_seq`] — D-SEQ sends *rewritten input sequences* `ρ_p(T)` and runs
 //!   restricted DESQ-DFS per partition (Sec. V);
@@ -28,28 +28,56 @@
 //! serialization for shuffle accounting, and [`patterns`] is the constraint
 //! library of Tab. III.
 
+pub mod algo;
 pub mod dcand;
 pub mod dseq;
 pub mod naive;
 pub mod patterns;
 pub mod pivots;
 
-pub use dcand::{d_cand, DCandConfig};
-pub use dseq::{d_seq, DSeqConfig};
-pub use naive::{naive, semi_naive, NaiveConfig};
+#[allow(deprecated)]
+pub use dcand::d_cand;
+pub use dcand::DCandConfig;
+#[allow(deprecated)]
+pub use dseq::d_seq;
+pub use dseq::DSeqConfig;
+pub use naive::NaiveConfig;
+#[allow(deprecated)]
+pub use naive::{naive, semi_naive};
 pub use pivots::{PivotRange, PivotSearch};
 
 use desq_bsp::JobMetrics;
-use desq_core::Sequence;
+use desq_core::{MiningMetrics, Sequence};
 
-/// Outcome of one distributed mining job.
-#[derive(Debug, Clone)]
-pub struct MiningResult {
-    /// The frequent sequences with their frequencies, sorted
-    /// lexicographically (identical across all algorithms).
-    pub patterns: Vec<(Sequence, u64)>,
-    /// Engine measurements (wall times, shuffle volume, balance).
-    pub metrics: JobMetrics,
+/// Outcome of one distributed mining job — the workspace-wide uniform
+/// result type, re-exported from [`desq_core::mining`].
+pub use desq_core::MiningResult;
+
+/// Converts the BSP engine's per-job measurements into the uniform
+/// [`MiningMetrics`] of the mining API.
+pub fn metrics_from_job(
+    job: JobMetrics,
+    wall_nanos: u64,
+    workers: usize,
+    input_sequences: u64,
+) -> MiningMetrics {
+    MiningMetrics {
+        wall_nanos,
+        map_nanos: job.map_nanos,
+        reduce_nanos: job.reduce_nanos,
+        input_sequences,
+        emitted_records: job.emitted_records,
+        shuffle_records: job.shuffle_records,
+        shuffle_bytes: job.shuffle_bytes,
+        reducer_bytes: job.reducer_bytes,
+        output_records: job.output_records,
+        workers: workers as u64,
+    }
+}
+
+/// Total input sequences across the map partitions.
+pub(crate) fn input_len(parts: &[&[Sequence]]) -> u64 {
+    parts.iter().map(|p| p.len() as u64).sum()
 }
 
 /// Maps an engine error back into the workspace error type.

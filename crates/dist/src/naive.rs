@@ -11,7 +11,7 @@
 use desq_bsp::Engine;
 use desq_core::fst::candidates;
 use desq_core::fx::FxHashMap;
-use desq_core::{sequence, Dictionary, Error, Fst, ItemId, Result, Sequence, EPSILON};
+use desq_core::{sequence, Dictionary, Fst, ItemId, Result, Sequence, EPSILON};
 
 use crate::{from_bsp, to_bsp, MiningResult};
 
@@ -24,7 +24,7 @@ pub struct NaiveConfig {
     /// items before the shuffle.
     pub filter: bool,
     /// Per-sequence candidate-generation budget; exceeding it aborts with
-    /// [`Error::ResourceExhausted`] (the paper's OOM analog).
+    /// [`desq_core::Error::ResourceExhausted`] (the paper's OOM analog).
     pub budget: usize,
 }
 
@@ -54,17 +54,16 @@ impl NaiveConfig {
     }
 }
 
-/// Runs the NAÏVE or SEMI-NAÏVE baseline (selected by [`NaiveConfig`]).
-pub fn naive(
+/// The workhorse behind [`naive`], [`semi_naive`] and [`crate::algo::Naive`].
+pub(crate) fn naive_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
     fst: &Fst,
     dict: &Dictionary,
     config: NaiveConfig,
 ) -> Result<MiningResult> {
-    if config.sigma == 0 {
-        return Err(Error::Invalid("sigma must be positive".into()));
-    }
+    desq_core::mining::validate_sigma(config.sigma)?;
+    let t0 = std::time::Instant::now();
     let sigma_filter = config.filter.then_some(config.sigma);
 
     let map = |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence)| {
@@ -91,12 +90,40 @@ pub fn naive(
         Ok(())
     };
 
-    let (mut patterns, metrics) = engine.map_reduce(parts, map, reduce).map_err(from_bsp)?;
-    patterns.sort();
+    let (patterns, job) = engine.map_reduce(parts, map, reduce).map_err(from_bsp)?;
+    let patterns = desq_miner::sort_patterns(patterns);
+    let metrics = crate::metrics_from_job(
+        job,
+        t0.elapsed().as_nanos() as u64,
+        engine.workers(),
+        crate::input_len(parts),
+    );
     Ok(MiningResult { patterns, metrics })
 }
 
+/// Runs the NAÏVE or SEMI-NAÏVE baseline (selected by [`NaiveConfig`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::Naive or \
+            AlgorithmSpec::SemiNaive (or desq_dist::algo::Naive via the \
+            Miner trait)"
+)]
+pub fn naive(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: NaiveConfig,
+) -> Result<MiningResult> {
+    naive_impl(engine, parts, fst, dict, config)
+}
+
 /// Convenience wrapper for the SEMI-NAÏVE variant.
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::SemiNaive \
+            (or desq_dist::algo::Naive via the Miner trait)"
+)]
 pub fn semi_naive(
     engine: &Engine,
     parts: &[&[Sequence]],
@@ -104,14 +131,14 @@ pub fn semi_naive(
     dict: &Dictionary,
     sigma: u64,
 ) -> Result<MiningResult> {
-    naive(engine, parts, fst, dict, NaiveConfig::semi_naive(sigma))
+    naive_impl(engine, parts, fst, dict, NaiveConfig::semi_naive(sigma))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use desq_core::toy;
-    use desq_miner::desq_count;
+    use desq_core::mining::{Miner, MiningContext};
+    use desq_core::{toy, Error};
 
     #[test]
     fn both_variants_match_reference_on_toy() {
@@ -119,8 +146,11 @@ mod tests {
         let engine = Engine::new(2);
         let parts = fx.db.partition(2);
         for sigma in 1..=4 {
-            let reference = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
-            let nv = naive(
+            let reference = desq_miner::algo::DesqCount
+                .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(&fx.fst))
+                .unwrap()
+                .patterns;
+            let nv = naive_impl(
                 &engine,
                 &parts,
                 &fx.fst,
@@ -129,7 +159,14 @@ mod tests {
             )
             .unwrap();
             assert_eq!(nv.patterns, reference, "NAIVE σ={sigma}");
-            let sn = semi_naive(&engine, &parts, &fx.fst, &fx.dict, sigma).unwrap();
+            let sn = naive_impl(
+                &engine,
+                &parts,
+                &fx.fst,
+                &fx.dict,
+                NaiveConfig::semi_naive(sigma),
+            )
+            .unwrap();
             assert_eq!(sn.patterns, reference, "SEMI-NAIVE σ={sigma}");
         }
     }
@@ -139,8 +176,8 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(2);
         let parts = fx.db.partition(2);
-        let nv = naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(2)).unwrap();
-        let sn = naive(
+        let nv = naive_impl(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(2)).unwrap();
+        let sn = naive_impl(
             &engine,
             &parts,
             &fx.fst,
@@ -158,7 +195,7 @@ mod tests {
         let fx = toy::fixture();
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
-        let err = naive(
+        let err = naive_impl(
             &engine,
             &parts,
             &fx.fst,
@@ -175,7 +212,7 @@ mod tests {
         let engine = Engine::new(1);
         let parts = fx.db.partition(1);
         assert!(matches!(
-            naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(0)),
+            naive_impl(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(0)),
             Err(Error::Invalid(_))
         ));
     }

@@ -133,7 +133,16 @@ pub fn t3(gamma: usize, lambda: usize) -> Constraint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use desq_core::mining::{Miner, MiningContext};
     use desq_core::toy;
+
+    /// Sequential DESQ-DFS through the Miner trait.
+    fn dfs(fx: &toy::Toy, fst: &Fst, sigma: u64) -> Vec<(desq_core::Sequence, u64)> {
+        desq_miner::algo::DesqDfs
+            .mine(&MiningContext::sequential(&fx.db, &fx.dict, sigma).with_fst(fst))
+            .unwrap()
+            .patterns
+    }
 
     #[test]
     fn traditional_constraints_compile_on_toy() {
@@ -150,7 +159,7 @@ mod tests {
     fn t1_mines_bounded_length_subsequences() {
         let fx = toy::fixture();
         let fst = t1(2).compile(&fx.dict).unwrap();
-        let out = desq_miner::desq_dfs(&fx.db, &fst, &fx.dict, 3);
+        let out = dfs(&fx, &fst, 3);
         // Every pattern has length <= 2; singletons include frequent items.
         assert!(out.iter().all(|(s, _)| !s.is_empty() && s.len() <= 2));
         assert!(out.iter().any(|(s, _)| s == &vec![fx.b]));
@@ -165,7 +174,7 @@ mod tests {
         // γ = 0: only adjacent pairs. "c d" and "d c" are adjacent in T1/T3;
         // "a1 b" is adjacent only in T5.
         let fst = t2(0, 2).compile(&fx.dict).unwrap();
-        let out = desq_miner::desq_dfs(&fx.db, &fst, &fx.dict, 2);
+        let out = dfs(&fx, &fst, 2);
         assert!(out.contains(&(vec![fx.c, fx.d], 2)), "{out:?}");
         assert!(!out.contains(&(vec![fx.a1, fx.b], 2)), "{out:?}");
     }
@@ -177,7 +186,7 @@ mod tests {
         // generalized) and T5, so the generalized pair "A b" has support 3
         // while the concrete "a1 b" has support 2.
         let fst = t3(1, 2).compile(&fx.dict).unwrap();
-        let out = desq_miner::desq_dfs(&fx.db, &fst, &fx.dict, 2);
+        let out = dfs(&fx, &fst, 2);
         assert!(out.contains(&(vec![fx.big_a, fx.b], 3)), "{out:?}");
         assert!(out.contains(&(vec![fx.a1, fx.b], 2)), "{out:?}");
     }

@@ -1,0 +1,202 @@
+//! [`Miner`]-trait adapters for the sequential algorithms.
+//!
+//! These are the objects the facade's `MiningSession` dispatches to; they
+//! can also be used directly when a caller wants trait-object polymorphism
+//! without the session builder. Each adapter carries only the knobs that
+//! are *algorithm-specific*; the threshold σ and the work budget always
+//! come from the [`MiningContext`] (one validation path for all
+//! algorithms).
+
+use std::time::Instant;
+
+use desq_core::mining::{Miner, MiningContext, MiningMetrics, MiningResult};
+use desq_core::{Result, Sequence};
+
+use crate::desq_count::desq_count_impl;
+use crate::desq_dfs::{LocalMiner, MinerConfig};
+
+/// Weighted inputs (weight 1 per database sequence) for the pattern-growth
+/// miners.
+fn unit_inputs(ctx: &MiningContext<'_>) -> Vec<(Sequence, u64)> {
+    ctx.db.sequences.iter().map(|s| (s.clone(), 1)).collect()
+}
+
+/// DESQ-DFS: pattern growth over projected databases (Fig. 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesqDfs;
+
+impl Miner for DesqDfs {
+    fn name(&self) -> &'static str {
+        "DESQ-DFS"
+    }
+
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult> {
+        ctx.validate()?;
+        let fst = ctx.fst()?;
+        let t0 = Instant::now();
+        let inputs = unit_inputs(ctx);
+        let patterns =
+            LocalMiner::new(fst, ctx.dict, MinerConfig::sequential(ctx.sigma)).mine(&inputs);
+        let metrics = MiningMetrics::sequential(
+            t0.elapsed().as_nanos() as u64,
+            ctx.db.len() as u64,
+            patterns.len() as u64,
+            patterns.len() as u64,
+        );
+        Ok(MiningResult { patterns, metrics })
+    }
+}
+
+/// DESQ-COUNT: per-sequence candidate generation plus counting — the
+/// brute-force reference implementation. Its work metric
+/// (`emitted_records`) is the total number of candidate occurrences
+/// generated, bounded per sequence by `ctx.limits.budget`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesqCount;
+
+impl Miner for DesqCount {
+    fn name(&self) -> &'static str {
+        "DESQ-COUNT"
+    }
+
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult> {
+        ctx.validate()?;
+        let fst = ctx.fst()?;
+        let t0 = Instant::now();
+        let (patterns, work) =
+            desq_count_impl(ctx.db, fst, ctx.dict, ctx.sigma, ctx.limits.budget)?;
+        let metrics = MiningMetrics::sequential(
+            t0.elapsed().as_nanos() as u64,
+            ctx.db.len() as u64,
+            work,
+            patterns.len() as u64,
+        );
+        Ok(MiningResult { patterns, metrics })
+    }
+}
+
+/// Classic PrefixSpan under a maximum-length constraint (the `T1(σ, λ)`
+/// semantics; no FST needed).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSpan {
+    /// Maximum pattern length λ.
+    pub max_len: usize,
+}
+
+impl Miner for PrefixSpan {
+    fn name(&self) -> &'static str {
+        "PrefixSpan"
+    }
+
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult> {
+        ctx.validate()?;
+        let t0 = Instant::now();
+        let patterns = crate::prefixspan::PrefixSpan::new(ctx.sigma, self.max_len).mine(ctx.db);
+        let metrics = MiningMetrics::sequential(
+            t0.elapsed().as_nanos() as u64,
+            ctx.db.len() as u64,
+            patterns.len() as u64,
+            patterns.len() as u64,
+        );
+        Ok(MiningResult { patterns, metrics })
+    }
+}
+
+/// Gap-constrained pattern growth with optional hierarchy generalization
+/// (the `T2(σ, γ, λ)` / `T3(σ, γ, λ)` semantics; no FST needed).
+#[derive(Debug, Clone, Copy)]
+pub struct GapMiner {
+    /// Maximum gap γ between consecutive matched positions.
+    pub gamma: usize,
+    /// Maximum pattern length λ.
+    pub max_len: usize,
+    /// Minimum pattern length (2 for the paper's T2/T3 constraints).
+    pub min_len: usize,
+    /// Generalize matched items along the hierarchy (LASH) or not (MG-FSM).
+    pub generalize: bool,
+}
+
+impl GapMiner {
+    /// The paper's T2/T3 parameterization (`min_len = 2`).
+    pub fn new(gamma: usize, max_len: usize, generalize: bool) -> GapMiner {
+        GapMiner {
+            gamma,
+            max_len,
+            min_len: 2,
+            generalize,
+        }
+    }
+}
+
+impl Miner for GapMiner {
+    fn name(&self) -> &'static str {
+        "GapMiner"
+    }
+
+    fn mine(&self, ctx: &MiningContext<'_>) -> Result<MiningResult> {
+        ctx.validate()?;
+        let t0 = Instant::now();
+        let miner = crate::gapminer::GapMiner {
+            sigma: ctx.sigma,
+            gamma: self.gamma,
+            max_len: self.max_len,
+            min_len: self.min_len,
+            generalize: self.generalize,
+            max_item: None,
+            require_pivot: None,
+        };
+        let patterns = miner.mine(ctx.db, ctx.dict);
+        let metrics = MiningMetrics::sequential(
+            t0.elapsed().as_nanos() as u64,
+            ctx.db.len() as u64,
+            patterns.len() as u64,
+            patterns.len() as u64,
+        );
+        Ok(MiningResult { patterns, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desq_core::mining::Limits;
+    use desq_core::{toy, Error};
+
+    #[test]
+    fn trait_objects_run_and_agree_on_toy() {
+        let fx = toy::fixture();
+        let ctx = MiningContext::sequential(&fx.db, &fx.dict, 2).with_fst(&fx.fst);
+        let dfs = DesqDfs.mine(&ctx).unwrap();
+        let cnt = DesqCount.mine(&ctx).unwrap();
+        assert_eq!(dfs.patterns, cnt.patterns);
+        assert_eq!(dfs.patterns.len(), 3);
+        assert!(dfs.is_sorted() && cnt.is_sorted());
+        // Non-trivial sequential metrics.
+        assert_eq!(dfs.metrics.input_sequences, 5);
+        assert_eq!(dfs.metrics.output_records, 3);
+        assert_eq!(dfs.metrics.workers, 1);
+        assert!(cnt.metrics.emitted_records > cnt.metrics.output_records);
+    }
+
+    #[test]
+    fn fst_free_miners_ignore_missing_fst() {
+        let fx = toy::fixture();
+        let ctx = MiningContext::sequential(&fx.db, &fx.dict, 2);
+        assert!(PrefixSpan { max_len: 3 }.mine(&ctx).is_ok());
+        assert!(GapMiner::new(1, 3, true).mine(&ctx).is_ok());
+        // FST-based miners surface a descriptive error instead.
+        assert!(matches!(DesqDfs.mine(&ctx), Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn budget_flows_from_limits() {
+        let fx = toy::fixture();
+        let ctx = MiningContext::sequential(&fx.db, &fx.dict, 2)
+            .with_fst(&fx.fst)
+            .with_limits(Limits::default().with_budget(2));
+        assert!(matches!(
+            DesqCount.mine(&ctx),
+            Err(Error::ResourceExhausted(_))
+        ));
+    }
+}

@@ -10,12 +10,43 @@
 
 use desq_core::fst::candidates;
 use desq_core::fx::FxHashMap;
-use desq_core::{Dictionary, Error, Fst, Result, Sequence, SequenceDb};
+use desq_core::{mining, Dictionary, Fst, Result, Sequence, SequenceDb};
+
+/// The workhorse behind [`desq_count`] and [`crate::algo::DesqCount`]:
+/// mines by explicit candidate generation and additionally reports the
+/// total number of candidate occurrences counted (the algorithm's work
+/// metric).
+pub(crate) fn desq_count_impl(
+    db: &SequenceDb,
+    fst: &Fst,
+    dict: &Dictionary,
+    sigma: u64,
+    budget: usize,
+) -> Result<(Vec<(Sequence, u64)>, u64)> {
+    mining::validate_sigma(sigma)?;
+    let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+    let mut work = 0u64;
+    for seq in &db.sequences {
+        let cands = candidates::generate(fst, dict, seq, Some(sigma), budget)?;
+        work += cands.len() as u64;
+        for c in cands {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    let out: Vec<(Sequence, u64)> = counts.into_iter().filter(|&(_, f)| f >= sigma).collect();
+    Ok((crate::sort_patterns(out), work))
+}
 
 /// Mines frequent sequences by explicit candidate generation.
 ///
 /// `budget` bounds per-sequence generation work; see
 /// [`candidates::generate`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::DesqCount \
+            (or desq_miner::algo::DesqCount via the Miner trait); the budget \
+            moved into Limits::budget"
+)]
 pub fn desq_count(
     db: &SequenceDb,
     fst: &Fst,
@@ -23,32 +54,21 @@ pub fn desq_count(
     sigma: u64,
     budget: usize,
 ) -> Result<Vec<(Sequence, u64)>> {
-    if sigma == 0 {
-        return Err(Error::Invalid("sigma must be positive".into()));
-    }
-    let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
-    for seq in &db.sequences {
-        let cands = candidates::generate(fst, dict, seq, Some(sigma), budget)?;
-        for c in cands {
-            *counts.entry(c).or_insert(0) += 1;
-        }
-    }
-    let mut out: Vec<(Sequence, u64)> = counts.into_iter().filter(|&(_, f)| f >= sigma).collect();
-    out.sort();
-    Ok(out)
+    desq_count_impl(db, fst, dict, sigma, budget).map(|(patterns, _)| patterns)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use desq_core::toy;
+    use desq_core::Error;
 
     #[test]
     fn toy_frequent_sequences_match_paper() {
         // Paper, Sec. II: for πex and σ = 2 the frequent subsequences are
         // a1 a1 b (2), a1 A b (2), a1 b (3).
         let fx = toy::fixture();
-        let out = desq_count(&fx.db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
+        let (out, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
         // Lexicographic fid order: a1 b < a1 A b < a1 a1 b.
@@ -65,12 +85,14 @@ mod tests {
     #[test]
     fn sigma_one_keeps_everything() {
         let fx = toy::fixture();
-        let out = desq_count(&fx.db, &fx.fst, &fx.dict, 1, usize::MAX).unwrap();
+        let (out, work) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 1, usize::MAX).unwrap();
         // All candidates of all sequences are frequent at σ = 1:
         // 7 (T1) + 11 (T2) + 0 (T3) + 2 (T4) + 3 (T5), with
         // a1b/a1a1b/a1Ab shared between T2 and T5 and a1b also in T1.
         let distinct: std::collections::HashSet<_> = out.iter().map(|(s, _)| s.clone()).collect();
         assert_eq!(distinct.len(), 7 + 11 + 2 + 3 - 4);
+        // The work metric counts every candidate occurrence, pre-dedup.
+        assert_eq!(work, 7 + 11 + 2 + 3);
         // a1 b appears in T1, T2, T5.
         let a1b = vec![fx.a1, fx.b];
         let f = out.iter().find(|(s, _)| *s == a1b).unwrap().1;
@@ -80,20 +102,23 @@ mod tests {
     #[test]
     fn high_sigma_yields_nothing() {
         let fx = toy::fixture();
-        let out = desq_count(&fx.db, &fx.fst, &fx.dict, 10, usize::MAX).unwrap();
+        let (out, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 10, usize::MAX).unwrap();
         assert!(out.is_empty());
     }
 
     #[test]
     fn zero_sigma_rejected() {
         let fx = toy::fixture();
-        assert!(desq_count(&fx.db, &fx.fst, &fx.dict, 0, usize::MAX).is_err());
+        assert!(matches!(
+            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 0, usize::MAX),
+            Err(Error::Invalid(_))
+        ));
     }
 
     #[test]
     fn budget_propagates() {
         let fx = toy::fixture();
-        let err = desq_count(&fx.db, &fx.fst, &fx.dict, 2, 2).unwrap_err();
+        let err = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, 2).unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted(_)));
     }
 }

@@ -107,6 +107,23 @@ impl<'a> LocalMiner<'a> {
     /// Mines the weighted input collection; returns `(pattern, frequency)`
     /// pairs sorted lexicographically.
     pub fn mine(&self, inputs: &[(Sequence, u64)]) -> Vec<(Sequence, u64)> {
+        let mut out = Vec::new();
+        self.mine_each(inputs, &mut |pattern, freq| {
+            out.push((pattern, freq));
+            true
+        });
+        crate::sort_patterns(out)
+    }
+
+    /// Streams every frequent pattern to `sink` as it is discovered (DFS
+    /// pre-order over the search tree), without materializing or sorting
+    /// the result set. The sink returns `false` to stop mining early;
+    /// `mine_each` then returns `false` as well.
+    pub fn mine_each(
+        &self,
+        inputs: &[(Sequence, u64)],
+        sink: &mut dyn FnMut(Sequence, u64) -> bool,
+    ) -> bool {
         let ctxs: Vec<SeqCtx> = inputs
             .iter()
             .map(|(seq, w)| self.prepare(seq, *w))
@@ -120,11 +137,8 @@ impl<'a> LocalMiner<'a> {
             }
         }
 
-        let mut out = Vec::new();
         let mut prefix: Sequence = Vec::new();
-        self.expand(inputs, &ctxs, &root, &mut prefix, &mut out);
-        out.sort();
-        out
+        self.expand(inputs, &ctxs, &root, &mut prefix, sink)
     }
 
     fn prepare(&self, seq: &[ItemId], weight: u64) -> SeqCtx {
@@ -183,14 +197,16 @@ impl<'a> LocalMiner<'a> {
         total
     }
 
+    /// Expands one search-tree node; returns `false` iff the sink stopped
+    /// the traversal.
     fn expand(
         &self,
         inputs: &[(Sequence, u64)],
         ctxs: &[SeqCtx],
         snaps: &[Snapshot],
         prefix: &mut Sequence,
-        out: &mut Vec<(Sequence, u64)>,
-    ) {
+        sink: &mut dyn FnMut(Sequence, u64) -> bool,
+    ) -> bool {
         // Emit the prefix if enough sequences can complete it with ε output.
         if !prefix.is_empty() {
             let support = Self::weighted_distinct(ctxs, snaps, |ctx, i, q| {
@@ -201,8 +217,8 @@ impl<'a> LocalMiner<'a> {
                     Some(k) => prefix.contains(&k),
                     None => true,
                 };
-                if pivot_ok {
-                    out.push((prefix.clone(), support));
+                if pivot_ok && !sink(prefix.clone(), support) {
+                    return false;
                 }
             }
         }
@@ -292,28 +308,51 @@ impl<'a> LocalMiner<'a> {
                 continue;
             }
             prefix.push(w);
-            self.expand(inputs, ctxs, &snaps, prefix, out);
+            let keep_going = self.expand(inputs, ctxs, &snaps, prefix, sink);
             prefix.pop();
+            if !keep_going {
+                return false;
+            }
         }
+        true
     }
 }
 
 /// Sequential DESQ-DFS over a whole database (each sequence has weight 1).
-pub fn desq_dfs(db: &SequenceDb, fst: &Fst, dict: &Dictionary, sigma: u64) -> Vec<(Sequence, u64)> {
+pub(crate) fn desq_dfs_impl(
+    db: &SequenceDb,
+    fst: &Fst,
+    dict: &Dictionary,
+    sigma: u64,
+) -> Vec<(Sequence, u64)> {
     let inputs: Vec<(Sequence, u64)> = db.sequences.iter().map(|s| (s.clone(), 1)).collect();
     LocalMiner::new(fst, dict, MinerConfig::sequential(sigma)).mine(&inputs)
+}
+
+/// Sequential DESQ-DFS over a whole database (each sequence has weight 1).
+///
+/// Note that this signature cannot surface validation errors (σ = 0 is
+/// simply never frequent-checked); the session API validates σ once and
+/// returns `Error::Invalid` uniformly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use desq::session::MiningSession with AlgorithmSpec::DesqDfs \
+            (or desq_miner::algo::DesqDfs via the Miner trait)"
+)]
+pub fn desq_dfs(db: &SequenceDb, fst: &Fst, dict: &Dictionary, sigma: u64) -> Vec<(Sequence, u64)> {
+    desq_dfs_impl(db, fst, dict, sigma)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::desq_count;
+    use crate::desq_count::desq_count_impl;
     use desq_core::toy;
 
     #[test]
     fn matches_paper_result_on_toy() {
         let fx = toy::fixture();
-        let out = desq_dfs(&fx.db, &fx.fst, &fx.dict, 2);
+        let out = desq_dfs_impl(&fx.db, &fx.fst, &fx.dict, 2);
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
         assert_eq!(
@@ -330,10 +369,33 @@ mod tests {
     fn agrees_with_desq_count_across_sigmas() {
         let fx = toy::fixture();
         for sigma in 1..=5 {
-            let dfs = desq_dfs(&fx.db, &fx.fst, &fx.dict, sigma);
-            let cnt = desq_count(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            let dfs = desq_dfs_impl(&fx.db, &fx.fst, &fx.dict, sigma);
+            let (cnt, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
             assert_eq!(dfs, cnt, "sigma = {sigma}");
         }
+    }
+
+    #[test]
+    fn mine_each_streams_in_discovery_order_and_stops_on_demand() {
+        let fx = toy::fixture();
+        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(2));
+        // Full stream matches the eager result as a set.
+        let mut streamed = Vec::new();
+        let completed = miner.mine_each(&inputs, &mut |s, f| {
+            streamed.push((s, f));
+            true
+        });
+        assert!(completed);
+        assert_eq!(crate::sort_patterns(streamed.clone()), miner.mine(&inputs));
+        // Early stop: the sink sees exactly one pattern.
+        let mut n = 0;
+        let completed = miner.mine_each(&inputs, &mut |_, _| {
+            n += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(n, 1);
     }
 
     #[test]
@@ -405,7 +467,7 @@ mod tests {
                 union.extend(part);
             }
             union.sort();
-            let seq = desq_dfs(&fx.db, &fx.fst, &fx.dict, sigma);
+            let seq = desq_dfs_impl(&fx.db, &fx.fst, &fx.dict, sigma);
             assert_eq!(union, seq, "sigma = {sigma}");
         }
     }

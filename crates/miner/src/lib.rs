@@ -15,22 +15,37 @@
 //!   PrefixSpan performs, used in the Fig. 13 comparison.
 //! * [`gapminer`] — pattern growth under maximum-gap / maximum-length /
 //!   hierarchy constraints: the local miner of MG-FSM and LASH (Fig. 12).
+//!
+//! All four are available behind the unified mining API through the
+//! [`desq_core::mining::Miner`] adapters in [`algo`]; the free functions
+//! [`desq_count()`] and [`desq_dfs()`] are deprecated shims kept for one
+//! release.
 
+pub mod algo;
 pub mod desq_count;
 pub mod desq_dfs;
 pub mod gapminer;
 pub mod prefixspan;
 
+#[allow(deprecated)]
 pub use desq_count::desq_count;
-pub use desq_dfs::{desq_dfs, LocalMiner, MinerConfig};
+#[allow(deprecated)]
+pub use desq_dfs::desq_dfs;
+pub use desq_dfs::{LocalMiner, MinerConfig};
 pub use gapminer::GapMiner;
 pub use prefixspan::PrefixSpan;
 
 use desq_core::Sequence;
 
-/// Sorts mining output lexicographically (results of all miners are sets;
-/// sorting makes them comparable).
+/// Sorts mining output lexicographically, in place, by value.
+///
+/// The results of all miners are *sets*; the lexicographic order is the
+/// documented invariant of `MiningResult::patterns` (see
+/// [`desq_core::mining::MiningResult`]) that makes outputs directly
+/// comparable across algorithms. Patterns are distinct, so the unstable
+/// sort is observationally identical to a stable one and avoids the
+/// stable sort's allocation.
 pub fn sort_patterns(mut patterns: Vec<(Sequence, u64)>) -> Vec<(Sequence, u64)> {
-    patterns.sort();
+    patterns.sort_unstable();
     patterns
 }

@@ -4,22 +4,22 @@
 //! Runs NAÏVE, SEMI-NAÏVE, D-SEQ and D-CAND on an NYT-like corpus under a
 //! selective (N1) and a looser (N4) constraint, and prints run times and
 //! shuffle sizes. All four produce identical results; they differ in what
-//! they communicate.
+//! they communicate. One `MiningSession` per workload drives all four.
 //!
 //! Run with: `cargo run --release --example compare_algorithms`
 
-use desq::bsp::Engine;
-use desq::core::{Dictionary, Fst, SequenceDb};
-use desq::datagen::{nyt_like, NytConfig};
-use desq::dist::{
-    d_cand, d_seq, naive, patterns, DCandConfig, DSeqConfig, MiningResult, NaiveConfig,
-};
+use std::sync::Arc;
 
-fn run(name: &str, f: impl FnOnce() -> desq::core::Result<MiningResult>) -> Option<MiningResult> {
-    match f() {
+use desq::core::MiningResult;
+use desq::datagen::{nyt_like, NytConfig};
+use desq::session::{AlgorithmSpec, MiningSession};
+
+fn run(base: &MiningSession, spec: AlgorithmSpec) -> Option<MiningResult> {
+    match base.with_algorithm(spec).and_then(|s| s.run()) {
         Ok(res) => {
             println!(
-                "  {name:<12} {:>8.0} ms   {:>10} B shuffled   {:>6} patterns",
+                "  {:<12} {:>8.0} ms   {:>10} B shuffled   {:>6} patterns",
+                spec.name(),
                 res.metrics.total_secs() * 1e3,
                 res.metrics.shuffle_bytes,
                 res.patterns.len()
@@ -27,47 +27,22 @@ fn run(name: &str, f: impl FnOnce() -> desq::core::Result<MiningResult>) -> Opti
             Some(res)
         }
         Err(e) => {
-            println!("  {name:<12} n/a ({e})");
+            println!("  {:<12} n/a ({e})", spec.name());
             None
         }
     }
 }
 
-fn compare(engine: &Engine, db: &SequenceDb, dict: &Dictionary, fst: &Fst, sigma: u64) {
-    let parts = db.partition(8);
-    let budget = 2_000_000;
-    let nv = run("NAIVE", || {
-        naive(
-            engine,
-            &parts,
-            fst,
-            dict,
-            NaiveConfig::naive(sigma).with_budget(budget),
-        )
-    });
-    let sn = run("SEMI-NAIVE", || {
-        naive(
-            engine,
-            &parts,
-            fst,
-            dict,
-            NaiveConfig::semi_naive(sigma).with_budget(budget),
-        )
-    });
-    let ds = run("D-SEQ", || {
-        d_seq(engine, &parts, fst, dict, DSeqConfig::new(sigma))
-    });
-    let dc = run("D-CAND", || {
-        d_cand(
-            engine,
-            &parts,
-            fst,
-            dict,
-            DCandConfig::new(sigma).with_run_budget(budget),
-        )
-    });
+fn compare(base: &MiningSession) {
+    let outcomes = [
+        AlgorithmSpec::Naive,
+        AlgorithmSpec::SemiNaive,
+        AlgorithmSpec::d_seq(),
+        AlgorithmSpec::d_cand(),
+    ]
+    .map(|spec| run(base, spec));
     // Whatever completed must agree.
-    let mut results: Vec<MiningResult> = [nv, sn, ds, dc].into_iter().flatten().collect();
+    let mut results: Vec<MiningResult> = outcomes.into_iter().flatten().collect();
     if let Some(first) = results.pop() {
         for other in &results {
             assert_eq!(first.patterns, other.patterns, "algorithms disagree!");
@@ -78,21 +53,30 @@ fn compare(engine: &Engine, db: &SequenceDb, dict: &Dictionary, fst: &Fst, sigma
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (dict, db) = nyt_like(&NytConfig::new(10_000));
-    let engine = Engine::new(4);
+    let (dict, db) = (Arc::new(dict), Arc::new(db));
+    let session = |expr: &str, sigma: u64| {
+        MiningSession::builder()
+            .dictionary(dict.clone())
+            .database(db.clone())
+            .pattern_unanchored(expr)
+            .sigma(sigma)
+            .workers(4)
+            .partitions(8)
+            .budget(2_000_000)
+            .build()
+    };
 
     // Selective constraint: few candidates per sequence — candidate
     // representation (D-CAND) shines.
-    let n1 = patterns::n1();
+    let n1 = desq::dist::patterns::n1();
     println!("{} `{}` (σ = 10):", n1.name, n1.expr);
-    let fst = n1.compile(&dict)?;
-    compare(&engine, &db, &dict, &fst, 10);
+    compare(&session(&n1.expr, 10)?);
 
     // Looser constraint: two orders of magnitude more candidates — sequence
     // representation (D-SEQ) is the robust choice.
-    let n4 = patterns::n4();
+    let n4 = desq::dist::patterns::n4();
     println!("\n{} `{}` (σ = 500):", n4.name, n4.expr);
-    let fst = n4.compile(&dict)?;
-    compare(&engine, &db, &dict, &fst, 500);
+    compare(&session(&n4.expr, 500)?);
 
     Ok(())
 }

@@ -3,13 +3,16 @@
 //!
 //! Generates an AMZN-like database (products generalize to categories and
 //! departments along a DAG) and mines recommendation patterns, e.g. "what
-//! do customers buy within a few purchases after a digital camera?" (A3).
+//! do customers buy within a few purchases after a digital camera?" (A3),
+//! with one `MiningSession` per constraint dispatching to D-SEQ.
 //!
 //! Run with: `cargo run --release --example market_basket`
 
-use desq::bsp::Engine;
+use std::sync::Arc;
+
 use desq::datagen::{amzn_like, AmznConfig};
-use desq::dist::{d_seq, patterns, DSeqConfig};
+use desq::dist::patterns;
+use desq::session::{AlgorithmSpec, MiningSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let customers = 30_000;
@@ -22,14 +25,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dict.len(),
         dict.mean_ancestors()
     );
-
-    let engine = Engine::new(4);
-    let parts = db.partition(8);
+    let (dict, db) = (Arc::new(dict), Arc::new(db));
     let sigma = 30;
 
     for c in patterns::amzn_constraints() {
-        let fst = c.compile(&dict)?;
-        let res = d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma))?;
+        let session = MiningSession::builder()
+            .dictionary(dict.clone())
+            .database(db.clone())
+            .pattern_unanchored(&c.expr)
+            .sigma(sigma)
+            .algorithm(AlgorithmSpec::d_seq())
+            .workers(4)
+            .partitions(8)
+            .build()?;
+        let res = session.run()?;
         println!(
             "\n{} `{}` (σ = {sigma}): {} frequent sequences, {:.0} ms, {} B shuffled",
             c.name,

@@ -9,9 +9,8 @@
 //!
 //! Run with: `cargo run --release --example protein_motifs`
 
-use desq::bsp::Engine;
 use desq::core::{DictionaryBuilder, SequenceDb};
-use desq::dist::{d_cand, patterns::compile_unanchored, DCandConfig};
+use desq::session::{AlgorithmSpec, MiningSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,13 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The motif constraint: N, one arbitrary (captured) residue, then S or T
     // — mined with exact-match items (no hierarchy to generalize along).
+    // `pattern_unanchored` wraps the motif in `.*` context so it matches
+    // anywhere in a protein.
     let motif = "N=(.)[S=|T=]";
-    let fst = compile_unanchored(motif, &dict)?;
-
-    let engine = Engine::new(4);
-    let parts = db.partition(8);
-    let res = d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(50))?;
-    println!("motif `{motif}` across {} proteins:", db.len());
+    let session = MiningSession::builder()
+        .dictionary(dict)
+        .database(db)
+        .pattern_unanchored(motif)
+        .sigma(50)
+        .algorithm(AlgorithmSpec::d_cand())
+        .workers(4)
+        .partitions(8)
+        .build()?;
+    let res = session.run()?;
+    let dict = session.dictionary();
+    println!(
+        "motif `{motif}` across {} proteins:",
+        session.database().len()
+    );
     let mut top: Vec<_> = res.patterns.iter().collect();
     top.sort_by_key(|(_, f)| std::cmp::Reverse(*f));
     for (pattern, freq) in top.iter().take(10) {

@@ -1,15 +1,16 @@
-//! Quickstart: the paper's running example (Fig. 2), end to end.
+//! Quickstart: the paper's running example (Fig. 2), end to end, through
+//! the unified `MiningSession` API.
 //!
 //! Builds the five-sequence database D_ex with the hierarchy a1/a2 → A,
-//! compiles the example constraint πex, and mines it with the distributed
-//! D-SEQ and D-CAND algorithms as well as the sequential DESQ-DFS.
+//! declares the example constraint πex as a pattern expression, and mines
+//! it with sequential DESQ-DFS and the distributed D-SEQ and D-CAND
+//! algorithms — same builder, same uniform `MiningResult`, different
+//! `AlgorithmSpec`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use desq::bsp::Engine;
-use desq::core::{DictionaryBuilder, Fst, PatEx, SequenceDb};
-use desq::dist::{d_cand, d_seq, DCandConfig, DSeqConfig};
-use desq::miner::desq_dfs;
+use desq::core::{DictionaryBuilder, SequenceDb};
+use desq::session::{AlgorithmSpec, MiningSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Vocabulary and hierarchy: a1 ⇒ A, a2 ⇒ A (Fig. 2b).
@@ -45,43 +46,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:>3}: {}", dict.name(fid), dict.doc_freq(fid));
     }
 
-    // 4. Compile the subsequence constraint πex: candidate subsequences
-    //    start with a descendant of A and end with b; items in between may
-    //    be captured (generalized) or skipped.
-    let pexp = PatEx::parse(".*(A)[(.^)|.]*(b).*")?;
-    let fst = Fst::compile(&pexp, &dict)?;
-    println!(
-        "\nconstraint πex compiled to an FST with {} states",
-        fst.num_states()
-    );
+    // 4. One session = database + constraint + σ, validated once. The
+    //    constraint πex: candidate subsequences start with a descendant of
+    //    A and end with b; items in between may be captured (generalized)
+    //    or skipped.
+    let session = MiningSession::builder()
+        .dictionary(dict)
+        .database(db)
+        .pattern(".*(A)[(.^)|.]*(b).*")
+        .sigma(2)
+        .algorithm(AlgorithmSpec::DesqDfs)
+        .workers(2)
+        .build()?;
 
-    // 5. Mine with σ = 2, distributed across 2 workers.
-    let sigma = 2;
-    let engine = Engine::new(2);
-    let parts = db.partition(2);
-
-    let dseq = d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(sigma))?;
-    println!("\nD-SEQ frequent sequences (σ = {sigma}):");
-    for (pattern, freq) in &dseq.patterns {
-        println!("  {:<10} {freq}", dict.render(pattern));
+    // 5. Sequential DESQ-DFS.
+    let sequential = session.run()?;
+    println!("\nDESQ-DFS frequent sequences (σ = {}):", session.sigma());
+    for (pattern, freq) in &sequential.patterns {
+        println!("  {:<10} {freq}", session.dictionary().render(pattern));
     }
+
+    // 6. The distributed algorithms ride the same session — only the
+    //    AlgorithmSpec changes; the MiningResult keeps the same shape and
+    //    additionally reports shuffle volume.
+    let dseq = session.with_algorithm(AlgorithmSpec::d_seq())?.run()?;
     println!(
-        "  [map {:.1} ms, mine {:.1} ms, shuffle {} B]",
-        dseq.metrics.map_secs() * 1e3,
-        dseq.metrics.reduce_secs() * 1e3,
+        "\nD-SEQ agrees and shuffled {} bytes:",
         dseq.metrics.shuffle_bytes
     );
+    println!(
+        "  [map {:.1} ms, mine {:.1} ms, {} workers]",
+        dseq.metrics.map_secs() * 1e3,
+        dseq.metrics.reduce_secs() * 1e3,
+        dseq.metrics.workers
+    );
+    let dcand = session.with_algorithm(AlgorithmSpec::d_cand())?.run()?;
+    println!(
+        "D-CAND agrees and shuffled {} bytes.",
+        dcand.metrics.shuffle_bytes
+    );
 
-    let dcand = d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma))?;
-    println!("\nD-CAND frequent sequences (σ = {sigma}):");
-    for (pattern, freq) in &dcand.patterns {
-        println!("  {:<10} {freq}", dict.render(pattern));
-    }
+    assert_eq!(dseq.patterns, sequential.patterns);
+    assert_eq!(dcand.patterns, sequential.patterns);
 
-    // 6. Sequential reference (DESQ-DFS) agrees exactly.
-    let sequential = desq_dfs(&db, &fst, &dict, sigma);
-    assert_eq!(dseq.patterns, sequential);
-    assert_eq!(dcand.patterns, sequential);
+    // 7. Streaming output: patterns arrive as they are discovered, without
+    //    the eager sort — useful when the result set is large.
+    let mut stream = session.stream();
+    let first = stream.next().expect("at least one pattern");
+    println!(
+        "\nfirst streamed pattern: {} ({})",
+        session.dictionary().render(&first.0),
+        first.1
+    );
+    let metrics = stream.finish()?;
+    assert_eq!(metrics.output_records, sequential.patterns.len() as u64);
+
     println!("\nAll three algorithms agree — expected: a1 b (3), a1 A b (2), a1 a1 b (2).");
     Ok(())
 }

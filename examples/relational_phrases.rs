@@ -10,9 +10,11 @@
 //!
 //! Run with: `cargo run --release --example relational_phrases`
 
-use desq::bsp::Engine;
+use std::sync::Arc;
+
 use desq::datagen::{nyt_like, NytConfig};
-use desq::dist::{d_cand, patterns, DCandConfig};
+use desq::dist::patterns;
+use desq::session::{AlgorithmSpec, MiningSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sentences = 20_000;
@@ -25,16 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dict.len(),
         dict.mean_ancestors()
     );
-
-    let engine = Engine::new(4);
-    let parts = db.partition(8);
+    let (dict, db) = (Arc::new(dict), Arc::new(db));
     let sigma = 25;
 
     for c in [patterns::n1(), patterns::n2(), patterns::n3()] {
-        let fst = c.compile(&dict)?;
         // These constraints are selective: D-CAND is the right algorithm
         // (cf. Fig. 9a of the paper).
-        let res = d_cand(&engine, &parts, &fst, &dict, DCandConfig::new(sigma))?;
+        let session = MiningSession::builder()
+            .dictionary(dict.clone())
+            .database(db.clone())
+            .pattern_unanchored(&c.expr)
+            .sigma(sigma)
+            .algorithm(AlgorithmSpec::d_cand())
+            .workers(4)
+            .partitions(8)
+            .build()?;
+        let res = session.run()?;
         println!(
             "\n{} `{}` (σ = {sigma}): {} frequent sequences, {:.0} ms, {} B shuffled",
             c.name,

@@ -5,10 +5,34 @@
 //! frequent sequence mining with DESQ-style flexible subsequence constraints
 //! via the **D-SEQ** and **D-CAND** algorithms.
 //!
-//! This crate re-exports the workspace crates under one roof:
+//! **Start with [`session`]** — the unified mining API. A
+//! [`MiningSession`] is built once from a dictionary, a database, a
+//! pattern expression and an [`AlgorithmSpec`], and every algorithm in the
+//! workspace (DESQ-DFS, DESQ-COUNT, PrefixSpan, the gap miner, NAÏVE,
+//! SEMI-NAÏVE, D-SEQ, D-CAND, plus the LASH/MLlib baselines) runs through
+//! it and returns the same uniform [`MiningResult`]:
+//!
+//! ```
+//! use desq::session::{AlgorithmSpec, MiningSession};
+//!
+//! let fx = desq::core::toy::fixture(); // the paper's Fig. 2 example
+//! let session = MiningSession::builder()
+//!     .dictionary(fx.dict)
+//!     .database(fx.db)
+//!     .pattern(desq::core::toy::PATTERN)
+//!     .sigma(2)
+//!     .algorithm(AlgorithmSpec::d_seq())
+//!     .build()?;
+//! let result = session.run()?;
+//! assert_eq!(result.patterns.len(), 3);
+//! # Ok::<(), desq::core::Error>(())
+//! ```
+//!
+//! The workspace crates underneath, re-exported under one roof:
 //!
 //! * [`core`] — the DESQ model: dictionaries/hierarchies, pattern
-//!   expressions, finite-state transducers, candidate generation.
+//!   expressions, finite-state transducers, candidate generation — and the
+//!   [`Miner`] trait / [`MiningResult`] substrate of the session API.
 //! * [`miner`] — sequential miners (DESQ-DFS, DESQ-COUNT, PrefixSpan,
 //!   gap-constrained mining).
 //! * [`bsp`] — the thread-backed bulk-synchronous-parallel engine with
@@ -20,8 +44,16 @@
 //! * [`datagen`] — synthetic analogs of the NYT / AMZN / AMZN-F / CW50
 //!   corpora.
 //!
+//! Each algorithm crate exposes its implementations behind the session via
+//! [`Miner`]-trait adapters in an `algo` module; the historical free
+//! functions (`desq_count`, `desq_dfs`, `d_seq`, `d_cand`, `naive`,
+//! `semi_naive`, `lash`, `mllib_prefixspan`) remain as deprecated shims
+//! for one release.
+//!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! system inventory.
+
+pub mod session;
 
 pub use desq_baselines as baselines;
 pub use desq_bsp as bsp;
@@ -29,3 +61,6 @@ pub use desq_core as core;
 pub use desq_datagen as datagen;
 pub use desq_dist as dist;
 pub use desq_miner as miner;
+
+pub use desq_core::mining::{Limits, Miner, MiningContext, MiningMetrics, MiningResult};
+pub use session::{AlgorithmSpec, MiningSession, MiningSessionBuilder, PatternStream};

@@ -2,46 +2,68 @@
 //! — NAÏVE, SEMI-NAÏVE, D-SEQ (all ablations), D-CAND (all ablations),
 //! sequential DESQ-DFS and the brute-force DESQ-COUNT reference — produces
 //! the *identical* set of frequent sequences with identical frequencies,
-//! on every dataset and constraint.
+//! on every dataset and constraint. All paths run through the unified
+//! `MiningSession` API.
 
-use desq::baselines::{lash, mllib_prefixspan, LashConfig, MllibConfig};
-use desq::bsp::Engine;
-use desq::core::{Dictionary, Fst, Sequence, SequenceDb};
+use std::sync::Arc;
+
+use desq::baselines::LashConfig;
+use desq::core::{Dictionary, Sequence, SequenceDb};
 use desq::datagen::{amzn_like, cw_like, nyt_like, to_forest, AmznConfig, CwConfig, NytConfig};
-use desq::dist::{d_cand, d_seq, naive, patterns, DCandConfig, DSeqConfig, NaiveConfig};
-use desq::miner::{desq_count, desq_dfs, GapMiner, PrefixSpan};
+use desq::dist::{patterns, DCandConfig, DSeqConfig};
+use desq::session::{AlgorithmSpec, MiningSession};
 
-fn check_all(dict: &Dictionary, db: &SequenceDb, fst: &Fst, sigma: u64, what: &str) {
-    let reference = desq_count(db, fst, dict, sigma, usize::MAX).unwrap();
-    let dfs = desq_dfs(db, fst, dict, sigma);
-    assert_eq!(dfs, reference, "{what}: DESQ-DFS vs DESQ-COUNT");
+fn shared((dict, db): (Dictionary, SequenceDb)) -> (Arc<Dictionary>, Arc<SequenceDb>) {
+    (Arc::new(dict), Arc::new(db))
+}
 
-    let engine = Engine::new(3);
-    let parts = db.partition(5);
+fn base_session(
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
+    expr: &str,
+    sigma: u64,
+) -> MiningSession {
+    MiningSession::builder()
+        .dictionary(dict.clone())
+        .database(db.clone())
+        .pattern_unanchored(expr)
+        .sigma(sigma)
+        .workers(3)
+        .partitions(5)
+        .build()
+        .unwrap()
+}
 
-    for filter in [false, true] {
-        let cfg = if filter {
-            NaiveConfig::semi_naive(sigma)
-        } else {
-            NaiveConfig::naive(sigma)
-        };
-        let res = naive(&engine, &parts, fst, dict, cfg).unwrap();
-        assert_eq!(res.patterns, reference, "{what}: naive(filter={filter})");
+/// Runs `spec` on `base` and returns the mined patterns.
+fn mine(base: &MiningSession, spec: AlgorithmSpec) -> Vec<(Sequence, u64)> {
+    base.with_algorithm(spec).unwrap().run().unwrap().patterns
+}
+
+fn check_all(dict: &Arc<Dictionary>, db: &Arc<SequenceDb>, expr: &str, sigma: u64, what: &str) {
+    let base = base_session(dict, db, expr, sigma);
+    let reference = mine(&base, AlgorithmSpec::DesqCount);
+    assert_eq!(
+        mine(&base, AlgorithmSpec::DesqDfs),
+        reference,
+        "{what}: DESQ-DFS vs DESQ-COUNT"
+    );
+
+    for spec in [AlgorithmSpec::Naive, AlgorithmSpec::SemiNaive] {
+        assert_eq!(mine(&base, spec), reference, "{what}: {}", spec.name());
     }
 
     for use_grid in [true, false] {
         for rewrite in [true, false] {
             for early_stop in [true, false] {
                 let cfg = DSeqConfig {
-                    sigma,
                     use_grid,
                     rewrite,
                     early_stop,
-                    run_budget: usize::MAX,
+                    ..DSeqConfig::new(1)
                 };
-                let res = d_seq(&engine, &parts, fst, dict, cfg).unwrap();
                 assert_eq!(
-                    res.patterns, reference,
+                    mine(&base, AlgorithmSpec::DSeq(cfg)),
+                    reference,
                     "{what}: d_seq grid={use_grid} rewrite={rewrite} stop={early_stop}"
                 );
             }
@@ -51,14 +73,13 @@ fn check_all(dict: &Dictionary, db: &SequenceDb, fst: &Fst, sigma: u64, what: &s
     for minimize in [true, false] {
         for aggregate in [true, false] {
             let cfg = DCandConfig {
-                sigma,
                 minimize,
                 aggregate,
-                run_budget: usize::MAX,
+                ..DCandConfig::new(1)
             };
-            let res = d_cand(&engine, &parts, fst, dict, cfg).unwrap();
             assert_eq!(
-                res.patterns, reference,
+                mine(&base, AlgorithmSpec::DCand(cfg)),
+                reference,
                 "{what}: d_cand min={minimize} agg={aggregate}"
             );
         }
@@ -67,98 +88,120 @@ fn check_all(dict: &Dictionary, db: &SequenceDb, fst: &Fst, sigma: u64, what: &s
 
 #[test]
 fn all_algorithms_agree_on_nyt_constraints() {
-    let (dict, db) = nyt_like(&NytConfig::new(300));
+    let (dict, db) = shared(nyt_like(&NytConfig::new(300)));
     for c in patterns::nyt_constraints() {
-        let fst = c.compile(&dict).unwrap();
         let sigma = if matches!(c.name.as_str(), "N4" | "N5") {
             20
         } else {
             2
         };
-        check_all(&dict, &db, &fst, sigma, &c.name);
+        check_all(&dict, &db, &c.expr, sigma, &c.name);
     }
 }
 
 #[test]
 fn all_algorithms_agree_on_amzn_constraints() {
-    let (dict, db) = amzn_like(&AmznConfig::new(250));
+    let (dict, db) = shared(amzn_like(&AmznConfig::new(250)));
     for c in patterns::amzn_constraints() {
-        let fst = c.compile(&dict).unwrap();
-        check_all(&dict, &db, &fst, 3, &c.name);
+        check_all(&dict, &db, &c.expr, 3, &c.name);
     }
 }
 
 #[test]
 fn all_algorithms_agree_on_traditional_constraints() {
     let (dict, db) = amzn_like(&AmznConfig::new(200));
-    let (fdict, fdb) = to_forest(&dict, &db);
+    let (fdict, fdb) = shared(to_forest(&dict, &db));
+    let (dict, db) = shared((dict, db));
     for (c, d, database) in [
         (patterns::t1(4), &dict, &db),
         (patterns::t2(1, 4), &fdict, &fdb),
         (patterns::t3(1, 4), &fdict, &fdb),
     ] {
-        let fst = c.compile(d).unwrap();
         for sigma in [2, 5, 20] {
-            check_all(d, database, &fst, sigma, &format!("{}/σ={sigma}", c.name));
+            check_all(
+                d,
+                database,
+                &c.expr,
+                sigma,
+                &format!("{}/σ={sigma}", c.name),
+            );
         }
     }
 }
 
 #[test]
 fn all_algorithms_agree_on_cw() {
-    let (dict, db) = cw_like(&CwConfig::new(300));
-    let c = patterns::t2(0, 4);
-    let fst = c.compile(&dict).unwrap();
-    check_all(&dict, &db, &fst, 4, &c.name);
+    let (dict, db) = shared(cw_like(&CwConfig::new(300)));
+    check_all(&dict, &db, &patterns::t2(0, 4).expr, 4, "T2(0,4)");
 }
 
 #[test]
 fn specialized_baselines_agree_with_general_algorithms() {
     let (dict, db) = amzn_like(&AmznConfig::new(300));
-    let (fdict, fdb) = to_forest(&dict, &db);
-    let engine = Engine::new(3);
-    let parts = fdb.partition(4);
+    let (fdict, fdb) = shared(to_forest(&dict, &db));
 
     // LASH == DESQ under T3, and == the sequential gap miner.
     for (sigma, gamma, lambda) in [(2, 1, 4), (5, 0, 3), (3, 2, 5)] {
-        let fst = patterns::t3(gamma, lambda).compile(&fdict).unwrap();
-        let reference = desq_count(&fdb, &fst, &fdict, sigma, usize::MAX).unwrap();
-        let l = lash(
-            &engine,
-            &parts,
-            &fdict,
-            LashConfig::new(sigma, gamma, lambda),
-        )
-        .unwrap();
-        assert_eq!(l.patterns, reference, "LASH T3({sigma},{gamma},{lambda})");
-        let g = GapMiner::new(sigma, gamma, lambda, true).mine(&fdb, &fdict);
-        assert_eq!(g, reference, "GapMiner T3({sigma},{gamma},{lambda})");
+        let base = base_session(&fdict, &fdb, &patterns::t3(gamma, lambda).expr, sigma);
+        let reference = mine(&base, AlgorithmSpec::DesqCount);
+        assert_eq!(
+            mine(
+                &base,
+                AlgorithmSpec::Lash(LashConfig::new(sigma, gamma, lambda))
+            ),
+            reference,
+            "LASH T3({sigma},{gamma},{lambda})"
+        );
+        assert_eq!(
+            mine(
+                &base,
+                AlgorithmSpec::GapMiner {
+                    gamma,
+                    max_len: lambda,
+                    min_len: 2,
+                    generalize: true,
+                }
+            ),
+            reference,
+            "GapMiner T3({sigma},{gamma},{lambda})"
+        );
     }
 
     // MLlib == DESQ under T1 == sequential PrefixSpan (hierarchy-free data).
-    let (flat_dict, flat_db) = cw_like(&CwConfig::new(250));
-    let flat_parts = flat_db.partition(3);
+    let (flat_dict, flat_db) = shared(cw_like(&CwConfig::new(250)));
     for sigma in [3, 8] {
-        let fst = patterns::t1(4).compile(&flat_dict).unwrap();
-        let reference = desq_count(&flat_db, &fst, &flat_dict, sigma, usize::MAX).unwrap();
-        let ml = mllib_prefixspan(&engine, &flat_parts, MllibConfig::new(sigma, 4)).unwrap();
-        assert_eq!(ml.patterns, reference, "MLlib T1({sigma},4)");
-        let ps = PrefixSpan::new(sigma, 4).mine(&flat_db);
-        assert_eq!(ps, reference, "PrefixSpan T1({sigma},4)");
+        let base = base_session(&flat_dict, &flat_db, &patterns::t1(4).expr, sigma);
+        let reference = mine(&base, AlgorithmSpec::DesqCount);
+        assert_eq!(
+            mine(&base, AlgorithmSpec::Mllib { max_len: 4 }),
+            reference,
+            "MLlib T1({sigma},4)"
+        );
+        assert_eq!(
+            mine(&base, AlgorithmSpec::PrefixSpan { max_len: 4 }),
+            reference,
+            "PrefixSpan T1({sigma},4)"
+        );
     }
 }
 
 #[test]
 fn results_stable_across_workers_and_partitionings() {
-    let (dict, db) = nyt_like(&NytConfig::new(200));
-    let fst = patterns::n2().compile(&dict).unwrap();
+    let (dict, db) = shared(nyt_like(&NytConfig::new(200)));
     let mut results: Vec<Vec<(Sequence, u64)>> = Vec::new();
     for workers in [1, 2, 7] {
         for nparts in [1, 3, 11] {
-            let engine = Engine::new(workers);
-            let parts = db.partition(nparts);
-            let res = d_seq(&engine, &parts, &fst, &dict, DSeqConfig::new(2)).unwrap();
-            results.push(res.patterns);
+            let session = MiningSession::builder()
+                .dictionary(dict.clone())
+                .database(db.clone())
+                .pattern_unanchored(&patterns::n2().expr)
+                .sigma(2)
+                .algorithm(AlgorithmSpec::d_seq())
+                .workers(workers)
+                .partitions(nparts)
+                .build()
+                .unwrap();
+            results.push(session.run().unwrap().patterns);
         }
     }
     for r in &results[1..] {

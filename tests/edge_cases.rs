@@ -1,32 +1,90 @@
-//! Edge cases and failure injection across the public API.
+//! Edge cases and failure injection across the public API (the unified
+//! `MiningSession` surface plus the error paths beneath it).
 
-use desq::bsp::Engine;
-use desq::core::{toy, DictionaryBuilder, Error, Fst, PatEx, Sequence, SequenceDb};
-use desq::dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig};
-use desq::miner::{desq_count, desq_dfs};
+use desq::baselines::LashConfig;
+use desq::core::{toy, DictionaryBuilder, Error, Fst, PatEx, SequenceDb};
+use desq::session::{AlgorithmSpec, MiningSession};
+
+/// All ten `AlgorithmSpec` variants, for exhaustive validation sweeps.
+fn all_specs() -> [AlgorithmSpec; 10] {
+    [
+        AlgorithmSpec::DesqDfs,
+        AlgorithmSpec::DesqCount,
+        AlgorithmSpec::PrefixSpan { max_len: 3 },
+        AlgorithmSpec::GapMiner {
+            gamma: 1,
+            max_len: 3,
+            min_len: 2,
+            generalize: true,
+        },
+        AlgorithmSpec::Naive,
+        AlgorithmSpec::SemiNaive,
+        AlgorithmSpec::d_seq(),
+        AlgorithmSpec::d_cand(),
+        AlgorithmSpec::Lash(LashConfig::new(1, 1, 3)),
+        AlgorithmSpec::Mllib { max_len: 3 },
+    ]
+}
+
+fn toy_builder() -> desq::session::MiningSessionBuilder {
+    let fx = toy::fixture();
+    MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(fx.db)
+        .pattern(toy::PATTERN)
+        .workers(2)
+}
+
+/// The single session-level validator rejects σ = 0 with the same
+/// `Error::Invalid` for *every* algorithm — the check that used to be
+/// duplicated in `desq_count`/`d_seq`/`d_cand` (and missing from
+/// `desq_dfs`) now lives in exactly one place.
+#[test]
+fn zero_sigma_rejected_uniformly_across_all_algorithms() {
+    for spec in all_specs() {
+        let err = toy_builder().sigma(0).algorithm(spec).build().unwrap_err();
+        assert!(
+            matches!(err, Error::Invalid(ref m) if m.contains("sigma")),
+            "{}: expected the shared sigma validation error, got {err}",
+            spec.name()
+        );
+    }
+}
 
 #[test]
 fn empty_database() {
     let fx = toy::fixture();
-    let empty = SequenceDb::default();
-    let engine = Engine::new(2);
-    let parts = empty.partition(2);
-    for res in [
-        d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(1)).unwrap(),
-        d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(1)).unwrap(),
-        naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(1)).unwrap(),
+    for spec in [
+        AlgorithmSpec::d_seq(),
+        AlgorithmSpec::d_cand(),
+        AlgorithmSpec::Naive,
     ] {
+        let res = MiningSession::builder()
+            .dictionary(fx.dict.clone())
+            .database(SequenceDb::default())
+            .pattern(toy::PATTERN)
+            .sigma(1)
+            .algorithm(spec)
+            .workers(2)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(res.patterns.is_empty());
         assert_eq!(res.metrics.shuffle_bytes, 0);
+        assert_eq!(res.metrics.input_sequences, 0);
     }
 }
 
 #[test]
 fn sigma_above_database_size() {
-    let fx = toy::fixture();
-    let engine = Engine::new(2);
-    let parts = fx.db.partition(2);
-    let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(100)).unwrap();
+    let res = toy_builder()
+        .sigma(100)
+        .algorithm(AlgorithmSpec::d_seq())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(res.patterns.is_empty());
 }
 
@@ -36,11 +94,26 @@ fn empty_sequences_in_database() {
     let mut db = fx.db.clone();
     db.sequences.push(Vec::new());
     db.sequences.insert(0, Vec::new());
-    let engine = Engine::new(2);
-    let parts = db.partition(3);
-    let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
-    let reference = desq_count(&db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
-    assert_eq!(res.patterns, reference);
+    let session = MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(db)
+        .pattern(toy::PATTERN)
+        .sigma(2)
+        .workers(2)
+        .partitions(3)
+        .build()
+        .unwrap();
+    let reference = session
+        .with_algorithm(AlgorithmSpec::DesqCount)
+        .unwrap()
+        .run()
+        .unwrap();
+    let res = session
+        .with_algorithm(AlgorithmSpec::d_seq())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(res.patterns, reference.patterns);
     assert_eq!(res.patterns.len(), 3);
 }
 
@@ -48,27 +121,44 @@ fn empty_sequences_in_database() {
 fn pattern_that_matches_everything_vs_nothing() {
     let fx = toy::fixture();
     // Matches every sequence, outputs nothing: no frequent sequences.
-    let all = Fst::compile(&PatEx::parse(".*").unwrap(), &fx.dict).unwrap();
-    assert!(desq_dfs(&fx.db, &all, &fx.dict, 1).is_empty());
-    // Matches nothing (item 'e' exactly at the start, twice... T2 starts
-    // with e e, so pick something absent).
-    let none = Fst::compile(&PatEx::parse("(c=)(c=)(c=)(c=)(c=)(c=)").unwrap(), &fx.dict).unwrap();
-    assert!(desq_dfs(&fx.db, &none, &fx.dict, 1).is_empty());
+    let all = MiningSession::builder()
+        .dictionary(fx.dict.clone())
+        .database(fx.db.clone())
+        .pattern(".*")
+        .sigma(1)
+        .build()
+        .unwrap();
+    assert!(all.run().unwrap().patterns.is_empty());
+    // Matches nothing (six exact c's in a row — no input has them).
+    let none = MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(fx.db)
+        .pattern("(c=)(c=)(c=)(c=)(c=)(c=)")
+        .sigma(1)
+        .build()
+        .unwrap();
+    assert!(none.run().unwrap().patterns.is_empty());
 }
 
 #[test]
 fn capture_of_whole_sequence() {
     let fx = toy::fixture();
-    // `(.)*` captures every item: every full sequence of frequent items is
-    // its own candidate... along with all ways to have matched. Anchored
-    // compile (no unanchored wrap) — candidates are exactly the full input
-    // sequences consisting of frequent items.
-    let fst = Fst::compile(&PatEx::parse("[(.)]*").unwrap(), &fx.dict).unwrap();
-    let out = desq_dfs(&fx.db, &fst, &fx.dict, 1);
-    // T5 = a1 a1 b appears once; T3 = c d c b once; T1 once; (T2, T4 have
-    // infrequent items at σ=1? no — σ=1 keeps everything, so all five).
-    assert!(out.iter().any(|(s, f)| *f == 1 && *s == fx.db.sequences[4]));
-    assert_eq!(out.len(), 5, "{out:?}");
+    // `[(.)]*` captures every item: anchored compile — candidates are
+    // exactly the full input sequences consisting of frequent items.
+    let out = MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(fx.db.clone())
+        .pattern("[(.)]*")
+        .sigma(1)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(out
+        .patterns
+        .iter()
+        .any(|(s, f)| *f == 1 && *s == fx.db.sequences[4]));
+    assert_eq!(out.patterns.len(), 5, "{:?}", out.patterns);
 }
 
 #[test]
@@ -84,11 +174,18 @@ fn deep_hierarchy_generalization() {
     let leaf = b.id_of("a0").unwrap();
     let db = SequenceDb::new(vec![vec![leaf], vec![leaf]]);
     let (dict, db) = b.freeze(&db).unwrap();
-    let fst = Fst::compile(&PatEx::parse("(.^)").unwrap(), &dict).unwrap();
-    let out = desq_dfs(&db, &fst, &dict, 2);
+    let out = MiningSession::builder()
+        .dictionary(dict)
+        .database(db)
+        .pattern("(.^)")
+        .sigma(2)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     // Every generalization level is a frequent pattern of support 2.
-    assert_eq!(out.len(), 12);
-    assert!(out.iter().all(|(s, f)| s.len() == 1 && *f == 2));
+    assert_eq!(out.patterns.len(), 12);
+    assert!(out.patterns.iter().all(|(s, f)| s.len() == 1 && *f == 2));
 }
 
 #[test]
@@ -98,48 +195,89 @@ fn weights_and_duplicates_in_database() {
     let fx = toy::fixture();
     let mut db = fx.db.clone();
     db.sequences.push(fx.db.sequences[4].clone()); // duplicate T5
-    let reference = desq_count(&db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
-    let engine = Engine::new(2);
-    let parts = db.partition(2);
-    let ds = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
-    assert_eq!(ds.patterns, reference);
+    let session = MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(db)
+        .pattern(toy::PATTERN)
+        .sigma(2)
+        .workers(2)
+        .build()
+        .unwrap();
+    let reference = session
+        .with_algorithm(AlgorithmSpec::DesqCount)
+        .unwrap()
+        .run()
+        .unwrap();
+    let ds = session
+        .with_algorithm(AlgorithmSpec::d_seq())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(ds.patterns, reference.patterns);
     // a1 a1 b now has support 3.
     let a1a1b = vec![fx.a1, fx.a1, fx.b];
-    assert_eq!(reference.iter().find(|(s, _)| *s == a1a1b).unwrap().1, 3);
+    assert_eq!(
+        reference
+            .patterns
+            .iter()
+            .find(|(s, _)| *s == a1a1b)
+            .unwrap()
+            .1,
+        3
+    );
 }
 
 #[test]
-fn run_budget_zero_always_oom_for_matching_input() {
-    let fx = toy::fixture();
-    let engine = Engine::new(1);
-    let parts = fx.db.partition(1);
-    let err = d_cand(
-        &engine,
-        &parts,
-        &fx.fst,
-        &fx.dict,
-        DCandConfig::new(2).with_run_budget(0),
-    )
-    .unwrap_err();
-    assert!(matches!(err, Error::ResourceExhausted(_)));
+fn budget_one_always_oom_for_matching_input() {
+    // The session-level budget (Limits::budget) replaces the old positional
+    // budget arguments; the error names the algorithm and the knob.
+    for spec in [AlgorithmSpec::d_cand(), AlgorithmSpec::Naive] {
+        let err = toy_builder()
+            .sigma(2)
+            .algorithm(spec)
+            .budget(1)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::ResourceExhausted(ref m) if m.contains("budget")),
+            "{}: {err}",
+            spec.name()
+        );
+    }
 }
 
 #[test]
 fn unknown_items_in_pattern_surface_cleanly() {
     let fx = toy::fixture();
+    // Directly via FST compilation...
     let e = PatEx::parse("(NOPE)").unwrap();
     match Fst::compile(&e, &fx.dict) {
         Err(Error::UnknownItem(name)) => assert_eq!(name, "NOPE"),
         other => panic!("expected UnknownItem, got {other:?}"),
     }
+    // ...and through the session builder, which compiles at build() time.
+    let err = toy_builder()
+        .pattern("(NOPE)")
+        .sigma(1)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, Error::UnknownItem(_)));
 }
 
 #[test]
-fn single_worker_engine_handles_many_partitions() {
-    let fx = toy::fixture();
-    let engine = Engine::new(1).with_reducers(16);
-    let parts: Vec<&[Sequence]> = fx.db.sequences.iter().map(std::slice::from_ref).collect();
-    let res = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
+fn single_worker_session_handles_many_partitions_and_reducers() {
+    let res = toy_builder()
+        .sigma(2)
+        .algorithm(AlgorithmSpec::d_seq())
+        .workers(1)
+        .partitions(5)
+        .reducers(16)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(res.patterns.len(), 3);
     assert_eq!(res.metrics.reducer_bytes.len(), 16);
 }

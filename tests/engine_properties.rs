@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use desq::bsp::Engine;
 use desq::core::fx::FxHashMap;
 use desq::datagen::{amzn_like, to_forest, AmznConfig};
-use desq::dist::{d_seq, DSeqConfig};
+use desq::session::{AlgorithmSpec, MiningSession};
 
 /// Sec. III-B: with the frequency-descending item order, pivot partitions
 /// of frequent items receive little data and the shuffle is reasonably
@@ -15,10 +15,18 @@ use desq::dist::{d_seq, DSeqConfig};
 fn dseq_shuffle_is_reasonably_balanced() {
     let (dict, db) = amzn_like(&AmznConfig::new(4_000));
     let (fdict, fdb) = to_forest(&dict, &db);
-    let fst = desq::dist::patterns::t3(1, 5).compile(&fdict).unwrap();
-    let engine = Engine::new(4).with_reducers(8);
-    let parts = fdb.partition(4);
-    let res = d_seq(&engine, &parts, &fst, &fdict, DSeqConfig::new(10)).unwrap();
+    let res = MiningSession::builder()
+        .dictionary(fdict)
+        .database(fdb)
+        .pattern_unanchored(&desq::dist::patterns::t3(1, 5).expr)
+        .sigma(10)
+        .algorithm(AlgorithmSpec::d_seq())
+        .workers(4)
+        .reducers(8)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     let balance = res.metrics.balance();
     assert!(
         balance < 4.0,

@@ -1,48 +1,133 @@
 //! End-to-end walk through every worked example of the paper on the
-//! running-example database (Fig. 2 – Fig. 8).
+//! running-example database (Fig. 2 – Fig. 8), plus the session-level
+//! cross-algorithm equivalence and result-ordering invariants.
 
-use desq::bsp::Engine;
+use desq::baselines::LashConfig;
 use desq::core::fst::candidates;
 use desq::core::{toy, Sequence};
-use desq::dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig, PivotSearch};
+use desq::dist::PivotSearch;
+use desq::session::{AlgorithmSpec, MiningSession};
 
-/// Sec. II: the problem-statement result for σ = 2.
+fn toy_session(sigma: u64) -> MiningSession {
+    let fx = toy::fixture();
+    MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(fx.db)
+        .pattern(toy::PATTERN)
+        .sigma(sigma)
+        .workers(2)
+        .partitions(2)
+        .build()
+        .unwrap()
+}
+
+/// Sec. II: the problem-statement result for σ = 2, through every
+/// FST-based algorithm of the unified API.
 #[test]
 fn frequent_sequences_of_the_running_example() {
     let fx = toy::fixture();
-    let engine = Engine::new(2);
-    let parts = fx.db.partition(2);
+    let session = toy_session(2);
     let expect: Vec<(Sequence, u64)> = vec![
         (vec![fx.a1, fx.b], 3),
         (vec![fx.a1, fx.big_a, fx.b], 2),
         (vec![fx.a1, fx.a1, fx.b], 2),
     ];
-    for (name, res) in [
-        (
-            "NAIVE",
-            naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(2)).unwrap(),
-        ),
-        (
-            "SEMI-NAIVE",
-            naive(
-                &engine,
-                &parts,
-                &fx.fst,
-                &fx.dict,
-                NaiveConfig::semi_naive(2),
-            )
-            .unwrap(),
-        ),
-        (
-            "D-SEQ",
-            d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap(),
-        ),
-        (
-            "D-CAND",
-            d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap(),
-        ),
+    for spec in [
+        AlgorithmSpec::Naive,
+        AlgorithmSpec::SemiNaive,
+        AlgorithmSpec::d_seq(),
+        AlgorithmSpec::d_cand(),
     ] {
-        assert_eq!(res.patterns, expect, "{name}");
+        let res = session.with_algorithm(spec).unwrap().run().unwrap();
+        assert_eq!(res.patterns, expect, "{}", spec.name());
+    }
+}
+
+/// The session-level equivalence property on the Fig. 2 toy database,
+/// parameterized over σ and over *all* `AlgorithmSpec` variants: within
+/// each group of algorithms that implement the same constraint semantics,
+/// the mined pattern sets are identical — and every result upholds the
+/// documented `MiningResult` ordering invariant (sorted lexicographically),
+/// asserted here in one place for all algorithms.
+#[test]
+fn all_algorithm_specs_agree_within_their_constraint_groups() {
+    let fx = toy::fixture();
+    let max_gap = fx.db.max_len(); // "arbitrary gaps" for the gap miners
+    for sigma in 1..=3u64 {
+        // Group 1 — the πex constraint: all six FST-based algorithms.
+        let pi_ex = toy_session(sigma);
+        let pi_specs = [
+            AlgorithmSpec::DesqDfs,
+            AlgorithmSpec::DesqCount,
+            AlgorithmSpec::Naive,
+            AlgorithmSpec::SemiNaive,
+            AlgorithmSpec::d_seq(),
+            AlgorithmSpec::d_cand(),
+        ];
+        check_group(&pi_ex, &pi_specs, "πex", sigma);
+
+        // Group 2 — T1(σ, 3) semantics: PrefixSpan and MLlib-PrefixSpan
+        // natively, DESQ via the T1 pattern expression.
+        let t1 = session_for_expr(&desq::dist::patterns::t1(3).expr, sigma);
+        let t1_specs = [
+            AlgorithmSpec::PrefixSpan { max_len: 3 },
+            AlgorithmSpec::Mllib { max_len: 3 },
+            AlgorithmSpec::DesqCount,
+            AlgorithmSpec::d_seq(),
+        ];
+        check_group(&t1, &t1_specs, "T1", sigma);
+
+        // Group 3 — T3(σ, γ, 3) semantics with arbitrary-gap γ: the gap
+        // miner and LASH natively, DESQ via the T3 pattern expression.
+        let t3 = session_for_expr(&desq::dist::patterns::t3(max_gap, 3).expr, sigma);
+        let t3_specs = [
+            AlgorithmSpec::GapMiner {
+                gamma: max_gap,
+                max_len: 3,
+                min_len: 2,
+                generalize: true,
+            },
+            AlgorithmSpec::Lash(LashConfig::new(sigma, max_gap, 3)),
+            AlgorithmSpec::DesqCount,
+            AlgorithmSpec::d_cand(),
+        ];
+        check_group(&t3, &t3_specs, "T3", sigma);
+    }
+}
+
+fn session_for_expr(expr: &str, sigma: u64) -> MiningSession {
+    let fx = toy::fixture();
+    MiningSession::builder()
+        .dictionary(fx.dict)
+        .database(fx.db)
+        .pattern_unanchored(expr)
+        .sigma(sigma)
+        .workers(2)
+        .partitions(3)
+        .build()
+        .unwrap()
+}
+
+fn check_group(base: &MiningSession, specs: &[AlgorithmSpec], what: &str, sigma: u64) {
+    let mut reference: Option<(&'static str, Vec<(Sequence, u64)>)> = None;
+    for spec in specs {
+        let res = base.with_algorithm(*spec).unwrap().run().unwrap();
+        // The documented MiningResult invariant, checked for every
+        // algorithm in one place.
+        assert!(
+            res.is_sorted(),
+            "{what}/σ={sigma}: {} violated the sort invariant",
+            spec.name()
+        );
+        match &reference {
+            None => reference = Some((spec.name(), res.patterns)),
+            Some((rname, rpatterns)) => assert_eq!(
+                &res.patterns,
+                rpatterns,
+                "{what}/σ={sigma}: {} vs {rname}",
+                spec.name()
+            ),
+        }
     }
 }
 
@@ -103,14 +188,19 @@ fn rewriting_example() {
 /// (the toy is tiny, so compare against NAIVE which ships G_π(T) verbatim).
 #[test]
 fn representations_are_compact() {
-    let fx = toy::fixture();
-    let engine = Engine::new(1);
-    let parts: Vec<&[Sequence]> = vec![&fx.db.sequences];
-    let nv = naive(&engine, &parts, &fx.fst, &fx.dict, NaiveConfig::naive(2)).unwrap();
-    let ds = d_seq(&engine, &parts, &fx.fst, &fx.dict, DSeqConfig::new(2)).unwrap();
-    let dc = d_cand(&engine, &parts, &fx.fst, &fx.dict, DCandConfig::new(2)).unwrap();
-    assert!(ds.metrics.shuffle_bytes < nv.metrics.shuffle_bytes);
-    assert!(dc.metrics.shuffle_bytes < nv.metrics.shuffle_bytes);
+    let session = toy_session(2);
+    let shuffle = |spec: AlgorithmSpec| {
+        session
+            .with_algorithm(spec)
+            .unwrap()
+            .run()
+            .unwrap()
+            .metrics
+            .shuffle_bytes
+    };
+    let nv = shuffle(AlgorithmSpec::Naive);
+    assert!(shuffle(AlgorithmSpec::d_seq()) < nv);
+    assert!(shuffle(AlgorithmSpec::d_cand()) < nv);
 }
 
 /// The partition-balance property of item-based partitioning (Sec. III-B):

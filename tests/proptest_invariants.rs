@@ -3,15 +3,35 @@
 
 use proptest::prelude::*;
 
-use desq::bsp::Engine;
 use desq::core::fst::candidates;
-use desq::core::{Dictionary, DictionaryBuilder, Fst, ItemId, PatEx, Sequence, SequenceDb};
+use desq::core::{Dictionary, DictionaryBuilder, Error, Fst, ItemId, PatEx, Sequence, SequenceDb};
 use desq::dist::dcand::merge_pivots;
 use desq::dist::dcand::nfa::TrieBuilder;
-use desq::dist::{d_cand, d_seq, naive, DCandConfig, DSeqConfig, NaiveConfig, PivotSearch};
-use desq::miner::desq_count;
+use desq::dist::PivotSearch;
+use desq::session::{AlgorithmSpec, MiningSession};
 
 const BUDGET: usize = 100_000;
+
+/// A session over a random world and a pre-compiled FST, with the
+/// property-test work budget.
+fn world_session(
+    world: &World,
+    fst: &Fst,
+    sigma: u64,
+    workers: usize,
+    parts: usize,
+) -> MiningSession {
+    MiningSession::builder()
+        .dictionary(world.dict.clone())
+        .database(world.db.clone())
+        .fst(fst.clone())
+        .sigma(sigma)
+        .budget(BUDGET)
+        .workers(workers)
+        .partitions(parts)
+        .build()
+        .unwrap()
+}
 
 /// A random DAG dictionary over items `i0..i{n-1}` (edges only from later to
 /// earlier items — acyclic by construction), frozen over a random database.
@@ -199,7 +219,7 @@ proptest! {
     }
 
     /// The full distributed algorithms agree with the brute-force reference
-    /// on random worlds and patterns.
+    /// on random worlds and patterns — all dispatched through the session.
     #[test]
     fn distributed_matches_reference(
         world in arb_world(), e in arb_pexp(4), sigma in 1u64..3
@@ -208,20 +228,52 @@ proptest! {
             Ok(f) => f,
             Err(_) => return Ok(()),
         };
-        let reference = match desq_count(&world.db, &fst, &world.dict, sigma, BUDGET) {
-            Ok(r) => r,
+        let base = world_session(&world, &fst, sigma, 2, 2);
+        let reference = match base.with_algorithm(AlgorithmSpec::DesqCount).unwrap().run() {
+            Ok(r) => r.patterns,
             Err(_) => return Ok(()), // candidate explosion: skip
         };
-        let engine = Engine::new(2);
-        let parts = world.db.partition(2);
-        let ds = d_seq(&engine, &parts, &fst, &world.dict, DSeqConfig::new(sigma)).unwrap();
+        let ds = base.with_algorithm(AlgorithmSpec::d_seq()).unwrap().run().unwrap();
         prop_assert_eq!(&ds.patterns, &reference, "d_seq");
-        if let Ok(dc) = d_cand(
-            &engine, &parts, &fst, &world.dict,
-            DCandConfig::new(sigma).with_run_budget(BUDGET),
-        ) {
+        if let Ok(dc) = base.with_algorithm(AlgorithmSpec::d_cand()).unwrap().run() {
             prop_assert_eq!(&dc.patterns, &reference, "d_cand");
         }
+    }
+
+    /// Session-level invariants on random worlds: results are sorted (the
+    /// documented `MiningResult` invariant), stable across worker/partition
+    /// counts, metrics are non-trivial, and σ = 0 is rejected with
+    /// `Error::Invalid` regardless of the algorithm.
+    #[test]
+    fn session_invariants_hold_on_random_worlds(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3,
+        workers in 1usize..4, parts in 1usize..5,
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let base = world_session(&world, &fst, sigma, workers, parts);
+        let reference = match base.with_algorithm(AlgorithmSpec::d_seq()).unwrap().run() {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(reference.is_sorted());
+        prop_assert_eq!(reference.metrics.input_sequences, world.db.len() as u64);
+        prop_assert_eq!(reference.metrics.output_records, reference.patterns.len() as u64);
+        prop_assert_eq!(reference.metrics.workers, workers as u64);
+        // Stability: a different parallelism yields the identical result.
+        let other = world_session(&world, &fst, sigma, 1, 3)
+            .with_algorithm(AlgorithmSpec::d_seq()).unwrap().run().unwrap();
+        prop_assert_eq!(&other.patterns, &reference.patterns);
+        // The shared validator rejects σ = 0 for every algorithm.
+        let zero = MiningSession::builder()
+            .dictionary(world.dict.clone())
+            .database(world.db.clone())
+            .fst(fst)
+            .sigma(0)
+            .build();
+        prop_assert!(matches!(zero, Err(Error::Invalid(_))));
     }
 
     /// The naive distributed baselines agree with the reference on random
@@ -234,24 +286,16 @@ proptest! {
             Ok(f) => f,
             Err(_) => return Ok(()),
         };
-        let reference = match desq_count(&world.db, &fst, &world.dict, sigma, BUDGET) {
-            Ok(r) => r,
+        let reference = match world_session(&world, &fst, sigma, 1, 1)
+            .with_algorithm(AlgorithmSpec::DesqCount).unwrap().run() {
+            Ok(r) => r.patterns,
             Err(_) => return Ok(()), // candidate explosion: skip
         };
-        let engine = Engine::new(2);
-        let parts = world.db.partition(3);
-        let nv = naive(
-            &engine, &parts, &fst, &world.dict,
-            NaiveConfig::naive(sigma).with_budget(BUDGET),
-        );
-        if let Ok(nv) = nv {
+        let base = world_session(&world, &fst, sigma, 2, 3);
+        if let Ok(nv) = base.with_algorithm(AlgorithmSpec::Naive).unwrap().run() {
             prop_assert_eq!(&nv.patterns, &reference, "naive");
         }
-        let sn = naive(
-            &engine, &parts, &fst, &world.dict,
-            NaiveConfig::semi_naive(sigma).with_budget(BUDGET),
-        );
-        if let Ok(sn) = sn {
+        if let Ok(sn) = base.with_algorithm(AlgorithmSpec::SemiNaive).unwrap().run() {
             prop_assert_eq!(&sn.patterns, &reference, "semi-naive");
         }
         let search = PivotSearch::new(&fst, &world.dict, world.dict.last_frequent(sigma));
