@@ -121,17 +121,36 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_local_mining(c: &mut Criterion) {
     let (dict, db, fst) = workload();
-    let inputs: Vec<(Vec<u32>, u64)> = db
+    let inputs: Vec<desq_miner::WeightedInput<'_>> = db
         .sequences
         .iter()
         .take(300)
-        .map(|s| (s.clone(), 1))
+        .map(|s| (s.as_slice(), 1))
         .collect();
+    // Miner construction (the derived FST index) — runs once per mining
+    // job, and once per pivot partition in D-SEQ's reduce.
+    c.bench_function("mining/miner_build_n4", |b| {
+        b.iter(|| black_box(LocalMiner::new(&fst, &dict, MinerConfig::sequential(30))))
+    });
+    let miner = LocalMiner::new(&fst, &dict, MinerConfig::sequential(30));
+    // The per-sequence flat simulation tables (match masks + aliveness +
+    // ε-completion DP + output arenas) — the preprocessing the DFS
+    // amortizes. (Unlike the pre-PR-3 "desq_dfs_n4_300seqs" numbers, the
+    // mining benches below exclude miner construction, measured above.)
+    c.bench_function("mining/table_build_n4_300seqs", |b| {
+        b.iter(|| black_box(miner.prepare_tables(&inputs, 1)))
+    });
+    // ε-closure + child expansion of the root node over all prepared
+    // sequences (the kernel every search-tree node runs).
+    let tables = miner.prepare_tables(&inputs, 1);
+    c.bench_function("mining/root_expand_n4_300seqs", |b| {
+        b.iter(|| black_box(miner.first_level_count(&tables)))
+    });
     c.bench_function("mining/desq_dfs_n4_300seqs", |b| {
-        b.iter(|| {
-            let miner = LocalMiner::new(&fst, &dict, MinerConfig::sequential(30));
-            black_box(miner.mine(&inputs))
-        })
+        b.iter(|| black_box(miner.mine(&inputs)))
+    });
+    c.bench_function("mining/desq_dfs_n4_300seqs_w4", |b| {
+        b.iter(|| black_box(miner.mine_with_workers(&inputs, 4)))
     });
 }
 

@@ -1,0 +1,139 @@
+//! Perf-smoke harness: times DESQ-DFS local mining on the standard bench
+//! workload (NYT-like corpus, the N2/N3/N5/N4 constraints of Tab. III) at
+//! 1 and 4 workers and writes the measurements to `BENCH_3.json`.
+//!
+//! The recorded `baseline_secs` values are the pre-rework sequential
+//! `LocalMiner` (before the flat simulation tables of PR 3), measured on
+//! the same workload with the same min-of-five protocol; override them
+//! per constraint with `PERF_BASELINE_N2=secs` etc. when benchmarking on a
+//! different machine. The output is consumed by CI as an artifact so the
+//! performance trajectory of the hot path stays visible per PR.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use desq_datagen::{nyt_like, NytConfig};
+use desq_dist::patterns::Constraint;
+use desq_miner::{LocalMiner, MinerConfig, WeightedInput};
+
+/// Sequences in the generated NYT-like corpus.
+const NYT_SIZE: usize = 40_000;
+/// Support threshold of every measurement.
+const SIGMA: u64 = 10;
+/// Timed repetitions per configuration (the minimum is reported).
+const REPS: usize = 5;
+
+/// Pre-rework sequential baselines (seconds), measured on the development
+/// machine with the same corpus, σ and min-of-five protocol.
+fn recorded_baseline(name: &str) -> f64 {
+    match name {
+        "N2" => 0.0564,
+        "N3" => 0.0631,
+        "N5" => 0.7585,
+        "N4" => 0.3658,
+        _ => f64::NAN,
+    }
+}
+
+fn baseline_for(name: &str) -> f64 {
+    std::env::var(format!("PERF_BASELINE_{name}"))
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| recorded_baseline(name))
+}
+
+struct Row {
+    name: String,
+    patterns: usize,
+    baseline_secs: f64,
+    w1_secs: f64,
+    w4_secs: f64,
+}
+
+fn measure(c: &Constraint) -> Row {
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let fst = c.compile(&dict).unwrap();
+    let inputs: Vec<WeightedInput<'_>> = db.sequences.iter().map(|s| (s.as_slice(), 1)).collect();
+    let miner = LocalMiner::new(&fst, &dict, MinerConfig::sequential(SIGMA));
+    let mut patterns = 0;
+    let mut best = [f64::MAX; 2];
+    for (slot, workers) in [(0, 1), (1, 4)] {
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let (out, timings) = miner.mine_with_workers(&inputs, workers);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(timings.len(), workers);
+            patterns = out.len();
+            best[slot] = best[slot].min(secs);
+        }
+    }
+    Row {
+        name: c.name.clone(),
+        patterns,
+        baseline_secs: baseline_for(&c.name),
+        w1_secs: best[0],
+        w4_secs: best[1],
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+    let constraints = [
+        desq_dist::patterns::n2(),
+        desq_dist::patterns::n3(),
+        desq_dist::patterns::n5(),
+        desq_dist::patterns::n4(),
+    ];
+    let rows: Vec<Row> = constraints.iter().map(measure).collect();
+
+    let (mut base, mut w1, mut w4) = (0.0, 0.0, 0.0);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"desq-dfs local mining perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"nyt_like({NYT_SIZE})\", \"sigma\": {SIGMA}, \
+         \"reps\": {REPS}, \"metric\": \"min wall seconds\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"pre-PR-3 sequential LocalMiner (override: PERF_BASELINE_<NAME>)\","
+    );
+    json.push_str("  \"constraints\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        base += r.baseline_secs;
+        w1 += r.w1_secs;
+        w4 += r.w4_secs;
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"patterns\": {}, \"baseline_secs\": {:.4}, \
+             \"workers1_secs\": {:.4}, \"workers4_secs\": {:.4}, \
+             \"speedup_w1\": {:.2}, \"speedup_w4\": {:.2}}}{}",
+            r.name,
+            r.patterns,
+            r.baseline_secs,
+            r.w1_secs,
+            r.w4_secs,
+            r.baseline_secs / r.w1_secs,
+            r.baseline_secs / r.w4_secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"baseline_secs\": {:.4}, \"workers1_secs\": {:.4}, \
+         \"workers4_secs\": {:.4}, \"speedup_w1\": {:.2}, \"speedup_w4\": {:.2}}}",
+        base,
+        w1,
+        w4,
+        base / w1,
+        base / w4
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_3.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -35,6 +35,18 @@ pub enum InputLabel {
     Desc(ItemId),
 }
 
+impl InputLabel {
+    /// True iff this label matches input item `t`.
+    #[inline]
+    pub fn matches(&self, t: ItemId, dict: &Dictionary) -> bool {
+        match *self {
+            InputLabel::Any => true,
+            InputLabel::Exact(w) => t == w,
+            InputLabel::Desc(w) => dict.is_ancestor(w, t),
+        }
+    }
+}
+
 /// The output function `out_δ` of a transition, evaluated on the matched item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OutputLabel {
@@ -47,6 +59,27 @@ pub enum OutputLabel {
     Generalize(Option<ItemId>),
     /// Always produces this fixed item: `(w=)`, `(w^=)`.
     Const(ItemId),
+}
+
+impl OutputLabel {
+    /// Appends the output set `out_δ(t)` to `buf`; ε is represented as
+    /// [`EPSILON`]. The output is sorted ascending (ancestor lists are).
+    #[inline]
+    pub fn outputs(&self, t: ItemId, dict: &Dictionary, buf: &mut Vec<ItemId>) {
+        match *self {
+            OutputLabel::None => buf.push(EPSILON),
+            OutputLabel::Matched => buf.push(t),
+            OutputLabel::Const(w) => buf.push(w),
+            OutputLabel::Generalize(None) => buf.extend_from_slice(dict.ancestors(t)),
+            OutputLabel::Generalize(Some(w)) => {
+                for &a in dict.ancestors(t) {
+                    if dict.is_ancestor(w, a) {
+                        buf.push(a);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A transition of the FST: matches one input item and produces an output set.
@@ -64,30 +97,14 @@ impl Transition {
     /// True iff this transition matches input item `t`.
     #[inline]
     pub fn matches(&self, t: ItemId, dict: &Dictionary) -> bool {
-        match self.input {
-            InputLabel::Any => true,
-            InputLabel::Exact(w) => t == w,
-            InputLabel::Desc(w) => dict.is_ancestor(w, t),
-        }
+        self.input.matches(t, dict)
     }
 
     /// Appends the output set `out_δ(t)` to `buf`. ε is represented as
     /// [`EPSILON`]. The output is sorted ascending (ancestor lists are).
     #[inline]
     pub fn outputs(&self, t: ItemId, dict: &Dictionary, buf: &mut Vec<ItemId>) {
-        match self.output {
-            OutputLabel::None => buf.push(EPSILON),
-            OutputLabel::Matched => buf.push(t),
-            OutputLabel::Const(w) => buf.push(w),
-            OutputLabel::Generalize(None) => buf.extend_from_slice(dict.ancestors(t)),
-            OutputLabel::Generalize(Some(w)) => {
-                for &a in dict.ancestors(t) {
-                    if dict.is_ancestor(w, a) {
-                        buf.push(a);
-                    }
-                }
-            }
-        }
+        self.output.outputs(t, dict, buf)
     }
 
     /// True if the transition can produce a non-ε output.
@@ -197,6 +214,19 @@ impl Fst {
         k: ItemId,
         dict: &Dictionary,
     ) -> Option<usize> {
+        // Only output-producing transitions matter, and the same (input,
+        // output) pair behaves identically regardless of its source state —
+        // hoist and dedup them once instead of rescanning all states'
+        // transition lists at every position.
+        let mut producers: Vec<(InputLabel, OutputLabel)> = self
+            .states
+            .iter()
+            .flatten()
+            .filter(|tr| tr.produces_output())
+            .map(|tr| (tr.input, tr.output))
+            .collect();
+        producers.sort_unstable();
+        producers.dedup();
         let mut buf = Vec::new();
         for (i, &t) in seq.iter().enumerate().rev() {
             // k must be an ancestor of t for any transition to output it
@@ -204,14 +234,17 @@ impl Fst {
             if !dict.is_ancestor(k, t) {
                 continue;
             }
-            for trs in &self.states {
-                for tr in trs {
-                    if tr.produces_output() && tr.matches(t, dict) {
-                        buf.clear();
-                        tr.outputs(t, dict, &mut buf);
-                        if buf.contains(&k) {
-                            return Some(i);
-                        }
+            for &(input, output) in &producers {
+                let tr = Transition {
+                    input,
+                    output,
+                    to: 0,
+                };
+                if tr.matches(t, dict) {
+                    buf.clear();
+                    tr.outputs(t, dict, &mut buf);
+                    if buf.contains(&k) {
+                        return Some(i);
                     }
                 }
             }

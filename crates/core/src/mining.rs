@@ -235,6 +235,10 @@ pub struct MiningMetrics {
     pub output_records: u64,
     /// Worker threads used (1 for sequential miners).
     pub workers: u64,
+    /// Wall-clock nanoseconds each local-mining worker spent in its share
+    /// of the search tree (empty when the algorithm reports no per-worker
+    /// breakdown, e.g. the BSP engine's map/reduce phases).
+    pub worker_nanos: Vec<u64>,
 }
 
 impl MiningMetrics {
@@ -252,6 +256,26 @@ impl MiningMetrics {
             reducer_bytes: Vec::new(),
             output_records: output,
             workers: 1,
+            worker_nanos: Vec::new(),
+        }
+    }
+
+    /// Metrics of a shared-memory parallel run: like
+    /// [`sequential`](Self::sequential), but with the worker count and the
+    /// per-worker mining wall times filled in from `worker_nanos` (one entry
+    /// per worker thread; an empty vector reports a single worker).
+    pub fn local_parallel(
+        wall_nanos: u64,
+        input_sequences: u64,
+        work: u64,
+        output: u64,
+        worker_nanos: Vec<u64>,
+    ) -> Self {
+        let workers = worker_nanos.len().max(1) as u64;
+        MiningMetrics {
+            workers,
+            worker_nanos,
+            ..MiningMetrics::sequential(wall_nanos, input_sequences, work, output)
         }
     }
 

@@ -92,7 +92,11 @@ pub(crate) fn d_seq_impl(
         |&p: &ItemId, inputs: Vec<(Sequence, u64)>, emit: &mut dyn FnMut((Sequence, u64))| {
             let miner_config = MinerConfig::for_pivot(config.sigma, p, config.early_stop)
                 .with_last_frequent(last_frequent);
-            for pattern in LocalMiner::new(fst, dict, miner_config).mine(&inputs) {
+            // Borrow the decoded aggregates — local mining never copies
+            // item data.
+            let borrowed: Vec<desq_miner::WeightedInput<'_>> =
+                inputs.iter().map(|(s, w)| (s.as_slice(), *w)).collect();
+            for pattern in LocalMiner::new(fst, dict, miner_config).mine(&borrowed) {
                 emit(pattern);
             }
             Ok(())

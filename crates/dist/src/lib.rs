@@ -72,6 +72,7 @@ pub fn metrics_from_job(
         reducer_bytes: job.reducer_bytes,
         output_records: job.output_records,
         workers: workers as u64,
+        worker_nanos: Vec::new(),
     }
 }
 

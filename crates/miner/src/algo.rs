@@ -10,18 +10,21 @@
 use std::time::Instant;
 
 use desq_core::mining::{Miner, MiningContext, MiningMetrics, MiningResult};
-use desq_core::{Result, Sequence};
+use desq_core::Result;
 
 use crate::desq_count::desq_count_impl;
-use crate::desq_dfs::{LocalMiner, MinerConfig};
+use crate::desq_dfs::{LocalMiner, MinerConfig, WeightedInput};
 
 /// Weighted inputs (weight 1 per database sequence) for the pattern-growth
-/// miners.
-fn unit_inputs(ctx: &MiningContext<'_>) -> Vec<(Sequence, u64)> {
-    ctx.db.sequences.iter().map(|s| (s.clone(), 1)).collect()
+/// miners — borrowed straight from the context's database.
+fn unit_inputs<'c>(ctx: &MiningContext<'c>) -> Vec<WeightedInput<'c>> {
+    ctx.db.sequences.iter().map(|s| (s.as_slice(), 1)).collect()
 }
 
-/// DESQ-DFS: pattern growth over projected databases (Fig. 6).
+/// DESQ-DFS: pattern growth over projected databases (Fig. 6). Honors
+/// `ctx.workers` by sharding the search tree's first-level children across
+/// worker threads; per-worker mining times land in
+/// `MiningMetrics::worker_nanos`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DesqDfs;
 
@@ -35,13 +38,15 @@ impl Miner for DesqDfs {
         let fst = ctx.fst()?;
         let t0 = Instant::now();
         let inputs = unit_inputs(ctx);
-        let patterns =
-            LocalMiner::new(fst, ctx.dict, MinerConfig::sequential(ctx.sigma)).mine(&inputs);
-        let metrics = MiningMetrics::sequential(
+        let (patterns, worker_nanos) =
+            LocalMiner::new(fst, ctx.dict, MinerConfig::sequential(ctx.sigma))
+                .mine_with_workers(&inputs, ctx.workers);
+        let metrics = MiningMetrics::local_parallel(
             t0.elapsed().as_nanos() as u64,
             ctx.db.len() as u64,
             patterns.len() as u64,
             patterns.len() as u64,
+            worker_nanos,
         );
         Ok(MiningResult { patterns, metrics })
     }
@@ -50,7 +55,8 @@ impl Miner for DesqDfs {
 /// DESQ-COUNT: per-sequence candidate generation plus counting — the
 /// brute-force reference implementation. Its work metric
 /// (`emitted_records`) is the total number of candidate occurrences
-/// generated, bounded per sequence by `ctx.limits.budget`.
+/// generated, bounded per sequence by `ctx.limits.budget`. Candidate
+/// generation shards the database across `ctx.workers` threads.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DesqCount;
 
@@ -63,13 +69,20 @@ impl Miner for DesqCount {
         ctx.validate()?;
         let fst = ctx.fst()?;
         let t0 = Instant::now();
-        let (patterns, work) =
-            desq_count_impl(ctx.db, fst, ctx.dict, ctx.sigma, ctx.limits.budget)?;
-        let metrics = MiningMetrics::sequential(
+        let (patterns, work, worker_nanos) = desq_count_impl(
+            ctx.db,
+            fst,
+            ctx.dict,
+            ctx.sigma,
+            ctx.limits.budget,
+            ctx.workers,
+        )?;
+        let metrics = MiningMetrics::local_parallel(
             t0.elapsed().as_nanos() as u64,
             ctx.db.len() as u64,
             work,
             patterns.len() as u64,
+            worker_nanos,
         );
         Ok(MiningResult { patterns, metrics })
     }

@@ -8,33 +8,81 @@
 //! many candidates per sequence (the reason the paper's naïve distributed
 //! algorithms fail on loose constraints).
 
+use std::sync::Mutex;
+
 use desq_core::fst::candidates;
 use desq_core::fx::FxHashMap;
 use desq_core::{mining, Dictionary, Fst, Result, Sequence, SequenceDb};
 
+/// Result of one counting run: sorted patterns, total candidate
+/// occurrences counted (the work metric), and per-worker wall nanoseconds.
+type CountOutcome = (Vec<(Sequence, u64)>, u64, Vec<u64>);
+
 /// The workhorse behind [`desq_count`] and [`crate::algo::DesqCount`]:
-/// mines by explicit candidate generation and additionally reports the
-/// total number of candidate occurrences counted (the algorithm's work
-/// metric).
+/// mines by explicit candidate generation and reports the total number of
+/// candidate occurrences counted (the algorithm's work metric) plus the
+/// wall time each worker spent generating. Candidate generation shards the
+/// database across `workers` threads (per-sequence generation is
+/// independent); the per-worker count maps are merged before the frequency
+/// filter.
 pub(crate) fn desq_count_impl(
     db: &SequenceDb,
     fst: &Fst,
     dict: &Dictionary,
     sigma: u64,
     budget: usize,
-) -> Result<(Vec<(Sequence, u64)>, u64)> {
+    workers: usize,
+) -> Result<CountOutcome> {
     mining::validate_sigma(sigma)?;
-    let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
-    let mut work = 0u64;
-    for seq in &db.sequences {
-        let cands = candidates::generate(fst, dict, seq, Some(sigma), budget)?;
-        work += cands.len() as u64;
-        for c in cands {
-            *counts.entry(c).or_insert(0) += 1;
+    let workers = workers.max(1).min(db.sequences.len().max(1));
+    let count_chunk = |seqs: &[Sequence]| -> Result<(FxHashMap<Sequence, u64>, u64)> {
+        let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+        let mut work = 0u64;
+        for seq in seqs {
+            let cands = candidates::generate(fst, dict, seq, Some(sigma), budget)?;
+            work += cands.len() as u64;
+            for c in cands {
+                *counts.entry(c).or_insert(0) += 1;
+            }
         }
-    }
+        Ok((counts, work))
+    };
+
+    let (counts, work, timings) = if workers == 1 {
+        let t0 = std::time::Instant::now();
+        let (counts, work) = count_chunk(&db.sequences)?;
+        (counts, work, vec![t0.elapsed().as_nanos() as u64])
+    } else {
+        let chunk = db.sequences.len().div_ceil(workers);
+        type Partial = (FxHashMap<Sequence, u64>, u64, Vec<u64>);
+        let merged: Mutex<Result<Partial>> = Mutex::new(Ok((FxHashMap::default(), 0, Vec::new())));
+        crossbeam::thread::scope(|s| {
+            let (merged, count_chunk) = (&merged, &count_chunk);
+            for part in db.sequences.chunks(chunk) {
+                s.spawn(move |_| {
+                    let t0 = std::time::Instant::now();
+                    let local = count_chunk(part);
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    let mut acc = merged.lock().unwrap();
+                    match (&mut *acc, local) {
+                        (Ok((counts, work, timings)), Ok((lc, lw))) => {
+                            *work += lw;
+                            timings.push(nanos);
+                            for (c, f) in lc {
+                                *counts.entry(c).or_insert(0) += f;
+                            }
+                        }
+                        (Ok(_), Err(e)) => *acc = Err(e),
+                        (Err(_), _) => {} // keep the first error
+                    }
+                });
+            }
+        })
+        .expect("counting worker panicked");
+        merged.into_inner().unwrap_or_else(|e| e.into_inner())?
+    };
     let out: Vec<(Sequence, u64)> = counts.into_iter().filter(|&(_, f)| f >= sigma).collect();
-    Ok((crate::sort_patterns(out), work))
+    Ok((crate::sort_patterns(out), work, timings))
 }
 
 /// Mines frequent sequences by explicit candidate generation.
@@ -54,7 +102,7 @@ pub fn desq_count(
     sigma: u64,
     budget: usize,
 ) -> Result<Vec<(Sequence, u64)>> {
-    desq_count_impl(db, fst, dict, sigma, budget).map(|(patterns, _)| patterns)
+    desq_count_impl(db, fst, dict, sigma, budget, 1).map(|(patterns, _, _)| patterns)
 }
 
 #[cfg(test)]
@@ -68,7 +116,7 @@ mod tests {
         // Paper, Sec. II: for πex and σ = 2 the frequent subsequences are
         // a1 a1 b (2), a1 A b (2), a1 b (3).
         let fx = toy::fixture();
-        let (out, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, usize::MAX).unwrap();
+        let (out, _, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, usize::MAX, 1).unwrap();
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
         // Lexicographic fid order: a1 b < a1 A b < a1 a1 b.
@@ -85,7 +133,7 @@ mod tests {
     #[test]
     fn sigma_one_keeps_everything() {
         let fx = toy::fixture();
-        let (out, work) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 1, usize::MAX).unwrap();
+        let (out, work, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 1, usize::MAX, 1).unwrap();
         // All candidates of all sequences are frequent at σ = 1:
         // 7 (T1) + 11 (T2) + 0 (T3) + 2 (T4) + 3 (T5), with
         // a1b/a1a1b/a1Ab shared between T2 and T5 and a1b also in T1.
@@ -100,9 +148,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_counting_matches_sequential() {
+        let fx = toy::fixture();
+        for sigma in 1..=4 {
+            let (seq, seq_work, _) =
+                desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1).unwrap();
+            for workers in 2..=4 {
+                let (par, par_work, par_timings) =
+                    desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, workers).unwrap();
+                assert_eq!(par, seq, "sigma={sigma} workers={workers}");
+                assert_eq!(par_work, seq_work, "sigma={sigma} workers={workers}");
+                // One timing per spawned chunk, at most one per worker.
+                assert!(!par_timings.is_empty() && par_timings.len() <= workers);
+            }
+        }
+    }
+
+    #[test]
     fn high_sigma_yields_nothing() {
         let fx = toy::fixture();
-        let (out, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 10, usize::MAX).unwrap();
+        let (out, _, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 10, usize::MAX, 1).unwrap();
         assert!(out.is_empty());
     }
 
@@ -110,7 +175,7 @@ mod tests {
     fn zero_sigma_rejected() {
         let fx = toy::fixture();
         assert!(matches!(
-            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 0, usize::MAX),
+            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 0, usize::MAX, 1),
             Err(Error::Invalid(_))
         ));
     }
@@ -118,7 +183,7 @@ mod tests {
     #[test]
     fn budget_propagates() {
         let fx = toy::fixture();
-        let err = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, 2).unwrap_err();
+        let err = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, 2, 2).unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted(_)));
     }
 }

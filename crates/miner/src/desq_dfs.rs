@@ -13,14 +13,38 @@
 //! state. A node is *expanded* while enough sequences remain in its
 //! projection (prefix support is antimonotone; π-support is not).
 //!
+//! # Hot-path layout
+//!
+//! FST simulation state is precomputed once per input sequence into flat,
+//! bit-packed [`SeqTables`]: per-position *match masks* (one bit per FST
+//! transition), aliveness and ε-completion bitsets over the
+//! `(position, state)` grid, and the output sets of every
+//! `(position, output label)` pair — already filtered and materialized into
+//! a per-sequence arena. The DFS walks a compact per-state transition index
+//! of the FST (L1-resident) and resolves matches, aliveness and outputs as
+//! bit tests and arena slices: no ancestor binary searches, no output
+//! re-materialization, no dictionary access. Projected databases are
+//! sorted posting-list runs in per-depth reusable buffers instead of
+//! per-node hash maps, and the ε-closure walk deduplicates coordinates in a
+//! bitset.
+//!
+//! Search-tree exploration parallelizes by sharding the root node's
+//! first-level children across worker threads
+//! ([`LocalMiner::mine_with_workers`]): each worker runs an independent
+//! sub-DFS over its share of the tree and the per-worker results are merged
+//! and sorted once.
+//!
 //! [`LocalMiner`] adds the partition-local restrictions of D-SEQ
 //! (Sec. V-C): at partition `P_k` no expansion uses items `> k`, only pivot
 //! sequences (max item = `k`) are emitted, and the *early stopping*
 //! heuristic drops snapshots that can no longer produce the pivot item.
 
-use desq_core::fst::{Grid, OutputLabel};
-use desq_core::fx::FxHashMap;
-use desq_core::{Dictionary, Fst, ItemId, Sequence, SequenceDb};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use desq_core::fst::{InputLabel, OutputLabel};
+use desq_core::{Dictionary, Fst, ItemId, Sequence, SequenceDb, EPSILON};
 
 /// Configuration of a [`LocalMiner`].
 #[derive(Debug, Clone, Copy)]
@@ -75,44 +99,559 @@ impl MinerConfig {
     }
 }
 
+/// One weighted input sequence, borrowed from its owner (the database, or a
+/// reducer's decoded aggregate) — local mining never copies item data.
+pub type WeightedInput<'s> = (&'s [ItemId], u64);
+
 /// Pattern-growth miner over a set of weighted input sequences.
 pub struct LocalMiner<'a> {
     fst: &'a Fst,
     dict: &'a Dictionary,
     config: MinerConfig,
+    /// Largest frequent fid, resolved once at construction.
+    last_frequent: ItemId,
+    /// Derived per-state transition index (see [`FstIndex`]).
+    index: FstIndex,
+    /// Largest frequent vocabulary that still uses dense (vocabulary-
+    /// indexed) node grouping; larger vocabularies sort instead. Only
+    /// tests override [`MAX_DENSE_ITEMS`].
+    dense_limit: usize,
 }
 
-/// One projected-database snapshot: (input index, last-read position, state).
-type Snapshot = (u32, u32, u32);
+/// One projected-database posting, packed
+/// `extension item ‖ input index ‖ last-read position ‖ ε-flag ‖ state`
+/// (32 + 32 + 32 + 1 + 31 bits, most significant first). The item is the
+/// output that led into this node (the root uses ε); packing it into the
+/// top bits makes a plain integer sort group postings into per-child runs
+/// with branchless compares. The ε-flag caches the coordinate's
+/// ε-completion bit so support counting never touches the tables again.
+type Posting = u128;
 
-/// Per-sequence simulation tables, computed once per input sequence.
-struct SeqCtx {
+const EPS_FLAG: u32 = 1 << 31;
+
+#[inline]
+fn posting(w: ItemId, s: u32, i: u32, q: u32, eps: bool) -> Posting {
+    let q = q | if eps { EPS_FLAG } else { 0 };
+    (w as u128) << 96 | (s as u128) << 64 | (i as u128) << 32 | q as u128
+}
+
+#[inline]
+fn p_item(p: Posting) -> ItemId {
+    (p >> 96) as u32
+}
+
+#[inline]
+fn p_seq(p: Posting) -> u32 {
+    (p >> 64) as u32
+}
+
+#[inline]
+fn p_pos(p: Posting) -> u32 {
+    (p >> 32) as u32
+}
+
+#[inline]
+fn p_state(p: Posting) -> u32 {
+    p as u32 & !EPS_FLAG
+}
+
+#[inline]
+fn p_eps(p: Posting) -> bool {
+    p as u32 & EPS_FLAG != 0
+}
+
+/// Derived, per-miner view of the FST used by table building and the DFS
+/// walk: transitions get dense global indices (their bit in a position's
+/// match mask), output labels are interned, and each state's transitions
+/// are a CSR slice of compact [`TrRef`]s — the whole structure stays
+/// cache-resident while per-sequence data is streamed.
+struct FstIndex {
+    /// Match-mask words per position (`⌈|Δ| / 64⌉`).
+    words: usize,
+    /// Distinct non-ε output labels in intern order.
+    labels: Vec<OutputLabel>,
+    /// Per label: union of the label's transition bits (is any transition
+    /// with this label matching at a position?).
+    label_masks: Vec<Vec<u64>>,
+    /// Input labels in global transition order (mask bit order), with the
+    /// target state for the aliveness pruning of the masks.
+    inputs: Vec<(InputLabel, u32)>,
+    /// Distinct input labels with the union bit mask of their transitions:
+    /// the mask build evaluates each distinct label once per position
+    /// instead of once per transition.
+    distinct_inputs: Vec<(InputLabel, Vec<u64>)>,
+    /// All states' transitions, flattened; state `q` owns
+    /// `trs[state_offsets[q]..state_offsets[q + 1]]`.
+    trs: Vec<TrRef>,
+    state_offsets: Vec<u32>,
+    /// Per state: can an output-producing transition still be reached via
+    /// ε-output transitions? The closure walk never enters states where
+    /// this is `false` (e.g. the trailing `.*` of unanchored constraints) —
+    /// they accept input but can only produce ε forever.
+    can_output: Vec<bool>,
+}
+
+/// A transition inside [`FstIndex`]: its bit in the per-position match
+/// mask, its target state, and its interned output label (`-1` = ε).
+#[derive(Clone, Copy)]
+struct TrRef {
+    mask: u64,
+    word: u16,
+    /// Interned output-label index, or `-1` for ε output.
+    label: i16,
+    to: u32,
+}
+
+impl FstIndex {
+    fn new(fst: &Fst) -> FstIndex {
+        let mut labels: Vec<OutputLabel> = Vec::new();
+        let mut inputs: Vec<(InputLabel, u32)> = Vec::new();
+        let mut trs: Vec<TrRef> = Vec::new();
+        let mut state_offsets: Vec<u32> = Vec::with_capacity(fst.num_states() + 1);
+        state_offsets.push(0);
+        for q in 0..fst.num_states() as u32 {
+            for tr in fst.transitions(q) {
+                let d = inputs.len();
+                inputs.push((tr.input, tr.to));
+                let label = if matches!(tr.output, OutputLabel::None) {
+                    -1
+                } else {
+                    match labels.iter().position(|&l| l == tr.output) {
+                        Some(i) => i as i16,
+                        None => {
+                            labels.push(tr.output);
+                            labels.len() as i16 - 1
+                        }
+                    }
+                };
+                trs.push(TrRef {
+                    mask: 1u64 << (d % 64),
+                    word: (d / 64) as u16,
+                    label,
+                    to: tr.to,
+                });
+            }
+            state_offsets.push(trs.len() as u32);
+        }
+        // The packed TrRef fields must not wrap (unreachable for compiled
+        // pattern expressions, but cheap to guarantee).
+        assert!(
+            labels.len() <= i16::MAX as usize,
+            "FST has too many distinct output labels to index"
+        );
+        assert!(
+            inputs.len() <= 64 * (u16::MAX as usize + 1),
+            "FST has too many transitions to index"
+        );
+        let words = inputs.len().div_ceil(64).max(1);
+        let mut label_masks = vec![vec![0u64; words]; labels.len()];
+        for tr in &trs {
+            if tr.label >= 0 {
+                label_masks[tr.label as usize][tr.word as usize] |= tr.mask;
+            }
+        }
+        let mut distinct_inputs: Vec<(InputLabel, Vec<u64>)> = Vec::new();
+        for (d, &(input, _)) in inputs.iter().enumerate() {
+            let bits = match distinct_inputs.iter_mut().find(|(l, _)| *l == input) {
+                Some((_, bits)) => bits,
+                None => {
+                    distinct_inputs.push((input, vec![0u64; words]));
+                    &mut distinct_inputs.last_mut().unwrap().1
+                }
+            };
+            bits[d / 64] |= 1 << (d % 64);
+        }
+        let nq = fst.num_states();
+        let mut can_output: Vec<bool> = (0..nq as u32)
+            .map(|q| fst.transitions(q).iter().any(|tr| tr.produces_output()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for q in 0..nq as u32 {
+                if !can_output[q as usize]
+                    && fst.transitions(q).iter().any(|tr| {
+                        matches!(tr.output, OutputLabel::None) && can_output[tr.to as usize]
+                    })
+                {
+                    can_output[q as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        FstIndex {
+            words,
+            labels,
+            label_masks,
+            inputs,
+            distinct_inputs,
+            trs,
+            state_offsets,
+            can_output,
+        }
+    }
+
+    /// Transitions of state `q`.
+    #[inline]
+    fn state(&self, q: usize) -> &[TrRef] {
+        &self.trs[self.state_offsets[q] as usize..self.state_offsets[q + 1] as usize]
+    }
+}
+
+/// Flat per-sequence simulation tables, built once per input sequence by
+/// [`LocalMiner::prepare_tables`] and immutable during the DFS.
+///
+/// Everything the search-tree expansion needs about one input sequence is
+/// precomputed here, bit-packed to keep the per-node memory traffic low:
+///
+/// * `mask[i * W ..]` — the position's *match mask*: bit `δ` is set iff
+///   FST transition `δ` matches the input item at position `i` *and* its
+///   target lies on an accepting run (the position–state grid of Sec. V-A,
+///   folded into the match bits — one bit test replaces the ancestor
+///   binary search plus the grid lookup);
+/// * `eps_fin` — bitset memoizing "the rest of the sequence can be consumed
+///   producing only ε, ending in a final state" (the emission test);
+/// * `offsets`/`outs` — for every `(position, output label)` pair, an
+///   arena slice of `outs` holding the label's output set
+///   on the position's item, already filtered by the `max_item` partition
+///   bound, the frequent-item boundary and the early-stopping heuristic.
+///
+/// Sequences without an accepting run get an empty table (`accepts()` is
+/// `false`) and are skipped by the root projection.
+pub struct SeqTables {
     weight: u64,
-    grid: Grid,
-    /// `eps_fin[i * |Q| + q]`: from `(i, q)`, the rest of the sequence can be
-    /// consumed producing only ε, ending in a final state.
-    eps_fin: Vec<bool>,
-    num_states: usize,
+    /// True iff the FST accepts the sequence.
+    accepts: bool,
     len: usize,
-    /// Last position that can output the pivot item (`usize::MAX` = none).
-    last_pivot_pos: usize,
+    num_states: usize,
+    words: usize,
+    num_labels: usize,
+    mask: Vec<u64>,
+    eps_fin: Vec<u64>,
+    offsets: Vec<OutRef>,
+    /// Arena of precomputed output items, sliced by `offsets`.
+    outs: Vec<ItemId>,
+}
+
+/// One filtered output set as an arena slice; `start..mid` survives early
+/// stopping even while the prefix lacks the pivot item, `mid..end` only
+/// once it has it.
+#[derive(Clone, Copy, Default)]
+struct OutRef {
+    start: u32,
+    mid: u32,
+    end: u32,
+}
+
+impl SeqTables {
+    /// True iff the FST accepts this sequence (i.e. it contributes to the
+    /// root projection).
+    pub fn accepts(&self) -> bool {
+        self.accepts
+    }
+
+    /// Number of matching `(position, transition)` pairs precomputed in the
+    /// match masks.
+    pub fn num_match_bits(&self) -> usize {
+        self.mask.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bits needed by a visited-set over this table's `(i, q)` grid.
+    fn cell_bits(&self) -> usize {
+        if self.accepts {
+            (self.len + 1) * self.num_states
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn eps_fin_bit(&self, cell: usize) -> bool {
+        self.eps_fin[cell / 64] >> (cell % 64) & 1 != 0
+    }
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 != 0
+}
+
+/// Scratch reused across [`LocalMiner::prepare`] calls of one worker:
+/// forward/alive grid bitsets and the output materialization buffer.
+#[derive(Default)]
+struct PrepareScratch {
+    fwd: Vec<u64>,
+    alive: Vec<u64>,
+    outbuf: Vec<ItemId>,
+}
+
+impl PrepareScratch {
+    /// Zeroes and resizes both grid bitsets for `bwords` words.
+    fn reset(&mut self, bwords: usize) {
+        self.fwd.clear();
+        self.fwd.resize(bwords, 0);
+        self.alive.clear();
+        self.alive.resize(bwords, 0);
+    }
+}
+
+/// Scratch for the ε-closure walk, reused across snapshots and nodes.
+struct WalkBufs {
+    /// Visited-coordinate bitset over `(i, q)` cells of the current
+    /// sequence.
+    visited: Vec<u64>,
+    /// Cells set in `visited`, for O(|walk|) clearing.
+    touched: Vec<u32>,
+    /// DFS worklist of `(i, q)` coordinates.
+    stack: Vec<(u32, u32)>,
+}
+
+impl WalkBufs {
+    #[inline]
+    fn mark(&mut self, cell: usize) -> bool {
+        let fresh = !get_bit(&self.visited, cell);
+        if fresh {
+            set_bit(&mut self.visited, cell);
+            self.touched.push(cell as u32);
+        }
+        fresh
+    }
+
+    fn clear(&mut self) {
+        for &cell in &self.touched {
+            self.visited[cell as usize / 64] &= !(1 << (cell as usize % 64));
+        }
+        self.touched.clear();
+    }
+}
+
+/// Per-depth node scratch: the raw (unordered) child postings pushed by the
+/// closure walk, the same postings grouped into per-item runs, and the run
+/// directory. Buffers persist across sibling nodes of the same depth.
+#[derive(Default)]
+struct DepthBufs {
+    raw: Vec<Posting>,
+    grouped: Vec<Posting>,
+    /// Per frequent child: item, its postings in `grouped`, and its
+    /// ε-completion (emission) support.
+    runs: Vec<(ItemId, std::ops::Range<usize>, u64)>,
+}
+
+/// Per-item accumulator of one node expansion, packed so every posting
+/// push touches a single cache line: posting count (reused as the scatter
+/// cursor), the last counted input index for the prefix and emission
+/// supports, and the weighted supports themselves.
+#[derive(Clone)]
+struct ItemAcc {
+    count: u32,
+    last_seq: u32,
+    emit_last_seq: u32,
+    support: u64,
+    emit_support: u64,
+}
+
+const FRESH_ACC: ItemAcc = ItemAcc {
+    count: 0,
+    last_seq: u32::MAX,
+    emit_last_seq: u32::MAX,
+    support: 0,
+    emit_support: 0,
+};
+
+/// Vocabulary-indexed per-item accumulators used to group a node's child
+/// postings in linear time, plus the list of touched items (for
+/// O(|touched|) clearing between nodes). Empty when the frequent
+/// vocabulary is too large to index densely — grouping then falls back to
+/// sorting.
+struct ItemStats {
+    acc: Vec<ItemAcc>,
+    items: Vec<ItemId>,
+}
+
+/// Largest dense item-array size; beyond this, node grouping sorts instead.
+const MAX_DENSE_ITEMS: usize = 1 << 21;
+
+impl ItemStats {
+    fn new(last_frequent: ItemId, dense_limit: usize) -> ItemStats {
+        let n = last_frequent as usize + 1;
+        if n > dense_limit {
+            return ItemStats {
+                acc: Vec::new(),
+                items: Vec::new(),
+            };
+        }
+        ItemStats {
+            acc: vec![FRESH_ACC; n],
+            items: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn dense(&self) -> bool {
+        !self.acc.is_empty()
+    }
+}
+
+/// All reusable DFS scratch: walk buffers, item accumulators, and one
+/// [`DepthBufs`] per search-tree depth (projected databases of siblings
+/// reuse the same allocations).
+struct ExpandBufs {
+    walk: WalkBufs,
+    stats: ItemStats,
+    depths: Vec<DepthBufs>,
+}
+
+impl ExpandBufs {
+    fn new(tables: &[SeqTables], last_frequent: ItemId, dense_limit: usize) -> ExpandBufs {
+        let bits = tables.iter().map(|t| t.cell_bits()).max().unwrap_or(0);
+        ExpandBufs {
+            walk: WalkBufs {
+                visited: vec![0; bits.div_ceil(64).max(1)],
+                touched: Vec::new(),
+                stack: Vec::new(),
+            },
+            stats: ItemStats::new(last_frequent, dense_limit),
+            depths: Vec::new(),
+        }
+    }
 }
 
 impl<'a> LocalMiner<'a> {
     /// Creates a miner for the given FST and dictionary.
     pub fn new(fst: &'a Fst, dict: &'a Dictionary, config: MinerConfig) -> Self {
-        LocalMiner { fst, dict, config }
+        let last_frequent = config
+            .last_frequent
+            .unwrap_or_else(|| dict.last_frequent(config.sigma));
+        LocalMiner {
+            fst,
+            dict,
+            config,
+            last_frequent,
+            index: FstIndex::new(fst),
+            dense_limit: MAX_DENSE_ITEMS,
+        }
+    }
+
+    /// Forces the sort-based (sparse) node grouping regardless of
+    /// vocabulary size, to test the fallback path.
+    #[cfg(test)]
+    fn with_sparse_grouping(mut self) -> Self {
+        self.dense_limit = 0;
+        self
     }
 
     /// Mines the weighted input collection; returns `(pattern, frequency)`
     /// pairs sorted lexicographically.
-    pub fn mine(&self, inputs: &[(Sequence, u64)]) -> Vec<(Sequence, u64)> {
-        let mut out = Vec::new();
-        self.mine_each(inputs, &mut |pattern, freq| {
-            out.push((pattern, freq));
-            true
-        });
-        crate::sort_patterns(out)
+    pub fn mine(&self, inputs: &[WeightedInput<'_>]) -> Vec<(Sequence, u64)> {
+        self.mine_with_workers(inputs, 1).0
+    }
+
+    /// Mines with `workers` threads by sharding the root node's first-level
+    /// children: each worker runs an independent sub-DFS over its share of
+    /// the search tree; per-worker results are merged and sorted once.
+    ///
+    /// Returns the (deterministic, sorted) patterns plus the wall time each
+    /// worker spent mining — `workers = 1` runs inline and reports a single
+    /// timing.
+    pub fn mine_with_workers(
+        &self,
+        inputs: &[WeightedInput<'_>],
+        workers: usize,
+    ) -> (Vec<(Sequence, u64)>, Vec<u64>) {
+        let workers = workers.max(1);
+        let tables = self.prepare_tables(inputs, workers);
+        let roots = self.root_postings(&tables);
+        let root_has_pivot = self.config.require_pivot.is_none();
+
+        if workers == 1 {
+            let t0 = Instant::now();
+            let mut out = Vec::new();
+            let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+            let mut prefix = Sequence::new();
+            self.expand(
+                &tables,
+                &roots,
+                0,
+                root_has_pivot,
+                0,
+                &mut prefix,
+                &mut bufs,
+                &mut |p, f| {
+                    out.push((p, f));
+                    true
+                },
+            );
+            return (
+                crate::sort_patterns(out),
+                vec![t0.elapsed().as_nanos() as u64],
+            );
+        }
+
+        let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+        let mut first = DepthBufs::default();
+        self.collect_children(
+            &tables,
+            &roots,
+            root_has_pivot,
+            &mut bufs.walk,
+            &mut bufs.stats,
+            &mut first,
+        );
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<Vec<(Sequence, u64)>>> = Mutex::new(Vec::new());
+        let timings: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            let (tables, first) = (&tables, &first);
+            let (next, collected, timings) = (&next, &collected, &timings);
+            for _ in 0..workers {
+                s.spawn(move |_| {
+                    let t0 = Instant::now();
+                    let mut out = Vec::new();
+                    let mut bufs = ExpandBufs::new(tables, self.last_frequent, self.dense_limit);
+                    loop {
+                        let r = next.fetch_add(1, Ordering::Relaxed);
+                        if r >= first.runs.len() {
+                            break;
+                        }
+                        let (w, ref range, emit) = first.runs[r];
+                        let mut prefix = vec![w];
+                        let has_pivot = root_has_pivot || Some(w) == self.config.require_pivot;
+                        self.expand(
+                            tables,
+                            &first.grouped[range.clone()],
+                            0,
+                            has_pivot,
+                            emit,
+                            &mut prefix,
+                            &mut bufs,
+                            &mut |p, f| {
+                                out.push((p, f));
+                                true
+                            },
+                        );
+                    }
+                    collected.lock().unwrap().push(out);
+                    timings.lock().unwrap().push(t0.elapsed().as_nanos() as u64);
+                });
+            }
+        })
+        .expect("mining worker panicked");
+
+        let all: Vec<(Sequence, u64)> = collected
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        (crate::sort_patterns(all), timings.into_inner().unwrap())
     }
 
     /// Streams every frequent pattern to `sink` as it is discovered (DFS
@@ -121,200 +660,557 @@ impl<'a> LocalMiner<'a> {
     /// `mine_each` then returns `false` as well.
     pub fn mine_each(
         &self,
-        inputs: &[(Sequence, u64)],
+        inputs: &[WeightedInput<'_>],
         sink: &mut dyn FnMut(Sequence, u64) -> bool,
     ) -> bool {
-        let ctxs: Vec<SeqCtx> = inputs
-            .iter()
-            .map(|(seq, w)| self.prepare(seq, *w))
-            .collect();
+        self.mine_each_with_workers(inputs, 1, sink)
+    }
 
-        // Root projection: every accepted sequence at (0, initial).
-        let mut root: Vec<Snapshot> = Vec::new();
-        for (idx, ctx) in ctxs.iter().enumerate() {
-            if ctx.grid.accepts() {
-                root.push((idx as u32, 0, self.fst.initial()));
+    /// Streaming variant of [`mine_with_workers`](Self::mine_with_workers):
+    /// first-level shards mine on `workers` threads and feed `sink` through
+    /// a bounded channel on the calling thread. Patterns arrive in an
+    /// unspecified interleaving of the workers' DFS orders; a `false` from
+    /// the sink cancels all workers (no further sink calls happen) and
+    /// makes this return `false`.
+    pub fn mine_each_with_workers(
+        &self,
+        inputs: &[WeightedInput<'_>],
+        workers: usize,
+        sink: &mut dyn FnMut(Sequence, u64) -> bool,
+    ) -> bool {
+        let workers = workers.max(1);
+        let tables = self.prepare_tables(inputs, workers);
+        let roots = self.root_postings(&tables);
+        let root_has_pivot = self.config.require_pivot.is_none();
+
+        if workers == 1 {
+            let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+            let mut prefix = Sequence::new();
+            return self.expand(
+                &tables,
+                &roots,
+                0,
+                root_has_pivot,
+                0,
+                &mut prefix,
+                &mut bufs,
+                sink,
+            );
+        }
+
+        let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+        let mut first = DepthBufs::default();
+        self.collect_children(
+            &tables,
+            &roots,
+            root_has_pivot,
+            &mut bufs.walk,
+            &mut bufs.stats,
+            &mut first,
+        );
+
+        let next = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let (tx, rx) = mpsc::sync_channel::<(Sequence, u64)>(1024);
+        crossbeam::thread::scope(|s| {
+            let (tables, first) = (&tables, &first);
+            let (next, cancel) = (&next, &cancel);
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    let mut bufs = ExpandBufs::new(tables, self.last_frequent, self.dense_limit);
+                    loop {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let r = next.fetch_add(1, Ordering::Relaxed);
+                        if r >= first.runs.len() {
+                            break;
+                        }
+                        let (w, ref range, emit) = first.runs[r];
+                        let mut prefix = vec![w];
+                        let has_pivot = root_has_pivot || Some(w) == self.config.require_pivot;
+                        self.expand(
+                            tables,
+                            &first.grouped[range.clone()],
+                            0,
+                            has_pivot,
+                            emit,
+                            &mut prefix,
+                            &mut bufs,
+                            &mut |p, f| !cancel.load(Ordering::Relaxed) && tx.send((p, f)).is_ok(),
+                        );
+                    }
+                });
+            }
+            drop(tx);
+            // Drain on the calling thread; after a cancel keep draining so
+            // blocked producers can finish, but stop forwarding to the sink.
+            let mut completed = true;
+            while let Ok((pattern, freq)) = rx.recv() {
+                if completed && !sink(pattern, freq) {
+                    completed = false;
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            }
+            completed
+        })
+        .expect("mining worker panicked")
+    }
+
+    /// Builds the flat simulation tables ([`SeqTables`]) for every input
+    /// sequence, `workers` at a time. This is the preprocessing the DFS
+    /// amortizes: afterwards expansion is pure bit tests and arena slices.
+    pub fn prepare_tables(&self, inputs: &[WeightedInput<'_>], workers: usize) -> Vec<SeqTables> {
+        let workers = workers.max(1).min(inputs.len().max(1));
+        if workers == 1 {
+            let mut scratch = PrepareScratch::default();
+            return inputs
+                .iter()
+                .map(|&(seq, w)| self.prepare(seq, w, &mut scratch))
+                .collect();
+        }
+        let chunk = inputs.len().div_ceil(workers);
+        let results: Mutex<Vec<(usize, Vec<SeqTables>)>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            let results = &results;
+            for (idx, part) in inputs.chunks(chunk).enumerate() {
+                s.spawn(move |_| {
+                    let mut scratch = PrepareScratch::default();
+                    let tables: Vec<SeqTables> = part
+                        .iter()
+                        .map(|&(seq, w)| self.prepare(seq, w, &mut scratch))
+                        .collect();
+                    results.lock().unwrap().push((idx, tables));
+                });
+            }
+        })
+        .expect("table-build worker panicked");
+        let mut chunks = results.into_inner().unwrap();
+        chunks.sort_by_key(|&(idx, _)| idx);
+        chunks.into_iter().flat_map(|(_, t)| t).collect()
+    }
+
+    /// Number of σ-frequent first-level children of the root node (the
+    /// shard units of parallel mining). Exposed for the kernel benchmarks.
+    #[doc(hidden)]
+    pub fn first_level_count(&self, tables: &[SeqTables]) -> usize {
+        let roots = self.root_postings(tables);
+        let mut bufs = ExpandBufs::new(tables, self.last_frequent, self.dense_limit);
+        let mut first = DepthBufs::default();
+        self.collect_children(
+            tables,
+            &roots,
+            self.config.require_pivot.is_none(),
+            &mut bufs.walk,
+            &mut bufs.stats,
+            &mut first,
+        );
+        first.runs.len()
+    }
+
+    /// Builds one sequence's [`SeqTables`]: match masks, grid aliveness,
+    /// ε-completion DP, and the filtered output arena.
+    fn prepare(&self, seq: &[ItemId], weight: u64, scratch: &mut PrepareScratch) -> SeqTables {
+        let ix = &self.index;
+        let n = seq.len();
+        let qn = self.fst.num_states();
+        let w = ix.words;
+
+        // 1. Per-position match masks: one ancestor check per (position,
+        //    distinct input label), never repeated afterwards.
+        let mut mask = vec![0u64; n * w];
+        for (i, &t) in seq.iter().enumerate() {
+            let row = &mut mask[i * w..(i + 1) * w];
+            for (input, bits) in &ix.distinct_inputs {
+                if input.matches(t, self.dict) {
+                    for (r, b) in row.iter_mut().zip(bits) {
+                        *r |= b;
+                    }
+                }
             }
         }
 
-        let mut prefix: Sequence = Vec::new();
-        self.expand(inputs, &ctxs, &root, &mut prefix, sink)
-    }
-
-    fn prepare(&self, seq: &[ItemId], weight: u64) -> SeqCtx {
-        let grid = Grid::build(self.fst, self.dict, seq);
-        let n = seq.len();
-        let q = self.fst.num_states();
-        let mut eps_fin = vec![false; (n + 1) * q];
-        for s in 0..q as u32 {
-            eps_fin[n * q + s as usize] = self.fst.is_final(s);
+        // 2. Forward reachability, then aliveness (the grid of Sec. V-A).
+        let bwords = ((n + 1) * qn).div_ceil(64).max(1);
+        scratch.reset(bwords);
+        let (fwd, alive) = (&mut scratch.fwd, &mut scratch.alive);
+        set_bit(fwd, self.fst.initial() as usize);
+        for i in 0..n {
+            let row = &mask[i * w..(i + 1) * w];
+            for q in 0..qn {
+                if !get_bit(fwd, i * qn + q) {
+                    continue;
+                }
+                for tr in ix.state(q) {
+                    if row[tr.word as usize] & tr.mask != 0 {
+                        set_bit(fwd, (i + 1) * qn + tr.to as usize);
+                    }
+                }
+            }
+        }
+        // Backward sweep fusing three row-chained passes: aliveness DP,
+        // aliveness-pruning of the match bits, and the ε-completion DP.
+        let mut eps_fin = vec![0u64; bwords];
+        for q in 0..qn as u32 {
+            if get_bit(fwd, n * qn + q as usize) && self.fst.is_final(q) {
+                set_bit(alive, n * qn + q as usize);
+            }
+            if self.fst.is_final(q) {
+                set_bit(&mut eps_fin, n * qn + q as usize);
+            }
         }
         for i in (0..n).rev() {
-            for s in 0..q as u32 {
-                let ok = self.fst.transitions(s).iter().any(|tr| {
-                    matches!(tr.output, OutputLabel::None)
-                        && tr.matches(seq[i], self.dict)
-                        && eps_fin[(i + 1) * q + tr.to as usize]
+            let row = &mut mask[i * w..(i + 1) * w];
+            // Aliveness of row i (from the unpruned row: transitions to
+            // dead targets cannot contribute anyway).
+            for q in 0..qn {
+                if !get_bit(fwd, i * qn + q) {
+                    continue;
+                }
+                let ok = ix.state(q).iter().any(|tr| {
+                    row[tr.word as usize] & tr.mask != 0
+                        && get_bit(alive, (i + 1) * qn + tr.to as usize)
                 });
-                eps_fin[i * q + s as usize] = ok;
+                if ok {
+                    set_bit(alive, i * qn + q);
+                }
+            }
+            // Fold aliveness into the match bits: clear every transition
+            // whose target is a dead end. The walk then needs one bit test
+            // per transition and the aliveness bitset itself is dropped.
+            // (A dead *source* keeps its bits, but no walk ever reaches
+            // it.)
+            for (d, &(_, to)) in ix.inputs.iter().enumerate() {
+                if !get_bit(alive, (i + 1) * qn + to as usize) {
+                    row[d / 64] &= !(1 << (d % 64));
+                }
+            }
+            // ε-completion DP over the pruned row: every coordinate the
+            // DFS can query is reachable and alive, and each cell of an
+            // ε-completion path from such a coordinate is itself reachable
+            // and alive, so the pruned masks retain all of its
+            // transitions.
+            for q in 0..qn {
+                let ok = ix.state(q).iter().any(|tr| {
+                    tr.label < 0
+                        && row[tr.word as usize] & tr.mask != 0
+                        && get_bit(&eps_fin, (i + 1) * qn + tr.to as usize)
+                });
+                if ok {
+                    set_bit(&mut eps_fin, i * qn + q);
+                }
             }
         }
-        let last_pivot_pos = match (self.config.require_pivot, self.config.early_stop) {
-            (Some(k), true) => self
-                .fst
-                .last_pivot_position(seq, k, self.dict)
-                .unwrap_or(usize::MAX),
-            _ => usize::MAX,
+        if !get_bit(alive, self.fst.initial() as usize) {
+            return SeqTables {
+                weight,
+                accepts: false,
+                len: n,
+                num_states: qn,
+                words: w,
+                num_labels: ix.labels.len(),
+                mask: Vec::new(),
+                eps_fin: Vec::new(),
+                offsets: Vec::new(),
+                outs: Vec::new(),
+            };
+        }
+
+        // 3. Filtered output arena per (position, output label).
+        let max_item = self.config.max_item.unwrap_or(ItemId::MAX);
+        let early_stop = self.config.early_stop && self.config.require_pivot.is_some();
+        let pivot = self.config.require_pivot.unwrap_or(EPSILON);
+        let last_pivot_pos = if early_stop {
+            self.fst
+                .last_pivot_position(seq, pivot, self.dict)
+                .unwrap_or(usize::MAX)
+        } else {
+            usize::MAX
         };
-        SeqCtx {
+        let l = ix.labels.len();
+        let mut offsets: Vec<OutRef> = Vec::with_capacity(n * l);
+        let mut outs: Vec<ItemId> = Vec::new();
+        let outbuf = &mut scratch.outbuf;
+        for (i, &t) in seq.iter().enumerate() {
+            let row = &mask[i * w..(i + 1) * w];
+            for (li, label) in ix.labels.iter().enumerate() {
+                let start = outs.len() as u32;
+                let used = ix.label_masks[li]
+                    .iter()
+                    .zip(row)
+                    .any(|(lm, m)| lm & m != 0);
+                if !used {
+                    offsets.push(OutRef::default());
+                    continue;
+                }
+                outbuf.clear();
+                label.outputs(t, self.dict, outbuf);
+                // Early stopping (Sec. V-C): outputs at/after the last
+                // pivot-producing position are useless while the prefix
+                // still lacks the pivot — park them behind `mid`.
+                let usable = |w: ItemId| w <= max_item && w <= self.last_frequent;
+                let parked = |w: ItemId| early_stop && w != pivot && i >= last_pivot_pos;
+                outs.extend(outbuf.iter().copied().filter(|&w| usable(w) && !parked(w)));
+                let mid = outs.len() as u32;
+                outs.extend(outbuf.iter().copied().filter(|&w| usable(w) && parked(w)));
+                offsets.push(OutRef {
+                    start,
+                    mid,
+                    end: outs.len() as u32,
+                });
+            }
+        }
+
+        SeqTables {
             weight,
-            grid,
-            eps_fin,
-            num_states: q,
+            accepts: true,
             len: n,
-            last_pivot_pos,
+            num_states: qn,
+            words: w,
+            num_labels: l,
+            mask,
+            eps_fin,
+            offsets,
+            outs,
         }
     }
 
-    /// Weighted count of distinct sequences with a snapshot satisfying `pred`.
-    fn weighted_distinct(
-        ctxs: &[SeqCtx],
-        snaps: &[Snapshot],
-        mut pred: impl FnMut(&SeqCtx, u32, u32) -> bool,
-    ) -> u64 {
-        // Snapshots are sorted by sequence index.
-        let mut total = 0u64;
+    /// The root projection: every accepted sequence at `(0, initial)`.
+    fn root_postings(&self, tables: &[SeqTables]) -> Vec<Posting> {
+        tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.accepts)
+            .map(|(s, _)| posting(EPSILON, s as u32, 0, self.fst.initial(), false))
+            .collect()
+    }
+
+    /// Prefix and emission support of one child run: the weighted count of
+    /// distinct input sequences with any posting, and with any
+    /// ε-flagged posting. Postings must be grouped by input index.
+    fn run_supports(tables: &[SeqTables], postings: &[Posting]) -> (u64, u64) {
+        let mut support = 0u64;
+        let mut emit = 0u64;
         let mut last: Option<u32> = None;
-        for &(s, i, q) in snaps {
-            if last == Some(s) {
-                continue;
-            }
-            if pred(&ctxs[s as usize], i, q) {
-                total += ctxs[s as usize].weight;
+        let mut last_emit: Option<u32> = None;
+        for &p in postings {
+            let s = p_seq(p);
+            if last != Some(s) {
                 last = Some(s);
+                support += tables[s as usize].weight;
+            }
+            if p_eps(p) && last_emit != Some(s) {
+                last_emit = Some(s);
+                emit += tables[s as usize].weight;
             }
         }
-        total
+        (support, emit)
     }
 
-    /// Expands one search-tree node; returns `false` iff the sink stopped
-    /// the traversal.
+    /// ε-closure, child expansion and grouping of one node.
+    ///
+    /// Simulation resumes from the node's postings — one shared,
+    /// bitset-deduplicated walk per input sequence, seeded with all of the
+    /// sequence's postings (their closures overlap heavily, and the
+    /// children are a set anyway) — appending one posting per output item
+    /// of the output-producing steps into `d.raw`. Per-item posting counts
+    /// and weighted prefix supports accumulate on the fly, so grouping is a
+    /// single stable scatter into `d.grouped`: postings of children below σ
+    /// are dropped without ever being ordered, and `d.runs` directs the
+    /// recursion (ascending items, each run grouped by input index).
+    /// Duplicate postings (same coordinate reached from several closure
+    /// seeds) are tolerated — the next level's walk absorbs them, and the
+    /// distinct-sequence support counting is insensitive to them.
+    fn collect_children(
+        &self,
+        tables: &[SeqTables],
+        node: &[Posting],
+        has_pivot: bool,
+        walk: &mut WalkBufs,
+        stats: &mut ItemStats,
+        d: &mut DepthBufs,
+    ) {
+        let ix = &self.index;
+        let sigma = self.config.sigma;
+        d.raw.clear();
+        let dense = stats.dense();
+        let mut idx = 0;
+        while idx < node.len() {
+            let s = p_seq(node[idx]);
+            let t = &tables[s as usize];
+            let (qn, w, l) = (t.num_states, t.words, t.num_labels);
+            walk.stack.clear();
+            while idx < node.len() && p_seq(node[idx]) == s {
+                let (i0, q0) = (p_pos(node[idx]), p_state(node[idx]));
+                if ix.can_output[q0 as usize] && walk.mark(i0 as usize * qn + q0 as usize) {
+                    walk.stack.push((i0, q0));
+                }
+                idx += 1;
+            }
+            while let Some((i, q)) = walk.stack.pop() {
+                let iu = i as usize;
+                if iu == t.len {
+                    continue;
+                }
+                let row = &t.mask[iu * w..(iu + 1) * w];
+                for tr in ix.state(q as usize) {
+                    // Match + target-aliveness in one precomputed bit.
+                    if row[tr.word as usize] & tr.mask == 0 {
+                        continue;
+                    }
+                    if tr.label < 0 {
+                        if iu + 1 < t.len
+                            && ix.can_output[tr.to as usize]
+                            && walk.mark((iu + 1) * qn + tr.to as usize)
+                        {
+                            walk.stack.push((i + 1, tr.to));
+                        }
+                        continue;
+                    }
+                    let or = t.offsets[iu * l + tr.label as usize];
+                    let end = if has_pivot { or.end } else { or.mid };
+                    if or.start == end {
+                        continue;
+                    }
+                    let target = (iu + 1) * qn + tr.to as usize;
+                    let eps = t.eps_fin_bit(target);
+                    let items = &t.outs[or.start as usize..end as usize];
+                    if dense {
+                        for &item in items {
+                            d.raw.push(posting(item, s, i + 1, tr.to, eps));
+                            let a = &mut stats.acc[item as usize];
+                            if a.count == 0 {
+                                stats.items.push(item);
+                            }
+                            a.count += 1;
+                            if a.last_seq != s {
+                                a.last_seq = s;
+                                a.support += t.weight;
+                            }
+                            if eps && a.emit_last_seq != s {
+                                a.emit_last_seq = s;
+                                a.emit_support += t.weight;
+                            }
+                        }
+                    } else {
+                        for &item in items {
+                            d.raw.push(posting(item, s, i + 1, tr.to, eps));
+                        }
+                    }
+                }
+            }
+            walk.clear();
+        }
+        d.grouped.clear();
+        d.runs.clear();
+        if dense {
+            // Linear stable scatter: frequent items only, ascending.
+            stats.items.sort_unstable();
+            let mut pos = 0usize;
+            for &item in &stats.items {
+                let a = &mut stats.acc[item as usize];
+                if a.support >= sigma {
+                    let len = a.count as usize;
+                    d.runs.push((item, pos..pos + len, a.emit_support));
+                    a.count = pos as u32; // becomes the write cursor
+                    pos += len;
+                }
+            }
+            d.grouped.resize(pos, 0);
+            for &p in &d.raw {
+                let a = &mut stats.acc[p_item(p) as usize];
+                if a.support >= sigma {
+                    d.grouped[a.count as usize] = p;
+                    a.count += 1;
+                }
+            }
+            for &item in &stats.items {
+                stats.acc[item as usize] = FRESH_ACC;
+            }
+            stats.items.clear();
+        } else {
+            // Sparse fallback: order and deduplicate, then scan for runs.
+            d.raw.sort_unstable();
+            d.raw.dedup();
+            std::mem::swap(&mut d.raw, &mut d.grouped);
+            let pairs = &d.grouped;
+            let mut start = 0;
+            while start < pairs.len() {
+                let w = p_item(pairs[start]);
+                let mut end = start;
+                while end < pairs.len() && p_item(pairs[end]) == w {
+                    end += 1;
+                }
+                let (support, emit) = Self::run_supports(tables, &pairs[start..end]);
+                if support >= sigma {
+                    d.runs.push((w, start..end, emit));
+                }
+                start = end;
+            }
+        }
+    }
+
+    /// Expands one search-tree node; `support` is the node's precomputed
+    /// ε-completion (emission) support. Returns `false` iff the sink
+    /// stopped the traversal.
+    #[allow(clippy::too_many_arguments)]
     fn expand(
         &self,
-        inputs: &[(Sequence, u64)],
-        ctxs: &[SeqCtx],
-        snaps: &[Snapshot],
+        tables: &[SeqTables],
+        node: &[Posting],
+        depth: usize,
+        has_pivot: bool,
+        support: u64,
         prefix: &mut Sequence,
+        bufs: &mut ExpandBufs,
         sink: &mut dyn FnMut(Sequence, u64) -> bool,
     ) -> bool {
         // Emit the prefix if enough sequences can complete it with ε output.
-        if !prefix.is_empty() {
-            let support = Self::weighted_distinct(ctxs, snaps, |ctx, i, q| {
-                ctx.eps_fin[i as usize * ctx.num_states + q as usize]
-            });
-            if support >= self.config.sigma {
-                let pivot_ok = match self.config.require_pivot {
-                    Some(k) => prefix.contains(&k),
-                    None => true,
-                };
-                if pivot_ok && !sink(prefix.clone(), support) {
-                    return false;
-                }
-            }
+        if !prefix.is_empty()
+            && support >= self.config.sigma
+            && has_pivot
+            && !sink(prefix.clone(), support)
+        {
+            return false;
         }
 
-        // Build children: resume simulation from every snapshot, following
-        // ε-output transitions silently until an output-producing transition
-        // extends the prefix.
-        let max_item = self.config.max_item.unwrap_or(ItemId::MAX);
-        let last_frequent = self
-            .config
-            .last_frequent
-            .unwrap_or_else(|| self.dict.last_frequent(self.config.sigma));
-        let prefix_has_pivot = match self.config.require_pivot {
-            Some(k) => prefix.contains(&k),
-            None => true,
-        };
-
-        let mut children: FxHashMap<ItemId, Vec<Snapshot>> = FxHashMap::default();
-        let mut outbuf: Vec<ItemId> = Vec::new();
-        // ε-walk worklist and visited set, reused across snapshots.
-        let mut stack: Vec<(u32, u32)> = Vec::new();
-        let mut visited: Vec<(u32, u32)> = Vec::new();
-
-        for &(s, i0, q0) in snaps {
-            let ctx = &ctxs[s as usize];
-            let seq = &inputs[s as usize].0;
-            stack.clear();
-            visited.clear();
-            stack.push((i0, q0));
-            visited.push((i0, q0));
-            while let Some((i, q)) = stack.pop() {
-                let i_us = i as usize;
-                if i_us == ctx.len {
-                    continue;
-                }
-                for tr in self.fst.transitions(q) {
-                    if !tr.matches(seq[i_us], self.dict) {
-                        continue;
-                    }
-                    if !ctx.grid.is_alive(i_us + 1, tr.to) {
-                        continue;
-                    }
-                    if matches!(tr.output, OutputLabel::None) {
-                        let coord = (i + 1, tr.to);
-                        if !visited.contains(&coord) {
-                            visited.push(coord);
-                            stack.push(coord);
-                        }
-                        continue;
-                    }
-                    outbuf.clear();
-                    tr.outputs(seq[i_us], self.dict, &mut outbuf);
-                    for &w in &outbuf {
-                        // fids are frequency ranks: w is frequent iff
-                        // w <= last_frequent.
-                        if w > max_item || w > last_frequent {
-                            continue;
-                        }
-                        // Early stopping: if neither the prefix nor this
-                        // expansion contains the pivot and no later position
-                        // can produce it, the snapshot is useless.
-                        if let Some(k) = self.config.require_pivot {
-                            if self.config.early_stop
-                                && !prefix_has_pivot
-                                && w != k
-                                && i_us >= ctx.last_pivot_pos
-                            {
-                                continue;
-                            }
-                        }
-                        children.entry(w).or_default().push((s, i + 1, tr.to));
-                    }
-                }
-            }
+        while bufs.depths.len() <= depth {
+            bufs.depths.push(DepthBufs::default());
         }
+        let mut d = std::mem::take(&mut bufs.depths[depth]);
+        self.collect_children(
+            tables,
+            node,
+            has_pivot,
+            &mut bufs.walk,
+            &mut bufs.stats,
+            &mut d,
+        );
 
-        // Deterministic order; dedup snapshots; recurse while the prefix
-        // support bound σ can still be met.
-        let mut items: Vec<ItemId> = children.keys().copied().collect();
-        items.sort_unstable();
-        for w in items {
-            let mut snaps = children.remove(&w).unwrap();
-            snaps.sort_unstable();
-            snaps.dedup();
-            let prefix_support = Self::weighted_distinct(ctxs, &snaps, |_, _, _| true);
-            if prefix_support < self.config.sigma {
-                continue;
-            }
-            prefix.push(w);
-            let keep_going = self.expand(inputs, ctxs, &snaps, prefix, sink);
+        // Recurse per frequent child run (ascending item order); runs below
+        // the prefix-support bound σ were already dropped while grouping.
+        let mut keep_going = true;
+        for (w, range, emit) in &d.runs {
+            prefix.push(*w);
+            let child_pivot = has_pivot || Some(*w) == self.config.require_pivot;
+            keep_going = self.expand(
+                tables,
+                &d.grouped[range.clone()],
+                depth + 1,
+                child_pivot,
+                *emit,
+                prefix,
+                bufs,
+                sink,
+            );
             prefix.pop();
             if !keep_going {
-                return false;
+                break;
             }
         }
-        true
+        bufs.depths[depth] = d;
+        keep_going
     }
 }
 
@@ -325,7 +1221,7 @@ pub(crate) fn desq_dfs_impl(
     dict: &Dictionary,
     sigma: u64,
 ) -> Vec<(Sequence, u64)> {
-    let inputs: Vec<(Sequence, u64)> = db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+    let inputs: Vec<WeightedInput<'_>> = db.sequences.iter().map(|s| (s.as_slice(), 1)).collect();
     LocalMiner::new(fst, dict, MinerConfig::sequential(sigma)).mine(&inputs)
 }
 
@@ -349,6 +1245,10 @@ mod tests {
     use crate::desq_count::desq_count_impl;
     use desq_core::toy;
 
+    fn unit_inputs(db: &SequenceDb) -> Vec<WeightedInput<'_>> {
+        db.sequences.iter().map(|s| (s.as_slice(), 1)).collect()
+    }
+
     #[test]
     fn matches_paper_result_on_toy() {
         let fx = toy::fixture();
@@ -370,15 +1270,31 @@ mod tests {
         let fx = toy::fixture();
         for sigma in 1..=5 {
             let dfs = desq_dfs_impl(&fx.db, &fx.fst, &fx.dict, sigma);
-            let (cnt, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX).unwrap();
+            let (cnt, _, _) =
+                desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1).unwrap();
             assert_eq!(dfs, cnt, "sigma = {sigma}");
+        }
+    }
+
+    #[test]
+    fn parallel_workers_match_sequential_on_toy() {
+        let fx = toy::fixture();
+        let inputs = unit_inputs(&fx.db);
+        for sigma in 1..=4 {
+            let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma));
+            let sequential = miner.mine(&inputs);
+            for workers in 2..=4 {
+                let (parallel, timings) = miner.mine_with_workers(&inputs, workers);
+                assert_eq!(parallel, sequential, "sigma={sigma} workers={workers}");
+                assert_eq!(timings.len(), workers);
+            }
         }
     }
 
     #[test]
     fn mine_each_streams_in_discovery_order_and_stops_on_demand() {
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs = unit_inputs(&fx.db);
         let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(2));
         // Full stream matches the eager result as a set.
         let mut streamed = Vec::new();
@@ -399,10 +1315,40 @@ mod tests {
     }
 
     #[test]
+    fn mine_each_early_stop_works_under_sharded_roots() {
+        let fx = toy::fixture();
+        let inputs = unit_inputs(&fx.db);
+        let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1));
+        for workers in 2..=4 {
+            // Full parallel stream equals the eager result as a set.
+            let mut streamed = Vec::new();
+            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |s, f| {
+                streamed.push((s, f));
+                true
+            });
+            assert!(completed, "workers = {workers}");
+            assert_eq!(
+                crate::sort_patterns(streamed),
+                miner.mine(&inputs),
+                "workers = {workers}"
+            );
+            // A cancelling sink sees exactly one pattern and the stream
+            // reports the early stop.
+            let mut n = 0;
+            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |_, _| {
+                n += 1;
+                false
+            });
+            assert!(!completed, "workers = {workers}");
+            assert_eq!(n, 1, "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn pivot_restricted_mining_matches_fig6() {
         // Partition P_a1 of the paper's Fig. 6 yields a1 a1 b, a1 A b, a1 b.
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs = unit_inputs(&fx.db);
         let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(2, fx.a1, false));
         let out = miner.mine(&inputs);
         let rendered: Vec<(String, u64)> =
@@ -424,7 +1370,7 @@ mod tests {
         // nothing; a1 b would be found but has pivot a1 < c and must not be
         // emitted here).
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs = unit_inputs(&fx.db);
         for early_stop in [false, true] {
             let miner = LocalMiner::new(
                 &fx.fst,
@@ -438,7 +1384,7 @@ mod tests {
     #[test]
     fn early_stopping_does_not_change_results() {
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs = unit_inputs(&fx.db);
         for sigma in 1..=3 {
             for k in 1..=fx.dict.max_fid() {
                 let plain =
@@ -457,7 +1403,7 @@ mod tests {
         // Item-based partitioning correctness: every frequent sequence is
         // found in exactly one partition.
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> = fx.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+        let inputs = unit_inputs(&fx.db);
         for sigma in 1..=4 {
             let mut union: Vec<(Sequence, u64)> = Vec::new();
             for k in 1..=fx.dict.max_fid() {
@@ -475,8 +1421,8 @@ mod tests {
     #[test]
     fn weights_scale_support() {
         let fx = toy::fixture();
-        let inputs: Vec<(Sequence, u64)> =
-            fx.db.sequences.iter().map(|s| (s.clone(), 10)).collect();
+        let inputs: Vec<WeightedInput<'_>> =
+            fx.db.sequences.iter().map(|s| (s.as_slice(), 10)).collect();
         // Weights are rescaled ×10, so keep the item filter of the
         // unweighted database (σ_effective = 2).
         let config = MinerConfig::sequential(20).with_last_frequent(fx.dict.last_frequent(2));
@@ -494,9 +1440,64 @@ mod tests {
     }
 
     #[test]
+    fn sparse_grouping_fallback_matches_dense() {
+        // Huge frequent vocabularies group children by sorting instead of
+        // dense per-item accumulators; both paths must agree — sequential,
+        // parallel, and under pivot restrictions.
+        let fx = toy::fixture();
+        let inputs = unit_inputs(&fx.db);
+        for sigma in 1..=3 {
+            let dense = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma));
+            let sparse = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma))
+                .with_sparse_grouping();
+            assert_eq!(dense.mine(&inputs), sparse.mine(&inputs), "sigma={sigma}");
+            assert_eq!(
+                sparse.mine_with_workers(&inputs, 3).0,
+                dense.mine(&inputs),
+                "sigma={sigma} parallel"
+            );
+            for k in 1..=fx.dict.max_fid() {
+                for early_stop in [false, true] {
+                    let cfg = MinerConfig::for_pivot(sigma, k, early_stop);
+                    let dense = LocalMiner::new(&fx.fst, &fx.dict, cfg).mine(&inputs);
+                    let sparse = LocalMiner::new(&fx.fst, &fx.dict, cfg)
+                        .with_sparse_grouping()
+                        .mine(&inputs);
+                    assert_eq!(dense, sparse, "sigma={sigma} k={k} stop={early_stop}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_mark_rejected_sequences_dead() {
+        let fx = toy::fixture();
+        let inputs = unit_inputs(&fx.db);
+        let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(2));
+        let tables = miner.prepare_tables(&inputs, 2);
+        assert_eq!(tables.len(), fx.db.len());
+        // T3 = c d c b has no accepting run; its table is empty.
+        assert!(!tables[2].accepts());
+        assert_eq!(tables[2].num_match_bits(), 0);
+        // Accepted sequences carry precomputed match bits.
+        assert!(tables[0].accepts());
+        assert!(tables[0].num_match_bits() > 0);
+        // Parallel and sequential table building agree.
+        let seq_tables = miner.prepare_tables(&inputs, 1);
+        for (a, b) in tables.iter().zip(&seq_tables) {
+            assert_eq!(a.accepts(), b.accepts());
+            assert_eq!(a.num_match_bits(), b.num_match_bits());
+        }
+    }
+
+    #[test]
     fn empty_input_yields_nothing() {
         let fx = toy::fixture();
         let out = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1)).mine(&[]);
         assert!(out.is_empty());
+        let (out, timings) = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1))
+            .mine_with_workers(&[], 4);
+        assert!(out.is_empty());
+        assert_eq!(timings.len(), 4);
     }
 }

@@ -502,11 +502,14 @@ impl MiningSession {
     ///
     /// DESQ-DFS yields patterns incrementally while the search tree is
     /// explored (bounded channel — memory stays proportional to the
-    /// consumer's lag, not the result size); the other algorithms compute
-    /// their result and then stream it out. Patterns arrive in discovery
-    /// order, *not* necessarily the sorted order of
-    /// [`run`](MiningSession::run). Call [`PatternStream::finish`] to
-    /// obtain the run's [`MiningMetrics`] and surface any error.
+    /// consumer's lag, not the result size), sharding the tree's
+    /// first-level children across the session's worker threads; the other
+    /// algorithms compute their result and then stream it out. Patterns
+    /// arrive in discovery order (an unspecified interleaving of the
+    /// workers' DFS orders when `workers > 1`), *not* necessarily the
+    /// sorted order of [`run`](MiningSession::run). Call
+    /// [`PatternStream::finish`] to obtain the run's [`MiningMetrics`] and
+    /// surface any error.
     ///
     /// Dropping the stream early stops DESQ-DFS mid-search (the producer
     /// notices the closed channel at its next emission); for the other
@@ -529,12 +532,16 @@ impl MiningSession {
             ctx.validate()?;
             let fst = ctx.fst()?;
             let t0 = Instant::now();
-            let inputs: Vec<(Sequence, u64)> =
-                self.db.sequences.iter().map(|s| (s.clone(), 1)).collect();
+            let inputs: Vec<desq_miner::WeightedInput<'_>> = self
+                .db
+                .sequences
+                .iter()
+                .map(|s| (s.as_slice(), 1))
+                .collect();
             let miner = LocalMiner::new(fst, &self.dict, MinerConfig::sequential(self.sigma));
             let mut sent = 0usize;
             let mut overflow = false;
-            miner.mine_each(&inputs, &mut |pattern, freq| {
+            miner.mine_each_with_workers(&inputs, self.workers, &mut |pattern, freq| {
                 if sent >= self.limits.max_patterns {
                     overflow = true;
                     return false;

@@ -8,6 +8,7 @@ use desq::core::{Dictionary, DictionaryBuilder, Error, Fst, ItemId, PatEx, Seque
 use desq::dist::dcand::merge_pivots;
 use desq::dist::dcand::nfa::TrieBuilder;
 use desq::dist::PivotSearch;
+use desq::miner::{LocalMiner, MinerConfig, WeightedInput};
 use desq::session::{AlgorithmSpec, MiningSession};
 
 const BUDGET: usize = 100_000;
@@ -274,6 +275,49 @@ proptest! {
             .sigma(0)
             .build();
         prop_assert!(matches!(zero, Err(Error::Invalid(_))));
+    }
+
+    /// Parallel local mining (sharded first-level children) is
+    /// result-identical to sequential mining on random worlds, for the
+    /// eager, streaming, and pivot-restricted entry points.
+    #[test]
+    fn parallel_local_mining_matches_sequential(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3,
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let inputs: Vec<WeightedInput<'_>> = world
+            .db
+            .sequences
+            .iter()
+            .map(|s| (s.as_slice(), 1))
+            .collect();
+        let miner = LocalMiner::new(&fst, &world.dict, MinerConfig::sequential(sigma));
+        let sequential = miner.mine(&inputs);
+        for workers in 2usize..=4 {
+            let (parallel, timings) = miner.mine_with_workers(&inputs, workers);
+            prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
+            prop_assert_eq!(timings.len(), workers);
+            // Streaming shards agree as a set.
+            let mut streamed = Vec::new();
+            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |p, f| {
+                streamed.push((p, f));
+                true
+            });
+            prop_assert!(completed);
+            streamed.sort_unstable();
+            prop_assert_eq!(&streamed, &sequential, "streamed, workers = {}", workers);
+        }
+        // Pivot-restricted parallel mining agrees with its sequential twin.
+        for k in 1..=world.dict.max_fid() {
+            let miner =
+                LocalMiner::new(&fst, &world.dict, MinerConfig::for_pivot(sigma, k, true));
+            let sequential = miner.mine(&inputs);
+            let (parallel, _) = miner.mine_with_workers(&inputs, 3);
+            prop_assert_eq!(parallel, sequential, "pivot {}", k);
+        }
     }
 
     /// The naive distributed baselines agree with the reference on random
