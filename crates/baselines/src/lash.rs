@@ -189,31 +189,47 @@ pub(crate) fn lash_impl(
     let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
 
-    let map = |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence, u64)| {
-        for p in pivot_items(dict, seq, last_frequent, config.generalize) {
-            if let Some(r) = rewrite(dict, seq, p, last_frequent, &config) {
-                emit(p, r, 1);
+    let map = |part: &[Sequence], out: &mut desq_bsp::Combiner<ItemId>| {
+        // Per-task encode buffer: each rewrite serializes once via the
+        // delta item codec; identical rewrites combine by content.
+        let mut payload: Vec<u8> = Vec::new();
+        for seq in part {
+            for p in pivot_items(dict, seq, last_frequent, config.generalize) {
+                if let Some(r) = rewrite(dict, seq, p, last_frequent, &config) {
+                    payload.clear();
+                    desq_bsp::encode_item_seq(&r, &mut payload);
+                    out.emit(&p, &payload, 1);
+                }
             }
         }
         Ok(())
     };
 
-    let reduce =
-        |&p: &ItemId, inputs: Vec<(Sequence, u64)>, emit: &mut dyn FnMut((Sequence, u64))| {
-            let miner = GapMiner {
-                sigma: config.sigma,
-                gamma: config.gamma,
-                max_len: config.lambda,
-                min_len: 2,
-                generalize: config.generalize,
-                max_item: Some(p),
-                require_pivot: Some(p),
-            };
-            for (pattern, freq) in miner.mine_weighted(&inputs, dict) {
-                emit((pattern, freq));
-            }
-            Ok(())
+    let reduce = |&p: &ItemId,
+                  inputs: &[(&[u8], u64)],
+                  emit: &mut dyn FnMut((Sequence, u64))|
+     -> desq_bsp::Result<()> {
+        let miner = GapMiner {
+            sigma: config.sigma,
+            gamma: config.gamma,
+            max_len: config.lambda,
+            min_len: 2,
+            generalize: config.generalize,
+            max_item: Some(p),
+            require_pivot: Some(p),
         };
+        let mut decoded: Vec<(Sequence, u64)> = Vec::with_capacity(inputs.len());
+        for &(bytes, w) in inputs {
+            let mut slice = bytes;
+            let mut seq = Sequence::new();
+            desq_bsp::decode_item_seq(&mut slice, &mut seq)?;
+            decoded.push((seq, w));
+        }
+        for (pattern, freq) in miner.mine_weighted(&decoded, dict) {
+            emit((pattern, freq));
+        }
+        Ok(())
+    };
 
     let (patterns, job) = engine
         .map_combine_reduce(parts, map, reduce)

@@ -60,20 +60,24 @@ pub(crate) fn mllib_impl(
         });
     }
 
-    // Round 1: frequent items (distributed word count with combining).
+    // Round 1: frequent items (distributed word count with combining; the
+    // payload is empty — only the per-item weights matter).
     let (freq_items, m1) = engine
         .map_combine_reduce(
             parts,
-            |seq: &Sequence, emit: &mut dyn FnMut(ItemId, bool, u64)| {
+            |part: &[Sequence], out: &mut desq_bsp::Combiner<ItemId>| {
                 let mut seen: FxHashSet<ItemId> = FxHashSet::default();
-                for &t in seq {
-                    if seen.insert(t) {
-                        emit(t, true, 1);
+                for seq in part {
+                    seen.clear();
+                    for &t in seq {
+                        if seen.insert(t) {
+                            out.emit(&t, &[], 1);
+                        }
                     }
                 }
                 Ok(())
             },
-            |&w: &ItemId, vs: Vec<(bool, u64)>, emit: &mut dyn FnMut((ItemId, u64))| {
+            |&w: &ItemId, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((ItemId, u64))| {
                 let f: u64 = vs.iter().map(|(_, c)| c).sum();
                 if f >= config.sigma {
                     emit((w, f));
@@ -88,24 +92,41 @@ pub(crate) fn mllib_impl(
     let (nested, m2) = engine
         .map_combine_reduce(
             parts,
-            |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence, u64)| {
+            |part: &[Sequence], out: &mut desq_bsp::Combiner<ItemId>| {
                 let mut seen: FxHashSet<ItemId> = FxHashSet::default();
-                for (i, &t) in seq.iter().enumerate() {
-                    if !frequent.contains(&t) || !seen.insert(t) {
-                        continue;
+                let mut suffix: Sequence = Sequence::new();
+                let mut payload: Vec<u8> = Vec::new();
+                for seq in part {
+                    seen.clear();
+                    for (i, &t) in seq.iter().enumerate() {
+                        if !frequent.contains(&t) || !seen.insert(t) {
+                            continue;
+                        }
+                        suffix.clear();
+                        suffix.extend(
+                            seq[i + 1..]
+                                .iter()
+                                .copied()
+                                .filter(|w| frequent.contains(w)),
+                        );
+                        payload.clear();
+                        desq_bsp::encode_item_seq(&suffix, &mut payload);
+                        out.emit(&t, &payload, 1);
                     }
-                    let suffix: Sequence = seq[i + 1..]
-                        .iter()
-                        .copied()
-                        .filter(|w| frequent.contains(w))
-                        .collect();
-                    emit(t, suffix, 1);
                 }
                 Ok(())
             },
             |&w: &ItemId,
-             suffixes: Vec<(Sequence, u64)>,
-             emit: &mut dyn FnMut(Vec<(Sequence, u64)>)| {
+             inputs: &[(&[u8], u64)],
+             emit: &mut dyn FnMut(Vec<(Sequence, u64)>)|
+             -> desq_bsp::Result<()> {
+                let mut suffixes: Vec<(Sequence, u64)> = Vec::with_capacity(inputs.len());
+                for &(bytes, c) in inputs {
+                    let mut slice = bytes;
+                    let mut seq = Sequence::new();
+                    desq_bsp::decode_item_seq(&mut slice, &mut seq)?;
+                    suffixes.push((seq, c));
+                }
                 let support: u64 = suffixes.iter().map(|(_, c)| c).sum();
                 let mut local: Vec<(Sequence, u64)> = vec![(vec![w], support)];
                 if config.max_len > 1 {
@@ -132,6 +153,7 @@ pub(crate) fn mllib_impl(
         reduce_nanos: m1.reduce_nanos + m2.reduce_nanos,
         emitted_records: m1.emitted_records + m2.emitted_records,
         shuffle_records: m1.shuffle_records + m2.shuffle_records,
+        shuffle_payloads: m1.shuffle_payloads + m2.shuffle_payloads,
         shuffle_bytes: m1.shuffle_bytes + m2.shuffle_bytes,
         reducer_bytes: m2.reducer_bytes,
         output_records: patterns.len() as u64,

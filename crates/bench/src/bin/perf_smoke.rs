@@ -1,17 +1,26 @@
-//! Perf-smoke harness: times DESQ-DFS local mining on the standard bench
-//! workload (NYT-like corpus, the N2/N3/N5/N4 constraints of Tab. III) at
-//! 1 and 4 workers and writes the measurements to `BENCH_3.json`.
+//! Perf-smoke harness with two modes, both on the standard bench workload
+//! (NYT-like corpus, σ = 10, min-of-five wall seconds):
 //!
-//! The recorded `baseline_secs` values are the pre-rework sequential
-//! `LocalMiner` (before the flat simulation tables of PR 3), measured on
-//! the same workload with the same min-of-five protocol; override them
-//! per constraint with `PERF_BASELINE_N2=secs` etc. when benchmarking on a
-//! different machine. The output is consumed by CI as an artifact so the
-//! performance trajectory of the hot path stays visible per PR.
+//! * **local** (default): times DESQ-DFS local mining on the N2/N3/N5/N4
+//!   constraints of Tab. III at 1 and 4 workers and writes `BENCH_3.json`.
+//!   The recorded `baseline_secs` are the pre-PR-3 sequential `LocalMiner`.
+//! * **dist** (`perf_smoke dist`): times the full distributed D-SEQ and
+//!   D-CAND jobs (4 workers, 8 map partitions, 8 reducers) and writes wall
+//!   seconds *and* shuffle bytes to `BENCH_4.json`. The recorded baselines
+//!   are the pre-PR-4 hot path (grid-DP pivot search through `fst::Grid`,
+//!   owned-`Sequence` shuffle records, hash-map combine), measured with the
+//!   same protocol.
+//!
+//! Override any baseline with `PERF_BASELINE_<NAME>=secs` (local) or
+//! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist) when
+//! benchmarking on a different machine. The outputs are consumed by CI as
+//! artifacts so the performance trajectory of both hot paths stays visible
+//! per PR.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use desq_core::mining::{Miner, MiningContext};
 use desq_datagen::{nyt_like, NytConfig};
 use desq_dist::patterns::Constraint;
 use desq_miner::{LocalMiner, MinerConfig, WeightedInput};
@@ -22,6 +31,11 @@ const NYT_SIZE: usize = 40_000;
 const SIGMA: u64 = 10;
 /// Timed repetitions per configuration (the minimum is reported).
 const REPS: usize = 5;
+/// Worker threads of the distributed measurements.
+const DIST_WORKERS: usize = 4;
+/// Map partitions and reduce buckets of the distributed measurements.
+const DIST_PARTITIONS: usize = 8;
+const DIST_REDUCERS: usize = 8;
 
 /// Pre-rework sequential baselines (seconds), measured on the development
 /// machine with the same corpus, σ and min-of-five protocol.
@@ -40,6 +54,37 @@ fn baseline_for(name: &str) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| recorded_baseline(name))
+}
+
+/// Pre-PR-4 distributed baselines `(wall seconds, shuffle bytes)`, measured
+/// on the development machine immediately before the distributed hot-path
+/// rework (grid-DP pivot search via `fst::Grid`, per-pivot `Sequence`
+/// clones in the mapper, hash-map combine) with the same corpus, σ,
+/// parallelism and min-of-five protocol.
+fn recorded_dist_baseline(key: &str) -> (f64, u64) {
+    match key {
+        "DSEQ_N2" => (0.1400, 390_413),
+        "DSEQ_N3" => (0.0835, 209_253),
+        "DSEQ_N5" => (7.4352, 25_625_233),
+        "DSEQ_N4" => (3.2590, 14_339_631),
+        "DCAND_N2" => (0.1645, 567_264),
+        "DCAND_N3" => (0.0553, 22_272),
+        _ => (f64::NAN, 0),
+    }
+}
+
+/// Baseline lookup with the `PERF_BASELINE_<KEY>=secs[,bytes]` override.
+fn dist_baseline_for(key: &str) -> (f64, u64) {
+    let recorded = recorded_dist_baseline(key);
+    match std::env::var(format!("PERF_BASELINE_{key}")) {
+        Ok(v) => {
+            let mut it = v.splitn(2, ',');
+            let secs = it.next().and_then(|s| s.parse().ok()).unwrap_or(recorded.0);
+            let bytes = it.next().and_then(|s| s.parse().ok()).unwrap_or(recorded.1);
+            (secs, bytes)
+        }
+        Err(_) => recorded,
+    }
 }
 
 struct Row {
@@ -76,10 +121,7 @@ fn measure(c: &Constraint) -> Row {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+fn local_main(out_path: &str) {
     let constraints = [
         desq_dist::patterns::n2(),
         desq_dist::patterns::n3(),
@@ -133,7 +175,171 @@ fn main() {
     );
     json.push_str("}\n");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_3.json");
+    std::fs::write(out_path, &json).expect("write BENCH_3.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
+}
+
+struct DistRow {
+    algo: &'static str,
+    name: String,
+    patterns: usize,
+    baseline_secs: f64,
+    baseline_bytes: u64,
+    secs: f64,
+    shuffle_bytes: u64,
+    shuffle_records: u64,
+}
+
+fn measure_dist(algo: &'static str, c: &Constraint) -> DistRow {
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let fst = c.compile(&dict).unwrap();
+    let ctx = MiningContext::sequential(&db, &dict, SIGMA)
+        .with_fst(&fst)
+        .with_parallelism(DIST_WORKERS, DIST_PARTITIONS)
+        .with_reducers(DIST_REDUCERS);
+    let mut best = f64::MAX;
+    let mut patterns = 0;
+    let mut shuffle_bytes = 0;
+    let mut shuffle_records = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let res = match algo {
+            "D-SEQ" => desq_dist::algo::DSeq::default().mine(&ctx),
+            "D-CAND" => desq_dist::algo::DCand::default().mine(&ctx),
+            _ => unreachable!("unknown algorithm {algo}"),
+        }
+        .unwrap_or_else(|e| panic!("{algo}/{} failed: {e}", c.name));
+        best = best.min(t0.elapsed().as_secs_f64());
+        patterns = res.patterns.len();
+        shuffle_bytes = res.metrics.shuffle_bytes;
+        shuffle_records = res.metrics.shuffle_records;
+        if std::env::var_os("PERF_SMOKE_VERBOSE").is_some() {
+            eprintln!(
+                "{algo}/{}: map {:.3}s reduce {:.3}s records {} payloads {} bytes {}",
+                c.name,
+                res.metrics.map_secs(),
+                res.metrics.reduce_secs(),
+                res.metrics.shuffle_records,
+                res.metrics.shuffle_payloads,
+                res.metrics.shuffle_bytes,
+            );
+        }
+    }
+    let key = format!("{}_{}", algo.replace('-', ""), c.name);
+    let (baseline_secs, baseline_bytes) = dist_baseline_for(&key);
+    DistRow {
+        algo,
+        name: c.name.clone(),
+        patterns,
+        baseline_secs,
+        baseline_bytes,
+        secs: best,
+        shuffle_bytes,
+        shuffle_records,
+    }
+}
+
+fn dist_main(out_path: &str) {
+    // D-SEQ handles every NYT constraint; D-CAND is measured on the
+    // selective ones (N2/N3) — run enumeration on the loose N4/N5 windows
+    // explodes combinatorially, which is exactly the paper's motivation for
+    // preferring D-SEQ there (Fig. 10).
+    let dseq = [
+        desq_dist::patterns::n2(),
+        desq_dist::patterns::n3(),
+        desq_dist::patterns::n5(),
+        desq_dist::patterns::n4(),
+    ];
+    let dcand = [desq_dist::patterns::n2(), desq_dist::patterns::n3()];
+    let mut rows: Vec<DistRow> = Vec::new();
+    for c in &dseq {
+        rows.push(measure_dist("D-SEQ", c));
+        eprintln!("measured D-SEQ/{}", c.name);
+    }
+    for c in &dcand {
+        rows.push(measure_dist("D-CAND", c));
+        eprintln!("measured D-CAND/{}", c.name);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"distributed mining perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"nyt_like({NYT_SIZE})\", \"sigma\": {SIGMA}, \
+         \"workers\": {DIST_WORKERS}, \"partitions\": {DIST_PARTITIONS}, \
+         \"reducers\": {DIST_REDUCERS}, \"reps\": {REPS}, \
+         \"metric\": \"min wall seconds + shuffle bytes\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"pre-PR-4 distributed hot path \
+         (override: PERF_BASELINE_<ALGO>_<NAME>=secs[,bytes])\","
+    );
+    json.push_str("  \"jobs\": [\n");
+    let (mut base_s, mut cur_s) = (0.0, 0.0);
+    let (mut dseq_base_s, mut dseq_cur_s) = (0.0, 0.0);
+    let (mut dseq_base_b, mut dseq_cur_b) = (0u64, 0u64);
+    for (i, r) in rows.iter().enumerate() {
+        base_s += r.baseline_secs;
+        cur_s += r.secs;
+        if r.algo == "D-SEQ" {
+            dseq_base_s += r.baseline_secs;
+            dseq_cur_s += r.secs;
+            dseq_base_b += r.baseline_bytes;
+            dseq_cur_b += r.shuffle_bytes;
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"algo\": \"{}\", \"name\": \"{}\", \"patterns\": {}, \
+             \"baseline_secs\": {:.4}, \"secs\": {:.4}, \"speedup\": {:.2}, \
+             \"baseline_shuffle_bytes\": {}, \"shuffle_bytes\": {}, \
+             \"shuffle_ratio\": {:.2}, \"shuffle_records\": {}}}{}",
+            r.algo,
+            r.name,
+            r.patterns,
+            r.baseline_secs,
+            r.secs,
+            r.baseline_secs / r.secs,
+            r.baseline_bytes,
+            r.shuffle_bytes,
+            r.baseline_bytes as f64 / r.shuffle_bytes.max(1) as f64,
+            r.shuffle_records,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"baseline_secs\": {:.4}, \"secs\": {:.4}, \"speedup\": {:.2}, \
+         \"dseq_baseline_secs\": {:.4}, \"dseq_secs\": {:.4}, \"dseq_speedup\": {:.2}, \
+         \"dseq_baseline_shuffle_bytes\": {}, \"dseq_shuffle_bytes\": {}, \
+         \"dseq_shuffle_ratio\": {:.2}}}",
+        base_s,
+        cur_s,
+        base_s / cur_s,
+        dseq_base_s,
+        dseq_cur_s,
+        dseq_base_s / dseq_cur_s,
+        dseq_base_b,
+        dseq_cur_b,
+        dseq_base_b as f64 / dseq_cur_b.max(1) as f64,
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_4.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("dist") => {
+            let out = args.next().unwrap_or_else(|| "BENCH_4.json".to_string());
+            dist_main(&out);
+        }
+        Some(out) => local_main(out),
+        None => local_main("BENCH_3.json"),
+    }
 }

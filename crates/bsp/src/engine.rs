@@ -1,13 +1,33 @@
 //! The BSP engine: parallel map, optional combine, byte shuffle, parallel
 //! reduce — one round of communication (Alg. 1 of the paper).
+//!
+//! # Hot-path layout
+//!
+//! Both job shapes hand the mapper a whole partition (`Fn(&[I], …)`), so
+//! per-partition scratch (pivot-search tables, encode buffers) is created
+//! once per map task instead of once per record. Keys are *encoded once*
+//! and everything downstream works on the encoded bytes: the routing
+//! bucket comes from a word-at-a-time hash of the key bytes reduced by a
+//! multiply-shift (no modulo bias, no re-hash), and the combiner keys its
+//! open-addressing table on `(key bytes, payload)` with that same hash
+//! mixed once — never a byte-at-a-time `Hasher` walk per probe.
+//!
+//! The combining shuffle additionally *interns payloads*: each map task's
+//! bucket chunk starts with a dictionary of distinct payload byte strings,
+//! and records reference payloads by local index. D-SEQ ships one
+//! rewritten sequence to every pivot partition — within a bucket the
+//! payload bytes are written once, not once per pivot — and D-CAND's
+//! aggregated NFAs dedup the same way. Output buffers are sized exactly
+//! before writing (one counting pass over a linear bucket scatter, then
+//! one copy pass), so the map side performs no growth reallocation.
 
-use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use crate::codec::Codec;
+use crate::codec::{read_varint, varint_len, write_varint, Codec};
 use crate::error::{Error, Result};
 use crate::metrics::JobMetrics;
 
@@ -21,59 +41,360 @@ pub struct Engine {
     reducers: usize,
 }
 
-/// Multiply-xor hash (Fx-style) used for shuffle routing.
-#[derive(Default)]
-struct RouteHasher {
-    h: u64,
+const HASH_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Murmur-style finalizer: low bits end up depending on every input bit.
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
 }
 
-impl Hasher for RouteHasher {
+/// Fx-style multiply-xor hash over 8-byte words (plus a length mix so
+/// zero-padded tails of different lengths differ), finalized with a
+/// murmur-style avalanche. Hashed **once** per encoded key/payload; the
+/// result is reused for routing, combine probing and reduce-side merging.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h.rotate_left(5) ^ word).wrapping_mul(HASH_SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(HASH_SEED);
+    }
+    h = (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(HASH_SEED);
+    avalanche(h)
+}
+
+/// Mixes a key hash with a payload hash into the combine-table hash.
+#[inline]
+fn mix(khash: u64, phash: u64) -> u64 {
+    avalanche(khash ^ phash.wrapping_mul(HASH_SEED))
+}
+
+/// Shuffle bucket of a pre-computed key hash: multiply-shift ("fastrange")
+/// reduction — unbiased for any bucket count, no division.
+#[inline]
+pub fn bucket_of(hash: u64, buckets: usize) -> usize {
+    ((u128::from(hash) * buckets as u128) >> 64) as usize
+}
+
+/// Open-addressing index table mapping pre-computed 64-bit hashes to `u32`
+/// entry indices; key equality is delegated to the caller (entries live in
+/// caller-side arenas). Linear probing over a power-of-two slot array.
+struct ProbeTable {
+    slots: Vec<u32>,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl ProbeTable {
+    fn new() -> ProbeTable {
+        ProbeTable {
+            slots: vec![EMPTY_SLOT; 16],
+        }
+    }
+
+    /// Doubles the table when `len` entries reach 7/8 occupancy;
+    /// `hash_of` recovers an entry's hash for rehashing.
     #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.h = (self.h.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    fn grow_if_needed(&mut self, len: usize, hash_of: impl Fn(u32) -> u64) {
+        if len * 8 < self.slots.len() * 7 {
+            return;
+        }
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; doubled]);
+        let mask = self.slots.len() - 1;
+        for s in old {
+            if s != EMPTY_SLOT {
+                let mut pos = hash_of(s) as usize & mask;
+                while self.slots[pos] != EMPTY_SLOT {
+                    pos = (pos + 1) & mask;
+                }
+                self.slots[pos] = s;
+            }
+        }
+    }
+
+    /// Probes for `hash`; `eq(idx)` confirms a candidate entry. Returns
+    /// `Ok(idx)` when found, `Err(slot)` with the insertion slot otherwise
+    /// (valid until the next mutation).
+    #[inline]
+    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> std::result::Result<u32, usize> {
+        let mask = self.slots.len() - 1;
+        let mut pos = hash as usize & mask;
+        loop {
+            let s = self.slots[pos];
+            if s == EMPTY_SLOT {
+                return Err(pos);
+            }
+            if eq(s) {
+                return Ok(s);
+            }
+            pos = (pos + 1) & mask;
         }
     }
 
     #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.h = (self.h.rotate_left(5) ^ u64::from(v)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.h = (self.h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        // Final avalanche so that low bits depend on high bits (we bucket by
-        // modulus).
-        let mut x = self.h;
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        x ^= x >> 33;
-        x
+    fn insert(&mut self, slot: usize, idx: u32) {
+        self.slots[slot] = idx;
     }
 }
 
-/// Shuffle bucket of a key.
-#[inline]
-pub fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
-    let mut h = RouteHasher::default();
-    key.hash(&mut h);
-    (h.finish() % buckets as u64) as usize
+/// One combined map-side record: its mixed hash, routing bucket, interned
+/// payload id, key bytes (an arena range) and accumulated weight.
+struct CombineEntry {
+    hash: u64,
+    bucket: u32,
+    payload: u32,
+    key_start: u32,
+    key_end: u32,
+    weight: u64,
 }
 
-type CombineMap<K, CK> =
-    std::collections::HashMap<(K, CK), u64, std::hash::BuildHasherDefault<RouteHasher>>;
-type GroupMap<K, V> =
-    std::collections::HashMap<K, Vec<V>, std::hash::BuildHasherDefault<RouteHasher>>;
+/// Map-side emitter of [`Engine::map_combine_reduce`].
+///
+/// [`emit`](Combiner::emit) performs MapReduce-style *weighted
+/// deduplication*: triples with identical `(key, payload)` within one map
+/// task are merged by summing weights before serialization. The payload is
+/// an opaque pre-encoded byte string — callers serialize it **once** per
+/// logical value (e.g. one rewritten sequence shared by many pivot keys)
+/// and pass the same slice to every `emit`; the combiner interns it so
+/// each bucket chunk stores the bytes at most once.
+pub struct Combiner<K> {
+    reducers: usize,
+    /// Payload intern table: hash → payload id.
+    payload_table: ProbeTable,
+    payload_hashes: Vec<u64>,
+    /// Payload `i` occupies `payload_data[payload_ends[i - 1]..payload_ends[i]]`.
+    payload_ends: Vec<u32>,
+    payload_data: Vec<u8>,
+    /// Combine table: mixed hash → entry index.
+    entry_table: ProbeTable,
+    entries: Vec<CombineEntry>,
+    key_data: Vec<u8>,
+    key_buf: Vec<u8>,
+    emitted: u64,
+    _key: PhantomData<K>,
+}
+
+impl<K: Codec> Combiner<K> {
+    fn new(reducers: usize) -> Combiner<K> {
+        Combiner {
+            reducers,
+            payload_table: ProbeTable::new(),
+            payload_hashes: Vec::new(),
+            payload_ends: Vec::new(),
+            payload_data: Vec::new(),
+            entry_table: ProbeTable::new(),
+            entries: Vec::new(),
+            key_data: Vec::new(),
+            key_buf: Vec::new(),
+            emitted: 0,
+            _key: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn payload_bytes(&self, id: u32) -> &[u8] {
+        let start = if id == 0 {
+            0
+        } else {
+            self.payload_ends[id as usize - 1] as usize
+        };
+        &self.payload_data[start..self.payload_ends[id as usize] as usize]
+    }
+
+    /// Emits one `(key, payload, weight)` triple. The key is encoded and
+    /// hashed exactly once; the payload bytes are interned by content.
+    pub fn emit(&mut self, key: &K, payload: &[u8], weight: u64) {
+        self.emitted += 1;
+        self.key_buf.clear();
+        key.encode(&mut self.key_buf);
+        let khash = hash_bytes(&self.key_buf);
+        let bucket = bucket_of(khash, self.reducers) as u32;
+
+        // Intern the payload.
+        let phash = hash_bytes(payload);
+        let (table, hashes) = (&mut self.payload_table, &self.payload_hashes);
+        table.grow_if_needed(hashes.len(), |i| hashes[i as usize]);
+        let payload_id = {
+            let ends = &self.payload_ends;
+            let data = &self.payload_data;
+            let slice_of = |i: u32| {
+                let start = if i == 0 {
+                    0
+                } else {
+                    ends[i as usize - 1] as usize
+                };
+                &data[start..ends[i as usize] as usize]
+            };
+            match table.find(phash, |i| {
+                hashes[i as usize] == phash && slice_of(i) == payload
+            }) {
+                Ok(i) => i,
+                Err(slot) => {
+                    // The u32 arena offsets and ids must not wrap (a map
+                    // task would need > 4 GiB of distinct payload bytes).
+                    assert!(
+                        self.payload_data.len() + payload.len() <= u32::MAX as usize
+                            && self.payload_hashes.len() < u32::MAX as usize,
+                        "combiner payload arena exceeds the u32 offset range"
+                    );
+                    let id = self.payload_hashes.len() as u32;
+                    self.payload_hashes.push(phash);
+                    self.payload_data.extend_from_slice(payload);
+                    self.payload_ends.push(self.payload_data.len() as u32);
+                    table.insert(slot, id);
+                    id
+                }
+            }
+        };
+
+        // Combine on (key bytes, payload id).
+        let ehash = mix(khash, phash);
+        let (table, entries) = (&mut self.entry_table, &mut self.entries);
+        table.grow_if_needed(entries.len(), |i| entries[i as usize].hash);
+        let key_buf = &self.key_buf;
+        let key_data = &self.key_data;
+        match table.find(ehash, |i| {
+            let e = &entries[i as usize];
+            e.hash == ehash
+                && e.payload == payload_id
+                && &key_data[e.key_start as usize..e.key_end as usize] == key_buf.as_slice()
+        }) {
+            Ok(i) => entries[i as usize].weight += weight,
+            Err(slot) => {
+                assert!(
+                    self.key_data.len() + self.key_buf.len() <= u32::MAX as usize
+                        && entries.len() < u32::MAX as usize,
+                    "combiner key arena exceeds the u32 offset range"
+                );
+                let key_start = self.key_data.len() as u32;
+                self.key_data.extend_from_slice(&self.key_buf);
+                entries.push(CombineEntry {
+                    hash: ehash,
+                    bucket,
+                    payload: payload_id,
+                    key_start,
+                    key_end: self.key_data.len() as u32,
+                    weight,
+                });
+                table.insert(slot, entries.len() as u32 - 1);
+            }
+        }
+    }
+
+    /// Serializes the combined records into per-bucket chunks.
+    ///
+    /// Per bucket, a linear scatter groups the entries, a counting pass
+    /// assigns bucket-local payload ids (first-use order) and sums the
+    /// exact byte size, and a copy pass writes the chunk into a buffer of
+    /// exactly that capacity:
+    /// `varint(#payloads), (varint(len), bytes)*, (key bytes,
+    /// varint(payload id), varint(weight))*`.
+    fn into_task_out(self) -> MapTaskOut {
+        let reducers = self.reducers;
+        // Linear bucket scatter (stable: preserves emit order per bucket).
+        let mut counts = vec![0u32; reducers];
+        for e in &self.entries {
+            counts[e.bucket as usize] += 1;
+        }
+        let mut starts = vec![0u32; reducers + 1];
+        for b in 0..reducers {
+            starts[b + 1] = starts[b] + counts[b];
+        }
+        let mut order = vec![0u32; self.entries.len()];
+        let mut cursor = starts.clone();
+        for (i, e) in self.entries.iter().enumerate() {
+            let c = &mut cursor[e.bucket as usize];
+            order[*c as usize] = i as u32;
+            *c += 1;
+        }
+
+        // Bucket-local payload ids, reset per bucket via epochs.
+        let mut local_id = vec![0u32; self.payload_hashes.len()];
+        let mut local_epoch = vec![u32::MAX; self.payload_hashes.len()];
+        let mut plist: Vec<u32> = Vec::new();
+
+        let mut buckets: Vec<Vec<u8>> = Vec::with_capacity(reducers);
+        let mut payloads_written = 0u64;
+        for b in 0..reducers {
+            let entries = &order[starts[b] as usize..starts[b + 1] as usize];
+            if entries.is_empty() {
+                buckets.push(Vec::new());
+                continue;
+            }
+            // Counting pass: local payload directory + exact chunk size.
+            plist.clear();
+            let mut dict_bytes = 0usize;
+            let mut rec_bytes = 0usize;
+            for &i in entries {
+                let e = &self.entries[i as usize];
+                let p = e.payload as usize;
+                if local_epoch[p] != b as u32 {
+                    local_epoch[p] = b as u32;
+                    local_id[p] = plist.len() as u32;
+                    plist.push(e.payload);
+                    let len = self.payload_bytes(e.payload).len();
+                    dict_bytes += varint_len(len as u64) + len;
+                }
+                rec_bytes += (e.key_end - e.key_start) as usize
+                    + varint_len(u64::from(local_id[p]))
+                    + varint_len(e.weight);
+            }
+            let total = varint_len(plist.len() as u64) + dict_bytes + rec_bytes;
+            let mut buf = Vec::with_capacity(total);
+            write_varint(&mut buf, plist.len() as u64);
+            for &p in &plist {
+                let bytes = self.payload_bytes(p);
+                write_varint(&mut buf, bytes.len() as u64);
+                buf.extend_from_slice(bytes);
+            }
+            for &i in entries {
+                let e = &self.entries[i as usize];
+                buf.extend_from_slice(&self.key_data[e.key_start as usize..e.key_end as usize]);
+                write_varint(&mut buf, u64::from(local_id[e.payload as usize]));
+                write_varint(&mut buf, e.weight);
+            }
+            debug_assert_eq!(buf.len(), total, "combine chunk size miscounted");
+            payloads_written += plist.len() as u64;
+            buckets.push(buf);
+        }
+        MapTaskOut {
+            buckets,
+            emitted: self.emitted,
+            shuffled: self.entries.len() as u64,
+            payloads: payloads_written,
+        }
+    }
+}
 
 struct MapTaskOut {
     buckets: Vec<Vec<u8>>,
     emitted: u64,
     shuffled: u64,
+    payloads: u64,
+}
+
+/// One decoded (still borrowed) combine record during reduce-side merging.
+struct ReduceRec<'c> {
+    /// Mixed (key, payload) hash — the merge-table key.
+    hash: u64,
+    /// Key-bytes hash, kept so grouping can sort on a `u64` first and only
+    /// fall back to byte comparison for equal hashes.
+    khash: u64,
+    key: &'c [u8],
+    payload: &'c [u8],
+    weight: u64,
 }
 
 impl Engine {
@@ -104,9 +425,12 @@ impl Engine {
 
     /// Runs a map → shuffle → reduce job without a combiner.
     ///
-    /// The mapper is invoked once per input record and emits `(key, value)`
+    /// The mapper is invoked once per input *partition* (so per-task
+    /// scratch hoists out of the per-record loop) and emits `(key, value)`
     /// pairs; the reducer is invoked once per distinct key with all its
-    /// values. Output order is unspecified.
+    /// values, in a deterministic order (encoded-key lexicographic, values
+    /// in map-task emission order). Output order across keys is
+    /// unspecified.
     pub fn map_reduce<I, K, V, O, MF, RF>(
         &self,
         parts: &[&[I]],
@@ -115,10 +439,10 @@ impl Engine {
     ) -> Result<(Vec<O>, JobMetrics)>
     where
         I: Sync,
-        K: Codec + Hash + Eq + Send,
+        K: Codec + Send,
         V: Codec + Send,
         O: Send,
-        MF: Fn(&I, &mut dyn FnMut(K, V)) -> Result<()> + Sync,
+        MF: Fn(&[I], &mut dyn FnMut(K, V)) -> Result<()> + Sync,
         RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) -> Result<()> + Sync,
     {
         let mut metrics = JobMetrics::default();
@@ -131,17 +455,19 @@ impl Engine {
                 buckets: vec![Vec::new(); reducers],
                 emitted: 0,
                 shuffled: 0,
+                payloads: 0,
             };
-            for item in parts[t] {
-                let mut emit = |k: K, v: V| {
-                    let b = bucket_of(&k, reducers);
-                    k.encode(&mut out.buckets[b]);
-                    v.encode(&mut out.buckets[b]);
-                    out.emitted += 1;
-                    out.shuffled += 1;
-                };
-                map(item, &mut emit)?;
-            }
+            let mut key_buf: Vec<u8> = Vec::new();
+            let mut emit = |k: K, v: V| {
+                key_buf.clear();
+                k.encode(&mut key_buf);
+                let b = bucket_of(hash_bytes(&key_buf), reducers);
+                out.buckets[b].extend_from_slice(&key_buf);
+                v.encode(&mut out.buckets[b]);
+                out.emitted += 1;
+                out.shuffled += 1;
+            };
+            map(parts[t], &mut emit)?;
             Ok(out)
         })?;
         metrics.map_nanos = t0.elapsed().as_nanos() as u64;
@@ -150,22 +476,33 @@ impl Engine {
 
         // ---- reduce phase ----
         let t1 = Instant::now();
-        let decode_group = |t: usize| -> Result<GroupMap<K, V>> {
-            let mut groups: GroupMap<K, V> = GroupMap::default();
+        let outputs = self.run_tasks(self.reducers, |t| {
+            // Decode records keeping the raw key bytes; group by them
+            // (equal keys ⇔ equal encodings).
+            let mut items: Vec<(&[u8], V)> = Vec::new();
             for chunk in &chunks[t] {
                 let mut slice = chunk.as_slice();
                 while !slice.is_empty() {
-                    let k = K::decode(&mut slice)?;
+                    let before = slice;
+                    K::decode(&mut slice)?;
+                    let key = &before[..before.len() - slice.len()];
                     let v = V::decode(&mut slice)?;
-                    groups.entry(k).or_default().push(v);
+                    items.push((key, v));
                 }
             }
-            Ok(groups)
-        };
-        let outputs = self.run_tasks(self.reducers, |t| {
-            let groups = decode_group(t)?;
+            // Stable: values of one key stay in map-task emission order.
+            items.sort_by(|a, b| a.0.cmp(b.0));
             let mut out: Vec<O> = Vec::new();
-            for (k, vs) in groups {
+            let mut iter = items.into_iter().peekable();
+            while let Some((key, v)) = iter.next() {
+                let mut vs = vec![v];
+                while let Some((k2, _)) = iter.peek() {
+                    if *k2 != key {
+                        break;
+                    }
+                    vs.push(iter.next().expect("peeked").1);
+                }
+                let k = K::decode(&mut &key[..])?;
                 let mut emit = |o: O| out.push(o);
                 reduce(&k, vs, &mut emit)?;
             }
@@ -183,16 +520,23 @@ impl Engine {
 
     /// Runs a map → combine → shuffle → reduce job.
     ///
-    /// The combiner is MapReduce-style *weighted deduplication*: the mapper
-    /// emits `(key, payload, weight)` triples, and triples with identical
+    /// The mapper receives one input partition and a [`Combiner`]: it emits
+    /// `(key, payload bytes, weight)` triples, where the payload is
+    /// pre-encoded **once** by the caller (use the [`crate::codec`]
+    /// helpers) and shared across emissions. Triples with identical
     /// `(key, payload)` within one map task are merged by summing weights
-    /// before serialization. The reducer receives, per key, all distinct
-    /// payloads with their total weights (payloads from different map tasks
-    /// are merged reduce-side as well).
+    /// before serialization, and payload byte strings are interned per
+    /// bucket chunk.
+    ///
+    /// The reducer is invoked once per distinct key with all distinct
+    /// payloads and their total weights (merged across map tasks), each
+    /// payload a slice *borrowed from the shuffle buffers* — reducers
+    /// decode without re-materializing owned records. Per key, payloads
+    /// arrive in a deterministic (byte-lexicographic) order.
     ///
     /// This is exactly the aggregation D-CAND applies to identical NFAs
-    /// (Sec. VI-A) and MG-FSM/LASH apply to identical rewritten sequences.
-    pub fn map_combine_reduce<I, K, CK, O, MF, RF>(
+    /// (Sec. VI-A) and D-SEQ/LASH apply to identical rewritten sequences.
+    pub fn map_combine_reduce<I, K, O, MF, RF>(
         &self,
         parts: &[&[I]],
         map: MF,
@@ -200,11 +544,36 @@ impl Engine {
     ) -> Result<(Vec<O>, JobMetrics)>
     where
         I: Sync,
-        K: Codec + Hash + Eq + Send,
-        CK: Codec + Hash + Eq + Send,
+        K: Codec + Send,
         O: Send,
-        MF: Fn(&I, &mut dyn FnMut(K, CK, u64)) -> Result<()> + Sync,
-        RF: Fn(&K, Vec<(CK, u64)>, &mut dyn FnMut(O)) -> Result<()> + Sync,
+        MF: Fn(&[I], &mut Combiner<K>) -> Result<()> + Sync,
+        RF: Fn(&K, &[(&[u8], u64)], &mut dyn FnMut(O)) -> Result<()> + Sync,
+    {
+        self.map_combine_reduce_with(parts, map, || (), |(), k, vs, emit| reduce(k, vs, emit))
+    }
+
+    /// Like [`map_combine_reduce`](Self::map_combine_reduce), with
+    /// *per-reduce-task state*: `init` runs once per reduce task (the
+    /// MapReduce `setup()` analog) and the resulting state is threaded
+    /// through every key of that task's bucket.
+    ///
+    /// Use it for caches that amortize work across the keys of one bucket —
+    /// D-SEQ keys its simulation-core cache on the identity of the borrowed
+    /// payload slices, which is stable for the lifetime of the task.
+    pub fn map_combine_reduce_with<I, K, O, S, MF, IF, RF>(
+        &self,
+        parts: &[&[I]],
+        map: MF,
+        init: IF,
+        reduce: RF,
+    ) -> Result<(Vec<O>, JobMetrics)>
+    where
+        I: Sync,
+        K: Codec + Send,
+        O: Send,
+        MF: Fn(&[I], &mut Combiner<K>) -> Result<()> + Sync,
+        IF: Fn() -> S + Sync,
+        RF: Fn(&mut S, &K, &[(&[u8], u64)], &mut dyn FnMut(O)) -> Result<()> + Sync,
     {
         let mut metrics = JobMetrics::default();
 
@@ -212,29 +581,9 @@ impl Engine {
         let t0 = Instant::now();
         let reducers = self.reducers;
         let outs = self.run_tasks(parts.len(), |t| {
-            let mut agg: CombineMap<K, CK> = CombineMap::default();
-            let mut emitted = 0u64;
-            for item in parts[t] {
-                let mut emit = |k: K, ck: CK, w: u64| {
-                    emitted += 1;
-                    *agg.entry((k, ck)).or_insert(0) += w;
-                };
-                map(item, &mut emit)?;
-            }
-            let mut out = MapTaskOut {
-                buckets: vec![Vec::new(); reducers],
-                emitted,
-                shuffled: 0,
-            };
-            for ((k, ck), w) in agg {
-                let b = bucket_of(&k, reducers);
-                let buf = &mut out.buckets[b];
-                k.encode(buf);
-                ck.encode(buf);
-                w.encode(buf);
-                out.shuffled += 1;
-            }
-            Ok(out)
+            let mut combiner = Combiner::new(reducers);
+            map(parts[t], &mut combiner)?;
+            Ok(combiner.into_task_out())
         })?;
         metrics.map_nanos = t0.elapsed().as_nanos() as u64;
 
@@ -243,25 +592,84 @@ impl Engine {
         // ---- reduce phase ----
         let t1 = Instant::now();
         let outputs = self.run_tasks(self.reducers, |t| {
-            // Merge duplicates across map tasks, then group by key.
-            let mut agg: CombineMap<K, CK> = CombineMap::default();
+            let mut state = init();
+            // Merge duplicates across map tasks on the raw bytes.
+            let mut recs: Vec<ReduceRec<'_>> = Vec::new();
+            let mut table = ProbeTable::new();
+            let mut payloads: Vec<&[u8]> = Vec::new();
             for chunk in &chunks[t] {
                 let mut slice = chunk.as_slice();
+                // Payload dictionary of this chunk.
+                let np = read_varint(&mut slice)? as usize;
+                if np > slice.len() {
+                    return Err(Error::Decode(format!(
+                        "payload dictionary: count {np} exceeds input"
+                    )));
+                }
+                payloads.clear();
+                for _ in 0..np {
+                    let len = read_varint(&mut slice)? as usize;
+                    if len > slice.len() {
+                        return Err(Error::Decode(format!(
+                            "payload: length {len} exceeds input"
+                        )));
+                    }
+                    let (head, rest) = slice.split_at(len);
+                    payloads.push(head);
+                    slice = rest;
+                }
                 while !slice.is_empty() {
-                    let k = K::decode(&mut slice)?;
-                    let ck = CK::decode(&mut slice)?;
-                    let w = u64::decode(&mut slice)?;
-                    *agg.entry((k, ck)).or_insert(0) += w;
+                    let before = slice;
+                    K::decode(&mut slice)?;
+                    let key = &before[..before.len() - slice.len()];
+                    let pid = read_varint(&mut slice)? as usize;
+                    let payload = *payloads
+                        .get(pid)
+                        .ok_or_else(|| Error::Decode(format!("payload id {pid} out of range")))?;
+                    let weight = read_varint(&mut slice)?;
+                    let khash = hash_bytes(key);
+                    let hash = mix(khash, hash_bytes(payload));
+                    table.grow_if_needed(recs.len(), |i| recs[i as usize].hash);
+                    match table.find(hash, |i| {
+                        let r = &recs[i as usize];
+                        r.hash == hash && r.key == key && r.payload == payload
+                    }) {
+                        Ok(i) => recs[i as usize].weight += weight,
+                        Err(slot) => {
+                            recs.push(ReduceRec {
+                                hash,
+                                khash,
+                                key,
+                                payload,
+                                weight,
+                            });
+                            table.insert(slot, recs.len() as u32 - 1);
+                        }
+                    }
                 }
             }
-            let mut groups: GroupMap<K, (CK, u64)> = GroupMap::default();
-            for ((k, ck), w) in agg {
-                groups.entry(k).or_default().push((ck, w));
-            }
+            // Deterministic grouping: order by (key, payload), resolving
+            // most comparisons on the precomputed key hash instead of the
+            // byte slices.
+            recs.sort_unstable_by(|a, b| {
+                a.khash
+                    .cmp(&b.khash)
+                    .then_with(|| a.key.cmp(b.key))
+                    .then_with(|| a.payload.cmp(b.payload))
+            });
             let mut out: Vec<O> = Vec::new();
-            for (k, vs) in groups {
+            let mut group: Vec<(&[u8], u64)> = Vec::new();
+            let mut i = 0;
+            while i < recs.len() {
+                let key = recs[i].key;
+                group.clear();
+                while i < recs.len() && recs[i].key == key {
+                    group.push((recs[i].payload, recs[i].weight));
+                    i += 1;
+                }
+                let k = K::decode(&mut &key[..])?;
                 let mut emit = |o: O| out.push(o);
-                reduce(&k, vs, &mut emit)?;
+                reduce(&mut state, &k, &group, &mut emit)?;
             }
             Ok(out)
         })?;
@@ -325,6 +733,7 @@ impl Engine {
         for out in outs {
             metrics.emitted_records += out.emitted;
             metrics.shuffle_records += out.shuffled;
+            metrics.shuffle_payloads += out.payloads;
             for (r, buf) in out.buckets.into_iter().enumerate() {
                 reducer_bytes[r] += buf.len() as u64;
                 if !buf.is_empty() {
@@ -351,9 +760,11 @@ mod tests {
         let (mut out, metrics) = engine
             .map_reduce(
                 &parts,
-                |seq: &Vec<u32>, emit: &mut dyn FnMut(u32, u64)| {
-                    for &w in seq {
-                        emit(w, 1);
+                |part: &[Vec<u32>], emit: &mut dyn FnMut(u32, u64)| {
+                    for seq in part {
+                        for &w in seq {
+                            emit(w, 1);
+                        }
                     }
                     Ok(())
                 },
@@ -377,13 +788,15 @@ mod tests {
         let parts: Vec<&[Vec<u32>]> = vec![&data[0..1], &data[1..2]];
         let engine = Engine::new(2);
 
-        let map = |seq: &Vec<u32>, emit: &mut dyn FnMut(u32, u32, u64)| {
-            for &w in seq {
-                emit(w, w, 1);
+        let map = |part: &[Vec<u32>], out: &mut Combiner<u32>| {
+            for seq in part {
+                for &w in seq {
+                    out.emit(&w, &w.to_le_bytes(), 1);
+                }
             }
             Ok(())
         };
-        let reduce = |&k: &u32, vs: Vec<(u32, u64)>, emit: &mut dyn FnMut((u32, u64))| {
+        let reduce = |&k: &u32, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((u32, u64))| {
             let total = vs.iter().map(|(_, w)| w).sum();
             emit((k, total));
             Ok(())
@@ -393,7 +806,70 @@ mod tests {
         assert_eq!(metrics.emitted_records, 200);
         // Each map task combines its 100 identical records into one.
         assert_eq!(metrics.shuffle_records, 2);
+        assert_eq!(metrics.shuffle_payloads, 2);
         assert!(metrics.combine_ratio() > 99.0);
+    }
+
+    #[test]
+    fn payload_interning_dedups_across_keys() {
+        // One map task, many keys sharing one payload, one reducer: the
+        // payload bytes must hit the wire exactly once.
+        let data: Vec<u32> = (0..64).collect();
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(1).with_reducers(1);
+        let payload: Vec<u8> = vec![0xAB; 100];
+        let (mut out, metrics) = engine
+            .map_combine_reduce(
+                &parts,
+                |part: &[u32], c: &mut Combiner<u32>| {
+                    for &k in part {
+                        c.emit(&k, &payload, 1);
+                    }
+                    Ok(())
+                },
+                |&k: &u32, vs: &[(&[u8], u64)], emit: &mut dyn FnMut(u32)| {
+                    assert_eq!(vs.len(), 1);
+                    assert_eq!(vs[0].0.len(), 100);
+                    emit(k);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        out.sort();
+        assert_eq!(out.len(), 64);
+        assert_eq!(metrics.shuffle_records, 64);
+        assert_eq!(metrics.shuffle_payloads, 1);
+        // 64 records reference one 100-byte payload: far below 64 copies.
+        assert!(
+            metrics.shuffle_bytes < 64 * 100 / 4,
+            "shuffle {} bytes",
+            metrics.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn combine_merges_weights_across_map_tasks() {
+        let data: Vec<u32> = vec![5, 5, 5, 5];
+        let parts: Vec<&[u32]> = data.chunks(1).collect(); // 4 map tasks
+        let engine = Engine::new(2).with_reducers(3);
+        let (out, metrics) = engine
+            .map_combine_reduce(
+                &parts,
+                |part: &[u32], c: &mut Combiner<u32>| {
+                    for &k in part {
+                        c.emit(&k, b"payload", 2);
+                    }
+                    Ok(())
+                },
+                |&k: &u32, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((u32, u64))| {
+                    assert_eq!(vs.len(), 1, "duplicates must merge reduce-side");
+                    emit((k, vs[0].1));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(5, 8)]);
+        assert_eq!(metrics.shuffle_records, 4); // one per map task
     }
 
     #[test]
@@ -404,8 +880,10 @@ mod tests {
         let (mut out, metrics) = engine
             .map_reduce(
                 &parts,
-                |&x: &u32, emit: &mut dyn FnMut(u32, u32)| {
-                    emit(x % 10, x);
+                |part: &[u32], emit: &mut dyn FnMut(u32, u32)| {
+                    for &x in part {
+                        emit(x % 10, x);
+                    }
                     Ok(())
                 },
                 |&k, vs: Vec<u32>, emit: &mut dyn FnMut((u32, usize, u64))| {
@@ -433,8 +911,8 @@ mod tests {
         let err = engine
             .map_reduce(
                 &parts,
-                |&x: &u32, _emit: &mut dyn FnMut(u32, u32)| {
-                    if x == 2 {
+                |part: &[u32], _emit: &mut dyn FnMut(u32, u32)| {
+                    if part.contains(&2) {
                         Err(Error::ResourceExhausted("boom".into()))
                     } else {
                         Ok(())
@@ -454,8 +932,10 @@ mod tests {
         let err = engine
             .map_reduce(
                 &parts,
-                |&x: &u32, emit: &mut dyn FnMut(u32, u32)| {
-                    emit(x, x);
+                |part: &[u32], emit: &mut dyn FnMut(u32, u32)| {
+                    for &x in part {
+                        emit(x, x);
+                    }
                     Ok(())
                 },
                 |_k: &u32, _vs: Vec<u32>, _emit: &mut dyn FnMut(u32)| {
@@ -473,8 +953,10 @@ mod tests {
         let (out, metrics) = engine
             .map_reduce(
                 &parts,
-                |&x: &u32, emit: &mut dyn FnMut(u32, u32)| {
-                    emit(x, x);
+                |part: &[u32], emit: &mut dyn FnMut(u32, u32)| {
+                    for &x in part {
+                        emit(x, x);
+                    }
                     Ok(())
                 },
                 |&k: &u32, _vs: Vec<u32>, emit: &mut dyn FnMut(u32)| {
@@ -489,17 +971,29 @@ mod tests {
 
     #[test]
     fn bucket_routing_is_stable_and_spread() {
-        let b1 = bucket_of(&42u32, 8);
-        let b2 = bucket_of(&42u32, 8);
-        assert_eq!(b1, b2);
+        let h = hash_bytes(&42u32.to_le_bytes());
+        assert_eq!(bucket_of(h, 8), bucket_of(h, 8));
         let mut seen = std::collections::HashSet::new();
         for k in 0u32..64 {
-            seen.insert(bucket_of(&k, 8));
+            seen.insert(bucket_of(hash_bytes(&k.to_le_bytes()), 8));
         }
         assert!(
             seen.len() >= 6,
             "keys should spread over most buckets: {seen:?}"
         );
+        // Multiply-shift reduction stays in range for awkward bucket counts.
+        for buckets in [1usize, 3, 7, 8, 13] {
+            for k in 0u64..100 {
+                assert!(bucket_of(avalanche(k), buckets) < buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_zero_padded_tails() {
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"\0"), hash_bytes(b"\0\0"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
     }
 
     #[test]
@@ -511,8 +1005,10 @@ mod tests {
             let (mut out, _) = engine
                 .map_reduce(
                     &parts,
-                    |&x: &u32, emit: &mut dyn FnMut(u32, u64)| {
-                        emit(x % 7, u64::from(x));
+                    |part: &[u32], emit: &mut dyn FnMut(u32, u64)| {
+                        for &x in part {
+                            emit(x % 7, u64::from(x));
+                        }
                         Ok(())
                     },
                     |&k, vs: Vec<u64>, emit: &mut dyn FnMut((u32, u64))| {
@@ -525,5 +1021,30 @@ mod tests {
             out
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn large_weights_survive_the_combine_wire_format() {
+        let data = vec![1u32];
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(1);
+        let big = u64::from(u32::MAX) + 17;
+        let (out, _) = engine
+            .map_combine_reduce(
+                &parts,
+                |_part: &[u32], c: &mut Combiner<u32>| {
+                    c.emit(&9, b"", big);
+                    c.emit(&9, b"", 1);
+                    Ok(())
+                },
+                |&k: &u32, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((u32, u64))| {
+                    assert_eq!(vs.len(), 1);
+                    assert!(vs[0].0.is_empty());
+                    emit((k, vs[0].1));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(9, big + 1)]);
     }
 }

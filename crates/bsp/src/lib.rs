@@ -29,7 +29,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 
-pub use codec::{read_varint, write_varint, Codec};
-pub use engine::Engine;
+pub use codec::{decode_item_seq, encode_item_seq, read_varint, write_varint, Codec};
+pub use engine::{bucket_of, hash_bytes, Combiner, Engine};
 pub use error::{Error, Result};
 pub use metrics::JobMetrics;

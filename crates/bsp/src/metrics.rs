@@ -13,6 +13,9 @@ pub struct JobMetrics {
     pub emitted_records: u64,
     /// Records written to the shuffle, after combining.
     pub shuffle_records: u64,
+    /// Distinct payload byte strings written to the shuffle (per bucket
+    /// chunk, post-interning) by combining jobs; 0 for plain map-reduce.
+    pub shuffle_payloads: u64,
     /// Total serialized shuffle volume in bytes.
     pub shuffle_bytes: u64,
     /// Shuffle bytes received per reducer (for partition-balance analysis).
@@ -73,6 +76,7 @@ mod tests {
             reduce_nanos: 500_000_000,
             emitted_records: 100,
             shuffle_records: 25,
+            shuffle_payloads: 10,
             shuffle_bytes: 40,
             reducer_bytes: vec![10, 10, 20],
             output_records: 7,

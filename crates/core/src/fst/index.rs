@@ -1,0 +1,353 @@
+//! A derived, cache-resident view of a compiled [`Fst`] for hot-path
+//! simulation: the CSR transition index shared by DESQ-DFS local mining and
+//! the distributed pivot search.
+//!
+//! [`FstIndex`] assigns every transition a dense *global index* `δ` in
+//! state-major order (state 0's transitions first, then state 1's, …).
+//! That index is the transition's bit in a per-position *match mask*: a
+//! `⌈|Δ| / 64⌉`-word bitset per input position whose bit `δ` says
+//! "transition `δ` matches the item at this position". Consumers build one
+//! mask row per position with [`FstIndex::fill_match_row`] (one ancestor
+//! check per *distinct* input label, not per transition) and afterwards
+//! resolve every match question as a single bit test — no dictionary
+//! access, no repeated `InputLabel::matches` evaluation.
+//!
+//! Output labels are interned: the distinct non-ε [`OutputLabel`]s get
+//! dense indices so per-`(position, label)` output sets can live in flat
+//! arenas, and [`TrRef::label`] is `-1` for ε-output transitions.
+//!
+//! # Reuse contract
+//!
+//! An index is immutable derived data, valid for exactly the [`Fst`] it
+//! was built from (the construction cost is `O(|Δ|·|states|)` and the
+//! structure is small — build it **once per FST** and share it freely
+//! across threads, sequences and mining phases; it is `Sync`). Consumers
+//! must uphold:
+//!
+//! * global transition order is state-major and stable: bit `δ` of a match
+//!   mask always refers to `inputs()[δ]`, and `state(q)` yields exactly the
+//!   transitions of `q` in that order;
+//! * mask rows passed to bit tests must have been filled by
+//!   [`fill_match_row`](FstIndex::fill_match_row) (or derived from such a
+//!   row by *clearing* bits, e.g. to fold in grid aliveness — setting
+//!   extra bits is undefined);
+//! * interned label indices are only meaningful against the same index
+//!   (`labels()[i]`).
+
+use super::{Fst, InputLabel, OutputLabel};
+use crate::dictionary::Dictionary;
+use crate::sequence::ItemId;
+
+/// A transition inside an [`FstIndex`]: its bit in the per-position match
+/// mask, its target state, and its interned output label (`-1` = ε).
+#[derive(Debug, Clone, Copy)]
+pub struct TrRef {
+    /// The transition's bit within mask word [`TrRef::word`].
+    pub mask: u64,
+    /// The mask word holding this transition's bit.
+    pub word: u16,
+    /// Interned output-label index (into [`FstIndex::labels`]), or `-1`
+    /// for ε output.
+    pub label: i16,
+    /// Target state.
+    pub to: u32,
+}
+
+/// Derived per-FST transition index (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct FstIndex {
+    /// Match-mask words per position (`⌈|Δ| / 64⌉`).
+    words: usize,
+    /// Distinct non-ε output labels in intern order.
+    labels: Vec<OutputLabel>,
+    /// Per label: union of the label's transition bits (is any transition
+    /// with this label matching at a position?).
+    label_masks: Vec<Vec<u64>>,
+    /// Input labels in global transition order (mask bit order), with the
+    /// target state for aliveness pruning of the masks.
+    inputs: Vec<(InputLabel, u32)>,
+    /// Distinct input labels with the union bit mask of their transitions:
+    /// the mask build evaluates each distinct label once per position
+    /// instead of once per transition.
+    distinct_inputs: Vec<(InputLabel, Vec<u64>)>,
+    /// All states' transitions, flattened; state `q` owns
+    /// `trs[state_offsets[q]..state_offsets[q + 1]]`.
+    trs: Vec<TrRef>,
+    state_offsets: Vec<u32>,
+    /// Per state: can an output-producing transition still be reached via
+    /// ε-output transitions? Closure walks never need to enter states where
+    /// this is `false` (e.g. the trailing `.*` of unanchored constraints) —
+    /// they accept input but can only produce ε forever.
+    can_output: Vec<bool>,
+    /// Distinct `(input, output)` pairs of output-producing transitions
+    /// (a pair behaves identically regardless of its source state) —
+    /// hoisted once so per-sequence scans (the early-stopping heuristic)
+    /// never re-collect and re-sort them.
+    producers: Vec<(InputLabel, OutputLabel)>,
+}
+
+impl FstIndex {
+    /// Builds the index. Panics if the FST exceeds the packed [`TrRef`]
+    /// field widths (unreachable for compiled pattern expressions, but
+    /// cheap to guarantee).
+    pub fn new(fst: &Fst) -> FstIndex {
+        let mut labels: Vec<OutputLabel> = Vec::new();
+        let mut inputs: Vec<(InputLabel, u32)> = Vec::new();
+        let mut trs: Vec<TrRef> = Vec::new();
+        let mut state_offsets: Vec<u32> = Vec::with_capacity(fst.num_states() + 1);
+        state_offsets.push(0);
+        for q in 0..fst.num_states() as u32 {
+            for tr in fst.transitions(q) {
+                let d = inputs.len();
+                inputs.push((tr.input, tr.to));
+                let label = if matches!(tr.output, OutputLabel::None) {
+                    -1
+                } else {
+                    match labels.iter().position(|&l| l == tr.output) {
+                        Some(i) => i as i16,
+                        None => {
+                            labels.push(tr.output);
+                            labels.len() as i16 - 1
+                        }
+                    }
+                };
+                trs.push(TrRef {
+                    mask: 1u64 << (d % 64),
+                    word: (d / 64) as u16,
+                    label,
+                    to: tr.to,
+                });
+            }
+            state_offsets.push(trs.len() as u32);
+        }
+        assert!(
+            labels.len() <= i16::MAX as usize,
+            "FST has too many distinct output labels to index"
+        );
+        assert!(
+            inputs.len() <= 64 * (u16::MAX as usize + 1),
+            "FST has too many transitions to index"
+        );
+        let words = inputs.len().div_ceil(64).max(1);
+        let mut label_masks = vec![vec![0u64; words]; labels.len()];
+        for tr in &trs {
+            if tr.label >= 0 {
+                label_masks[tr.label as usize][tr.word as usize] |= tr.mask;
+            }
+        }
+        let mut distinct_inputs: Vec<(InputLabel, Vec<u64>)> = Vec::new();
+        for (d, &(input, _)) in inputs.iter().enumerate() {
+            let bits = match distinct_inputs.iter_mut().find(|(l, _)| *l == input) {
+                Some((_, bits)) => bits,
+                None => {
+                    distinct_inputs.push((input, vec![0u64; words]));
+                    &mut distinct_inputs.last_mut().unwrap().1
+                }
+            };
+            bits[d / 64] |= 1 << (d % 64);
+        }
+        let nq = fst.num_states();
+        let mut can_output: Vec<bool> = (0..nq as u32)
+            .map(|q| fst.transitions(q).iter().any(|tr| tr.produces_output()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for q in 0..nq as u32 {
+                if !can_output[q as usize]
+                    && fst.transitions(q).iter().any(|tr| {
+                        matches!(tr.output, OutputLabel::None) && can_output[tr.to as usize]
+                    })
+                {
+                    can_output[q as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut producers: Vec<(InputLabel, OutputLabel)> = (0..nq as u32)
+            .flat_map(|q| fst.transitions(q))
+            .filter(|tr| tr.produces_output())
+            .map(|tr| (tr.input, tr.output))
+            .collect();
+        producers.sort_unstable();
+        producers.dedup();
+        FstIndex {
+            words,
+            labels,
+            label_masks,
+            inputs,
+            distinct_inputs,
+            trs,
+            state_offsets,
+            can_output,
+            producers,
+        }
+    }
+
+    /// Match-mask words per position (`⌈|Δ| / 64⌉`, at least 1).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The distinct non-ε output labels in intern order ([`TrRef::label`]
+    /// indexes into this slice).
+    #[inline]
+    pub fn labels(&self) -> &[OutputLabel] {
+        &self.labels
+    }
+
+    /// Number of interned (non-ε) output labels.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Union of the transition bits of interned label `li`: AND it with a
+    /// position's mask row to test "does any transition with this label
+    /// match here?".
+    #[inline]
+    pub fn label_mask(&self, li: usize) -> &[u64] {
+        &self.label_masks[li]
+    }
+
+    /// Input labels and target states in global transition (mask bit)
+    /// order.
+    #[inline]
+    pub fn inputs(&self) -> &[(InputLabel, u32)] {
+        &self.inputs
+    }
+
+    /// Transitions of state `q`, in global order.
+    #[inline]
+    pub fn state(&self, q: usize) -> &[TrRef] {
+        &self.trs[self.state_offsets[q] as usize..self.state_offsets[q + 1] as usize]
+    }
+
+    /// True iff state `q` can still reach an output-producing transition
+    /// through ε-output transitions alone.
+    #[inline]
+    pub fn can_output(&self, q: usize) -> bool {
+        self.can_output[q]
+    }
+
+    /// The last position of `seq` (0-based) whose item can produce `k` on
+    /// *some* transition, or `None` if no position can — the early-stopping
+    /// bound of Sec. V-C. Equivalent to [`Fst::last_pivot_position`] but
+    /// over the pre-hoisted producer pairs (no per-call collection or
+    /// sorting); `buf` is caller scratch for output materialization.
+    pub fn last_pivot_position(
+        &self,
+        seq: &[ItemId],
+        k: ItemId,
+        dict: &Dictionary,
+        buf: &mut Vec<ItemId>,
+    ) -> Option<usize> {
+        for (i, &t) in seq.iter().enumerate().rev() {
+            // k must be an ancestor of t for any transition to output it
+            // (out_δ(t) ⊆ anc(t) ∪ {ε}).
+            if !dict.is_ancestor(k, t) {
+                continue;
+            }
+            for &(input, output) in &self.producers {
+                if input.matches(t, dict) {
+                    buf.clear();
+                    output.outputs(t, dict, buf);
+                    if buf.contains(&k) {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Fills `row` (a zeroed `words()`-long slice) with the match mask of
+    /// input item `t`: bit `δ` is set iff transition `δ` matches `t`. One
+    /// ancestor check per distinct input label.
+    #[inline]
+    pub fn fill_match_row(&self, t: ItemId, dict: &Dictionary, row: &mut [u64]) {
+        for (input, bits) in &self.distinct_inputs {
+            if input.matches(t, dict) {
+                for (r, b) in row.iter_mut().zip(bits) {
+                    *r |= b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn global_order_is_state_major_and_bits_are_distinct() {
+        let fx = toy::fixture();
+        let ix = FstIndex::new(&fx.fst);
+        let mut d = 0usize;
+        for q in 0..fx.fst.num_states() {
+            for (tr, ixtr) in fx.fst.transitions(q as u32).iter().zip(ix.state(q)) {
+                assert_eq!(ix.inputs()[d].0, tr.input);
+                assert_eq!(ixtr.to, tr.to);
+                assert_eq!(ixtr.word as usize, d / 64);
+                assert_eq!(ixtr.mask, 1u64 << (d % 64));
+                d += 1;
+            }
+        }
+        assert_eq!(d, fx.fst.num_transitions());
+        assert_eq!(ix.words(), d.div_ceil(64).max(1));
+    }
+
+    #[test]
+    fn match_rows_agree_with_transition_matching() {
+        let fx = toy::fixture();
+        let ix = FstIndex::new(&fx.fst);
+        for t in 1..=fx.dict.max_fid() {
+            let mut row = vec![0u64; ix.words()];
+            ix.fill_match_row(t, &fx.dict, &mut row);
+            let mut d = 0usize;
+            for q in 0..fx.fst.num_states() {
+                for tr in fx.fst.transitions(q as u32) {
+                    let bit = row[d / 64] >> (d % 64) & 1 != 0;
+                    assert_eq!(bit, tr.matches(t, &fx.dict), "item {t}, transition {d}");
+                    d += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_pivot_position_matches_fst_scan() {
+        let fx = toy::fixture();
+        let ix = FstIndex::new(&fx.fst);
+        let mut buf = Vec::new();
+        for seq in &fx.db.sequences {
+            for k in 1..=fx.dict.max_fid() {
+                assert_eq!(
+                    ix.last_pivot_position(seq, k, &fx.dict, &mut buf),
+                    fx.fst.last_pivot_position(seq, k, &fx.dict),
+                    "seq {seq:?}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_interned_and_eps_is_negative() {
+        let fx = toy::fixture();
+        let ix = FstIndex::new(&fx.fst);
+        for q in 0..fx.fst.num_states() {
+            for (tr, ixtr) in fx.fst.transitions(q as u32).iter().zip(ix.state(q)) {
+                if tr.produces_output() {
+                    assert_eq!(ix.labels()[ixtr.label as usize], tr.output);
+                } else {
+                    assert_eq!(ixtr.label, -1);
+                }
+            }
+        }
+    }
+}

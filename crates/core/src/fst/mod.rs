@@ -15,9 +15,11 @@
 pub mod candidates;
 mod compile;
 mod grid;
+pub mod index;
 pub mod runs;
 
 pub use grid::Grid;
+pub use index::{FstIndex, TrRef};
 
 use crate::dictionary::Dictionary;
 use crate::error::Result;

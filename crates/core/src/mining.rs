@@ -227,6 +227,10 @@ pub struct MiningMetrics {
     pub emitted_records: u64,
     /// Records written to the shuffle after combining (0 when sequential).
     pub shuffle_records: u64,
+    /// Distinct payload byte strings written to the shuffle by combining
+    /// jobs (post-interning; 0 when sequential or not combining). The gap
+    /// to `shuffle_records` measures how much payload sharing saved.
+    pub shuffle_payloads: u64,
     /// Total serialized shuffle volume in bytes (0 when sequential).
     pub shuffle_bytes: u64,
     /// Shuffle bytes received per reducer (empty when sequential).
@@ -252,6 +256,7 @@ impl MiningMetrics {
             input_sequences,
             emitted_records: work,
             shuffle_records: 0,
+            shuffle_payloads: 0,
             shuffle_bytes: 0,
             reducer_bytes: Vec::new(),
             output_records: output,

@@ -26,7 +26,7 @@ use desq_core::fst::{runs, Grid};
 use desq_core::fx::FxHashMap;
 use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence};
 
-use desq_bsp::Engine;
+use desq_bsp::{Combiner, Engine};
 
 use crate::pivots::PivotSearch;
 use crate::{from_bsp, to_bsp, MiningResult};
@@ -200,13 +200,14 @@ pub(crate) fn d_cand_impl(
     let last_frequent = dict.last_frequent(config.sigma);
     let search = PivotSearch::new(fst, dict, last_frequent);
 
-    let reduce = |_p: &ItemId,
-                  inputs: Vec<(Vec<u8>, u64)>,
-                  emit: &mut dyn FnMut((Sequence, u64))|
+    // Shared reduce body over borrowed NFA byte slices: expand each NFA,
+    // count candidates weighted by source multiplicity, σ-filter.
+    let expand_and_count = |inputs: &mut dyn Iterator<Item = (&[u8], u64)>,
+                            emit: &mut dyn FnMut((Sequence, u64))|
      -> desq_bsp::Result<()> {
         let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
         for (bytes, weight) in inputs {
-            let nfa = Nfa::deserialize(&bytes).map_err(to_bsp)?;
+            let nfa = Nfa::deserialize(bytes).map_err(to_bsp)?;
             for candidate in nfa.expand(config.run_budget).map_err(to_bsp)? {
                 *counts.entry(candidate).or_insert(0) += weight;
             }
@@ -223,30 +224,43 @@ pub(crate) fn d_cand_impl(
         engine
             .map_combine_reduce(
                 parts,
-                |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Vec<u8>, u64)| {
-                    for (p, bytes) in
-                        representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
-                    {
-                        emit(p, bytes, 1);
+                |part: &[Sequence], out: &mut Combiner<ItemId>| {
+                    for seq in part {
+                        for (p, bytes) in
+                            representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
+                        {
+                            // The serialized NFA goes through the byte-
+                            // payload path: combined by content, interned
+                            // per bucket chunk.
+                            out.emit(&p, &bytes, 1);
+                        }
                     }
                     Ok(())
                 },
-                reduce,
+                |_p: &ItemId, inputs: &[(&[u8], u64)], emit: &mut dyn FnMut((Sequence, u64))| {
+                    expand_and_count(&mut inputs.iter().copied(), emit)
+                },
             )
             .map_err(from_bsp)?
     } else {
         engine
             .map_reduce(
                 parts,
-                |seq: &Sequence, emit: &mut dyn FnMut(ItemId, (Vec<u8>, u64))| {
-                    for (p, bytes) in
-                        representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
-                    {
-                        emit(p, (bytes, 1));
+                |part: &[Sequence], emit: &mut dyn FnMut(ItemId, (Vec<u8>, u64))| {
+                    for seq in part {
+                        for (p, bytes) in
+                            representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
+                        {
+                            emit(p, (bytes, 1));
+                        }
                     }
                     Ok(())
                 },
-                reduce,
+                |_p: &ItemId,
+                 inputs: Vec<(Vec<u8>, u64)>,
+                 emit: &mut dyn FnMut((Sequence, u64))| {
+                    expand_and_count(&mut inputs.iter().map(|(b, w)| (b.as_slice(), *w)), emit)
+                },
             )
             .map_err(from_bsp)?
     };

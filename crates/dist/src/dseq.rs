@@ -2,21 +2,28 @@
 //! (Sec. V of the paper).
 //!
 //! The mapper computes the pivot set `K^σ(T)` of every input sequence —
-//! with the grid DP of [`PivotSearch::pivots`] or, in the "no grid"
-//! ablation, by bounded run enumeration — and ships the (optionally
-//! rewritten) input sequence itself to every pivot partition. Identical
-//! `(pivot, sequence)` records are aggregated into weighted ones by the
-//! engine's combiner. Reducers run partition-restricted DESQ-DFS
-//! ([`desq_miner::LocalMiner`]): expansions never use items above the
-//! pivot, only pivot sequences are emitted, and the early-stopping
-//! heuristic prunes snapshots that can no longer produce the pivot
-//! (Sec. V-C).
+//! with the flat grid DP of [`PivotSearch::pivots_into`] (per-map-task
+//! [`PivotScratch`], no per-sequence allocation) or, in the "no grid"
+//! ablation, by bounded run enumeration — serializes the (optionally
+//! rewritten) input **once** with the delta item codec, and emits the same
+//! payload bytes to every pivot partition. The engine's combiner
+//! aggregates identical `(pivot, payload)` records into weighted ones and
+//! interns shared payload bytes per bucket chunk, so a sequence with many
+//! pivots ships its items once per bucket rather than once per pivot.
+//! Reducers decode the borrowed payload slices into a flat item arena and
+//! run partition-restricted DESQ-DFS ([`desq_miner::LocalMiner`]) over
+//! [`desq_miner::WeightedInput`] borrows, sharing one
+//! [`desq_core::fst::FstIndex`] across all pivot partitions: expansions
+//! never use items above the pivot, only pivot sequences are emitted, and
+//! the early-stopping heuristic prunes snapshots that can no longer
+//! produce the pivot (Sec. V-C).
 
-use desq_bsp::Engine;
+use desq_bsp::{decode_item_seq, encode_item_seq, Combiner, Engine};
+use desq_core::fx::FxHashMap;
 use desq_core::{Dictionary, Fst, ItemId, Result, Sequence};
-use desq_miner::{LocalMiner, MinerConfig};
+use desq_miner::{LocalMiner, MinerConfig, SeqCore};
 
-use crate::pivots::PivotSearch;
+use crate::pivots::{PivotRange, PivotScratch, PivotSearch};
 use crate::{from_bsp, to_bsp, MiningResult};
 
 /// Configuration of the D-SEQ algorithm. The boolean flags correspond to
@@ -69,41 +76,78 @@ pub(crate) fn d_seq_impl(
     let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
     let search = PivotSearch::new(fst, dict, last_frequent);
+    // One transition index, shared by the mapper's pivot search (via
+    // `search`) and every pivot partition's LocalMiner.
+    let index = search.index();
 
-    let map = |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence, u64)| {
-        let ranges = if config.use_grid {
-            search.pivots(seq)
-        } else {
-            search
-                .pivots_enumerated_ranges(seq, config.run_budget)
-                .map_err(to_bsp)?
-        };
-        for pr in ranges {
-            let payload = if config.rewrite {
-                seq[pr.first as usize..=pr.last as usize].to_vec()
+    let map = |part: &[Sequence], out: &mut Combiner<ItemId>| {
+        // Per-task scratch, hoisted out of the per-sequence loop.
+        let mut scratch = PivotScratch::default();
+        let mut ranges: Vec<PivotRange> = Vec::new();
+        let mut payload: Vec<u8> = Vec::new();
+        for seq in part {
+            if config.use_grid {
+                search.pivots_into(seq, &mut scratch, &mut ranges);
             } else {
-                seq.clone()
+                ranges = search
+                    .pivots_enumerated_ranges(seq, config.run_budget)
+                    .map_err(to_bsp)?;
+            }
+            let Some(pr0) = ranges.first() else { continue };
+            // All pivots share the rewritten range: serialize once, emit
+            // the same bytes per pivot (the combiner interns them).
+            let items = if config.rewrite {
+                &seq[pr0.first as usize..=pr0.last as usize]
+            } else {
+                seq.as_slice()
             };
-            emit(pr.item, payload, 1);
+            payload.clear();
+            encode_item_seq(items, &mut payload);
+            for pr in &ranges {
+                out.emit(&pr.item, &payload, 1);
+            }
         }
         Ok(())
     };
-    let reduce =
-        |&p: &ItemId, inputs: Vec<(Sequence, u64)>, emit: &mut dyn FnMut((Sequence, u64))| {
-            let miner_config = MinerConfig::for_pivot(config.sigma, p, config.early_stop)
-                .with_last_frequent(last_frequent);
-            // Borrow the decoded aggregates — local mining never copies
-            // item data.
-            let borrowed: Vec<desq_miner::WeightedInput<'_>> =
-                inputs.iter().map(|(s, w)| (s.as_slice(), *w)).collect();
-            for pattern in LocalMiner::new(fst, dict, miner_config).mine(&borrowed) {
-                emit(pattern);
+    // Per-reduce-task cache of decoded payloads and their pivot-independent
+    // simulation cores, keyed by the identity of the borrowed payload slice
+    // (stable for the task's lifetime). A sequence shipped to many pivot
+    // partitions of one bucket is decoded and core-built once; each key
+    // only rebuilds the pivot-dependent output arenas.
+    type CoreCache = FxHashMap<(usize, usize), (Vec<ItemId>, SeqCore)>;
+    let reduce = |cache: &mut CoreCache,
+                  &p: &ItemId,
+                  inputs: &[(&[u8], u64)],
+                  emit: &mut dyn FnMut((Sequence, u64))|
+     -> desq_bsp::Result<()> {
+        let miner_config = MinerConfig::for_pivot(config.sigma, p, config.early_stop)
+            .with_last_frequent(last_frequent);
+        let miner = LocalMiner::with_index(fst, dict, miner_config, index);
+        for &(bytes, _) in inputs {
+            let key = (bytes.as_ptr() as usize, bytes.len());
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
+                let mut items: Vec<ItemId> = Vec::new();
+                let mut slice = bytes;
+                decode_item_seq(&mut slice, &mut items)?;
+                let core = miner.prepare_core(&items);
+                slot.insert((items, core));
             }
-            Ok(())
-        };
+        }
+        let prepared: Vec<(&[ItemId], &SeqCore, u64)> = inputs
+            .iter()
+            .map(|&(bytes, w)| {
+                let (items, core) = &cache[&(bytes.as_ptr() as usize, bytes.len())];
+                (items.as_slice(), core, w)
+            })
+            .collect();
+        for pattern in miner.mine_prepared(&prepared) {
+            emit(pattern);
+        }
+        Ok(())
+    };
 
     let (patterns, job) = engine
-        .map_combine_reduce(parts, map, reduce)
+        .map_combine_reduce_with(parts, map, CoreCache::default, reduce)
         .map_err(from_bsp)?;
     let patterns = desq_miner::sort_patterns(patterns);
     let metrics = crate::metrics_from_job(

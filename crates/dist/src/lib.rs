@@ -44,7 +44,7 @@ pub use dseq::DSeqConfig;
 pub use naive::NaiveConfig;
 #[allow(deprecated)]
 pub use naive::{naive, semi_naive};
-pub use pivots::{PivotRange, PivotSearch};
+pub use pivots::{PivotRange, PivotScratch, PivotSearch};
 
 use desq_bsp::JobMetrics;
 use desq_core::{MiningMetrics, Sequence};
@@ -68,6 +68,7 @@ pub fn metrics_from_job(
         input_sequences,
         emitted_records: job.emitted_records,
         shuffle_records: job.shuffle_records,
+        shuffle_payloads: job.shuffle_payloads,
         shuffle_bytes: job.shuffle_bytes,
         reducer_bytes: job.reducer_bytes,
         output_records: job.output_records,

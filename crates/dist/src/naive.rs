@@ -66,13 +66,15 @@ pub(crate) fn naive_impl(
     let t0 = std::time::Instant::now();
     let sigma_filter = config.filter.then_some(config.sigma);
 
-    let map = |seq: &Sequence, emit: &mut dyn FnMut(ItemId, Sequence)| {
-        let cands =
-            candidates::generate(fst, dict, seq, sigma_filter, config.budget).map_err(to_bsp)?;
-        for c in cands {
-            let p = sequence::pivot(&c);
-            if p != EPSILON {
-                emit(p, c);
+    let map = |part: &[Sequence], emit: &mut dyn FnMut(ItemId, Sequence)| {
+        for seq in part {
+            let cands = candidates::generate(fst, dict, seq, sigma_filter, config.budget)
+                .map_err(to_bsp)?;
+            for c in cands {
+                let p = sequence::pivot(&c);
+                if p != EPSILON {
+                    emit(p, c);
+                }
             }
         }
         Ok(())

@@ -5,13 +5,29 @@
 //! The pivot item of a candidate is its largest item; because fids are
 //! frequency ranks, that is its maximum fid. [`PivotSearch::pivots`]
 //! computes the full pivot set by dynamic programming over the
-//! position–state [`Grid`]: for every alive coordinate it maintains the set
-//! of achievable "maximum output item of an accepting completion", merging
-//! transition contributions with the ⊕ operator of Th. 1 (implemented in
-//! [`crate::dcand::merge_pivots`]). This is polynomial even when the number
-//! of accepting runs is exponential. [`PivotSearch::pivots_enumerated`] is
-//! the ablation variant that enumerates runs instead (bounded by a budget —
-//! the paper's "no grid" configuration of Fig. 10a).
+//! position–state grid: for every alive coordinate it maintains the set of
+//! achievable "maximum output item of an accepting completion", merging
+//! transition contributions with the ⊕ operator of Th. 1 (the same merge
+//! as [`crate::dcand::merge_pivots`]). This is polynomial even when the
+//! number of accepting runs is exponential.
+//! [`PivotSearch::pivots_enumerated`] is the ablation variant that
+//! enumerates runs instead (bounded by a budget — the paper's "no grid"
+//! configuration of Fig. 10a) and doubles as the differential-test oracle
+//! for the DP.
+//!
+//! # Hot-path layout
+//!
+//! The DP runs on the same flat substrate as DESQ-DFS local mining
+//! (PR 3): a shared CSR [`FstIndex`] built once per search, per-position
+//! bit-packed *match masks* with grid aliveness folded in (one bit test
+//! replaces the ancestor check plus the aliveness lookup), forward/alive
+//! grid bitsets, and σ-filtered output sets materialized per
+//! `(position, interned label)` into an arena. The per-coordinate pivot
+//! sets are small sorted arrays in two row arenas (the backward DP only
+//! ever reads row `i + 1` to produce row `i`), merged with ⊕ as pure
+//! sorted-merge passes. All of it lives in a caller-provided
+//! [`PivotScratch`] — one per worker thread, reused across sequences, so
+//! the per-sequence search allocates nothing.
 //!
 //! Rewriting: the paper shortens the input sent to partition `P_p` by
 //! dropping irrelevant prefixes and suffixes. This implementation applies
@@ -23,7 +39,7 @@
 //! pivots, including for adversarial FSTs where more aggressive per-pivot
 //! trimming would change results.
 
-use desq_core::fst::{runs, Grid, OutputLabel};
+use desq_core::fst::{runs, FstIndex, Grid, OutputLabel};
 use desq_core::{Dictionary, Error, Fst, ItemId, Result, EPSILON};
 
 use crate::dcand::merge_pivots;
@@ -40,11 +56,110 @@ pub struct PivotRange {
     pub last: u32,
 }
 
+/// Reusable scratch of the flat pivot DP: grid bitsets, the output arena
+/// and the two DP row arenas.
+///
+/// Create one per worker thread (`PivotScratch::default()`), pass it to
+/// [`PivotSearch::pivots_with`] / [`PivotSearch::pivots_into`] for every
+/// sequence the thread processes, and the search performs no per-sequence
+/// allocation once the buffers have grown to the workload's high-water
+/// mark.
+#[derive(Default)]
+pub struct PivotScratch {
+    /// Per-position match masks (`n × words`), pruned to transitions whose
+    /// target coordinate is alive.
+    mask: Vec<u64>,
+    /// Forward-reachability bitset over `(position, state)` cells.
+    fwd: Vec<u64>,
+    /// Aliveness bitset (forward-reachable ∧ accepting completion exists).
+    alive: Vec<u64>,
+    /// Arena ranges of the σ-filtered output set per
+    /// `(position, interned label)`.
+    out_off: Vec<(u32, u32)>,
+    /// Output-set arena.
+    outs: Vec<ItemId>,
+    /// DP row `i` under construction: per-state arena ranges + items.
+    cur: Vec<ItemId>,
+    cur_off: Vec<(u32, u32)>,
+    /// DP row `i + 1` (previous iteration's result).
+    prev: Vec<ItemId>,
+    prev_off: Vec<(u32, u32)>,
+    /// Accumulated ⊕ union of one cell, and the two merge double-buffers.
+    acc: Vec<ItemId>,
+    tmp: Vec<ItemId>,
+    tmp2: Vec<ItemId>,
+    /// Raw output buffer of one `(position, label)` materialization.
+    outbuf: Vec<ItemId>,
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 != 0
+}
+
+/// Merges two strictly-ascending sorted sets into `out` (union, dedup).
+fn merge_union(a: &[ItemId], b: &[ItemId], out: &mut Vec<ItemId>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// The ⊕ contribution of one transition — elements of `outs ∪ rest` no
+/// smaller than the larger of the two minima — unioned into `acc` in two
+/// merge passes over small sorted arrays (`tmp`/`tmp2` are persistent
+/// double buffers; nothing allocates after warm-up). Both inputs must be
+/// non-empty and sorted ascending.
+fn oplus_into(
+    outs: &[ItemId],
+    rest: &[ItemId],
+    acc: &mut Vec<ItemId>,
+    tmp: &mut Vec<ItemId>,
+    tmp2: &mut Vec<ItemId>,
+) {
+    let threshold = outs[0].max(rest[0]);
+    let o = &outs[outs.partition_point(|&w| w < threshold)..];
+    let r = &rest[rest.partition_point(|&w| w < threshold)..];
+    merge_union(o, r, tmp2);
+    if acc.is_empty() {
+        std::mem::swap(acc, tmp2);
+        return;
+    }
+    merge_union(tmp2, acc, tmp);
+    std::mem::swap(acc, tmp);
+}
+
 /// Pivot computation for one compiled FST over one dictionary.
+///
+/// Construction derives the shared [`FstIndex`] once; the per-sequence
+/// state lives in a caller-provided [`PivotScratch`].
 pub struct PivotSearch<'a> {
     fst: &'a Fst,
     dict: &'a Dictionary,
     last_frequent: ItemId,
+    index: FstIndex,
 }
 
 impl<'a> PivotSearch<'a> {
@@ -55,12 +170,14 @@ impl<'a> PivotSearch<'a> {
             fst,
             dict,
             last_frequent,
+            index: FstIndex::new(fst),
         }
     }
 
     /// The σ-filtered output set of `tr` on input item `t`, with ε encoded
     /// as [`EPSILON`]. An empty result means the transition cannot occur on
     /// any all-frequent candidate (the run is dead under the σ filter).
+    /// Used by the run-enumeration oracle and D-CAND.
     fn filtered_outputs(&self, tr: &desq_core::fst::Transition, t: ItemId) -> Vec<ItemId> {
         let mut buf = Vec::new();
         tr.outputs(t, self.dict, &mut buf);
@@ -69,87 +186,226 @@ impl<'a> PivotSearch<'a> {
     }
 
     /// `K^σ(T)`, with the shared rewritten range, sorted ascending by item.
+    ///
+    /// Convenience wrapper over [`Self::pivots_with`] with a throwaway
+    /// scratch; hot loops should hoist a [`PivotScratch`] per thread
+    /// instead.
     pub fn pivots(&self, seq: &[ItemId]) -> Vec<PivotRange> {
-        let grid = Grid::build(self.fst, self.dict, seq);
-        let pivots = self.pivot_set(seq, &grid);
-        if pivots.is_empty() {
-            return Vec::new();
-        }
-        let (first, last) = self
-            .safe_range_with(seq, &grid)
-            .expect("pivots imply a range");
-        pivots
-            .into_iter()
-            .map(|item| PivotRange {
-                item,
-                first: first as u32,
-                last: last as u32,
-            })
-            .collect()
+        self.pivots_with(seq, &mut PivotScratch::default())
     }
 
-    /// The pivot set alone (no ranges), via the grid DP.
-    fn pivot_set(&self, seq: &[ItemId], grid: &Grid) -> Vec<ItemId> {
-        if seq.is_empty() || !grid.accepts() {
-            return Vec::new();
-        }
-        let n = seq.len();
-        let q = self.fst.num_states();
-        // pivs[i * q + s]: sorted set of achievable maxima of the outputs
-        // produced from coordinate (i, s) to acceptance. EPSILON marks the
-        // all-ε completion.
-        let mut pivs: Vec<Vec<ItemId>> = vec![Vec::new(); (n + 1) * q];
-        for s in 0..q as u32 {
-            if grid.is_alive(n, s) {
-                pivs[n * q + s as usize] = vec![EPSILON];
-            }
-        }
-        for i in (0..n).rev() {
-            for s in 0..q as u32 {
-                if !grid.is_alive(i, s) {
-                    continue;
-                }
-                let mut acc: Vec<ItemId> = Vec::new();
-                for tr in self.fst.transitions(s) {
-                    if !tr.matches(seq[i], self.dict) || !grid.is_alive(i + 1, tr.to) {
-                        continue;
-                    }
-                    let outs = self.filtered_outputs(tr, seq[i]);
-                    if outs.is_empty() {
-                        continue;
-                    }
-                    let rest = &pivs[(i + 1) * q + tr.to as usize];
-                    if rest.is_empty() {
-                        continue;
-                    }
-                    // ⊕ of two sorted sets: elements of the union no
-                    // smaller than the larger of the two minima.
-                    let threshold = outs[0].max(rest[0]);
-                    for &w in outs.iter().chain(rest.iter()) {
-                        if w >= threshold && !acc.contains(&w) {
-                            acc.push(w);
-                        }
-                    }
-                }
-                acc.sort_unstable();
-                pivs[i * q + s as usize] = acc;
-            }
-        }
-        let mut out = std::mem::take(&mut pivs[self.fst.initial() as usize]);
-        out.retain(|&w| w != EPSILON);
+    /// `K^σ(T)` with the shared rewritten range, using caller-provided
+    /// scratch (flat grid DP — no `Grid`, no per-sequence allocation
+    /// beyond the returned vector).
+    pub fn pivots_with(&self, seq: &[ItemId], scratch: &mut PivotScratch) -> Vec<PivotRange> {
+        let mut out = Vec::new();
+        self.pivots_into(seq, scratch, &mut out);
         out
     }
 
-    /// `K^σ(T)` by explicit run enumeration (the "no grid" ablation).
-    /// `budget` bounds the number of runs walked.
+    /// Like [`Self::pivots_with`], but clearing and filling a caller
+    /// buffer — the fully allocation-free form used by D-SEQ's mapper.
+    pub fn pivots_into(
+        &self,
+        seq: &[ItemId],
+        scratch: &mut PivotScratch,
+        out: &mut Vec<PivotRange>,
+    ) {
+        out.clear();
+        if seq.is_empty() || !self.prepare(seq, scratch) {
+            return;
+        }
+        self.flat_pivot_set(seq, scratch);
+        let (start, end) = scratch.prev_off[self.fst.initial() as usize];
+        let pivots = &scratch.prev[start as usize..end as usize];
+        let pivots = &pivots[pivots.partition_point(|&w| w == EPSILON)..];
+        if pivots.is_empty() {
+            return;
+        }
+        let (first, last) = self
+            .range_from_scratch(seq, scratch)
+            .expect("pivots imply a range");
+        out.extend(pivots.iter().map(|&item| PivotRange {
+            item,
+            first: first as u32,
+            last: last as u32,
+        }));
+    }
+
+    /// Builds the per-sequence tables in `scratch`: match masks (pruned by
+    /// aliveness), forward-reachability and aliveness bitsets. Returns
+    /// `true` iff the FST accepts `seq`.
+    fn prepare(&self, seq: &[ItemId], scratch: &mut PivotScratch) -> bool {
+        let ix = &self.index;
+        let n = seq.len();
+        let qn = self.fst.num_states();
+        let w = ix.words();
+
+        scratch.mask.clear();
+        scratch.mask.resize(n * w, 0);
+        for (i, &t) in seq.iter().enumerate() {
+            ix.fill_match_row(t, self.dict, &mut scratch.mask[i * w..(i + 1) * w]);
+        }
+
+        let bwords = ((n + 1) * qn).div_ceil(64).max(1);
+        scratch.fwd.clear();
+        scratch.fwd.resize(bwords, 0);
+        scratch.alive.clear();
+        scratch.alive.resize(bwords, 0);
+        let (fwd, alive) = (&mut scratch.fwd, &mut scratch.alive);
+        set_bit(fwd, self.fst.initial() as usize);
+        for i in 0..n {
+            let row = &scratch.mask[i * w..(i + 1) * w];
+            for q in 0..qn {
+                if !get_bit(fwd, i * qn + q) {
+                    continue;
+                }
+                for tr in ix.state(q) {
+                    if row[tr.word as usize] & tr.mask != 0 {
+                        set_bit(fwd, (i + 1) * qn + tr.to as usize);
+                    }
+                }
+            }
+        }
+        for q in 0..qn as u32 {
+            if get_bit(fwd, n * qn + q as usize) && self.fst.is_final(q) {
+                set_bit(alive, n * qn + q as usize);
+            }
+        }
+        for i in (0..n).rev() {
+            let row = &mut scratch.mask[i * w..(i + 1) * w];
+            for q in 0..qn {
+                if !get_bit(fwd, i * qn + q) {
+                    continue;
+                }
+                let ok = ix.state(q).iter().any(|tr| {
+                    row[tr.word as usize] & tr.mask != 0
+                        && get_bit(alive, (i + 1) * qn + tr.to as usize)
+                });
+                if ok {
+                    set_bit(alive, i * qn + q);
+                }
+            }
+            // Fold aliveness into the match bits: one bit test then answers
+            // "matches ∧ target alive" for both the DP and the range scan.
+            for (d, &(_, to)) in ix.inputs().iter().enumerate() {
+                if !get_bit(alive, (i + 1) * qn + to as usize) {
+                    row[d / 64] &= !(1 << (d % 64));
+                }
+            }
+        }
+        get_bit(alive, self.fst.initial() as usize)
+    }
+
+    /// The backward pivot DP over the prepared tables. Leaves row 0 in
+    /// `scratch.prev`/`prev_off`; each cell's set is sorted ascending with
+    /// [`EPSILON`] marking the all-ε completion.
+    fn flat_pivot_set(&self, seq: &[ItemId], scratch: &mut PivotScratch) {
+        let ix = &self.index;
+        let n = seq.len();
+        let qn = self.fst.num_states();
+        let w = ix.words();
+        let l = ix.num_labels();
+
+        // σ-filtered output arena per (position, interned label). Labels
+        // whose transitions all miss (or are alive-pruned) at a position
+        // get an empty range and kill their transitions in the DP.
+        scratch.out_off.clear();
+        scratch.outs.clear();
+        for (i, &t) in seq.iter().enumerate() {
+            let row = &scratch.mask[i * w..(i + 1) * w];
+            for li in 0..l {
+                let used = ix.label_mask(li).iter().zip(row).any(|(lm, m)| lm & m != 0);
+                if !used {
+                    scratch.out_off.push((0, 0));
+                    continue;
+                }
+                let start = scratch.outs.len() as u32;
+                scratch.outbuf.clear();
+                ix.labels()[li].outputs(t, self.dict, &mut scratch.outbuf);
+                scratch.outs.extend(
+                    scratch
+                        .outbuf
+                        .iter()
+                        .copied()
+                        .filter(|&w| w <= self.last_frequent),
+                );
+                scratch.out_off.push((start, scratch.outs.len() as u32));
+            }
+        }
+
+        // Row n: alive final coordinates complete with ε only.
+        scratch.prev.clear();
+        scratch.prev_off.clear();
+        for q in 0..qn {
+            if get_bit(&scratch.alive, n * qn + q) {
+                let s = scratch.prev.len() as u32;
+                scratch.prev.push(EPSILON);
+                scratch.prev_off.push((s, s + 1));
+            } else {
+                scratch.prev_off.push((0, 0));
+            }
+        }
+
+        for i in (0..n).rev() {
+            scratch.cur.clear();
+            scratch.cur_off.clear();
+            let row = &scratch.mask[i * w..(i + 1) * w];
+            for q in 0..qn {
+                if !get_bit(&scratch.alive, i * qn + q) {
+                    scratch.cur_off.push((0, 0));
+                    continue;
+                }
+                scratch.acc.clear();
+                for tr in ix.state(q) {
+                    // Match + target-aliveness in one precomputed bit.
+                    if row[tr.word as usize] & tr.mask == 0 {
+                        continue;
+                    }
+                    let (rs, re) = scratch.prev_off[tr.to as usize];
+                    if rs == re {
+                        continue;
+                    }
+                    let rest = &scratch.prev[rs as usize..re as usize];
+                    if tr.label < 0 {
+                        // ε output: ⊕({ε}, rest) = rest.
+                        merge_union(rest, &scratch.acc, &mut scratch.tmp);
+                        std::mem::swap(&mut scratch.acc, &mut scratch.tmp);
+                        continue;
+                    }
+                    let (os, oe) = scratch.out_off[i * l + tr.label as usize];
+                    if os == oe {
+                        continue; // dead under the σ filter
+                    }
+                    let outs = &scratch.outs[os as usize..oe as usize];
+                    oplus_into(
+                        outs,
+                        rest,
+                        &mut scratch.acc,
+                        &mut scratch.tmp,
+                        &mut scratch.tmp2,
+                    );
+                }
+                let s = scratch.cur.len() as u32;
+                scratch.cur.extend_from_slice(&scratch.acc);
+                scratch.cur_off.push((s, scratch.cur.len() as u32));
+            }
+            std::mem::swap(&mut scratch.prev, &mut scratch.cur);
+            std::mem::swap(&mut scratch.prev_off, &mut scratch.cur_off);
+        }
+    }
+
+    /// `K^σ(T)` by explicit run enumeration (the "no grid" ablation and
+    /// the DP's differential-test oracle). `budget` bounds the number of
+    /// runs walked.
     pub fn pivots_enumerated(&self, seq: &[ItemId], budget: usize) -> Result<Vec<ItemId>> {
         let grid = Grid::build(self.fst, self.dict, seq);
         self.enumerated_set(seq, &grid, budget)
     }
 
     /// Like [`Self::pivots`], but computing the pivot set by run
-    /// enumeration while sharing one grid for the rewritten range (used by
-    /// D-SEQ's "no grid" ablation so the range does not rebuild it).
+    /// enumeration (used by D-SEQ's "no grid" ablation and as the oracle
+    /// for the flat DP's property tests).
     pub fn pivots_enumerated_ranges(
         &self,
         seq: &[ItemId],
@@ -160,8 +416,10 @@ impl<'a> PivotSearch<'a> {
         if pivots.is_empty() {
             return Ok(Vec::new());
         }
+        let mut scratch = PivotScratch::default();
+        assert!(self.prepare(seq, &mut scratch), "pivots imply acceptance");
         let (first, last) = self
-            .safe_range_with(seq, &grid)
+            .range_from_scratch(seq, &scratch)
             .expect("pivots imply a range");
         Ok(pivots
             .into_iter()
@@ -216,39 +474,48 @@ impl<'a> PivotSearch<'a> {
     /// The safety-clamped rewritten range shared by all pivots of `seq`, or
     /// `None` if the FST rejects the sequence.
     pub fn safe_range(&self, seq: &[ItemId]) -> Option<(usize, usize)> {
-        let grid = Grid::build(self.fst, self.dict, seq);
-        self.safe_range_with(seq, &grid)
-    }
-
-    fn safe_range_with(&self, seq: &[ItemId], grid: &Grid) -> Option<(usize, usize)> {
-        if seq.is_empty() || !grid.accepts() {
+        let mut scratch = PivotScratch::default();
+        if seq.is_empty() || !self.prepare(seq, &mut scratch) {
             return None;
         }
-        let first = self.safe_front(seq, grid);
+        self.range_from_scratch(seq, &scratch)
+    }
+
+    /// The rewritten range over prepared scratch tables (`prepare` must
+    /// have returned `true`).
+    fn range_from_scratch(&self, seq: &[ItemId], scratch: &PivotScratch) -> Option<(usize, usize)> {
+        if seq.is_empty() {
+            return None;
+        }
+        let first = self.safe_front(seq, scratch);
         if first == seq.len() {
             // Every position idles in the initial state: only the empty
             // candidate exists. Keep a minimal non-empty range.
             return Some((0, seq.len() - 1));
         }
-        let last = seq.len() - 1 - self.safe_back(seq, grid, first);
+        let last = seq.len() - 1 - self.safe_back(seq, scratch, first);
         Some((first, last))
     }
 
     /// Number of leading positions provably droppable: while the only alive
     /// coordinate is the initial state and all its alive transitions are
     /// ε-output self-loops, every alive run idles there.
-    fn safe_front(&self, seq: &[ItemId], grid: &Grid) -> usize {
+    fn safe_front(&self, seq: &[ItemId], scratch: &PivotScratch) -> usize {
+        let ix = &self.index;
+        let qn = self.fst.num_states();
+        let w = ix.words();
         let initial = self.fst.initial();
         let mut i = 0;
         while i < seq.len() {
-            if !grid.is_alive(i, initial) {
+            if !get_bit(&scratch.alive, i * qn + initial as usize) {
                 return i;
             }
-            for tr in self.fst.transitions(initial) {
-                if !tr.matches(seq[i], self.dict) || !grid.is_alive(i + 1, tr.to) {
-                    continue;
+            let row = &scratch.mask[i * w..(i + 1) * w];
+            for tr in ix.state(initial as usize) {
+                if row[tr.word as usize] & tr.mask == 0 {
+                    continue; // no match, or the target is a dead end
                 }
-                if tr.produces_output() || tr.to != initial {
+                if tr.label >= 0 || tr.to != initial {
                     return i;
                 }
             }
@@ -262,43 +529,30 @@ impl<'a> PivotSearch<'a> {
     /// forward-reachable coordinate `(j, s)` satisfies "alive iff final" and
     /// all alive transitions produce ε — then ending at `j` accepts exactly
     /// the runs that previously consumed the suffix silently.
-    fn safe_back(&self, seq: &[ItemId], grid: &Grid, first: usize) -> usize {
+    fn safe_back(&self, seq: &[ItemId], scratch: &PivotScratch, first: usize) -> usize {
+        let ix = &self.index;
         let n = seq.len();
-        let q = self.fst.num_states();
-        // Forward reachability (the grid only stores aliveness).
-        let mut fwd = vec![false; (n + 1) * q];
-        fwd[self.fst.initial() as usize] = true;
-        for i in 0..n {
-            for s in 0..q as u32 {
-                if !fwd[i * q + s as usize] {
-                    continue;
-                }
-                for tr in self.fst.transitions(s) {
-                    if tr.matches(seq[i], self.dict) {
-                        fwd[(i + 1) * q + tr.to as usize] = true;
-                    }
-                }
-            }
-        }
+        let qn = self.fst.num_states();
+        let w = ix.words();
         let mut dropped = 0;
         'outer: while dropped + first + 1 < n {
             let j = n - 1 - dropped;
-            for s in 0..q as u32 {
-                if !fwd[j * q + s as usize] {
+            let row = &scratch.mask[j * w..(j + 1) * w];
+            for s in 0..qn as u32 {
+                if !get_bit(&scratch.fwd, j * qn + s as usize) {
                     continue;
                 }
-                let alive = grid.is_alive(j, s);
+                let alive = get_bit(&scratch.alive, j * qn + s as usize);
                 if alive != self.fst.is_final(s) {
                     break 'outer;
                 }
                 if !alive {
                     continue;
                 }
-                for tr in self.fst.transitions(s) {
-                    if tr.matches(seq[j], self.dict)
-                        && grid.is_alive(j + 1, tr.to)
-                        && tr.produces_output()
-                    {
+                for tr in ix.state(s as usize) {
+                    // Pruned bit = matches ∧ target alive; label ≥ 0 =
+                    // produces output.
+                    if row[tr.word as usize] & tr.mask != 0 && tr.label >= 0 {
                         break 'outer;
                     }
                 }
@@ -311,6 +565,12 @@ impl<'a> PivotSearch<'a> {
     /// The largest frequent fid this search filters with.
     pub fn last_frequent(&self) -> ItemId {
         self.last_frequent
+    }
+
+    /// The shared transition index derived at construction (see the
+    /// [reuse contract](desq_core::fst::index)).
+    pub fn index(&self) -> &FstIndex {
+        &self.index
     }
 
     /// Like [`Self::filtered_outputs`], exposed for D-CAND's run collection.
@@ -352,14 +612,35 @@ mod tests {
     }
 
     #[test]
-    fn grid_and_enumeration_agree_on_toy() {
+    fn flat_dp_and_enumeration_agree_on_toy() {
         let fx = toy::fixture();
+        let mut scratch = PivotScratch::default();
         for sigma in 1..=5 {
             let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(sigma));
             for seq in &fx.db.sequences {
-                let grid: Vec<ItemId> = search.pivots(seq).iter().map(|p| p.item).collect();
+                let dp: Vec<ItemId> = search
+                    .pivots_with(seq, &mut scratch)
+                    .iter()
+                    .map(|p| p.item)
+                    .collect();
                 let enumerated = search.pivots_enumerated(seq, usize::MAX).unwrap();
-                assert_eq!(grid, enumerated, "σ={sigma}, seq {seq:?}");
+                assert_eq!(dp, enumerated, "σ={sigma}, seq {seq:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch across all sequences and σ values must behave like a
+        // fresh one per call (no state leaks between sequences).
+        let fx = toy::fixture();
+        let mut shared = PivotScratch::default();
+        for sigma in 1..=5 {
+            let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(sigma));
+            for seq in &fx.db.sequences {
+                let reused = search.pivots_with(seq, &mut shared);
+                let fresh = search.pivots(seq);
+                assert_eq!(reused, fresh, "σ={sigma}, seq {seq:?}");
             }
         }
     }
@@ -410,6 +691,19 @@ mod tests {
                             .unwrap();
                     assert_eq!(full, cut, "σ={sigma}, pivot {} of {seq:?}", pr.item);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_ranges_match_flat_ranges() {
+        let fx = toy::fixture();
+        for sigma in 1..=4u64 {
+            let search = PivotSearch::new(&fx.fst, &fx.dict, fx.dict.last_frequent(sigma));
+            for seq in &fx.db.sequences {
+                let dp = search.pivots(seq);
+                let en = search.pivots_enumerated_ranges(seq, usize::MAX).unwrap();
+                assert_eq!(dp, en, "σ={sigma}, seq {seq:?}");
             }
         }
     }

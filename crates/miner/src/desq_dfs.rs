@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
-use desq_core::fst::{InputLabel, OutputLabel};
+use desq_core::fst::FstIndex;
 use desq_core::{Dictionary, Fst, ItemId, Sequence, SequenceDb, EPSILON};
 
 /// Configuration of a [`LocalMiner`].
@@ -110,12 +110,30 @@ pub struct LocalMiner<'a> {
     config: MinerConfig,
     /// Largest frequent fid, resolved once at construction.
     last_frequent: ItemId,
-    /// Derived per-state transition index (see [`FstIndex`]).
-    index: FstIndex,
+    /// Derived per-state transition index ([`FstIndex`]) — owned by
+    /// default, borrowed when the caller amortizes one index across many
+    /// miners (D-SEQ builds a miner per pivot partition over one FST).
+    index: IndexHolder<'a>,
     /// Largest frequent vocabulary that still uses dense (vocabulary-
     /// indexed) node grouping; larger vocabularies sort instead. Only
     /// tests override [`MAX_DENSE_ITEMS`].
     dense_limit: usize,
+}
+
+/// Owned-or-shared [`FstIndex`] (see [`LocalMiner::with_index`]).
+enum IndexHolder<'a> {
+    Owned(FstIndex),
+    Shared(&'a FstIndex),
+}
+
+impl IndexHolder<'_> {
+    #[inline]
+    fn get(&self) -> &FstIndex {
+        match self {
+            IndexHolder::Owned(ix) => ix,
+            IndexHolder::Shared(ix) => ix,
+        }
+    }
 }
 
 /// One projected-database posting, packed
@@ -160,167 +178,45 @@ fn p_eps(p: Posting) -> bool {
     p as u32 & EPS_FLAG != 0
 }
 
-/// Derived, per-miner view of the FST used by table building and the DFS
-/// walk: transitions get dense global indices (their bit in a position's
-/// match mask), output labels are interned, and each state's transitions
-/// are a CSR slice of compact [`TrRef`]s — the whole structure stays
-/// cache-resident while per-sequence data is streamed.
-struct FstIndex {
-    /// Match-mask words per position (`⌈|Δ| / 64⌉`).
-    words: usize,
-    /// Distinct non-ε output labels in intern order.
-    labels: Vec<OutputLabel>,
-    /// Per label: union of the label's transition bits (is any transition
-    /// with this label matching at a position?).
-    label_masks: Vec<Vec<u64>>,
-    /// Input labels in global transition order (mask bit order), with the
-    /// target state for the aliveness pruning of the masks.
-    inputs: Vec<(InputLabel, u32)>,
-    /// Distinct input labels with the union bit mask of their transitions:
-    /// the mask build evaluates each distinct label once per position
-    /// instead of once per transition.
-    distinct_inputs: Vec<(InputLabel, Vec<u64>)>,
-    /// All states' transitions, flattened; state `q` owns
-    /// `trs[state_offsets[q]..state_offsets[q + 1]]`.
-    trs: Vec<TrRef>,
-    state_offsets: Vec<u32>,
-    /// Per state: can an output-producing transition still be reached via
-    /// ε-output transitions? The closure walk never enters states where
-    /// this is `false` (e.g. the trailing `.*` of unanchored constraints) —
-    /// they accept input but can only produce ε forever.
-    can_output: Vec<bool>,
-}
-
-/// A transition inside [`FstIndex`]: its bit in the per-position match
-/// mask, its target state, and its interned output label (`-1` = ε).
-#[derive(Clone, Copy)]
-struct TrRef {
-    mask: u64,
-    word: u16,
-    /// Interned output-label index, or `-1` for ε output.
-    label: i16,
-    to: u32,
-}
-
-impl FstIndex {
-    fn new(fst: &Fst) -> FstIndex {
-        let mut labels: Vec<OutputLabel> = Vec::new();
-        let mut inputs: Vec<(InputLabel, u32)> = Vec::new();
-        let mut trs: Vec<TrRef> = Vec::new();
-        let mut state_offsets: Vec<u32> = Vec::with_capacity(fst.num_states() + 1);
-        state_offsets.push(0);
-        for q in 0..fst.num_states() as u32 {
-            for tr in fst.transitions(q) {
-                let d = inputs.len();
-                inputs.push((tr.input, tr.to));
-                let label = if matches!(tr.output, OutputLabel::None) {
-                    -1
-                } else {
-                    match labels.iter().position(|&l| l == tr.output) {
-                        Some(i) => i as i16,
-                        None => {
-                            labels.push(tr.output);
-                            labels.len() as i16 - 1
-                        }
-                    }
-                };
-                trs.push(TrRef {
-                    mask: 1u64 << (d % 64),
-                    word: (d / 64) as u16,
-                    label,
-                    to: tr.to,
-                });
-            }
-            state_offsets.push(trs.len() as u32);
-        }
-        // The packed TrRef fields must not wrap (unreachable for compiled
-        // pattern expressions, but cheap to guarantee).
-        assert!(
-            labels.len() <= i16::MAX as usize,
-            "FST has too many distinct output labels to index"
-        );
-        assert!(
-            inputs.len() <= 64 * (u16::MAX as usize + 1),
-            "FST has too many transitions to index"
-        );
-        let words = inputs.len().div_ceil(64).max(1);
-        let mut label_masks = vec![vec![0u64; words]; labels.len()];
-        for tr in &trs {
-            if tr.label >= 0 {
-                label_masks[tr.label as usize][tr.word as usize] |= tr.mask;
-            }
-        }
-        let mut distinct_inputs: Vec<(InputLabel, Vec<u64>)> = Vec::new();
-        for (d, &(input, _)) in inputs.iter().enumerate() {
-            let bits = match distinct_inputs.iter_mut().find(|(l, _)| *l == input) {
-                Some((_, bits)) => bits,
-                None => {
-                    distinct_inputs.push((input, vec![0u64; words]));
-                    &mut distinct_inputs.last_mut().unwrap().1
-                }
-            };
-            bits[d / 64] |= 1 << (d % 64);
-        }
-        let nq = fst.num_states();
-        let mut can_output: Vec<bool> = (0..nq as u32)
-            .map(|q| fst.transitions(q).iter().any(|tr| tr.produces_output()))
-            .collect();
-        loop {
-            let mut changed = false;
-            for q in 0..nq as u32 {
-                if !can_output[q as usize]
-                    && fst.transitions(q).iter().any(|tr| {
-                        matches!(tr.output, OutputLabel::None) && can_output[tr.to as usize]
-                    })
-                {
-                    can_output[q as usize] = true;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        FstIndex {
-            words,
-            labels,
-            label_masks,
-            inputs,
-            distinct_inputs,
-            trs,
-            state_offsets,
-            can_output,
-        }
-    }
-
-    /// Transitions of state `q`.
-    #[inline]
-    fn state(&self, q: usize) -> &[TrRef] {
-        &self.trs[self.state_offsets[q] as usize..self.state_offsets[q + 1] as usize]
-    }
-}
-
-/// Flat per-sequence simulation tables, built once per input sequence by
+/// Flat per-sequence simulation tables for one input collection, built by
 /// [`LocalMiner::prepare_tables`] and immutable during the DFS.
 ///
-/// Everything the search-tree expansion needs about one input sequence is
-/// precomputed here, bit-packed to keep the per-node memory traffic low:
+/// Everything the search-tree expansion needs about the input sequences is
+/// precomputed here, bit-packed to keep the per-node memory traffic low.
+/// Per sequence:
 ///
-/// * `mask[i * W ..]` — the position's *match mask*: bit `δ` is set iff
-///   FST transition `δ` matches the input item at position `i` *and* its
-///   target lies on an accepting run (the position–state grid of Sec. V-A,
-///   folded into the match bits — one bit test replaces the ancestor
-///   binary search plus the grid lookup);
+/// * *match masks* — bit `δ` of position `i`'s mask is set iff FST
+///   transition `δ` matches the input item at `i` *and* its target lies on
+///   an accepting run (the position–state grid of Sec. V-A, folded into
+///   the match bits — one bit test replaces the ancestor binary search
+///   plus the grid lookup);
 /// * `eps_fin` — bitset memoizing "the rest of the sequence can be consumed
 ///   producing only ε, ending in a final state" (the emission test);
 /// * `offsets`/`outs` — for every `(position, output label)` pair, an
-///   arena slice of `outs` holding the label's output set
-///   on the position's item, already filtered by the `max_item` partition
-///   bound, the frequent-item boundary and the early-stopping heuristic.
+///   arena slice holding the label's output set on the position's item,
+///   already filtered by the `max_item` partition bound, the frequent-item
+///   boundary and the early-stopping heuristic.
 ///
-/// Sequences without an accepting run get an empty table (`accepts()` is
+/// All per-sequence data lives in **shared arenas** with one descriptor
+/// (`SeqMeta`) per sequence: building tables for N inputs costs a
+/// constant number of allocations, not 4·N — D-SEQ's reducers build these
+/// for every `(pivot, rewritten sequence)` record, where per-table heap
+/// churn used to dominate the whole reduce phase.
+///
+/// Sequences without an accepting run get an empty table (`accepts(s)` is
 /// `false`) and are skipped by the root projection.
 pub struct SeqTables {
+    metas: Vec<SeqMeta>,
+    mask: Vec<u64>,
+    eps_fin: Vec<u64>,
+    offsets: Vec<OutRef>,
+    /// Arena of precomputed output items, sliced by `offsets` (indices
+    /// relative to each sequence's `outs_start`).
+    outs: Vec<ItemId>,
+}
+
+/// Per-sequence descriptor into the [`SeqTables`] arenas.
+struct SeqMeta {
     weight: u64,
     /// True iff the FST accepts the sequence.
     accepts: bool,
@@ -328,16 +224,15 @@ pub struct SeqTables {
     num_states: usize,
     words: usize,
     num_labels: usize,
-    mask: Vec<u64>,
-    eps_fin: Vec<u64>,
-    offsets: Vec<OutRef>,
-    /// Arena of precomputed output items, sliced by `offsets`.
-    outs: Vec<ItemId>,
+    mask_start: usize,
+    eps_start: usize,
+    off_start: usize,
+    outs_start: usize,
 }
 
-/// One filtered output set as an arena slice; `start..mid` survives early
-/// stopping even while the prefix lacks the pivot item, `mid..end` only
-/// once it has it.
+/// One filtered output set as an arena slice (relative to the sequence's
+/// `outs_start`); `start..mid` survives early stopping even while the
+/// prefix lacks the pivot item, `mid..end` only once it has it.
 #[derive(Clone, Copy, Default)]
 struct OutRef {
     start: u32,
@@ -345,31 +240,159 @@ struct OutRef {
     end: u32,
 }
 
-impl SeqTables {
-    /// True iff the FST accepts this sequence (i.e. it contributes to the
-    /// root projection).
-    pub fn accepts(&self) -> bool {
-        self.accepts
-    }
+/// Borrowed per-sequence view into the [`SeqTables`] arenas — the same
+/// shape the DFS walked when each sequence owned its buffers, constructed
+/// once per sequence per node.
+#[derive(Clone, Copy)]
+struct TableView<'a> {
+    weight: u64,
+    accepts: bool,
+    len: usize,
+    num_states: usize,
+    words: usize,
+    num_labels: usize,
+    mask: &'a [u64],
+    eps_fin: &'a [u64],
+    offsets: &'a [OutRef],
+    outs: &'a [ItemId],
+}
 
-    /// Number of matching `(position, transition)` pairs precomputed in the
-    /// match masks.
-    pub fn num_match_bits(&self) -> usize {
-        self.mask.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Bits needed by a visited-set over this table's `(i, q)` grid.
-    fn cell_bits(&self) -> usize {
-        if self.accepts {
-            (self.len + 1) * self.num_states
-        } else {
-            0
-        }
-    }
-
+impl TableView<'_> {
     #[inline]
     fn eps_fin_bit(&self, cell: usize) -> bool {
         self.eps_fin[cell / 64] >> (cell % 64) & 1 != 0
+    }
+}
+
+impl SeqTables {
+    fn new() -> SeqTables {
+        SeqTables {
+            metas: Vec::new(),
+            mask: Vec::new(),
+            eps_fin: Vec::new(),
+            offsets: Vec::new(),
+            outs: Vec::new(),
+        }
+    }
+
+    /// Number of input sequences the tables were built for.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True iff no tables were built.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// True iff the FST accepts sequence `s` (i.e. it contributes to the
+    /// root projection).
+    pub fn accepts(&self, s: usize) -> bool {
+        self.metas[s].accepts
+    }
+
+    /// Number of matching `(position, transition)` pairs precomputed in
+    /// sequence `s`'s match masks.
+    pub fn num_match_bits(&self, s: usize) -> usize {
+        let m = &self.metas[s];
+        if !m.accepts {
+            return 0;
+        }
+        self.mask[m.mask_start..m.mask_start + m.len * m.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// The per-sequence view used by the DFS walk (rejected sequences get
+    /// an empty view with `accepts == false`).
+    #[inline]
+    fn view(&self, s: usize) -> TableView<'_> {
+        let m = &self.metas[s];
+        if !m.accepts {
+            return TableView {
+                weight: m.weight,
+                accepts: false,
+                len: m.len,
+                num_states: m.num_states,
+                words: m.words,
+                num_labels: m.num_labels,
+                mask: &[],
+                eps_fin: &[],
+                offsets: &[],
+                outs: &[],
+            };
+        }
+        let bwords = ((m.len + 1) * m.num_states).div_ceil(64).max(1);
+        TableView {
+            weight: m.weight,
+            accepts: true,
+            len: m.len,
+            num_states: m.num_states,
+            words: m.words,
+            num_labels: m.num_labels,
+            mask: &self.mask[m.mask_start..m.mask_start + m.len * m.words],
+            eps_fin: &self.eps_fin[m.eps_start..m.eps_start + bwords],
+            offsets: &self.offsets[m.off_start..m.off_start + m.len * m.num_labels],
+            outs: &self.outs[m.outs_start..],
+        }
+    }
+
+    /// All per-sequence views, in input order.
+    fn views(&self) -> Vec<TableView<'_>> {
+        (0..self.metas.len()).map(|s| self.view(s)).collect()
+    }
+
+    /// Appends another set's tables (a parallel build chunk), rebasing the
+    /// descriptors onto this set's arenas.
+    fn append(&mut self, other: SeqTables) {
+        let (mb, eb, ob, ub) = (
+            self.mask.len(),
+            self.eps_fin.len(),
+            self.offsets.len(),
+            self.outs.len(),
+        );
+        self.metas.extend(other.metas.into_iter().map(|m| SeqMeta {
+            mask_start: m.mask_start + mb,
+            eps_start: m.eps_start + eb,
+            off_start: m.off_start + ob,
+            outs_start: m.outs_start + ub,
+            ..m
+        }));
+        self.mask.extend_from_slice(&other.mask);
+        self.eps_fin.extend_from_slice(&other.eps_fin);
+        self.offsets.extend_from_slice(&other.offsets);
+        self.outs.extend_from_slice(&other.outs);
+    }
+}
+
+/// The pivot-independent simulation core of one sequence: match masks with
+/// grid aliveness folded in, and the ε-completion bitset.
+///
+/// Pivot bounds, early stopping and σ only affect the per-call output
+/// arenas — never the core — so a core built once per distinct sequence
+/// ([`LocalMiner::prepare_core`]) can be mined under many pivot
+/// configurations via [`LocalMiner::mine_prepared`]. D-SEQ's reducers
+/// cache cores per distinct shuffled payload, sharing them across all the
+/// pivot partitions of a reduce bucket.
+///
+/// A core is valid for the `(FST, dictionary)` pair of the miner that
+/// built it (any miner over the same pair works — see the
+/// [`FstIndex` reuse contract](desq_core::fst::index)) and for the exact
+/// item sequence passed in.
+pub struct SeqCore {
+    accepts: bool,
+    len: usize,
+    num_states: usize,
+    words: usize,
+    mask: Vec<u64>,
+    eps_fin: Vec<u64>,
+}
+
+impl SeqCore {
+    /// True iff the FST accepts the sequence this core was built from.
+    pub fn accepts(&self) -> bool {
+        self.accepts
     }
 }
 
@@ -509,15 +532,26 @@ struct ExpandBufs {
 }
 
 impl ExpandBufs {
-    fn new(tables: &[SeqTables], last_frequent: ItemId, dense_limit: usize) -> ExpandBufs {
-        let bits = tables.iter().map(|t| t.cell_bits()).max().unwrap_or(0);
+    fn new(views: &[TableView<'_>], item_bound: ItemId, dense_limit: usize) -> ExpandBufs {
+        let bits = views
+            .iter()
+            .filter(|v| v.accepts)
+            .map(|v| (v.len + 1) * v.num_states)
+            .max()
+            .unwrap_or(0);
+        // Dense grouping pays an O(item bound) accumulator allocation and
+        // clear per miner. That amortizes over a database-sized input but
+        // dwarfs the work of a tiny partition (D-SEQ reducers mine a few
+        // hundred weighted sequences per pivot key), so small inputs fall
+        // back to sort-based grouping regardless of vocabulary size.
+        let dense_cap = dense_limit.min(16 * views.len().max(1));
         ExpandBufs {
             walk: WalkBufs {
                 visited: vec![0; bits.div_ceil(64).max(1)],
                 touched: Vec::new(),
                 stack: Vec::new(),
             },
-            stats: ItemStats::new(last_frequent, dense_limit),
+            stats: ItemStats::new(item_bound, dense_cap),
             depths: Vec::new(),
         }
     }
@@ -534,9 +568,46 @@ impl<'a> LocalMiner<'a> {
             dict,
             config,
             last_frequent,
-            index: FstIndex::new(fst),
+            index: IndexHolder::Owned(FstIndex::new(fst)),
             dense_limit: MAX_DENSE_ITEMS,
         }
+    }
+
+    /// Creates a miner that borrows a pre-built [`FstIndex`] instead of
+    /// deriving its own.
+    ///
+    /// The index must have been built from the same `fst` (see the
+    /// [reuse contract](desq_core::fst::index)); sharing one index
+    /// amortizes its construction when many miners run over one FST —
+    /// D-SEQ's reducers build a [`LocalMiner`] per pivot partition.
+    pub fn with_index(
+        fst: &'a Fst,
+        dict: &'a Dictionary,
+        config: MinerConfig,
+        index: &'a FstIndex,
+    ) -> Self {
+        let last_frequent = config
+            .last_frequent
+            .unwrap_or_else(|| dict.last_frequent(config.sigma));
+        LocalMiner {
+            fst,
+            dict,
+            config,
+            last_frequent,
+            index: IndexHolder::Shared(index),
+            dense_limit: MAX_DENSE_ITEMS,
+        }
+    }
+
+    /// Largest item the dense per-item accumulators must index: the
+    /// partition bound caps it below the frequent vocabulary, so
+    /// pivot-restricted miners (one per reduce key in D-SEQ) allocate
+    /// `O(pivot)` instead of `O(vocabulary)` scratch.
+    #[inline]
+    fn item_bound(&self) -> ItemId {
+        self.config
+            .max_item
+            .map_or(self.last_frequent, |m| m.min(self.last_frequent))
     }
 
     /// Forces the sort-based (sparse) node grouping regardless of
@@ -553,6 +624,95 @@ impl<'a> LocalMiner<'a> {
         self.mine_with_workers(inputs, 1).0
     }
 
+    /// Builds the pivot-independent [`SeqCore`] of one sequence (the
+    /// expensive half of table building: match masks, grid aliveness and
+    /// the ε-completion DP).
+    pub fn prepare_core(&self, seq: &[ItemId]) -> SeqCore {
+        let mut scratch = PrepareScratch::default();
+        let mut core = SeqCore {
+            accepts: false,
+            len: seq.len(),
+            num_states: self.fst.num_states(),
+            words: self.index.get().words(),
+            mask: Vec::new(),
+            eps_fin: Vec::new(),
+        };
+        core.accepts = self.build_core_into(seq, &mut scratch, &mut core.mask, &mut core.eps_fin);
+        core
+    }
+
+    /// Mines weighted inputs whose [`SeqCore`]s were prepared earlier
+    /// (possibly by a *different* miner over the same FST and dictionary):
+    /// only the pivot-dependent output arenas are rebuilt under this
+    /// miner's configuration. Single-threaded — the partition-per-key
+    /// reducers that benefit from core sharing parallelize across keys,
+    /// not within them.
+    pub fn mine_prepared(&self, inputs: &[(&[ItemId], &SeqCore, u64)]) -> Vec<(Sequence, u64)> {
+        let l = self.index.get().num_labels();
+        let mut offsets: Vec<OutRef> = Vec::new();
+        let mut outs: Vec<ItemId> = Vec::new();
+        let mut starts: Vec<(usize, usize)> = Vec::with_capacity(inputs.len());
+        let mut outbuf: Vec<ItemId> = Vec::new();
+        for &(seq, core, _) in inputs {
+            debug_assert_eq!(seq.len(), core.len, "core built from a different sequence");
+            starts.push((offsets.len(), outs.len()));
+            if core.accepts {
+                let base = outs.len();
+                self.build_outputs_into(
+                    seq,
+                    &core.mask,
+                    &mut offsets,
+                    &mut outs,
+                    base,
+                    &mut outbuf,
+                );
+            }
+        }
+        let views: Vec<TableView<'_>> = inputs
+            .iter()
+            .zip(&starts)
+            .map(|(&(_, core, weight), &(o0, u0))| TableView {
+                weight,
+                accepts: core.accepts,
+                len: core.len,
+                num_states: core.num_states,
+                words: core.words,
+                num_labels: l,
+                mask: &core.mask,
+                eps_fin: &core.eps_fin,
+                offsets: if core.accepts {
+                    &offsets[o0..o0 + core.len * l]
+                } else {
+                    &[]
+                },
+                outs: &outs[u0..],
+            })
+            .collect();
+        self.mine_views(&views)
+    }
+
+    /// Single-threaded mining over prepared views.
+    fn mine_views(&self, views: &[TableView<'_>]) -> Vec<(Sequence, u64)> {
+        let roots = self.root_postings(views);
+        let mut out = Vec::new();
+        let mut bufs = ExpandBufs::new(views, self.item_bound(), self.dense_limit);
+        let mut prefix = Sequence::new();
+        self.expand(
+            views,
+            &roots,
+            0,
+            self.config.require_pivot.is_none(),
+            0,
+            &mut prefix,
+            &mut bufs,
+            &mut |p, f| {
+                out.push((p, f));
+                true
+            },
+        );
+        crate::sort_patterns(out)
+    }
+
     /// Mines with `workers` threads by sharding the root node's first-level
     /// children: each worker runs an independent sub-DFS over its share of
     /// the search tree; per-worker results are merged and sorted once.
@@ -567,16 +727,17 @@ impl<'a> LocalMiner<'a> {
     ) -> (Vec<(Sequence, u64)>, Vec<u64>) {
         let workers = workers.max(1);
         let tables = self.prepare_tables(inputs, workers);
-        let roots = self.root_postings(&tables);
+        let views = tables.views();
+        let roots = self.root_postings(&views);
         let root_has_pivot = self.config.require_pivot.is_none();
 
         if workers == 1 {
             let t0 = Instant::now();
             let mut out = Vec::new();
-            let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+            let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
             let mut prefix = Sequence::new();
             self.expand(
-                &tables,
+                &views,
                 &roots,
                 0,
                 root_has_pivot,
@@ -594,10 +755,10 @@ impl<'a> LocalMiner<'a> {
             );
         }
 
-        let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+        let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
         let mut first = DepthBufs::default();
         self.collect_children(
-            &tables,
+            &views,
             &roots,
             root_has_pivot,
             &mut bufs.walk,
@@ -609,13 +770,13 @@ impl<'a> LocalMiner<'a> {
         let collected: Mutex<Vec<Vec<(Sequence, u64)>>> = Mutex::new(Vec::new());
         let timings: Mutex<Vec<u64>> = Mutex::new(Vec::new());
         crossbeam::thread::scope(|s| {
-            let (tables, first) = (&tables, &first);
+            let (views, first) = (&views, &first);
             let (next, collected, timings) = (&next, &collected, &timings);
             for _ in 0..workers {
                 s.spawn(move |_| {
                     let t0 = Instant::now();
                     let mut out = Vec::new();
-                    let mut bufs = ExpandBufs::new(tables, self.last_frequent, self.dense_limit);
+                    let mut bufs = ExpandBufs::new(views, self.item_bound(), self.dense_limit);
                     loop {
                         let r = next.fetch_add(1, Ordering::Relaxed);
                         if r >= first.runs.len() {
@@ -625,7 +786,7 @@ impl<'a> LocalMiner<'a> {
                         let mut prefix = vec![w];
                         let has_pivot = root_has_pivot || Some(w) == self.config.require_pivot;
                         self.expand(
-                            tables,
+                            views,
                             &first.grouped[range.clone()],
                             0,
                             has_pivot,
@@ -680,14 +841,15 @@ impl<'a> LocalMiner<'a> {
     ) -> bool {
         let workers = workers.max(1);
         let tables = self.prepare_tables(inputs, workers);
-        let roots = self.root_postings(&tables);
+        let views = tables.views();
+        let roots = self.root_postings(&views);
         let root_has_pivot = self.config.require_pivot.is_none();
 
         if workers == 1 {
-            let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+            let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
             let mut prefix = Sequence::new();
             return self.expand(
-                &tables,
+                &views,
                 &roots,
                 0,
                 root_has_pivot,
@@ -698,10 +860,10 @@ impl<'a> LocalMiner<'a> {
             );
         }
 
-        let mut bufs = ExpandBufs::new(&tables, self.last_frequent, self.dense_limit);
+        let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
         let mut first = DepthBufs::default();
         self.collect_children(
-            &tables,
+            &views,
             &roots,
             root_has_pivot,
             &mut bufs.walk,
@@ -713,12 +875,12 @@ impl<'a> LocalMiner<'a> {
         let cancel = AtomicBool::new(false);
         let (tx, rx) = mpsc::sync_channel::<(Sequence, u64)>(1024);
         crossbeam::thread::scope(|s| {
-            let (tables, first) = (&tables, &first);
+            let (views, first) = (&views, &first);
             let (next, cancel) = (&next, &cancel);
             for _ in 0..workers {
                 let tx = tx.clone();
                 s.spawn(move |_| {
-                    let mut bufs = ExpandBufs::new(tables, self.last_frequent, self.dense_limit);
+                    let mut bufs = ExpandBufs::new(views, self.item_bound(), self.dense_limit);
                     loop {
                         if cancel.load(Ordering::Relaxed) {
                             break;
@@ -731,7 +893,7 @@ impl<'a> LocalMiner<'a> {
                         let mut prefix = vec![w];
                         let has_pivot = root_has_pivot || Some(w) == self.config.require_pivot;
                         self.expand(
-                            tables,
+                            views,
                             &first.grouped[range.clone()],
                             0,
                             has_pivot,
@@ -761,45 +923,51 @@ impl<'a> LocalMiner<'a> {
     /// Builds the flat simulation tables ([`SeqTables`]) for every input
     /// sequence, `workers` at a time. This is the preprocessing the DFS
     /// amortizes: afterwards expansion is pure bit tests and arena slices.
-    pub fn prepare_tables(&self, inputs: &[WeightedInput<'_>], workers: usize) -> Vec<SeqTables> {
+    pub fn prepare_tables(&self, inputs: &[WeightedInput<'_>], workers: usize) -> SeqTables {
         let workers = workers.max(1).min(inputs.len().max(1));
         if workers == 1 {
             let mut scratch = PrepareScratch::default();
-            return inputs
-                .iter()
-                .map(|&(seq, w)| self.prepare(seq, w, &mut scratch))
-                .collect();
+            let mut set = SeqTables::new();
+            for &(seq, w) in inputs {
+                self.prepare_into(seq, w, &mut scratch, &mut set);
+            }
+            return set;
         }
         let chunk = inputs.len().div_ceil(workers);
-        let results: Mutex<Vec<(usize, Vec<SeqTables>)>> = Mutex::new(Vec::new());
+        let results: Mutex<Vec<(usize, SeqTables)>> = Mutex::new(Vec::new());
         crossbeam::thread::scope(|s| {
             let results = &results;
             for (idx, part) in inputs.chunks(chunk).enumerate() {
                 s.spawn(move |_| {
                     let mut scratch = PrepareScratch::default();
-                    let tables: Vec<SeqTables> = part
-                        .iter()
-                        .map(|&(seq, w)| self.prepare(seq, w, &mut scratch))
-                        .collect();
-                    results.lock().unwrap().push((idx, tables));
+                    let mut set = SeqTables::new();
+                    for &(seq, w) in part {
+                        self.prepare_into(seq, w, &mut scratch, &mut set);
+                    }
+                    results.lock().unwrap().push((idx, set));
                 });
             }
         })
         .expect("table-build worker panicked");
         let mut chunks = results.into_inner().unwrap();
         chunks.sort_by_key(|&(idx, _)| idx);
-        chunks.into_iter().flat_map(|(_, t)| t).collect()
+        let mut set = SeqTables::new();
+        for (_, part) in chunks {
+            set.append(part);
+        }
+        set
     }
 
     /// Number of σ-frequent first-level children of the root node (the
     /// shard units of parallel mining). Exposed for the kernel benchmarks.
     #[doc(hidden)]
-    pub fn first_level_count(&self, tables: &[SeqTables]) -> usize {
-        let roots = self.root_postings(tables);
-        let mut bufs = ExpandBufs::new(tables, self.last_frequent, self.dense_limit);
+    pub fn first_level_count(&self, tables: &SeqTables) -> usize {
+        let views = tables.views();
+        let roots = self.root_postings(&views);
+        let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
         let mut first = DepthBufs::default();
         self.collect_children(
-            tables,
+            &views,
             &roots,
             self.config.require_pivot.is_none(),
             &mut bufs.walk,
@@ -809,26 +977,66 @@ impl<'a> LocalMiner<'a> {
         first.runs.len()
     }
 
-    /// Builds one sequence's [`SeqTables`]: match masks, grid aliveness,
-    /// ε-completion DP, and the filtered output arena.
-    fn prepare(&self, seq: &[ItemId], weight: u64, scratch: &mut PrepareScratch) -> SeqTables {
-        let ix = &self.index;
+    /// Builds one sequence's tables — match masks, grid aliveness,
+    /// ε-completion DP, and the filtered output arena — appending into the
+    /// set's shared arenas (no per-sequence allocation).
+    fn prepare_into(
+        &self,
+        seq: &[ItemId],
+        weight: u64,
+        scratch: &mut PrepareScratch,
+        set: &mut SeqTables,
+    ) {
+        let ix = self.index.get();
+        let n = seq.len();
+        let mask_start = set.mask.len();
+        let eps_start = set.eps_fin.len();
+        let off_start = set.offsets.len();
+        let outs_start = set.outs.len();
+
+        let accepts = self.build_core_into(seq, scratch, &mut set.mask, &mut set.eps_fin);
+        if accepts {
+            let (mask, offsets, outs) = (&set.mask[mask_start..], &mut set.offsets, &mut set.outs);
+            self.build_outputs_into(seq, mask, offsets, outs, outs_start, &mut scratch.outbuf);
+        }
+        set.metas.push(SeqMeta {
+            weight,
+            accepts,
+            len: n,
+            num_states: self.fst.num_states(),
+            words: ix.words(),
+            num_labels: ix.num_labels(),
+            mask_start,
+            eps_start,
+            off_start,
+            outs_start,
+        });
+    }
+
+    /// The pivot-independent half of table building: match masks with grid
+    /// aliveness folded in, and the ε-completion bitset, appended to
+    /// `mask`/`eps_fin`. Returns whether the FST accepts the sequence; on
+    /// rejection the buffers are truncated back to their input lengths.
+    fn build_core_into(
+        &self,
+        seq: &[ItemId],
+        scratch: &mut PrepareScratch,
+        mask_buf: &mut Vec<u64>,
+        eps_buf: &mut Vec<u64>,
+    ) -> bool {
+        let ix = self.index.get();
         let n = seq.len();
         let qn = self.fst.num_states();
-        let w = ix.words;
+        let w = ix.words();
+        let mask_start = mask_buf.len();
+        let eps_start = eps_buf.len();
 
         // 1. Per-position match masks: one ancestor check per (position,
         //    distinct input label), never repeated afterwards.
-        let mut mask = vec![0u64; n * w];
+        mask_buf.resize(mask_start + n * w, 0);
+        let mask = &mut mask_buf[mask_start..];
         for (i, &t) in seq.iter().enumerate() {
-            let row = &mut mask[i * w..(i + 1) * w];
-            for (input, bits) in &ix.distinct_inputs {
-                if input.matches(t, self.dict) {
-                    for (r, b) in row.iter_mut().zip(bits) {
-                        *r |= b;
-                    }
-                }
-            }
+            ix.fill_match_row(t, self.dict, &mut mask[i * w..(i + 1) * w]);
         }
 
         // 2. Forward reachability, then aliveness (the grid of Sec. V-A).
@@ -851,13 +1059,15 @@ impl<'a> LocalMiner<'a> {
         }
         // Backward sweep fusing three row-chained passes: aliveness DP,
         // aliveness-pruning of the match bits, and the ε-completion DP.
-        let mut eps_fin = vec![0u64; bwords];
+        eps_buf.resize(eps_start + bwords, 0);
+        let mask = &mut mask_buf[mask_start..];
+        let eps_fin = &mut eps_buf[eps_start..];
         for q in 0..qn as u32 {
             if get_bit(fwd, n * qn + q as usize) && self.fst.is_final(q) {
                 set_bit(alive, n * qn + q as usize);
             }
             if self.fst.is_final(q) {
-                set_bit(&mut eps_fin, n * qn + q as usize);
+                set_bit(eps_fin, n * qn + q as usize);
             }
         }
         for i in (0..n).rev() {
@@ -881,7 +1091,7 @@ impl<'a> LocalMiner<'a> {
             // per transition and the aliveness bitset itself is dropped.
             // (A dead *source* keeps its bits, but no walk ever reaches
             // it.)
-            for (d, &(_, to)) in ix.inputs.iter().enumerate() {
+            for (d, &(_, to)) in ix.inputs().iter().enumerate() {
                 if !get_bit(alive, (i + 1) * qn + to as usize) {
                     row[d / 64] &= !(1 << (d % 64));
                 }
@@ -895,51 +1105,52 @@ impl<'a> LocalMiner<'a> {
                 let ok = ix.state(q).iter().any(|tr| {
                     tr.label < 0
                         && row[tr.word as usize] & tr.mask != 0
-                        && get_bit(&eps_fin, (i + 1) * qn + tr.to as usize)
+                        && get_bit(eps_fin, (i + 1) * qn + tr.to as usize)
                 });
                 if ok {
-                    set_bit(&mut eps_fin, i * qn + q);
+                    set_bit(eps_fin, i * qn + q);
                 }
             }
         }
         if !get_bit(alive, self.fst.initial() as usize) {
-            return SeqTables {
-                weight,
-                accepts: false,
-                len: n,
-                num_states: qn,
-                words: w,
-                num_labels: ix.labels.len(),
-                mask: Vec::new(),
-                eps_fin: Vec::new(),
-                offsets: Vec::new(),
-                outs: Vec::new(),
-            };
+            mask_buf.truncate(mask_start);
+            eps_buf.truncate(eps_start);
+            return false;
         }
+        true
+    }
 
-        // 3. Filtered output arena per (position, output label).
+    /// The pivot-*dependent* half of table building: the filtered output
+    /// arena per (position, output label), appended to `offsets`/`outs`
+    /// with indices relative to `outs_start`. `mask` is the sequence's
+    /// alive-folded mask rows from [`Self::build_core_into`].
+    fn build_outputs_into(
+        &self,
+        seq: &[ItemId],
+        mask: &[u64],
+        offsets: &mut Vec<OutRef>,
+        outs: &mut Vec<ItemId>,
+        outs_start: usize,
+        outbuf: &mut Vec<ItemId>,
+    ) {
+        let ix = self.index.get();
+        let w = ix.words();
         let max_item = self.config.max_item.unwrap_or(ItemId::MAX);
         let early_stop = self.config.early_stop && self.config.require_pivot.is_some();
         let pivot = self.config.require_pivot.unwrap_or(EPSILON);
         let last_pivot_pos = if early_stop {
-            self.fst
-                .last_pivot_position(seq, pivot, self.dict)
+            ix.last_pivot_position(seq, pivot, self.dict, outbuf)
                 .unwrap_or(usize::MAX)
         } else {
             usize::MAX
         };
-        let l = ix.labels.len();
-        let mut offsets: Vec<OutRef> = Vec::with_capacity(n * l);
-        let mut outs: Vec<ItemId> = Vec::new();
-        let outbuf = &mut scratch.outbuf;
+        let l = ix.num_labels();
+        offsets.reserve(seq.len() * l);
         for (i, &t) in seq.iter().enumerate() {
             let row = &mask[i * w..(i + 1) * w];
-            for (li, label) in ix.labels.iter().enumerate() {
-                let start = outs.len() as u32;
-                let used = ix.label_masks[li]
-                    .iter()
-                    .zip(row)
-                    .any(|(lm, m)| lm & m != 0);
+            for (li, label) in ix.labels().iter().enumerate() {
+                let start = (outs.len() - outs_start) as u32;
+                let used = ix.label_mask(li).iter().zip(row).any(|(lm, m)| lm & m != 0);
                 if !used {
                     offsets.push(OutRef::default());
                     continue;
@@ -952,36 +1163,23 @@ impl<'a> LocalMiner<'a> {
                 let usable = |w: ItemId| w <= max_item && w <= self.last_frequent;
                 let parked = |w: ItemId| early_stop && w != pivot && i >= last_pivot_pos;
                 outs.extend(outbuf.iter().copied().filter(|&w| usable(w) && !parked(w)));
-                let mid = outs.len() as u32;
+                let mid = (outs.len() - outs_start) as u32;
                 outs.extend(outbuf.iter().copied().filter(|&w| usable(w) && parked(w)));
                 offsets.push(OutRef {
                     start,
                     mid,
-                    end: outs.len() as u32,
+                    end: (outs.len() - outs_start) as u32,
                 });
             }
-        }
-
-        SeqTables {
-            weight,
-            accepts: true,
-            len: n,
-            num_states: qn,
-            words: w,
-            num_labels: l,
-            mask,
-            eps_fin,
-            offsets,
-            outs,
         }
     }
 
     /// The root projection: every accepted sequence at `(0, initial)`.
-    fn root_postings(&self, tables: &[SeqTables]) -> Vec<Posting> {
-        tables
+    fn root_postings(&self, views: &[TableView<'_>]) -> Vec<Posting> {
+        views
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.accepts)
+            .filter(|(_, v)| v.accepts)
             .map(|(s, _)| posting(EPSILON, s as u32, 0, self.fst.initial(), false))
             .collect()
     }
@@ -989,7 +1187,7 @@ impl<'a> LocalMiner<'a> {
     /// Prefix and emission support of one child run: the weighted count of
     /// distinct input sequences with any posting, and with any
     /// ε-flagged posting. Postings must be grouped by input index.
-    fn run_supports(tables: &[SeqTables], postings: &[Posting]) -> (u64, u64) {
+    fn run_supports(views: &[TableView<'_>], postings: &[Posting]) -> (u64, u64) {
         let mut support = 0u64;
         let mut emit = 0u64;
         let mut last: Option<u32> = None;
@@ -998,11 +1196,11 @@ impl<'a> LocalMiner<'a> {
             let s = p_seq(p);
             if last != Some(s) {
                 last = Some(s);
-                support += tables[s as usize].weight;
+                support += views[s as usize].weight;
             }
             if p_eps(p) && last_emit != Some(s) {
                 last_emit = Some(s);
-                emit += tables[s as usize].weight;
+                emit += views[s as usize].weight;
             }
         }
         (support, emit)
@@ -1024,26 +1222,26 @@ impl<'a> LocalMiner<'a> {
     /// distinct-sequence support counting is insensitive to them.
     fn collect_children(
         &self,
-        tables: &[SeqTables],
+        views: &[TableView<'_>],
         node: &[Posting],
         has_pivot: bool,
         walk: &mut WalkBufs,
         stats: &mut ItemStats,
         d: &mut DepthBufs,
     ) {
-        let ix = &self.index;
+        let ix = self.index.get();
         let sigma = self.config.sigma;
         d.raw.clear();
         let dense = stats.dense();
         let mut idx = 0;
         while idx < node.len() {
             let s = p_seq(node[idx]);
-            let t = &tables[s as usize];
+            let t = &views[s as usize];
             let (qn, w, l) = (t.num_states, t.words, t.num_labels);
             walk.stack.clear();
             while idx < node.len() && p_seq(node[idx]) == s {
                 let (i0, q0) = (p_pos(node[idx]), p_state(node[idx]));
-                if ix.can_output[q0 as usize] && walk.mark(i0 as usize * qn + q0 as usize) {
+                if ix.can_output(q0 as usize) && walk.mark(i0 as usize * qn + q0 as usize) {
                     walk.stack.push((i0, q0));
                 }
                 idx += 1;
@@ -1061,7 +1259,7 @@ impl<'a> LocalMiner<'a> {
                     }
                     if tr.label < 0 {
                         if iu + 1 < t.len
-                            && ix.can_output[tr.to as usize]
+                            && ix.can_output(tr.to as usize)
                             && walk.mark((iu + 1) * qn + tr.to as usize)
                         {
                             walk.stack.push((i + 1, tr.to));
@@ -1142,7 +1340,7 @@ impl<'a> LocalMiner<'a> {
                 while end < pairs.len() && p_item(pairs[end]) == w {
                     end += 1;
                 }
-                let (support, emit) = Self::run_supports(tables, &pairs[start..end]);
+                let (support, emit) = Self::run_supports(views, &pairs[start..end]);
                 if support >= sigma {
                     d.runs.push((w, start..end, emit));
                 }
@@ -1157,7 +1355,7 @@ impl<'a> LocalMiner<'a> {
     #[allow(clippy::too_many_arguments)]
     fn expand(
         &self,
-        tables: &[SeqTables],
+        views: &[TableView<'_>],
         node: &[Posting],
         depth: usize,
         has_pivot: bool,
@@ -1180,7 +1378,7 @@ impl<'a> LocalMiner<'a> {
         }
         let mut d = std::mem::take(&mut bufs.depths[depth]);
         self.collect_children(
-            tables,
+            views,
             node,
             has_pivot,
             &mut bufs.walk,
@@ -1195,7 +1393,7 @@ impl<'a> LocalMiner<'a> {
             prefix.push(*w);
             let child_pivot = has_pivot || Some(*w) == self.config.require_pivot;
             keep_going = self.expand(
-                tables,
+                views,
                 &d.grouped[range.clone()],
                 depth + 1,
                 child_pivot,
@@ -1470,6 +1668,44 @@ mod tests {
     }
 
     #[test]
+    fn mine_prepared_matches_mine_across_pivot_configs() {
+        // Cores are pivot-independent: one core per sequence, mined under
+        // every pivot configuration, must match the from-scratch miner.
+        let fx = toy::fixture();
+        let inputs = unit_inputs(&fx.db);
+        let base = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1));
+        let cores: Vec<SeqCore> = fx
+            .db
+            .sequences
+            .iter()
+            .map(|s| base.prepare_core(s))
+            .collect();
+        // T3 is rejected; its core records that.
+        assert!(!cores[2].accepts());
+        assert!(cores[0].accepts());
+        for sigma in 1..=3 {
+            for k in 1..=fx.dict.max_fid() {
+                for early_stop in [false, true] {
+                    let cfg = MinerConfig::for_pivot(sigma, k, early_stop);
+                    let miner = LocalMiner::new(&fx.fst, &fx.dict, cfg);
+                    let prepared_inputs: Vec<(&[ItemId], &SeqCore, u64)> = fx
+                        .db
+                        .sequences
+                        .iter()
+                        .zip(&cores)
+                        .map(|(s, c)| (s.as_slice(), c, 1))
+                        .collect();
+                    assert_eq!(
+                        miner.mine_prepared(&prepared_inputs),
+                        miner.mine(&inputs),
+                        "sigma={sigma} k={k} stop={early_stop}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tables_mark_rejected_sequences_dead() {
         let fx = toy::fixture();
         let inputs = unit_inputs(&fx.db);
@@ -1477,16 +1713,18 @@ mod tests {
         let tables = miner.prepare_tables(&inputs, 2);
         assert_eq!(tables.len(), fx.db.len());
         // T3 = c d c b has no accepting run; its table is empty.
-        assert!(!tables[2].accepts());
-        assert_eq!(tables[2].num_match_bits(), 0);
+        assert!(!tables.accepts(2));
+        assert_eq!(tables.num_match_bits(2), 0);
         // Accepted sequences carry precomputed match bits.
-        assert!(tables[0].accepts());
-        assert!(tables[0].num_match_bits() > 0);
-        // Parallel and sequential table building agree.
+        assert!(tables.accepts(0));
+        assert!(tables.num_match_bits(0) > 0);
+        // Parallel and sequential table building agree (the parallel path
+        // rebases per-chunk arenas onto one set).
         let seq_tables = miner.prepare_tables(&inputs, 1);
-        for (a, b) in tables.iter().zip(&seq_tables) {
-            assert_eq!(a.accepts(), b.accepts());
-            assert_eq!(a.num_match_bits(), b.num_match_bits());
+        assert_eq!(seq_tables.len(), tables.len());
+        for s in 0..tables.len() {
+            assert_eq!(tables.accepts(s), seq_tables.accepts(s));
+            assert_eq!(tables.num_match_bits(s), seq_tables.num_match_bits(s));
         }
     }
 

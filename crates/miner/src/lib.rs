@@ -31,7 +31,7 @@ pub mod prefixspan;
 pub use desq_count::desq_count;
 #[allow(deprecated)]
 pub use desq_dfs::desq_dfs;
-pub use desq_dfs::{LocalMiner, MinerConfig, SeqTables, WeightedInput};
+pub use desq_dfs::{LocalMiner, MinerConfig, SeqCore, SeqTables, WeightedInput};
 pub use gapminer::GapMiner;
 pub use prefixspan::PrefixSpan;
 

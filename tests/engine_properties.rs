@@ -1,9 +1,10 @@
-//! Engine-level properties: partition balance (Sec. III-B of the paper) and
-//! equivalence of the parallel engine with a sequential fold.
+//! Engine-level properties: partition balance (Sec. III-B of the paper),
+//! equivalence of the parallel engine with a sequential fold, and
+//! round-trip identity of the shuffle codec.
 
 use proptest::prelude::*;
 
-use desq::bsp::Engine;
+use desq::bsp::{decode_item_seq, encode_item_seq, Engine};
 use desq::core::fx::FxHashMap;
 use desq::datagen::{amzn_like, to_forest, AmznConfig};
 use desq::session::{AlgorithmSpec, MiningSession};
@@ -88,9 +89,11 @@ proptest! {
         let (mut out, metrics) = engine
             .map_reduce(
                 &parts,
-                |seq: &Vec<u32>, emit: &mut dyn FnMut(u32, u64)| {
-                    for &x in seq {
-                        emit(x % 7, u64::from(x));
+                |part: &[Vec<u32>], emit: &mut dyn FnMut(u32, u64)| {
+                    for seq in part {
+                        for &x in seq {
+                            emit(x % 7, u64::from(x));
+                        }
                     }
                     Ok(())
                 },
@@ -107,6 +110,67 @@ proptest! {
         prop_assert_eq!(metrics.emitted_records as usize, records);
     }
 
+    /// The adaptive varint/delta item-sequence codec round-trips exactly —
+    /// including empty rewritten ranges and extreme item ids — when many
+    /// records are concatenated and decoded arena-style.
+    #[test]
+    fn item_seq_codec_roundtrips(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![0u32..100, 4_000_000_000u32..u32::MAX], 0..20),
+            0..12),
+    ) {
+        let mut buf = Vec::new();
+        for seq in &seqs {
+            encode_item_seq(seq, &mut buf);
+        }
+        let mut slice = buf.as_slice();
+        let mut arena: Vec<u32> = Vec::new();
+        let mut spans = Vec::new();
+        for _ in &seqs {
+            let start = arena.len();
+            let n = decode_item_seq(&mut slice, &mut arena).unwrap();
+            spans.push(start..start + n);
+        }
+        prop_assert!(slice.is_empty(), "decode must consume everything");
+        for (seq, span) in seqs.iter().zip(spans) {
+            prop_assert_eq!(&arena[span], seq.as_slice());
+        }
+    }
+
+    /// Weights survive the combine wire format exactly — including sums
+    /// beyond `u32::MAX` — and empty payloads are legal records.
+    #[test]
+    fn combine_weights_roundtrip(
+        weights in proptest::collection::vec(
+            prop_oneof![1u64..100, u64::from(u32::MAX)..u64::MAX / 8], 1..10),
+        payload in proptest::collection::vec(0u8..=255, 0..12),
+    ) {
+        let data: Vec<u64> = weights.clone();
+        let parts: Vec<&[u64]> = data.chunks(3).collect();
+        let engine = Engine::new(2).with_reducers(3);
+        let payload_ref = &payload;
+        let (out, _) = engine
+            .map_combine_reduce(
+                &parts,
+                |part: &[u64], c: &mut desq::bsp::Combiner<u32>| {
+                    for &w in part {
+                        c.emit(&7, payload_ref, w);
+                    }
+                    Ok(())
+                },
+                |&k: &u32, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((u32, u64))| {
+                    assert_eq!(vs.len(), 1, "identical records must merge");
+                    assert_eq!(vs[0].0, payload_ref.as_slice());
+                    emit((k, vs[0].1));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(out, vec![(7, total)]);
+    }
+
     /// The combiner never changes results, only record counts.
     #[test]
     fn combiner_is_transparent(
@@ -118,14 +182,21 @@ proptest! {
             let (mut out, m) = engine
                 .map_combine_reduce(
                     &parts,
-                    |seq: &Vec<u32>, emit: &mut dyn FnMut(u32, u32, u64)| {
-                        for &x in seq {
-                            emit(x % 3, x, 1);
+                    |part: &[Vec<u32>], c: &mut desq::bsp::Combiner<u32>| {
+                        for seq in part {
+                            for &x in seq {
+                                c.emit(&(x % 3), &x.to_le_bytes(), 1);
+                            }
                         }
                         Ok(())
                     },
-                    |&k, vs: Vec<(u32, u64)>, emit: &mut dyn FnMut((u32, u64))| {
-                        let total: u64 = vs.iter().map(|(v, w)| u64::from(*v) * w).sum();
+                    |&k, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((u32, u64))| {
+                        let total: u64 = vs
+                            .iter()
+                            .map(|(b, w)| {
+                                u64::from(u32::from_le_bytes((*b).try_into().unwrap())) * w
+                            })
+                            .sum();
                         emit((k, total));
                         Ok(())
                     },

@@ -153,6 +153,31 @@ proptest! {
         prop_assert_eq!(back, e, "display form: {}", shown);
     }
 
+    /// The flat pivot DP (bit-packed reachability + ⊕ merges over sorted
+    /// arrays, per-thread scratch) returns exactly the pivot *ranges* of
+    /// the run-enumeration oracle on random dictionaries, FSTs and
+    /// sequences — items and rewritten bounds alike — and scratch reuse
+    /// across sequences leaks no state.
+    #[test]
+    fn flat_pivot_dp_matches_enumeration(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // pattern references an absent item
+        };
+        let search = PivotSearch::new(&fst, &world.dict, world.dict.last_frequent(sigma));
+        let mut scratch = desq::dist::pivots::PivotScratch::default();
+        for seq in &world.db.sequences {
+            let oracle = match search.pivots_enumerated_ranges(seq, BUDGET) {
+                Ok(r) => r,
+                Err(_) => continue, // run explosion: oracle unavailable
+            };
+            let dp = search.pivots_with(seq, &mut scratch);
+            prop_assert_eq!(&dp, &oracle, "seq {:?}", seq);
+        }
+    }
+
     /// The grid pivot search equals the definition (pivots of G^σ_π(T)),
     /// and run-enumerated pivot search agrees.
     #[test]
