@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks of the hot kernels:
 //! FST simulation (grid construction), pivot search (grid DP vs run
 //! enumeration), the ⊕ pivot merge, NFA construction/minimization/
-//! serialization, shuffle codecs, and local mining.
+//! serialization, shuffle codecs, local mining, and the flat counting
+//! path (run-table build, run enumeration and interned counting vs the
+//! `candidates::generate` oracle).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use desq_bsp::Codec;
-use desq_core::fst::Grid;
-use desq_core::{Dictionary, Fst, SequenceDb};
+use desq_core::fst::{candidates, runs, CandidateCounter, FstIndex, Grid, RunScratch, RunWalker};
+use desq_core::fx::FxHashMap;
+use desq_core::{Dictionary, Fst, Sequence, SequenceDb};
 use desq_datagen::{nyt_like, NytConfig};
 use desq_dist::dcand::merge_pivots;
 use desq_dist::dcand::nfa::{Nfa, TrieBuilder};
@@ -154,10 +157,103 @@ fn bench_local_mining(c: &mut Criterion) {
     });
 }
 
+fn bench_counting(c: &mut Criterion) {
+    // The DESQ-COUNT workload shape: a selective constraint over many
+    // sequences, most of which are rejected — table build dominates.
+    let (dict, db) = nyt_like(&NytConfig::new(2_000));
+    let fst = desq_dist::patterns::n2().compile(&dict).unwrap();
+    let sigma = 10u64;
+    let max_item = dict.last_frequent(sigma);
+    let index = FstIndex::new(&fst);
+    let walker = RunWalker::new(&fst, &dict, &index, max_item);
+    let seqs: Vec<&Sequence> = db.sequences.iter().collect();
+
+    // Run-table build: flat walker tables vs the seed-era Grid.
+    c.bench_function("counting/run_table_build_n2_2k", |b| {
+        let mut scratch = RunScratch::default();
+        b.iter(|| {
+            let mut accepted = 0usize;
+            for seq in &seqs {
+                accepted += usize::from(walker.build_tables(seq, &mut scratch));
+            }
+            black_box(accepted)
+        })
+    });
+    c.bench_function("counting/grid_build_n2_2k", |b| {
+        b.iter(|| {
+            let mut accepted = 0usize;
+            for seq in &seqs {
+                accepted += usize::from(Grid::build(&fst, &dict, seq).accepts());
+            }
+            black_box(accepted)
+        })
+    });
+
+    // Accepting-run enumeration: flat walk vs grid-backed transition walk.
+    c.bench_function("counting/flat_run_enum_n2_2k", |b| {
+        let mut scratch = RunScratch::default();
+        b.iter(|| {
+            let mut visited = 0usize;
+            for seq in &seqs {
+                walker.for_each_run(seq, &mut scratch, |sets| {
+                    visited += sets.len();
+                    true
+                });
+            }
+            black_box(visited)
+        })
+    });
+    c.bench_function("counting/oracle_run_enum_n2_2k", |b| {
+        b.iter(|| {
+            let mut visited = 0usize;
+            for seq in &seqs {
+                let grid = Grid::build(&fst, &dict, seq);
+                runs::for_each_accepting_run(&fst, &dict, seq, &grid, |path| {
+                    visited += path.len();
+                    true
+                });
+            }
+            black_box(visited)
+        })
+    });
+
+    // End-to-end counting: interned byte keys vs Cartesian products into
+    // hash sets plus a `FxHashMap<Sequence, u64>` count map.
+    c.bench_function("counting/flat_count_n2_2k", |b| {
+        let mut scratch = RunScratch::default();
+        b.iter(|| {
+            let mut counter = CandidateCounter::new();
+            for seq in &seqs {
+                walker
+                    .count_candidates(seq, 1, usize::MAX, &mut scratch, &mut counter, |_, _| {})
+                    .unwrap();
+            }
+            black_box(counter.patterns(sigma))
+        })
+    });
+    c.bench_function("counting/oracle_generate_n2_2k", |b| {
+        b.iter(|| {
+            let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+            for seq in &seqs {
+                for cand in candidates::generate(&fst, &dict, seq, Some(sigma), usize::MAX).unwrap()
+                {
+                    *counts.entry(cand).or_insert(0) += 1;
+                }
+            }
+            black_box(
+                counts
+                    .into_iter()
+                    .filter(|&(_, f)| f >= sigma)
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_grid, bench_pivot_search, bench_merge, bench_nfa, bench_codec,
-              bench_local_mining
+              bench_local_mining, bench_counting
 }
 criterion_main!(kernels);

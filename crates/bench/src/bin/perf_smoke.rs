@@ -1,4 +1,4 @@
-//! Perf-smoke harness with two modes, both on the standard bench workload
+//! Perf-smoke harness with three modes, all on the standard bench workload
 //! (NYT-like corpus, σ = 10, min-of-five wall seconds):
 //!
 //! * **local** (default): times DESQ-DFS local mining on the N2/N3/N5/N4
@@ -10,11 +10,18 @@
 //!   are the pre-PR-4 hot path (grid-DP pivot search through `fst::Grid`,
 //!   owned-`Sequence` shuffle records, hash-map combine), measured with the
 //!   same protocol.
+//! * **count** (`perf_smoke count`): times the candidate-materializing
+//!   algorithms — DESQ-COUNT (4 workers) and the NAÏVE / SEMI-NAÏVE
+//!   baselines (4 workers, 8 map partitions, 8 reducers) — on the selective
+//!   N2/N3 constraints and writes `BENCH_5.json`. The recorded baselines are
+//!   the pre-PR-5 counting path (`Grid::build` + `Transition::outputs` per
+//!   run, Cartesian products into `FxHashSet<Vec<ItemId>>`, per-worker count
+//!   maps merged under one `Mutex`), measured with the same protocol.
 //!
 //! Override any baseline with `PERF_BASELINE_<NAME>=secs` (local) or
-//! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist) when
+//! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist/count) when
 //! benchmarking on a different machine. The outputs are consumed by CI as
-//! artifacts so the performance trajectory of both hot paths stays visible
+//! artifacts so the performance trajectory of every hot path stays visible
 //! per PR.
 
 use std::fmt::Write as _;
@@ -180,6 +187,156 @@ fn local_main(out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+/// Pre-PR-5 counting-path baselines (wall seconds), measured on the
+/// development machine immediately before the flat-counting rework
+/// (per-sequence `Grid::build`, `Transition::outputs` inside the run loop,
+/// Cartesian products into `FxHashSet<Vec<ItemId>>`) with the same corpus,
+/// σ, parallelism and min-of-five protocol: DESQ-COUNT sequential,
+/// NAÏVE / SEMI-NAÏVE at 4 workers / 8 partitions / 8 reducers.
+fn recorded_count_baseline(key: &str) -> f64 {
+    match key {
+        "COUNT_N2" => 0.0683,
+        "COUNT_N3" => 0.0317,
+        "NAIVE_N2" => 0.0790,
+        "NAIVE_N3" => 0.0375,
+        "SEMINAIVE_N2" => 0.0792,
+        "SEMINAIVE_N3" => 0.0388,
+        _ => f64::NAN,
+    }
+}
+
+/// Baseline lookup with the `PERF_BASELINE_<ALGO>_<NAME>=secs` override.
+fn count_baseline_for(key: &str) -> f64 {
+    std::env::var(format!("PERF_BASELINE_{key}"))
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| recorded_count_baseline(key))
+}
+
+struct CountRow {
+    algo: &'static str,
+    name: String,
+    patterns: usize,
+    baseline_secs: f64,
+    secs: f64,
+}
+
+fn measure_count(algo: &'static str, c: &Constraint) -> CountRow {
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let fst = c.compile(&dict).unwrap();
+    // DESQ-COUNT is a local algorithm: measure it sequentially (sharding
+    // across threads on the single-core CI box only adds merge overhead);
+    // the baselines were recorded with the same protocol. The distributed
+    // baselines keep the BENCH_4 parallelism.
+    let mut ctx = MiningContext::sequential(&db, &dict, SIGMA)
+        .with_fst(&fst)
+        .with_limits(desq_core::mining::Limits::unbounded());
+    if algo != "DESQ-COUNT" {
+        ctx = ctx
+            .with_parallelism(DIST_WORKERS, DIST_PARTITIONS)
+            .with_reducers(DIST_REDUCERS);
+    }
+    let mut best = f64::MAX;
+    let mut patterns = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let res = match algo {
+            "DESQ-COUNT" => desq_miner::algo::DesqCount.mine(&ctx),
+            "NAIVE" => desq_dist::algo::Naive::naive().mine(&ctx),
+            "SEMI-NAIVE" => desq_dist::algo::Naive::semi_naive().mine(&ctx),
+            _ => unreachable!("unknown algorithm {algo}"),
+        }
+        .unwrap_or_else(|e| panic!("{algo}/{} failed: {e}", c.name));
+        best = best.min(t0.elapsed().as_secs_f64());
+        patterns = res.patterns.len();
+        if std::env::var_os("PERF_SMOKE_VERBOSE").is_some() {
+            eprintln!(
+                "{algo}/{}: {:.3}s emitted {} shuffled {} bytes {}",
+                c.name,
+                t0.elapsed().as_secs_f64(),
+                res.metrics.emitted_records,
+                res.metrics.shuffle_records,
+                res.metrics.shuffle_bytes,
+            );
+        }
+    }
+    let key = format!("{}_{}", algo.replace("DESQ-", "").replace('-', ""), c.name);
+    CountRow {
+        algo,
+        name: c.name.clone(),
+        patterns,
+        baseline_secs: count_baseline_for(&key),
+        secs: best,
+    }
+}
+
+fn count_main(out_path: &str) {
+    let constraints = [desq_dist::patterns::n2(), desq_dist::patterns::n3()];
+    let mut rows: Vec<CountRow> = Vec::new();
+    for algo in ["DESQ-COUNT", "NAIVE", "SEMI-NAIVE"] {
+        for c in &constraints {
+            rows.push(measure_count(algo, c));
+            eprintln!("measured {algo}/{}", c.name);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"candidate counting perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"nyt_like({NYT_SIZE})\", \"sigma\": {SIGMA}, \
+         \"desq_count_workers\": 1, \"naive_workers\": {DIST_WORKERS}, \
+         \"partitions\": {DIST_PARTITIONS}, \"reducers\": {DIST_REDUCERS}, \
+         \"reps\": {REPS}, \"metric\": \"min wall seconds\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"pre-PR-5 counting path \
+         (override: PERF_BASELINE_<ALGO>_<NAME>=secs)\","
+    );
+    json.push_str("  \"jobs\": [\n");
+    let (mut base_s, mut cur_s) = (0.0, 0.0);
+    let (mut count_base_s, mut count_cur_s) = (0.0, 0.0);
+    for (i, r) in rows.iter().enumerate() {
+        base_s += r.baseline_secs;
+        cur_s += r.secs;
+        if r.algo == "DESQ-COUNT" {
+            count_base_s += r.baseline_secs;
+            count_cur_s += r.secs;
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"algo\": \"{}\", \"name\": \"{}\", \"patterns\": {}, \
+             \"baseline_secs\": {:.4}, \"secs\": {:.4}, \"speedup\": {:.2}}}{}",
+            r.algo,
+            r.name,
+            r.patterns,
+            r.baseline_secs,
+            r.secs,
+            r.baseline_secs / r.secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"baseline_secs\": {:.4}, \"secs\": {:.4}, \"speedup\": {:.2}, \
+         \"desq_count_baseline_secs\": {:.4}, \"desq_count_secs\": {:.4}, \
+         \"desq_count_speedup\": {:.2}}}",
+        base_s,
+        cur_s,
+        base_s / cur_s,
+        count_base_s,
+        count_cur_s,
+        count_base_s / count_cur_s,
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_5.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
 struct DistRow {
     algo: &'static str,
     name: String,
@@ -338,6 +495,10 @@ fn main() {
         Some("dist") => {
             let out = args.next().unwrap_or_else(|| "BENCH_4.json".to_string());
             dist_main(&out);
+        }
+        Some("count") => {
+            let out = args.next().unwrap_or_else(|| "BENCH_5.json".to_string());
+            count_main(&out);
         }
         Some(out) => local_main(out),
         None => local_main("BENCH_3.json"),

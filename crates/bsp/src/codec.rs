@@ -7,138 +7,19 @@
 //! makes frequent items small numbers, which is precisely why the paper's
 //! preprocessing recodes items by frequency).
 //!
-//! Item *sequences* (rewritten inputs, projected suffixes) additionally get
-//! a delta codec ([`encode_item_seq`] / [`decode_item_seq`]): varint count,
-//! varint first item, then zigzag-varint deltas between neighbors. Natural
-//! text clusters items of similar frequency rank, so deltas are usually
-//! smaller than the absolute ids; ids themselves never exceed `u32`, so a
-//! delta fits `i64` exactly.
+//! The varint and item-sequence primitives ([`write_varint`],
+//! [`read_varint`], [`encode_item_seq`], [`decode_item_seq`]) live in
+//! [`desq_core::codec`] since PR 5 — the flat candidate-counting sink
+//! shares the exact wire format — and are re-exported here for
+//! compatibility. Their decode halves return [`desq_core::Error`], which
+//! converts into [`Error`] via `From` (so `?` keeps working in engine
+//! code).
 
 use crate::error::{Error, Result};
 
-/// Encodes `v` as a LEB128 varint.
-#[inline]
-pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-/// Decodes a LEB128 varint, advancing `buf`.
-#[inline]
-pub fn read_varint(buf: &mut &[u8]) -> Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let (&byte, rest) = buf
-            .split_first()
-            .ok_or_else(|| Error::Decode("varint: unexpected end of input".into()))?;
-        *buf = rest;
-        if shift >= 64 {
-            return Err(Error::Decode("varint: overflow".into()));
-        }
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
-
-/// Zigzag-encodes a signed delta (small magnitudes → small varints).
-#[inline]
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-/// Inverse of [`zigzag`].
-#[inline]
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-/// Encoded varint byte length of `v` (`⌈significant bits / 7⌉`, min 1).
-#[inline]
-pub(crate) fn varint_len(v: u64) -> usize {
-    let bits = 64 - (v | 1).leading_zeros() as usize;
-    bits.div_ceil(7)
-}
-
-/// Appends the adaptive varint/delta encoding of an item sequence to
-/// `buf`.
-///
-/// Wire format: `varint(len << 1 | mode)`, then the items — mode 0 encodes
-/// every item as a plain varint, mode 1 encodes `varint(items[0])`
-/// followed by `zigzag_varint(items[i] - items[i-1])` per remaining item.
-/// The encoder counts both sizes and picks the smaller one: neighbors of
-/// similar frequency rank compress under deltas, while uncorrelated
-/// (e.g. Zipf-random) ids stay at their plain-varint size instead of
-/// paying the zigzag sign bit. The empty sequence encodes as the single
-/// byte `0`.
-pub fn encode_item_seq(items: &[u32], buf: &mut Vec<u8>) {
-    let mut plain = 0usize;
-    let mut delta = 0usize;
-    let mut prev = 0i64;
-    for (i, &w) in items.iter().enumerate() {
-        plain += varint_len(u64::from(w));
-        delta += if i == 0 {
-            varint_len(u64::from(w))
-        } else {
-            varint_len(zigzag(i64::from(w) - prev))
-        };
-        prev = i64::from(w);
-    }
-    let mode = u64::from(delta < plain);
-    write_varint(buf, (items.len() as u64) << 1 | mode);
-    let mut prev = 0i64;
-    for (i, &w) in items.iter().enumerate() {
-        if mode == 0 || i == 0 {
-            write_varint(buf, u64::from(w));
-        } else {
-            write_varint(buf, zigzag(i64::from(w) - prev));
-        }
-        prev = i64::from(w);
-    }
-}
-
-/// Decodes one [`encode_item_seq`] record, *appending* the items to `out`
-/// (arena-style — callers accumulate many sequences into one flat buffer).
-/// Returns the number of items decoded. Rejects truncated input, hostile
-/// lengths and deltas leaving the `u32` item range.
-pub fn decode_item_seq(buf: &mut &[u8], out: &mut Vec<u32>) -> Result<usize> {
-    let head = read_varint(buf)?;
-    let len = (head >> 1) as usize;
-    let delta_mode = head & 1 == 1;
-    // Never pre-allocate more than the remaining input could encode
-    // (1 byte per item minimum).
-    if len > buf.len() {
-        return Err(Error::Decode(format!(
-            "item sequence: length {len} exceeds input"
-        )));
-    }
-    out.reserve(len);
-    let mut prev = 0i64;
-    for i in 0..len {
-        let raw = read_varint(buf)?;
-        let v = if delta_mode && i > 0 {
-            prev.checked_add(unzigzag(raw))
-                .ok_or_else(|| Error::Decode("item sequence: delta overflow".into()))?
-        } else {
-            i64::try_from(raw).map_err(|_| Error::Decode("item sequence: item".into()))?
-        };
-        let item =
-            u32::try_from(v).map_err(|_| Error::Decode(format!("item out of range: {v}")))?;
-        out.push(item);
-        prev = v;
-    }
-    Ok(len)
-}
+pub use desq_core::codec::{
+    decode_item_seq, encode_item_seq, read_varint, varint_len, write_varint,
+};
 
 /// A type that can be serialized into / deserialized from a shuffle stream.
 pub trait Codec: Sized {
@@ -165,7 +46,7 @@ impl Codec for u64 {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self> {
-        read_varint(buf)
+        Ok(read_varint(buf)?)
     }
 }
 
@@ -279,27 +160,6 @@ mod tests {
     }
 
     #[test]
-    fn varint_boundaries() {
-        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
-            let mut buf = Vec::new();
-            write_varint(&mut buf, v);
-            let mut s = buf.as_slice();
-            assert_eq!(read_varint(&mut s).unwrap(), v);
-            assert!(s.is_empty());
-        }
-    }
-
-    #[test]
-    fn varint_is_compact_for_small_values() {
-        let mut buf = Vec::new();
-        write_varint(&mut buf, 5);
-        assert_eq!(buf.len(), 1);
-        buf.clear();
-        write_varint(&mut buf, 300);
-        assert_eq!(buf.len(), 2);
-    }
-
-    #[test]
     fn primitive_roundtrips() {
         roundtrip(0u32);
         roundtrip(u32::MAX);
@@ -343,106 +203,18 @@ mod tests {
     }
 
     #[test]
-    fn varint_overflow_rejected() {
-        let buf = [0xffu8; 11];
-        let mut s = &buf[..];
-        assert!(read_varint(&mut s).is_err());
-    }
-
-    fn item_seq_roundtrip(items: &[u32]) {
-        let mut buf = Vec::new();
-        encode_item_seq(items, &mut buf);
-        let mut s = buf.as_slice();
+    fn item_seq_reexports_roundtrip_through_bsp_paths() {
+        // The canonical codec lives in desq-core; the historical desq_bsp
+        // paths must keep encoding byte-identically.
+        let items = [1u32, 1000, 3, 7];
+        let mut via_bsp = Vec::new();
+        encode_item_seq(&items, &mut via_bsp);
+        let mut via_core = Vec::new();
+        desq_core::codec::encode_item_seq(&items, &mut via_core);
+        assert_eq!(via_bsp, via_core);
         let mut out = Vec::new();
-        let n = decode_item_seq(&mut s, &mut out).unwrap();
-        assert_eq!(n, items.len());
+        let mut s = via_bsp.as_slice();
+        assert_eq!(decode_item_seq(&mut s, &mut out).unwrap(), items.len());
         assert_eq!(out, items);
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    fn item_seq_roundtrips() {
-        item_seq_roundtrip(&[]);
-        item_seq_roundtrip(&[0]);
-        item_seq_roundtrip(&[7, 7, 7]);
-        item_seq_roundtrip(&[1, 1000, 3, u32::MAX, 0, u32::MAX]);
-        item_seq_roundtrip(&(0..200).collect::<Vec<u32>>());
-    }
-
-    #[test]
-    fn item_seq_deltas_beat_absolute_ids_on_clustered_items() {
-        // Neighboring items of similar rank: deltas fit one byte where the
-        // absolute ids need two or three.
-        let items: Vec<u32> = (0..64u32).map(|i| 10_000 + (i % 7)).collect();
-        let mut delta = Vec::new();
-        encode_item_seq(&items, &mut delta);
-        let mut plain = Vec::new();
-        items.to_vec().encode(&mut plain);
-        assert!(
-            delta.len() < plain.len() * 6 / 10,
-            "{} vs {}",
-            delta.len(),
-            plain.len()
-        );
-    }
-
-    #[test]
-    fn item_seq_decode_appends_arena_style() {
-        let mut buf = Vec::new();
-        encode_item_seq(&[5, 6], &mut buf);
-        encode_item_seq(&[9], &mut buf);
-        let mut s = buf.as_slice();
-        let mut arena = vec![1u32];
-        assert_eq!(decode_item_seq(&mut s, &mut arena).unwrap(), 2);
-        assert_eq!(decode_item_seq(&mut s, &mut arena).unwrap(), 1);
-        assert_eq!(arena, vec![1, 5, 6, 9]);
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    fn item_seq_truncation_and_hostile_lengths_rejected() {
-        let mut buf = Vec::new();
-        encode_item_seq(&[3, 900, 12], &mut buf);
-        for cut in 0..buf.len() {
-            let mut s = &buf[..cut];
-            let mut out = Vec::new();
-            assert!(decode_item_seq(&mut s, &mut out).is_err(), "cut at {cut}");
-        }
-        let mut hostile = Vec::new();
-        write_varint(&mut hostile, u64::MAX / 2);
-        let mut s = hostile.as_slice();
-        assert!(decode_item_seq(&mut s, &mut Vec::new()).is_err());
-    }
-
-    #[test]
-    fn item_seq_out_of_range_delta_rejected() {
-        // Delta mode, len 2, first item u32::MAX, delta +2 → leaves the
-        // item range.
-        let mut buf = Vec::new();
-        write_varint(&mut buf, 2 << 1 | 1);
-        write_varint(&mut buf, u64::from(u32::MAX));
-        write_varint(&mut buf, super::zigzag(2));
-        let mut s = buf.as_slice();
-        assert!(decode_item_seq(&mut s, &mut Vec::new()).is_err());
-    }
-
-    #[test]
-    fn item_seq_picks_the_smaller_mode() {
-        // Clustered ranks → delta mode; uncorrelated large ids → plain.
-        let clustered: Vec<u32> = (0..32u32).map(|i| 50_000 + i).collect();
-        let mut buf = Vec::new();
-        encode_item_seq(&clustered, &mut buf);
-        assert_eq!(buf[0] & 1, 1, "clustered ids should use delta mode");
-        let jumpy: Vec<u32> = (0..32u32)
-            .map(|i| if i % 2 == 0 { 3 } else { 1_000_000 })
-            .collect();
-        let mut plain_buf = Vec::new();
-        encode_item_seq(&jumpy, &mut plain_buf);
-        assert_eq!(plain_buf[0] & 1, 0, "alternating ids should stay plain");
-        // Adaptive never exceeds the pure-plain encoding by more than the
-        // mode bit's occasional extra length byte.
-        let mut as_vec = Vec::new();
-        jumpy.to_vec().encode(&mut as_vec);
-        assert!(plain_buf.len() <= as_vec.len() + 1);
     }
 }

@@ -41,113 +41,12 @@ pub struct Engine {
     reducers: usize,
 }
 
-const HASH_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+use desq_core::fx::{mix_hashes as mix, ProbeTable};
 
-/// Murmur-style finalizer: low bits end up depending on every input bit.
-#[inline]
-fn avalanche(mut x: u64) -> u64 {
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    x ^= x >> 33;
-    x
-}
-
-/// Fx-style multiply-xor hash over 8-byte words (plus a length mix so
-/// zero-padded tails of different lengths differ), finalized with a
-/// murmur-style avalanche. Hashed **once** per encoded key/payload; the
-/// result is reused for routing, combine probing and reduce-side merging.
-#[inline]
-pub fn hash_bytes(bytes: &[u8]) -> u64 {
-    let mut h = 0u64;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        let word = u64::from_le_bytes(c.try_into().unwrap());
-        h = (h.rotate_left(5) ^ word).wrapping_mul(HASH_SEED);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut buf = [0u8; 8];
-        buf[..rem.len()].copy_from_slice(rem);
-        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(HASH_SEED);
-    }
-    h = (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(HASH_SEED);
-    avalanche(h)
-}
-
-/// Mixes a key hash with a payload hash into the combine-table hash.
-#[inline]
-fn mix(khash: u64, phash: u64) -> u64 {
-    avalanche(khash ^ phash.wrapping_mul(HASH_SEED))
-}
-
-/// Shuffle bucket of a pre-computed key hash: multiply-shift ("fastrange")
-/// reduction — unbiased for any bucket count, no division.
-#[inline]
-pub fn bucket_of(hash: u64, buckets: usize) -> usize {
-    ((u128::from(hash) * buckets as u128) >> 64) as usize
-}
-
-/// Open-addressing index table mapping pre-computed 64-bit hashes to `u32`
-/// entry indices; key equality is delegated to the caller (entries live in
-/// caller-side arenas). Linear probing over a power-of-two slot array.
-struct ProbeTable {
-    slots: Vec<u32>,
-}
-
-const EMPTY_SLOT: u32 = u32::MAX;
-
-impl ProbeTable {
-    fn new() -> ProbeTable {
-        ProbeTable {
-            slots: vec![EMPTY_SLOT; 16],
-        }
-    }
-
-    /// Doubles the table when `len` entries reach 7/8 occupancy;
-    /// `hash_of` recovers an entry's hash for rehashing.
-    #[inline]
-    fn grow_if_needed(&mut self, len: usize, hash_of: impl Fn(u32) -> u64) {
-        if len * 8 < self.slots.len() * 7 {
-            return;
-        }
-        let doubled = self.slots.len() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; doubled]);
-        let mask = self.slots.len() - 1;
-        for s in old {
-            if s != EMPTY_SLOT {
-                let mut pos = hash_of(s) as usize & mask;
-                while self.slots[pos] != EMPTY_SLOT {
-                    pos = (pos + 1) & mask;
-                }
-                self.slots[pos] = s;
-            }
-        }
-    }
-
-    /// Probes for `hash`; `eq(idx)` confirms a candidate entry. Returns
-    /// `Ok(idx)` when found, `Err(slot)` with the insertion slot otherwise
-    /// (valid until the next mutation).
-    #[inline]
-    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> std::result::Result<u32, usize> {
-        let mask = self.slots.len() - 1;
-        let mut pos = hash as usize & mask;
-        loop {
-            let s = self.slots[pos];
-            if s == EMPTY_SLOT {
-                return Err(pos);
-            }
-            if eq(s) {
-                return Ok(s);
-            }
-            pos = (pos + 1) & mask;
-        }
-    }
-
-    #[inline]
-    fn insert(&mut self, slot: usize, idx: u32) {
-        self.slots[slot] = idx;
-    }
-}
+// The canonical homes of the byte-hashing primitives are in
+// `desq_core::fx` since PR 5 (the flat candidate-counting sink shares
+// them); these re-exports keep the historical `desq_bsp` paths working.
+pub use desq_core::fx::{bucket_of, hash_bytes};
 
 /// One combined map-side record: its mixed hash, routing bucket, interned
 /// payload id, key bytes (an arena range) and accumulated weight.
@@ -971,6 +870,8 @@ mod tests {
 
     #[test]
     fn bucket_routing_is_stable_and_spread() {
+        // (The in-range and tail-distinction properties of the re-exported
+        // primitives are tested at their home, `desq_core::fx`.)
         let h = hash_bytes(&42u32.to_le_bytes());
         assert_eq!(bucket_of(h, 8), bucket_of(h, 8));
         let mut seen = std::collections::HashSet::new();
@@ -981,19 +882,6 @@ mod tests {
             seen.len() >= 6,
             "keys should spread over most buckets: {seen:?}"
         );
-        // Multiply-shift reduction stays in range for awkward bucket counts.
-        for buckets in [1usize, 3, 7, 8, 13] {
-            for k in 0u64..100 {
-                assert!(bucket_of(avalanche(k), buckets) < buckets);
-            }
-        }
-    }
-
-    #[test]
-    fn hash_bytes_distinguishes_zero_padded_tails() {
-        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
-        assert_ne!(hash_bytes(b"\0"), hash_bytes(b"\0\0"));
-        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
     }
 
     #[test]

@@ -26,5 +26,17 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Core errors surface in BSP jobs wherever the engine calls into shared
+/// `desq-core` codecs; the mapping mirrors `desq_dist`'s `to_bsp`.
+impl From<desq_core::Error> for Error {
+    fn from(e: desq_core::Error) -> Error {
+        match e {
+            desq_core::Error::Decode(m) => Error::Decode(m),
+            desq_core::Error::ResourceExhausted(m) => Error::ResourceExhausted(m),
+            other => Error::Worker(other.to_string()),
+        }
+    }
+}
+
 /// Result alias for BSP jobs.
 pub type Result<T> = std::result::Result<T, Error>;

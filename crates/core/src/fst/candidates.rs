@@ -37,7 +37,11 @@ pub fn generate(
     }
     let mut work = 0usize;
     let mut exhausted = false;
-    let mut sets: Vec<Vec<ItemId>> = Vec::new();
+    // Output-set pool, reused across runs and positions: `pool[..used]`
+    // holds the current run's non-ε sets, later slots keep their
+    // allocations for the next run.
+    let mut pool: Vec<Vec<ItemId>> = Vec::new();
+    let mut current: Sequence = Vec::new();
     let completed = runs::for_each_accepting_run(fst, dict, seq, &grid, |path| {
         work += 1;
         if work > budget {
@@ -45,11 +49,15 @@ pub fn generate(
             return false;
         }
         // Materialize (filtered) output sets for this run.
-        sets.clear();
+        let mut used = 0;
         let mut dead = false;
         for (tr, &t) in path.iter().zip(seq) {
-            let mut buf = Vec::new();
-            tr.outputs(t, dict, &mut buf);
+            if used == pool.len() {
+                pool.push(Vec::new());
+            }
+            let buf = &mut pool[used];
+            buf.clear();
+            tr.outputs(t, dict, buf);
             if let Some(s) = sigma {
                 buf.retain(|&w| w == EPSILON || dict.is_frequent(w, s));
             }
@@ -59,16 +67,16 @@ pub fn generate(
                 dead = true;
                 break;
             }
-            if buf != [EPSILON] {
-                sets.push(buf);
+            if *buf != [EPSILON] {
+                used += 1;
             }
         }
         if dead {
             return true;
         }
         // Cartesian product over non-ε sets.
-        let mut current: Sequence = Vec::with_capacity(sets.len());
-        if !product(&sets, 0, &mut current, &mut out, budget, &mut work) {
+        current.clear();
+        if !product(&pool[..used], 0, &mut current, &mut out, budget, &mut work) {
             exhausted = true;
             return false;
         }

@@ -1,0 +1,1023 @@
+//! The flat counting path: accepting-run enumeration over pre-filtered
+//! per-position output sets, plus the interned candidate-counting sink
+//! (PR 5).
+//!
+//! [`candidates::generate`](super::candidates::generate) is the *reference
+//! semantics* of `G^σ_π(T)`: per sequence it builds a fresh
+//! [`Grid`](super::Grid), re-evaluates
+//! [`Transition::outputs`](super::Transition::outputs) inside the
+//! run loop (one allocation per position per run), and materializes the
+//! Cartesian products into a `FxHashSet<Vec<ItemId>>`. This module is the
+//! production path for every algorithm that *counts* those candidates —
+//! DESQ-COUNT, the NAÏVE / SEMI-NAÏVE baselines, and D-CAND's map-side run
+//! decomposition:
+//!
+//! * [`RunWalker`] simulates the FST over the shared CSR [`FstIndex`]:
+//!   per-position bit-packed match masks with grid aliveness folded in, and
+//!   σ-filtered output sets materialized **once per `(position, label)`**
+//!   into a flat arena — the run loop performs no dictionary access, no
+//!   output re-evaluation and no allocation. All per-sequence state lives
+//!   in a caller-provided [`RunScratch`] (one per worker thread, reused
+//!   across sequences).
+//! * [`CandidateCounter`] counts *interned* candidates: probing hashes
+//!   the raw item slice once with [`fx::hash_items`] into an
+//!   open-addressing [`fx::ProbeTable`] over flat arenas, and the
+//!   canonical [`codec::encode_item_seq`] byte key is produced at most
+//!   once per distinct candidate — no `Vec<ItemId>` keys, no
+//!   per-candidate allocation after warm-up.
+//!
+//! # Equivalence contract
+//!
+//! [`RunWalker::count_candidates`] is observationally equivalent to
+//! [`candidates::generate`](super::candidates::generate): it walks the same
+//! accepting runs in the same depth-first order, applies the same σ filter,
+//! charges the same work units against the same budget (one per accepting
+//! run walked plus one per candidate materialized, duplicates included),
+//! raises [`Error::ResourceExhausted`] at exactly the same effective work
+//! bound, and observes exactly the candidates of `G^σ_π(T)` (each once per
+//! input sequence). The property tests in `tests/proptest_invariants.rs`
+//! enforce this on random dictionaries, pattern expressions and databases.
+
+use super::index::FstIndex;
+use super::{Fst, InputLabel};
+use crate::codec;
+use crate::dictionary::Dictionary;
+use crate::error::{Error, Result};
+use crate::fx::{self, ProbeTable};
+use crate::sequence::{ItemId, Sequence};
+
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+/// Evaluates distinct input label `d` on item `t`, memoizing hierarchy
+/// (`Desc`) verdicts in the per-item `cache` (low byte = evaluated bits,
+/// high byte = match bits; labels beyond the cached eight fall back to a
+/// direct check). `Any` and `Exact` labels are cheaper than the cache.
+#[inline]
+fn match_cached(
+    label: &InputLabel,
+    d: u16,
+    t: ItemId,
+    dict: &Dictionary,
+    cache: &mut [u16],
+) -> bool {
+    match *label {
+        InputLabel::Any => true,
+        InputLabel::Exact(w) => t == w,
+        InputLabel::Desc(w) => {
+            if d < 8 {
+                let e = &mut cache[t as usize];
+                let eval_bit = 1u16 << d;
+                if *e & eval_bit == 0 {
+                    let m = dict.is_ancestor(w, t);
+                    *e |= eval_bit | (u16::from(m) << (8 + d));
+                }
+                *e & (1 << (8 + d)) != 0
+            } else {
+                dict.is_ancestor(w, t)
+            }
+        }
+    }
+}
+
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 != 0
+}
+
+/// One DFS frame of the run walk: input position, FST state, index of the
+/// next transition of the state to try, and whether descending into this
+/// frame pushed an output-set entry (ε-output transitions push nothing).
+struct Frame {
+    pos: u32,
+    state: u32,
+    next: u32,
+    pushed: bool,
+}
+
+/// Reusable per-thread scratch of the flat run walk: match-mask rows, grid
+/// bitsets, the output-set arena and the DFS stacks.
+///
+/// Create one per worker thread (`RunScratch::default()`) and pass it to
+/// every [`RunWalker`] call the thread makes; after warm-up the walk
+/// allocates nothing per sequence.
+#[derive(Default)]
+pub struct RunScratch {
+    /// Per-position match masks (`n × words`), pruned to transitions whose
+    /// target coordinate is alive.
+    mask: Vec<u64>,
+    /// Forward-reachability bitset over `(position, state)` cells.
+    fwd: Vec<u64>,
+    /// Aliveness bitset (forward-reachable ∧ accepting completion exists).
+    alive: Vec<u64>,
+    /// Arena range of the σ-filtered output set per
+    /// `(position, interned label)`.
+    out_off: Vec<(u32, u32)>,
+    /// Output-set arena.
+    outs: Vec<ItemId>,
+    /// Raw output buffer of one `(position, label)` materialization.
+    outbuf: Vec<ItemId>,
+    /// Per-item match cache for hierarchy (`Desc`) input labels, shared
+    /// across all sequences of the job: bit `d` of the low byte = label `d`
+    /// evaluated for this item, bit `d` of the high byte = it matched.
+    /// Keyed to the [`FstIndex::generation`] id via `cache_key` (an index
+    /// is only valid with the dictionary its FST was compiled against, so
+    /// the id covers both).
+    cache: Vec<u16>,
+    cache_key: u64,
+    /// Small-FST step table (`words() == 1` and ≤ 32 states): per
+    /// `(item, state)` one `(match-row bits, next-state mask)` pair, filled
+    /// lazily per item — a frontier step is then one load per frontier
+    /// state instead of one label evaluation per transition.
+    step: Vec<u64>,
+    /// Per item: step-table rows filled.
+    step_filled: Vec<u8>,
+    /// DFS frames (one per consumed position plus the root).
+    frames: Vec<Frame>,
+    /// Arena ranges of the non-ε output sets along the current run.
+    path_sets: Vec<(u32, u32)>,
+    /// Candidate item buffer of the Cartesian-product descent.
+    items: Vec<ItemId>,
+}
+
+/// The σ-filtered, ε-free output sets of one accepting run, in position
+/// order (borrowed from the walk's arena — valid only inside the visitor).
+pub struct RunSets<'w> {
+    ranges: &'w [(u32, u32)],
+    arena: &'w [ItemId],
+    dead: bool,
+}
+
+impl<'w> RunSets<'w> {
+    /// True iff some position's output set σ-filtered to empty: the run
+    /// cannot produce an all-frequent candidate. Dead runs still count one
+    /// unit of enumeration work (the reference semantics walks them too)
+    /// but produce no candidates; [`set`](RunSets::set) may return empty
+    /// slices on a dead run.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Number of non-ε output sets (the length of the run's candidates).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True iff the run produced only ε (its sole candidate is empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The `j`-th non-ε output set, sorted ascending.
+    #[inline]
+    pub fn set(&self, j: usize) -> &'w [ItemId] {
+        let (s, e) = self.ranges[j];
+        &self.arena[s as usize..e as usize]
+    }
+
+    /// The sets in position order (cloneable — consumers may take several
+    /// passes without collecting).
+    pub fn iter(&self) -> impl Iterator<Item = &'w [ItemId]> + Clone + '_ {
+        (0..self.len()).map(|j| self.set(j))
+    }
+}
+
+/// Flat accepting-run enumeration for one FST over one dictionary (see the
+/// [module docs](self)).
+///
+/// Construction borrows a shared [`FstIndex`] (build it once per FST); the
+/// per-sequence state lives in a caller-provided [`RunScratch`].
+pub struct RunWalker<'a> {
+    fst: &'a Fst,
+    dict: &'a Dictionary,
+    index: &'a FstIndex,
+    max_item: ItemId,
+}
+
+impl<'a> RunWalker<'a> {
+    /// A walker whose output sets keep only items `<= max_item` — pass
+    /// `dict.last_frequent(sigma)` for the `G^σ_π(T)` filter (fids are
+    /// frequency ranks, so the comparison is exactly support
+    /// antimonotonicity's frequency test).
+    pub fn new(fst: &'a Fst, dict: &'a Dictionary, index: &'a FstIndex, max_item: ItemId) -> Self {
+        RunWalker {
+            fst,
+            dict,
+            index,
+            max_item,
+        }
+    }
+
+    /// An unfiltered walker (`G_π(T)` semantics — the NAÏVE baseline).
+    pub fn unfiltered(fst: &'a Fst, dict: &'a Dictionary, index: &'a FstIndex) -> Self {
+        RunWalker::new(fst, dict, index, ItemId::MAX)
+    }
+
+    /// Builds the per-sequence tables in `scratch`: match masks (pruned by
+    /// aliveness), forward-reachability and aliveness bitsets. Returns
+    /// `true` iff the FST accepts `seq`; rejected sequences short-circuit
+    /// after the forward pass.
+    ///
+    /// The forward pass is *frontier-driven and lazy*: at every position,
+    /// only the distinct input labels of transitions leaving
+    /// forward-reachable states are evaluated (each at most once per
+    /// position), so selective constraints whose deep states are rarely
+    /// reached pay far less than a full per-position mask fill. Mask bits
+    /// of transitions from unreachable states stay unset — harmless,
+    /// because the backward pass and the walk only consult bits of
+    /// forward-reachable sources.
+    fn prepare(&self, seq: &[ItemId], scratch: &mut RunScratch) -> bool {
+        let ix = self.index;
+        let n = seq.len();
+        let qn = self.fst.num_states();
+        let w = ix.words();
+        let qw = qn.div_ceil(64).max(1);
+        let distinct = ix.distinct_inputs();
+
+        scratch.mask.clear();
+        scratch.mask.resize(n * w, 0);
+        scratch.fwd.clear();
+        scratch.fwd.resize((n + 1) * qw, 0);
+        // The per-item label cache persists across sequences; (re)key it to
+        // this walker's index. The generation id is minted per construction
+        // (addresses can be recycled by the allocator), and an FstIndex is
+        // only ever valid against the dictionary its FST was compiled with,
+        // so the index identity covers the dictionary too.
+        let cache_key = self.index.generation();
+        let cache_len = self.dict.max_fid() as usize + 1;
+        if scratch.cache_key != cache_key || scratch.cache.len() != cache_len {
+            scratch.cache.clear();
+            scratch.cache.resize(cache_len, 0);
+            scratch.step.clear();
+            scratch.step_filled.clear();
+            scratch.cache_key = cache_key;
+        }
+        // Small FSTs (every compiled Tab. III constraint) take the
+        // step-table path: one mask word, one frontier word.
+        let fast = w == 1 && qw == 1 && qn <= 32;
+        if fast && scratch.step.len() != cache_len * qn * 2 {
+            scratch.step.clear();
+            scratch.step.resize(cache_len * qn * 2, 0);
+            scratch.step_filled.clear();
+            scratch.step_filled.resize(cache_len, 0);
+        }
+
+        scratch.fwd[self.fst.initial() as usize / 64] |= 1 << (self.fst.initial() % 64);
+        if fast {
+            for (i, &t) in seq.iter().enumerate() {
+                if scratch.step_filled[t as usize] == 0 {
+                    self.fill_step(t, qn, &mut scratch.step, &mut scratch.cache);
+                    scratch.step_filled[t as usize] = 1;
+                }
+                let steps = &scratch.step[t as usize * qn * 2..];
+                let mut fbits = scratch.fwd[i];
+                let (mut row, mut next) = (0u64, 0u64);
+                while fbits != 0 {
+                    let q = fbits.trailing_zeros() as usize;
+                    fbits &= fbits - 1;
+                    row |= steps[q * 2];
+                    next |= steps[q * 2 + 1];
+                }
+                scratch.mask[i] = row;
+                scratch.fwd[i + 1] = next;
+            }
+        } else {
+            for (i, &t) in seq.iter().enumerate() {
+                let row = &mut scratch.mask[i * w..(i + 1) * w];
+                let (head, tail) = scratch.fwd.split_at_mut((i + 1) * qw);
+                let frontier = &head[i * qw..];
+                let next = &mut tail[..qw];
+                let cache = &mut scratch.cache;
+                for (fw, fword) in frontier.iter().enumerate() {
+                    let mut fbits = *fword;
+                    while fbits != 0 {
+                        let q = fw * 64 + fbits.trailing_zeros() as usize;
+                        fbits &= fbits - 1;
+                        let dts = ix.state_distinct(q);
+                        for (tr, &d) in ix.state(q).iter().zip(dts) {
+                            // Only bits of transitions actually leaving the
+                            // frontier are set — exactly the bits the
+                            // backward pass and the walk consult.
+                            if match_cached(&distinct[d as usize].0, d, t, self.dict, cache) {
+                                row[tr.word as usize] |= tr.mask;
+                                next[tr.to as usize / 64] |= 1 << (tr.to % 64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut any_final = false;
+        for q in 0..qn as u32 {
+            if get_bit(&scratch.fwd[n * qw..], q as usize) && self.fst.is_final(q) {
+                any_final = true;
+            }
+        }
+        if !any_final {
+            return false;
+        }
+        // Rejected sequences (the common case under selective constraints)
+        // never pay for the aliveness table.
+        scratch.alive.clear();
+        scratch.alive.resize((n + 1) * qw, 0);
+        for q in 0..qn as u32 {
+            if get_bit(&scratch.fwd[n * qw..], q as usize) && self.fst.is_final(q) {
+                set_bit(&mut scratch.alive[n * qw..], q as usize);
+            }
+        }
+        let inputs = ix.inputs();
+        for i in (0..n).rev() {
+            let row = &mut scratch.mask[i * w..(i + 1) * w];
+            let (head, tail) = scratch.alive.split_at_mut((i + 1) * qw);
+            let alive_cur = &mut head[i * qw..];
+            let alive_next = &tail[..qw];
+            let frontier = &scratch.fwd[i * qw..(i + 1) * qw];
+            for (fw, fword) in frontier.iter().enumerate() {
+                let mut fbits = *fword;
+                while fbits != 0 {
+                    let q = fw * 64 + fbits.trailing_zeros() as usize;
+                    fbits &= fbits - 1;
+                    let ok = ix.state(q).iter().any(|tr| {
+                        row[tr.word as usize] & tr.mask != 0 && get_bit(alive_next, tr.to as usize)
+                    });
+                    if ok {
+                        set_bit(alive_cur, q);
+                    }
+                }
+            }
+            // Fold aliveness into the match bits (iterating set bits only:
+            // lazily filled rows are sparse): one bit test then answers
+            // "matches ∧ target alive" for the whole walk.
+            for (wi, word) in row.iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let to = inputs[wi * 64 + b].1 as usize;
+                    if !get_bit(alive_next, to) {
+                        *word &= !(1 << b);
+                    }
+                }
+            }
+        }
+        get_bit(&scratch.alive, self.fst.initial() as usize)
+    }
+
+    /// Fills the step-table rows of item `t`: for every state, the match
+    /// row of its transitions on `t` and the resulting next-state mask.
+    /// Runs once per distinct item of the job (Zipf-distributed inputs
+    /// amortize it to nearly nothing).
+    fn fill_step(&self, t: ItemId, qn: usize, step: &mut [u64], cache: &mut [u16]) {
+        let ix = self.index;
+        let distinct = ix.distinct_inputs();
+        let base = t as usize * qn * 2;
+        for q in 0..qn {
+            let (mut row, mut next) = (0u64, 0u64);
+            for (tr, &d) in ix.state(q).iter().zip(ix.state_distinct(q)) {
+                if match_cached(&distinct[d as usize].0, d, t, self.dict, cache) {
+                    row |= tr.mask;
+                    next |= 1 << tr.to;
+                }
+            }
+            step[base + q * 2] = row;
+            step[base + q * 2 + 1] = next;
+        }
+    }
+
+    /// Materializes the σ-filtered output set of every
+    /// `(position, interned label)` pair with at least one viable
+    /// transition into the scratch arena. Empty ranges mark σ-dead pairs.
+    fn build_outputs(&self, seq: &[ItemId], scratch: &mut RunScratch) {
+        let ix = self.index;
+        let w = ix.words();
+        let l = ix.num_labels();
+        scratch.out_off.clear();
+        scratch.outs.clear();
+        for (i, &t) in seq.iter().enumerate() {
+            let row = &scratch.mask[i * w..(i + 1) * w];
+            for li in 0..l {
+                let used = ix.label_mask(li).iter().zip(row).any(|(lm, m)| lm & m != 0);
+                if !used {
+                    scratch.out_off.push((0, 0));
+                    continue;
+                }
+                let start = scratch.outs.len() as u32;
+                scratch.outbuf.clear();
+                ix.labels()[li].outputs(t, self.dict, &mut scratch.outbuf);
+                scratch.outs.extend(
+                    scratch
+                        .outbuf
+                        .iter()
+                        .copied()
+                        .filter(|&w| w <= self.max_item),
+                );
+                scratch.out_off.push((start, scratch.outs.len() as u32));
+            }
+        }
+    }
+
+    /// Builds the flat run tables for `seq` in `scratch` — the match-mask /
+    /// aliveness grid plus the σ-filtered per-`(position, label)` output
+    /// arena. Returns `true` iff the FST accepts `seq` (rejected sequences
+    /// stop after the forward pass and build no output sets). Exposed for
+    /// benchmarks; [`for_each_run`](Self::for_each_run) calls it
+    /// internally.
+    pub fn build_tables(&self, seq: &[ItemId], scratch: &mut RunScratch) -> bool {
+        if !self.prepare(seq, scratch) {
+            return false;
+        }
+        self.build_outputs(seq, scratch);
+        true
+    }
+
+    /// Walks every accepting run of the FST on `seq` in the same
+    /// depth-first order as [`runs::for_each_accepting_run`](super::runs::for_each_accepting_run),
+    /// invoking `visit` with the run's σ-filtered non-ε output sets.
+    /// `visit` returns `false` to abort the walk; the function returns
+    /// `false` iff it was aborted.
+    pub fn for_each_run(
+        &self,
+        seq: &[ItemId],
+        scratch: &mut RunScratch,
+        mut visit: impl FnMut(&RunSets<'_>) -> bool,
+    ) -> bool {
+        if !self.build_tables(seq, scratch) {
+            return true;
+        }
+        let n = seq.len();
+        let w = self.index.words();
+        let l = self.index.num_labels();
+        let RunScratch {
+            frames,
+            path_sets,
+            mask,
+            out_off,
+            outs,
+            ..
+        } = scratch;
+        frames.clear();
+        path_sets.clear();
+        frames.push(Frame {
+            pos: 0,
+            state: self.fst.initial(),
+            next: 0,
+            pushed: false,
+        });
+        // Number of σ-dead (empty) sets on the current path.
+        let mut dead = 0usize;
+        while let Some(frame) = frames.last_mut() {
+            let (i, q, ti) = (frame.pos as usize, frame.state, frame.next as usize);
+            if i == n {
+                // Complete run; aliveness pruning guarantees a final state.
+                debug_assert!(self.fst.is_final(q));
+                let sets = RunSets {
+                    ranges: path_sets,
+                    arena: outs,
+                    dead: dead > 0,
+                };
+                if !visit(&sets) {
+                    return false;
+                }
+                let f = frames.pop().expect("frame exists");
+                if f.pushed {
+                    let (s, e) = path_sets.pop().expect("pushed set exists");
+                    if s == e {
+                        dead -= 1;
+                    }
+                }
+                continue;
+            }
+            // Find the next viable transition (match bit = matches ∧ alive).
+            let row = &mask[i * w..(i + 1) * w];
+            let trs = self.index.state(q as usize);
+            let mut found = None;
+            for (j, tr) in trs.iter().enumerate().skip(ti) {
+                if row[tr.word as usize] & tr.mask != 0 {
+                    found = Some((j, tr));
+                    break;
+                }
+            }
+            match found {
+                Some((j, tr)) => {
+                    frame.next = j as u32 + 1;
+                    let pushed = tr.label >= 0;
+                    if pushed {
+                        let r = out_off[i * l + tr.label as usize];
+                        if r.0 == r.1 {
+                            dead += 1;
+                        }
+                        path_sets.push(r);
+                    }
+                    frames.push(Frame {
+                        pos: i as u32 + 1,
+                        state: tr.to,
+                        next: 0,
+                        pushed,
+                    });
+                }
+                None => {
+                    let f = frames.pop().expect("frame exists");
+                    if f.pushed {
+                        let (s, e) = path_sets.pop().expect("pushed set exists");
+                        if s == e {
+                            dead -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Counts the candidates `G^σ_π(T)` of `seq` into `counter` — the flat
+    /// equivalent of [`candidates::generate`](super::candidates::generate)
+    /// (see the [equivalence contract](self)).
+    ///
+    /// Every candidate is observed once per input sequence with `weight`;
+    /// `on_new` fires on each first observation with the candidate's items
+    /// and the counter (shuffle emitters call
+    /// [`CandidateCounter::last_key`] for the canonical bytes — pure
+    /// counters pass a no-op and never pay for an encoding; `on_new` must
+    /// not call `begin_sequence`/`observe` itself). `budget` bounds the
+    /// work (accepting runs walked plus candidates materialized) exactly
+    /// like the reference; exceeding it returns
+    /// [`Error::ResourceExhausted`].
+    pub fn count_candidates(
+        &self,
+        seq: &[ItemId],
+        weight: u64,
+        budget: usize,
+        scratch: &mut RunScratch,
+        counter: &mut CandidateCounter,
+        mut on_new: impl FnMut(&[ItemId], &mut CandidateCounter),
+    ) -> Result<()> {
+        counter.begin_sequence(weight);
+        let mut items = std::mem::take(&mut scratch.items);
+        let mut work = 0usize;
+        let mut exhausted = false;
+        let completed = self.for_each_run(seq, scratch, |sets| {
+            work += 1;
+            if work > budget {
+                exhausted = true;
+                return false;
+            }
+            if sets.is_dead() {
+                return true;
+            }
+            items.clear();
+            if !product_count(sets, 0, &mut items, counter, &mut on_new, budget, &mut work) {
+                exhausted = true;
+                return false;
+            }
+            true
+        });
+        scratch.items = items;
+        if exhausted || !completed {
+            return Err(Error::ResourceExhausted(format!(
+                "candidate counting exceeded budget of {budget}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Cartesian-product descent over a run's output sets, observing each
+/// complete candidate. Returns `false` on budget exhaustion.
+fn product_count(
+    sets: &RunSets<'_>,
+    depth: usize,
+    items: &mut Vec<ItemId>,
+    counter: &mut CandidateCounter,
+    on_new: &mut impl FnMut(&[ItemId], &mut CandidateCounter),
+    budget: usize,
+    work: &mut usize,
+) -> bool {
+    if depth == sets.len() {
+        *work += 1;
+        if *work > budget {
+            return false;
+        }
+        // The all-ε run's empty candidate is charged but never counted
+        // (the reference removes it after generation).
+        if !items.is_empty() && counter.observe(items) {
+            on_new(items, counter);
+        }
+        return true;
+    }
+    for &w in sets.set(depth) {
+        items.push(w);
+        let ok = product_count(sets, depth + 1, items, counter, on_new, budget, work);
+        items.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// One interned candidate: its [`fx::hash_items`] hash, the exclusive end
+/// offsets of its item and canonical-byte ranges in the counter's arenas
+/// (starts come from the previous entry), its per-sequence epoch stamp and
+/// accumulated weight.
+struct CountEntry {
+    hash: u64,
+    items_end: u32,
+    key_end: u32,
+    last_epoch: u32,
+    count: u64,
+}
+
+/// An interned candidate-count table: candidates live in flat arenas and
+/// are counted through an open-addressing [`ProbeTable`] — no
+/// `Vec<ItemId>` keys, no per-candidate allocation after warm-up.
+///
+/// # Count-table contract
+///
+/// * Probing hashes and compares the raw item slices ([`fx::hash_items`]);
+///   the candidate's canonical [`codec::encode_item_seq`] bytes are
+///   produced **exactly once per distinct candidate** — at first insertion
+///   — and stored alongside, so duplicate observations (the common case
+///   inside Cartesian products) never re-encode. [`last_key`](Self::last_key)
+///   exposes the stored bytes for shuffle emission.
+/// * Counting is **per input sequence**: [`begin_sequence`](Self::begin_sequence)
+///   opens a sequence with its weight, and [`observe`](Self::observe) adds
+///   that weight at most once per distinct candidate per open sequence (an
+///   epoch stamp per entry — no per-sequence clearing or allocation).
+/// * Worker-local tables merge with [`merge`](Self::merge) on the calling
+///   thread (weights add; no locks anywhere), and
+///   [`patterns`](Self::patterns) returns the interned
+///   candidates as sorted-ready `(Sequence, count)` pairs.
+#[derive(Default)]
+pub struct CandidateCounter {
+    table: ProbeTable,
+    entries: Vec<CountEntry>,
+    /// Item arena; entry `i` owns `items[entries[i-1].items_end..entries[i].items_end]`.
+    items: Vec<ItemId>,
+    /// Canonical-encoding arena, parallel to `items` (empty unless
+    /// [`with_keys`](Self::with_keys)).
+    key_data: Vec<u8>,
+    /// Store canonical encodings at insert time (shuffle consumers); plain
+    /// counters skip the encode entirely and [`last_key`](Self::last_key)
+    /// encodes on demand.
+    store_keys: bool,
+    /// On-demand encode scratch of [`last_key`](Self::last_key).
+    keybuf: Vec<u8>,
+    /// Entry index of the most recent `observe`.
+    last: u32,
+    epoch: u32,
+    weight: u64,
+    observed: u64,
+}
+
+impl CandidateCounter {
+    /// An empty counter that never materializes canonical key bytes on its
+    /// own (pure counting — DESQ-COUNT workers, D-CAND reducers).
+    pub fn new() -> CandidateCounter {
+        CandidateCounter::default()
+    }
+
+    /// An empty counter that stores each distinct candidate's canonical
+    /// encoding at insert time, so [`last_key`](Self::last_key) is a slice
+    /// lookup — for callers that emit every first observation into a
+    /// shuffle (the NAÏVE / SEMI-NAÏVE mappers).
+    pub fn with_keys() -> CandidateCounter {
+        CandidateCounter {
+            store_keys: true,
+            ..CandidateCounter::default()
+        }
+    }
+
+    /// Opens a new input sequence contributing `weight` per distinct
+    /// candidate. Must be called before [`observe`](Self::observe).
+    pub fn begin_sequence(&mut self, weight: u64) {
+        self.epoch += 1;
+        // u32::MAX is the fresh-entry sentinel ("never observed"); an
+        // epoch reaching it would silently drop first observations.
+        assert!(
+            self.epoch < u32::MAX,
+            "more than u32::MAX - 1 sequences in one counter"
+        );
+        self.weight = weight;
+    }
+
+    /// Observes one candidate for the open sequence. Returns `true` iff
+    /// this is the candidate's first observation for this sequence (its
+    /// count was bumped); the canonical encoding is then available via
+    /// [`last_key`](Self::last_key).
+    pub fn observe(&mut self, items: &[ItemId]) -> bool {
+        debug_assert!(self.epoch > 0, "call begin_sequence before observe");
+        let idx = self.intern(fx::hash_items(items), items) as usize;
+        self.last = idx as u32;
+        let entry = &mut self.entries[idx];
+        if entry.last_epoch == self.epoch {
+            return false;
+        }
+        entry.last_epoch = self.epoch;
+        entry.count += self.weight;
+        self.observed += 1;
+        true
+    }
+
+    /// The canonical byte encoding of the most recently observed
+    /// candidate: a stored-arena slice under [`with_keys`](Self::with_keys),
+    /// an on-demand encode otherwise.
+    #[inline]
+    pub fn last_key(&mut self) -> &[u8] {
+        if self.store_keys {
+            return self.key(self.last as usize);
+        }
+        let mut keybuf = std::mem::take(&mut self.keybuf);
+        keybuf.clear();
+        codec::encode_item_seq(self.entry_items(self.last as usize), &mut keybuf);
+        self.keybuf = keybuf;
+        &self.keybuf
+    }
+
+    /// Number of distinct candidates interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no candidate has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total first-per-sequence observations — the work metric of
+    /// DESQ-COUNT (candidate occurrences counted).
+    #[inline]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The items of entry `i`.
+    #[inline]
+    fn entry_items(&self, i: usize) -> &[ItemId] {
+        let start = if i == 0 {
+            0
+        } else {
+            self.entries[i - 1].items_end as usize
+        };
+        &self.items[start..self.entries[i].items_end as usize]
+    }
+
+    /// The canonical key bytes of entry `i`.
+    #[inline]
+    fn key(&self, i: usize) -> &[u8] {
+        let start = if i == 0 {
+            0
+        } else {
+            self.entries[i - 1].key_end as usize
+        };
+        &self.key_data[start..self.entries[i].key_end as usize]
+    }
+
+    fn intern(&mut self, hash: u64, items: &[ItemId]) -> u32 {
+        let (table, entries) = (&mut self.table, &self.entries);
+        table.grow_if_needed(entries.len(), |i| entries[i as usize].hash);
+        let arena = &self.items;
+        let slice_of = |i: u32| {
+            let start = if i == 0 {
+                0
+            } else {
+                entries[i as usize - 1].items_end as usize
+            };
+            &arena[start..entries[i as usize].items_end as usize]
+        };
+        match table.find(hash, |i| {
+            entries[i as usize].hash == hash && slice_of(i) == items
+        }) {
+            Ok(i) => i,
+            Err(slot) => {
+                // The u32 arena offsets and ids must not wrap (a counter
+                // would need > 4 Gi of distinct candidate items).
+                assert!(
+                    self.items.len() + items.len() <= u32::MAX as usize
+                        && self.entries.len() < u32::MAX as usize,
+                    "candidate count table exceeds the u32 offset range"
+                );
+                let id = self.entries.len() as u32;
+                self.items.extend_from_slice(items);
+                if self.store_keys {
+                    // The one and only encoding of this candidate.
+                    codec::encode_item_seq(items, &mut self.key_data);
+                }
+                self.entries.push(CountEntry {
+                    hash,
+                    items_end: self.items.len() as u32,
+                    key_end: self.key_data.len() as u32,
+                    count: 0,
+                    // Never equal to an active epoch (epochs count from 1).
+                    last_epoch: u32::MAX,
+                });
+                self.table.insert(slot, id);
+                id
+            }
+        }
+    }
+
+    /// Iterates every interned candidate as
+    /// `(items, canonical bytes, count)` — the NAÏVE mappers drain a
+    /// partition's counter through this once, emitting each distinct
+    /// candidate with its accumulated weight instead of once per input
+    /// sequence. Requires [`with_keys`](Self::with_keys).
+    pub fn iter_with_keys(&self) -> impl Iterator<Item = (&[ItemId], &[u8], u64)> + '_ {
+        debug_assert!(self.store_keys, "iter_with_keys requires with_keys()");
+        (0..self.len()).map(|i| (self.entry_items(i), self.key(i), self.entries[i].count))
+    }
+
+    /// Merges another counter's entries into this one (weights add). The
+    /// intended use is combining owned per-worker partials on the calling
+    /// thread.
+    pub fn merge(&mut self, other: &CandidateCounter) {
+        for i in 0..other.len() {
+            let idx = self.intern(other.entries[i].hash, other.entry_items(i)) as usize;
+            self.entries[idx].count += other.entries[i].count;
+        }
+        self.observed += other.observed;
+    }
+
+    /// Returns every interned candidate with count `>= min_count` as
+    /// `(Sequence, count)` pairs (unordered — callers sort).
+    pub fn patterns(&self, min_count: u64) -> Vec<(Sequence, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            let count = self.entries[i].count;
+            if count < min_count {
+                continue;
+            }
+            out.push((self.entry_items(i).to_vec(), count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::candidates;
+    use super::*;
+    use crate::fx::FxHashMap;
+    use crate::toy;
+
+    /// Reference counting over `candidates::generate` for one database.
+    fn oracle_counts(
+        fst: &Fst,
+        dict: &Dictionary,
+        seqs: &[Sequence],
+        sigma: Option<u64>,
+        budget: usize,
+    ) -> Result<Vec<(Sequence, u64)>> {
+        let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+        for seq in seqs {
+            for c in candidates::generate(fst, dict, seq, sigma, budget)? {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(Sequence, u64)> = counts.into_iter().collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn flat_counts(
+        fst: &Fst,
+        dict: &Dictionary,
+        seqs: &[Sequence],
+        sigma: Option<u64>,
+        budget: usize,
+    ) -> Result<Vec<(Sequence, u64)>> {
+        let index = FstIndex::new(fst);
+        let walker = match sigma {
+            Some(s) => RunWalker::new(fst, dict, &index, dict.last_frequent(s)),
+            None => RunWalker::unfiltered(fst, dict, &index),
+        };
+        let mut scratch = RunScratch::default();
+        let mut counter = CandidateCounter::new();
+        for seq in seqs {
+            walker.count_candidates(seq, 1, budget, &mut scratch, &mut counter, |_, _| {})?;
+        }
+        let mut out = counter.patterns(0);
+        out.sort();
+        Ok(out)
+    }
+
+    #[test]
+    fn flat_counts_match_oracle_on_toy() {
+        let fx = toy::fixture();
+        for sigma in [None, Some(1), Some(2), Some(3), Some(10)] {
+            let oracle = oracle_counts(&fx.fst, &fx.dict, &fx.db.sequences, sigma, usize::MAX);
+            let flat = flat_counts(&fx.fst, &fx.dict, &fx.db.sequences, sigma, usize::MAX);
+            assert_eq!(flat.unwrap(), oracle.unwrap(), "sigma {sigma:?}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_parity_on_toy() {
+        let fx = toy::fixture();
+        for budget in 0..40 {
+            for sigma in [None, Some(2)] {
+                let oracle = oracle_counts(&fx.fst, &fx.dict, &fx.db.sequences, sigma, budget);
+                let flat = flat_counts(&fx.fst, &fx.dict, &fx.db.sequences, sigma, budget);
+                match (oracle, flat) {
+                    (Ok(a), Ok(b)) => assert_eq!(b, a, "budget {budget} sigma {sigma:?}"),
+                    (Err(Error::ResourceExhausted(_)), Err(Error::ResourceExhausted(_))) => {}
+                    (a, b) => {
+                        panic!("budget {budget} sigma {sigma:?}: oracle {a:?} vs flat {b:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_sets_match_runs_module_on_toy() {
+        // The walker's per-run sets equal the (unfiltered) output sets the
+        // `runs` module materializes per transition.
+        use super::super::{runs, Grid};
+        let fx = toy::fixture();
+        let index = FstIndex::new(&fx.fst);
+        let walker = RunWalker::unfiltered(&fx.fst, &fx.dict, &index);
+        let mut scratch = RunScratch::default();
+        for seq in &fx.db.sequences {
+            let mut expect: Vec<Vec<Vec<ItemId>>> = Vec::new();
+            let grid = Grid::build(&fx.fst, &fx.dict, seq);
+            runs::for_each_accepting_run(&fx.fst, &fx.dict, seq, &grid, |path| {
+                let mut sets = Vec::new();
+                for (tr, &t) in path.iter().zip(seq) {
+                    if !tr.produces_output() {
+                        continue;
+                    }
+                    let mut buf = Vec::new();
+                    tr.outputs(t, &fx.dict, &mut buf);
+                    sets.push(buf);
+                }
+                expect.push(sets);
+                true
+            });
+            let mut got: Vec<Vec<Vec<ItemId>>> = Vec::new();
+            walker.for_each_run(seq, &mut scratch, |sets| {
+                assert!(!sets.is_dead(), "unfiltered runs are never dead");
+                got.push(sets.iter().map(<[ItemId]>::to_vec).collect());
+                true
+            });
+            assert_eq!(got, expect, "seq {seq:?}");
+        }
+    }
+
+    #[test]
+    fn counter_dedups_within_a_sequence_and_merges() {
+        let mut a = CandidateCounter::new();
+        a.begin_sequence(1);
+        assert!(a.observe(&[1, 2]));
+        assert!(!a.observe(&[1, 2]), "same sequence: no double count");
+        assert!(a.observe(&[1]));
+        a.begin_sequence(3);
+        assert!(a.observe(&[1, 2]), "new sequence counts again");
+        assert_eq!(a.observed(), 3);
+
+        let mut b = CandidateCounter::new();
+        b.begin_sequence(10);
+        assert!(b.observe(&[1, 2]));
+        assert!(b.observe(&[9]));
+
+        a.merge(&b);
+        let mut got = a.patterns(0);
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(vec![1], 1), (vec![1, 2], 14), (vec![9], 10)],
+            "weights add across merges"
+        );
+        // Threshold filters.
+        let mut sigma = a.patterns(10);
+        sigma.sort();
+        assert_eq!(sigma, vec![(vec![1, 2], 14), (vec![9], 10)]);
+    }
+
+    #[test]
+    fn walker_rejects_and_accepts_like_the_grid() {
+        let fx = toy::fixture();
+        let index = FstIndex::new(&fx.fst);
+        let walker = RunWalker::unfiltered(&fx.fst, &fx.dict, &index);
+        let mut scratch = RunScratch::default();
+        // T3 is rejected: no runs visited.
+        let mut visits = 0;
+        walker.for_each_run(&fx.db.sequences[2], &mut scratch, |_| {
+            visits += 1;
+            true
+        });
+        assert_eq!(visits, 0);
+        // T5 has exactly the paper's three accepting runs.
+        walker.for_each_run(&fx.db.sequences[4], &mut scratch, |_| {
+            visits += 1;
+            true
+        });
+        assert_eq!(visits, 3);
+    }
+}

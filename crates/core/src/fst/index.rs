@@ -34,9 +34,14 @@
 //! * interned label indices are only meaningful against the same index
 //!   (`labels()[i]`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use super::{Fst, InputLabel, OutputLabel};
 use crate::dictionary::Dictionary;
 use crate::sequence::ItemId;
+
+/// Source of unique per-construction [`FstIndex::generation`] ids.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// A transition inside an [`FstIndex`]: its bit in the per-position match
 /// mask, its target state, and its interned output label (`-1` = ε).
@@ -70,6 +75,10 @@ pub struct FstIndex {
     /// the mask build evaluates each distinct label once per position
     /// instead of once per transition.
     distinct_inputs: Vec<(InputLabel, Vec<u64>)>,
+    /// Per transition (global order): index of its label in
+    /// `distinct_inputs` — lets lazy consumers evaluate a label on first
+    /// touch and reuse the verdict for every transition sharing it.
+    distinct_of: Vec<u16>,
     /// All states' transitions, flattened; state `q` owns
     /// `trs[state_offsets[q]..state_offsets[q + 1]]`.
     trs: Vec<TrRef>,
@@ -84,6 +93,8 @@ pub struct FstIndex {
     /// hoisted once so per-sequence scans (the early-stopping heuristic)
     /// never re-collect and re-sort them.
     producers: Vec<(InputLabel, OutputLabel)>,
+    /// Process-unique construction id (see [`generation`](Self::generation)).
+    generation: u64,
 }
 
 impl FstIndex {
@@ -136,16 +147,22 @@ impl FstIndex {
             }
         }
         let mut distinct_inputs: Vec<(InputLabel, Vec<u64>)> = Vec::new();
+        let mut distinct_of: Vec<u16> = Vec::with_capacity(inputs.len());
         for (d, &(input, _)) in inputs.iter().enumerate() {
-            let bits = match distinct_inputs.iter_mut().find(|(l, _)| *l == input) {
-                Some((_, bits)) => bits,
+            let di = match distinct_inputs.iter().position(|(l, _)| *l == input) {
+                Some(i) => i,
                 None => {
                     distinct_inputs.push((input, vec![0u64; words]));
-                    &mut distinct_inputs.last_mut().unwrap().1
+                    distinct_inputs.len() - 1
                 }
             };
-            bits[d / 64] |= 1 << (d % 64);
+            distinct_inputs[di].1[d / 64] |= 1 << (d % 64);
+            distinct_of.push(di as u16);
         }
+        assert!(
+            distinct_inputs.len() <= u16::MAX as usize,
+            "FST has too many distinct input labels to index"
+        );
         let nq = fst.num_states();
         let mut can_output: Vec<bool> = (0..nq as u32)
             .map(|q| fst.transitions(q).iter().any(|tr| tr.produces_output()))
@@ -179,11 +196,22 @@ impl FstIndex {
             label_masks,
             inputs,
             distinct_inputs,
+            distinct_of,
             trs,
             state_offsets,
             can_output,
             producers,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// A process-unique id minted at construction (clones keep their
+    /// source's id — they are the same derived data). Caches that persist
+    /// across jobs key their contents on this instead of the index's
+    /// address, which the allocator may recycle.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Match-mask words per position (`⌈|Δ| / 64⌉`, at least 1).
@@ -224,6 +252,24 @@ impl FstIndex {
     #[inline]
     pub fn state(&self, q: usize) -> &[TrRef] {
         &self.trs[self.state_offsets[q] as usize..self.state_offsets[q + 1] as usize]
+    }
+
+    /// The distinct input labels with the union bit masks of their
+    /// transitions (indexable by [`state_distinct`](Self::state_distinct)
+    /// entries).
+    #[inline]
+    pub fn distinct_inputs(&self) -> &[(InputLabel, Vec<u64>)] {
+        &self.distinct_inputs
+    }
+
+    /// Per transition of state `q` (parallel to [`state`](Self::state)):
+    /// the index of its input label in
+    /// [`distinct_inputs`](Self::distinct_inputs). Lazy consumers evaluate
+    /// a distinct label once per position on first touch and reuse the
+    /// verdict for every transition sharing it.
+    #[inline]
+    pub fn state_distinct(&self, q: usize) -> &[u16] {
+        &self.distinct_of[self.state_offsets[q] as usize..self.state_offsets[q + 1] as usize]
     }
 
     /// True iff state `q` can still reach an output-producing transition

@@ -14,10 +14,12 @@
 
 pub mod candidates;
 mod compile;
+pub mod flat;
 mod grid;
 pub mod index;
 pub mod runs;
 
+pub use flat::{CandidateCounter, RunScratch, RunWalker};
 pub use grid::Grid;
 pub use index::{FstIndex, TrRef};
 

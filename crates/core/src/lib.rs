@@ -44,6 +44,7 @@
 //! assert_eq!(cands.len(), 3);
 //! ```
 
+pub mod codec;
 pub mod dictionary;
 pub mod error;
 pub mod fst;

@@ -22,13 +22,12 @@
 
 pub mod nfa;
 
-use desq_core::fst::{runs, Grid};
-use desq_core::fx::FxHashMap;
+use desq_core::fst::flat::RunSets;
+use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
 use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence};
 
 use desq_bsp::{Combiner, Engine};
 
-use crate::pivots::PivotSearch;
 use crate::{from_bsp, to_bsp, MiningResult};
 use nfa::{Nfa, TrieBuilder};
 
@@ -73,11 +72,29 @@ impl DCandConfig {
 /// elements of the union that are no smaller than the largest per-set
 /// minimum. Sets must be non-empty and sorted ascending; the result is
 /// sorted ascending. An empty slice yields the empty set.
-pub fn merge_pivots(sets: &[Vec<ItemId>]) -> Vec<ItemId> {
-    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+///
+/// Generic over the set representation so callers can pass owned
+/// `Vec<ItemId>` sets or slices borrowed from a flat run-table arena.
+pub fn merge_pivots<S: AsRef<[ItemId]>>(sets: &[S]) -> Vec<ItemId> {
+    merge_pivots_iter(sets.iter().map(AsRef::as_ref))
+}
+
+/// [`merge_pivots`] over any re-iterable view of the sets — the flat run
+/// walker's [`RunSets`] pass their arena-backed slices straight through
+/// without collecting.
+fn merge_pivots_iter<'s>(sets: impl Iterator<Item = &'s [ItemId]> + Clone) -> Vec<ItemId> {
+    let mut threshold = 0;
+    let mut any = false;
+    for s in sets.clone() {
+        match s.first() {
+            Some(&min) => threshold = threshold.max(min),
+            None => return Vec::new(),
+        }
+        any = true;
+    }
+    if !any {
         return Vec::new();
     }
-    let threshold = sets.iter().map(|s| s[0]).max().expect("non-empty slice");
     let mut out: Vec<ItemId> = Vec::new();
     for s in sets {
         for &w in s {
@@ -97,14 +114,14 @@ pub fn merge_pivots(sets: &[Vec<ItemId>]) -> Vec<ItemId> {
 /// after — so terms are disjoint and their union complete.
 fn insert_pivot_terms(
     trie: &mut TrieBuilder,
-    path: &[Vec<ItemId>],
+    path: &RunSets<'_>,
     p: ItemId,
     budget: usize,
     work: &mut usize,
 ) -> Result<()> {
     let mut term: Vec<Vec<ItemId>> = Vec::with_capacity(path.len());
     'first_occurrence: for j in 0..path.len() {
-        if !path[j].contains(&p) {
+        if !path.set(j).contains(&p) {
             continue;
         }
         term.clear();
@@ -132,47 +149,50 @@ fn insert_pivot_terms(
     Ok(())
 }
 
-/// Builds the per-pivot serialized NFAs for one input sequence.
+/// Builds the per-pivot serialized NFAs for one input sequence by walking
+/// the flat run tables: σ-filtered output sets come straight from the
+/// walker's per-`(position, label)` arena (no `Grid`, no per-transition
+/// output materialization), and each run's pivot set and first-occurrence
+/// decomposition are processed as the run is enumerated.
 fn representations(
-    search: &PivotSearch<'_>,
-    fst: &Fst,
-    dict: &Dictionary,
+    walker: &RunWalker<'_>,
     seq: &Sequence,
     config: &DCandConfig,
+    scratch: &mut RunScratch,
 ) -> Result<Vec<(ItemId, Vec<u8>)>> {
-    let grid = Grid::build(fst, dict, seq);
-    if !grid.accepts() {
-        return Ok(Vec::new());
-    }
     let budget = config.run_budget;
     let mut work = 0usize;
     let mut exhausted = false;
-    let mut paths: Vec<Vec<Vec<ItemId>>> = Vec::new();
-    let completed = runs::for_each_accepting_run(fst, dict, seq, &grid, |path| {
+    let mut failure: Option<Error> = None;
+    let mut tries: std::collections::BTreeMap<ItemId, TrieBuilder> =
+        std::collections::BTreeMap::new();
+    let completed = walker.for_each_run(seq, scratch, |sets| {
         work += 1;
         if work > budget {
             exhausted = true;
             return false;
         }
-        if let Some(sets) = search.filtered_run_sets(path, seq) {
-            if !sets.is_empty() {
-                paths.push(sets);
+        if sets.is_dead() || sets.is_empty() {
+            // σ-killed runs count enumeration work but represent nothing;
+            // all-ε runs only produce the empty candidate.
+            return true;
+        }
+        for p in merge_pivots_iter(sets.iter()) {
+            let trie = tries.entry(p).or_default();
+            if let Err(e) = insert_pivot_terms(trie, sets, p, budget, &mut work) {
+                failure = Some(e);
+                return false;
             }
         }
         true
     });
+    if let Some(e) = failure {
+        return Err(e);
+    }
     if exhausted || !completed {
         return Err(Error::ResourceExhausted(format!(
             "D-CAND run enumeration exceeded budget of {budget}"
         )));
-    }
-    let mut tries: std::collections::BTreeMap<ItemId, TrieBuilder> =
-        std::collections::BTreeMap::new();
-    for path in &paths {
-        for p in merge_pivots(path) {
-            let trie = tries.entry(p).or_default();
-            insert_pivot_terms(trie, path, p, budget, &mut work)?;
-        }
     }
     Ok(tries
         .into_iter()
@@ -198,24 +218,25 @@ pub(crate) fn d_cand_impl(
     desq_core::mining::validate_sigma(config.sigma)?;
     let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
-    let search = PivotSearch::new(fst, dict, last_frequent);
+    let index = FstIndex::new(fst);
 
-    // Shared reduce body over borrowed NFA byte slices: expand each NFA,
-    // count candidates weighted by source multiplicity, σ-filter.
+    // Shared reduce body over borrowed NFA byte slices: expand each NFA
+    // (its candidate set is deduplicated by construction) and count the
+    // candidates into an interned byte-key table, weighted by source
+    // multiplicity — DESQ-COUNT over compressed inputs, σ-filtered.
     let expand_and_count = |inputs: &mut dyn Iterator<Item = (&[u8], u64)>,
                             emit: &mut dyn FnMut((Sequence, u64))|
      -> desq_bsp::Result<()> {
-        let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+        let mut counter = CandidateCounter::new();
         for (bytes, weight) in inputs {
             let nfa = Nfa::deserialize(bytes).map_err(to_bsp)?;
+            counter.begin_sequence(weight);
             for candidate in nfa.expand(config.run_budget).map_err(to_bsp)? {
-                *counts.entry(candidate).or_insert(0) += weight;
+                counter.observe(&candidate);
             }
         }
-        for (candidate, freq) in counts {
-            if freq >= config.sigma {
-                emit((candidate, freq));
-            }
+        for pattern in counter.patterns(config.sigma) {
+            emit(pattern);
         }
         Ok(())
     };
@@ -225,9 +246,11 @@ pub(crate) fn d_cand_impl(
             .map_combine_reduce(
                 parts,
                 |part: &[Sequence], out: &mut Combiner<ItemId>| {
+                    let walker = RunWalker::new(fst, dict, &index, last_frequent);
+                    let mut scratch = RunScratch::default();
                     for seq in part {
                         for (p, bytes) in
-                            representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
+                            representations(&walker, seq, &config, &mut scratch).map_err(to_bsp)?
                         {
                             // The serialized NFA goes through the byte-
                             // payload path: combined by content, interned
@@ -247,9 +270,11 @@ pub(crate) fn d_cand_impl(
             .map_reduce(
                 parts,
                 |part: &[Sequence], emit: &mut dyn FnMut(ItemId, (Vec<u8>, u64))| {
+                    let walker = RunWalker::new(fst, dict, &index, last_frequent);
+                    let mut scratch = RunScratch::default();
                     for seq in part {
                         for (p, bytes) in
-                            representations(&search, fst, dict, seq, &config).map_err(to_bsp)?
+                            representations(&walker, seq, &config, &mut scratch).map_err(to_bsp)?
                         {
                             emit(p, (bytes, 1));
                         }
@@ -305,7 +330,7 @@ mod tests {
         let sets = vec![vec![fx.a1], vec![fx.big_a, fx.a1], vec![fx.b]];
         assert_eq!(merge_pivots(&sets), vec![fx.a1]);
         // Degenerate cases.
-        assert!(merge_pivots(&[]).is_empty());
+        assert!(merge_pivots::<Vec<ItemId>>(&[]).is_empty());
         assert_eq!(merge_pivots(&[vec![3, 7]]), vec![3, 7]);
         assert_eq!(merge_pivots(&[vec![1, 5], vec![2, 9]]), vec![2, 5, 9]);
     }

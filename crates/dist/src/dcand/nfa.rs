@@ -172,7 +172,7 @@ impl Nfa {
                 )));
             }
             let src = if flags & HAS_SRC != 0 {
-                let v = read_varint(&mut buf).map_err(crate::from_bsp)?;
+                let v = read_varint(&mut buf)?;
                 if v >= states.len() as u64 {
                     return Err(Error::Decode(format!(
                         "NFA: source state {v} does not exist yet"
@@ -182,7 +182,7 @@ impl Nfa {
             } else {
                 current
             };
-            let len = read_varint(&mut buf).map_err(crate::from_bsp)? as usize;
+            let len = read_varint(&mut buf)? as usize;
             if len > buf.len() {
                 return Err(Error::Decode(format!(
                     "NFA: label length {len} exceeds input"
@@ -190,14 +190,14 @@ impl Nfa {
             }
             let mut label = Vec::with_capacity(len);
             for _ in 0..len {
-                let w = read_varint(&mut buf).map_err(crate::from_bsp)?;
+                let w = read_varint(&mut buf)?;
                 label.push(
                     ItemId::try_from(w)
                         .map_err(|_| Error::Decode(format!("NFA: item {w} out of range")))?,
                 );
             }
             let target = if flags & OLD_TARGET != 0 {
-                let v = read_varint(&mut buf).map_err(crate::from_bsp)?;
+                let v = read_varint(&mut buf)?;
                 if v >= states.len() as u64 {
                     return Err(Error::Decode(format!(
                         "NFA: target state {v} does not exist yet"

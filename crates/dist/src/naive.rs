@@ -1,17 +1,28 @@
 //! The NAÏVE and SEMI-NAÏVE baselines (Sec. III-C of the paper): ship the
 //! candidate subsequences themselves.
 //!
-//! NAÏVE materializes the full `G_π(T)` per input sequence and sends every
+//! NAÏVE enumerates the full `G_π(T)` per input sequence and sends every
 //! candidate to the partition of its pivot item; SEMI-NAÏVE first drops
 //! candidates containing infrequent items (`G^σ_π(T)`), which is valid by
-//! support antimonotonicity. Reducers simply count. Both are exact but
-//! explode on loose constraints — candidate generation is bounded by
-//! [`NaiveConfig::budget`], the analog of the paper's executor memory limit.
+//! support antimonotonicity. Both are exact but explode on loose
+//! constraints — candidate generation is bounded by
+//! [`NaiveConfig::budget`], the analog of the paper's executor memory
+//! limit.
+//!
+//! Since PR 5 the mappers run on the flat counting path
+//! ([`desq_core::fst::flat`]): a [`RunWalker`] enumerates candidates over
+//! pre-filtered flat run tables, and each per-sequence-distinct candidate
+//! is emitted through the engine's byte-payload combiner as its canonical
+//! `encode_item_seq` bytes, keyed by pivot. The combiner dedups identical
+//! `(pivot, candidate)` pairs map-side, so a reducer receives every
+//! distinct candidate exactly once with its global frequency as the
+//! combined weight — the reduce phase is a σ-filter plus one decode, with
+//! no hash map at all.
 
-use desq_bsp::Engine;
-use desq_core::fst::candidates;
-use desq_core::fx::FxHashMap;
-use desq_core::{sequence, Dictionary, Fst, ItemId, Result, Sequence, EPSILON};
+use desq_bsp::{Combiner, Engine};
+use desq_core::codec::decode_item_seq;
+use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
+use desq_core::{sequence, Dictionary, Fst, ItemId, Result, Sequence};
 
 use crate::{from_bsp, to_bsp, MiningResult};
 
@@ -64,35 +75,48 @@ pub(crate) fn naive_impl(
 ) -> Result<MiningResult> {
     desq_core::mining::validate_sigma(config.sigma)?;
     let t0 = std::time::Instant::now();
-    let sigma_filter = config.filter.then_some(config.sigma);
+    let index = FstIndex::new(fst);
+    let max_item = if config.filter {
+        dict.last_frequent(config.sigma)
+    } else {
+        ItemId::MAX
+    };
 
-    let map = |part: &[Sequence], emit: &mut dyn FnMut(ItemId, Sequence)| {
+    let map = |part: &[Sequence], out: &mut Combiner<ItemId>| {
+        let walker = RunWalker::new(fst, dict, &index, max_item);
+        let mut scratch = RunScratch::default();
+        let mut counter = CandidateCounter::with_keys();
         for seq in part {
-            let cands = candidates::generate(fst, dict, seq, sigma_filter, config.budget)
+            walker
+                .count_candidates(seq, 1, config.budget, &mut scratch, &mut counter, |_, _| {})
                 .map_err(to_bsp)?;
-            for c in cands {
-                let p = sequence::pivot(&c);
-                if p != EPSILON {
-                    emit(p, c);
-                }
-            }
+        }
+        // Drain the partition's interned counts: each distinct candidate is
+        // emitted once with its accumulated weight (a mapper-level combine
+        // on top of the engine's own).
+        for (items, bytes, count) in counter.iter_with_keys() {
+            // Interned candidates are non-empty, so the pivot is never ε.
+            out.emit(&sequence::pivot(items), bytes, count);
         }
         Ok(())
     };
-    let reduce = |_p: &ItemId, cands: Vec<Sequence>, emit: &mut dyn FnMut((Sequence, u64))| {
-        let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
-        for c in cands {
-            *counts.entry(c).or_insert(0) += 1;
-        }
-        for (c, freq) in counts {
+    // The combiner merged identical (pivot, candidate) pairs across the
+    // whole job, so each payload's weight is its global frequency.
+    let reduce = |_p: &ItemId, cands: &[(&[u8], u64)], emit: &mut dyn FnMut((Sequence, u64))| {
+        for &(bytes, freq) in cands {
             if freq >= config.sigma {
+                let mut c: Sequence = Vec::new();
+                let mut slice = bytes;
+                decode_item_seq(&mut slice, &mut c).map_err(to_bsp)?;
                 emit((c, freq));
             }
         }
         Ok(())
     };
 
-    let (patterns, job) = engine.map_reduce(parts, map, reduce).map_err(from_bsp)?;
+    let (patterns, job) = engine
+        .map_combine_reduce(parts, map, reduce)
+        .map_err(from_bsp)?;
     let patterns = desq_miner::sort_patterns(patterns);
     let metrics = crate::metrics_from_job(
         job,

@@ -39,7 +39,7 @@
 //! pivots, including for adversarial FSTs where more aggressive per-pivot
 //! trimming would change results.
 
-use desq_core::fst::{runs, FstIndex, Grid, OutputLabel};
+use desq_core::fst::{runs, FstIndex, Grid};
 use desq_core::{Dictionary, Error, Fst, ItemId, Result, EPSILON};
 
 use crate::dcand::merge_pivots;
@@ -571,26 +571,6 @@ impl<'a> PivotSearch<'a> {
     /// [reuse contract](desq_core::fst::index)).
     pub fn index(&self) -> &FstIndex {
         &self.index
-    }
-
-    /// Like [`Self::filtered_outputs`], exposed for D-CAND's run collection.
-    pub(crate) fn filtered_run_sets(
-        &self,
-        path: &[&desq_core::fst::Transition],
-        seq: &[ItemId],
-    ) -> Option<Vec<Vec<ItemId>>> {
-        let mut sets = Vec::new();
-        for (tr, &t) in path.iter().zip(seq) {
-            if matches!(tr.output, OutputLabel::None) {
-                continue;
-            }
-            let buf = self.filtered_outputs(tr, t);
-            if buf.is_empty() {
-                return None;
-            }
-            sets.push(buf);
-        }
-        Some(sets)
     }
 }
 

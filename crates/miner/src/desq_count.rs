@@ -1,17 +1,26 @@
 //! DESQ-COUNT: candidate generation plus counting.
 //!
-//! For every input sequence, materialize `G^σ_π(T)` and count each candidate
+//! For every input sequence, enumerate `G^σ_π(T)` and count each candidate
 //! once per generating sequence; frequent candidates are those with count
 //! ≥ σ. Simple and *correct by definition* — this is the reference
 //! implementation that DESQ-DFS, D-SEQ, D-CAND, NAÏVE and SEMI-NAÏVE are
 //! all validated against in tests. It is infeasible for constraints with
 //! many candidates per sequence (the reason the paper's naïve distributed
 //! algorithms fail on loose constraints).
+//!
+//! Since PR 5 the enumeration runs on the flat counting path
+//! ([`desq_core::fst::flat`]): a [`RunWalker`] over the shared CSR
+//! [`FstIndex`] (per-position output sets σ-filtered once at table-build
+//! time, per-thread scratch, no `Grid` and no per-transition allocation)
+//! feeding an interned [`CandidateCounter`] (candidates encoded once,
+//! counted as byte keys). Workers return *owned* partial counters that the
+//! calling thread merges — no lock is held during the merge. The
+//! `candidates::generate` oracle remains the documented reference the flat
+//! path is property-tested against.
 
 use std::sync::Mutex;
 
-use desq_core::fst::candidates;
-use desq_core::fx::FxHashMap;
+use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
 use desq_core::{mining, Dictionary, Fst, Result, Sequence, SequenceDb};
 
 /// Result of one counting run: sorted patterns, total candidate
@@ -19,12 +28,12 @@ use desq_core::{mining, Dictionary, Fst, Result, Sequence, SequenceDb};
 type CountOutcome = (Vec<(Sequence, u64)>, u64, Vec<u64>);
 
 /// The workhorse behind [`desq_count`] and [`crate::algo::DesqCount`]:
-/// mines by explicit candidate generation and reports the total number of
+/// mines by explicit candidate enumeration and reports the total number of
 /// candidate occurrences counted (the algorithm's work metric) plus the
-/// wall time each worker spent generating. Candidate generation shards the
-/// database across `workers` threads (per-sequence generation is
-/// independent); the per-worker count maps are merged before the frequency
-/// filter.
+/// wall time each worker spent generating. Candidate enumeration shards the
+/// database across `workers` threads (per-sequence enumeration is
+/// independent); workers count into owned [`CandidateCounter`] partials
+/// that are merged on the calling thread before the frequency filter.
 pub(crate) fn desq_count_impl(
     db: &SequenceDb,
     fst: &Fst,
@@ -35,60 +44,70 @@ pub(crate) fn desq_count_impl(
 ) -> Result<CountOutcome> {
     mining::validate_sigma(sigma)?;
     let workers = workers.max(1).min(db.sequences.len().max(1));
-    let count_chunk = |seqs: &[Sequence]| -> Result<(FxHashMap<Sequence, u64>, u64)> {
-        let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
-        let mut work = 0u64;
+    let index = FstIndex::new(fst);
+    let max_item = dict.last_frequent(sigma);
+    let count_chunk = |seqs: &[Sequence]| -> Result<CandidateCounter> {
+        let walker = RunWalker::new(fst, dict, &index, max_item);
+        let mut scratch = RunScratch::default();
+        let mut counter = CandidateCounter::new();
         for seq in seqs {
-            let cands = candidates::generate(fst, dict, seq, Some(sigma), budget)?;
-            work += cands.len() as u64;
-            for c in cands {
-                *counts.entry(c).or_insert(0) += 1;
-            }
+            walker.count_candidates(seq, 1, budget, &mut scratch, &mut counter, |_, _| {})?;
         }
-        Ok((counts, work))
+        Ok(counter)
     };
 
-    let (counts, work, timings) = if workers == 1 {
+    let (counter, timings) = if workers == 1 {
         let t0 = std::time::Instant::now();
-        let (counts, work) = count_chunk(&db.sequences)?;
-        (counts, work, vec![t0.elapsed().as_nanos() as u64])
+        let counter = count_chunk(&db.sequences)?;
+        (counter, vec![t0.elapsed().as_nanos() as u64])
     } else {
         let chunk = db.sequences.len().div_ceil(workers);
-        type Partial = (FxHashMap<Sequence, u64>, u64, Vec<u64>);
-        let merged: Mutex<Result<Partial>> = Mutex::new(Ok((FxHashMap::default(), 0, Vec::new())));
+        // Workers only push their owned partial (or the first error) under
+        // the lock; all merging happens below, on the calling thread.
+        let partials: Mutex<Vec<(CandidateCounter, u64)>> = Mutex::new(Vec::new());
+        let failure: Mutex<Option<desq_core::Error>> = Mutex::new(None);
         crossbeam::thread::scope(|s| {
-            let (merged, count_chunk) = (&merged, &count_chunk);
+            let (partials, failure, count_chunk) = (&partials, &failure, &count_chunk);
             for part in db.sequences.chunks(chunk) {
                 s.spawn(move |_| {
                     let t0 = std::time::Instant::now();
-                    let local = count_chunk(part);
-                    let nanos = t0.elapsed().as_nanos() as u64;
-                    let mut acc = merged.lock().unwrap();
-                    match (&mut *acc, local) {
-                        (Ok((counts, work, timings)), Ok((lc, lw))) => {
-                            *work += lw;
-                            timings.push(nanos);
-                            for (c, f) in lc {
-                                *counts.entry(c).or_insert(0) += f;
+                    match count_chunk(part) {
+                        Ok(counter) => {
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            partials.lock().unwrap().push((counter, nanos));
+                        }
+                        Err(e) => {
+                            let mut f = failure.lock().unwrap();
+                            if f.is_none() {
+                                *f = Some(e);
                             }
                         }
-                        (Ok(_), Err(e)) => *acc = Err(e),
-                        (Err(_), _) => {} // keep the first error
                     }
                 });
             }
         })
         .expect("counting worker panicked");
-        merged.into_inner().unwrap_or_else(|e| e.into_inner())?
+        if let Some(e) = failure.into_inner().unwrap() {
+            return Err(e);
+        }
+        let mut partials = partials.into_inner().unwrap();
+        let mut timings = Vec::with_capacity(partials.len());
+        let mut merged = CandidateCounter::new();
+        for (partial, nanos) in partials.drain(..) {
+            merged.merge(&partial);
+            timings.push(nanos);
+        }
+        (merged, timings)
     };
-    let out: Vec<(Sequence, u64)> = counts.into_iter().filter(|&(_, f)| f >= sigma).collect();
+    let work = counter.observed();
+    let out = counter.patterns(sigma);
     Ok((crate::sort_patterns(out), work, timings))
 }
 
 /// Mines frequent sequences by explicit candidate generation.
 ///
 /// `budget` bounds per-sequence generation work; see
-/// [`candidates::generate`].
+/// [`desq_core::fst::candidates::generate`].
 #[deprecated(
     since = "0.1.0",
     note = "use desq::session::MiningSession with AlgorithmSpec::DesqCount \

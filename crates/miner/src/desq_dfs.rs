@@ -122,7 +122,7 @@ pub struct LocalMiner<'a> {
 
 /// Owned-or-shared [`FstIndex`] (see [`LocalMiner::with_index`]).
 enum IndexHolder<'a> {
-    Owned(FstIndex),
+    Owned(Box<FstIndex>),
     Shared(&'a FstIndex),
 }
 
@@ -568,7 +568,7 @@ impl<'a> LocalMiner<'a> {
             dict,
             config,
             last_frequent,
-            index: IndexHolder::Owned(FstIndex::new(fst)),
+            index: IndexHolder::Owned(Box::new(FstIndex::new(fst))),
             dense_limit: MAX_DENSE_ITEMS,
         }
     }

@@ -178,6 +178,75 @@ proptest! {
         }
     }
 
+    /// The flat counting path (run walker + interned candidate counter)
+    /// is observationally equivalent to the `candidates::generate` oracle
+    /// on random dictionaries, pattern expressions and databases:
+    /// identical pattern sets and counts (byte-identical after sorting),
+    /// identical work metrics, and budget-exhaustion parity —
+    /// `Error::ResourceExhausted` fires at the same effective work bound,
+    /// with and without the σ filter.
+    #[test]
+    fn flat_counting_matches_generate(
+        world in arb_world(), e in arb_pexp(4), sigma in 0u64..3, small_budget in 1usize..40
+    ) {
+        use desq::core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
+        use desq::core::fx::FxHashMap;
+
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // pattern references an absent item
+        };
+        // σ = 0 exercises the unfiltered (NAÏVE) configuration.
+        let sigma_opt = (sigma > 0).then_some(sigma);
+
+        let oracle = |budget: usize| -> Result<(Vec<(Sequence, u64)>, u64), Error> {
+            let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+            let mut work = 0u64;
+            for seq in &world.db.sequences {
+                let cands = candidates::generate(&fst, &world.dict, seq, sigma_opt, budget)?;
+                work += cands.len() as u64;
+                for c in cands {
+                    *counts.entry(c).or_insert(0) += 1;
+                }
+            }
+            let mut out: Vec<(Sequence, u64)> = counts.into_iter().collect();
+            out.sort();
+            Ok((out, work))
+        };
+        let index = FstIndex::new(&fst);
+        let flat = |budget: usize| -> Result<(Vec<(Sequence, u64)>, u64), Error> {
+            let walker = match sigma_opt {
+                Some(s) => RunWalker::new(&fst, &world.dict, &index, world.dict.last_frequent(s)),
+                None => RunWalker::unfiltered(&fst, &world.dict, &index),
+            };
+            let mut scratch = RunScratch::default();
+            let mut counter = CandidateCounter::new();
+            for seq in &world.db.sequences {
+                walker.count_candidates(seq, 1, budget, &mut scratch, &mut counter, |_, _| {})?;
+            }
+            let mut out = counter.patterns(0);
+            out.sort();
+            Ok((out, counter.observed()))
+        };
+
+        for budget in [BUDGET, small_budget] {
+            match (oracle(budget), flat(budget)) {
+                (Ok((a, aw)), Ok((b, bw))) => {
+                    prop_assert_eq!(&b, &a, "budget {}", budget);
+                    prop_assert_eq!(bw, aw, "work metric, budget {}", budget);
+                }
+                (Err(Error::ResourceExhausted(_)), Err(Error::ResourceExhausted(_))) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "budget parity violated at {}: oracle {:?} vs flat {:?}",
+                    budget,
+                    a.map(|(p, _)| p.len()),
+                    b.map(|(p, _)| p.len())
+                ),
+            }
+        }
+    }
+
     /// The grid pivot search equals the definition (pivots of G^σ_π(T)),
     /// and run-enumerated pivot search agrees.
     #[test]
