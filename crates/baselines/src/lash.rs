@@ -245,21 +245,6 @@ pub(crate) fn lash_impl(
     Ok(MiningResult { patterns, metrics })
 }
 
-/// Runs the LASH-style distributed miner.
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::Lash \
-            (or desq_baselines::algo::Lash via the Miner trait)"
-)]
-pub fn lash(
-    engine: &Engine,
-    parts: &[&[Sequence]],
-    dict: &Dictionary,
-    config: LashConfig,
-) -> Result<MiningResult> {
-    lash_impl(engine, parts, dict, config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 //! Specialized *scalable* FSM baselines from the paper's comparison
 //! (Sec. VII-D):
 //!
-//! * [`lash()`](lash()) — an MG-FSM/LASH-style distributed miner for maximum-gap /
+//! * [`lash`] — an MG-FSM/LASH-style distributed miner for maximum-gap /
 //!   maximum-length (/ hierarchy) constraints: item-based partitioning with
 //!   specialized sequence rewrites (blanking, splitting, part filtering)
 //!   and a gap-constrained local miner. This is the system D-SEQ's
@@ -14,17 +14,15 @@
 //!
 //! Both produce exactly the same output as the general algorithms under the
 //! equivalent T1/T2/T3 pattern expressions, which the cross-validation
-//! tests assert.
+//! tests assert. Both run behind the unified mining API via the [`algo`]
+//! adapters (the deprecated free-function entry points were removed; see
+//! `docs/MIGRATION.md` in the repository root).
 
 pub mod algo;
 pub mod lash;
 pub mod mllib;
 
-#[allow(deprecated)]
-pub use lash::lash;
 pub use lash::LashConfig;
-#[allow(deprecated)]
-pub use mllib::mllib_prefixspan;
 pub use mllib::MllibConfig;
 
 /// Maps an engine error back into the workspace error type.

@@ -157,6 +157,8 @@ pub(crate) fn mllib_impl(
         shuffle_bytes: m1.shuffle_bytes + m2.shuffle_bytes,
         reducer_bytes: m2.reducer_bytes,
         output_records: patterns.len() as u64,
+        reduce_tasks: m1.reduce_tasks + m2.reduce_tasks,
+        reduce_steals: m1.reduce_steals + m2.reduce_steals,
     };
     let metrics = desq_dist::metrics_from_job(
         job,
@@ -165,20 +167,6 @@ pub(crate) fn mllib_impl(
         input_sequences,
     );
     Ok(MiningResult { patterns, metrics })
-}
-
-/// Runs the MLlib-style distributed PrefixSpan.
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::Mllib \
-            (or desq_baselines::algo::Mllib via the Miner trait)"
-)]
-pub fn mllib_prefixspan(
-    engine: &Engine,
-    parts: &[&[Sequence]],
-    config: MllibConfig,
-) -> Result<MiningResult> {
-    mllib_impl(engine, parts, config)
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Perf-smoke harness with three modes, all on the standard bench workload
+//! Perf-smoke harness with four modes, all on the standard bench workload
 //! (NYT-like corpus, σ = 10, min-of-five wall seconds):
 //!
 //! * **local** (default): times DESQ-DFS local mining on the N2/N3/N5/N4
@@ -17,6 +17,14 @@
 //!   the pre-PR-5 counting path (`Grid::build` + `Transition::outputs` per
 //!   run, Cartesian products into `FxHashSet<Vec<ItemId>>`, per-worker count
 //!   maps merged under one `Mutex`), measured with the same protocol.
+//! * **scale** (`perf_smoke scale`): times full DESQ-DFS (through the
+//!   session-level `algo::DesqDfs` adapter, i.e. under the `Auto`
+//!   execution policy and the work-stealing scheduler) on N2/N3/N5/N4 at
+//!   1, 2 and 4 workers and writes `BENCH_6.json`, including the
+//!   scheduler's task/steal counters at 4 workers. Baselines are the
+//!   pre-PR-3 sequential numbers (same as **local**); the parallel
+//!   `scale_w2`/`scale_w4` ratios compare each row against its own
+//!   single-worker time.
 //!
 //! Override any baseline with `PERF_BASELINE_<NAME>=secs` (local) or
 //! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist/count) when
@@ -489,6 +497,130 @@ fn dist_main(out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+struct ScaleRow {
+    name: String,
+    patterns: usize,
+    baseline_secs: f64,
+    /// Min wall seconds at 1, 2 and 4 workers.
+    secs: [f64; 3],
+    /// Scheduler task/steal counters of the last 4-worker repetition.
+    tasks: u64,
+    steals: u64,
+}
+
+/// Worker counts of the scale mode, in row order.
+const SCALE_WORKERS: [usize; 3] = [1, 2, 4];
+
+fn measure_scale(c: &Constraint) -> ScaleRow {
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let fst = c.compile(&dict).unwrap();
+    let mut patterns = 0;
+    let mut secs = [f64::MAX; 3];
+    let mut tasks = 0;
+    let mut steals = 0;
+    for (slot, workers) in SCALE_WORKERS.iter().copied().enumerate() {
+        // The session-level adapter: Auto execution policy (the cost model
+        // may route a selective constraint to the lean counting path) plus
+        // the work-stealing scheduler at `workers` threads.
+        let ctx = MiningContext::sequential(&db, &dict, SIGMA)
+            .with_fst(&fst)
+            .with_parallelism(workers, 1);
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let res = desq_miner::algo::DesqDfs
+                .mine(&ctx)
+                .unwrap_or_else(|e| panic!("DESQ-DFS/{} failed: {e}", c.name));
+            secs[slot] = secs[slot].min(t0.elapsed().as_secs_f64());
+            patterns = res.patterns.len();
+            if workers == 4 {
+                tasks = res.metrics.tasks;
+                steals = res.metrics.steals;
+            }
+        }
+    }
+    ScaleRow {
+        name: c.name.clone(),
+        patterns,
+        baseline_secs: baseline_for(&c.name),
+        secs,
+        tasks,
+        steals,
+    }
+}
+
+fn scale_main(out_path: &str) {
+    let constraints = [
+        desq_dist::patterns::n2(),
+        desq_dist::patterns::n3(),
+        desq_dist::patterns::n5(),
+        desq_dist::patterns::n4(),
+    ];
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for c in &constraints {
+        rows.push(measure_scale(c));
+        eprintln!("measured scale/{}", c.name);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"work-stealing scaling perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"nyt_like({NYT_SIZE})\", \"sigma\": {SIGMA}, \
+         \"workers\": [1, 2, 4], \"policy\": \"auto\", \"reps\": {REPS}, \
+         \"metric\": \"min wall seconds + scheduler counters\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"pre-PR-3 sequential LocalMiner (override: PERF_BASELINE_<NAME>)\","
+    );
+    json.push_str("  \"constraints\": [\n");
+    let (mut base, mut w) = (0.0, [0.0f64; 3]);
+    for (i, r) in rows.iter().enumerate() {
+        base += r.baseline_secs;
+        for (acc, s) in w.iter_mut().zip(r.secs) {
+            *acc += s;
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"patterns\": {}, \"baseline_secs\": {:.4}, \
+             \"workers1_secs\": {:.4}, \"workers2_secs\": {:.4}, \"workers4_secs\": {:.4}, \
+             \"speedup_w1\": {:.2}, \"scale_w2\": {:.2}, \"scale_w4\": {:.2}, \
+             \"tasks\": {}, \"steals\": {}}}{}",
+            r.name,
+            r.patterns,
+            r.baseline_secs,
+            r.secs[0],
+            r.secs[1],
+            r.secs[2],
+            r.baseline_secs / r.secs[0],
+            r.secs[0] / r.secs[1],
+            r.secs[0] / r.secs[2],
+            r.tasks,
+            r.steals,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"baseline_secs\": {:.4}, \"workers1_secs\": {:.4}, \
+         \"workers2_secs\": {:.4}, \"workers4_secs\": {:.4}, \"speedup_w1\": {:.2}, \
+         \"scale_w2\": {:.2}, \"scale_w4\": {:.2}}}",
+        base,
+        w[0],
+        w[1],
+        w[2],
+        base / w[0],
+        w[0] / w[1],
+        w[0] / w[2],
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_6.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -499,6 +631,10 @@ fn main() {
         Some("count") => {
             let out = args.next().unwrap_or_else(|| "BENCH_5.json".to_string());
             count_main(&out);
+        }
+        Some("scale") => {
+            let out = args.next().unwrap_or_else(|| "BENCH_6.json".to_string());
+            scale_main(&out);
         }
         Some(out) => local_main(out),
         None => local_main("BENCH_3.json"),

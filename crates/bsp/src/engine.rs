@@ -25,6 +25,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use crossbeam::deque::{Injector, Stealer, Worker as DequeWorker};
 use parking_lot::Mutex;
 
 use crate::codec::{read_varint, varint_len, write_varint, Codec};
@@ -452,13 +453,23 @@ impl Engine {
     }
 
     /// Like [`map_combine_reduce`](Self::map_combine_reduce), with
-    /// *per-reduce-task state*: `init` runs once per reduce task (the
-    /// MapReduce `setup()` analog) and the resulting state is threaded
-    /// through every key of that task's bucket.
+    /// *per-reduce-worker state*: `init` runs once per reduce worker thread
+    /// (the MapReduce `setup()` analog) and the resulting state is threaded
+    /// through every key group that worker executes.
     ///
-    /// Use it for caches that amortize work across the keys of one bucket —
+    /// The reduce phase runs in two steps: buckets are decoded, merged and
+    /// sorted in parallel, then the key groups of *all* buckets are batched
+    /// into tasks scheduled by work stealing across the workers — one
+    /// expensive key (a hot D-SEQ pivot) no longer pins a whole bucket to
+    /// one thread. Output order is deterministic (identical to reducing
+    /// each bucket sequentially) regardless of worker count or steal
+    /// schedule; the task and steal counters land in
+    /// [`JobMetrics::reduce_tasks`]/[`reduce_steals`](JobMetrics::reduce_steals).
+    ///
+    /// Use the state for caches that amortize work across key groups —
     /// D-SEQ keys its simulation-core cache on the identity of the borrowed
-    /// payload slices, which is stable for the lifetime of the task.
+    /// payload slices, which are stable for the whole reduce phase (they
+    /// borrow from the shuffle buffers, not from any per-task arena).
     pub fn map_combine_reduce_with<I, K, O, S, MF, IF, RF>(
         &self,
         parts: &[&[I]],
@@ -490,9 +501,10 @@ impl Engine {
 
         // ---- reduce phase ----
         let t1 = Instant::now();
-        let outputs = self.run_tasks(self.reducers, |t| {
-            let mut state = init();
-            // Merge duplicates across map tasks on the raw bytes.
+        // Step 1 (parallel, one task per bucket): decode the shuffle
+        // chunks, merge duplicates across map tasks on the raw bytes, sort
+        // into key groups.
+        let buckets: Vec<Vec<ReduceRec<'_>>> = self.run_tasks(self.reducers, |t| {
             let mut recs: Vec<ReduceRec<'_>> = Vec::new();
             let mut table = ProbeTable::new();
             let mut payloads: Vec<&[u8]> = Vec::new();
@@ -556,26 +568,132 @@ impl Engine {
                     .then_with(|| a.key.cmp(b.key))
                     .then_with(|| a.payload.cmp(b.payload))
             });
-            let mut out: Vec<O> = Vec::new();
-            let mut group: Vec<(&[u8], u64)> = Vec::new();
+            Ok(recs)
+        })?;
+
+        // Step 2: cut every bucket into key groups, batch adjacent light
+        // groups into tasks, and run the tasks under work stealing so a
+        // heavy key group (a hot D-SEQ pivot) is balanced across workers
+        // instead of pinning its whole bucket to one thread.
+        let mut groups: Vec<(u32, u32, u32)> = Vec::new(); // (bucket, start, end)
+        for (b, recs) in buckets.iter().enumerate() {
             let mut i = 0;
             while i < recs.len() {
                 let key = recs[i].key;
-                group.clear();
+                let start = i;
                 while i < recs.len() && recs[i].key == key {
-                    group.push((recs[i].payload, recs[i].weight));
                     i += 1;
                 }
-                let k = K::decode(&mut &key[..])?;
-                let mut emit = |o: O| out.push(o);
-                reduce(&mut state, &k, &group, &mut emit)?;
+                groups.push((b as u32, start as u32, i as u32));
             }
-            Ok(out)
-        })?;
+        }
+        // A task closes at a bucket boundary (keeps output bookkeeping
+        // simple), once it holds enough records to amortize a deque round
+        // trip, or at a group-count cap so huge flocks of trivial keys
+        // still split; a single heavy group always gets its own task.
+        const RECS_PER_TASK: usize = 256;
+        const GROUPS_PER_TASK: usize = 64;
+        let mut tasks: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0usize;
+        let mut recs_in = 0usize;
+        for i in 0..groups.len() {
+            let g = groups[i];
+            recs_in += (g.2 - g.1) as usize;
+            let bucket_ends = i + 1 == groups.len() || groups[i + 1].0 != g.0;
+            if bucket_ends || recs_in >= RECS_PER_TASK || i + 1 - start >= GROUPS_PER_TASK {
+                tasks.push(start..i + 1);
+                start = i + 1;
+                recs_in = 0;
+            }
+        }
+
+        let nworkers = self.workers.min(tasks.len()).max(1);
+        let injector: Injector<(usize, std::ops::Range<usize>)> = Injector::new();
+        for (i, t) in tasks.into_iter().enumerate() {
+            injector.push((i, t));
+        }
+        let locals: Vec<DequeWorker<(usize, std::ops::Range<usize>)>> =
+            (0..nworkers).map(|_| DequeWorker::new_lifo()).collect();
+        let stealers: Vec<Stealer<(usize, std::ops::Range<usize>)>> =
+            locals.iter().map(DequeWorker::stealer).collect();
+        let results: Mutex<Vec<(usize, Vec<O>)>> = Mutex::new(Vec::new());
+        let failure: Mutex<Option<Error>> = Mutex::new(None);
+        let counters: Mutex<(u64, u64)> = Mutex::new((0, 0)); // (tasks, steals)
+        crossbeam::thread::scope(|s| {
+            let (injector, stealers) = (&injector, &stealers);
+            let (results, failure, counters) = (&results, &failure, &counters);
+            let (buckets, groups, init, reduce) = (&buckets, &groups, &init, &reduce);
+            for (wid, local) in locals.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    let mut state = init();
+                    let (mut ran, mut stole) = (0u64, 0u64);
+                    let mut group_buf: Vec<(&[u8], u64)> = Vec::new();
+                    loop {
+                        if failure.lock().is_some() {
+                            break;
+                        }
+                        let next = local
+                            .pop()
+                            .or_else(|| injector.steal_batch_and_pop(&local).success())
+                            .or_else(|| {
+                                (1..nworkers).find_map(|i| {
+                                    let got = stealers[(wid + i) % nworkers]
+                                        .steal_batch_and_pop(&local)
+                                        .success();
+                                    stole += u64::from(got.is_some());
+                                    got
+                                })
+                            });
+                        // The task list is fixed (tasks never spawn tasks):
+                        // finding nothing anywhere means every remaining
+                        // task is already running on some worker — done.
+                        let Some((ti, range)) = next else { break };
+                        ran += 1;
+                        let mut out: Vec<O> = Vec::new();
+                        let run = (|| -> Result<()> {
+                            for &(b, gs, ge) in &groups[range] {
+                                let recs = &buckets[b as usize][gs as usize..ge as usize];
+                                group_buf.clear();
+                                group_buf.extend(recs.iter().map(|r| (r.payload, r.weight)));
+                                let k = K::decode(&mut &recs[0].key[..])?;
+                                let mut emit = |o: O| out.push(o);
+                                reduce(&mut state, &k, &group_buf, &mut emit)?;
+                            }
+                            Ok(())
+                        })();
+                        match run {
+                            Ok(()) => results.lock().push((ti, out)),
+                            Err(e) => {
+                                let mut f = failure.lock();
+                                if f.is_none() {
+                                    *f = Some(e);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    let mut c = counters.lock();
+                    c.0 += ran;
+                    c.1 += stole;
+                });
+            }
+        })
+        .expect("reduce worker panicked");
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        let (rtasks, rsteals) = counters.into_inner();
+        metrics.reduce_tasks = rtasks;
+        metrics.reduce_steals = rsteals;
         metrics.reduce_nanos = t1.elapsed().as_nanos() as u64;
 
+        // Deterministic output: tasks are numbered in (bucket, key) order,
+        // so sorting by task index reproduces the sequential per-bucket
+        // iteration exactly.
+        let mut results = results.into_inner();
+        results.sort_by_key(|&(ti, _)| ti);
         let mut flat = Vec::new();
-        for o in outputs {
+        for (_, o) in results {
             flat.extend(o);
         }
         metrics.output_records = flat.len() as u64;
@@ -909,6 +1027,71 @@ mod tests {
             out
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn combine_reduce_output_is_deterministic_across_worker_counts() {
+        // The work-stealing reduce must reproduce the sequential per-bucket
+        // output order exactly — compare *unsorted* outputs.
+        let data: Vec<u32> = (0..300).collect();
+        let run = |workers| {
+            let parts: Vec<&[u32]> = data.chunks(37).collect();
+            let engine = Engine::new(workers).with_reducers(4);
+            engine
+                .map_combine_reduce(
+                    &parts,
+                    |part: &[u32], c: &mut Combiner<u32>| {
+                        for &x in part {
+                            c.emit(&(x % 50), &x.to_le_bytes()[..1], 1);
+                        }
+                        Ok(())
+                    },
+                    |&k: &u32, vs: &[(&[u8], u64)], emit: &mut dyn FnMut((u32, u64))| {
+                        emit((k, vs.iter().map(|&(_, w)| w).sum()));
+                        Ok(())
+                    },
+                )
+                .unwrap()
+        };
+        let (seq, seq_metrics) = run(1);
+        assert_eq!(seq.len(), 50);
+        assert!(seq_metrics.reduce_tasks > 0);
+        for workers in [2, 4, 8] {
+            let (par, metrics) = run(workers);
+            assert_eq!(par, seq, "workers={workers}");
+            assert!(metrics.reduce_tasks > 0);
+        }
+    }
+
+    #[test]
+    fn reduce_state_initializes_once_per_worker() {
+        // 8 buckets but 3 workers: `init` used to run once per bucket; it
+        // must now run at most once per reduce worker thread.
+        let data: Vec<u32> = (0..200).collect();
+        let parts: Vec<&[u32]> = data.chunks(29).collect();
+        let inits = AtomicUsize::new(0);
+        let engine = Engine::new(3).with_reducers(8);
+        let (out, _) = engine
+            .map_combine_reduce_with(
+                &parts,
+                |part: &[u32], c: &mut Combiner<u32>| {
+                    for &x in part {
+                        c.emit(&x, b"", 1);
+                    }
+                    Ok(())
+                },
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_state, &k: &u32, _vs, emit: &mut dyn FnMut(u32)| {
+                    emit(k);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 200);
+        assert!(
+            inits.into_inner() <= 3,
+            "init must be per worker, not per bucket"
+        );
     }
 
     #[test]

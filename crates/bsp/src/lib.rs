@@ -22,7 +22,11 @@
 //! The engine is deliberately faithful to the cost model rather than to any
 //! particular cluster API: communication really passes through byte buffers,
 //! workers really run in parallel (scoped threads), and per-phase wall times
-//! and per-reducer byte volumes are recorded in [`JobMetrics`].
+//! and per-reducer byte volumes are recorded in [`JobMetrics`] — including
+//! the task/steal counters of the work-stealing reduce phase
+//! ([`JobMetrics::reduce_tasks`] / [`JobMetrics::reduce_steals`]). See
+//! `docs/ARCHITECTURE.md` in the repository root for how the engine fits
+//! into the overall data flow of each distributed algorithm.
 
 pub mod codec;
 pub mod engine;

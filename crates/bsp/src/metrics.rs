@@ -22,6 +22,12 @@ pub struct JobMetrics {
     pub reducer_bytes: Vec<u64>,
     /// Records produced by reducers.
     pub output_records: u64,
+    /// Key-group tasks executed by the work-stealing reduce scheduler
+    /// (0 for job shapes that still reduce one whole bucket per task).
+    pub reduce_tasks: u64,
+    /// Successful task steals between reduce workers (0 when every worker
+    /// drained its own share, or for non-scheduled job shapes).
+    pub reduce_steals: u64,
 }
 
 impl JobMetrics {
@@ -80,6 +86,8 @@ mod tests {
             shuffle_bytes: 40,
             reducer_bytes: vec![10, 10, 20],
             output_records: 7,
+            reduce_tasks: 0,
+            reduce_steals: 0,
         };
         assert!((m.map_secs() - 2.0).abs() < 1e-9);
         assert!((m.total_secs() - 2.5).abs() < 1e-9);

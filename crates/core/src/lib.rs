@@ -33,6 +33,10 @@
 //!
 //! The running example of the paper (Fig. 2–8) is available as a reusable
 //! fixture in [`toy`]; most unit tests in this workspace assert against it.
+//! `docs/ARCHITECTURE.md` in the repository root maps how this substrate —
+//! the CSR [`FstIndex`](fst::FstIndex), the flat run tables of
+//! [`fst::flat`], and the [`mining`] API — is consumed by the miners, the
+//! BSP engine and the distributed algorithms.
 //!
 //! ```
 //! use desq_core::{toy, fst::candidates};

@@ -104,6 +104,29 @@ pub fn validate_sigma(sigma: u64) -> Result<()> {
     }
 }
 
+/// How an algorithm that owns several execution strategies should pick one.
+///
+/// Today only DESQ-DFS consults this: its *flat* path materializes
+/// bit-packed simulation tables per input sequence (fast on large pattern
+/// spaces, but the table build is pure overhead on cheap constraints),
+/// while its *lean* path runs the candidate-counting walk directly over
+/// the CSR FST index with no per-sequence materialization. See
+/// `docs/ARCHITECTURE.md` for the cost model behind `Auto`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutionPolicy {
+    /// Let a small sampling cost model choose per run (the default). If the
+    /// chosen lean path exhausts the work budget, the run transparently
+    /// falls back to the flat path instead of erroring.
+    #[default]
+    Auto,
+    /// Always materialize the flat tables (the only choice for streaming
+    /// runs, which need the table-backed expansion).
+    Flat,
+    /// Always run the lean counting path. Budget exhaustion is reported as
+    /// [`Error::ResourceExhausted`] — no silent fallback.
+    Lean,
+}
+
 /// One mining request: everything a [`Miner`] needs to run.
 ///
 /// The FST is optional because the traditional-constraint miners
@@ -131,6 +154,9 @@ pub struct MiningContext<'a> {
     /// Number of shuffle buckets (reduce tasks) for distributed
     /// algorithms; usually equals `workers`.
     pub reducers: usize,
+    /// Execution-path selection for algorithms with several strategies
+    /// (see [`ExecutionPolicy`]).
+    pub exec: ExecutionPolicy,
 }
 
 impl<'a> MiningContext<'a> {
@@ -145,6 +171,7 @@ impl<'a> MiningContext<'a> {
             workers: 1,
             partitions: 1,
             reducers: 1,
+            exec: ExecutionPolicy::Auto,
         }
     }
 
@@ -173,6 +200,12 @@ impl<'a> MiningContext<'a> {
     /// Overrides the number of shuffle buckets (reduce tasks).
     pub fn with_reducers(mut self, reducers: usize) -> MiningContext<'a> {
         self.reducers = reducers;
+        self
+    }
+
+    /// Overrides the execution-path selection policy.
+    pub fn with_execution_policy(mut self, exec: ExecutionPolicy) -> MiningContext<'a> {
+        self.exec = exec;
         self
     }
 
@@ -239,15 +272,30 @@ pub struct MiningMetrics {
     pub output_records: u64,
     /// Worker threads used (1 for sequential miners).
     pub workers: u64,
-    /// Wall-clock nanoseconds each local-mining worker spent in its share
-    /// of the search tree (empty when the algorithm reports no per-worker
-    /// breakdown, e.g. the BSP engine's map/reduce phases).
+    /// Wall-clock nanoseconds each local-mining worker spent in its
+    /// scheduling loop (mining plus stealing plus idling), indexed by
+    /// worker. **Semantics:** always has exactly `workers` entries for
+    /// algorithms that mine locally — a sequential run reports a
+    /// single-entry vector holding its mining wall time (it used to be
+    /// silently empty). Only algorithms with no per-worker breakdown at
+    /// all (e.g. pure BSP map/reduce phases) leave it empty.
     pub worker_nanos: Vec<u64>,
+    /// Tasks executed by the work-stealing local-mining scheduler, summed
+    /// over workers (a sequential run is one task; 0 when the algorithm
+    /// does not use the scheduler).
+    pub tasks: u64,
+    /// Successful steals between scheduler workers, summed over workers
+    /// (always 0 for sequential runs; high values on skewed search trees
+    /// are the scheduler doing its job).
+    pub steals: u64,
 }
 
 impl MiningMetrics {
     /// Metrics of a sequential run: wall time, input/output counts and a
-    /// work counter, with zero communication.
+    /// work counter, with zero communication. The single worker's
+    /// `worker_nanos` entry is the run's wall time and it counts as one
+    /// scheduler task (see the field docs on
+    /// [`worker_nanos`](Self::worker_nanos)).
     pub fn sequential(wall_nanos: u64, input_sequences: u64, work: u64, output: u64) -> Self {
         MiningMetrics {
             wall_nanos,
@@ -261,7 +309,9 @@ impl MiningMetrics {
             reducer_bytes: Vec::new(),
             output_records: output,
             workers: 1,
-            worker_nanos: Vec::new(),
+            worker_nanos: vec![wall_nanos],
+            tasks: 1,
+            steals: 0,
         }
     }
 
@@ -282,6 +332,14 @@ impl MiningMetrics {
             worker_nanos,
             ..MiningMetrics::sequential(wall_nanos, input_sequences, work, output)
         }
+    }
+
+    /// Fills in the work-stealing scheduler counters (total tasks executed
+    /// and successful inter-worker steals).
+    pub fn with_scheduler(mut self, tasks: u64, steals: u64) -> Self {
+        self.tasks = tasks;
+        self.steals = steals;
+        self
     }
 
     /// Map-phase wall time in seconds.
@@ -433,8 +491,29 @@ mod tests {
         assert_eq!(m.emitted_records, 17);
         assert_eq!(m.output_records, 3);
         assert_eq!(m.workers, 1);
+        // The sequential-run fix: one worker entry holding the wall time
+        // (previously silently empty), one task, no steals.
+        assert_eq!(m.worker_nanos, vec![2_000_000_000]);
+        assert_eq!((m.tasks, m.steals), (1, 0));
         assert_eq!(m.balance(), 1.0);
         assert_eq!(m.combine_ratio(), 1.0);
+    }
+
+    #[test]
+    fn scheduler_counters_attach_via_builder() {
+        let m = MiningMetrics::local_parallel(10, 5, 17, 3, vec![4, 6]).with_scheduler(42, 7);
+        assert_eq!(m.workers, 2);
+        assert_eq!(m.worker_nanos, vec![4, 6]);
+        assert_eq!((m.tasks, m.steals), (42, 7));
+    }
+
+    #[test]
+    fn execution_policy_defaults_to_auto() {
+        let fx = toy::fixture();
+        let ctx = MiningContext::sequential(&fx.db, &fx.dict, 2);
+        assert_eq!(ctx.exec, ExecutionPolicy::Auto);
+        let lean = ctx.with_execution_policy(ExecutionPolicy::Lean);
+        assert_eq!(lean.exec, ExecutionPolicy::Lean);
     }
 
     #[test]

@@ -299,22 +299,6 @@ pub(crate) fn d_cand_impl(
     Ok(MiningResult { patterns, metrics })
 }
 
-/// Runs the D-CAND algorithm: one BSP round shipping per-pivot NFAs.
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::DCand \
-            (or desq_dist::algo::DCand via the Miner trait)"
-)]
-pub fn d_cand(
-    engine: &Engine,
-    parts: &[&[Sequence]],
-    fst: &Fst,
-    dict: &Dictionary,
-    config: DCandConfig,
-) -> Result<MiningResult> {
-    d_cand_impl(engine, parts, fst, dict, config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -109,11 +109,14 @@ pub(crate) fn d_seq_impl(
         }
         Ok(())
     };
-    // Per-reduce-task cache of decoded payloads and their pivot-independent
-    // simulation cores, keyed by the identity of the borrowed payload slice
-    // (stable for the task's lifetime). A sequence shipped to many pivot
-    // partitions of one bucket is decoded and core-built once; each key
-    // only rebuilds the pivot-dependent output arenas.
+    // Per-reduce-worker cache of decoded payloads and their
+    // pivot-independent simulation cores, keyed by the identity of the
+    // borrowed payload slice (payloads borrow from the shuffle buffers,
+    // stable for the whole reduce phase, so the cache stays valid across
+    // the work-stealing scheduler's per-pivot tasks). A sequence shipped
+    // to many pivot partitions mined by one worker is decoded and
+    // core-built once; each pivot only rebuilds the pivot-dependent
+    // output arenas.
     type CoreCache = FxHashMap<(usize, usize), (Vec<ItemId>, SeqCore)>;
     let reduce = |cache: &mut CoreCache,
                   &p: &ItemId,
@@ -157,22 +160,6 @@ pub(crate) fn d_seq_impl(
         crate::input_len(parts),
     );
     Ok(MiningResult { patterns, metrics })
-}
-
-/// Runs the D-SEQ algorithm: one BSP round shipping rewritten sequences.
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::DSeq \
-            (or desq_dist::algo::DSeq via the Miner trait)"
-)]
-pub fn d_seq(
-    engine: &Engine,
-    parts: &[&[Sequence]],
-    fst: &Fst,
-    dict: &Dictionary,
-    config: DSeqConfig,
-) -> Result<MiningResult> {
-    d_seq_impl(engine, parts, fst, dict, config)
 }
 
 #[cfg(test)]

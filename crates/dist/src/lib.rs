@@ -15,9 +15,9 @@
 //!
 //! * [`naive`](mod@naive) — NAÏVE sends the candidate subsequences `G_π(T)` verbatim,
 //!   SEMI-NAÏVE the frequency-filtered `G^σ_π(T)` (Sec. III-C);
-//! * [`d_seq`] — D-SEQ sends *rewritten input sequences* `ρ_p(T)` and runs
+//! * [`dseq`] — D-SEQ sends *rewritten input sequences* `ρ_p(T)` and runs
 //!   restricted DESQ-DFS per partition (Sec. V);
-//! * [`d_cand`] — D-CAND sends *NFAs* that compactly represent the pivot-`p`
+//! * [`dcand`] — D-CAND sends *NFAs* that compactly represent the pivot-`p`
 //!   candidates, with optional minimization and weighted aggregation of
 //!   identical NFAs (Sec. VI).
 //!
@@ -26,7 +26,9 @@
 //! (Sec. V-A/V-B), [`dcand::merge_pivots`] is the ⊕ pivot-merge of Th. 1,
 //! [`dcand::nfa`] holds the trie/NFA construction with byte-level
 //! serialization for shuffle accounting, and [`patterns`] is the constraint
-//! library of Tab. III.
+//! library of Tab. III. `docs/ARCHITECTURE.md` in the repository root
+//! traces the end-to-end data flow of each algorithm through the flat
+//! substrate and the work-stealing schedulers.
 
 pub mod algo;
 pub mod dcand;
@@ -35,15 +37,9 @@ pub mod naive;
 pub mod patterns;
 pub mod pivots;
 
-#[allow(deprecated)]
-pub use dcand::d_cand;
 pub use dcand::DCandConfig;
-#[allow(deprecated)]
-pub use dseq::d_seq;
 pub use dseq::DSeqConfig;
 pub use naive::NaiveConfig;
-#[allow(deprecated)]
-pub use naive::{naive, semi_naive};
 pub use pivots::{PivotRange, PivotScratch, PivotSearch};
 
 use desq_bsp::JobMetrics;
@@ -73,7 +69,12 @@ pub fn metrics_from_job(
         reducer_bytes: job.reducer_bytes,
         output_records: job.output_records,
         workers: workers as u64,
+        // The BSP engine reports phase times, not a per-worker breakdown
+        // (see the field's rustdoc); its reduce-side scheduler counters
+        // carry over directly.
         worker_nanos: Vec::new(),
+        tasks: job.reduce_tasks,
+        steals: job.reduce_steals,
     }
 }
 

@@ -127,39 +127,6 @@ pub(crate) fn naive_impl(
     Ok(MiningResult { patterns, metrics })
 }
 
-/// Runs the NAÏVE or SEMI-NAÏVE baseline (selected by [`NaiveConfig`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::Naive or \
-            AlgorithmSpec::SemiNaive (or desq_dist::algo::Naive via the \
-            Miner trait)"
-)]
-pub fn naive(
-    engine: &Engine,
-    parts: &[&[Sequence]],
-    fst: &Fst,
-    dict: &Dictionary,
-    config: NaiveConfig,
-) -> Result<MiningResult> {
-    naive_impl(engine, parts, fst, dict, config)
-}
-
-/// Convenience wrapper for the SEMI-NAÏVE variant.
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::SemiNaive \
-            (or desq_dist::algo::Naive via the Miner trait)"
-)]
-pub fn semi_naive(
-    engine: &Engine,
-    parts: &[&[Sequence]],
-    fst: &Fst,
-    dict: &Dictionary,
-    sigma: u64,
-) -> Result<MiningResult> {
-    naive_impl(engine, parts, fst, dict, NaiveConfig::semi_naive(sigma))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,11 +9,13 @@
 
 use std::time::Instant;
 
-use desq_core::mining::{Miner, MiningContext, MiningMetrics, MiningResult};
-use desq_core::Result;
+use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
+use desq_core::mining::{ExecutionPolicy, Miner, MiningContext, MiningMetrics, MiningResult};
+use desq_core::{Error, Fst, Result};
 
 use crate::desq_count::desq_count_impl;
 use crate::desq_dfs::{LocalMiner, MinerConfig, WeightedInput};
+use crate::sched::WorkerStats;
 
 /// Weighted inputs (weight 1 per database sequence) for the pattern-growth
 /// miners — borrowed straight from the context's database.
@@ -21,12 +23,137 @@ fn unit_inputs<'c>(ctx: &MiningContext<'c>) -> Vec<WeightedInput<'c>> {
     ctx.db.sequences.iter().map(|s| (s.as_slice(), 1)).collect()
 }
 
-/// DESQ-DFS: pattern growth over projected databases (Fig. 6). Honors
-/// `ctx.workers` by sharding the search tree's first-level children across
-/// worker threads; per-worker mining times land in
-/// `MiningMetrics::worker_nanos`.
+/// Metrics of a scheduler-driven local run: per-worker wall times plus the
+/// summed task and steal counters.
+fn scheduler_metrics(
+    wall_nanos: u64,
+    input_sequences: u64,
+    work: u64,
+    output: u64,
+    stats: &[WorkerStats],
+) -> MiningMetrics {
+    MiningMetrics::local_parallel(
+        wall_nanos,
+        input_sequences,
+        work,
+        output,
+        stats.iter().map(|s| s.nanos).collect(),
+    )
+    .with_scheduler(
+        stats.iter().map(|s| s.tasks).sum(),
+        stats.iter().map(|s| s.steals).sum(),
+    )
+}
+
+/// Input sequences probed by the [`ExecutionPolicy::Auto`] cost model.
+const PROBE_SEQS: usize = 16;
+/// Per-sequence candidate-occurrence cap during probing: a sample sequence
+/// that blows through this has a pattern space far too large for candidate
+/// enumeration, so the flat path wins regardless of the average.
+const PROBE_CAP: usize = 4096;
+/// Lean is chosen when the probed average stays at or below this many
+/// candidate occurrences per sequence (tuned on the NYT constraint suite:
+/// the selective N2/N3 constraints probe in the low single digits and the
+/// lean path wins them 2–5×, the expressive N5/N4 probe at ~27/~50 and the
+/// flat tables win there).
+const LEAN_MAX_AVG: f64 = 12.0;
+/// Structural pre-gate: automata whose state count × distinct-input count
+/// exceeds this are assumed expressive enough for the flat path without
+/// spending any probe work.
+const LEAN_MAX_AUTOMATON: usize = 4096;
+
+/// The [`ExecutionPolicy::Auto`] cost model: decides whether DESQ-DFS
+/// should skip flat-table materialization and run the lean counting path.
+///
+/// Two signals, cheapest first: (1) automaton size — FST state count times
+/// distinct input labels — as a structural proxy for pattern-space size;
+/// (2) a probe of up to [`PROBE_SEQS`] evenly-strided input sequences run
+/// through [`RunWalker::count_candidates`] under a small budget, measuring
+/// candidate occurrences per sequence directly. Probe work is bounded by
+/// `PROBE_SEQS × PROBE_CAP` and is negligible next to either real path.
+fn prefers_lean(ctx: &MiningContext<'_>, fst: &Fst) -> bool {
+    let n = ctx.db.sequences.len();
+    if n == 0 {
+        return true;
+    }
+    let index = FstIndex::new(fst);
+    if fst
+        .num_states()
+        .saturating_mul(index.distinct_inputs().len())
+        > LEAN_MAX_AUTOMATON
+    {
+        return false;
+    }
+    let walker = RunWalker::new(fst, ctx.dict, &index, ctx.dict.last_frequent(ctx.sigma));
+    let mut scratch = RunScratch::default();
+    let mut counter = CandidateCounter::new();
+    let stride = n.div_ceil(PROBE_SEQS).max(1);
+    let mut sampled = 0u64;
+    for seq in ctx.db.sequences.iter().step_by(stride).take(PROBE_SEQS) {
+        sampled += 1;
+        if walker
+            .count_candidates(seq, 1, PROBE_CAP, &mut scratch, &mut counter, |_, _| {})
+            .is_err()
+        {
+            return false;
+        }
+    }
+    counter.observed() as f64 / sampled as f64 <= LEAN_MAX_AVG
+}
+
+/// DESQ-DFS: pattern growth over projected databases (Fig. 6).
+///
+/// Honors `ctx.workers` through the work-stealing scheduler in
+/// [`crate::sched`] (search-subtree tasks, steal-half balancing);
+/// per-worker wall times and the task/steal counters land in
+/// [`MiningMetrics`]. Honors `ctx.exec`: under
+/// [`ExecutionPolicy::Auto`] a sampling cost model (a probe of strided
+/// input sequences plus a structural automaton-size gate; see
+/// `docs/ARCHITECTURE.md`) may route cheap constraints to the lean
+/// candidate-counting path, skipping flat-table materialization; if the
+/// lean path exhausts `ctx.limits.budget` the run transparently retries on
+/// the flat path. [`ExecutionPolicy::Lean`] forces the counting path (and
+/// propagates budget exhaustion); [`ExecutionPolicy::Flat`] forces table
+/// materialization.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DesqDfs;
+
+impl DesqDfs {
+    fn mine_flat(&self, ctx: &MiningContext<'_>, t0: Instant) -> Result<MiningResult> {
+        let fst = ctx.fst()?;
+        let inputs = unit_inputs(ctx);
+        let (patterns, stats) = LocalMiner::new(fst, ctx.dict, MinerConfig::sequential(ctx.sigma))
+            .mine_with_workers(&inputs, ctx.workers);
+        let metrics = scheduler_metrics(
+            t0.elapsed().as_nanos() as u64,
+            ctx.db.len() as u64,
+            patterns.len() as u64,
+            patterns.len() as u64,
+            &stats,
+        );
+        Ok(MiningResult { patterns, metrics })
+    }
+
+    fn mine_lean(&self, ctx: &MiningContext<'_>, t0: Instant) -> Result<MiningResult> {
+        let fst = ctx.fst()?;
+        let (patterns, work, stats) = desq_count_impl(
+            ctx.db,
+            fst,
+            ctx.dict,
+            ctx.sigma,
+            ctx.limits.budget,
+            ctx.workers,
+        )?;
+        let metrics = scheduler_metrics(
+            t0.elapsed().as_nanos() as u64,
+            ctx.db.len() as u64,
+            work,
+            patterns.len() as u64,
+            &stats,
+        );
+        Ok(MiningResult { patterns, metrics })
+    }
+}
 
 impl Miner for DesqDfs {
     fn name(&self) -> &'static str {
@@ -37,18 +164,25 @@ impl Miner for DesqDfs {
         ctx.validate()?;
         let fst = ctx.fst()?;
         let t0 = Instant::now();
-        let inputs = unit_inputs(ctx);
-        let (patterns, worker_nanos) =
-            LocalMiner::new(fst, ctx.dict, MinerConfig::sequential(ctx.sigma))
-                .mine_with_workers(&inputs, ctx.workers);
-        let metrics = MiningMetrics::local_parallel(
-            t0.elapsed().as_nanos() as u64,
-            ctx.db.len() as u64,
-            patterns.len() as u64,
-            patterns.len() as u64,
-            worker_nanos,
-        );
-        Ok(MiningResult { patterns, metrics })
+        match ctx.exec {
+            ExecutionPolicy::Flat => self.mine_flat(ctx, t0),
+            ExecutionPolicy::Lean => self.mine_lean(ctx, t0),
+            ExecutionPolicy::Auto => {
+                if prefers_lean(ctx, fst) {
+                    match self.mine_lean(ctx, t0) {
+                        // The probe under-estimated: enumeration blew the
+                        // budget somewhere past the sampled prefix. The
+                        // flat path bounds its work differently, so fall
+                        // back instead of failing a run the flat path
+                        // would finish.
+                        Err(Error::ResourceExhausted(_)) => self.mine_flat(ctx, t0),
+                        other => other,
+                    }
+                } else {
+                    self.mine_flat(ctx, t0)
+                }
+            }
+        }
     }
 }
 
@@ -69,7 +203,7 @@ impl Miner for DesqCount {
         ctx.validate()?;
         let fst = ctx.fst()?;
         let t0 = Instant::now();
-        let (patterns, work, worker_nanos) = desq_count_impl(
+        let (patterns, work, stats) = desq_count_impl(
             ctx.db,
             fst,
             ctx.dict,
@@ -77,12 +211,12 @@ impl Miner for DesqCount {
             ctx.limits.budget,
             ctx.workers,
         )?;
-        let metrics = MiningMetrics::local_parallel(
+        let metrics = scheduler_metrics(
             t0.elapsed().as_nanos() as u64,
             ctx.db.len() as u64,
             work,
             patterns.len() as u64,
-            worker_nanos,
+            &stats,
         );
         Ok(MiningResult { patterns, metrics })
     }
@@ -211,5 +345,38 @@ mod tests {
             DesqCount.mine(&ctx),
             Err(Error::ResourceExhausted(_))
         ));
+    }
+
+    #[test]
+    fn execution_policies_agree_on_toy() {
+        let fx = toy::fixture();
+        let base = MiningContext::sequential(&fx.db, &fx.dict, 2).with_fst(&fx.fst);
+        let flat = DesqDfs
+            .mine(&base.with_execution_policy(ExecutionPolicy::Flat))
+            .unwrap();
+        let lean = DesqDfs
+            .mine(&base.with_execution_policy(ExecutionPolicy::Lean))
+            .unwrap();
+        let auto = DesqDfs.mine(&base).unwrap();
+        assert_eq!(flat.patterns, lean.patterns);
+        assert_eq!(flat.patterns, auto.patterns);
+        assert_eq!(flat.patterns.len(), 3);
+    }
+
+    #[test]
+    fn auto_falls_back_to_flat_on_budget_exhaustion_but_lean_propagates() {
+        let fx = toy::fixture();
+        let strapped = MiningContext::sequential(&fx.db, &fx.dict, 2)
+            .with_fst(&fx.fst)
+            .with_limits(Limits::default().with_budget(2));
+        // Forced lean: the counting path's per-sequence budget trips.
+        assert!(matches!(
+            DesqDfs.mine(&strapped.with_execution_policy(ExecutionPolicy::Lean)),
+            Err(Error::ResourceExhausted(_))
+        ));
+        // Auto: same trip, but the run transparently retries on the flat
+        // path and succeeds.
+        let auto = DesqDfs.mine(&strapped).unwrap();
+        assert_eq!(auto.patterns.len(), 3);
     }
 }

@@ -17,23 +17,37 @@
 //! calling thread merges — no lock is held during the merge. The
 //! `candidates::generate` oracle remains the documented reference the flat
 //! path is property-tested against.
+//!
+//! Parallel enumeration runs on the same work-stealing scheduler as
+//! DESQ-DFS ([`crate::sched`]): the database is cut into small
+//! input-sequence blocks that seed the task pool, so a block of expensive
+//! sequences no longer pins one statically-assigned worker while the
+//! others idle.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
 use desq_core::{mining, Dictionary, Fst, Result, Sequence, SequenceDb};
 
-/// Result of one counting run: sorted patterns, total candidate
-/// occurrences counted (the work metric), and per-worker wall nanoseconds.
-type CountOutcome = (Vec<(Sequence, u64)>, u64, Vec<u64>);
+use crate::sched::{self, WorkerStats};
 
-/// The workhorse behind [`desq_count`] and [`crate::algo::DesqCount`]:
-/// mines by explicit candidate enumeration and reports the total number of
-/// candidate occurrences counted (the algorithm's work metric) plus the
-/// wall time each worker spent generating. Candidate enumeration shards the
-/// database across `workers` threads (per-sequence enumeration is
-/// independent); workers count into owned [`CandidateCounter`] partials
-/// that are merged on the calling thread before the frequency filter.
+/// Result of one counting run: sorted patterns, total candidate
+/// occurrences counted (the work metric), and per-worker scheduler stats.
+type CountOutcome = (Vec<(Sequence, u64)>, u64, Vec<WorkerStats>);
+
+/// Sequences per scheduler task: small enough that stealing balances a
+/// skewed database, large enough that the per-task overhead (one deque
+/// round trip) stays invisible next to candidate enumeration.
+const COUNT_BLOCK: usize = 64;
+
+/// The workhorse behind [`crate::algo::DesqCount`]: mines by explicit
+/// candidate enumeration and reports the total number of candidate
+/// occurrences counted (the algorithm's work metric) plus per-worker
+/// [`WorkerStats`]. Candidate enumeration is sharded into input blocks
+/// scheduled by work stealing (per-sequence enumeration is independent);
+/// workers count into owned [`CandidateCounter`] partials that are merged
+/// on the calling thread before the frequency filter.
 pub(crate) fn desq_count_impl(
     db: &SequenceDb,
     fst: &Fst,
@@ -46,82 +60,76 @@ pub(crate) fn desq_count_impl(
     let workers = workers.max(1).min(db.sequences.len().max(1));
     let index = FstIndex::new(fst);
     let max_item = dict.last_frequent(sigma);
-    let count_chunk = |seqs: &[Sequence]| -> Result<CandidateCounter> {
+
+    let (counter, stats) = if workers == 1 {
+        let t0 = std::time::Instant::now();
         let walker = RunWalker::new(fst, dict, &index, max_item);
         let mut scratch = RunScratch::default();
         let mut counter = CandidateCounter::new();
-        for seq in seqs {
+        for seq in &db.sequences {
             walker.count_candidates(seq, 1, budget, &mut scratch, &mut counter, |_, _| {})?;
         }
-        Ok(counter)
-    };
-
-    let (counter, timings) = if workers == 1 {
-        let t0 = std::time::Instant::now();
-        let counter = count_chunk(&db.sequences)?;
-        (counter, vec![t0.elapsed().as_nanos() as u64])
+        (
+            counter,
+            vec![WorkerStats::solo(t0.elapsed().as_nanos() as u64, 1)],
+        )
     } else {
-        let chunk = db.sequences.len().div_ceil(workers);
-        // Workers only push their owned partial (or the first error) under
-        // the lock; all merging happens below, on the calling thread.
-        let partials: Mutex<Vec<(CandidateCounter, u64)>> = Mutex::new(Vec::new());
+        // Blocks of sequences seed the scheduler; workers only push their
+        // owned partial (or the first error) under a lock at the end — no
+        // lock is held while counting or merging.
+        let n = db.sequences.len();
+        let block = COUNT_BLOCK.min(n.div_ceil(workers).max(1));
+        let seed: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(block)
+            .map(|s| s..(s + block).min(n))
+            .collect();
+        let states: Vec<_> = (0..workers)
+            .map(|_| {
+                (
+                    RunWalker::new(fst, dict, &index, max_item),
+                    RunScratch::default(),
+                    CandidateCounter::new(),
+                )
+            })
+            .collect();
+        let cancel = AtomicBool::new(false);
+        let partials: Mutex<Vec<(usize, CandidateCounter)>> = Mutex::new(Vec::new());
         let failure: Mutex<Option<desq_core::Error>> = Mutex::new(None);
-        crossbeam::thread::scope(|s| {
-            let (partials, failure, count_chunk) = (&partials, &failure, &count_chunk);
-            for part in db.sequences.chunks(chunk) {
-                s.spawn(move |_| {
-                    let t0 = std::time::Instant::now();
-                    match count_chunk(part) {
-                        Ok(counter) => {
-                            let nanos = t0.elapsed().as_nanos() as u64;
-                            partials.lock().unwrap().push((counter, nanos));
+        let (stats, ()) = sched::run_scheduler(
+            seed,
+            states,
+            &cancel,
+            |range, (walker, scratch, counter), _ctx| {
+                for seq in &db.sequences[range] {
+                    if let Err(e) =
+                        walker.count_candidates(seq, 1, budget, scratch, counter, |_, _| {})
+                    {
+                        let mut f = failure.lock().unwrap();
+                        if f.is_none() {
+                            *f = Some(e);
                         }
-                        Err(e) => {
-                            let mut f = failure.lock().unwrap();
-                            if f.is_none() {
-                                *f = Some(e);
-                            }
-                        }
+                        cancel.store(true, Ordering::Relaxed);
+                        return;
                     }
-                });
-            }
-        })
-        .expect("counting worker panicked");
+                }
+            },
+            |wid, (_, _, counter)| partials.lock().unwrap().push((wid, counter)),
+            || (),
+        );
         if let Some(e) = failure.into_inner().unwrap() {
             return Err(e);
         }
         let mut partials = partials.into_inner().unwrap();
-        let mut timings = Vec::with_capacity(partials.len());
+        partials.sort_by_key(|&(wid, _)| wid);
         let mut merged = CandidateCounter::new();
-        for (partial, nanos) in partials.drain(..) {
-            merged.merge(&partial);
-            timings.push(nanos);
+        for (_, partial) in &partials {
+            merged.merge(partial);
         }
-        (merged, timings)
+        (merged, stats)
     };
     let work = counter.observed();
     let out = counter.patterns(sigma);
-    Ok((crate::sort_patterns(out), work, timings))
-}
-
-/// Mines frequent sequences by explicit candidate generation.
-///
-/// `budget` bounds per-sequence generation work; see
-/// [`desq_core::fst::candidates::generate`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::DesqCount \
-            (or desq_miner::algo::DesqCount via the Miner trait); the budget \
-            moved into Limits::budget"
-)]
-pub fn desq_count(
-    db: &SequenceDb,
-    fst: &Fst,
-    dict: &Dictionary,
-    sigma: u64,
-    budget: usize,
-) -> Result<Vec<(Sequence, u64)>> {
-    desq_count_impl(db, fst, dict, sigma, budget, 1).map(|(patterns, _, _)| patterns)
+    Ok((crate::sort_patterns(out), work, stats))
 }
 
 #[cfg(test)]
@@ -173,12 +181,14 @@ mod tests {
             let (seq, seq_work, _) =
                 desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1).unwrap();
             for workers in 2..=4 {
-                let (par, par_work, par_timings) =
+                let (par, par_work, par_stats) =
                     desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, workers).unwrap();
                 assert_eq!(par, seq, "sigma={sigma} workers={workers}");
                 assert_eq!(par_work, seq_work, "sigma={sigma} workers={workers}");
-                // One timing per spawned chunk, at most one per worker.
-                assert!(!par_timings.is_empty() && par_timings.len() <= workers);
+                // One stats entry per scheduler worker (the toy db has 5
+                // sequences, so the worker count is never clamped here).
+                assert_eq!(par_stats.len(), workers);
+                assert!(par_stats.iter().map(|s| s.tasks).sum::<u64>() > 0);
             }
         }
     }

@@ -28,23 +28,32 @@
 //! per-node hash maps, and the ε-closure walk deduplicates coordinates in a
 //! bitset.
 //!
-//! Search-tree exploration parallelizes by sharding the root node's
-//! first-level children across worker threads
-//! ([`LocalMiner::mine_with_workers`]): each worker runs an independent
-//! sub-DFS over its share of the tree and the per-worker results are merged
-//! and sorted once.
+//! Search-tree exploration parallelizes with the work-stealing scheduler
+//! of [`crate::sched`] ([`LocalMiner::mine_with_workers`]): the root's
+//! first-level children seed the task pool, each worker descends its
+//! subtree depth-first with its own scratch arenas over the shared tables,
+//! and shallow nodes split trailing child subtrees off as stealable tasks
+//! while the worker's deque runs short ([`SchedConfig`]). DESQ's search
+//! trees are heavily skewed, so dynamic stealing — not static sharding —
+//! is what keeps all workers busy. Results stay oracle-identical at any
+//! worker count: every pattern is emitted by exactly one subtree and the
+//! merged set is sorted once.
 //!
 //! [`LocalMiner`] adds the partition-local restrictions of D-SEQ
 //! (Sec. V-C): at partition `P_k` no expansion uses items `> k`, only pivot
 //! sequences (max item = `k`) are emitted, and the *early stopping*
 //! heuristic drops snapshots that can no longer produce the pivot item.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 use desq_core::fst::FstIndex;
-use desq_core::{Dictionary, Fst, ItemId, Sequence, SequenceDb, EPSILON};
+#[cfg(test)]
+use desq_core::SequenceDb;
+use desq_core::{Dictionary, Fst, ItemId, Sequence, EPSILON};
+
+use crate::sched::{self, SchedConfig, TaskCtx, WorkerStats};
 
 /// Configuration of a [`LocalMiner`].
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +127,25 @@ pub struct LocalMiner<'a> {
     /// indexed) node grouping; larger vocabularies sort instead. Only
     /// tests override [`MAX_DENSE_ITEMS`].
     dense_limit: usize,
+    /// Task-splitting knobs of the work-stealing scheduler (see
+    /// [`SchedConfig`]); irrelevant at `workers = 1`.
+    sched: SchedConfig,
+}
+
+/// One stealable unit of search-tree work: an owned subtree root. The
+/// postings are copied out of the producer's depth buffers so the task can
+/// outlive them and move across threads; only shallow nodes are split (see
+/// [`SchedConfig::split_depth`]), so the copies stay rare and small
+/// relative to the mining they unlock.
+struct MineTask {
+    /// Items on the path from the search-tree root to this node.
+    prefix: Sequence,
+    /// The node's projected database.
+    postings: Vec<Posting>,
+    /// Whether the prefix already contains the required pivot.
+    has_pivot: bool,
+    /// The node's precomputed ε-completion (emission) support.
+    emit: u64,
 }
 
 /// Owned-or-shared [`FstIndex`] (see [`LocalMiner::with_index`]).
@@ -570,6 +598,7 @@ impl<'a> LocalMiner<'a> {
             last_frequent,
             index: IndexHolder::Owned(Box::new(FstIndex::new(fst))),
             dense_limit: MAX_DENSE_ITEMS,
+            sched: SchedConfig::default(),
         }
     }
 
@@ -596,7 +625,16 @@ impl<'a> LocalMiner<'a> {
             last_frequent,
             index: IndexHolder::Shared(index),
             dense_limit: MAX_DENSE_ITEMS,
+            sched: SchedConfig::default(),
         }
+    }
+
+    /// Overrides the work-stealing scheduler's task-splitting knobs — used
+    /// by tests to force stealing on tiny inputs
+    /// ([`SchedConfig::aggressive`]); production callers keep the default.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Largest item the dense per-item accumulators must index: the
@@ -713,23 +751,52 @@ impl<'a> LocalMiner<'a> {
         crate::sort_patterns(out)
     }
 
-    /// Mines with `workers` threads by sharding the root node's first-level
-    /// children: each worker runs an independent sub-DFS over its share of
-    /// the search tree; per-worker results are merged and sorted once.
+    /// Seeds the work-stealing scheduler: collects the root's first-level
+    /// children into owned [`MineTask`]s (one per frequent child item).
+    fn seed_tasks(&self, views: &[TableView<'_>], roots: &[Posting]) -> Vec<MineTask> {
+        let root_has_pivot = self.config.require_pivot.is_none();
+        let mut bufs = ExpandBufs::new(views, self.item_bound(), self.dense_limit);
+        let mut first = DepthBufs::default();
+        self.collect_children(
+            views,
+            roots,
+            root_has_pivot,
+            &mut bufs.walk,
+            &mut bufs.stats,
+            &mut first,
+        );
+        first
+            .runs
+            .iter()
+            .map(|(w, range, emit)| MineTask {
+                prefix: vec![*w],
+                postings: first.grouped[range.clone()].to_vec(),
+                has_pivot: root_has_pivot || Some(*w) == self.config.require_pivot,
+                emit: *emit,
+            })
+            .collect()
+    }
+
+    /// Mines with `workers` threads using the work-stealing scheduler of
+    /// [`crate::sched`]: the root's first-level children seed the task
+    /// pool, idle workers steal half of a victim's queued subtrees, and
+    /// shallow nodes keep splitting trailing children off as stealable
+    /// tasks while the local queue is short. Per-worker results are merged
+    /// and sorted once, so the output is oracle-identical at any worker
+    /// count.
     ///
-    /// Returns the (deterministic, sorted) patterns plus the wall time each
-    /// worker spent mining — `workers = 1` runs inline and reports a single
-    /// timing.
+    /// Returns the (deterministic, sorted) patterns plus per-worker
+    /// [`WorkerStats`] — one entry per worker; `workers = 1` runs inline
+    /// and reports a single entry with `steals = 0`.
     pub fn mine_with_workers(
         &self,
         inputs: &[WeightedInput<'_>],
         workers: usize,
-    ) -> (Vec<(Sequence, u64)>, Vec<u64>) {
+    ) -> (Vec<(Sequence, u64)>, Vec<WorkerStats>) {
         let workers = workers.max(1);
         let tables = self.prepare_tables(inputs, workers);
         let views = tables.views();
         let roots = self.root_postings(&views);
-        let root_has_pivot = self.config.require_pivot.is_none();
 
         if workers == 1 {
             let t0 = Instant::now();
@@ -740,7 +807,7 @@ impl<'a> LocalMiner<'a> {
                 &views,
                 &roots,
                 0,
-                root_has_pivot,
+                self.config.require_pivot.is_none(),
                 0,
                 &mut prefix,
                 &mut bufs,
@@ -751,60 +818,46 @@ impl<'a> LocalMiner<'a> {
             );
             return (
                 crate::sort_patterns(out),
-                vec![t0.elapsed().as_nanos() as u64],
+                vec![WorkerStats::solo(t0.elapsed().as_nanos() as u64, 1)],
             );
         }
 
-        let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
-        let mut first = DepthBufs::default();
-        self.collect_children(
-            &views,
-            &roots,
-            root_has_pivot,
-            &mut bufs.walk,
-            &mut bufs.stats,
-            &mut first,
-        );
-
-        let next = AtomicUsize::new(0);
+        let seed = self.seed_tasks(&views, &roots);
+        let cancel = AtomicBool::new(false);
         let collected: Mutex<Vec<Vec<(Sequence, u64)>>> = Mutex::new(Vec::new());
-        let timings: Mutex<Vec<u64>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|s| {
-            let (views, first) = (&views, &first);
-            let (next, collected, timings) = (&next, &collected, &timings);
-            for _ in 0..workers {
-                s.spawn(move |_| {
-                    let t0 = Instant::now();
-                    let mut out = Vec::new();
-                    let mut bufs = ExpandBufs::new(views, self.item_bound(), self.dense_limit);
-                    loop {
-                        let r = next.fetch_add(1, Ordering::Relaxed);
-                        if r >= first.runs.len() {
-                            break;
-                        }
-                        let (w, ref range, emit) = first.runs[r];
-                        let mut prefix = vec![w];
-                        let has_pivot = root_has_pivot || Some(w) == self.config.require_pivot;
-                        self.expand(
-                            views,
-                            &first.grouped[range.clone()],
-                            0,
-                            has_pivot,
-                            emit,
-                            &mut prefix,
-                            &mut bufs,
-                            &mut |p, f| {
-                                out.push((p, f));
-                                true
-                            },
-                        );
-                    }
-                    collected.lock().unwrap().push(out);
-                    timings.lock().unwrap().push(t0.elapsed().as_nanos() as u64);
-                });
-            }
-        })
-        .expect("mining worker panicked");
+        let states: Vec<_> = (0..workers)
+            .map(|_| {
+                (
+                    Vec::<(Sequence, u64)>::new(),
+                    ExpandBufs::new(&views, self.item_bound(), self.dense_limit),
+                )
+            })
+            .collect();
+        let views = &views;
+        let (stats, ()) = sched::run_scheduler(
+            seed,
+            states,
+            &cancel,
+            |task: MineTask, (out, bufs), ctx| {
+                let mut prefix = task.prefix;
+                self.expand_sched(
+                    views,
+                    &task.postings,
+                    0,
+                    task.has_pivot,
+                    task.emit,
+                    &mut prefix,
+                    bufs,
+                    ctx,
+                    &mut |p, f| {
+                        out.push((p, f));
+                        true
+                    },
+                );
+            },
+            |_, (out, _)| collected.lock().unwrap().push(out),
+            || (),
+        );
 
         let all: Vec<(Sequence, u64)> = collected
             .into_inner()
@@ -812,7 +865,7 @@ impl<'a> LocalMiner<'a> {
             .into_iter()
             .flatten()
             .collect();
-        (crate::sort_patterns(all), timings.into_inner().unwrap())
+        (crate::sort_patterns(all), stats)
     }
 
     /// Streams every frequent pattern to `sink` as it is discovered (DFS
@@ -828,11 +881,11 @@ impl<'a> LocalMiner<'a> {
     }
 
     /// Streaming variant of [`mine_with_workers`](Self::mine_with_workers):
-    /// first-level shards mine on `workers` threads and feed `sink` through
-    /// a bounded channel on the calling thread. Patterns arrive in an
-    /// unspecified interleaving of the workers' DFS orders; a `false` from
-    /// the sink cancels all workers (no further sink calls happen) and
-    /// makes this return `false`.
+    /// the same work-stealing scheduler mines on `workers` threads and
+    /// feeds `sink` through a bounded channel on the calling thread.
+    /// Patterns arrive in an unspecified interleaving of the workers' DFS
+    /// orders; a `false` from the sink cancels all workers (no further sink
+    /// calls happen) and makes this return `false`.
     pub fn mine_each_with_workers(
         &self,
         inputs: &[WeightedInput<'_>],
@@ -843,7 +896,6 @@ impl<'a> LocalMiner<'a> {
         let tables = self.prepare_tables(inputs, workers);
         let views = tables.views();
         let roots = self.root_postings(&views);
-        let root_has_pivot = self.config.require_pivot.is_none();
 
         if workers == 1 {
             let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
@@ -852,7 +904,7 @@ impl<'a> LocalMiner<'a> {
                 &views,
                 &roots,
                 0,
-                root_has_pivot,
+                self.config.require_pivot.is_none(),
                 0,
                 &mut prefix,
                 &mut bufs,
@@ -860,64 +912,60 @@ impl<'a> LocalMiner<'a> {
             );
         }
 
-        let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
-        let mut first = DepthBufs::default();
-        self.collect_children(
-            &views,
-            &roots,
-            root_has_pivot,
-            &mut bufs.walk,
-            &mut bufs.stats,
-            &mut first,
-        );
-
-        let next = AtomicUsize::new(0);
+        let seed = self.seed_tasks(&views, &roots);
         let cancel = AtomicBool::new(false);
         let (tx, rx) = mpsc::sync_channel::<(Sequence, u64)>(1024);
-        crossbeam::thread::scope(|s| {
-            let (views, first) = (&views, &first);
-            let (next, cancel) = (&next, &cancel);
-            for _ in 0..workers {
-                let tx = tx.clone();
-                s.spawn(move |_| {
-                    let mut bufs = ExpandBufs::new(views, self.item_bound(), self.dense_limit);
-                    loop {
-                        if cancel.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let r = next.fetch_add(1, Ordering::Relaxed);
-                        if r >= first.runs.len() {
-                            break;
-                        }
-                        let (w, ref range, emit) = first.runs[r];
-                        let mut prefix = vec![w];
-                        let has_pivot = root_has_pivot || Some(w) == self.config.require_pivot;
-                        self.expand(
-                            views,
-                            &first.grouped[range.clone()],
-                            0,
-                            has_pivot,
-                            emit,
-                            &mut prefix,
-                            &mut bufs,
-                            &mut |p, f| !cancel.load(Ordering::Relaxed) && tx.send((p, f)).is_ok(),
-                        );
-                    }
-                });
-            }
-            drop(tx);
-            // Drain on the calling thread; after a cancel keep draining so
-            // blocked producers can finish, but stop forwarding to the sink.
-            let mut completed = true;
-            while let Ok((pattern, freq)) = rx.recv() {
-                if completed && !sink(pattern, freq) {
-                    completed = false;
-                    cancel.store(true, Ordering::Relaxed);
+        // Worker states own their sender clone; the scheduler drops each
+        // state on its worker thread when that worker finishes, so the
+        // receiver disconnects exactly when mining is done.
+        let states: Vec<_> = (0..workers)
+            .map(|_| {
+                (
+                    tx.clone(),
+                    ExpandBufs::new(&views, self.item_bound(), self.dense_limit),
+                )
+            })
+            .collect();
+        let views = &views;
+        let cancel_ref = &cancel;
+        let (_stats, completed) = sched::run_scheduler(
+            seed,
+            states,
+            &cancel,
+            |task: MineTask, (tx, bufs), ctx| {
+                let mut prefix = task.prefix;
+                let keep_going = self.expand_sched(
+                    views,
+                    &task.postings,
+                    0,
+                    task.has_pivot,
+                    task.emit,
+                    &mut prefix,
+                    bufs,
+                    ctx,
+                    &mut |p, f| !cancel_ref.load(Ordering::Relaxed) && tx.send((p, f)).is_ok(),
+                );
+                if !keep_going {
+                    cancel_ref.store(true, Ordering::Relaxed);
                 }
-            }
-            completed
-        })
-        .expect("mining worker panicked")
+            },
+            |_, state| drop(state),
+            move || {
+                drop(tx);
+                // Drain on the calling thread; after a cancel keep draining
+                // so blocked producers can finish, but stop forwarding to
+                // the sink.
+                let mut completed = true;
+                while let Ok((pattern, freq)) = rx.recv() {
+                    if completed && !sink(pattern, freq) {
+                        completed = false;
+                        cancel_ref.store(true, Ordering::Relaxed);
+                    }
+                }
+                completed
+            },
+        );
+        completed
     }
 
     /// Builds the flat simulation tables ([`SeqTables`]) for every input
@@ -1410,9 +1458,100 @@ impl<'a> LocalMiner<'a> {
         bufs.depths[depth] = d;
         keep_going
     }
+
+    /// [`expand`](Self::expand) under the work-stealing scheduler: identical
+    /// traversal and emission, but shallow nodes (task-relative `depth <
+    /// sched.split_depth`) whose worker's deque is short split all child
+    /// runs after the first off as stealable [`MineTask`]s instead of
+    /// recursing into them. The split children are pushed *before* the
+    /// inline descent into the first child, so thieves can start on them
+    /// immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_sched(
+        &self,
+        views: &[TableView<'_>],
+        node: &[Posting],
+        depth: usize,
+        has_pivot: bool,
+        support: u64,
+        prefix: &mut Sequence,
+        bufs: &mut ExpandBufs,
+        ctx: &TaskCtx<'_, MineTask>,
+        sink: &mut dyn FnMut(Sequence, u64) -> bool,
+    ) -> bool {
+        if !prefix.is_empty()
+            && support >= self.config.sigma
+            && has_pivot
+            && !sink(prefix.clone(), support)
+        {
+            return false;
+        }
+
+        while bufs.depths.len() <= depth {
+            bufs.depths.push(DepthBufs::default());
+        }
+        let mut d = std::mem::take(&mut bufs.depths[depth]);
+        self.collect_children(
+            views,
+            node,
+            has_pivot,
+            &mut bufs.walk,
+            &mut bufs.stats,
+            &mut d,
+        );
+
+        // Split trailing children off as tasks while this node is shallow
+        // and the local queue is short; always keep the first child inline
+        // (splitting everything would leave this worker with nothing but
+        // its own bookkeeping).
+        let inline_upto = if depth < self.sched.split_depth
+            && d.runs.len() > 1
+            && ctx.queued() < self.sched.share_limit
+        {
+            for (w, range, emit) in &d.runs[1..] {
+                let mut task_prefix = Sequence::with_capacity(prefix.len() + 1);
+                task_prefix.extend_from_slice(prefix);
+                task_prefix.push(*w);
+                ctx.spawn(MineTask {
+                    prefix: task_prefix,
+                    postings: d.grouped[range.clone()].to_vec(),
+                    has_pivot: has_pivot || Some(*w) == self.config.require_pivot,
+                    emit: *emit,
+                });
+            }
+            1
+        } else {
+            d.runs.len()
+        };
+
+        let mut keep_going = true;
+        for (w, range, emit) in &d.runs[..inline_upto] {
+            prefix.push(*w);
+            let child_pivot = has_pivot || Some(*w) == self.config.require_pivot;
+            keep_going = self.expand_sched(
+                views,
+                &d.grouped[range.clone()],
+                depth + 1,
+                child_pivot,
+                *emit,
+                prefix,
+                bufs,
+                ctx,
+                sink,
+            );
+            prefix.pop();
+            if !keep_going {
+                break;
+            }
+        }
+        bufs.depths[depth] = d;
+        keep_going
+    }
 }
 
-/// Sequential DESQ-DFS over a whole database (each sequence has weight 1).
+/// Sequential DESQ-DFS over a whole database (each sequence has weight 1);
+/// the tests' shorthand for the [`LocalMiner`] eager path.
+#[cfg(test)]
 pub(crate) fn desq_dfs_impl(
     db: &SequenceDb,
     fst: &Fst,
@@ -1421,20 +1560,6 @@ pub(crate) fn desq_dfs_impl(
 ) -> Vec<(Sequence, u64)> {
     let inputs: Vec<WeightedInput<'_>> = db.sequences.iter().map(|s| (s.as_slice(), 1)).collect();
     LocalMiner::new(fst, dict, MinerConfig::sequential(sigma)).mine(&inputs)
-}
-
-/// Sequential DESQ-DFS over a whole database (each sequence has weight 1).
-///
-/// Note that this signature cannot surface validation errors (σ = 0 is
-/// simply never frequent-checked); the session API validates σ once and
-/// returns `Error::Invalid` uniformly.
-#[deprecated(
-    since = "0.1.0",
-    note = "use desq::session::MiningSession with AlgorithmSpec::DesqDfs \
-            (or desq_miner::algo::DesqDfs via the Miner trait)"
-)]
-pub fn desq_dfs(db: &SequenceDb, fst: &Fst, dict: &Dictionary, sigma: u64) -> Vec<(Sequence, u64)> {
-    desq_dfs_impl(db, fst, dict, sigma)
 }
 
 #[cfg(test)]
@@ -1482,9 +1607,37 @@ mod tests {
             let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma));
             let sequential = miner.mine(&inputs);
             for workers in 2..=4 {
-                let (parallel, timings) = miner.mine_with_workers(&inputs, workers);
+                let (parallel, stats) = miner.mine_with_workers(&inputs, workers);
                 assert_eq!(parallel, sequential, "sigma={sigma} workers={workers}");
-                assert_eq!(timings.len(), workers);
+                assert_eq!(stats.len(), workers);
+                // Whenever anything was mined, at least one seed task ran.
+                if !sequential.is_empty() {
+                    assert!(stats.iter().map(|s| s.tasks).sum::<u64>() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steal_forcing_scheduler_matches_sequential() {
+        // Aggressive splitting scatters even the toy tree into many tiny
+        // tasks; results must stay oracle-identical regardless of which
+        // worker ends up mining which subtree.
+        let fx = toy::fixture();
+        let inputs = unit_inputs(&fx.db);
+        for sigma in 1..=3 {
+            let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma))
+                .with_sched(SchedConfig::aggressive());
+            let sequential = miner.mine(&inputs);
+            for workers in 2..=4 {
+                let (parallel, stats) = miner.mine_with_workers(&inputs, workers);
+                assert_eq!(parallel, sequential, "sigma={sigma} workers={workers}");
+                // Aggressive splitting makes one task per search-tree node
+                // (beyond the inline-first chain), so the task count must
+                // exceed the first-level seed count whenever the tree
+                // branches.
+                let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
+                assert!(tasks >= 1, "sigma={sigma} workers={workers}");
             }
         }
     }

@@ -1,13 +1,13 @@
 //! # desq-miner
 //!
-//! Sequential frequent-sequence miners:
+//! Local (single-machine) frequent-sequence miners:
 //!
-//! * [`desq_dfs()`](desq_dfs()) — the DESQ-DFS pattern-growth algorithm over projected
+//! * [`desq_dfs`] — the DESQ-DFS pattern-growth algorithm over projected
 //!   databases of `(sequence, position, FST state)` snapshots. This is both
 //!   the sequential baseline of Tab. V and, through [`LocalMiner`]'s pivot
 //!   restrictions and early stopping, the local mining phase of D-SEQ
 //!   (Sec. V-C).
-//! * [`desq_count()`](desq_count()) — DESQ-COUNT: per-sequence candidate generation plus
+//! * [`desq_count`] — DESQ-COUNT: per-sequence candidate generation plus
 //!   counting; doubles as the brute-force reference implementation that all
 //!   other miners are validated against.
 //! * [`prefixspan`] — classic PrefixSpan (maximum-length constraint only,
@@ -16,24 +16,25 @@
 //! * [`gapminer`] — pattern growth under maximum-gap / maximum-length /
 //!   hierarchy constraints: the local miner of MG-FSM and LASH (Fig. 12).
 //!
-//! All four are available behind the unified mining API through the
-//! [`desq_core::mining::Miner`] adapters in [`algo`]; the free functions
-//! [`desq_count()`] and [`desq_dfs()`] are deprecated shims kept for one
-//! release.
+//! All four run behind the unified mining API through the
+//! [`desq_core::mining::Miner`] adapters in [`algo`] (the deprecated
+//! free-function entry points were removed; see `docs/MIGRATION.md` in the
+//! repository root). Parallel runs of DESQ-DFS and DESQ-COUNT share the
+//! work-stealing task scheduler in [`sched`]; DESQ-DFS additionally picks
+//! between its flat-table and lean counting execution paths per run (see
+//! [`algo::DesqDfs`] and `docs/ARCHITECTURE.md`).
 
 pub mod algo;
 pub mod desq_count;
 pub mod desq_dfs;
 pub mod gapminer;
 pub mod prefixspan;
+pub mod sched;
 
-#[allow(deprecated)]
-pub use desq_count::desq_count;
-#[allow(deprecated)]
-pub use desq_dfs::desq_dfs;
 pub use desq_dfs::{LocalMiner, MinerConfig, SeqCore, SeqTables, WeightedInput};
 pub use gapminer::GapMiner;
 pub use prefixspan::PrefixSpan;
+pub use sched::{SchedConfig, WorkerStats};
 
 use desq_core::Sequence;
 

@@ -1,0 +1,295 @@
+//! Work-stealing task scheduler for local mining.
+//!
+//! DESQ search trees are wildly skewed: one first-level child can hold
+//! almost the whole pattern space while its siblings are leaves, so the
+//! static root-level sharding this module replaced left most workers idle
+//! behind the one unlucky thread. Here every worker owns a LIFO
+//! [`crossbeam::deque::Worker`] of subtree tasks, seeds come from a shared
+//! [`Injector`], and an idle worker steals *half* of a victim's queue at a
+//! time ([`steal_batch_and_pop`](crossbeam::deque::Stealer::steal_batch_and_pop)).
+//! Task producers (the miner's node expansion) push freshly split subtrees
+//! onto their own deque only while it is short — see
+//! [`SchedConfig::share_limit`] — so splitting overhead is paid exactly
+//! when thieves are hungry.
+//!
+//! Termination uses a single atomic *pending-task* counter: it starts at
+//! the seed count, every spawned task increments it, every finished task
+//! decrements it, and an idle worker exits once it reads zero (no task is
+//! queued anywhere and none is running that could still spawn one).
+//!
+//! The scheduler is deliberately oblivious to what a task *is* — DESQ-DFS
+//! runs owned search-tree nodes through it, DESQ-COUNT runs input-sequence
+//! blocks — and reports per-worker [`WorkerStats`] that the session
+//! surfaces as `MiningMetrics::{worker_nanos, tasks, steals}`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+
+/// Per-worker scheduler measurements of one parallel mining run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Wall-clock nanoseconds the worker spent in its scheduling loop
+    /// (mining plus stealing plus idling).
+    pub nanos: u64,
+    /// Tasks the worker executed.
+    pub tasks: u64,
+    /// Successful steals from *other workers'* deques (grabs from the
+    /// shared seed injector are not steals).
+    pub steals: u64,
+}
+
+impl WorkerStats {
+    /// A single-worker run that executed `tasks` tasks in `nanos`.
+    pub fn solo(nanos: u64, tasks: u64) -> WorkerStats {
+        WorkerStats {
+            nanos,
+            tasks,
+            steals: 0,
+        }
+    }
+}
+
+/// Tuning knobs of the task-splitting heuristic (the scheduler itself is
+/// knob-free).
+///
+/// The defaults balance real workloads; tests force pathological sharing
+/// (`split_depth` high, `share_limit` high) to exercise stealing on tiny
+/// inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Node depth (relative to the task's root) below which child subtrees
+    /// may be split off as stealable tasks. Deeper nodes always recurse
+    /// inline: near the leaves a task's postings are smaller than the
+    /// bookkeeping to share them.
+    pub split_depth: usize,
+    /// Child subtrees are only split off while the worker's own deque
+    /// holds fewer than this many tasks — a short queue means thieves are
+    /// draining it (or soon will), a long one means splitting would only
+    /// buy allocation overhead.
+    pub share_limit: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            split_depth: 3,
+            share_limit: 4,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// A steal-forcing configuration for tests: split at every depth and
+    /// keep sharing regardless of queue length, so even toy-sized search
+    /// trees scatter into many stealable tasks.
+    pub fn aggressive() -> SchedConfig {
+        SchedConfig {
+            split_depth: usize::MAX,
+            share_limit: usize::MAX,
+        }
+    }
+}
+
+/// Handle a running task uses to spawn further tasks into the scheduler.
+pub struct TaskCtx<'a, T> {
+    local: &'a Worker<T>,
+    pending: &'a AtomicUsize,
+}
+
+impl<T> TaskCtx<'_, T> {
+    /// Queues a freshly split task on the calling worker's own deque (the
+    /// cold end is where thieves take from).
+    pub fn spawn(&self, task: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.local.push(task);
+    }
+
+    /// Number of tasks currently queued on the calling worker's own deque;
+    /// the splitting heuristic compares this against
+    /// [`SchedConfig::share_limit`].
+    pub fn queued(&self) -> usize {
+        self.local.len()
+    }
+}
+
+/// Runs `seed` tasks to completion on `states.len()` worker threads with
+/// work stealing, while `on_main` runs on the calling thread (streaming
+/// callers drain their channel there; eager callers pass `|| ()`).
+///
+/// Each worker owns one element of `states` (scratch arenas, output
+/// buffers, channel senders); `task` may spawn subtasks through the
+/// [`TaskCtx`]. When a worker runs out of everything to do it calls
+/// `finish` with its state — still on the worker thread, so senders drop
+/// and channels disconnect before the scheduler returns. Setting `cancel`
+/// makes every worker stop at its next task boundary, abandoning queued
+/// tasks.
+///
+/// Returns per-worker [`WorkerStats`] in worker-index order plus
+/// `on_main`'s result.
+pub(crate) fn run_scheduler<T, S, R>(
+    seed: Vec<T>,
+    mut states: Vec<S>,
+    cancel: &AtomicBool,
+    task: impl Fn(T, &mut S, &TaskCtx<'_, T>) + Sync,
+    finish: impl Fn(usize, S) + Sync,
+    on_main: impl FnOnce() -> R,
+) -> (Vec<WorkerStats>, R)
+where
+    T: Send,
+    S: Send,
+{
+    let workers = states.len().max(1);
+    let pending = AtomicUsize::new(seed.len());
+    let injector: Injector<T> = Injector::new();
+    for t in seed {
+        injector.push(t);
+    }
+    let locals: Vec<Worker<T>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<T>> = locals.iter().map(Worker::stealer).collect();
+    let all_stats: Mutex<Vec<(usize, WorkerStats)>> = Mutex::new(Vec::with_capacity(workers));
+
+    let main_out = crossbeam::thread::scope(|scope| {
+        let (pending, injector, stealers) = (&pending, &injector, &stealers);
+        let (task, finish, all_stats) = (&task, &finish, &all_stats);
+        for (wid, (local, mut state)) in locals.into_iter().zip(states.drain(..)).enumerate() {
+            scope.spawn(move |_| {
+                let t0 = Instant::now();
+                let mut stats = WorkerStats::default();
+                let ctx = TaskCtx {
+                    local: &local,
+                    pending,
+                };
+                loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let mut next = local.pop().or_else(|| {
+                        injector.steal_batch_and_pop(&local).success().or_else(|| {
+                            (1..workers).find_map(|i| {
+                                let got = stealers[(wid + i) % workers]
+                                    .steal_batch_and_pop(&local)
+                                    .success();
+                                stats.steals += u64::from(got.is_some());
+                                got
+                            })
+                        })
+                    });
+                    match next.take() {
+                        Some(t) => {
+                            task(t, &mut state, &ctx);
+                            stats.tasks += 1;
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                finish(wid, state);
+                stats.nanos = t0.elapsed().as_nanos() as u64;
+                all_stats.lock().unwrap().push((wid, stats));
+            });
+        }
+        on_main()
+    })
+    .expect("scheduler worker panicked");
+
+    let mut stats = all_stats.into_inner().unwrap();
+    stats.sort_by_key(|&(wid, _)| wid);
+    (stats.into_iter().map(|(_, s)| s).collect(), main_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Recursive fork-join sum of 0..n via spawned subtasks: exercises
+    /// spawning, stealing and pending-counter termination together.
+    #[test]
+    fn spawned_subtasks_all_run_exactly_once() {
+        for workers in [1usize, 2, 4] {
+            let total = AtomicU64::new(0);
+            let cancel = AtomicBool::new(false);
+            let (stats, ()) = run_scheduler(
+                vec![(0u64, 256u64)],
+                vec![(); workers],
+                &cancel,
+                |(lo, hi), _state, ctx: &TaskCtx<'_, (u64, u64)>| {
+                    if hi - lo <= 8 {
+                        total.fetch_add((lo..hi).sum::<u64>(), Ordering::Relaxed);
+                    } else {
+                        let mid = (lo + hi) / 2;
+                        ctx.spawn((mid, hi));
+                        ctx.spawn((lo, mid));
+                    }
+                },
+                |_, ()| {},
+                || (),
+            );
+            assert_eq!(total.into_inner(), 255 * 256 / 2, "workers={workers}");
+            assert_eq!(stats.len(), workers);
+            let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
+            assert_eq!(tasks, 63, "a binary split of 256 by 8 makes 63 tasks");
+        }
+    }
+
+    #[test]
+    fn cancel_stops_before_queued_tasks_run() {
+        let ran = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        run_scheduler(
+            (0..64).collect::<Vec<u32>>(),
+            vec![(); 2],
+            &cancel,
+            |_t, _state, _ctx: &TaskCtx<'_, u32>| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                cancel.store(true, Ordering::Relaxed);
+            },
+            |_, ()| {},
+            || (),
+        );
+        assert!(ran.into_inner() < 64, "cancel must abandon queued tasks");
+    }
+
+    #[test]
+    fn finish_runs_per_worker_and_main_runs_on_caller() {
+        let finished = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let caller = std::thread::current().id();
+        let (stats, main_thread) = run_scheduler(
+            vec![1u32],
+            vec![0u8; 3],
+            &cancel,
+            |_t, _state, _ctx: &TaskCtx<'_, u32>| {},
+            |_, _state| {
+                finished.fetch_add(1, Ordering::Relaxed);
+            },
+            || std::thread::current().id(),
+        );
+        assert_eq!(finished.into_inner(), 3);
+        assert_eq!(main_thread, caller);
+        assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn empty_seed_terminates_immediately() {
+        let cancel = AtomicBool::new(false);
+        let (stats, ()) = run_scheduler(
+            Vec::<u32>::new(),
+            vec![(); 4],
+            &cancel,
+            |_t, _s, _c: &TaskCtx<'_, u32>| unreachable!("no tasks exist"),
+            |_, ()| {},
+            || (),
+        );
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.tasks == 0 && s.steals == 0));
+    }
+}

@@ -45,13 +45,15 @@
 //!   corpora.
 //!
 //! Each algorithm crate exposes its implementations behind the session via
-//! [`Miner`]-trait adapters in an `algo` module; the historical free
+//! [`Miner`]-trait adapters in an `algo` module. The historical free
 //! functions (`desq_count`, `desq_dfs`, `d_seq`, `d_cand`, `naive`,
-//! `semi_naive`, `lash`, `mllib_prefixspan`) remain as deprecated shims
-//! for one release.
+//! `semi_naive`, `lash`, `mllib_prefixspan`) were removed after their
+//! one-release deprecation window; `docs/MIGRATION.md` in the repository
+//! root maps each old call to its session-builder equivalent.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
-//! system inventory.
+//! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
+//! system inventory, and `docs/ARCHITECTURE.md` for the module map of the
+//! flat mining substrate and the work-stealing scheduler.
 
 pub mod session;
 
@@ -62,5 +64,7 @@ pub use desq_datagen as datagen;
 pub use desq_dist as dist;
 pub use desq_miner as miner;
 
-pub use desq_core::mining::{Limits, Miner, MiningContext, MiningMetrics, MiningResult};
+pub use desq_core::mining::{
+    ExecutionPolicy, Limits, Miner, MiningContext, MiningMetrics, MiningResult,
+};
 pub use session::{AlgorithmSpec, MiningSession, MiningSessionBuilder, PatternStream};

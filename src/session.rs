@@ -43,7 +43,9 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use desq_baselines::{LashConfig, MllibConfig};
-use desq_core::mining::{Limits, Miner, MiningContext, MiningMetrics, MiningResult};
+use desq_core::mining::{
+    ExecutionPolicy, Limits, Miner, MiningContext, MiningMetrics, MiningResult,
+};
 use desq_core::{Dictionary, Error, Fst, PatEx, Result, Sequence, SequenceDb};
 use desq_dist::{DCandConfig, DSeqConfig};
 use desq_miner::{LocalMiner, MinerConfig};
@@ -205,6 +207,7 @@ pub struct MiningSessionBuilder {
     workers: Option<usize>,
     partitions: Option<usize>,
     reducers: Option<usize>,
+    exec: ExecutionPolicy,
 }
 
 /// Default worker count: the machine's parallelism, capped at 8 — the
@@ -307,6 +310,16 @@ impl MiningSessionBuilder {
         self
     }
 
+    /// Selects the execution path for algorithms with several strategies
+    /// (defaults to [`ExecutionPolicy::Auto`]). Today this steers
+    /// DESQ-DFS's choice between its flat-table and lean counting paths;
+    /// streaming runs always use the flat path regardless (the lean path
+    /// cannot stream).
+    pub fn execution_policy(mut self, exec: ExecutionPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Validates the whole request once and produces the session.
     ///
     /// Errors with [`Error::Invalid`] on: missing dictionary/database,
@@ -346,6 +359,7 @@ impl MiningSessionBuilder {
             workers,
             partitions: self.partitions.unwrap_or(workers),
             reducers: self.reducers.unwrap_or(workers),
+            exec: self.exec,
         };
         session.validate()?;
         Ok(session)
@@ -370,6 +384,7 @@ pub struct MiningSession {
     workers: usize,
     partitions: usize,
     reducers: usize,
+    exec: ExecutionPolicy,
 }
 
 impl std::fmt::Debug for MiningSession {
@@ -458,6 +473,7 @@ impl MiningSession {
             workers: self.workers,
             partitions: self.partitions,
             reducers: self.reducers,
+            exec: self.exec,
         }
     }
 
@@ -502,9 +518,13 @@ impl MiningSession {
     ///
     /// DESQ-DFS yields patterns incrementally while the search tree is
     /// explored (bounded channel — memory stays proportional to the
-    /// consumer's lag, not the result size), sharding the tree's
-    /// first-level children across the session's worker threads; the other
-    /// algorithms compute their result and then stream it out. Patterns
+    /// consumer's lag, not the result size), balancing subtree tasks
+    /// across the session's worker threads by work stealing; the other
+    /// algorithms compute their result and then stream it out. Streaming
+    /// always runs DESQ-DFS's flat-table path — the lean counting path
+    /// cannot emit patterns incrementally, so the session's
+    /// [`execution_policy`](MiningSessionBuilder::execution_policy) does
+    /// not apply here. Patterns
     /// arrive in discovery order (an unspecified interleaving of the
     /// workers' DFS orders when `workers > 1`), *not* necessarily the
     /// sorted order of [`run`](MiningSession::run). Call

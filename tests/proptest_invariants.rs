@@ -8,8 +8,9 @@ use desq::core::{Dictionary, DictionaryBuilder, Error, Fst, ItemId, PatEx, Seque
 use desq::dist::dcand::merge_pivots;
 use desq::dist::dcand::nfa::TrieBuilder;
 use desq::dist::PivotSearch;
-use desq::miner::{LocalMiner, MinerConfig, WeightedInput};
+use desq::miner::{LocalMiner, MinerConfig, SchedConfig, WeightedInput};
 use desq::session::{AlgorithmSpec, MiningSession};
+use desq::ExecutionPolicy;
 
 const BUDGET: usize = 100_000;
 
@@ -411,6 +412,95 @@ proptest! {
             let sequential = miner.mine(&inputs);
             let (parallel, _) = miner.mine_with_workers(&inputs, 3);
             prop_assert_eq!(parallel, sequential, "pivot {}", k);
+        }
+    }
+
+    /// Work stealing under a steal-forcing configuration
+    /// ([`SchedConfig::aggressive`]: every search-tree node becomes a
+    /// stealable task) is result-identical to sequential mining on random
+    /// worlds — eager and streaming — and the scheduler accounts one stats
+    /// entry per worker with every executed task counted.
+    #[test]
+    fn forced_stealing_matches_sequential(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3,
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let inputs: Vec<WeightedInput<'_>> = world
+            .db
+            .sequences
+            .iter()
+            .map(|s| (s.as_slice(), 1))
+            .collect();
+        let miner = LocalMiner::new(&fst, &world.dict, MinerConfig::sequential(sigma))
+            .with_sched(SchedConfig::aggressive());
+        let sequential = miner.mine(&inputs);
+        for workers in 2usize..=4 {
+            let (parallel, stats) = miner.mine_with_workers(&inputs, workers);
+            prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
+            prop_assert_eq!(stats.len(), workers);
+            let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
+            if !sequential.is_empty() {
+                prop_assert!(tasks > 0, "non-empty result must run tasks");
+            }
+            let mut streamed = Vec::new();
+            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |p, f| {
+                streamed.push((p, f));
+                true
+            });
+            prop_assert!(completed);
+            streamed.sort_unstable();
+            prop_assert_eq!(&streamed, &sequential, "streamed, workers = {}", workers);
+        }
+    }
+
+    /// The hybrid execution paths agree on random worlds: `Flat` (forced
+    /// table materialization), `Lean` (forced counting path) and `Auto`
+    /// (the cost model) produce identical patterns through the session,
+    /// at 1 and 3 workers. A forced `Lean` may exhaust a tiny budget
+    /// (`ResourceExhausted` propagates); `Auto` must transparently fall
+    /// back to the flat path instead and still match it.
+    #[test]
+    fn execution_policies_agree_on_random_worlds(
+        world in arb_world(), e in arb_pexp(4), sigma in 1u64..3,
+        small_budget in 1usize..40,
+    ) {
+        let fst = match Fst::compile(&e, &world.dict) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let build = |exec: ExecutionPolicy, budget: usize, workers: usize| {
+            MiningSession::builder()
+                .dictionary(world.dict.clone())
+                .database(world.db.clone())
+                .fst(fst.clone())
+                .sigma(sigma)
+                .budget(budget)
+                .workers(workers)
+                .algorithm(AlgorithmSpec::DesqDfs)
+                .execution_policy(exec)
+                .build()
+                .unwrap()
+        };
+        let flat = build(ExecutionPolicy::Flat, BUDGET, 1).run().unwrap();
+        for workers in [1usize, 3] {
+            for budget in [BUDGET, small_budget] {
+                let auto = build(ExecutionPolicy::Auto, budget, workers).run().unwrap();
+                prop_assert_eq!(
+                    &auto.patterns, &flat.patterns,
+                    "auto, workers = {}, budget = {}", workers, budget
+                );
+                match build(ExecutionPolicy::Lean, budget, workers).run() {
+                    Ok(lean) => prop_assert_eq!(
+                        &lean.patterns, &flat.patterns,
+                        "lean, workers = {}, budget = {}", workers, budget
+                    ),
+                    Err(Error::ResourceExhausted(_)) => {}
+                    Err(err) => prop_assert!(false, "lean failed unexpectedly: {}", err),
+                }
+            }
         }
     }
 
