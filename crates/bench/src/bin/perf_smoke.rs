@@ -26,6 +26,16 @@
 //!   `scale_w2`/`scale_w4` ratios compare each row against its own
 //!   single-worker time.
 //!
+//! * **serve** (`perf_smoke serve`): spawns a `desq-serve` daemon on an
+//!   ephemeral localhost port with the same NYT-like corpus resident,
+//!   measures per-constraint cold latency (first query: FST compilation
+//!   included) against warm latency (cache hit) for N2/N3/N5, and
+//!   1-client vs 4-client warm throughput on N2, writing `BENCH_7.json`
+//!   with the server's cache hit/miss counters. There is no pre-PR
+//!   baseline — the daemon is new; the cold/warm ratio *is* the headline
+//!   (the warm path must be measurably faster because it skips
+//!   compilation).
+//!
 //! Override any baseline with `PERF_BASELINE_<NAME>=secs` (local) or
 //! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist/count) when
 //! benchmarking on a different machine. The outputs are consumed by CI as
@@ -621,6 +631,235 @@ fn scale_main(out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+struct ServeRow {
+    name: String,
+    patterns: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    /// Nanoseconds spent compiling the pexp on the (min) cold query.
+    compile_nanos: u64,
+    /// Min accept-to-mining-start nanoseconds, cold vs warm. Mining wall
+    /// time is identical on both sides, so this is where the FST cache
+    /// shows up: the warm path's queue wait drops by the compile time.
+    cold_queue_wait_nanos: u64,
+    warm_queue_wait_nanos: u64,
+}
+
+/// Queries per thread in the throughput measurement.
+const SERVE_QUERIES: usize = 6;
+/// Client threads of the concurrent throughput measurement.
+const SERVE_CLIENTS: usize = 4;
+
+fn serve_main(out_path: &str) {
+    use desq_serve::client::Client;
+    use desq_serve::proto::Request;
+    use desq_serve::server::{ServeLimits, Server};
+    use desq_serve::store::CorpusStore;
+
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    // The latency tier: the full 40k-sequence vocabulary with a 2k-sequence
+    // sample database, so per-query wall time is short enough for the fixed
+    // costs the cache removes (pexp parse + FST compile) to be visible.
+    let sample = desq_core::SequenceDb::new(db.sequences[..NYT_SIZE / 20].to_vec());
+    let (dict, db, sample) = (
+        std::sync::Arc::new(dict),
+        std::sync::Arc::new(db),
+        std::sync::Arc::new(sample),
+    );
+    let limits = ServeLimits {
+        max_inflight: SERVE_CLIENTS + 1,
+        ..ServeLimits::default()
+    };
+    // Spawning a server is cheap (the corpus Arcs are shared, nothing is
+    // copied); a fresh one per cold repetition gives an empty FST cache.
+    let spawn = || {
+        let mut store = CorpusStore::new();
+        store.insert("nyt", dict.clone(), db.clone());
+        store.insert("nyt-sample", dict.clone(), sample.clone());
+        Server::new(store)
+            .with_limits(limits.clone())
+            .spawn("127.0.0.1:0")
+            .expect("bind ephemeral port")
+    };
+    let request =
+        |corpus: &str, c: &Constraint| Request::new(corpus, c.expr.clone(), SIGMA).unanchored();
+
+    // Cold vs warm latency on the sample corpus. Cold: min over REPS
+    // first-queries, each against a freshly spawned server (empty cache,
+    // so the FST compiles). Warm: min over REPS cache-hit queries on a
+    // persistent server. N2x16 repeats N2's constraint up to 16 times —
+    // the compile-heaviest expression of the set (~100 FST states), where
+    // the cache's saving is largest.
+    let persistent = spawn();
+    let client = Client::new(persistent.addr());
+    let constraints = [
+        desq_dist::patterns::n2(),
+        desq_dist::patterns::n3(),
+        desq_dist::patterns::n5(),
+        Constraint::new("N2x16", "(ENTITY^ VERB+ ENTITY^){1,16}"),
+    ];
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for c in &constraints {
+        let mut cold_secs = f64::MAX;
+        let mut compile_nanos = 0;
+        let mut cold_queue_wait_nanos = u64::MAX;
+        let mut patterns = 0;
+        for _ in 0..REPS {
+            let fresh = spawn();
+            let t0 = Instant::now();
+            let cold = Client::new(fresh.addr())
+                .query(&request("nyt-sample", c))
+                .expect("cold query");
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(
+                !cold.stats.cache_hit,
+                "{}: fresh server must compile",
+                c.name
+            );
+            assert!(cold.stats.compile_nanos > 0);
+            if secs < cold_secs {
+                cold_secs = secs;
+                compile_nanos = cold.stats.compile_nanos;
+            }
+            cold_queue_wait_nanos = cold_queue_wait_nanos.min(cold.stats.queue_wait_nanos);
+            patterns = cold.patterns.len();
+            fresh.shutdown();
+        }
+        let mut warm_secs = f64::MAX;
+        let mut warm_queue_wait_nanos = u64::MAX;
+        client
+            .query(&request("nyt-sample", c))
+            .expect("cache-priming query");
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let warm = client.query(&request("nyt-sample", c)).expect("warm query");
+            warm_secs = warm_secs.min(t0.elapsed().as_secs_f64());
+            warm_queue_wait_nanos = warm_queue_wait_nanos.min(warm.stats.queue_wait_nanos);
+            assert!(warm.stats.cache_hit, "{}: repeat query must hit", c.name);
+            assert_eq!(
+                warm.stats.compile_nanos, 0,
+                "warm query must skip compilation"
+            );
+            assert_eq!(warm.patterns.len(), patterns);
+        }
+        rows.push(ServeRow {
+            name: c.name.clone(),
+            patterns,
+            cold_secs,
+            warm_secs,
+            compile_nanos,
+            cold_queue_wait_nanos,
+            warm_queue_wait_nanos,
+        });
+        eprintln!("measured serve/{}", c.name);
+    }
+
+    // Warm throughput on the full corpus with the cheapest constraint: the
+    // same number of queries issued by one client sequentially vs spread
+    // over 4 concurrent clients, in queries per second.
+    let n2 = desq_dist::patterns::n2();
+    client
+        .query(&request("nyt", &n2))
+        .expect("cache-priming query");
+    let t0 = Instant::now();
+    for _ in 0..SERVE_CLIENTS * SERVE_QUERIES {
+        client
+            .query(&request("nyt", &n2))
+            .expect("sequential query");
+    }
+    let seq_qps = (SERVE_CLIENTS * SERVE_QUERIES) as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..SERVE_CLIENTS {
+            let request = request("nyt", &n2);
+            let client = &client;
+            scope.spawn(move || {
+                for _ in 0..SERVE_QUERIES {
+                    client.query(&request).expect("concurrent query");
+                }
+            });
+        }
+    });
+    let conc_qps = (SERVE_CLIENTS * SERVE_QUERIES) as f64 / t0.elapsed().as_secs_f64();
+    let stats = client
+        .query(&request("nyt", &n2))
+        .expect("final stats query")
+        .stats;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"desq-serve daemon perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"latency_dataset\": \"nyt_like({NYT_SIZE}) dict, {} \
+         sample sequences\", \"throughput_dataset\": \"nyt_like({NYT_SIZE})\", \
+         \"sigma\": {SIGMA}, \"reps\": {REPS}, \"cores\": {}, \"metric\": \
+         \"min query wall seconds (cold = first query on a fresh server, compile \
+         included; warm = cache hit) + min accept-to-mining queue-wait nanos\"}},",
+        NYT_SIZE / 20,
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+    json.push_str("  \"constraints\": [\n");
+    let (mut cold_total, mut warm_total) = (0.0, 0.0);
+    let (mut cold_wait_total, mut warm_wait_total) = (0u64, 0u64);
+    for (i, r) in rows.iter().enumerate() {
+        cold_total += r.cold_secs;
+        warm_total += r.warm_secs;
+        cold_wait_total += r.cold_queue_wait_nanos;
+        warm_wait_total += r.warm_queue_wait_nanos;
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"patterns\": {}, \"cold_secs\": {:.4}, \
+             \"warm_secs\": {:.4}, \"cold_over_warm\": {:.2}, \"compile_nanos\": {}, \
+             \"cold_queue_wait_nanos\": {}, \"warm_queue_wait_nanos\": {}, \
+             \"queue_wait_ratio\": {:.2}}}{}",
+            r.name,
+            r.patterns,
+            r.cold_secs,
+            r.warm_secs,
+            r.cold_secs / r.warm_secs,
+            r.compile_nanos,
+            r.cold_queue_wait_nanos,
+            r.warm_queue_wait_nanos,
+            r.cold_queue_wait_nanos as f64 / r.warm_queue_wait_nanos.max(1) as f64,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"throughput\": {{\"constraint\": \"N2\", \"queries\": {}, \
+         \"clients1_qps\": {:.2}, \"clients{SERVE_CLIENTS}_qps\": {:.2}, \
+         \"concurrent_speedup\": {:.2}}},",
+        SERVE_CLIENTS * SERVE_QUERIES,
+        seq_qps,
+        conc_qps,
+        conc_qps / seq_qps,
+    );
+    let _ = writeln!(
+        json,
+        "  \"fst_cache\": {{\"hits\": {}, \"misses\": {}}},",
+        stats.cache_hits, stats.cache_misses,
+    );
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"cold_secs\": {:.4}, \"warm_secs\": {:.4}, \
+         \"cold_over_warm\": {:.2}, \"cold_queue_wait_nanos\": {}, \
+         \"warm_queue_wait_nanos\": {}, \"queue_wait_ratio\": {:.2}}}",
+        cold_total,
+        warm_total,
+        cold_total / warm_total,
+        cold_wait_total,
+        warm_wait_total,
+        cold_wait_total as f64 / warm_wait_total.max(1) as f64,
+    );
+    json.push_str("}\n");
+
+    persistent.shutdown();
+    std::fs::write(out_path, &json).expect("write BENCH_7.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -635,6 +874,10 @@ fn main() {
         Some("scale") => {
             let out = args.next().unwrap_or_else(|| "BENCH_6.json".to_string());
             scale_main(&out);
+        }
+        Some("serve") => {
+            let out = args.next().unwrap_or_else(|| "BENCH_7.json".to_string());
+            serve_main(&out);
         }
         Some(out) => local_main(out),
         None => local_main("BENCH_3.json"),

@@ -53,6 +53,44 @@ pub fn read_varint(buf: &mut &[u8]) -> Result<u64> {
     }
 }
 
+/// Appends a length-prefixed byte string: `varint(len)` followed by the
+/// raw bytes. The inverse is [`read_bytes`].
+#[inline]
+pub fn write_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Decodes one [`write_bytes`] record, advancing `buf` and returning the
+/// byte string as a borrowed slice. Rejects lengths exceeding the
+/// remaining input (hostile length prefixes never allocate).
+#[inline]
+pub fn read_bytes<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8]> {
+    let len = read_varint(buf)? as usize;
+    if len > buf.len() {
+        return Err(Error::Decode(format!(
+            "byte string: length {len} exceeds remaining input ({})",
+            buf.len()
+        )));
+    }
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(bytes)
+}
+
+/// Appends a length-prefixed UTF-8 string ([`write_bytes`] of the bytes).
+#[inline]
+pub fn write_str(buf: &mut Vec<u8>, s: &str) {
+    write_bytes(buf, s.as_bytes());
+}
+
+/// Decodes one [`write_str`] record; rejects invalid UTF-8.
+#[inline]
+pub fn read_str<'a>(buf: &mut &'a [u8]) -> Result<&'a str> {
+    let bytes = read_bytes(buf)?;
+    std::str::from_utf8(bytes).map_err(|e| Error::Decode(format!("string: invalid UTF-8: {e}")))
+}
+
 /// Zigzag-encodes a signed delta (small magnitudes → small varints).
 #[inline]
 fn zigzag(v: i64) -> u64 {
@@ -150,6 +188,35 @@ pub fn decode_item_seq(buf: &mut &[u8], out: &mut Vec<u32>) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn byte_and_str_records_roundtrip() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"abc");
+        write_str(&mut buf, "σ=10");
+        write_bytes(&mut buf, b"");
+        let mut s = buf.as_slice();
+        assert_eq!(read_bytes(&mut s).unwrap(), b"abc");
+        assert_eq!(read_str(&mut s).unwrap(), "σ=10");
+        assert_eq!(read_bytes(&mut s).unwrap(), b"");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn byte_records_reject_hostile_lengths_and_bad_utf8() {
+        // Length prefix far beyond the remaining input.
+        let mut hostile = Vec::new();
+        write_varint(&mut hostile, u64::MAX / 2);
+        let mut s = hostile.as_slice();
+        assert!(read_bytes(&mut s).is_err());
+        // Valid byte record that is not UTF-8.
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut s = buf.as_slice();
+        assert!(read_str(&mut s).is_err());
+        let mut s = buf.as_slice();
+        assert_eq!(read_bytes(&mut s).unwrap(), &[0xff, 0xfe]);
+    }
 
     #[test]
     fn varint_boundaries() {

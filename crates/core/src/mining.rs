@@ -242,7 +242,7 @@ impl<'a> MiningContext<'a> {
 /// Distributed algorithms fill the shuffle fields from the BSP engine's
 /// job metrics; sequential miners report wall time and work counts with
 /// legitimately-zero shuffle volume (nothing is communicated).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MiningMetrics {
     /// End-to-end wall-clock nanoseconds of the run.
     pub wall_nanos: u64,
@@ -342,6 +342,72 @@ impl MiningMetrics {
         self
     }
 
+    /// Appends the wire encoding of these metrics to `buf`.
+    ///
+    /// **Wire format** (all integers LEB128 varints, see [`crate::codec`]):
+    /// the scalar fields in declaration order — `wall_nanos`, `map_nanos`,
+    /// `reduce_nanos`, `input_sequences`, `emitted_records`,
+    /// `shuffle_records`, `shuffle_payloads`, `shuffle_bytes` — then
+    /// `reducer_bytes` as `varint(len)` + one varint per entry, then
+    /// `output_records`, `workers`, `worker_nanos` (same list shape),
+    /// `tasks`, `steals`. Used by the `desq-serve` daemon to ship the
+    /// terminal metrics frame of a query response; [`decode`](Self::decode)
+    /// is the exact inverse.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        use crate::codec::write_varint;
+        for v in [
+            self.wall_nanos,
+            self.map_nanos,
+            self.reduce_nanos,
+            self.input_sequences,
+            self.emitted_records,
+            self.shuffle_records,
+            self.shuffle_payloads,
+            self.shuffle_bytes,
+        ] {
+            write_varint(buf, v);
+        }
+        write_varint(buf, self.reducer_bytes.len() as u64);
+        for &v in &self.reducer_bytes {
+            write_varint(buf, v);
+        }
+        write_varint(buf, self.output_records);
+        write_varint(buf, self.workers);
+        write_varint(buf, self.worker_nanos.len() as u64);
+        for &v in &self.worker_nanos {
+            write_varint(buf, v);
+        }
+        write_varint(buf, self.tasks);
+        write_varint(buf, self.steals);
+    }
+
+    /// Decodes one [`encode`](Self::encode) record, advancing `buf`.
+    /// Rejects truncated input and list lengths exceeding the remaining
+    /// bytes.
+    pub fn decode(buf: &mut &[u8]) -> Result<MiningMetrics> {
+        use crate::codec::read_varint;
+        let mut m = MiningMetrics::default();
+        for field in [
+            &mut m.wall_nanos,
+            &mut m.map_nanos,
+            &mut m.reduce_nanos,
+            &mut m.input_sequences,
+            &mut m.emitted_records,
+            &mut m.shuffle_records,
+            &mut m.shuffle_payloads,
+            &mut m.shuffle_bytes,
+        ] {
+            *field = read_varint(buf)?;
+        }
+        m.reducer_bytes = decode_u64_list(buf)?;
+        m.output_records = read_varint(buf)?;
+        m.workers = read_varint(buf)?;
+        m.worker_nanos = decode_u64_list(buf)?;
+        m.tasks = read_varint(buf)?;
+        m.steals = read_varint(buf)?;
+        Ok(m)
+    }
+
     /// Map-phase wall time in seconds.
     pub fn map_secs(&self) -> f64 {
         self.map_nanos as f64 / 1e9
@@ -385,6 +451,23 @@ impl MiningMetrics {
             self.emitted_records as f64 / self.shuffle_records as f64
         }
     }
+}
+
+/// Decodes a varint-length-prefixed list of varints (the list shape used
+/// by [`MiningMetrics::encode`]); never pre-allocates beyond what the
+/// remaining input could encode.
+fn decode_u64_list(buf: &mut &[u8]) -> Result<Vec<u64>> {
+    let len = crate::codec::read_varint(buf)? as usize;
+    if len > buf.len() {
+        return Err(Error::Decode(format!(
+            "metrics list: length {len} exceeds remaining input"
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(crate::codec::read_varint(buf)?);
+    }
+    Ok(out)
 }
 
 /// Outcome of one mining run — identical shape for every algorithm.
@@ -505,6 +588,27 @@ mod tests {
         assert_eq!(m.workers, 2);
         assert_eq!(m.worker_nanos, vec![4, 6]);
         assert_eq!((m.tasks, m.steals), (42, 7));
+    }
+
+    #[test]
+    fn metrics_wire_encoding_roundtrips() {
+        let mut m = MiningMetrics::local_parallel(123, 5, 17, 3, vec![40, 60]).with_scheduler(9, 2);
+        m.map_nanos = 7;
+        m.shuffle_records = 11;
+        m.shuffle_payloads = 4;
+        m.shuffle_bytes = 99;
+        m.reducer_bytes = vec![33, 66, 0];
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(MiningMetrics::decode(&mut s).unwrap(), m);
+        assert!(s.is_empty());
+        // Every truncation is a decode error, never a panic or a silent
+        // partial read.
+        for cut in 0..buf.len() {
+            let mut s = &buf[..cut];
+            assert!(MiningMetrics::decode(&mut s).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The `desq-serve` command: run the daemon or query one.
+//!
+//! ```text
+//! desq-serve serve [--listen ADDR] --corpus NAME=SPEC ...
+//!                  [--max-inflight N] [--max-budget N] [--max-patterns N]
+//! desq-serve query [--addr ADDR] --corpus NAME --pexp EXPR --sigma N
+//!                  [--anchored] [--algo desq-dfs|desq-count|d-seq|d-cand]
+//!                  [--budget N] [--max-patterns N] [--workers N]
+//! ```
+//!
+//! Corpus specs are the `CorpusStore::load_spec` forms (`toy`,
+//! `nyt:<sentences>[:seed]`, `amzn:<customers>`, `cw:<sentences>`).
+//! `query` prints one pattern per line as frequency-encoded item ids plus
+//! the frequency (the dictionary lives server-side), then a summary line
+//! with wall time, cache outcome and queue wait.
+
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+use desq_serve::client::Client;
+use desq_serve::proto::{Request, WireAlgo};
+use desq_serve::server::{ServeLimits, Server};
+use desq_serve::store::CorpusStore;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:4711";
+
+/// A deferred flag application: flags are parsed before the base request
+/// exists, so each one is captured as an edit replayed once it does.
+type ReqMod = Box<dyn FnOnce(Request) -> Result<Request, String>>;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  desq-serve serve [--listen ADDR] --corpus NAME=SPEC ... \
+         [--max-inflight N] [--max-budget N] [--max-patterns N]\n  \
+         desq-serve query [--addr ADDR] --corpus NAME --pexp EXPR --sigma N \
+         [--anchored] [--algo A] [--budget N] [--max-patterns N] [--workers N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("desq-serve: {msg}");
+    ExitCode::FAILURE
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut listen = DEFAULT_ADDR.to_string();
+    let mut limits = ServeLimits::default();
+    let mut store = CorpusStore::new();
+    let mut corpora = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--listen" => listen = value("--listen")?,
+                "--corpus" => {
+                    let spec = value("--corpus")?;
+                    let (name, spec) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("--corpus {spec:?}: expected NAME=SPEC"))?;
+                    store
+                        .load_spec(name, spec)
+                        .map_err(|e| format!("loading corpus {name:?}: {e}"))?;
+                    corpora += 1;
+                    eprintln!("loaded corpus {name} ({spec})");
+                }
+                "--max-inflight" => {
+                    limits.max_inflight = value("--max-inflight")?
+                        .parse()
+                        .map_err(|_| "--max-inflight: not a number".to_string())?;
+                }
+                "--max-budget" => {
+                    limits.max_budget = value("--max-budget")?
+                        .parse()
+                        .map_err(|_| "--max-budget: not a number".to_string())?;
+                }
+                "--max-patterns" => {
+                    limits.max_patterns = value("--max-patterns")?
+                        .parse()
+                        .map_err(|_| "--max-patterns: not a number".to_string())?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return fail(&msg);
+        }
+    }
+    if corpora == 0 {
+        return fail("serve needs at least one --corpus NAME=SPEC");
+    }
+    match Server::new(store).with_limits(limits).spawn(&listen) {
+        Ok(handle) => {
+            println!("desq-serve listening on {}", handle.addr());
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("binding {listen}: {e}")),
+    }
+}
+
+fn query(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut corpus = None;
+    let mut pexp = None;
+    let mut sigma = None;
+    let mut req_mods: Vec<ReqMod> = Vec::new();
+    let mut anchored = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--addr" => addr = value("--addr")?,
+                "--corpus" => corpus = Some(value("--corpus")?),
+                "--pexp" => pexp = Some(value("--pexp")?),
+                "--sigma" => {
+                    sigma = Some(
+                        value("--sigma")?
+                            .parse::<u64>()
+                            .map_err(|_| "--sigma: not a number".to_string())?,
+                    )
+                }
+                "--anchored" => anchored = true,
+                "--algo" => {
+                    let algo = WireAlgo::parse(&value("--algo")?).map_err(|e| e.to_string())?;
+                    req_mods.push(Box::new(move |r: Request| Ok(r.with_algo(algo))));
+                }
+                "--budget" => {
+                    let v: u64 = value("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget: not a number".to_string())?;
+                    req_mods.push(Box::new(move |r: Request| Ok(r.with_budget(v))));
+                }
+                "--max-patterns" => {
+                    let v: u64 = value("--max-patterns")?
+                        .parse()
+                        .map_err(|_| "--max-patterns: not a number".to_string())?;
+                    req_mods.push(Box::new(move |mut r: Request| {
+                        r.max_patterns = v;
+                        Ok(r)
+                    }));
+                }
+                "--workers" => {
+                    let v: u64 = value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers: not a number".to_string())?;
+                    req_mods.push(Box::new(move |r: Request| Ok(r.with_workers(v))));
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return fail(&msg);
+        }
+    }
+    let (Some(corpus), Some(pexp), Some(sigma)) = (corpus, pexp, sigma) else {
+        return fail("query needs --corpus, --pexp and --sigma");
+    };
+    let mut req = Request::new(corpus, pexp, sigma);
+    if !anchored {
+        req = req.unanchored();
+    }
+    for m in req_mods {
+        req = match m(req) {
+            Ok(r) => r,
+            Err(msg) => return fail(&msg),
+        };
+    }
+    let sock_addr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => return fail(&format!("cannot resolve {addr:?}")),
+    };
+    match Client::new(sock_addr).query(&req) {
+        Ok(out) => {
+            for (pattern, freq) in &out.patterns {
+                let items: Vec<String> = pattern.iter().map(u32::to_string).collect();
+                println!("{}\t{freq}", items.join(" "));
+            }
+            eprintln!(
+                "{} patterns in {:.3}s ({}, queue wait {:.3}ms, cache {}H/{}M)",
+                out.patterns.len(),
+                out.metrics.total_secs(),
+                if out.stats.cache_hit {
+                    "fst cache hit"
+                } else {
+                    "fst compiled"
+                },
+                out.stats.queue_wait_nanos as f64 / 1e6,
+                out.stats.cache_hits,
+                out.stats.cache_misses,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("query") => query(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,89 @@
+//! The thin blocking client: one TCP connection per query.
+//!
+//! [`Client::query`] sends a single [`Request`] frame, then consumes the
+//! streamed response — pattern frames as they arrive, then the terminal
+//! frame — and returns everything the server said: decoded patterns, the
+//! run's [`MiningMetrics`], the server's [`ServerStats`], and the raw
+//! pattern-frame payload bytes (which the integration tests use to prove
+//! that warm cache hits are *byte-identical* to their cold counterpart).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+
+use desq_core::{MiningMetrics, Sequence};
+
+use crate::proto::{read_frame, write_frame, Message, Request, ServerStats};
+use crate::{ServeError, ServeResult};
+
+/// A handle on a `desq-serve` daemon address. Connections are established
+/// per query (the protocol is one conversation per connection).
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+/// Everything one successful query returned.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The mined patterns with frequencies, in the server's stream order
+    /// (discovery order — sort for the session's canonical ordering).
+    pub patterns: Vec<(Sequence, u64)>,
+    /// The mining run's uniform metrics.
+    pub metrics: MiningMetrics,
+    /// The server's cache and queue-wait accounting.
+    pub stats: ServerStats,
+    /// Concatenated payload bytes of every pattern frame, verbatim as
+    /// they came off the wire.
+    pub pattern_bytes: Vec<u8>,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr }
+    }
+
+    /// Runs one query to completion, collecting the streamed patterns.
+    ///
+    /// Distinguishes its failures: [`ServeError::Busy`] when the server's
+    /// admission cap rejected the connection, [`ServeError::Remote`] when
+    /// the server rejected or aborted the query (unknown corpus, parse
+    /// error, budget exhaustion — carrying the server's
+    /// [`desq_core::Error`] verbatim), [`ServeError::Io`] on transport
+    /// failures.
+    pub fn query(&self, req: &Request) -> ServeResult<QueryOutcome> {
+        let stream = TcpStream::connect(self.addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        write_frame(&mut writer, &Message::Request(req.clone()))?;
+        let mut patterns = Vec::new();
+        let mut pattern_bytes = Vec::new();
+        loop {
+            let payload = read_frame(&mut reader)?;
+            match Message::decode(&payload)? {
+                Message::Patterns(batch) => {
+                    pattern_bytes.extend_from_slice(&payload);
+                    patterns.extend(batch);
+                }
+                Message::Metrics { mining, stats } => {
+                    return Ok(QueryOutcome {
+                        patterns,
+                        metrics: mining,
+                        stats,
+                        pattern_bytes,
+                    });
+                }
+                Message::Error(e) => return Err(ServeError::Remote(e)),
+                Message::Busy { in_flight, cap } => {
+                    return Err(ServeError::Busy { in_flight, cap })
+                }
+                Message::Request(_) => {
+                    return Err(ServeError::Core(desq_core::Error::Decode(
+                        "server sent a request frame".into(),
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! # desq-serve
+//!
+//! Mining-as-a-service: a long-lived daemon that amortizes the expensive
+//! parts of a [`desq::session::MiningSession`] across many cheap queries.
+//!
+//! The paper frames pattern expressions as a *query language* over a
+//! sequence database — exactly the shape of a server workload. A
+//! standalone `MiningSession::run` pays full corpus materialization and
+//! pexp → FST compilation on every call; this crate keeps both resident:
+//!
+//! * [`store::CorpusStore`] loads each corpus **once** into shared
+//!   immutable state (`Arc<Dictionary>` + `Arc<SequenceDb>`) that every
+//!   concurrent query borrows;
+//! * the store's **FST compile cache** memoizes compiled constraints keyed
+//!   by `(corpus, canonical pattern expression, anchoring)`, with global
+//!   hit/miss counters surfaced in every response;
+//! * [`server::Server`] runs concurrent sessions against the shared state
+//!   under **admission control** ([`server::ServeLimits`]): a global
+//!   in-flight cap answered with an explicit [`proto::Message::Busy`]
+//!   frame — never unbounded queueing — plus server-side ceilings on the
+//!   per-request work budget and pattern cap;
+//! * [`proto`] defines the length-prefixed frame protocol over TCP,
+//!   reusing the `desq_core::codec` varint/delta primitives for requests
+//!   and for the streamed response (incremental pattern frames, then a
+//!   terminal metrics frame carrying the run's
+//!   [`desq_core::MiningMetrics`] plus cache and queue-wait stats);
+//! * [`client::Client`] is the thin blocking counterpart used by the
+//!   `desq-serve query` subcommand and the integration tests.
+//!
+//! ```no_run
+//! use desq_serve::client::Client;
+//! use desq_serve::proto::Request;
+//! use desq_serve::server::Server;
+//! use desq_serve::store::CorpusStore;
+//!
+//! let mut store = CorpusStore::new();
+//! store.load_spec("toy", "toy")?;
+//! let handle = Server::new(store).spawn("127.0.0.1:0")?;
+//!
+//! let client = Client::new(handle.addr());
+//! let out = client.query(&Request::new("toy", desq_core::toy::PATTERN, 2))?;
+//! assert_eq!(out.patterns.len(), 3);
+//! assert!(!out.stats.cache_hit); // cold: this query compiled the FST
+//! let again = client.query(&Request::new("toy", desq_core::toy::PATTERN, 2))?;
+//! assert!(again.stats.cache_hit); // warm: compile skipped
+//! handle.shutdown();
+//! # Ok::<(), desq_serve::ServeError>(())
+//! ```
+//!
+//! See the "Serving" section of `docs/ARCHITECTURE.md` for the store /
+//! cache / protocol diagram and the admission-control semantics.
+
+use std::fmt;
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+/// Errors of the serving layer, distinguishing local failures from
+/// server-reported ones.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket-level failure (connect, read, write, unexpected EOF).
+    Io(std::io::Error),
+    /// A local failure: malformed frame bytes, an unencodable message.
+    Core(desq_core::Error),
+    /// The server rejected or aborted the query and said why — admission
+    /// failures (unknown corpus, bad pexp, over-limit budget) arrive
+    /// before any pattern frame, mining failures (budget exhaustion) may
+    /// arrive mid-stream as the terminal frame.
+    Remote(desq_core::Error),
+    /// The server's global in-flight cap was reached; retry later. This is
+    /// the explicit overload answer — the daemon never queues unboundedly.
+    Busy {
+        /// Connections the server was serving when it rejected this one.
+        in_flight: u64,
+        /// The server's configured cap.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Core(e) => write!(f, "protocol error: {e}"),
+            ServeError::Remote(e) => write!(f, "server rejected the query: {e}"),
+            ServeError::Busy { in_flight, cap } => {
+                write!(f, "server busy: {in_flight} queries in flight (cap {cap})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Core(e) | ServeError::Remote(e) => Some(e),
+            ServeError::Busy { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<desq_core::Error> for ServeError {
+    fn from(e: desq_core::Error) -> ServeError {
+        ServeError::Core(e)
+    }
+}
+
+/// Result alias of the serving layer.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,578 @@
+//! The framed wire protocol of the `desq-serve` daemon.
+//!
+//! # Frame format
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! frame   := varint(payload_len) payload
+//! payload := tag_byte message_body
+//! ```
+//!
+//! The length prefix is a LEB128 varint ([`desq_core::codec::write_varint`])
+//! and is capped at [`MAX_FRAME_LEN`] — a reader never allocates more than
+//! that, and a hostile or corrupt length prefix is rejected before any
+//! allocation. All integers inside message bodies are varints from the same
+//! codec; item sequences use the canonical adaptive varint/delta encoding
+//! ([`desq_core::codec::encode_item_seq`]) that the shuffle layer and the
+//! interned counting path already share.
+//!
+//! # Messages
+//!
+//! | tag | message | body |
+//! |-----|-----------|------|
+//! | `1` | [`Message::Request`] | `version:u8, corpus:str, pexp:str, flags:u8 (bit0 = unanchored), sigma:varint, algo:u8, budget:varint, max_patterns:varint, workers:varint` |
+//! | `2` | [`Message::Patterns`] | `count:varint`, then per pattern `item_seq, freq:varint` |
+//! | `3` | [`Message::Metrics`] | [`MiningMetrics::encode`] body, then `cache_hit:u8, cache_hits:varint, cache_misses:varint, queue_wait_nanos:varint, compile_nanos:varint` |
+//! | `4` | [`Message::Error`] | `kind:u8, msg:str` (+ `pos:varint` for parse errors) |
+//! | `5` | [`Message::Busy`] | `in_flight:varint, cap:varint` |
+//!
+//! `str` is `varint(len)` + UTF-8 bytes ([`desq_core::codec::write_str`]).
+//! A *conversation* is one `Request` frame from the client, answered by
+//! zero or more `Patterns` frames and exactly one terminal frame
+//! (`Metrics` on success, `Error` or `Busy` otherwise), after which the
+//! server closes the connection. `0` budget / `max_patterns` / `workers`
+//! in a request mean "server default". The `version` byte must equal
+//! [`PROTOCOL_VERSION`]; decoding rejects anything else so incompatible
+//! peers fail fast with a clear message instead of mis-parsing.
+
+use std::io::{Read, Write};
+
+use desq_core::codec::{
+    decode_item_seq, encode_item_seq, read_str, read_varint, write_str, write_varint,
+};
+use desq_core::{Error, MiningMetrics, Result, Sequence};
+
+/// Protocol revision; bumped on any incompatible wire change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload length (16 MiB). Large result sets
+/// stream as many `Patterns` frames, so well-formed frames stay far below
+/// this; the cap exists to reject hostile length prefixes outright.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// The algorithm selector of a request — the subset of the session's
+/// `AlgorithmSpec` that mines a compiled pattern expression (and therefore
+/// benefits from the server's FST cache), with all tuning left at the
+/// session defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAlgo {
+    /// Sequential DESQ-DFS (the default).
+    DesqDfs,
+    /// Sequential DESQ-COUNT.
+    DesqCount,
+    /// Distributed D-SEQ with all enhancements on.
+    DSeq,
+    /// Distributed D-CAND with minimization and aggregation on.
+    DCand,
+}
+
+impl WireAlgo {
+    fn tag(self) -> u8 {
+        match self {
+            WireAlgo::DesqDfs => 0,
+            WireAlgo::DesqCount => 1,
+            WireAlgo::DSeq => 2,
+            WireAlgo::DCand => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<WireAlgo> {
+        match tag {
+            0 => Ok(WireAlgo::DesqDfs),
+            1 => Ok(WireAlgo::DesqCount),
+            2 => Ok(WireAlgo::DSeq),
+            3 => Ok(WireAlgo::DCand),
+            other => Err(Error::Decode(format!("unknown algorithm tag {other}"))),
+        }
+    }
+
+    /// Parses the CLI spelling (`desq-dfs`, `desq-count`, `d-seq`,
+    /// `d-cand`).
+    pub fn parse(s: &str) -> Result<WireAlgo> {
+        match s {
+            "desq-dfs" => Ok(WireAlgo::DesqDfs),
+            "desq-count" => Ok(WireAlgo::DesqCount),
+            "d-seq" => Ok(WireAlgo::DSeq),
+            "d-cand" => Ok(WireAlgo::DCand),
+            other => Err(Error::Invalid(format!(
+                "unknown algorithm {other:?} (expected desq-dfs, desq-count, d-seq or d-cand)"
+            ))),
+        }
+    }
+
+    /// Display name matching the session's algorithm names.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireAlgo::DesqDfs => "DESQ-DFS",
+            WireAlgo::DesqCount => "DESQ-COUNT",
+            WireAlgo::DSeq => "D-SEQ",
+            WireAlgo::DCand => "D-CAND",
+        }
+    }
+}
+
+/// One mining query: which corpus, which constraint, which algorithm,
+/// under which limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Name of a corpus resident in the server's `CorpusStore`.
+    pub corpus: String,
+    /// The pattern expression (uncompiled — compilation happens, and is
+    /// cached, server-side).
+    pub pexp: String,
+    /// Wrap the expression in uncaptured `.*` context before compiling
+    /// (the within-sequence semantics of the paper's Tab. III constraints).
+    pub unanchored: bool,
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// Which algorithm to dispatch to.
+    pub algo: WireAlgo,
+    /// Per-sequence work budget; `0` means the server's default (which is
+    /// also its ceiling — larger requests are rejected at admission).
+    pub budget: u64,
+    /// Result-pattern cap; `0` means the server's default ceiling.
+    pub max_patterns: u64,
+    /// Worker threads for the mining run; `0` means 1 (a deterministic
+    /// single-worker run) — parallelism is opt-in, capped server-side.
+    pub workers: u64,
+}
+
+impl Request {
+    /// An unanchored DESQ-DFS request with server-default limits — the
+    /// common query shape.
+    pub fn new(corpus: impl Into<String>, pexp: impl Into<String>, sigma: u64) -> Request {
+        Request {
+            corpus: corpus.into(),
+            pexp: pexp.into(),
+            unanchored: false,
+            sigma,
+            algo: WireAlgo::DesqDfs,
+            budget: 0,
+            max_patterns: 0,
+            workers: 0,
+        }
+    }
+
+    /// Switches to the paper's unanchored (`.*` context) semantics.
+    pub fn unanchored(mut self) -> Request {
+        self.unanchored = true;
+        self
+    }
+
+    /// Selects the algorithm.
+    pub fn with_algo(mut self, algo: WireAlgo) -> Request {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the per-sequence work budget.
+    pub fn with_budget(mut self, budget: u64) -> Request {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_workers(mut self, workers: u64) -> Request {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Server-side accounting attached to the terminal metrics frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// True iff this query's FST came from the compile cache.
+    pub cache_hit: bool,
+    /// Global FST-cache hits since server start (including this query).
+    pub cache_hits: u64,
+    /// Global FST-cache misses since server start (including this query).
+    pub cache_misses: u64,
+    /// Nanoseconds between accepting the connection and the start of
+    /// mining — admission, request decode and (on a miss) FST compilation.
+    pub queue_wait_nanos: u64,
+    /// Nanoseconds spent compiling the pattern expression for this query
+    /// (`0` on a cache hit — the skipped work the cache pays for).
+    pub compile_nanos: u64,
+}
+
+/// Everything that can travel in one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: one query (see [`Request`]).
+    Request(Request),
+    /// Server → client: a batch of result patterns with frequencies,
+    /// streamed in discovery order while mining runs.
+    Patterns(Vec<(Sequence, u64)>),
+    /// Server → client, terminal on success: the run's uniform
+    /// [`MiningMetrics`] plus the server's [`ServerStats`].
+    Metrics {
+        /// The mining run's uniform metrics.
+        mining: MiningMetrics,
+        /// Cache and queue-wait accounting.
+        stats: ServerStats,
+    },
+    /// Server → client, terminal on failure: the rejection or abort
+    /// reason, carried as the workspace error type.
+    Error(Error),
+    /// Server → client, terminal on overload: the admission cap was hit.
+    Busy {
+        /// Connections in flight when this one was rejected.
+        in_flight: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_PATTERNS: u8 = 2;
+const TAG_METRICS: u8 = 3;
+const TAG_ERROR: u8 = 4;
+const TAG_BUSY: u8 = 5;
+
+fn encode_error(e: &Error, buf: &mut Vec<u8>) {
+    match e {
+        Error::Parse { msg, pos } => {
+            buf.push(0);
+            write_str(buf, msg);
+            write_varint(buf, *pos as u64);
+        }
+        Error::UnknownItem(msg) => {
+            buf.push(1);
+            write_str(buf, msg);
+        }
+        Error::CyclicHierarchy(msg) => {
+            buf.push(2);
+            write_str(buf, msg);
+        }
+        Error::ResourceExhausted(msg) => {
+            buf.push(3);
+            write_str(buf, msg);
+        }
+        Error::Decode(msg) => {
+            buf.push(4);
+            write_str(buf, msg);
+        }
+        Error::Invalid(msg) => {
+            buf.push(5);
+            write_str(buf, msg);
+        }
+    }
+}
+
+fn decode_error(buf: &mut &[u8]) -> Result<Error> {
+    let (&kind, rest) = buf
+        .split_first()
+        .ok_or_else(|| Error::Decode("error frame: missing kind".into()))?;
+    *buf = rest;
+    let msg = read_str(buf)?.to_string();
+    Ok(match kind {
+        0 => Error::Parse {
+            msg,
+            pos: read_varint(buf)? as usize,
+        },
+        1 => Error::UnknownItem(msg),
+        2 => Error::CyclicHierarchy(msg),
+        3 => Error::ResourceExhausted(msg),
+        4 => Error::Decode(msg),
+        5 => Error::Invalid(msg),
+        other => return Err(Error::Decode(format!("unknown error kind {other}"))),
+    })
+}
+
+impl Message {
+    /// Appends this message's payload (tag byte + body) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Request(r) => {
+                buf.push(TAG_REQUEST);
+                buf.push(PROTOCOL_VERSION);
+                write_str(buf, &r.corpus);
+                write_str(buf, &r.pexp);
+                buf.push(u8::from(r.unanchored));
+                write_varint(buf, r.sigma);
+                buf.push(r.algo.tag());
+                write_varint(buf, r.budget);
+                write_varint(buf, r.max_patterns);
+                write_varint(buf, r.workers);
+            }
+            Message::Patterns(patterns) => {
+                buf.push(TAG_PATTERNS);
+                write_varint(buf, patterns.len() as u64);
+                for (items, freq) in patterns {
+                    encode_item_seq(items, buf);
+                    write_varint(buf, *freq);
+                }
+            }
+            Message::Metrics { mining, stats } => {
+                buf.push(TAG_METRICS);
+                mining.encode(buf);
+                buf.push(u8::from(stats.cache_hit));
+                write_varint(buf, stats.cache_hits);
+                write_varint(buf, stats.cache_misses);
+                write_varint(buf, stats.queue_wait_nanos);
+                write_varint(buf, stats.compile_nanos);
+            }
+            Message::Error(e) => {
+                buf.push(TAG_ERROR);
+                encode_error(e, buf);
+            }
+            Message::Busy { in_flight, cap } => {
+                buf.push(TAG_BUSY);
+                write_varint(buf, *in_flight);
+                write_varint(buf, *cap);
+            }
+        }
+    }
+
+    /// Decodes one frame payload. Rejects unknown tags, version mismatch,
+    /// truncated bodies and trailing garbage — a payload either decodes to
+    /// exactly one message or errors.
+    pub fn decode(payload: &[u8]) -> Result<Message> {
+        let mut buf = payload;
+        let (&tag, rest) = buf
+            .split_first()
+            .ok_or_else(|| Error::Decode("empty frame payload".into()))?;
+        buf = rest;
+        let msg = match tag {
+            TAG_REQUEST => {
+                let (&version, rest) = buf
+                    .split_first()
+                    .ok_or_else(|| Error::Decode("request: missing version".into()))?;
+                buf = rest;
+                if version != PROTOCOL_VERSION {
+                    return Err(Error::Decode(format!(
+                        "protocol version mismatch: peer speaks v{version}, \
+                         this build speaks v{PROTOCOL_VERSION}"
+                    )));
+                }
+                let corpus = read_str(&mut buf)?.to_string();
+                let pexp = read_str(&mut buf)?.to_string();
+                let (&flags, rest) = buf
+                    .split_first()
+                    .ok_or_else(|| Error::Decode("request: missing flags".into()))?;
+                buf = rest;
+                let sigma = read_varint(&mut buf)?;
+                let (&algo, rest) = buf
+                    .split_first()
+                    .ok_or_else(|| Error::Decode("request: missing algorithm".into()))?;
+                buf = rest;
+                Message::Request(Request {
+                    corpus,
+                    pexp,
+                    unanchored: flags & 1 == 1,
+                    sigma,
+                    algo: WireAlgo::from_tag(algo)?,
+                    budget: read_varint(&mut buf)?,
+                    max_patterns: read_varint(&mut buf)?,
+                    workers: read_varint(&mut buf)?,
+                })
+            }
+            TAG_PATTERNS => {
+                let count = read_varint(&mut buf)? as usize;
+                // Each pattern needs ≥ 2 payload bytes (empty item seq +
+                // frequency); reject hostile counts before allocating.
+                if count > buf.len() {
+                    return Err(Error::Decode(format!(
+                        "patterns frame: count {count} exceeds payload"
+                    )));
+                }
+                let mut patterns = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let mut items = Vec::new();
+                    decode_item_seq(&mut buf, &mut items)?;
+                    let freq = read_varint(&mut buf)?;
+                    patterns.push((items, freq));
+                }
+                Message::Patterns(patterns)
+            }
+            TAG_METRICS => {
+                let mining = MiningMetrics::decode(&mut buf)?;
+                let (&cache_hit, rest) = buf
+                    .split_first()
+                    .ok_or_else(|| Error::Decode("metrics frame: missing cache flag".into()))?;
+                buf = rest;
+                Message::Metrics {
+                    mining,
+                    stats: ServerStats {
+                        cache_hit: cache_hit != 0,
+                        cache_hits: read_varint(&mut buf)?,
+                        cache_misses: read_varint(&mut buf)?,
+                        queue_wait_nanos: read_varint(&mut buf)?,
+                        compile_nanos: read_varint(&mut buf)?,
+                    },
+                }
+            }
+            TAG_ERROR => Message::Error(decode_error(&mut buf)?),
+            TAG_BUSY => Message::Busy {
+                in_flight: read_varint(&mut buf)?,
+                cap: read_varint(&mut buf)?,
+            },
+            other => return Err(Error::Decode(format!("unknown frame tag {other}"))),
+        };
+        if !buf.is_empty() {
+            return Err(Error::Decode(format!(
+                "frame payload has {} trailing bytes after message",
+                buf.len()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// Returns `InvalidData` if the encoded message exceeds [`MAX_FRAME_LEN`] —
+/// callers control this by batching (the server flushes pattern frames
+/// every few hundred patterns).
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
+    let mut payload = Vec::new();
+    msg.encode(&mut payload);
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+                payload.len()
+            ),
+        ));
+    }
+    let mut prefix = Vec::with_capacity(5);
+    write_varint(&mut prefix, payload.len() as u64);
+    w.write_all(&prefix)?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload bytes (the length prefix is consumed and
+/// validated, not returned).
+///
+/// Fails with `UnexpectedEof` on a closed or truncated stream and with
+/// `InvalidData` on a malformed or oversized ([`MAX_FRAME_LEN`]) length
+/// prefix — the length is validated *before* any payload allocation.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame length varint overflows",
+            ));
+        }
+        len |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Message) {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, msg).unwrap();
+        let payload = read_frame(&mut framed.as_slice()).unwrap();
+        assert_eq!(&Message::decode(&payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_message_kind_roundtrips() {
+        roundtrip(&Message::Request(
+            Request::new("nyt", "(ENTITY^ VERB+ ENTITY^)", 10)
+                .unanchored()
+                .with_algo(WireAlgo::DSeq)
+                .with_budget(1_000_000)
+                .with_workers(4),
+        ));
+        roundtrip(&Message::Patterns(vec![
+            (vec![1, 2, 3], 17),
+            (vec![], 1),
+            (vec![u32::MAX], u64::MAX),
+        ]));
+        roundtrip(&Message::Metrics {
+            mining: MiningMetrics::sequential(123, 4, 5, 6),
+            stats: ServerStats {
+                cache_hit: true,
+                cache_hits: 7,
+                cache_misses: 2,
+                queue_wait_nanos: 999,
+                compile_nanos: 0,
+            },
+        });
+        roundtrip(&Message::Error(Error::Parse {
+            msg: "unexpected ']'".into(),
+            pos: 7,
+        }));
+        roundtrip(&Message::Error(Error::ResourceExhausted("budget".into())));
+        roundtrip(&Message::Busy {
+            in_flight: 8,
+            cap: 8,
+        });
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clear_error() {
+        let mut payload = Vec::new();
+        Message::Request(Request::new("c", "p", 1)).encode(&mut payload);
+        payload[1] = PROTOCOL_VERSION + 1;
+        let err = Message::decode(&payload).unwrap_err();
+        assert!(
+            matches!(err, Error::Decode(ref m) if m.contains("version")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut payload = Vec::new();
+        Message::Busy {
+            in_flight: 1,
+            cap: 2,
+        }
+        .encode(&mut payload);
+        payload.push(0);
+        assert!(Message::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut framed = Vec::new();
+        write_varint(&mut framed, MAX_FRAME_LEN as u64 + 1);
+        let err = read_frame(&mut framed.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A wildly hostile prefix (full u64) must be rejected too, not
+        // allocated.
+        let mut framed = Vec::new();
+        write_varint(&mut framed, u64::MAX);
+        assert!(read_frame(&mut framed.as_slice()).is_err());
+    }
+
+    #[test]
+    fn algo_cli_spellings_parse() {
+        for (s, algo) in [
+            ("desq-dfs", WireAlgo::DesqDfs),
+            ("desq-count", WireAlgo::DesqCount),
+            ("d-seq", WireAlgo::DSeq),
+            ("d-cand", WireAlgo::DCand),
+        ] {
+            assert_eq!(WireAlgo::parse(s).unwrap(), algo);
+            assert!(!algo.name().is_empty());
+        }
+        assert!(WireAlgo::parse("bogosort").is_err());
+    }
+}

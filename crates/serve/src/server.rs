@@ -1,0 +1,331 @@
+//! The daemon: a TCP accept loop with admission control, running
+//! concurrent mining sessions against the shared [`CorpusStore`].
+//!
+//! # Admission control
+//!
+//! Overload is answered, never queued: the accept loop tracks a global
+//! in-flight connection count and a connection beyond
+//! [`ServeLimits::max_inflight`] receives an immediate
+//! [`Message::Busy`] frame and is closed — the explicit analog of the
+//! paper's executor memory limit, applied to concurrency. Admitted
+//! requests are validated *before* mining starts: unknown corpus,
+//! malformed pattern expression (via the session's `compile_only` dry
+//! run) and budgets above the server's ceiling all produce a terminal
+//! [`Message::Error`] frame with zero mining work done.
+//!
+//! # Query execution
+//!
+//! Each admitted connection runs on its own thread (the mining itself can
+//! additionally fan out over the session's worker threads). The session
+//! borrows the store's shared `Arc<Dictionary>` / `Arc<SequenceDb>` and
+//! the cached `Arc<Fst>` — per query the server allocates only the
+//! session object and the response buffers. Patterns stream back in
+//! batches while the search runs ([`desq::session::PatternStream`]); the
+//! terminal metrics frame carries the run's `MiningMetrics` plus cache
+//! hit/miss counters and the queue-wait time.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use desq::session::{default_workers, AlgorithmSpec, MiningSession};
+use desq_core::Error;
+
+use crate::proto::{read_frame, write_frame, Message, Request, ServerStats, WireAlgo};
+use crate::store::CorpusStore;
+
+/// Server-side resource policy, fixed at spawn time.
+#[derive(Debug, Clone)]
+pub struct ServeLimits {
+    /// Global cap on concurrently served connections; the connection that
+    /// would exceed it gets a [`Message::Busy`] frame. Must be positive.
+    pub max_inflight: usize,
+    /// Ceiling (and `0`-default) of the per-request work budget.
+    pub max_budget: usize,
+    /// Ceiling (and `0`-default) of the per-request pattern cap.
+    pub max_patterns: usize,
+    /// Ceiling of the per-request worker threads (a request of `0` means
+    /// 1 worker, not this ceiling — parallelism is opt-in per query).
+    pub max_workers: usize,
+    /// Patterns per streamed response frame.
+    pub batch: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            max_inflight: 8,
+            max_budget: desq_core::mining::DEFAULT_BUDGET,
+            max_patterns: 1_000_000,
+            max_workers: default_workers(),
+            batch: 512,
+        }
+    }
+}
+
+/// A configured, not-yet-listening server.
+pub struct Server {
+    store: Arc<CorpusStore>,
+    limits: ServeLimits,
+}
+
+impl Server {
+    /// A server over `store` with default [`ServeLimits`].
+    pub fn new(store: CorpusStore) -> Server {
+        Server {
+            store: Arc::new(store),
+            limits: ServeLimits::default(),
+        }
+    }
+
+    /// Overrides the resource policy.
+    pub fn with_limits(mut self, limits: ServeLimits) -> Server {
+        self.limits = limits;
+        self
+    }
+
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop on a background thread.
+    pub fn spawn(self, bind: &str) -> std::io::Result<ServerHandle> {
+        assert!(
+            self.limits.max_inflight > 0,
+            "max_inflight must be positive"
+        );
+        assert!(self.limits.batch > 0, "batch must be positive");
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let store = self.store;
+        let limits = self.limits;
+        let accept = std::thread::spawn(move || {
+            let inflight = Arc::new(AtomicUsize::new(0));
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let t_accept = Instant::now();
+                // Admission: claim a slot or answer Busy and close.
+                let slots = inflight.fetch_add(1, Ordering::SeqCst);
+                if slots >= limits.max_inflight {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    let mut w = BufWriter::new(stream);
+                    let _ = write_frame(
+                        &mut w,
+                        &Message::Busy {
+                            in_flight: slots as u64,
+                            cap: limits.max_inflight as u64,
+                        },
+                    );
+                    continue;
+                }
+                let store = store.clone();
+                let limits = limits.clone();
+                let inflight = inflight.clone();
+                std::thread::spawn(move || {
+                    // Slot released on every exit path, including panics in
+                    // the handler.
+                    struct Slot(Arc<AtomicUsize>);
+                    impl Drop for Slot {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _slot = Slot(inflight);
+                    handle_conn(&store, &limits, stream, t_accept);
+                });
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Handle of a running server: its bound address and the shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves an ephemeral `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits (daemon mode: forever, unless
+    /// another thread calls [`shutdown`](Self::shutdown)).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the accept loop. In-flight
+    /// queries run to completion on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_accept_loop();
+    }
+
+    fn stop_accept_loop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; the loop sees the flag and exits. (The
+        // probe connection may be answered Busy or accepted-then-dropped —
+        // both are fine, it is never a request.)
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    /// Dropping the handle shuts the server down (tests that spawn on
+    /// ephemeral ports never leak accept loops).
+    fn drop(&mut self) {
+        self.stop_accept_loop();
+    }
+}
+
+/// Serves one connection: read one request frame, answer with pattern
+/// frames plus a terminal frame, close.
+fn handle_conn(store: &CorpusStore, limits: &ServeLimits, stream: TcpStream, t_accept: Instant) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let Ok(payload) = read_frame(&mut reader) else {
+        return; // connection dropped before a full request arrived
+    };
+    let reply = match Message::decode(&payload) {
+        Ok(Message::Request(req)) => serve_request(store, limits, &req, &mut writer, t_accept),
+        Ok(_) => Err(Error::Invalid("expected a request frame".into())),
+        Err(e) => Err(e),
+    };
+    let terminal = match reply {
+        Ok(msg) => msg,
+        Err(e) => Message::Error(e),
+    };
+    let _ = write_frame(&mut writer, &terminal);
+    let _ = writer.flush();
+}
+
+/// Validates and runs one query, streaming pattern frames to `writer`.
+/// Returns the terminal frame (metrics on success, the error otherwise).
+fn serve_request(
+    store: &CorpusStore,
+    limits: &ServeLimits,
+    req: &Request,
+    writer: &mut BufWriter<TcpStream>,
+    t_accept: Instant,
+) -> Result<Message, Error> {
+    let corpus = store.get(&req.corpus).ok_or_else(|| {
+        Error::Invalid(format!(
+            "unknown corpus {:?} (resident: {})",
+            req.corpus,
+            store.names().join(", ")
+        ))
+    })?;
+    let budget = effective(req.budget, limits.max_budget, "budget")?;
+    let max_patterns = effective(req.max_patterns, limits.max_patterns, "max_patterns")?;
+    // `0` workers means 1 (deterministic single-worker mining and stream
+    // order), not the ceiling — parallelism is strictly opt-in per query.
+    let workers = if req.workers == 0 {
+        1
+    } else {
+        effective(req.workers, limits.max_workers, "workers")?
+    };
+
+    // Admission-time constraint validation + compile cache.
+    let compiled = store.compiled(corpus, &req.pexp, req.unanchored)?;
+
+    let algorithm = match req.algo {
+        WireAlgo::DesqDfs => AlgorithmSpec::DesqDfs,
+        WireAlgo::DesqCount => AlgorithmSpec::DesqCount,
+        WireAlgo::DSeq => AlgorithmSpec::d_seq(),
+        WireAlgo::DCand => AlgorithmSpec::d_cand(),
+    };
+    let session = MiningSession::builder()
+        .dictionary(corpus.dict.clone())
+        .database(corpus.db.clone())
+        .fst(compiled.fst.clone())
+        .sigma(req.sigma)
+        .algorithm(algorithm)
+        .budget(budget)
+        .max_patterns(max_patterns)
+        .workers(workers)
+        .build()?;
+
+    let queue_wait_nanos = t_accept.elapsed().as_nanos() as u64;
+    let mut pattern_stream = session.stream();
+    let mut batch = Vec::with_capacity(limits.batch);
+    for pattern in &mut pattern_stream {
+        batch.push(pattern);
+        if batch.len() == limits.batch {
+            if write_frame(writer, &Message::Patterns(std::mem::take(&mut batch))).is_err() {
+                // Client went away: dropping the stream cancels the search.
+                return Err(Error::Invalid("client disconnected mid-stream".into()));
+            }
+            batch.reserve(limits.batch);
+        }
+    }
+    if !batch.is_empty() && write_frame(writer, &Message::Patterns(batch)).is_err() {
+        return Err(Error::Invalid("client disconnected mid-stream".into()));
+    }
+    let mining = pattern_stream.finish()?;
+    let (cache_hits, cache_misses) = store.cache_stats();
+    Ok(Message::Metrics {
+        mining,
+        stats: ServerStats {
+            cache_hit: compiled.cache_hit,
+            cache_hits,
+            cache_misses,
+            queue_wait_nanos,
+            compile_nanos: compiled.compile_nanos,
+        },
+    })
+}
+
+/// Resolves a request knob against the server ceiling: `0` means "server
+/// default" (the ceiling itself for budget/max_patterns, later clamped to
+/// 1 for workers); above the ceiling is an admission error.
+fn effective(requested: u64, ceiling: usize, what: &str) -> Result<usize, Error> {
+    if requested == 0 {
+        return Ok(ceiling);
+    }
+    let requested = usize::try_from(requested)
+        .map_err(|_| Error::Invalid(format!("{what} {requested} does not fit this server")))?;
+    if requested > ceiling {
+        return Err(Error::Invalid(format!(
+            "requested {what} {requested} exceeds the server ceiling {ceiling}"
+        )));
+    }
+    Ok(requested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_resolves_defaults_and_rejects_over_ceiling() {
+        assert_eq!(effective(0, 100, "budget").unwrap(), 100);
+        assert_eq!(effective(7, 100, "budget").unwrap(), 7);
+        let err = effective(101, 100, "budget").unwrap_err();
+        assert!(
+            matches!(err, Error::Invalid(ref m) if m.contains("ceiling")),
+            "{err}"
+        );
+    }
+}

@@ -320,6 +320,39 @@ impl MiningSessionBuilder {
         self
     }
 
+    /// Dry-run check: parses and compiles the builder's pattern expression
+    /// against its dictionary *without* building (or running) a session.
+    ///
+    /// Only the dictionary and the pattern are required — no database, σ or
+    /// algorithm. Returns the compiled [`Fst`], which can be fed back into
+    /// [`fst`](Self::fst) on this or any other builder over the same
+    /// dictionary, so the compile work is paid exactly once. This is the
+    /// admission-time validation hook of the `desq-serve` daemon: a bad
+    /// pattern expression is rejected with a clean [`Error::Parse`] /
+    /// [`Error::UnknownItem`] before any mining starts, instead of failing
+    /// mid-stream. A pre-compiled [`fst`](Self::fst) source is returned
+    /// as-is (nothing to validate).
+    pub fn compile_only(&self) -> Result<Arc<Fst>> {
+        let dict = self.dict.as_ref().ok_or_else(|| {
+            Error::Invalid("a dictionary is required to compile: call .dictionary()".into())
+        })?;
+        match &self.pattern {
+            Some(PatternSource::Expr(expr)) => {
+                Ok(Arc::new(Fst::compile(&PatEx::parse(expr)?, dict)?))
+            }
+            Some(PatternSource::Unanchored(expr)) => Ok(Arc::new(Fst::compile(
+                &PatEx::parse(expr)?.unanchored(),
+                dict,
+            )?)),
+            Some(PatternSource::Compiled(fst)) => Ok(fst.clone()),
+            None => Err(Error::Invalid(
+                "a pattern is required to compile: call .pattern(), \
+                 .pattern_unanchored() or .fst()"
+                    .into(),
+            )),
+        }
+    }
+
     /// Validates the whole request once and produces the session.
     ///
     /// Errors with [`Error::Invalid`] on: missing dictionary/database,
@@ -422,6 +455,13 @@ impl MiningSession {
     /// The selected algorithm.
     pub fn algorithm(&self) -> &AlgorithmSpec {
         &self.algorithm
+    }
+
+    /// The session's compiled constraint, if it carries one — shareable
+    /// across sessions over the same dictionary (the `desq-serve` FST
+    /// cache hands one `Arc` to every concurrent query).
+    pub fn fst(&self) -> Option<&Arc<Fst>> {
+        self.fst.as_ref()
     }
 
     /// The validated support threshold σ.
@@ -712,6 +752,45 @@ mod tests {
             .workers(0)
             .build();
         assert!(matches!(zero_workers, Err(Error::Invalid(ref m)) if m.contains("worker")));
+    }
+
+    #[test]
+    fn compile_only_validates_without_a_database() {
+        let fx = toy::fixture();
+        // No database, no σ, no algorithm — the dry-run needs neither.
+        let fst = MiningSession::builder()
+            .dictionary(fx.dict.clone())
+            .pattern(toy::PATTERN)
+            .compile_only()
+            .unwrap();
+        // The compiled FST is reusable: a session built on it matches the
+        // paper result without recompiling.
+        let session = MiningSession::builder()
+            .dictionary(fx.dict.clone())
+            .database(fx.db.clone())
+            .fst(fst.clone())
+            .sigma(2)
+            .build()
+            .unwrap();
+        assert_eq!(session.run().unwrap().patterns.len(), 3);
+        assert!(Arc::ptr_eq(session.fst().unwrap(), &fst));
+
+        let bad = MiningSession::builder()
+            .dictionary(fx.dict.clone())
+            .pattern("([")
+            .compile_only();
+        assert!(matches!(bad, Err(Error::Parse { .. })));
+        let unknown = MiningSession::builder()
+            .dictionary(fx.dict.clone())
+            .pattern("(nosuchitem)")
+            .compile_only();
+        assert!(matches!(unknown, Err(Error::UnknownItem(_))));
+        let no_dict = MiningSession::builder()
+            .pattern(toy::PATTERN)
+            .compile_only();
+        assert!(matches!(no_dict, Err(Error::Invalid(ref m)) if m.contains("dictionary")));
+        let no_pattern = MiningSession::builder().dictionary(fx.dict).compile_only();
+        assert!(matches!(no_pattern, Err(Error::Invalid(ref m)) if m.contains("pattern")));
     }
 
     #[test]
