@@ -30,6 +30,9 @@ pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {
     match e {
         desq_bsp::Error::ResourceExhausted(m) => desq_core::Error::ResourceExhausted(m),
         desq_bsp::Error::Decode(m) => desq_core::Error::Decode(m),
+        desq_bsp::Error::DeadlineExceeded(m) => desq_core::Error::DeadlineExceeded(m),
+        desq_bsp::Error::Cancelled(m) => desq_core::Error::Cancelled(m),
+        desq_bsp::Error::WorkerPanicked(m) => desq_core::Error::WorkerPanicked(m),
         desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
     }
 }

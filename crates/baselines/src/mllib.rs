@@ -159,6 +159,7 @@ pub(crate) fn mllib_impl(
         output_records: patterns.len() as u64,
         reduce_tasks: m1.reduce_tasks + m2.reduce_tasks,
         reduce_steals: m1.reduce_steals + m2.reduce_steals,
+        cancelled: m1.cancelled || m2.cancelled,
     };
     let metrics = desq_dist::metrics_from_job(
         job,

@@ -141,19 +141,19 @@ fn bench_local_mining(c: &mut Criterion) {
     // amortizes. (Unlike the pre-PR-3 "desq_dfs_n4_300seqs" numbers, the
     // mining benches below exclude miner construction, measured above.)
     c.bench_function("mining/table_build_n4_300seqs", |b| {
-        b.iter(|| black_box(miner.prepare_tables(&inputs, 1)))
+        b.iter(|| black_box(miner.prepare_tables(&inputs, 1).unwrap()))
     });
     // ε-closure + child expansion of the root node over all prepared
     // sequences (the kernel every search-tree node runs).
-    let tables = miner.prepare_tables(&inputs, 1);
+    let tables = miner.prepare_tables(&inputs, 1).unwrap();
     c.bench_function("mining/root_expand_n4_300seqs", |b| {
         b.iter(|| black_box(miner.first_level_count(&tables)))
     });
     c.bench_function("mining/desq_dfs_n4_300seqs", |b| {
-        b.iter(|| black_box(miner.mine(&inputs)))
+        b.iter(|| black_box(miner.mine(&inputs).unwrap()))
     });
     c.bench_function("mining/desq_dfs_n4_300seqs_w4", |b| {
-        b.iter(|| black_box(miner.mine_with_workers(&inputs, 4)))
+        b.iter(|| black_box(miner.mine_with_workers(&inputs, 4, None).unwrap()))
     });
 }
 

@@ -130,7 +130,7 @@ fn measure(c: &Constraint) -> Row {
     for (slot, workers) in [(0, 1), (1, 4)] {
         for _ in 0..REPS {
             let t0 = Instant::now();
-            let (out, timings) = miner.mine_with_workers(&inputs, workers);
+            let (out, timings) = miner.mine_with_workers(&inputs, workers, None).unwrap();
             let secs = t0.elapsed().as_secs_f64();
             assert_eq!(timings.len(), workers);
             patterns = out.len();

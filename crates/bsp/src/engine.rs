@@ -22,24 +22,38 @@
 //! one copy pass), so the map side performs no growth reallocation.
 
 use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Stealer, Worker as DequeWorker};
+use desq_core::mining::{panic_message, CancelToken};
 use parking_lot::Mutex;
 
 use crate::codec::{read_varint, varint_len, write_varint, Codec};
 use crate::error::{Error, Result};
 use crate::metrics::JobMetrics;
 
-/// Engine configuration: degree of parallelism.
+/// Engine configuration: degree of parallelism plus an optional
+/// cancellation token.
 ///
 /// `workers` is the number of threads running map/reduce tasks (the paper's
 /// executor cores); `reducers` the number of shuffle buckets (reduce tasks).
-#[derive(Debug, Clone, Copy)]
+///
+/// # Failure domains
+///
+/// Every map and reduce task body runs under `catch_unwind`: a panicking
+/// task marks the job's [`CancelToken`] (when one is attached), the
+/// remaining workers stop at their next task boundary, and the job returns
+/// [`Error::WorkerPanicked`] instead of killing the process. A token
+/// attached with [`with_cancel`](Engine::with_cancel) is polled between
+/// tasks; an expired deadline or external cancellation aborts the job with
+/// the token's [`stop_reason`](CancelToken::stop_reason).
+#[derive(Debug, Clone)]
 pub struct Engine {
     workers: usize,
     reducers: usize,
+    cancel: Option<CancelToken>,
 }
 
 use desq_core::fx::{mix_hashes as mix, ProbeTable};
@@ -304,6 +318,7 @@ impl Engine {
         Engine {
             workers,
             reducers: workers,
+            cancel: None,
         }
     }
 
@@ -311,6 +326,31 @@ impl Engine {
     pub fn with_reducers(mut self, reducers: usize) -> Engine {
         self.reducers = reducers.max(1);
         self
+    }
+
+    /// Attaches a cancellation token: every job run on this engine polls it
+    /// at task granularity and aborts with its stop reason once it trips.
+    pub fn with_cancel(mut self, token: CancelToken) -> Engine {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Polls the attached token (if any), converting its stop reason.
+    fn checkpoint(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.checkpoint().map_err(Error::from),
+            None => Ok(()),
+        }
+    }
+
+    /// Records a caught panic on the attached token so co-operating layers
+    /// observe the failure, and converts it into the job error.
+    fn panicked(&self, payload: &(dyn std::any::Any + Send)) -> Error {
+        let msg = panic_message(payload);
+        if let Some(token) = &self.cancel {
+            token.mark_panicked(&msg);
+        }
+        Error::WorkerPanicked(msg)
     }
 
     /// Number of worker threads.
@@ -377,6 +417,8 @@ impl Engine {
         // ---- reduce phase ----
         let t1 = Instant::now();
         let outputs = self.run_tasks(self.reducers, |t| {
+            #[cfg(feature = "failpoints")]
+            desq_core::fault::point("bsp::reduce_merge")?;
             // Decode records keeping the raw key bytes; group by them
             // (equal keys ⇔ equal encodings).
             let mut items: Vec<(&[u8], V)> = Vec::new();
@@ -415,6 +457,7 @@ impl Engine {
             flat.extend(o);
         }
         metrics.output_records = flat.len() as u64;
+        metrics.cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_stopped);
         Ok((flat, metrics))
     }
 
@@ -505,6 +548,8 @@ impl Engine {
         // chunks, merge duplicates across map tasks on the raw bytes, sort
         // into key groups.
         let buckets: Vec<Vec<ReduceRec<'_>>> = self.run_tasks(self.reducers, |t| {
+            #[cfg(feature = "failpoints")]
+            desq_core::fault::point("bsp::reduce_merge")?;
             let mut recs: Vec<ReduceRec<'_>> = Vec::new();
             let mut table = ProbeTable::new();
             let mut payloads: Vec<&[u8]> = Vec::new();
@@ -632,6 +677,13 @@ impl Engine {
                         if failure.lock().is_some() {
                             break;
                         }
+                        if let Err(e) = self.checkpoint() {
+                            let mut f = failure.lock();
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                            break;
+                        }
                         let next = local
                             .pop()
                             .or_else(|| injector.steal_batch_and_pop(&local).success())
@@ -650,7 +702,10 @@ impl Engine {
                         let Some((ti, range)) = next else { break };
                         ran += 1;
                         let mut out: Vec<O> = Vec::new();
-                        let run = (|| -> Result<()> {
+                        // The task body (user reduce code) runs under
+                        // catch_unwind: one poisoned key group aborts the
+                        // job instead of tearing the process down.
+                        let run = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
                             for &(b, gs, ge) in &groups[range] {
                                 let recs = &buckets[b as usize][gs as usize..ge as usize];
                                 group_buf.clear();
@@ -660,7 +715,8 @@ impl Engine {
                                 reduce(&mut state, &k, &group_buf, &mut emit)?;
                             }
                             Ok(())
-                        })();
+                        }))
+                        .unwrap_or_else(|payload| Err(self.panicked(payload.as_ref())));
                         match run {
                             Ok(()) => results.lock().push((ti, out)),
                             Err(e) => {
@@ -678,7 +734,7 @@ impl Engine {
                 });
             }
         })
-        .expect("reduce worker panicked");
+        .map_err(|p| self.panicked(p.as_ref()))?;
         if let Some(e) = failure.into_inner() {
             return Err(e);
         }
@@ -697,11 +753,13 @@ impl Engine {
             flat.extend(o);
         }
         metrics.output_records = flat.len() as u64;
+        metrics.cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_stopped);
         Ok((flat, metrics))
     }
 
     /// Runs `n` independent tasks on the worker pool, collecting results.
-    /// The first error aborts the job.
+    /// The first error (or caught panic, or cancellation) aborts the job;
+    /// later tasks are abandoned cooperatively at task boundaries.
     fn run_tasks<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
     where
         T: Send,
@@ -710,30 +768,41 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
         let failure: Mutex<Option<Error>> = Mutex::new(None);
+        let fail = |e: Error| {
+            let mut f = failure.lock();
+            if f.is_none() {
+                *f = Some(e);
+            }
+        };
         crossbeam::thread::scope(|s| {
             for _ in 0..self.workers.min(n.max(1)) {
                 s.spawn(|_| loop {
                     if failure.lock().is_some() {
                         return;
                     }
+                    if let Err(e) = self.checkpoint() {
+                        fail(e);
+                        return;
+                    }
                     let t = next.fetch_add(1, Ordering::Relaxed);
                     if t >= n {
                         return;
                     }
-                    match task(t) {
-                        Ok(out) => results.lock().push((t, out)),
-                        Err(e) => {
-                            let mut f = failure.lock();
-                            if f.is_none() {
-                                *f = Some(e);
-                            }
+                    match catch_unwind(AssertUnwindSafe(|| task(t))) {
+                        Ok(Ok(out)) => results.lock().push((t, out)),
+                        Ok(Err(e)) => {
+                            fail(e);
+                            return;
+                        }
+                        Err(payload) => {
+                            fail(self.panicked(payload.as_ref()));
                             return;
                         }
                     }
                 });
             }
         })
-        .expect("worker thread panicked");
+        .map_err(|p| self.panicked(p.as_ref()))?;
         if let Some(e) = failure.into_inner() {
             return Err(e);
         }
@@ -1092,6 +1161,109 @@ mod tests {
             inits.into_inner() <= 3,
             "init must be per worker, not per bucket"
         );
+    }
+
+    #[test]
+    fn a_panicking_mapper_aborts_the_job_not_the_process() {
+        let data = [1u32, 2, 3];
+        let parts: Vec<&[u32]> = data.chunks(1).collect();
+        let token = CancelToken::new();
+        let engine = Engine::new(2).with_cancel(token.clone());
+        let err = engine
+            .map_reduce(
+                &parts,
+                |part: &[u32], emit: &mut dyn FnMut(u32, u32)| {
+                    if part.contains(&2) {
+                        panic!("mapper blew up on {part:?}");
+                    }
+                    for &x in part {
+                        emit(x, x);
+                    }
+                    Ok(())
+                },
+                |&k: &u32, _vs: Vec<u32>, emit: &mut dyn FnMut(u32)| {
+                    emit(k);
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+        match err {
+            Error::WorkerPanicked(m) => assert!(m.contains("blew up"), "{m}"),
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        // The token tripped so co-operating layers observe the failure.
+        assert!(token.is_stopped());
+    }
+
+    #[test]
+    fn a_panicking_reducer_aborts_the_combine_job() {
+        let data = vec![1u32, 2, 3, 4];
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(2).with_reducers(2);
+        let err = engine
+            .map_combine_reduce(
+                &parts,
+                |part: &[u32], c: &mut Combiner<u32>| {
+                    for &x in part {
+                        c.emit(&x, b"", 1);
+                    }
+                    Ok(())
+                },
+                |_k: &u32, _vs: &[(&[u8], u64)], _emit: &mut dyn FnMut(u32)| {
+                    panic!("reducer blew up")
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::WorkerPanicked(_)), "{err}");
+    }
+
+    #[test]
+    fn a_cancelled_token_aborts_the_job_with_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let data = vec![1u32];
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(2).with_cancel(token);
+        let err = engine
+            .map_reduce(
+                &parts,
+                |part: &[u32], emit: &mut dyn FnMut(u32, u32)| {
+                    for &x in part {
+                        emit(x, x);
+                    }
+                    Ok(())
+                },
+                |&k: &u32, _vs: Vec<u32>, emit: &mut dyn FnMut(u32)| {
+                    emit(k);
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled(_)), "{err}");
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_the_job_with_deadline_exceeded() {
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let data = vec![1u32];
+        let parts: Vec<&[u32]> = vec![&data];
+        let engine = Engine::new(1).with_cancel(token);
+        let err = engine
+            .map_combine_reduce(
+                &parts,
+                |part: &[u32], c: &mut Combiner<u32>| {
+                    for &x in part {
+                        c.emit(&x, b"", 1);
+                    }
+                    Ok(())
+                },
+                |&k: &u32, _vs: &[(&[u8], u64)], emit: &mut dyn FnMut(u32)| {
+                    emit(k);
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "{err}");
     }
 
     #[test]

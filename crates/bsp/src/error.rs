@@ -10,6 +10,13 @@ pub enum Error {
     /// A worker exceeded a configured resource budget (the paper's
     /// out-of-memory failures map to this).
     ResourceExhausted(String),
+    /// The job's cancellation token expired its wall-clock deadline.
+    DeadlineExceeded(String),
+    /// The job's cancellation token was cancelled externally.
+    Cancelled(String),
+    /// A map or reduce task panicked; the panic was caught at the task
+    /// boundary and the job aborted cooperatively.
+    WorkerPanicked(String),
     /// Any other worker failure.
     Worker(String),
 }
@@ -19,6 +26,9 @@ impl fmt::Display for Error {
         match self {
             Error::Decode(m) => write!(f, "shuffle decode error: {m}"),
             Error::ResourceExhausted(m) => write!(f, "resource budget exhausted: {m}"),
+            Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            Error::Cancelled(m) => write!(f, "cancelled: {m}"),
+            Error::WorkerPanicked(m) => write!(f, "worker panicked: {m}"),
             Error::Worker(m) => write!(f, "worker failed: {m}"),
         }
     }
@@ -33,6 +43,9 @@ impl From<desq_core::Error> for Error {
         match e {
             desq_core::Error::Decode(m) => Error::Decode(m),
             desq_core::Error::ResourceExhausted(m) => Error::ResourceExhausted(m),
+            desq_core::Error::DeadlineExceeded(m) => Error::DeadlineExceeded(m),
+            desq_core::Error::Cancelled(m) => Error::Cancelled(m),
+            desq_core::Error::WorkerPanicked(m) => Error::WorkerPanicked(m),
             other => Error::Worker(other.to_string()),
         }
     }

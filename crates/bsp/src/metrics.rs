@@ -28,6 +28,11 @@ pub struct JobMetrics {
     /// Successful task steals between reduce workers (0 when every worker
     /// drained its own share, or for non-scheduled job shapes).
     pub reduce_steals: u64,
+    /// True when the job's cancellation token had tripped by the time the
+    /// job finished — the results are complete and valid, but the caller
+    /// asked for a stop (e.g. a drain-mode shutdown) concurrently with the
+    /// final phase.
+    pub cancelled: bool,
 }
 
 impl JobMetrics {
@@ -88,6 +93,7 @@ mod tests {
             output_records: 7,
             reduce_tasks: 0,
             reduce_steals: 0,
+            cancelled: false,
         };
         assert!((m.map_secs() - 2.0).abs() < 1e-9);
         assert!((m.total_secs() - 2.5).abs() < 1e-9);

@@ -19,6 +19,16 @@ pub enum Error {
     Decode(String),
     /// Invalid configuration or input for an operation.
     Invalid(String),
+    /// The run's wall-clock deadline passed before it finished
+    /// (see `mining::Limits::deadline` and `mining::CancelToken`).
+    DeadlineExceeded(String),
+    /// The run was cancelled from outside (client went away, server
+    /// drain, explicit `CancelToken::cancel`).
+    Cancelled(String),
+    /// A worker task panicked; the panic was caught at the task boundary,
+    /// the run was cancelled, and the panic payload is reported here
+    /// instead of aborting the process.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for Error {
@@ -32,6 +42,9 @@ impl fmt::Display for Error {
             Error::ResourceExhausted(what) => write!(f, "resource budget exhausted: {what}"),
             Error::Decode(msg) => write!(f, "decode error: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            Error::DeadlineExceeded(what) => write!(f, "deadline exceeded: {what}"),
+            Error::Cancelled(what) => write!(f, "cancelled: {what}"),
+            Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }
@@ -56,5 +69,14 @@ mod tests {
         assert!(Error::ResourceExhausted("candidates > 10".into())
             .to_string()
             .contains("candidates"));
+        assert!(Error::DeadlineExceeded("100ms".into())
+            .to_string()
+            .contains("deadline"));
+        assert!(Error::Cancelled("drain".into())
+            .to_string()
+            .contains("drain"));
+        assert!(Error::WorkerPanicked("boom".into())
+            .to_string()
+            .contains("panicked"));
     }
 }

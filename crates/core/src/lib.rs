@@ -51,6 +51,8 @@
 pub mod codec;
 pub mod dictionary;
 pub mod error;
+#[cfg(feature = "failpoints")]
+pub mod fault;
 pub mod fst;
 pub mod fx;
 pub mod mining;
@@ -61,6 +63,6 @@ pub mod toy;
 pub use dictionary::{Dictionary, DictionaryBuilder};
 pub use error::{Error, Result};
 pub use fst::Fst;
-pub use mining::{Limits, Miner, MiningContext, MiningMetrics, MiningResult};
+pub use mining::{CancelToken, Limits, Miner, MiningContext, MiningMetrics, MiningResult};
 pub use pexp::PatEx;
 pub use sequence::{ItemId, Sequence, SequenceDb, EPSILON};

@@ -16,6 +16,10 @@
 //! (`desq::session::MiningSession`); this module holds only the pieces the
 //! algorithm crates need to implement.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
 use crate::{Dictionary, Error, Fst, Result, Sequence, SequenceDb};
 
 /// Default per-sequence work budget (candidates generated, accepting runs
@@ -41,6 +45,11 @@ pub struct Limits {
     /// error (never a silent truncation): the run aborts with
     /// [`Error::ResourceExhausted`] naming the limit.
     pub max_patterns: usize,
+    /// Wall-clock deadline of the whole run, measured from its start.
+    /// Exceeding it aborts with [`Error::DeadlineExceeded`] — the
+    /// wall-clock complement of the work-unit `budget`. `None` (the
+    /// default) means unbounded time.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for Limits {
@@ -48,6 +57,7 @@ impl Default for Limits {
         Limits {
             budget: DEFAULT_BUDGET,
             max_patterns: usize::MAX,
+            deadline: None,
         }
     }
 }
@@ -58,6 +68,7 @@ impl Limits {
         Limits {
             budget: usize::MAX,
             max_patterns: usize::MAX,
+            deadline: None,
         }
     }
 
@@ -73,7 +84,13 @@ impl Limits {
         self
     }
 
-    /// Validates the limits (both bounds must be positive).
+    /// Sets a wall-clock deadline for the run.
+    pub fn with_deadline(mut self, deadline: Duration) -> Limits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Validates the limits (all bounds must be positive).
     pub fn validate(&self) -> Result<()> {
         if self.budget == 0 {
             return Err(Error::Invalid(
@@ -85,7 +102,173 @@ impl Limits {
                 "max_patterns must be positive (use Limits::unbounded() for no limit)".into(),
             ));
         }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(Error::Invalid(
+                "deadline must be positive (omit it for unbounded time)".into(),
+            ));
+        }
         Ok(())
+    }
+}
+
+/// Why a [`CancelToken`] tripped.
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+const PANICKED: u8 = 3;
+
+struct CancelInner {
+    state: AtomicU8,
+    /// Armed at most once (first arm wins); read lock-free afterwards.
+    deadline: OnceLock<(Instant, Duration)>,
+    /// A caller-supplied note attached to the first trip (e.g. the panic
+    /// payload); set best-effort before the state flips.
+    note: OnceLock<String>,
+}
+
+/// Cooperative cancellation shared by every worker of one mining run.
+///
+/// A token is a cheap [`Arc`]-backed handle: the session (or the serving
+/// layer) creates one, threads it through [`MiningContext::cancel`], and
+/// every execution layer — the work-stealing scheduler, the BSP engine's
+/// map/combine/reduce phases, the streaming sink — polls it at task
+/// granularity. Three things trip a token:
+///
+/// * [`cancel`](Self::cancel) — an external abort (client disconnected,
+///   server draining);
+/// * an armed wall-clock deadline passing (checked by
+///   [`checkpoint`](Self::checkpoint));
+/// * [`mark_panicked`](Self::mark_panicked) — a worker task panicked and
+///   the panic was caught at the task boundary.
+///
+/// Once tripped a token stays tripped, and
+/// [`stop_reason`](Self::stop_reason) reports the corresponding
+/// [`Error`] variant; the *first* trip wins. The hot-path check
+/// ([`is_stopped`](Self::is_stopped)) is a single relaxed atomic load.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("stopped", &self.is_stopped())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                state: AtomicU8::new(LIVE),
+                deadline: OnceLock::new(),
+                note: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// A live token whose deadline (measured from now) is already armed.
+    pub fn with_deadline(deadline: Duration) -> CancelToken {
+        let token = CancelToken::new();
+        token.arm_deadline(deadline);
+        token
+    }
+
+    /// Arms a wall-clock deadline measured from now. A token's deadline
+    /// can be armed at most once: the first call wins and later calls are
+    /// ignored (returning `false`), so an externally supplied token keeps
+    /// the earliest deadline it was given.
+    pub fn arm_deadline(&self, deadline: Duration) -> bool {
+        self.inner
+            .deadline
+            .set((Instant::now() + deadline, deadline))
+            .is_ok()
+    }
+
+    /// Trips the token with an external-cancellation reason. Idempotent;
+    /// a no-op if the token already tripped for another reason.
+    pub fn cancel(&self) {
+        self.trip(CANCELLED, None);
+    }
+
+    /// Trips the token recording a caught worker panic; `payload` is the
+    /// stringified panic payload.
+    pub fn mark_panicked(&self, payload: &str) {
+        self.trip(PANICKED, Some(payload));
+    }
+
+    fn trip(&self, state: u8, note: Option<&str>) {
+        if let Some(note) = note {
+            let _ = self.inner.note.set(note.to_string());
+        }
+        let _ =
+            self.inner
+                .state
+                .compare_exchange(LIVE, state, Ordering::Release, Ordering::Relaxed);
+    }
+
+    /// Hot-path poll: true once the token has tripped for any reason.
+    /// Does *not* check the wall clock — pair it with periodic
+    /// [`checkpoint`](Self::checkpoint) calls at task granularity.
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != LIVE
+    }
+
+    /// Task-granularity poll: checks the tripped state *and* the armed
+    /// deadline against the wall clock, tripping the token if the
+    /// deadline has passed. Returns the stop reason as an error so call
+    /// sites can `token.checkpoint()?`.
+    pub fn checkpoint(&self) -> Result<()> {
+        if !self.is_stopped() {
+            if let Some(&(at, budget)) = self.inner.deadline.get() {
+                if Instant::now() >= at {
+                    self.trip(DEADLINE, Some(&format!("{budget:?}")));
+                }
+            }
+        }
+        match self.stop_reason() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// The [`Error`] this token tripped with, or `None` while live.
+    pub fn stop_reason(&self) -> Option<Error> {
+        let note = || {
+            self.inner
+                .note
+                .get()
+                .cloned()
+                .unwrap_or_else(|| "mining run".into())
+        };
+        match self.inner.state.load(Ordering::Acquire) {
+            CANCELLED => Some(Error::Cancelled(note())),
+            DEADLINE => Some(Error::DeadlineExceeded(note())),
+            PANICKED => Some(Error::WorkerPanicked(note())),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from
+/// `catch_unwind`) as a message, the way the default panic hook does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -157,6 +340,10 @@ pub struct MiningContext<'a> {
     /// Execution-path selection for algorithms with several strategies
     /// (see [`ExecutionPolicy`]).
     pub exec: ExecutionPolicy,
+    /// Cooperative cancellation for this run (deadline, external abort,
+    /// panic isolation). `None` means the run cannot be cancelled — the
+    /// historical behavior; the session facade always supplies one.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> MiningContext<'a> {
@@ -172,6 +359,7 @@ impl<'a> MiningContext<'a> {
             partitions: 1,
             reducers: 1,
             exec: ExecutionPolicy::Auto,
+            cancel: None,
         }
     }
 
@@ -206,6 +394,12 @@ impl<'a> MiningContext<'a> {
     /// Overrides the execution-path selection policy.
     pub fn with_execution_policy(mut self, exec: ExecutionPolicy) -> MiningContext<'a> {
         self.exec = exec;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> MiningContext<'a> {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -288,6 +482,10 @@ pub struct MiningMetrics {
     /// (always 0 for sequential runs; high values on skewed search trees
     /// are the scheduler doing its job).
     pub steals: u64,
+    /// True iff the run stopped early through its [`CancelToken`] (or a
+    /// streaming consumer dropped the stream): the other counters
+    /// describe a *partial* run.
+    pub cancelled: bool,
 }
 
 impl MiningMetrics {
@@ -312,6 +510,7 @@ impl MiningMetrics {
             worker_nanos: vec![wall_nanos],
             tasks: 1,
             steals: 0,
+            cancelled: false,
         }
     }
 
@@ -350,9 +549,9 @@ impl MiningMetrics {
     /// `shuffle_records`, `shuffle_payloads`, `shuffle_bytes` — then
     /// `reducer_bytes` as `varint(len)` + one varint per entry, then
     /// `output_records`, `workers`, `worker_nanos` (same list shape),
-    /// `tasks`, `steals`. Used by the `desq-serve` daemon to ship the
-    /// terminal metrics frame of a query response; [`decode`](Self::decode)
-    /// is the exact inverse.
+    /// `tasks`, `steals`, then `cancelled` as a 0/1 varint. Used by the
+    /// `desq-serve` daemon to ship the terminal metrics frame of a query
+    /// response; [`decode`](Self::decode) is the exact inverse.
     pub fn encode(&self, buf: &mut Vec<u8>) {
         use crate::codec::write_varint;
         for v in [
@@ -379,6 +578,7 @@ impl MiningMetrics {
         }
         write_varint(buf, self.tasks);
         write_varint(buf, self.steals);
+        write_varint(buf, self.cancelled as u64);
     }
 
     /// Decodes one [`encode`](Self::encode) record, advancing `buf`.
@@ -405,6 +605,15 @@ impl MiningMetrics {
         m.worker_nanos = decode_u64_list(buf)?;
         m.tasks = read_varint(buf)?;
         m.steals = read_varint(buf)?;
+        m.cancelled = match read_varint(buf)? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(Error::Decode(format!(
+                    "metrics cancelled flag: expected 0 or 1, got {other}"
+                )))
+            }
+        };
         Ok(m)
     }
 
@@ -598,6 +807,7 @@ mod tests {
         m.shuffle_payloads = 4;
         m.shuffle_bytes = 99;
         m.reducer_bytes = vec![33, 66, 0];
+        m.cancelled = true;
         let mut buf = Vec::new();
         m.encode(&mut buf);
         let mut s = buf.as_slice();
@@ -609,6 +819,74 @@ mod tests {
             let mut s = &buf[..cut];
             assert!(MiningMetrics::decode(&mut s).is_err(), "cut at {cut}");
         }
+        // The cancelled flag is strictly 0/1 on the wire.
+        *buf.last_mut().unwrap() = 2;
+        let mut s = buf.as_slice();
+        assert!(matches!(
+            MiningMetrics::decode(&mut s),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn cancel_token_trips_once_and_keeps_the_first_reason() {
+        let token = CancelToken::new();
+        assert!(!token.is_stopped());
+        assert!(token.checkpoint().is_ok());
+        assert!(token.stop_reason().is_none());
+
+        token.cancel();
+        assert!(token.is_stopped());
+        assert!(matches!(token.stop_reason(), Some(Error::Cancelled(_))));
+        // A later panic does not overwrite the first trip.
+        token.mark_panicked("boom");
+        assert!(matches!(token.stop_reason(), Some(Error::Cancelled(_))));
+        assert!(matches!(token.checkpoint(), Err(Error::Cancelled(_))));
+
+        // Clones share state.
+        let clone = token.clone();
+        assert!(clone.is_stopped());
+    }
+
+    #[test]
+    fn cancel_token_deadline_trips_at_checkpoint() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        // The hot-path poll alone never consults the clock...
+        assert!(!token.is_stopped());
+        // ...but a checkpoint does, and trips the token for everyone.
+        assert!(matches!(
+            token.checkpoint(),
+            Err(Error::DeadlineExceeded(_))
+        ));
+        assert!(token.is_stopped());
+
+        // A generous deadline does not trip.
+        let slack = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(slack.checkpoint().is_ok());
+        // Arming is first-wins.
+        assert!(!slack.arm_deadline(Duration::ZERO));
+        assert!(slack.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn panic_trips_with_the_payload() {
+        let token = CancelToken::new();
+        let payload = std::panic::catch_unwind(|| panic!("task exploded")).unwrap_err();
+        token.mark_panicked(&panic_message(payload.as_ref()));
+        match token.stop_reason() {
+            Some(Error::WorkerPanicked(msg)) => assert!(msg.contains("task exploded")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limits_deadline_validates_positive() {
+        let l = Limits::default().with_deadline(Duration::from_millis(5));
+        assert!(l.validate().is_ok());
+        assert!(matches!(
+            Limits::default().with_deadline(Duration::ZERO).validate(),
+            Err(Error::Invalid(_))
+        ));
     }
 
     #[test]

@@ -16,6 +16,17 @@ use crate::dseq::d_seq_impl;
 use crate::naive::naive_impl;
 use crate::{DCandConfig, DSeqConfig, NaiveConfig};
 
+/// Builds the BSP engine from the context's parallelism, forwarding the
+/// context's cancellation token (when one is set) so deadlines, external
+/// cancellation and panic containment apply to the distributed jobs too.
+fn engine_for(ctx: &MiningContext<'_>) -> Engine {
+    let engine = Engine::new(ctx.workers).with_reducers(ctx.reducers);
+    match ctx.cancel {
+        Some(token) => engine.with_cancel(token.clone()),
+        None => engine,
+    }
+}
+
 /// D-SEQ behind the unified API (Sec. V of the paper).
 #[derive(Debug, Clone, Copy)]
 pub struct DSeq(pub DSeqConfig);
@@ -37,7 +48,7 @@ impl Miner for DSeq {
         let mut cfg = self.0;
         cfg.sigma = ctx.sigma;
         cfg.run_budget = cfg.run_budget.min(ctx.limits.budget);
-        let engine = Engine::new(ctx.workers).with_reducers(ctx.reducers);
+        let engine = engine_for(ctx);
         let parts = ctx.db.partition(ctx.partitions);
         d_seq_impl(&engine, &parts, fst, ctx.dict, cfg)
     }
@@ -64,7 +75,7 @@ impl Miner for DCand {
         let mut cfg = self.0;
         cfg.sigma = ctx.sigma;
         cfg.run_budget = cfg.run_budget.min(ctx.limits.budget);
-        let engine = Engine::new(ctx.workers).with_reducers(ctx.reducers);
+        let engine = engine_for(ctx);
         let parts = ctx.db.partition(ctx.partitions);
         d_cand_impl(&engine, &parts, fst, ctx.dict, cfg)
     }
@@ -104,7 +115,7 @@ impl Miner for Naive {
         let mut cfg = self.0;
         cfg.sigma = ctx.sigma;
         cfg.budget = cfg.budget.min(ctx.limits.budget);
-        let engine = Engine::new(ctx.workers).with_reducers(ctx.reducers);
+        let engine = engine_for(ctx);
         let parts = ctx.db.partition(ctx.partitions);
         naive_impl(&engine, &parts, fst, ctx.dict, cfg)
     }

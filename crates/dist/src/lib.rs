@@ -75,6 +75,7 @@ pub fn metrics_from_job(
         worker_nanos: Vec::new(),
         tasks: job.reduce_tasks,
         steals: job.reduce_steals,
+        cancelled: job.cancelled,
     }
 }
 
@@ -88,6 +89,9 @@ pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {
     match e {
         desq_bsp::Error::ResourceExhausted(m) => desq_core::Error::ResourceExhausted(m),
         desq_bsp::Error::Decode(m) => desq_core::Error::Decode(m),
+        desq_bsp::Error::DeadlineExceeded(m) => desq_core::Error::DeadlineExceeded(m),
+        desq_bsp::Error::Cancelled(m) => desq_core::Error::Cancelled(m),
+        desq_bsp::Error::WorkerPanicked(m) => desq_core::Error::WorkerPanicked(m),
         desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
     }
 }
@@ -98,6 +102,9 @@ pub(crate) fn to_bsp(e: desq_core::Error) -> desq_bsp::Error {
     match e {
         desq_core::Error::ResourceExhausted(m) => desq_bsp::Error::ResourceExhausted(m),
         desq_core::Error::Decode(m) => desq_bsp::Error::Decode(m),
+        desq_core::Error::DeadlineExceeded(m) => desq_bsp::Error::DeadlineExceeded(m),
+        desq_core::Error::Cancelled(m) => desq_bsp::Error::Cancelled(m),
+        desq_core::Error::WorkerPanicked(m) => desq_bsp::Error::WorkerPanicked(m),
         other => desq_bsp::Error::Worker(other.to_string()),
     }
 }

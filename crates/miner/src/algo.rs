@@ -123,7 +123,7 @@ impl DesqDfs {
         let fst = ctx.fst()?;
         let inputs = unit_inputs(ctx);
         let (patterns, stats) = LocalMiner::new(fst, ctx.dict, MinerConfig::sequential(ctx.sigma))
-            .mine_with_workers(&inputs, ctx.workers);
+            .mine_with_workers(&inputs, ctx.workers, ctx.cancel)?;
         let metrics = scheduler_metrics(
             t0.elapsed().as_nanos() as u64,
             ctx.db.len() as u64,
@@ -143,6 +143,7 @@ impl DesqDfs {
             ctx.sigma,
             ctx.limits.budget,
             ctx.workers,
+            ctx.cancel,
         )?;
         let metrics = scheduler_metrics(
             t0.elapsed().as_nanos() as u64,
@@ -210,6 +211,7 @@ impl Miner for DesqCount {
             ctx.sigma,
             ctx.limits.budget,
             ctx.workers,
+            ctx.cancel,
         )?;
         let metrics = scheduler_metrics(
             t0.elapsed().as_nanos() as u64,

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
+use desq_core::mining::CancelToken;
 use desq_core::{mining, Dictionary, Fst, Result, Sequence, SequenceDb};
 
 use crate::sched::{self, WorkerStats};
@@ -55,6 +56,7 @@ pub(crate) fn desq_count_impl(
     sigma: u64,
     budget: usize,
     workers: usize,
+    cancel: Option<&CancelToken>,
 ) -> Result<CountOutcome> {
     mining::validate_sigma(sigma)?;
     let workers = workers.max(1).min(db.sequences.len().max(1));
@@ -67,6 +69,9 @@ pub(crate) fn desq_count_impl(
         let mut scratch = RunScratch::default();
         let mut counter = CandidateCounter::new();
         for seq in &db.sequences {
+            if let Some(token) = cancel {
+                token.checkpoint()?;
+            }
             walker.count_candidates(seq, 1, budget, &mut scratch, &mut counter, |_, _| {})?;
         }
         (
@@ -92,13 +97,14 @@ pub(crate) fn desq_count_impl(
                 )
             })
             .collect();
-        let cancel = AtomicBool::new(false);
+        let local_cancel = AtomicBool::new(false);
         let partials: Mutex<Vec<(usize, CandidateCounter)>> = Mutex::new(Vec::new());
         let failure: Mutex<Option<desq_core::Error>> = Mutex::new(None);
         let (stats, ()) = sched::run_scheduler(
             seed,
             states,
-            &cancel,
+            &local_cancel,
+            cancel,
             |range, (walker, scratch, counter), _ctx| {
                 for seq in &db.sequences[range] {
                     if let Err(e) =
@@ -108,14 +114,14 @@ pub(crate) fn desq_count_impl(
                         if f.is_none() {
                             *f = Some(e);
                         }
-                        cancel.store(true, Ordering::Relaxed);
+                        local_cancel.store(true, Ordering::Relaxed);
                         return;
                     }
                 }
             },
             |wid, (_, _, counter)| partials.lock().unwrap().push((wid, counter)),
             || (),
-        );
+        )?;
         if let Some(e) = failure.into_inner().unwrap() {
             return Err(e);
         }
@@ -143,7 +149,8 @@ mod tests {
         // Paper, Sec. II: for πex and σ = 2 the frequent subsequences are
         // a1 a1 b (2), a1 A b (2), a1 b (3).
         let fx = toy::fixture();
-        let (out, _, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, usize::MAX, 1).unwrap();
+        let (out, _, _) =
+            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, usize::MAX, 1, None).unwrap();
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
         // Lexicographic fid order: a1 b < a1 A b < a1 a1 b.
@@ -160,7 +167,8 @@ mod tests {
     #[test]
     fn sigma_one_keeps_everything() {
         let fx = toy::fixture();
-        let (out, work, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 1, usize::MAX, 1).unwrap();
+        let (out, work, _) =
+            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 1, usize::MAX, 1, None).unwrap();
         // All candidates of all sequences are frequent at σ = 1:
         // 7 (T1) + 11 (T2) + 0 (T3) + 2 (T4) + 3 (T5), with
         // a1b/a1a1b/a1Ab shared between T2 and T5 and a1b also in T1.
@@ -179,10 +187,11 @@ mod tests {
         let fx = toy::fixture();
         for sigma in 1..=4 {
             let (seq, seq_work, _) =
-                desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1).unwrap();
+                desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1, None).unwrap();
             for workers in 2..=4 {
                 let (par, par_work, par_stats) =
-                    desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, workers).unwrap();
+                    desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, workers, None)
+                        .unwrap();
                 assert_eq!(par, seq, "sigma={sigma} workers={workers}");
                 assert_eq!(par_work, seq_work, "sigma={sigma} workers={workers}");
                 // One stats entry per scheduler worker (the toy db has 5
@@ -196,7 +205,8 @@ mod tests {
     #[test]
     fn high_sigma_yields_nothing() {
         let fx = toy::fixture();
-        let (out, _, _) = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 10, usize::MAX, 1).unwrap();
+        let (out, _, _) =
+            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 10, usize::MAX, 1, None).unwrap();
         assert!(out.is_empty());
     }
 
@@ -204,7 +214,7 @@ mod tests {
     fn zero_sigma_rejected() {
         let fx = toy::fixture();
         assert!(matches!(
-            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 0, usize::MAX, 1),
+            desq_count_impl(&fx.db, &fx.fst, &fx.dict, 0, usize::MAX, 1, None),
             Err(Error::Invalid(_))
         ));
     }
@@ -212,7 +222,7 @@ mod tests {
     #[test]
     fn budget_propagates() {
         let fx = toy::fixture();
-        let err = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, 2, 2).unwrap_err();
+        let err = desq_count_impl(&fx.db, &fx.fst, &fx.dict, 2, 2, 2, None).unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted(_)));
     }
 }

@@ -44,14 +44,16 @@
 //! sequences (max item = `k`) are emitted, and the *early stopping*
 //! heuristic drops snapshots that can no longer produce the pivot item.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 use desq_core::fst::FstIndex;
+use desq_core::mining::{panic_message, CancelToken};
 #[cfg(test)]
 use desq_core::SequenceDb;
-use desq_core::{Dictionary, Fst, ItemId, Sequence, EPSILON};
+use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence, EPSILON};
 
 use crate::sched::{self, SchedConfig, TaskCtx, WorkerStats};
 
@@ -111,6 +113,10 @@ impl MinerConfig {
 /// One weighted input sequence, borrowed from its owner (the database, or a
 /// reducer's decoded aggregate) — local mining never copies item data.
 pub type WeightedInput<'s> = (&'s [ItemId], u64);
+
+/// What a parallel mining run returns: the (pattern, frequency) pairs in
+/// discovery order plus the per-worker scheduler stats.
+pub type MinedPatterns = (Vec<(Sequence, u64)>, Vec<WorkerStats>);
 
 /// Pattern-growth miner over a set of weighted input sequences.
 pub struct LocalMiner<'a> {
@@ -658,8 +664,8 @@ impl<'a> LocalMiner<'a> {
 
     /// Mines the weighted input collection; returns `(pattern, frequency)`
     /// pairs sorted lexicographically.
-    pub fn mine(&self, inputs: &[WeightedInput<'_>]) -> Vec<(Sequence, u64)> {
-        self.mine_with_workers(inputs, 1).0
+    pub fn mine(&self, inputs: &[WeightedInput<'_>]) -> Result<Vec<(Sequence, u64)>> {
+        Ok(self.mine_with_workers(inputs, 1, None)?.0)
     }
 
     /// Builds the pivot-independent [`SeqCore`] of one sequence (the
@@ -788,13 +794,21 @@ impl<'a> LocalMiner<'a> {
     /// Returns the (deterministic, sorted) patterns plus per-worker
     /// [`WorkerStats`] — one entry per worker; `workers = 1` runs inline
     /// and reports a single entry with `steals = 0`.
+    ///
+    /// A `cancel` token, when given, is polled cooperatively (per task on
+    /// the scheduler path, per emitted pattern inline): an expired
+    /// deadline or external cancel aborts with the token's
+    /// [`stop_reason`](CancelToken::stop_reason), and a panicking subtree
+    /// task is caught at the task boundary and surfaces as
+    /// [`Error::WorkerPanicked`] instead of aborting the process.
     pub fn mine_with_workers(
         &self,
         inputs: &[WeightedInput<'_>],
         workers: usize,
-    ) -> (Vec<(Sequence, u64)>, Vec<WorkerStats>) {
+        cancel: Option<&CancelToken>,
+    ) -> Result<MinedPatterns> {
         let workers = workers.max(1);
-        let tables = self.prepare_tables(inputs, workers);
+        let tables = self.prepare_tables_cancellable(inputs, workers, cancel)?;
         let views = tables.views();
         let roots = self.root_postings(&views);
 
@@ -813,17 +827,20 @@ impl<'a> LocalMiner<'a> {
                 &mut bufs,
                 &mut |p, f| {
                     out.push((p, f));
-                    true
+                    cancel.is_none_or(|t| t.checkpoint().is_ok())
                 },
             );
-            return (
+            if let Some(err) = cancel.and_then(CancelToken::stop_reason) {
+                return Err(err);
+            }
+            return Ok((
                 crate::sort_patterns(out),
                 vec![WorkerStats::solo(t0.elapsed().as_nanos() as u64, 1)],
-            );
+            ));
         }
 
         let seed = self.seed_tasks(&views, &roots);
-        let cancel = AtomicBool::new(false);
+        let local_cancel = AtomicBool::new(false);
         let collected: Mutex<Vec<Vec<(Sequence, u64)>>> = Mutex::new(Vec::new());
         let states: Vec<_> = (0..workers)
             .map(|_| {
@@ -837,7 +854,8 @@ impl<'a> LocalMiner<'a> {
         let (stats, ()) = sched::run_scheduler(
             seed,
             states,
-            &cancel,
+            &local_cancel,
+            cancel,
             |task: MineTask, (out, bufs), ctx| {
                 let mut prefix = task.prefix;
                 self.expand_sched(
@@ -857,7 +875,7 @@ impl<'a> LocalMiner<'a> {
             },
             |_, (out, _)| collected.lock().unwrap().push(out),
             || (),
-        );
+        )?;
 
         let all: Vec<(Sequence, u64)> = collected
             .into_inner()
@@ -865,7 +883,7 @@ impl<'a> LocalMiner<'a> {
             .into_iter()
             .flatten()
             .collect();
-        (crate::sort_patterns(all), stats)
+        Ok((crate::sort_patterns(all), stats))
     }
 
     /// Streams every frequent pattern to `sink` as it is discovered (DFS
@@ -876,8 +894,8 @@ impl<'a> LocalMiner<'a> {
         &self,
         inputs: &[WeightedInput<'_>],
         sink: &mut dyn FnMut(Sequence, u64) -> bool,
-    ) -> bool {
-        self.mine_each_with_workers(inputs, 1, sink)
+    ) -> Result<bool> {
+        self.mine_each_with_workers(inputs, 1, None, sink)
     }
 
     /// Streaming variant of [`mine_with_workers`](Self::mine_with_workers):
@@ -885,22 +903,26 @@ impl<'a> LocalMiner<'a> {
     /// feeds `sink` through a bounded channel on the calling thread.
     /// Patterns arrive in an unspecified interleaving of the workers' DFS
     /// orders; a `false` from the sink cancels all workers (no further sink
-    /// calls happen) and makes this return `false`.
+    /// calls happen) and makes this return `Ok(false)` — the consumer's
+    /// own early stop is not an error. A tripped `cancel` token (deadline,
+    /// external abort) or a panicking subtree task aborts with the
+    /// corresponding [`Error`] instead.
     pub fn mine_each_with_workers(
         &self,
         inputs: &[WeightedInput<'_>],
         workers: usize,
+        cancel: Option<&CancelToken>,
         sink: &mut dyn FnMut(Sequence, u64) -> bool,
-    ) -> bool {
+    ) -> Result<bool> {
         let workers = workers.max(1);
-        let tables = self.prepare_tables(inputs, workers);
+        let tables = self.prepare_tables_cancellable(inputs, workers, cancel)?;
         let views = tables.views();
         let roots = self.root_postings(&views);
 
         if workers == 1 {
             let mut bufs = ExpandBufs::new(&views, self.item_bound(), self.dense_limit);
             let mut prefix = Sequence::new();
-            return self.expand(
+            let completed = self.expand(
                 &views,
                 &roots,
                 0,
@@ -908,12 +930,16 @@ impl<'a> LocalMiner<'a> {
                 0,
                 &mut prefix,
                 &mut bufs,
-                sink,
+                &mut |p, f| cancel.is_none_or(|t| t.checkpoint().is_ok()) && sink(p, f),
             );
+            if let Some(err) = cancel.and_then(CancelToken::stop_reason) {
+                return Err(err);
+            }
+            return Ok(completed);
         }
 
         let seed = self.seed_tasks(&views, &roots);
-        let cancel = AtomicBool::new(false);
+        let local_cancel = AtomicBool::new(false);
         let (tx, rx) = mpsc::sync_channel::<(Sequence, u64)>(1024);
         // Worker states own their sender clone; the scheduler drops each
         // state on its worker thread when that worker finishes, so the
@@ -927,11 +953,12 @@ impl<'a> LocalMiner<'a> {
             })
             .collect();
         let views = &views;
-        let cancel_ref = &cancel;
+        let cancel_ref = &local_cancel;
         let (_stats, completed) = sched::run_scheduler(
             seed,
             states,
-            &cancel,
+            &local_cancel,
+            cancel,
             |task: MineTask, (tx, bufs), ctx| {
                 let mut prefix = task.prefix;
                 let keep_going = self.expand_sched(
@@ -964,46 +991,88 @@ impl<'a> LocalMiner<'a> {
                 }
                 completed
             },
-        );
-        completed
+        )?;
+        Ok(completed)
     }
 
     /// Builds the flat simulation tables ([`SeqTables`]) for every input
     /// sequence, `workers` at a time. This is the preprocessing the DFS
     /// amortizes: afterwards expansion is pure bit tests and arena slices.
-    pub fn prepare_tables(&self, inputs: &[WeightedInput<'_>], workers: usize) -> SeqTables {
+    /// A panic while building one sequence's tables is caught at the
+    /// worker boundary and reported as [`Error::WorkerPanicked`].
+    pub fn prepare_tables(
+        &self,
+        inputs: &[WeightedInput<'_>],
+        workers: usize,
+    ) -> Result<SeqTables> {
+        self.prepare_tables_cancellable(inputs, workers, None)
+    }
+
+    /// [`prepare_tables`](Self::prepare_tables) with cooperative
+    /// cancellation: the token is polled once per input sequence.
+    fn prepare_tables_cancellable(
+        &self,
+        inputs: &[WeightedInput<'_>],
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SeqTables> {
         let workers = workers.max(1).min(inputs.len().max(1));
         if workers == 1 {
             let mut scratch = PrepareScratch::default();
             let mut set = SeqTables::new();
             for &(seq, w) in inputs {
+                if let Some(token) = cancel {
+                    token.checkpoint()?;
+                }
                 self.prepare_into(seq, w, &mut scratch, &mut set);
             }
-            return set;
+            return Ok(set);
         }
         let chunk = inputs.len().div_ceil(workers);
         let results: Mutex<Vec<(usize, SeqTables)>> = Mutex::new(Vec::new());
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
         crossbeam::thread::scope(|s| {
-            let results = &results;
+            let (results, panicked) = (&results, &panicked);
             for (idx, part) in inputs.chunks(chunk).enumerate() {
                 s.spawn(move |_| {
-                    let mut scratch = PrepareScratch::default();
-                    let mut set = SeqTables::new();
-                    for &(seq, w) in part {
-                        self.prepare_into(seq, w, &mut scratch, &mut set);
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        let mut scratch = PrepareScratch::default();
+                        let mut set = SeqTables::new();
+                        for &(seq, w) in part {
+                            if cancel.is_some_and(|t| t.checkpoint().is_err()) {
+                                break;
+                            }
+                            self.prepare_into(seq, w, &mut scratch, &mut set);
+                        }
+                        set
+                    }));
+                    match run {
+                        Ok(set) => results.lock().unwrap().push((idx, set)),
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            panicked.lock().unwrap().get_or_insert(msg.clone());
+                            if let Some(token) = cancel {
+                                token.mark_panicked(&msg);
+                            }
+                        }
                     }
-                    results.lock().unwrap().push((idx, set));
                 });
             }
         })
-        .expect("table-build worker panicked");
+        .map_err(|p| Error::WorkerPanicked(panic_message(p.as_ref())))?;
+        if let Some(msg) = panicked.into_inner().unwrap() {
+            return Err(Error::WorkerPanicked(msg));
+        }
+        if let Some(err) = cancel.and_then(CancelToken::stop_reason) {
+            return Err(err);
+        }
         let mut chunks = results.into_inner().unwrap();
         chunks.sort_by_key(|&(idx, _)| idx);
         let mut set = SeqTables::new();
         for (_, part) in chunks {
             set.append(part);
         }
-        set
+        Ok(set)
     }
 
     /// Number of σ-frequent first-level children of the root node (the
@@ -1559,7 +1628,9 @@ pub(crate) fn desq_dfs_impl(
     sigma: u64,
 ) -> Vec<(Sequence, u64)> {
     let inputs: Vec<WeightedInput<'_>> = db.sequences.iter().map(|s| (s.as_slice(), 1)).collect();
-    LocalMiner::new(fst, dict, MinerConfig::sequential(sigma)).mine(&inputs)
+    LocalMiner::new(fst, dict, MinerConfig::sequential(sigma))
+        .mine(&inputs)
+        .unwrap()
 }
 
 #[cfg(test)]
@@ -1594,7 +1665,7 @@ mod tests {
         for sigma in 1..=5 {
             let dfs = desq_dfs_impl(&fx.db, &fx.fst, &fx.dict, sigma);
             let (cnt, _, _) =
-                desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1).unwrap();
+                desq_count_impl(&fx.db, &fx.fst, &fx.dict, sigma, usize::MAX, 1, None).unwrap();
             assert_eq!(dfs, cnt, "sigma = {sigma}");
         }
     }
@@ -1605,9 +1676,9 @@ mod tests {
         let inputs = unit_inputs(&fx.db);
         for sigma in 1..=4 {
             let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma));
-            let sequential = miner.mine(&inputs);
+            let sequential = miner.mine(&inputs).unwrap();
             for workers in 2..=4 {
-                let (parallel, stats) = miner.mine_with_workers(&inputs, workers);
+                let (parallel, stats) = miner.mine_with_workers(&inputs, workers, None).unwrap();
                 assert_eq!(parallel, sequential, "sigma={sigma} workers={workers}");
                 assert_eq!(stats.len(), workers);
                 // Whenever anything was mined, at least one seed task ran.
@@ -1628,9 +1699,9 @@ mod tests {
         for sigma in 1..=3 {
             let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma))
                 .with_sched(SchedConfig::aggressive());
-            let sequential = miner.mine(&inputs);
+            let sequential = miner.mine(&inputs).unwrap();
             for workers in 2..=4 {
-                let (parallel, stats) = miner.mine_with_workers(&inputs, workers);
+                let (parallel, stats) = miner.mine_with_workers(&inputs, workers, None).unwrap();
                 assert_eq!(parallel, sequential, "sigma={sigma} workers={workers}");
                 // Aggressive splitting makes one task per search-tree node
                 // (beyond the inline-first chain), so the task count must
@@ -1649,18 +1720,25 @@ mod tests {
         let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(2));
         // Full stream matches the eager result as a set.
         let mut streamed = Vec::new();
-        let completed = miner.mine_each(&inputs, &mut |s, f| {
-            streamed.push((s, f));
-            true
-        });
+        let completed = miner
+            .mine_each(&inputs, &mut |s, f| {
+                streamed.push((s, f));
+                true
+            })
+            .unwrap();
         assert!(completed);
-        assert_eq!(crate::sort_patterns(streamed.clone()), miner.mine(&inputs));
+        assert_eq!(
+            crate::sort_patterns(streamed.clone()),
+            miner.mine(&inputs).unwrap()
+        );
         // Early stop: the sink sees exactly one pattern.
         let mut n = 0;
-        let completed = miner.mine_each(&inputs, &mut |_, _| {
-            n += 1;
-            false
-        });
+        let completed = miner
+            .mine_each(&inputs, &mut |_, _| {
+                n += 1;
+                false
+            })
+            .unwrap();
         assert!(!completed);
         assert_eq!(n, 1);
     }
@@ -1673,23 +1751,27 @@ mod tests {
         for workers in 2..=4 {
             // Full parallel stream equals the eager result as a set.
             let mut streamed = Vec::new();
-            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |s, f| {
-                streamed.push((s, f));
-                true
-            });
+            let completed = miner
+                .mine_each_with_workers(&inputs, workers, None, &mut |s, f| {
+                    streamed.push((s, f));
+                    true
+                })
+                .unwrap();
             assert!(completed, "workers = {workers}");
             assert_eq!(
                 crate::sort_patterns(streamed),
-                miner.mine(&inputs),
+                miner.mine(&inputs).unwrap(),
                 "workers = {workers}"
             );
             // A cancelling sink sees exactly one pattern and the stream
             // reports the early stop.
             let mut n = 0;
-            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |_, _| {
-                n += 1;
-                false
-            });
+            let completed = miner
+                .mine_each_with_workers(&inputs, workers, None, &mut |_, _| {
+                    n += 1;
+                    false
+                })
+                .unwrap();
             assert!(!completed, "workers = {workers}");
             assert_eq!(n, 1, "workers = {workers}");
         }
@@ -1701,7 +1783,7 @@ mod tests {
         let fx = toy::fixture();
         let inputs = unit_inputs(&fx.db);
         let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(2, fx.a1, false));
-        let out = miner.mine(&inputs);
+        let out = miner.mine(&inputs).unwrap();
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
         assert_eq!(
@@ -1728,7 +1810,10 @@ mod tests {
                 &fx.dict,
                 MinerConfig::for_pivot(2, fx.c, early_stop),
             );
-            assert!(miner.mine(&inputs).is_empty(), "early_stop = {early_stop}");
+            assert!(
+                miner.mine(&inputs).unwrap().is_empty(),
+                "early_stop = {early_stop}"
+            );
         }
     }
 
@@ -1740,10 +1825,12 @@ mod tests {
             for k in 1..=fx.dict.max_fid() {
                 let plain =
                     LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(sigma, k, false))
-                        .mine(&inputs);
+                        .mine(&inputs)
+                        .unwrap();
                 let stopped =
                     LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(sigma, k, true))
-                        .mine(&inputs);
+                        .mine(&inputs)
+                        .unwrap();
                 assert_eq!(plain, stopped, "sigma={sigma} k={k}");
             }
         }
@@ -1760,7 +1847,8 @@ mod tests {
             for k in 1..=fx.dict.max_fid() {
                 let part =
                     LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::for_pivot(sigma, k, true))
-                        .mine(&inputs);
+                        .mine(&inputs)
+                        .unwrap();
                 union.extend(part);
             }
             union.sort();
@@ -1777,7 +1865,9 @@ mod tests {
         // Weights are rescaled ×10, so keep the item filter of the
         // unweighted database (σ_effective = 2).
         let config = MinerConfig::sequential(20).with_last_frequent(fx.dict.last_frequent(2));
-        let out = LocalMiner::new(&fx.fst, &fx.dict, config).mine(&inputs);
+        let out = LocalMiner::new(&fx.fst, &fx.dict, config)
+            .mine(&inputs)
+            .unwrap();
         let rendered: Vec<(String, u64)> =
             out.iter().map(|(s, f)| (fx.dict.render(s), *f)).collect();
         assert_eq!(
@@ -1801,19 +1891,26 @@ mod tests {
             let dense = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma));
             let sparse = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(sigma))
                 .with_sparse_grouping();
-            assert_eq!(dense.mine(&inputs), sparse.mine(&inputs), "sigma={sigma}");
             assert_eq!(
-                sparse.mine_with_workers(&inputs, 3).0,
-                dense.mine(&inputs),
+                dense.mine(&inputs).unwrap(),
+                sparse.mine(&inputs).unwrap(),
+                "sigma={sigma}"
+            );
+            assert_eq!(
+                sparse.mine_with_workers(&inputs, 3, None).unwrap().0,
+                dense.mine(&inputs).unwrap(),
                 "sigma={sigma} parallel"
             );
             for k in 1..=fx.dict.max_fid() {
                 for early_stop in [false, true] {
                     let cfg = MinerConfig::for_pivot(sigma, k, early_stop);
-                    let dense = LocalMiner::new(&fx.fst, &fx.dict, cfg).mine(&inputs);
+                    let dense = LocalMiner::new(&fx.fst, &fx.dict, cfg)
+                        .mine(&inputs)
+                        .unwrap();
                     let sparse = LocalMiner::new(&fx.fst, &fx.dict, cfg)
                         .with_sparse_grouping()
-                        .mine(&inputs);
+                        .mine(&inputs)
+                        .unwrap();
                     assert_eq!(dense, sparse, "sigma={sigma} k={k} stop={early_stop}");
                 }
             }
@@ -1850,7 +1947,7 @@ mod tests {
                         .collect();
                     assert_eq!(
                         miner.mine_prepared(&prepared_inputs),
-                        miner.mine(&inputs),
+                        miner.mine(&inputs).unwrap(),
                         "sigma={sigma} k={k} stop={early_stop}"
                     );
                 }
@@ -1863,7 +1960,7 @@ mod tests {
         let fx = toy::fixture();
         let inputs = unit_inputs(&fx.db);
         let miner = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(2));
-        let tables = miner.prepare_tables(&inputs, 2);
+        let tables = miner.prepare_tables(&inputs, 2).unwrap();
         assert_eq!(tables.len(), fx.db.len());
         // T3 = c d c b has no accepting run; its table is empty.
         assert!(!tables.accepts(2));
@@ -1873,7 +1970,7 @@ mod tests {
         assert!(tables.num_match_bits(0) > 0);
         // Parallel and sequential table building agree (the parallel path
         // rebases per-chunk arenas onto one set).
-        let seq_tables = miner.prepare_tables(&inputs, 1);
+        let seq_tables = miner.prepare_tables(&inputs, 1).unwrap();
         assert_eq!(seq_tables.len(), tables.len());
         for s in 0..tables.len() {
             assert_eq!(tables.accepts(s), seq_tables.accepts(s));
@@ -1884,10 +1981,13 @@ mod tests {
     #[test]
     fn empty_input_yields_nothing() {
         let fx = toy::fixture();
-        let out = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1)).mine(&[]);
+        let out = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1))
+            .mine(&[])
+            .unwrap();
         assert!(out.is_empty());
         let (out, timings) = LocalMiner::new(&fx.fst, &fx.dict, MinerConfig::sequential(1))
-            .mine_with_workers(&[], 4);
+            .mine_with_workers(&[], 4, None)
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(timings.len(), 4);
     }

@@ -22,11 +22,14 @@
 //! blocks — and reports per-worker [`WorkerStats`] that the session
 //! surfaces as `MiningMetrics::{worker_nanos, tasks, steals}`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Stealer, Worker};
+use desq_core::mining::{panic_message, CancelToken};
+use desq_core::{Error, Result};
 
 /// Per-worker scheduler measurements of one parallel mining run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -127,16 +130,31 @@ impl<T> TaskCtx<'_, T> {
 /// makes every worker stop at its next task boundary, abandoning queued
 /// tasks.
 ///
+/// # Failure domains
+///
+/// Every task body runs under `catch_unwind`: a panicking task cancels
+/// the run (queued tasks are abandoned, every worker still runs `finish`
+/// and reports its stats) and the scheduler returns
+/// [`Error::WorkerPanicked`] carrying the first panic payload — the
+/// process survives. A `token`, when given, is polled at task
+/// granularity: an externally cancelled or deadline-expired token stops
+/// the run the same cooperative way and its
+/// [`stop_reason`](CancelToken::stop_reason) becomes the returned error.
+/// Cancellation through the bare `cancel` flag alone (the streaming
+/// sink's abandon-on-drop) is *not* an error: the partial run returns
+/// `Ok`.
+///
 /// Returns per-worker [`WorkerStats`] in worker-index order plus
 /// `on_main`'s result.
 pub(crate) fn run_scheduler<T, S, R>(
     seed: Vec<T>,
     mut states: Vec<S>,
     cancel: &AtomicBool,
+    token: Option<&CancelToken>,
     task: impl Fn(T, &mut S, &TaskCtx<'_, T>) + Sync,
     finish: impl Fn(usize, S) + Sync,
     on_main: impl FnOnce() -> R,
-) -> (Vec<WorkerStats>, R)
+) -> Result<(Vec<WorkerStats>, R)>
 where
     T: Send,
     S: Send,
@@ -150,10 +168,13 @@ where
     let locals: Vec<Worker<T>> = (0..workers).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<T>> = locals.iter().map(Worker::stealer).collect();
     let all_stats: Mutex<Vec<(usize, WorkerStats)>> = Mutex::new(Vec::with_capacity(workers));
+    // First caught panic payload; later ones lose the race and are dropped
+    // (the run is already cancelled).
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
 
     let main_out = crossbeam::thread::scope(|scope| {
         let (pending, injector, stealers) = (&pending, &injector, &stealers);
-        let (task, finish, all_stats) = (&task, &finish, &all_stats);
+        let (task, finish, all_stats, panicked) = (&task, &finish, &all_stats, &panicked);
         for (wid, (local, mut state)) in locals.into_iter().zip(states.drain(..)).enumerate() {
             scope.spawn(move |_| {
                 let t0 = Instant::now();
@@ -165,6 +186,12 @@ where
                 loop {
                     if cancel.load(Ordering::Relaxed) {
                         break;
+                    }
+                    if let Some(token) = token {
+                        if token.checkpoint().is_err() {
+                            cancel.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
                     let mut next = local.pop().or_else(|| {
                         injector.steal_batch_and_pop(&local).success().or_else(|| {
@@ -179,9 +206,24 @@ where
                     });
                     match next.take() {
                         Some(t) => {
-                            task(t, &mut state, &ctx);
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                #[cfg(feature = "failpoints")]
+                                if let Err(e) = desq_core::fault::point("sched::task_run") {
+                                    panic!("{e}");
+                                }
+                                task(t, &mut state, &ctx);
+                            }));
                             stats.tasks += 1;
                             pending.fetch_sub(1, Ordering::SeqCst);
+                            if let Err(payload) = run {
+                                let msg = panic_message(payload.as_ref());
+                                panicked.lock().unwrap().get_or_insert(msg.clone());
+                                if let Some(token) = token {
+                                    token.mark_panicked(&msg);
+                                }
+                                cancel.store(true, Ordering::Relaxed);
+                                break;
+                            }
                         }
                         None => {
                             if pending.load(Ordering::SeqCst) == 0 {
@@ -191,18 +233,34 @@ where
                         }
                     }
                 }
-                finish(wid, state);
+                // `finish` still runs on the cancelled/panicked paths so
+                // partial per-worker results and senders are released; a
+                // panic inside it is contained the same way as a task's.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| finish(wid, state))) {
+                    let msg = panic_message(payload.as_ref());
+                    panicked.lock().unwrap().get_or_insert(msg.clone());
+                    if let Some(token) = token {
+                        token.mark_panicked(&msg);
+                    }
+                    cancel.store(true, Ordering::Relaxed);
+                }
                 stats.nanos = t0.elapsed().as_nanos() as u64;
                 all_stats.lock().unwrap().push((wid, stats));
             });
         }
         on_main()
     })
-    .expect("scheduler worker panicked");
+    .map_err(|p| Error::WorkerPanicked(panic_message(p.as_ref())))?;
 
+    if let Some(msg) = panicked.into_inner().unwrap() {
+        return Err(Error::WorkerPanicked(msg));
+    }
+    if let Some(err) = token.and_then(CancelToken::stop_reason) {
+        return Err(err);
+    }
     let mut stats = all_stats.into_inner().unwrap();
     stats.sort_by_key(|&(wid, _)| wid);
-    (stats.into_iter().map(|(_, s)| s).collect(), main_out)
+    Ok((stats.into_iter().map(|(_, s)| s).collect(), main_out))
 }
 
 #[cfg(test)]
@@ -221,6 +279,7 @@ mod tests {
                 vec![(0u64, 256u64)],
                 vec![(); workers],
                 &cancel,
+                None,
                 |(lo, hi), _state, ctx: &TaskCtx<'_, (u64, u64)>| {
                     if hi - lo <= 8 {
                         total.fetch_add((lo..hi).sum::<u64>(), Ordering::Relaxed);
@@ -232,7 +291,8 @@ mod tests {
                 },
                 |_, ()| {},
                 || (),
-            );
+            )
+            .unwrap();
             assert_eq!(total.into_inner(), 255 * 256 / 2, "workers={workers}");
             assert_eq!(stats.len(), workers);
             let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
@@ -248,13 +308,15 @@ mod tests {
             (0..64).collect::<Vec<u32>>(),
             vec![(); 2],
             &cancel,
+            None,
             |_t, _state, _ctx: &TaskCtx<'_, u32>| {
                 ran.fetch_add(1, Ordering::Relaxed);
                 cancel.store(true, Ordering::Relaxed);
             },
             |_, ()| {},
             || (),
-        );
+        )
+        .unwrap();
         assert!(ran.into_inner() < 64, "cancel must abandon queued tasks");
     }
 
@@ -267,12 +329,14 @@ mod tests {
             vec![1u32],
             vec![0u8; 3],
             &cancel,
+            None,
             |_t, _state, _ctx: &TaskCtx<'_, u32>| {},
             |_, _state| {
                 finished.fetch_add(1, Ordering::Relaxed);
             },
             || std::thread::current().id(),
-        );
+        )
+        .unwrap();
         assert_eq!(finished.into_inner(), 3);
         assert_eq!(main_thread, caller);
         assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 1);
@@ -285,11 +349,126 @@ mod tests {
             Vec::<u32>::new(),
             vec![(); 4],
             &cancel,
+            None,
             |_t, _s, _c: &TaskCtx<'_, u32>| unreachable!("no tasks exist"),
             |_, ()| {},
             || (),
-        );
+        )
+        .unwrap();
         assert_eq!(stats.len(), 4);
         assert!(stats.iter().all(|s| s.tasks == 0 && s.steals == 0));
+    }
+
+    #[test]
+    fn a_panicking_task_cancels_the_run_instead_of_killing_the_process() {
+        let ran = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let token = CancelToken::new();
+        let err = run_scheduler(
+            (0..64).collect::<Vec<u32>>(),
+            vec![(); 2],
+            &cancel,
+            Some(&token),
+            |t, _state, _ctx: &TaskCtx<'_, u32>| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if t == 0 {
+                    panic!("task {t} exploded");
+                }
+                // Keep survivors slow enough that the cancel flag is seen
+                // long before the queue drains — the assertion below is
+                // about abandonment, not about racing the flag.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            },
+            |_, ()| {},
+            || (),
+        )
+        .unwrap_err();
+        match err {
+            Error::WorkerPanicked(msg) => assert!(msg.contains("exploded"), "{msg}"),
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        // The token tripped too, so co-operating layers (e.g. the other
+        // phase of a BSP job) observe the failure.
+        assert!(matches!(
+            token.stop_reason(),
+            Some(Error::WorkerPanicked(_))
+        ));
+        assert!(ran.into_inner() < 64, "panic must abandon queued tasks");
+    }
+
+    #[test]
+    fn panics_are_contained_without_a_token_too() {
+        let cancel = AtomicBool::new(false);
+        let err = run_scheduler(
+            vec![0u32],
+            vec![(); 2],
+            &cancel,
+            None,
+            |_t, _s, _c: &TaskCtx<'_, u32>| panic!("no token around"),
+            |_, ()| {},
+            || (),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::WorkerPanicked(_)), "{err}");
+    }
+
+    #[test]
+    fn an_expired_deadline_stops_the_run_with_deadline_exceeded() {
+        let ran = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = run_scheduler(
+            (0..1024).collect::<Vec<u32>>(),
+            vec![(); 2],
+            &cancel,
+            Some(&token),
+            |_t, _s, _c: &TaskCtx<'_, u32>| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, ()| {},
+            || (),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "{err}");
+        assert!(ran.into_inner() < 1024, "expiry must abandon queued tasks");
+    }
+
+    #[test]
+    fn an_externally_cancelled_token_surfaces_cancelled() {
+        let cancel = AtomicBool::new(false);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = run_scheduler(
+            (0..16).collect::<Vec<u32>>(),
+            vec![(); 2],
+            &cancel,
+            Some(&token),
+            |_t, _s, _c: &TaskCtx<'_, u32>| {},
+            |_, ()| {},
+            || (),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Cancelled(_)), "{err}");
+    }
+
+    #[test]
+    fn the_plain_cancel_flag_alone_is_not_an_error() {
+        // The streaming sink's abandon-on-drop path: local flag set, token
+        // (if any) live — the partial run is a normal return.
+        let cancel = AtomicBool::new(false);
+        let token = CancelToken::new();
+        let (stats, ()) = run_scheduler(
+            (0..64).collect::<Vec<u32>>(),
+            vec![(); 2],
+            &cancel,
+            Some(&token),
+            |_t, _s, _c: &TaskCtx<'_, u32>| {
+                cancel.store(true, Ordering::Relaxed);
+            },
+            |_, ()| {},
+            || (),
+        )
+        .unwrap();
+        assert_eq!(stats.len(), 2);
     }
 }

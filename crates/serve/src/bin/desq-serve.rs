@@ -3,9 +3,11 @@
 //! ```text
 //! desq-serve serve [--listen ADDR] --corpus NAME=SPEC ...
 //!                  [--max-inflight N] [--max-budget N] [--max-patterns N]
+//!                  [--read-timeout-ms N] [--max-deadline-ms N]
 //! desq-serve query [--addr ADDR] --corpus NAME --pexp EXPR --sigma N
 //!                  [--anchored] [--algo desq-dfs|desq-count|d-seq|d-cand]
 //!                  [--budget N] [--max-patterns N] [--workers N]
+//!                  [--deadline-ms N] [--retries N]
 //! ```
 //!
 //! Corpus specs are the `CorpusStore::load_spec` forms (`toy`,
@@ -13,11 +15,19 @@
 //! `query` prints one pattern per line as frequency-encoded item ids plus
 //! the frequency (the dictionary lives server-side), then a summary line
 //! with wall time, cache outcome and queue wait.
+//!
+//! Robustness knobs: `--read-timeout-ms` evicts clients that stall before
+//! sending a complete request (0 disables), `--max-deadline-ms` caps every
+//! query's wall-clock deadline server-side, `--deadline-ms` asks the
+//! server to abort this query with `DeadlineExceeded` past the given
+//! wall-clock budget, and `--retries` retries `Busy`/connection-refused
+//! answers with jittered exponential backoff.
 
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use desq_serve::client::Client;
+use desq_serve::client::{Client, RetryPolicy};
 use desq_serve::proto::{Request, WireAlgo};
 use desq_serve::server::{ServeLimits, Server};
 use desq_serve::store::CorpusStore;
@@ -31,9 +41,11 @@ type ReqMod = Box<dyn FnOnce(Request) -> Result<Request, String>>;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  desq-serve serve [--listen ADDR] --corpus NAME=SPEC ... \
-         [--max-inflight N] [--max-budget N] [--max-patterns N]\n  \
+         [--max-inflight N] [--max-budget N] [--max-patterns N] \
+         [--read-timeout-ms N] [--max-deadline-ms N]\n  \
          desq-serve query [--addr ADDR] --corpus NAME --pexp EXPR --sigma N \
-         [--anchored] [--algo A] [--budget N] [--max-patterns N] [--workers N]"
+         [--anchored] [--algo A] [--budget N] [--max-patterns N] [--workers N] \
+         [--deadline-ms N] [--retries N]"
     );
     ExitCode::FAILURE
 }
@@ -84,6 +96,18 @@ fn serve(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|_| "--max-patterns: not a number".to_string())?;
                 }
+                "--read-timeout-ms" => {
+                    let ms: u64 = value("--read-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--read-timeout-ms: not a number".to_string())?;
+                    limits.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--max-deadline-ms" => {
+                    let ms: u64 = value("--max-deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--max-deadline-ms: not a number".to_string())?;
+                    limits.max_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
             Ok(())
@@ -112,6 +136,7 @@ fn query(args: &[String]) -> ExitCode {
     let mut sigma = None;
     let mut req_mods: Vec<ReqMod> = Vec::new();
     let mut anchored = false;
+    let mut retries = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -157,6 +182,19 @@ fn query(args: &[String]) -> ExitCode {
                         .map_err(|_| "--workers: not a number".to_string())?;
                     req_mods.push(Box::new(move |r: Request| Ok(r.with_workers(v))));
                 }
+                "--deadline-ms" => {
+                    let v: u64 = value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms: not a number".to_string())?;
+                    req_mods.push(Box::new(move |r: Request| Ok(r.with_deadline_millis(v))));
+                }
+                "--retries" => {
+                    retries = Some(
+                        value("--retries")?
+                            .parse::<u32>()
+                            .map_err(|_| "--retries: not a number".to_string())?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
             Ok(())
@@ -182,7 +220,14 @@ fn query(args: &[String]) -> ExitCode {
         Some(a) => a,
         None => return fail(&format!("cannot resolve {addr:?}")),
     };
-    match Client::new(sock_addr).query(&req) {
+    let mut client = Client::new(sock_addr);
+    if let Some(max_retries) = retries {
+        client = client.with_retry(RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        });
+    }
+    match client.query(&req) {
         Ok(out) => {
             for (pattern, freq) in &out.patterns {
                 let items: Vec<String> = pattern.iter().map(u32::to_string).collect();

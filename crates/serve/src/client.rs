@@ -6,20 +6,93 @@
 //! run's [`MiningMetrics`], the server's [`ServerStats`], and the raw
 //! pattern-frame payload bytes (which the integration tests use to prove
 //! that warm cache hits are *byte-identical* to their cold counterpart).
+//!
+//! Transient failures — the server's explicit `Busy` overload answer and
+//! a refused connection (daemon restarting) — can be retried with an
+//! opt-in [`RetryPolicy`]: bounded attempts with jittered exponential
+//! backoff. Every other failure (server-side errors, protocol errors,
+//! mid-stream I/O) is returned immediately; retrying a query the server
+//! *rejected* would never help, and retrying one that *started* could run
+//! it twice.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use desq_core::{MiningMetrics, Sequence};
 
 use crate::proto::{read_frame, write_frame, Message, Request, ServerStats};
 use crate::{ServeError, ServeResult};
 
+/// Bounded, jittered exponential backoff for transient failures
+/// ([`ServeError::Busy`] and connection-refused).
+///
+/// Attempt `n` (0-based) sleeps `base_delay · 2ⁿ` capped at `max_delay`,
+/// plus a deterministic jitter of up to half that delay derived from
+/// `seed` — concurrent clients with different seeds spread out instead of
+/// retrying in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `max_retries+1`).
+    pub max_retries: u32,
+    /// Backoff of the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (0-based): exponential backoff
+    /// with deterministic jitter in `[0, delay/2]`.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max_delay);
+        // xorshift* keyed by (seed, attempt): reproducible per client,
+        // decorrelated across clients with different seeds.
+        let mut x = self.seed
+            ^ (u64::from(attempt)
+                .wrapping_add(1)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D));
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let half = exp.as_nanos() as u64 / 2;
+        let jitter = if half == 0 { 0 } else { x % half };
+        exp + Duration::from_nanos(jitter)
+    }
+}
+
+/// True for the failures worth retrying: explicit overload and a refused
+/// connection. Everything else is either permanent or already ran.
+fn transient(e: &ServeError) -> bool {
+    match e {
+        ServeError::Busy { .. } => true,
+        ServeError::Io(io) => io.kind() == std::io::ErrorKind::ConnectionRefused,
+        _ => false,
+    }
+}
+
 /// A handle on a `desq-serve` daemon address. Connections are established
 /// per query (the protocol is one conversation per connection).
 #[derive(Debug, Clone, Copy)]
 pub struct Client {
     addr: SocketAddr,
+    retry: Option<RetryPolicy>,
 }
 
 /// Everything one successful query returned.
@@ -38,9 +111,15 @@ pub struct QueryOutcome {
 }
 
 impl Client {
-    /// A client for the daemon at `addr`.
+    /// A client for the daemon at `addr` (no retries).
     pub fn new(addr: SocketAddr) -> Client {
-        Client { addr }
+        Client { addr, retry: None }
+    }
+
+    /// Opts into retrying transient failures under `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(policy);
+        self
     }
 
     /// Runs one query to completion, collecting the streamed patterns.
@@ -48,10 +127,28 @@ impl Client {
     /// Distinguishes its failures: [`ServeError::Busy`] when the server's
     /// admission cap rejected the connection, [`ServeError::Remote`] when
     /// the server rejected or aborted the query (unknown corpus, parse
-    /// error, budget exhaustion — carrying the server's
-    /// [`desq_core::Error`] verbatim), [`ServeError::Io`] on transport
-    /// failures.
+    /// error, budget exhaustion, deadline, cancellation — carrying the
+    /// server's [`desq_core::Error`] verbatim), [`ServeError::Io`] on
+    /// transport failures. With [`with_retry`](Self::with_retry), `Busy`
+    /// and connection-refused are retried under the policy before the
+    /// last error is returned.
     pub fn query(&self, req: &Request) -> ServeResult<QueryOutcome> {
+        let Some(policy) = self.retry else {
+            return self.query_once(req);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.query_once(req) {
+                Err(e) if transient(&e) && attempt < policy.max_retries => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn query_once(&self, req: &Request) -> ServeResult<QueryOutcome> {
         let stream = TcpStream::connect(self.addr)?;
         let _ = stream.set_nodelay(true);
         let mut writer = BufWriter::new(stream.try_clone()?);
@@ -85,5 +182,59 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jitter_is_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            seed: 42,
+        };
+        let mut prev_base = Duration::ZERO;
+        for attempt in 0..8 {
+            let base = policy
+                .base_delay
+                .saturating_mul(2u32.saturating_pow(attempt))
+                .min(policy.max_delay);
+            let d = policy.backoff(attempt);
+            assert!(d >= base, "attempt {attempt}: {d:?} < base {base:?}");
+            assert!(
+                d <= base + base / 2 + Duration::from_nanos(1),
+                "attempt {attempt}: jitter exceeds half the delay: {d:?}"
+            );
+            assert!(base >= prev_base, "backoff must not shrink");
+            prev_base = base;
+        }
+        // Deterministic per seed, different across seeds.
+        assert_eq!(policy.backoff(3), policy.backoff(3));
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(policy.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn only_busy_and_connection_refused_are_transient() {
+        assert!(transient(&ServeError::Busy {
+            in_flight: 1,
+            cap: 1
+        }));
+        assert!(transient(&ServeError::Io(std::io::Error::from(
+            std::io::ErrorKind::ConnectionRefused
+        ))));
+        assert!(!transient(&ServeError::Io(std::io::Error::from(
+            std::io::ErrorKind::UnexpectedEof
+        ))));
+        assert!(!transient(&ServeError::Remote(desq_core::Error::Invalid(
+            "unknown corpus".into()
+        ))));
+        assert!(!transient(&ServeError::Remote(
+            desq_core::Error::DeadlineExceeded("50ms".into())
+        )));
     }
 }

@@ -48,7 +48,14 @@
 //! ```
 //!
 //! See the "Serving" section of `docs/ARCHITECTURE.md` for the store /
-//! cache / protocol diagram and the admission-control semantics.
+//! cache / protocol diagram and the admission-control semantics, and the
+//! "Failure domains" section for timeouts, deadlines, panic containment
+//! and drain shutdown.
+
+// A daemon must not die on a recoverable condition: non-test code in this
+// crate handles every fallible path explicitly (CI runs clippy with
+// `-D warnings`, making this a hard gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use std::fmt;
 

@@ -21,9 +21,9 @@
 //!
 //! | tag | message | body |
 //! |-----|-----------|------|
-//! | `1` | [`Message::Request`] | `version:u8, corpus:str, pexp:str, flags:u8 (bit0 = unanchored), sigma:varint, algo:u8, budget:varint, max_patterns:varint, workers:varint` |
+//! | `1` | [`Message::Request`] | `version:u8, corpus:str, pexp:str, flags:u8 (bit0 = unanchored), sigma:varint, algo:u8, budget:varint, max_patterns:varint, workers:varint, deadline_millis:varint` |
 //! | `2` | [`Message::Patterns`] | `count:varint`, then per pattern `item_seq, freq:varint` |
-//! | `3` | [`Message::Metrics`] | [`MiningMetrics::encode`] body, then `cache_hit:u8, cache_hits:varint, cache_misses:varint, queue_wait_nanos:varint, compile_nanos:varint` |
+//! | `3` | [`Message::Metrics`] | [`MiningMetrics::encode`] body, then `cache_hit:u8, cache_hits:varint, cache_misses:varint, queue_wait_nanos:varint, compile_nanos:varint, timeouts:varint, panics:varint, cancels:varint` |
 //! | `4` | [`Message::Error`] | `kind:u8, msg:str` (+ `pos:varint` for parse errors) |
 //! | `5` | [`Message::Busy`] | `in_flight:varint, cap:varint` |
 //!
@@ -44,7 +44,9 @@ use desq_core::codec::{
 use desq_core::{Error, MiningMetrics, Result, Sequence};
 
 /// Protocol revision; bumped on any incompatible wire change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// (v2 added `deadline_millis` to requests and the failure counters to
+/// the terminal metrics frame.)
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload length (16 MiB). Large result sets
 /// stream as many `Patterns` frames, so well-formed frames stay far below
@@ -136,6 +138,12 @@ pub struct Request {
     /// Worker threads for the mining run; `0` means 1 (a deterministic
     /// single-worker run) — parallelism is opt-in, capped server-side.
     pub workers: u64,
+    /// Wall-clock deadline for the query in milliseconds; `0` means none.
+    /// The server clamps this to its own ceiling
+    /// (`ServeLimits::max_deadline`): the effective deadline is the
+    /// *minimum* of the two, and an over-deadline run ends with a terminal
+    /// `DeadlineExceeded` error frame.
+    pub deadline_millis: u64,
 }
 
 impl Request {
@@ -151,6 +159,7 @@ impl Request {
             budget: 0,
             max_patterns: 0,
             workers: 0,
+            deadline_millis: 0,
         }
     }
 
@@ -177,6 +186,12 @@ impl Request {
         self.workers = workers;
         self
     }
+
+    /// Sets the wall-clock deadline in milliseconds (`0` = none).
+    pub fn with_deadline_millis(mut self, deadline_millis: u64) -> Request {
+        self.deadline_millis = deadline_millis;
+        self
+    }
 }
 
 /// Server-side accounting attached to the terminal metrics frame.
@@ -194,6 +209,15 @@ pub struct ServerStats {
     /// Nanoseconds spent compiling the pattern expression for this query
     /// (`0` on a cache hit — the skipped work the cache pays for).
     pub compile_nanos: u64,
+    /// Connections evicted by a socket read/write timeout plus queries
+    /// that ended in `DeadlineExceeded`, since server start.
+    pub timeouts: u64,
+    /// Queries that ended in `WorkerPanicked` (a contained panic — the
+    /// server kept serving), since server start.
+    pub panics: u64,
+    /// Queries cancelled before completion (client disconnected
+    /// mid-stream, drain shutdown), since server start.
+    pub cancels: u64,
 }
 
 /// Everything that can travel in one frame.
@@ -257,6 +281,18 @@ fn encode_error(e: &Error, buf: &mut Vec<u8>) {
             buf.push(5);
             write_str(buf, msg);
         }
+        Error::DeadlineExceeded(msg) => {
+            buf.push(6);
+            write_str(buf, msg);
+        }
+        Error::Cancelled(msg) => {
+            buf.push(7);
+            write_str(buf, msg);
+        }
+        Error::WorkerPanicked(msg) => {
+            buf.push(8);
+            write_str(buf, msg);
+        }
     }
 }
 
@@ -276,6 +312,9 @@ fn decode_error(buf: &mut &[u8]) -> Result<Error> {
         3 => Error::ResourceExhausted(msg),
         4 => Error::Decode(msg),
         5 => Error::Invalid(msg),
+        6 => Error::DeadlineExceeded(msg),
+        7 => Error::Cancelled(msg),
+        8 => Error::WorkerPanicked(msg),
         other => return Err(Error::Decode(format!("unknown error kind {other}"))),
     })
 }
@@ -295,6 +334,7 @@ impl Message {
                 write_varint(buf, r.budget);
                 write_varint(buf, r.max_patterns);
                 write_varint(buf, r.workers);
+                write_varint(buf, r.deadline_millis);
             }
             Message::Patterns(patterns) => {
                 buf.push(TAG_PATTERNS);
@@ -312,6 +352,9 @@ impl Message {
                 write_varint(buf, stats.cache_misses);
                 write_varint(buf, stats.queue_wait_nanos);
                 write_varint(buf, stats.compile_nanos);
+                write_varint(buf, stats.timeouts);
+                write_varint(buf, stats.panics);
+                write_varint(buf, stats.cancels);
             }
             Message::Error(e) => {
                 buf.push(TAG_ERROR);
@@ -366,6 +409,7 @@ impl Message {
                     budget: read_varint(&mut buf)?,
                     max_patterns: read_varint(&mut buf)?,
                     workers: read_varint(&mut buf)?,
+                    deadline_millis: read_varint(&mut buf)?,
                 })
             }
             TAG_PATTERNS => {
@@ -400,6 +444,9 @@ impl Message {
                         cache_misses: read_varint(&mut buf)?,
                         queue_wait_nanos: read_varint(&mut buf)?,
                         compile_nanos: read_varint(&mut buf)?,
+                        timeouts: read_varint(&mut buf)?,
+                        panics: read_varint(&mut buf)?,
+                        cancels: read_varint(&mut buf)?,
                     },
                 }
             }
@@ -497,7 +544,8 @@ mod tests {
                 .unanchored()
                 .with_algo(WireAlgo::DSeq)
                 .with_budget(1_000_000)
-                .with_workers(4),
+                .with_workers(4)
+                .with_deadline_millis(30_000),
         ));
         roundtrip(&Message::Patterns(vec![
             (vec![1, 2, 3], 17),
@@ -512,6 +560,9 @@ mod tests {
                 cache_misses: 2,
                 queue_wait_nanos: 999,
                 compile_nanos: 0,
+                timeouts: 3,
+                panics: 1,
+                cancels: 2,
             },
         });
         roundtrip(&Message::Error(Error::Parse {
@@ -519,6 +570,9 @@ mod tests {
             pos: 7,
         }));
         roundtrip(&Message::Error(Error::ResourceExhausted("budget".into())));
+        roundtrip(&Message::Error(Error::DeadlineExceeded("100ms".into())));
+        roundtrip(&Message::Error(Error::Cancelled("drain".into())));
+        roundtrip(&Message::Error(Error::WorkerPanicked("task 7".into())));
         roundtrip(&Message::Busy {
             in_flight: 8,
             cap: 8,

@@ -13,6 +13,33 @@
 //! run) and budgets above the server's ceiling all produce a terminal
 //! [`Message::Error`] frame with zero mining work done.
 //!
+//! # Failure domains
+//!
+//! Each connection is its own failure domain, bounded four ways:
+//!
+//! * **Socket timeouts** ([`ServeLimits::read_timeout`] /
+//!   [`ServeLimits::write_timeout`]): a client that connects and never
+//!   sends a complete request, or stops draining its response, is evicted
+//!   and its admission slot released instead of pinning it forever.
+//! * **Deadlines**: the effective wall-clock deadline of a query is
+//!   `min(request deadline,` [`ServeLimits::max_deadline`]`)`; an
+//!   over-deadline run is cancelled cooperatively inside the mining
+//!   kernels and ends with a terminal `DeadlineExceeded` error frame.
+//! * **Panic containment**: a panic anywhere in request handling —
+//!   including one escaping the mining session — is caught at the
+//!   connection boundary and converted to a terminal `WorkerPanicked`
+//!   error frame; the server keeps serving other connections.
+//! * **Cancel-on-disconnect**: a write error mid-stream cancels the
+//!   connection's [`CancelToken`] immediately, so the mining run stops at
+//!   its next cooperative checkpoint instead of completing for nobody.
+//!
+//! [`ServerHandle::shutdown`] drains: it stops accepting, cancels every
+//! in-flight session's token, and joins connection threads for at most
+//! [`ServeLimits::drain_grace`] — in-flight clients get a terminal
+//! `Cancelled` frame rather than a dead socket. The global
+//! timeout/panic/cancel counters ride on every terminal metrics frame
+//! ([`crate::proto::ServerStats`]).
+//!
 //! # Query execution
 //!
 //! Each admitted connection runs on its own thread (the mining itself can
@@ -24,14 +51,17 @@
 //! terminal metrics frame carries the run's `MiningMetrics` plus cache
 //! hit/miss counters and the queue-wait time.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use desq::session::{default_workers, AlgorithmSpec, MiningSession};
+use desq_core::mining::{panic_message, CancelToken};
 use desq_core::Error;
 
 use crate::proto::{read_frame, write_frame, Message, Request, ServerStats, WireAlgo};
@@ -52,6 +82,22 @@ pub struct ServeLimits {
     pub max_workers: usize,
     /// Patterns per streamed response frame.
     pub batch: usize,
+    /// Socket read timeout: a connection that has not delivered a complete
+    /// request within this window is evicted and its admission slot
+    /// released. `None` disables the timeout (a stalled client then pins
+    /// its slot until it disconnects).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout: a client that stops draining its response is
+    /// treated as gone — the query is cancelled and the slot released.
+    /// `None` disables the timeout.
+    pub write_timeout: Option<Duration>,
+    /// Ceiling on the per-request wall-clock deadline: the effective
+    /// deadline is `min(request, ceiling)`. `None` means no server-imposed
+    /// deadline (client-requested deadlines still apply).
+    pub max_deadline: Option<Duration>,
+    /// How long [`ServerHandle::shutdown`] waits for cancelled in-flight
+    /// sessions to finish before giving up on joining their threads.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServeLimits {
@@ -62,7 +108,82 @@ impl Default for ServeLimits {
             max_patterns: 1_000_000,
             max_workers: default_workers(),
             batch: 512,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_deadline: None,
+            drain_grace: Duration::from_secs(5),
         }
+    }
+}
+
+/// State shared between the accept loop, the connection threads and the
+/// [`ServerHandle`]: the in-flight count, the cancellation tokens of
+/// running sessions (for drain shutdown), and the global failure
+/// counters surfaced in [`ServerStats`].
+struct Shared {
+    inflight: AtomicUsize,
+    next_session: AtomicU64,
+    sessions: Mutex<HashMap<u64, CancelToken>>,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+    cancels: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            inflight: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            timeouts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
+        }
+    }
+
+    fn sessions_lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+        // Tokens are atomics behind Arcs; a poisoned map is still
+        // consistent between operations.
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Trips every in-flight session's token (drain shutdown).
+    fn cancel_all(&self) {
+        for token in self.sessions_lock().values() {
+            token.cancel();
+        }
+    }
+
+    /// Counts a terminal failure by class, so the next successful query's
+    /// metrics frame reports it.
+    fn count_failure(&self, e: &Error) {
+        match e {
+            Error::DeadlineExceeded(_) => self.timeouts.fetch_add(1, Ordering::Relaxed),
+            Error::Cancelled(_) => self.cancels.fetch_add(1, Ordering::Relaxed),
+            Error::WorkerPanicked(_) => self.panics.fetch_add(1, Ordering::Relaxed),
+            _ => return,
+        };
+    }
+}
+
+/// Registers a session token for drain cancellation, deregistering on
+/// drop (every exit path of the connection handler, including panics).
+struct SessionReg<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> SessionReg<'a> {
+    fn new(shared: &'a Shared, token: CancelToken) -> SessionReg<'a> {
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        shared.sessions_lock().insert(id, token);
+        SessionReg { shared, id }
+    }
+}
+
+impl Drop for SessionReg<'_> {
+    fn drop(&mut self) {
+        self.shared.sessions_lock().remove(&self.id);
     }
 }
 
@@ -98,11 +219,15 @@ impl Server {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared::new());
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_stop = stop.clone();
+        let accept_shared = shared.clone();
+        let accept_conns = conns.clone();
         let store = self.store;
+        let grace = self.limits.drain_grace;
         let limits = self.limits;
         let accept = std::thread::spawn(move || {
-            let inflight = Arc::new(AtomicUsize::new(0));
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
@@ -110,9 +235,9 @@ impl Server {
                 let Ok(stream) = conn else { continue };
                 let t_accept = Instant::now();
                 // Admission: claim a slot or answer Busy and close.
-                let slots = inflight.fetch_add(1, Ordering::SeqCst);
+                let slots = accept_shared.inflight.fetch_add(1, Ordering::SeqCst);
                 if slots >= limits.max_inflight {
-                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    accept_shared.inflight.fetch_sub(1, Ordering::SeqCst);
                     let mut w = BufWriter::new(stream);
                     let _ = write_frame(
                         &mut w,
@@ -125,25 +250,33 @@ impl Server {
                 }
                 let store = store.clone();
                 let limits = limits.clone();
-                let inflight = inflight.clone();
-                std::thread::spawn(move || {
+                let shared = accept_shared.clone();
+                let handle = std::thread::spawn(move || {
                     // Slot released on every exit path, including panics in
                     // the handler.
-                    struct Slot(Arc<AtomicUsize>);
-                    impl Drop for Slot {
+                    struct Slot<'a>(&'a Shared);
+                    impl Drop for Slot<'_> {
                         fn drop(&mut self) {
-                            self.0.fetch_sub(1, Ordering::SeqCst);
+                            self.0.inflight.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
-                    let _slot = Slot(inflight);
-                    handle_conn(&store, &limits, stream, t_accept);
+                    let _slot = Slot(&shared);
+                    handle_conn(&store, &limits, &shared, stream, t_accept);
                 });
+                let mut conns = accept_conns.lock().unwrap_or_else(PoisonError::into_inner);
+                // Reap finished threads as we go so a long-lived daemon's
+                // handle list doesn't grow with every served connection.
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
             }
         });
         Ok(ServerHandle {
             addr,
             stop,
             accept: Some(accept),
+            shared,
+            conns,
+            grace,
         })
     }
 }
@@ -153,6 +286,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    grace: Duration,
 }
 
 impl ServerHandle {
@@ -169,13 +305,17 @@ impl ServerHandle {
         }
     }
 
-    /// Stops accepting connections and joins the accept loop. In-flight
-    /// queries run to completion on their own threads.
+    /// Drain shutdown: stops accepting connections, cancels every
+    /// in-flight session (each affected client receives a terminal
+    /// `Cancelled` error frame), and joins connection threads for at most
+    /// the configured [`ServeLimits::drain_grace`]. A thread that outlives
+    /// the grace period — e.g. a client stalled inside the socket read
+    /// timeout — is left detached rather than blocking shutdown.
     pub fn shutdown(mut self) {
-        self.stop_accept_loop();
+        self.drain();
     }
 
-    fn stop_accept_loop(&mut self) {
+    fn drain(&mut self) {
         let Some(accept) = self.accept.take() else {
             return;
         };
@@ -185,37 +325,109 @@ impl ServerHandle {
         // both are fine, it is never a request.)
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
+        // Cancel in-flight sessions; their handlers notice at the next
+        // cooperative checkpoint, answer `Cancelled`, and release slots.
+        self.shared.cancel_all();
+        let deadline = Instant::now() + self.grace;
+        while self.shared.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let handles =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            // Only join what finished within the grace period.
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
 impl Drop for ServerHandle {
-    /// Dropping the handle shuts the server down (tests that spawn on
+    /// Dropping the handle shuts the server down with the same drain
+    /// semantics as [`shutdown`](Self::shutdown) (tests that spawn on
     /// ephemeral ports never leak accept loops).
     fn drop(&mut self) {
-        self.stop_accept_loop();
+        self.drain();
     }
+}
+
+/// True for the error kinds a timed-out socket read/write produces
+/// (platform-dependent: `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// Serves one connection: read one request frame, answer with pattern
 /// frames plus a terminal frame, close.
-fn handle_conn(store: &CorpusStore, limits: &ServeLimits, stream: TcpStream, t_accept: Instant) {
+fn handle_conn(
+    store: &CorpusStore,
+    limits: &ServeLimits,
+    shared: &Shared,
+    stream: TcpStream,
+    t_accept: Instant,
+) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(limits.read_timeout);
+    let _ = stream.set_write_timeout(limits.write_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let Ok(payload) = read_frame(&mut reader) else {
-        return; // connection dropped before a full request arrived
+    let payload = match read_frame(&mut reader) {
+        Ok(payload) => payload,
+        Err(e) => {
+            if is_timeout(&e) {
+                // Stalled client: evict with an explicit terminal frame
+                // (it may still be reading) and release the slot.
+                shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut writer,
+                    &Message::Error(Error::DeadlineExceeded(
+                        "no complete request within the server's read timeout".into(),
+                    )),
+                );
+            }
+            return; // slot released by the accept loop's guard
+        }
     };
     let reply = match Message::decode(&payload) {
-        Ok(Message::Request(req)) => serve_request(store, limits, &req, &mut writer, t_accept),
+        Ok(Message::Request(req)) => {
+            // Effective deadline: the tighter of what the client asked for
+            // and what the server tolerates.
+            let requested =
+                (req.deadline_millis > 0).then(|| Duration::from_millis(req.deadline_millis));
+            let deadline = match (requested, limits.max_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let token = CancelToken::new();
+            if let Some(d) = deadline {
+                token.arm_deadline(d);
+            }
+            // Registered for drain cancellation until the reply is built.
+            let _reg = SessionReg::new(shared, token.clone());
+            // The connection is the panic boundary: a panic anywhere in
+            // request handling becomes a terminal error frame and the
+            // server keeps serving.
+            catch_unwind(AssertUnwindSafe(|| {
+                serve_request(store, limits, shared, &req, &token, &mut writer, t_accept)
+            }))
+            .unwrap_or_else(|payload| Err(Error::WorkerPanicked(panic_message(payload.as_ref()))))
+        }
         Ok(_) => Err(Error::Invalid("expected a request frame".into())),
         Err(e) => Err(e),
     };
     let terminal = match reply {
         Ok(msg) => msg,
-        Err(e) => Message::Error(e),
+        Err(e) => {
+            shared.count_failure(&e);
+            Message::Error(e)
+        }
     };
     let _ = write_frame(&mut writer, &terminal);
     let _ = writer.flush();
@@ -223,10 +435,13 @@ fn handle_conn(store: &CorpusStore, limits: &ServeLimits, stream: TcpStream, t_a
 
 /// Validates and runs one query, streaming pattern frames to `writer`.
 /// Returns the terminal frame (metrics on success, the error otherwise).
+#[allow(clippy::too_many_arguments)]
 fn serve_request(
     store: &CorpusStore,
     limits: &ServeLimits,
+    shared: &Shared,
     req: &Request,
+    token: &CancelToken,
     writer: &mut BufWriter<TcpStream>,
     t_accept: Instant,
 ) -> Result<Message, Error> {
@@ -265,6 +480,7 @@ fn serve_request(
         .budget(budget)
         .max_patterns(max_patterns)
         .workers(workers)
+        .cancel_token(token.clone())
         .build()?;
 
     let queue_wait_nanos = t_accept.elapsed().as_nanos() as u64;
@@ -273,17 +489,20 @@ fn serve_request(
     for pattern in &mut pattern_stream {
         batch.push(pattern);
         if batch.len() == limits.batch {
-            if write_frame(writer, &Message::Patterns(std::mem::take(&mut batch))).is_err() {
-                // Client went away: dropping the stream cancels the search.
-                return Err(Error::Invalid("client disconnected mid-stream".into()));
+            if let Err(e) = write_frame(writer, &Message::Patterns(std::mem::take(&mut batch))) {
+                return Err(abort_for_peer(shared, token, &e));
             }
             batch.reserve(limits.batch);
         }
     }
-    if !batch.is_empty() && write_frame(writer, &Message::Patterns(batch)).is_err() {
-        return Err(Error::Invalid("client disconnected mid-stream".into()));
+    if !batch.is_empty() {
+        if let Err(e) = write_frame(writer, &Message::Patterns(batch)) {
+            return Err(abort_for_peer(shared, token, &e));
+        }
     }
     let mining = pattern_stream.finish()?;
+    #[cfg(feature = "failpoints")]
+    desq_core::fault::point("serve::before_reply")?;
     let (cache_hits, cache_misses) = store.cache_stats();
     Ok(Message::Metrics {
         mining,
@@ -293,8 +512,24 @@ fn serve_request(
             cache_misses,
             queue_wait_nanos,
             compile_nanos: compiled.compile_nanos,
+            timeouts: shared.timeouts.load(Ordering::Relaxed),
+            panics: shared.panics.load(Ordering::Relaxed),
+            cancels: shared.cancels.load(Ordering::Relaxed),
         },
     })
+}
+
+/// The peer went away (or stopped reading) mid-stream: trip the token
+/// *before* the pattern stream is dropped so the mining run stops at its
+/// next cooperative checkpoint instead of completing for nobody.
+fn abort_for_peer(shared: &Shared, token: &CancelToken, e: &std::io::Error) -> Error {
+    token.cancel();
+    if is_timeout(e) {
+        shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        Error::DeadlineExceeded("client stopped reading (write timeout)".into())
+    } else {
+        Error::Cancelled("client disconnected mid-stream".into())
+    }
 }
 
 /// Resolves a request knob against the server ceiling: `0` means "server
@@ -327,5 +562,31 @@ mod tests {
             matches!(err, Error::Invalid(ref m) if m.contains("ceiling")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn failure_counters_classify_terminal_errors() {
+        let shared = Shared::new();
+        shared.count_failure(&Error::DeadlineExceeded("d".into()));
+        shared.count_failure(&Error::Cancelled("c".into()));
+        shared.count_failure(&Error::Cancelled("c".into()));
+        shared.count_failure(&Error::WorkerPanicked("p".into()));
+        shared.count_failure(&Error::Invalid("not a failure-domain error".into()));
+        assert_eq!(shared.timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.cancels.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.panics.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn session_registry_tracks_and_drops() {
+        let shared = Shared::new();
+        let token = CancelToken::new();
+        {
+            let _reg = SessionReg::new(&shared, token.clone());
+            assert_eq!(shared.sessions_lock().len(), 1);
+            shared.cancel_all();
+        }
+        assert!(token.is_stopped(), "drain must trip registered tokens");
+        assert!(shared.sessions_lock().is_empty(), "drop deregisters");
     }
 }

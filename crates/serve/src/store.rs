@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use desq::session::MiningSession;
@@ -143,7 +143,7 @@ impl CorpusStore {
     pub fn compiled(&self, corpus: &Corpus, pexp: &str, unanchored: bool) -> Result<CompiledFst> {
         let canonical = PatEx::parse(pexp)?.to_string();
         let key = (corpus.name.clone(), canonical, unanchored);
-        if let Some(fst) = self.cache.lock().expect("fst cache poisoned").get(&key) {
+        if let Some(fst) = self.cache_lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CompiledFst {
                 fst: fst.clone(),
@@ -151,6 +151,8 @@ impl CorpusStore {
                 compile_nanos: 0,
             });
         }
+        #[cfg(feature = "failpoints")]
+        desq_core::fault::point("store::compile")?;
         let t0 = Instant::now();
         let builder = MiningSession::builder().dictionary(corpus.dict.clone());
         let builder = if unanchored {
@@ -163,15 +165,21 @@ impl CorpusStore {
         let fst = builder.compile_only()?;
         let compile_nanos = t0.elapsed().as_nanos() as u64;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("fst cache poisoned")
-            .insert(key, fst.clone());
+        self.cache_lock().insert(key, fst.clone());
         Ok(CompiledFst {
             fst,
             cache_hit: false,
             compile_nanos,
         })
+    }
+
+    /// Locks the compile cache, recovering from poisoning: entries are
+    /// immutable `Arc<Fst>`s inserted whole, so a thread that panicked
+    /// while holding the lock cannot have left a half-written entry —
+    /// continuing with the map as-is is always safe. (Before this, one
+    /// panic under the lock bricked every later query on this store.)
+    fn cache_lock(&self) -> MutexGuard<'_, HashMap<(String, String, bool), Arc<Fst>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Global `(hits, misses)` counters of the FST compile cache.
@@ -229,5 +237,37 @@ mod tests {
         // Admission-time rejection of malformed expressions.
         assert!(store.compiled(&corpus, "([", false).is_err());
         assert_eq!(store.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn cache_survives_lock_poisoning() {
+        let mut store = CorpusStore::new();
+        store.load_spec("toy", "toy").unwrap();
+        let corpus = store.get("toy").unwrap().clone();
+        let warm = store
+            .compiled(&corpus, desq_core::toy::PATTERN, false)
+            .unwrap();
+        // Poison the cache mutex: panic while holding the guard, the way a
+        // panicking query thread would.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = store.cache.lock().unwrap();
+            panic!("injected panic under the fst cache lock");
+        }));
+        assert!(result.is_err());
+        assert!(
+            store.cache.lock().is_err(),
+            "lock must actually be poisoned"
+        );
+        // Poisoned or not, the cache keeps serving: the warm entry still
+        // hits and new expressions still compile and insert.
+        let hit = store
+            .compiled(&corpus, desq_core::toy::PATTERN, false)
+            .unwrap();
+        assert!(hit.cache_hit);
+        assert!(Arc::ptr_eq(&warm.fst, &hit.fst));
+        let miss = store
+            .compiled(&corpus, desq_core::toy::PATTERN, true)
+            .unwrap();
+        assert!(!miss.cache_hit);
     }
 }

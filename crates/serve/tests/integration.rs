@@ -1,14 +1,17 @@
 //! End-to-end daemon tests on localhost ephemeral ports: warm-cache
 //! byte-identity, concurrent clients vs the sequential oracle, explicit
-//! Busy under overload, and admission-time rejections.
+//! Busy under overload, admission-time rejections, cancel-on-disconnect,
+//! and the client's retry policy.
 
-use std::net::TcpStream;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use desq::session::{AlgorithmSpec, MiningSession};
 use desq_core::{toy, Error, Sequence};
-use desq_serve::client::Client;
-use desq_serve::proto::{Request, WireAlgo};
+use desq_serve::client::{Client, RetryPolicy};
+use desq_serve::proto::{read_frame, write_frame, Message, Request, WireAlgo};
 use desq_serve::server::{ServeLimits, Server};
 use desq_serve::store::CorpusStore;
 use desq_serve::ServeError;
@@ -214,6 +217,126 @@ fn admission_rejects_bad_requests_before_mining() {
     let ok = client.query(&Request::new("toy", toy::PATTERN, 2)).unwrap();
     assert_eq!(ok.patterns.len(), 3);
     handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_stream_releases_the_slot_and_cancels_the_run() {
+    // A big-enough corpus that the query streams many pattern frames
+    // (batch = 1 → one frame per pattern, so the server notices the dead
+    // peer within a couple of writes).
+    let (dict, db) = desq_datagen::nyt_like(&desq_datagen::NytConfig::new(800));
+    let mut store = CorpusStore::new();
+    store.insert("nyt", dict, db);
+    let handle = Server::new(store)
+        .with_limits(ServeLimits {
+            max_inflight: 1,
+            batch: 1,
+            ..ServeLimits::default()
+        })
+        .spawn("127.0.0.1:0")
+        .unwrap();
+
+    // Raw client: send the request, read exactly one pattern frame, hang
+    // up mid-stream.
+    let req = Request::new("nyt", desq_dist::patterns::n2().expr, 1).unanchored();
+    {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        write_frame(&mut writer, &Message::Request(req)).unwrap();
+        let payload = read_frame(&mut reader).unwrap();
+        assert!(
+            matches!(Message::decode(&payload).unwrap(), Message::Patterns(_)),
+            "expected the stream to have started"
+        );
+        // Drop both halves: the server's next write fails.
+    }
+
+    // The abort must release the single admission slot promptly — well
+    // before a σ=1 full mine over 800 sequences would run to completion —
+    // and must be accounted as a cancel/timeout, proving the run was
+    // tripped by the failed write rather than mined to the end.
+    let client = Client::new(handle.addr());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let outcome = loop {
+        match client.query(&Request::new("nyt", desq_dist::patterns::n2().expr, 4).unanchored()) {
+            Ok(out) => break out,
+            Err(ServeError::Busy { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    };
+    assert!(
+        outcome.stats.cancels + outcome.stats.timeouts >= 1,
+        "the aborted query must be counted (cancels={}, timeouts={})",
+        outcome.stats.cancels,
+        outcome.stats.timeouts
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn retry_policy_rides_out_busy_until_the_slot_frees() {
+    let handle = toy_server(ServeLimits {
+        max_inflight: 1,
+        ..ServeLimits::default()
+    });
+    // Occupy the single slot with a connection that never sends a request.
+    let holder = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Without a policy the query bounces immediately.
+    let plain = Client::new(handle.addr());
+    assert!(matches!(
+        plain.query(&Request::new("toy", toy::PATTERN, 2)),
+        Err(ServeError::Busy { .. })
+    ));
+
+    // With one, the same query retries through the Busy answers and lands
+    // once the holder goes away.
+    let retrying = plain.with_retry(RetryPolicy {
+        max_retries: 40,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(40),
+        ..RetryPolicy::default()
+    });
+    let query = std::thread::spawn(move || retrying.query(&Request::new("toy", toy::PATTERN, 2)));
+    std::thread::sleep(Duration::from_millis(100));
+    drop(holder);
+    let outcome = query.join().unwrap().expect("retries must land");
+    assert_eq!(outcome.patterns.len(), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn retry_policy_bounds_connection_refused_attempts() {
+    // An address nothing listens on: bind an ephemeral port, then free it.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let policy = RetryPolicy {
+        max_retries: 2,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(40),
+        ..RetryPolicy::default()
+    };
+    let client = Client::new(addr).with_retry(policy);
+    let t0 = Instant::now();
+    let err = client
+        .query(&Request::new("toy", toy::PATTERN, 2))
+        .unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Io(io) if io.kind() == std::io::ErrorKind::ConnectionRefused),
+        "expected ConnectionRefused after bounded retries, got {err}"
+    );
+    // Two backoffs slept: ≥ base + 2·base (exponential, pre-jitter).
+    assert!(
+        t0.elapsed() >= Duration::from_millis(30),
+        "backoff sleeps must actually happen ({:?})",
+        t0.elapsed()
+    );
 }
 
 #[test]

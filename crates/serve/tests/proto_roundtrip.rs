@@ -50,10 +50,13 @@ fn any_u64() -> impl Strategy<Value = u64> {
 fn any_request() -> impl Strategy<Value = Message> {
     (
         (any_string(), any_string(), 0u64..2, any_u64(), any_algo()),
-        (any_u64(), any_u64(), any_u64()),
+        (any_u64(), any_u64(), any_u64(), any_u64()),
     )
         .prop_map(
-            |((corpus, pexp, unanchored, sigma, algo), (budget, max_patterns, workers))| {
+            |(
+                (corpus, pexp, unanchored, sigma, algo),
+                (budget, max_patterns, workers, deadline_millis),
+            )| {
                 Message::Request(Request {
                     corpus,
                     pexp,
@@ -63,6 +66,7 @@ fn any_request() -> impl Strategy<Value = Message> {
                     budget,
                     max_patterns,
                     workers,
+                    deadline_millis,
                 })
             },
         )
@@ -81,12 +85,14 @@ fn any_metrics() -> impl Strategy<Value = Message> {
             collection::vec(any_u64(), 0..4),
         ),
         (0u64..2, any_u64(), any_u64(), any_u64(), any_u64()),
+        (any_u64(), any_u64(), any_u64()),
     )
         .prop_map(
             |(
                 (wall, map, reduce, inputs, shuffle_bytes),
                 (reducer_bytes, worker_nanos),
                 (cache_hit, hits, misses, queue_wait, compile),
+                (timeouts, panics, cancels),
             )| {
                 Message::Metrics {
                     mining: MiningMetrics {
@@ -104,6 +110,7 @@ fn any_metrics() -> impl Strategy<Value = Message> {
                         worker_nanos,
                         tasks: reduce,
                         steals: wall,
+                        cancelled: wall & 1 == 1,
                     },
                     stats: ServerStats {
                         cache_hit: cache_hit == 1,
@@ -111,6 +118,9 @@ fn any_metrics() -> impl Strategy<Value = Message> {
                         cache_misses: misses,
                         queue_wait_nanos: queue_wait,
                         compile_nanos: compile,
+                        timeouts,
+                        panics,
+                        cancels,
                     },
                 }
             },
@@ -118,7 +128,7 @@ fn any_metrics() -> impl Strategy<Value = Message> {
 }
 
 fn any_error() -> impl Strategy<Value = Message> {
-    (0u8..6, any_string(), any_u64()).prop_map(|(kind, msg, pos)| {
+    (0u8..9, any_string(), any_u64()).prop_map(|(kind, msg, pos)| {
         Message::Error(match kind {
             0 => Error::Parse {
                 msg,
@@ -128,7 +138,10 @@ fn any_error() -> impl Strategy<Value = Message> {
             2 => Error::CyclicHierarchy(msg),
             3 => Error::ResourceExhausted(msg),
             4 => Error::Decode(msg),
-            _ => Error::Invalid(msg),
+            5 => Error::Invalid(msg),
+            6 => Error::DeadlineExceeded(msg),
+            7 => Error::Cancelled(msg),
+            _ => Error::WorkerPanicked(msg),
         })
     })
 }

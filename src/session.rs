@@ -44,7 +44,8 @@ use std::time::Instant;
 
 use desq_baselines::{LashConfig, MllibConfig};
 use desq_core::mining::{
-    ExecutionPolicy, Limits, Miner, MiningContext, MiningMetrics, MiningResult,
+    panic_message, CancelToken, ExecutionPolicy, Limits, Miner, MiningContext, MiningMetrics,
+    MiningResult,
 };
 use desq_core::{Dictionary, Error, Fst, PatEx, Result, Sequence, SequenceDb};
 use desq_dist::{DCandConfig, DSeqConfig};
@@ -208,6 +209,7 @@ pub struct MiningSessionBuilder {
     partitions: Option<usize>,
     reducers: Option<usize>,
     exec: ExecutionPolicy,
+    cancel: Option<CancelToken>,
 }
 
 /// Default worker count: the machine's parallelism, capped at 8 — the
@@ -310,6 +312,27 @@ impl MiningSessionBuilder {
         self
     }
 
+    /// Sets a wall-clock deadline for each run (defaults to unbounded).
+    /// Every execution layer polls the deadline cooperatively at task
+    /// granularity; an expired run aborts with
+    /// [`Error::DeadlineExceeded`].
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Adopts an externally owned cancellation token: tripping it (from
+    /// any thread) aborts this session's runs at the next task boundary
+    /// with [`Error::Cancelled`]. When the
+    /// session also carries a [`deadline`](Self::deadline), the deadline
+    /// is armed on this token at the first run — a token's deadline arms
+    /// at most once, so callers that reuse a session across runs should
+    /// supply a fresh token per run (the `desq-serve` daemon does).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Selects the execution path for algorithms with several strategies
     /// (defaults to [`ExecutionPolicy::Auto`]). Today this steers
     /// DESQ-DFS's choice between its flat-table and lean counting paths;
@@ -393,6 +416,7 @@ impl MiningSessionBuilder {
             partitions: self.partitions.unwrap_or(workers),
             reducers: self.reducers.unwrap_or(workers),
             exec: self.exec,
+            cancel: self.cancel,
         };
         session.validate()?;
         Ok(session)
@@ -418,6 +442,7 @@ pub struct MiningSession {
     partitions: usize,
     reducers: usize,
     exec: ExecutionPolicy,
+    cancel: Option<CancelToken>,
 }
 
 impl std::fmt::Debug for MiningSession {
@@ -514,6 +539,24 @@ impl MiningSession {
             partitions: self.partitions,
             reducers: self.reducers,
             exec: self.exec,
+            cancel: None,
+        }
+    }
+
+    /// The cancellation token of one run: the session's adopted token
+    /// (with the deadline armed on it, first arm wins) or a fresh
+    /// per-run token when only a deadline is configured; `None` when the
+    /// run is unbounded and nothing can cancel it.
+    fn run_token(&self) -> Option<CancelToken> {
+        match (&self.cancel, self.limits.deadline) {
+            (Some(token), deadline) => {
+                if let Some(d) = deadline {
+                    token.arm_deadline(d);
+                }
+                Some(token.clone())
+            }
+            (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+            (None, None) => None,
         }
     }
 
@@ -525,7 +568,10 @@ impl MiningSession {
     /// and balance for the distributed ones.
     pub fn run(&self) -> Result<MiningResult> {
         let miner = self.algorithm.miner();
-        let result = miner.mine(&self.context()).map_err(|e| self.annotate(e))?;
+        let token = self.run_token();
+        let mut ctx = self.context();
+        ctx.cancel = token.as_ref();
+        let result = miner.mine(&ctx).map_err(|e| self.annotate(e))?;
         if result.patterns.len() > self.limits.max_patterns {
             return Err(Error::ResourceExhausted(format!(
                 "{} produced {} patterns, exceeding max_patterns = {}; raise the \
@@ -599,20 +645,28 @@ impl MiningSession {
                 .map(|s| (s.as_slice(), 1))
                 .collect();
             let miner = LocalMiner::new(fst, &self.dict, MinerConfig::sequential(self.sigma));
+            let token = self.run_token();
             let mut sent = 0usize;
             let mut overflow = false;
-            miner.mine_each_with_workers(&inputs, self.workers, &mut |pattern, freq| {
-                if sent >= self.limits.max_patterns {
-                    overflow = true;
-                    return false;
-                }
-                // A send error means the stream was dropped: stop mining.
-                if tx.send((pattern, freq)).is_err() {
-                    return false;
-                }
-                sent += 1;
-                true
-            });
+            miner
+                .mine_each_with_workers(
+                    &inputs,
+                    self.workers,
+                    token.as_ref(),
+                    &mut |pattern, freq| {
+                        if sent >= self.limits.max_patterns {
+                            overflow = true;
+                            return false;
+                        }
+                        // A send error means the stream was dropped: stop mining.
+                        if tx.send((pattern, freq)).is_err() {
+                            return false;
+                        }
+                        sent += 1;
+                        true
+                    },
+                )
+                .map_err(|e| self.annotate(e))?;
             if overflow {
                 return Err(Error::ResourceExhausted(format!(
                     "DESQ-DFS exceeded max_patterns = {}; raise the cap via \
@@ -675,7 +729,7 @@ impl PatternStream {
         let handle = self.handle.take().expect("finish called once");
         handle
             .join()
-            .unwrap_or_else(|_| Err(Error::Invalid("mining thread panicked".into())))
+            .unwrap_or_else(|p| Err(Error::WorkerPanicked(panic_message(p.as_ref()))))
     }
 }
 
@@ -881,5 +935,84 @@ mod tests {
     fn with_sigma_revalidates() {
         let session = toy_session(AlgorithmSpec::DesqDfs);
         assert!(matches!(session.with_sigma(0), Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_the_run_with_deadline_exceeded() {
+        for algorithm in [AlgorithmSpec::DesqCount, AlgorithmSpec::DesqDfs] {
+            let fx = toy::fixture();
+            let session = MiningSession::builder()
+                .dictionary(fx.dict)
+                .database(fx.db)
+                .pattern(toy::PATTERN)
+                .sigma(2)
+                .algorithm(algorithm)
+                .workers(2)
+                .deadline(std::time::Duration::from_nanos(1))
+                .build()
+                .unwrap();
+            let err = session.run().unwrap_err();
+            assert!(
+                matches!(err, Error::DeadlineExceeded(_)),
+                "{}: expected DeadlineExceeded, got {err}",
+                session.algorithm().name()
+            );
+        }
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_fails_the_run_with_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let fx = toy::fixture();
+        let session = MiningSession::builder()
+            .dictionary(fx.dict)
+            .database(fx.db)
+            .pattern(toy::PATTERN)
+            .sigma(2)
+            .workers(2)
+            .cancel_token(token)
+            .build()
+            .unwrap();
+        assert!(matches!(session.run().unwrap_err(), Error::Cancelled(_)));
+    }
+
+    #[test]
+    fn cancelling_mid_stream_surfaces_in_finish() {
+        let token = CancelToken::new();
+        let fx = toy::fixture();
+        let session = MiningSession::builder()
+            .dictionary(fx.dict)
+            .database(fx.db)
+            .pattern(toy::PATTERN)
+            .sigma(2)
+            .workers(2)
+            .cancel_token(token.clone())
+            .build()
+            .unwrap();
+        token.cancel();
+        let mut stream = session.stream();
+        let drained: Vec<_> = stream.by_ref().collect();
+        // The token tripped before mining began, so nothing may have been
+        // emitted and `finish` must report the typed cancellation.
+        assert!(drained.is_empty(), "cancelled run emitted {drained:?}");
+        assert!(matches!(stream.finish().unwrap_err(), Error::Cancelled(_)));
+    }
+
+    #[test]
+    fn an_unexercised_deadline_changes_nothing() {
+        let fx = toy::fixture();
+        let session = MiningSession::builder()
+            .dictionary(fx.dict)
+            .database(fx.db)
+            .pattern(toy::PATTERN)
+            .sigma(2)
+            .workers(2)
+            .deadline(std::time::Duration::from_secs(3600))
+            .build()
+            .unwrap();
+        let out = session.run().unwrap();
+        assert_eq!(out.patterns.len(), 3);
+        assert!(!out.metrics.cancelled);
     }
 }

@@ -390,17 +390,17 @@ proptest! {
             .map(|s| (s.as_slice(), 1))
             .collect();
         let miner = LocalMiner::new(&fst, &world.dict, MinerConfig::sequential(sigma));
-        let sequential = miner.mine(&inputs);
+        let sequential = miner.mine(&inputs).unwrap();
         for workers in 2usize..=4 {
-            let (parallel, timings) = miner.mine_with_workers(&inputs, workers);
+            let (parallel, timings) = miner.mine_with_workers(&inputs, workers, None).unwrap();
             prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
             prop_assert_eq!(timings.len(), workers);
             // Streaming shards agree as a set.
             let mut streamed = Vec::new();
-            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |p, f| {
+            let completed = miner.mine_each_with_workers(&inputs, workers, None, &mut |p, f| {
                 streamed.push((p, f));
                 true
-            });
+            }).unwrap();
             prop_assert!(completed);
             streamed.sort_unstable();
             prop_assert_eq!(&streamed, &sequential, "streamed, workers = {}", workers);
@@ -409,8 +409,8 @@ proptest! {
         for k in 1..=world.dict.max_fid() {
             let miner =
                 LocalMiner::new(&fst, &world.dict, MinerConfig::for_pivot(sigma, k, true));
-            let sequential = miner.mine(&inputs);
-            let (parallel, _) = miner.mine_with_workers(&inputs, 3);
+            let sequential = miner.mine(&inputs).unwrap();
+            let (parallel, _) = miner.mine_with_workers(&inputs, 3, None).unwrap();
             prop_assert_eq!(parallel, sequential, "pivot {}", k);
         }
     }
@@ -436,9 +436,9 @@ proptest! {
             .collect();
         let miner = LocalMiner::new(&fst, &world.dict, MinerConfig::sequential(sigma))
             .with_sched(SchedConfig::aggressive());
-        let sequential = miner.mine(&inputs);
+        let sequential = miner.mine(&inputs).unwrap();
         for workers in 2usize..=4 {
-            let (parallel, stats) = miner.mine_with_workers(&inputs, workers);
+            let (parallel, stats) = miner.mine_with_workers(&inputs, workers, None).unwrap();
             prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
             prop_assert_eq!(stats.len(), workers);
             let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
@@ -446,10 +446,10 @@ proptest! {
                 prop_assert!(tasks > 0, "non-empty result must run tasks");
             }
             let mut streamed = Vec::new();
-            let completed = miner.mine_each_with_workers(&inputs, workers, &mut |p, f| {
+            let completed = miner.mine_each_with_workers(&inputs, workers, None, &mut |p, f| {
                 streamed.push((p, f));
                 true
-            });
+            }).unwrap();
             prop_assert!(completed);
             streamed.sort_unstable();
             prop_assert_eq!(&streamed, &sequential, "streamed, workers = {}", workers);
