@@ -34,5 +34,7 @@ pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {
         desq_bsp::Error::Cancelled(m) => desq_core::Error::Cancelled(m),
         desq_bsp::Error::WorkerPanicked(m) => desq_core::Error::WorkerPanicked(m),
         desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
+        desq_bsp::Error::PeerUnreachable(m) => desq_core::Error::PeerUnreachable(m),
+        desq_bsp::Error::PeerTimedOut(m) => desq_core::Error::PeerTimedOut(m),
     }
 }

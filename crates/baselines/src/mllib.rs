@@ -159,6 +159,9 @@ pub(crate) fn mllib_impl(
         output_records: patterns.len() as u64,
         reduce_tasks: m1.reduce_tasks + m2.reduce_tasks,
         reduce_steals: m1.reduce_steals + m2.reduce_steals,
+        retried_tasks: m1.retried_tasks + m2.retried_tasks,
+        peer_timeouts: m1.peer_timeouts + m2.peer_timeouts,
+        max_task_nanos: m1.max_task_nanos.max(m2.max_task_nanos),
         cancelled: m1.cancelled || m2.cancelled,
     };
     let metrics = desq_dist::metrics_from_job(

@@ -36,6 +36,16 @@
 //!   (the warm path must be measurably faster because it skips
 //!   compilation).
 //!
+//! * **dist-net** (`perf_smoke dist-net`): runs D-SEQ on N2/N3 over the
+//!   *networked* shuffle — a `NetCoordinator` driving real worker
+//!   processes (this binary re-invoked in the hidden `dist-net-worker`
+//!   mode) over localhost TCP — against the in-process transport on the
+//!   same engine, and writes `BENCH_8.json` with the network-over-local
+//!   wall ratio plus the robustness counters (`retried_tasks`,
+//!   `peer_timeouts`, straggler `max_task_nanos`). There is no pre-PR
+//!   baseline — the transport is new; the in-process run *is* the
+//!   reference, and the counters must read zero on a healthy link.
+//!
 //! Override any baseline with `PERF_BASELINE_<NAME>=secs` (local) or
 //! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist/count) when
 //! benchmarking on a different machine. The outputs are consumed by CI as
@@ -860,6 +870,201 @@ fn serve_main(out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+/// Worker processes of the networked measurement.
+const NET_WORKERS: usize = 2;
+/// Timed repetitions of the networked measurement (each spawns fresh
+/// worker processes, so fewer than [`REPS`]).
+const NET_REPS: usize = 3;
+
+fn net_constraint(name: &str) -> Constraint {
+    match name {
+        "N2" => desq_dist::patterns::n2(),
+        "N3" => desq_dist::patterns::n3(),
+        "N5" => desq_dist::patterns::n5(),
+        "N4" => desq_dist::patterns::n4(),
+        other => panic!("unknown constraint {other}"),
+    }
+}
+
+/// The hidden worker mode behind `dist-net`: builds the same corpus and
+/// constraint as the coordinator, reports readiness on stdout (the
+/// coordinator starts timing only once every worker is up, so corpus
+/// generation stays outside the measurement), and serves tasks until the
+/// job ends.
+fn dist_net_worker_main(addr: &str, constraint: &str) {
+    use std::io::Write as _;
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let c = net_constraint(constraint);
+    let fst = c.compile(&dict).unwrap();
+    let parts = db.partition(DIST_PARTITIONS);
+    let engine = desq_bsp::Engine::new(DIST_WORKERS).with_reducers(DIST_REDUCERS);
+    println!("ready");
+    std::io::stdout().flush().expect("flush readiness line");
+    desq_dist::dseq::d_seq_worker(
+        &engine,
+        addr.parse().expect("coordinator address"),
+        &desq_bsp::NetConfig::default(),
+        &parts,
+        &fst,
+        &dict,
+        desq_dist::DSeqConfig::new(SIGMA),
+    )
+    .expect("worker run");
+}
+
+struct NetRow {
+    name: String,
+    patterns: usize,
+    local_secs: f64,
+    net_secs: f64,
+    shuffle_bytes: u64,
+    retried_tasks: u64,
+    peer_timeouts: u64,
+    max_task_nanos: u64,
+}
+
+fn measure_dist_net(c: &Constraint) -> NetRow {
+    use std::io::BufRead as _;
+
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let fst = c.compile(&dict).unwrap();
+    let parts = db.partition(DIST_PARTITIONS);
+    let engine = desq_bsp::Engine::new(DIST_WORKERS).with_reducers(DIST_REDUCERS);
+    let config = desq_dist::DSeqConfig::new(SIGMA);
+
+    // In-process reference: the same job through the transport seam with
+    // the zero-cost default backend.
+    let mut local_secs = f64::MAX;
+    let mut patterns = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let res =
+            desq_dist::dseq::d_seq_via(&engine, &desq_bsp::InProcess, &parts, &fst, &dict, config)
+                .expect("in-process reference run");
+        local_secs = local_secs.min(t0.elapsed().as_secs_f64());
+        patterns = res.patterns.len();
+    }
+
+    // Networked runs: a coordinator is single-job, so every repetition
+    // binds a fresh one and spawns fresh worker processes; timing starts
+    // after every worker reports ready (corpus generation excluded, TCP
+    // handshake and task scheduling included).
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut net_secs = f64::MAX;
+    let (mut shuffle_bytes, mut retried_tasks, mut peer_timeouts, mut max_task_nanos) =
+        (0, 0, 0, 0);
+    for _ in 0..NET_REPS {
+        let coord = desq_bsp::NetCoordinator::bind("127.0.0.1:0", desq_bsp::NetConfig::default())
+            .expect("bind coordinator");
+        let addr = coord.local_addr().expect("coordinator address");
+        let mut children = Vec::new();
+        for _ in 0..NET_WORKERS {
+            let mut child = std::process::Command::new(&exe)
+                .args(["dist-net-worker", &addr.to_string(), &c.name])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn worker process");
+            let mut ready = String::new();
+            std::io::BufReader::new(child.stdout.take().expect("worker stdout"))
+                .read_line(&mut ready)
+                .expect("worker readiness line");
+            assert_eq!(ready.trim(), "ready", "worker failed to start");
+            children.push(child);
+        }
+        let t0 = Instant::now();
+        let res = desq_dist::dseq::d_seq_via(&engine, &coord, &parts, &fst, &dict, config)
+            .expect("networked run");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(res.patterns.len(), patterns, "network run must match local");
+        if secs < net_secs {
+            net_secs = secs;
+            shuffle_bytes = res.metrics.shuffle_bytes;
+            retried_tasks = res.metrics.retried_tasks;
+            peer_timeouts = res.metrics.peer_timeouts;
+            max_task_nanos = res.metrics.max_task_nanos;
+        }
+        for mut child in children {
+            assert!(child.wait().expect("worker exit").success());
+        }
+    }
+    NetRow {
+        name: c.name.clone(),
+        patterns,
+        local_secs,
+        net_secs,
+        shuffle_bytes,
+        retried_tasks,
+        peer_timeouts,
+        max_task_nanos,
+    }
+}
+
+fn dist_net_main(out_path: &str) {
+    let constraints = [desq_dist::patterns::n2(), desq_dist::patterns::n3()];
+    let mut rows: Vec<NetRow> = Vec::new();
+    for c in &constraints {
+        rows.push(measure_dist_net(c));
+        eprintln!("measured dist-net/{}", c.name);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"networked shuffle perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"nyt_like({NYT_SIZE})\", \"sigma\": {SIGMA}, \
+         \"worker_processes\": {NET_WORKERS}, \"threads_per_worker\": {DIST_WORKERS}, \
+         \"partitions\": {DIST_PARTITIONS}, \"reducers\": {DIST_REDUCERS}, \
+         \"local_reps\": {REPS}, \"net_reps\": {NET_REPS}, \
+         \"metric\": \"min wall seconds, D-SEQ over localhost TCP vs in-process\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"in-process ShuffleTransport on the same engine (no recorded \
+         pre-PR numbers: the networked backend is new)\","
+    );
+    json.push_str("  \"jobs\": [\n");
+    let (mut local_total, mut net_total) = (0.0, 0.0);
+    let (mut retried_total, mut timeout_total) = (0u64, 0u64);
+    for (i, r) in rows.iter().enumerate() {
+        local_total += r.local_secs;
+        net_total += r.net_secs;
+        retried_total += r.retried_tasks;
+        timeout_total += r.peer_timeouts;
+        let _ = writeln!(
+            json,
+            "    {{\"algo\": \"D-SEQ\", \"name\": \"{}\", \"patterns\": {}, \
+             \"local_secs\": {:.4}, \"net_secs\": {:.4}, \"net_over_local\": {:.2}, \
+             \"shuffle_bytes\": {}, \"retried_tasks\": {}, \"peer_timeouts\": {}, \
+             \"max_task_nanos\": {}}}{}",
+            r.name,
+            r.patterns,
+            r.local_secs,
+            r.net_secs,
+            r.net_secs / r.local_secs,
+            r.shuffle_bytes,
+            r.retried_tasks,
+            r.peer_timeouts,
+            r.max_task_nanos,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"local_secs\": {:.4}, \"net_secs\": {:.4}, \
+         \"net_over_local\": {:.2}, \"retried_tasks\": {retried_total}, \
+         \"peer_timeouts\": {timeout_total}}}",
+        local_total,
+        net_total,
+        net_total / local_total,
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_8.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -878,6 +1083,15 @@ fn main() {
         Some("serve") => {
             let out = args.next().unwrap_or_else(|| "BENCH_7.json".to_string());
             serve_main(&out);
+        }
+        Some("dist-net") => {
+            let out = args.next().unwrap_or_else(|| "BENCH_8.json".to_string());
+            dist_net_main(&out);
+        }
+        Some("dist-net-worker") => {
+            let addr = args.next().expect("dist-net-worker <addr> <constraint>");
+            let constraint = args.next().expect("dist-net-worker <addr> <constraint>");
+            dist_net_worker_main(&addr, &constraint);
         }
         Some(out) => local_main(out),
         None => local_main("BENCH_3.json"),

@@ -23,7 +23,7 @@
 
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Stealer, Worker as DequeWorker};
@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use crate::codec::{read_varint, varint_len, write_varint, Codec};
 use crate::error::{Error, Result};
 use crate::metrics::JobMetrics;
+use crate::transport::{NetConfig, PhaseStats, ShuffleTransport};
 
 /// Engine configuration: degree of parallelism plus an optional
 /// cancellation token.
@@ -292,11 +293,21 @@ impl<K: Codec> Combiner<K> {
     }
 }
 
-struct MapTaskOut {
-    buckets: Vec<Vec<u8>>,
-    emitted: u64,
-    shuffled: u64,
-    payloads: u64,
+/// The byte-space output of one map task: one serialized chunk per reduce
+/// bucket plus the combine accounting. This is the unit that crosses a
+/// [`ShuffleTransport`] — already fully encoded, so shipping it over a
+/// socket is a plain byte copy.
+pub struct MapTaskOut {
+    /// One encoded chunk per reduce bucket (an empty bucket is an empty
+    /// chunk). Always exactly [`Engine::reducers`] entries.
+    pub buckets: Vec<Vec<u8>>,
+    /// Records emitted by the mapper, before combining.
+    pub emitted: u64,
+    /// Records written to the shuffle, after combining.
+    pub shuffled: u64,
+    /// Distinct payload byte strings interned across the bucket chunks
+    /// (0 for the plain map-reduce shape).
+    pub payloads: u64,
 }
 
 /// One decoded (still borrowed) combine record during reduce-side merging.
@@ -309,6 +320,145 @@ struct ReduceRec<'c> {
     key: &'c [u8],
     payload: &'c [u8],
     weight: u64,
+}
+
+/// Decodes one reduce bucket's shuffle chunks, merges duplicate
+/// `(key, payload)` records across map tasks on the raw bytes, and sorts
+/// the result into key groups — the reduce-side merge step, shared by the
+/// in-process scheduler and the networked per-bucket reduce.
+fn merge_bucket_recs<'c, K: Codec>(chunks: &'c [Vec<u8>]) -> Result<Vec<ReduceRec<'c>>> {
+    let mut recs: Vec<ReduceRec<'c>> = Vec::new();
+    let mut table = ProbeTable::new();
+    let mut payloads: Vec<&[u8]> = Vec::new();
+    for chunk in chunks {
+        let mut slice = chunk.as_slice();
+        // Payload dictionary of this chunk.
+        let np = read_varint(&mut slice)? as usize;
+        if np > slice.len() {
+            return Err(Error::Decode(format!(
+                "payload dictionary: count {np} exceeds input"
+            )));
+        }
+        payloads.clear();
+        for _ in 0..np {
+            let len = read_varint(&mut slice)? as usize;
+            if len > slice.len() {
+                return Err(Error::Decode(format!(
+                    "payload: length {len} exceeds input"
+                )));
+            }
+            let (head, rest) = slice.split_at(len);
+            payloads.push(head);
+            slice = rest;
+        }
+        while !slice.is_empty() {
+            let before = slice;
+            K::decode(&mut slice)?;
+            let key = &before[..before.len() - slice.len()];
+            let pid = read_varint(&mut slice)? as usize;
+            let payload = *payloads
+                .get(pid)
+                .ok_or_else(|| Error::Decode(format!("payload id {pid} out of range")))?;
+            let weight = read_varint(&mut slice)?;
+            let khash = hash_bytes(key);
+            let hash = mix(khash, hash_bytes(payload));
+            table.grow_if_needed(recs.len(), |i| recs[i as usize].hash);
+            match table.find(hash, |i| {
+                let r = &recs[i as usize];
+                r.hash == hash && r.key == key && r.payload == payload
+            }) {
+                Ok(i) => recs[i as usize].weight += weight,
+                Err(slot) => {
+                    recs.push(ReduceRec {
+                        hash,
+                        khash,
+                        key,
+                        payload,
+                        weight,
+                    });
+                    table.insert(slot, recs.len() as u32 - 1);
+                }
+            }
+        }
+    }
+    // Deterministic grouping: order by (key, payload), resolving most
+    // comparisons on the precomputed key hash instead of the byte slices.
+    recs.sort_unstable_by(|a, b| {
+        a.khash
+            .cmp(&b.khash)
+            .then_with(|| a.key.cmp(b.key))
+            .then_with(|| a.payload.cmp(b.payload))
+    });
+    Ok(recs)
+}
+
+/// Reduces one whole merged bucket to encoded output bytes — the
+/// worker-side unit of the networked reduce phase: `varint(#outputs)`
+/// followed by each output's encoding.
+///
+/// The per-bucket `state` is created fresh here and dropped with the call:
+/// the payload slices handed to `reduce` borrow from *this call's* chunks,
+/// so caches keyed on slice identity (D-SEQ's simulation-core cache) must
+/// not outlive them.
+pub(crate) fn reduce_bucket_bytes<K, O, S, IF, RF>(
+    chunks: &[Vec<u8>],
+    init: &IF,
+    reduce: &RF,
+) -> Result<Vec<u8>>
+where
+    K: Codec,
+    O: Codec,
+    IF: Fn() -> S,
+    RF: Fn(&mut S, &K, &[(&[u8], u64)], &mut dyn FnMut(O)) -> Result<()>,
+{
+    #[cfg(feature = "failpoints")]
+    desq_core::fault::point("bsp::reduce_merge")?;
+    let recs = merge_bucket_recs::<K>(chunks)?;
+    let mut out: Vec<O> = Vec::new();
+    let mut state = init();
+    let mut group_buf: Vec<(&[u8], u64)> = Vec::new();
+    let mut i = 0;
+    while i < recs.len() {
+        let key = recs[i].key;
+        let start = i;
+        while i < recs.len() && recs[i].key == key {
+            i += 1;
+        }
+        group_buf.clear();
+        group_buf.extend(recs[start..i].iter().map(|r| (r.payload, r.weight)));
+        let k = K::decode(&mut &key[..])?;
+        let mut emit = |o: O| out.push(o);
+        reduce(&mut state, &k, &group_buf, &mut emit)?;
+    }
+    let mut buf = Vec::new();
+    write_varint(&mut buf, out.len() as u64);
+    for o in &out {
+        o.encode(&mut buf);
+    }
+    Ok(buf)
+}
+
+/// Decodes one bucket's [`reduce_bucket_bytes`] output, appending to `out`.
+/// Rejects hostile counts before any allocation and trailing garbage after
+/// the last output.
+pub(crate) fn decode_bucket_outputs<O: Codec>(bytes: &[u8], out: &mut Vec<O>) -> Result<()> {
+    let mut slice = bytes;
+    let n = read_varint(&mut slice)? as usize;
+    if n > slice.len() {
+        return Err(Error::Decode(format!(
+            "bucket output: count {n} exceeds input"
+        )));
+    }
+    for _ in 0..n {
+        out.push(O::decode(&mut slice)?);
+    }
+    if !slice.is_empty() {
+        return Err(Error::Decode(format!(
+            "bucket output: {} trailing bytes",
+            slice.len()
+        )));
+    }
+    Ok(())
 }
 
 impl Engine {
@@ -336,7 +486,7 @@ impl Engine {
     }
 
     /// Polls the attached token (if any), converting its stop reason.
-    fn checkpoint(&self) -> Result<()> {
+    pub(crate) fn checkpoint(&self) -> Result<()> {
         match &self.cancel {
             Some(token) => token.checkpoint().map_err(Error::from),
             None => Ok(()),
@@ -386,71 +536,81 @@ impl Engine {
         RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) -> Result<()> + Sync,
     {
         let mut metrics = JobMetrics::default();
+        let max_task = AtomicU64::new(0);
 
         // ---- map phase ----
         let t0 = Instant::now();
         let reducers = self.reducers;
-        let outs = self.run_tasks(parts.len(), |t| {
-            let mut out = MapTaskOut {
-                buckets: vec![Vec::new(); reducers],
-                emitted: 0,
-                shuffled: 0,
-                payloads: 0,
-            };
-            let mut key_buf: Vec<u8> = Vec::new();
-            let mut emit = |k: K, v: V| {
-                key_buf.clear();
-                k.encode(&mut key_buf);
-                let b = bucket_of(hash_bytes(&key_buf), reducers);
-                out.buckets[b].extend_from_slice(&key_buf);
-                v.encode(&mut out.buckets[b]);
-                out.emitted += 1;
-                out.shuffled += 1;
-            };
-            map(parts[t], &mut emit)?;
-            Ok(out)
-        })?;
+        let outs = self.run_tasks(
+            parts.len(),
+            |t| {
+                let mut out = MapTaskOut {
+                    buckets: vec![Vec::new(); reducers],
+                    emitted: 0,
+                    shuffled: 0,
+                    payloads: 0,
+                };
+                let mut key_buf: Vec<u8> = Vec::new();
+                let mut emit = |k: K, v: V| {
+                    key_buf.clear();
+                    k.encode(&mut key_buf);
+                    let b = bucket_of(hash_bytes(&key_buf), reducers);
+                    out.buckets[b].extend_from_slice(&key_buf);
+                    v.encode(&mut out.buckets[b]);
+                    out.emitted += 1;
+                    out.shuffled += 1;
+                };
+                map(parts[t], &mut emit)?;
+                Ok(out)
+            },
+            &max_task,
+        )?;
         metrics.map_nanos = t0.elapsed().as_nanos() as u64;
 
         let chunks = self.regroup(outs, &mut metrics);
 
         // ---- reduce phase ----
         let t1 = Instant::now();
-        let outputs = self.run_tasks(self.reducers, |t| {
-            #[cfg(feature = "failpoints")]
-            desq_core::fault::point("bsp::reduce_merge")?;
-            // Decode records keeping the raw key bytes; group by them
-            // (equal keys ⇔ equal encodings).
-            let mut items: Vec<(&[u8], V)> = Vec::new();
-            for chunk in &chunks[t] {
-                let mut slice = chunk.as_slice();
-                while !slice.is_empty() {
-                    let before = slice;
-                    K::decode(&mut slice)?;
-                    let key = &before[..before.len() - slice.len()];
-                    let v = V::decode(&mut slice)?;
-                    items.push((key, v));
-                }
-            }
-            // Stable: values of one key stay in map-task emission order.
-            items.sort_by(|a, b| a.0.cmp(b.0));
-            let mut out: Vec<O> = Vec::new();
-            let mut iter = items.into_iter().peekable();
-            while let Some((key, v)) = iter.next() {
-                let mut vs = vec![v];
-                while let Some((k2, _)) = iter.peek() {
-                    if *k2 != key {
-                        break;
+        let outputs = self.run_tasks(
+            self.reducers,
+            |t| {
+                #[cfg(feature = "failpoints")]
+                desq_core::fault::point("bsp::reduce_merge")?;
+                // Decode records keeping the raw key bytes; group by them
+                // (equal keys ⇔ equal encodings).
+                let mut items: Vec<(&[u8], V)> = Vec::new();
+                for chunk in &chunks[t] {
+                    let mut slice = chunk.as_slice();
+                    while !slice.is_empty() {
+                        let before = slice;
+                        K::decode(&mut slice)?;
+                        let key = &before[..before.len() - slice.len()];
+                        let v = V::decode(&mut slice)?;
+                        items.push((key, v));
                     }
-                    vs.push(iter.next().expect("peeked").1);
                 }
-                let k = K::decode(&mut &key[..])?;
-                let mut emit = |o: O| out.push(o);
-                reduce(&k, vs, &mut emit)?;
-            }
-            Ok(out)
-        })?;
+                // Stable: values of one key stay in map-task emission order.
+                items.sort_by(|a, b| a.0.cmp(b.0));
+                let mut out: Vec<O> = Vec::new();
+                let mut iter = items.into_iter().peekable();
+                while let Some((key, v)) = iter.next() {
+                    let mut vs = vec![v];
+                    while let Some((k2, _)) = iter.peek() {
+                        if *k2 != key {
+                            break;
+                        }
+                        vs.push(iter.next().expect("peeked").1);
+                    }
+                    let k = K::decode(&mut &key[..])?;
+                    let mut emit = |o: O| out.push(o);
+                    reduce(&k, vs, &mut emit)?;
+                }
+                Ok(out)
+            },
+            &max_task,
+        )?;
         metrics.reduce_nanos = t1.elapsed().as_nanos() as u64;
+        metrics.max_task_nanos = max_task.into_inner();
 
         let mut flat = Vec::new();
         for o in outputs {
@@ -529,15 +689,20 @@ impl Engine {
         RF: Fn(&mut S, &K, &[(&[u8], u64)], &mut dyn FnMut(O)) -> Result<()> + Sync,
     {
         let mut metrics = JobMetrics::default();
+        let max_task = AtomicU64::new(0);
 
         // ---- map + combine phase ----
         let t0 = Instant::now();
         let reducers = self.reducers;
-        let outs = self.run_tasks(parts.len(), |t| {
-            let mut combiner = Combiner::new(reducers);
-            map(parts[t], &mut combiner)?;
-            Ok(combiner.into_task_out())
-        })?;
+        let outs = self.run_tasks(
+            parts.len(),
+            |t| {
+                let mut combiner = Combiner::new(reducers);
+                map(parts[t], &mut combiner)?;
+                Ok(combiner.into_task_out())
+            },
+            &max_task,
+        )?;
         metrics.map_nanos = t0.elapsed().as_nanos() as u64;
 
         let chunks = self.regroup(outs, &mut metrics);
@@ -547,74 +712,15 @@ impl Engine {
         // Step 1 (parallel, one task per bucket): decode the shuffle
         // chunks, merge duplicates across map tasks on the raw bytes, sort
         // into key groups.
-        let buckets: Vec<Vec<ReduceRec<'_>>> = self.run_tasks(self.reducers, |t| {
-            #[cfg(feature = "failpoints")]
-            desq_core::fault::point("bsp::reduce_merge")?;
-            let mut recs: Vec<ReduceRec<'_>> = Vec::new();
-            let mut table = ProbeTable::new();
-            let mut payloads: Vec<&[u8]> = Vec::new();
-            for chunk in &chunks[t] {
-                let mut slice = chunk.as_slice();
-                // Payload dictionary of this chunk.
-                let np = read_varint(&mut slice)? as usize;
-                if np > slice.len() {
-                    return Err(Error::Decode(format!(
-                        "payload dictionary: count {np} exceeds input"
-                    )));
-                }
-                payloads.clear();
-                for _ in 0..np {
-                    let len = read_varint(&mut slice)? as usize;
-                    if len > slice.len() {
-                        return Err(Error::Decode(format!(
-                            "payload: length {len} exceeds input"
-                        )));
-                    }
-                    let (head, rest) = slice.split_at(len);
-                    payloads.push(head);
-                    slice = rest;
-                }
-                while !slice.is_empty() {
-                    let before = slice;
-                    K::decode(&mut slice)?;
-                    let key = &before[..before.len() - slice.len()];
-                    let pid = read_varint(&mut slice)? as usize;
-                    let payload = *payloads
-                        .get(pid)
-                        .ok_or_else(|| Error::Decode(format!("payload id {pid} out of range")))?;
-                    let weight = read_varint(&mut slice)?;
-                    let khash = hash_bytes(key);
-                    let hash = mix(khash, hash_bytes(payload));
-                    table.grow_if_needed(recs.len(), |i| recs[i as usize].hash);
-                    match table.find(hash, |i| {
-                        let r = &recs[i as usize];
-                        r.hash == hash && r.key == key && r.payload == payload
-                    }) {
-                        Ok(i) => recs[i as usize].weight += weight,
-                        Err(slot) => {
-                            recs.push(ReduceRec {
-                                hash,
-                                khash,
-                                key,
-                                payload,
-                                weight,
-                            });
-                            table.insert(slot, recs.len() as u32 - 1);
-                        }
-                    }
-                }
-            }
-            // Deterministic grouping: order by (key, payload), resolving
-            // most comparisons on the precomputed key hash instead of the
-            // byte slices.
-            recs.sort_unstable_by(|a, b| {
-                a.khash
-                    .cmp(&b.khash)
-                    .then_with(|| a.key.cmp(b.key))
-                    .then_with(|| a.payload.cmp(b.payload))
-            });
-            Ok(recs)
-        })?;
+        let buckets: Vec<Vec<ReduceRec<'_>>> = self.run_tasks(
+            self.reducers,
+            |t| {
+                #[cfg(feature = "failpoints")]
+                desq_core::fault::point("bsp::reduce_merge")?;
+                merge_bucket_recs::<K>(&chunks[t])
+            },
+            &max_task,
+        )?;
 
         // Step 2: cut every bucket into key groups, batch adjacent light
         // groups into tasks, and run the tasks under work stealing so a
@@ -667,6 +773,7 @@ impl Engine {
         crossbeam::thread::scope(|s| {
             let (injector, stealers) = (&injector, &stealers);
             let (results, failure, counters) = (&results, &failure, &counters);
+            let max_task = &max_task;
             let (buckets, groups, init, reduce) = (&buckets, &groups, &init, &reduce);
             for (wid, local) in locals.into_iter().enumerate() {
                 s.spawn(move |_| {
@@ -701,6 +808,7 @@ impl Engine {
                         // task is already running on some worker — done.
                         let Some((ti, range)) = next else { break };
                         ran += 1;
+                        let started = Instant::now();
                         let mut out: Vec<O> = Vec::new();
                         // The task body (user reduce code) runs under
                         // catch_unwind: one poisoned key group aborts the
@@ -717,6 +825,7 @@ impl Engine {
                             Ok(())
                         }))
                         .unwrap_or_else(|payload| Err(self.panicked(payload.as_ref())));
+                        max_task.fetch_max(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         match run {
                             Ok(()) => results.lock().push((ti, out)),
                             Err(e) => {
@@ -742,6 +851,7 @@ impl Engine {
         metrics.reduce_tasks = rtasks;
         metrics.reduce_steals = rsteals;
         metrics.reduce_nanos = t1.elapsed().as_nanos() as u64;
+        metrics.max_task_nanos = max_task.into_inner();
 
         // Deterministic output: tasks are numbered in (bucket, key) order,
         // so sorting by task index reproduces the sequential per-bucket
@@ -757,10 +867,132 @@ impl Engine {
         Ok((flat, metrics))
     }
 
+    /// Runs a map → combine → shuffle → reduce job over an explicit
+    /// [`ShuffleTransport`] — the entry point for multi-process execution.
+    ///
+    /// Task *scheduling* moves behind the transport; task *semantics* stay
+    /// here. [`transport::InProcess`](crate::transport::InProcess)
+    /// reproduces the single-process result; a
+    /// [`transport::NetCoordinator`](crate::transport::NetCoordinator)
+    /// farms the same tasks out to worker processes running
+    /// [`run_worker`](Self::run_worker) over the same partition list.
+    ///
+    /// Differences from [`map_combine_reduce_with`](Self::map_combine_reduce_with):
+    /// outputs must be [`Codec`] (they cross a process boundary), and the
+    /// reduce state is created *fresh per bucket* instead of once per
+    /// worker thread — a remote bucket's payload slices borrow from chunk
+    /// buffers that die with the task, so slice-identity caches must not
+    /// outlive them. Output order is deterministic: buckets in order, key
+    /// groups in the same (key, payload) order as the in-process path.
+    pub fn map_combine_reduce_via<I, K, O, S, MF, IF, RF>(
+        &self,
+        transport: &dyn ShuffleTransport,
+        parts: &[&[I]],
+        map: MF,
+        init: IF,
+        reduce: RF,
+    ) -> Result<(Vec<O>, JobMetrics)>
+    where
+        I: Sync,
+        K: Codec + Send,
+        O: Codec + Send,
+        MF: Fn(&[I], &mut Combiner<K>) -> Result<()> + Sync,
+        IF: Fn() -> S + Sync,
+        RF: Fn(&mut S, &K, &[(&[u8], u64)], &mut dyn FnMut(O)) -> Result<()> + Sync,
+    {
+        let mut metrics = JobMetrics::default();
+        let merge_stats = |metrics: &mut JobMetrics, s: &PhaseStats| {
+            metrics.retried_tasks += s.retried_tasks;
+            metrics.peer_timeouts += s.peer_timeouts;
+            metrics.max_task_nanos = metrics.max_task_nanos.max(s.max_task_nanos);
+        };
+
+        // ---- map + combine phase ----
+        let t0 = Instant::now();
+        let reducers = self.reducers;
+        let map_local = |t: usize| -> Result<MapTaskOut> {
+            let mut combiner = Combiner::new(reducers);
+            map(parts[t], &mut combiner)?;
+            Ok(combiner.into_task_out())
+        };
+        let (outs, stats) = transport.map_phase(self, parts.len(), &map_local)?;
+        metrics.map_nanos = t0.elapsed().as_nanos() as u64;
+        merge_stats(&mut metrics, &stats);
+
+        let chunks = self.regroup(outs, &mut metrics);
+
+        // ---- reduce phase (one task per bucket) ----
+        let t1 = Instant::now();
+        let reduce_local = |_b: usize, chunks: &[Vec<u8>]| -> Result<Vec<u8>> {
+            reduce_bucket_bytes::<K, O, S, IF, RF>(chunks, &init, &reduce)
+        };
+        let bucket_outs = {
+            let (outs, stats) = transport.reduce_phase(self, chunks, &reduce_local)?;
+            metrics.reduce_nanos = t1.elapsed().as_nanos() as u64;
+            metrics.reduce_tasks = outs.len() as u64;
+            merge_stats(&mut metrics, &stats);
+            outs
+        };
+
+        let mut flat: Vec<O> = Vec::new();
+        for bytes in &bucket_outs {
+            decode_bucket_outputs::<O>(bytes, &mut flat)?;
+        }
+        metrics.output_records = flat.len() as u64;
+        metrics.cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_stopped);
+        Ok((flat, metrics))
+    }
+
+    /// Serves one distributed job as a worker process: connects to the
+    /// coordinator at `addr` (under `cfg.retry`), executes the map and
+    /// reduce tasks it is assigned against this process's own copy of
+    /// `parts` and the job closures, and returns when the coordinator ends
+    /// the job.
+    ///
+    /// Every process in the job must derive the *same* partition list and
+    /// closures (same corpus, same configuration) — only task ids and
+    /// encoded bytes cross the wire. Returns [`Error::PeerUnreachable`]
+    /// once the reconnect budget is spent.
+    pub fn run_worker<I, K, O, S, MF, IF, RF>(
+        &self,
+        addr: std::net::SocketAddr,
+        cfg: &NetConfig,
+        parts: &[&[I]],
+        map: MF,
+        init: IF,
+        reduce: RF,
+    ) -> Result<()>
+    where
+        K: Codec,
+        O: Codec,
+        MF: Fn(&[I], &mut Combiner<K>) -> Result<()>,
+        IF: Fn() -> S,
+        RF: Fn(&mut S, &K, &[(&[u8], u64)], &mut dyn FnMut(O)) -> Result<()>,
+    {
+        let reducers = self.reducers;
+        let on_map = |task: u64| -> Result<MapTaskOut> {
+            let part = parts.get(task as usize).ok_or_else(|| {
+                Error::Worker(format!(
+                    "map task {task} out of range ({} partitions)",
+                    parts.len()
+                ))
+            })?;
+            let mut combiner = Combiner::new(reducers);
+            map(part, &mut combiner)?;
+            Ok(combiner.into_task_out())
+        };
+        let on_reduce = |_task: u64, chunks: &[Vec<u8>]| -> Result<Vec<u8>> {
+            reduce_bucket_bytes::<K, O, S, IF, RF>(chunks, &init, &reduce)
+        };
+        crate::transport::worker_loop(addr, cfg, &on_map, &on_reduce)
+    }
+
     /// Runs `n` independent tasks on the worker pool, collecting results.
     /// The first error (or caught panic, or cancellation) aborts the job;
-    /// later tasks are abandoned cooperatively at task boundaries.
-    fn run_tasks<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
+    /// later tasks are abandoned cooperatively at task boundaries. The
+    /// wall time of the slowest single task accumulates into `max_nanos`
+    /// (the straggler that bounds the phase barrier).
+    pub(crate) fn run_tasks<T, F>(&self, n: usize, task: F, max_nanos: &AtomicU64) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(usize) -> Result<T> + Sync,
@@ -788,7 +1020,10 @@ impl Engine {
                     if t >= n {
                         return;
                     }
-                    match catch_unwind(AssertUnwindSafe(|| task(t))) {
+                    let started = Instant::now();
+                    let run = catch_unwind(AssertUnwindSafe(|| task(t)));
+                    max_nanos.fetch_max(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match run {
                         Ok(Ok(out)) => results.lock().push((t, out)),
                         Ok(Err(e)) => {
                             fail(e);

@@ -19,6 +19,14 @@ pub enum Error {
     WorkerPanicked(String),
     /// Any other worker failure.
     Worker(String),
+    /// A networked peer never became reachable: reconnect attempts
+    /// exhausted their retry budget, or no worker joined within the job's
+    /// grace window. Permanent for this job.
+    PeerUnreachable(String),
+    /// A connected peer went silent past its liveness window. The engine
+    /// re-executes its in-flight tasks elsewhere when it can; this error
+    /// surfaces when it cannot.
+    PeerTimedOut(String),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +38,8 @@ impl fmt::Display for Error {
             Error::Cancelled(m) => write!(f, "cancelled: {m}"),
             Error::WorkerPanicked(m) => write!(f, "worker panicked: {m}"),
             Error::Worker(m) => write!(f, "worker failed: {m}"),
+            Error::PeerUnreachable(m) => write!(f, "peer unreachable: {m}"),
+            Error::PeerTimedOut(m) => write!(f, "peer timed out: {m}"),
         }
     }
 }
@@ -46,6 +56,8 @@ impl From<desq_core::Error> for Error {
             desq_core::Error::DeadlineExceeded(m) => Error::DeadlineExceeded(m),
             desq_core::Error::Cancelled(m) => Error::Cancelled(m),
             desq_core::Error::WorkerPanicked(m) => Error::WorkerPanicked(m),
+            desq_core::Error::PeerUnreachable(m) => Error::PeerUnreachable(m),
+            desq_core::Error::PeerTimedOut(m) => Error::PeerTimedOut(m),
             other => Error::Worker(other.to_string()),
         }
     }

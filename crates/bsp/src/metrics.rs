@@ -28,6 +28,17 @@ pub struct JobMetrics {
     /// Successful task steals between reduce workers (0 when every worker
     /// drained its own share, or for non-scheduled job shapes).
     pub reduce_steals: u64,
+    /// Tasks re-executed after a networked peer died or timed out with
+    /// them in flight (0 for in-process transports: their tasks never
+    /// need a second run).
+    pub retried_tasks: u64,
+    /// Networked peers declared dead because they went silent past the
+    /// liveness window (0 in process, and 0 when peers only fail by
+    /// closing their connection).
+    pub peer_timeouts: u64,
+    /// Wall-clock nanoseconds of the single slowest map or reduce task —
+    /// the straggler that bounds the superstep barrier.
+    pub max_task_nanos: u64,
     /// True when the job's cancellation token had tripped by the time the
     /// job finished — the results are complete and valid, but the caller
     /// asked for a stop (e.g. a drain-mode shutdown) concurrently with the
@@ -93,6 +104,9 @@ mod tests {
             output_records: 7,
             reduce_tasks: 0,
             reduce_steals: 0,
+            retried_tasks: 0,
+            peer_timeouts: 0,
+            max_task_nanos: 0,
             cancelled: false,
         };
         assert!((m.map_secs() - 2.0).abs() < 1e-9);

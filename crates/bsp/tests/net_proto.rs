@@ -1,0 +1,188 @@
+//! Property tests for the shuffle wire codec: arbitrary frames survive
+//! encode → write → read → decode unchanged, **every** strict payload
+//! prefix is rejected (no panic, no partial decode), and hostile length
+//! prefixes are refused before the payload buffer is allocated.
+
+use desq_bsp::transport::{read_net_frame, write_net_frame, Frame, NET_PROTOCOL_VERSION};
+use desq_bsp::Error;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Frames on real links carry payloads up to tens of megabytes; for codec
+/// coverage small byte strings exercise the same varint boundaries.
+const MAX_FRAME: usize = 1 << 20;
+
+fn any_bytes() -> impl Strategy<Value = Vec<u8>> {
+    collection::vec(0u8..=u8::MAX, 0..12)
+}
+
+fn any_byte_list() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    collection::vec(any_bytes(), 0..4)
+}
+
+/// Varint-relevant magnitudes: small values, values around the 7-bit group
+/// boundaries, and the extremes.
+fn any_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..3,
+        100u64..200,
+        (1u64 << 28) - 2..(1 << 28) + 2,
+        u64::MAX - 2..=u64::MAX,
+    ]
+}
+
+/// Short strings including multi-byte code points, so the UTF-8 check of
+/// the error codec is exercised.
+fn any_string() -> impl Strategy<Value = String> {
+    collection::vec(
+        prop_oneof![
+            (32u32..127).prop_map(|c| char::from_u32(c).unwrap()),
+            Just('σ'),
+            Just('→'),
+        ],
+        0..10,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// All eight wire error kinds.
+fn any_error() -> impl Strategy<Value = Error> {
+    (0u8..8, any_string()).prop_map(|(kind, msg)| match kind {
+        0 => Error::Decode(msg),
+        1 => Error::ResourceExhausted(msg),
+        2 => Error::DeadlineExceeded(msg),
+        3 => Error::Cancelled(msg),
+        4 => Error::WorkerPanicked(msg),
+        5 => Error::Worker(msg),
+        6 => Error::PeerUnreachable(msg),
+        _ => Error::PeerTimedOut(msg),
+    })
+}
+
+fn any_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any_u64().prop_map(|fingerprint| Frame::Hello {
+            version: NET_PROTOCOL_VERSION,
+            fingerprint,
+        }),
+        Just(Frame::Heartbeat),
+        (any_u64(), any_u64()).prop_map(|(epoch, task)| Frame::MapTask { epoch, task }),
+        (
+            (any_u64(), any_u64(), any_u64()),
+            (any_u64(), any_u64(), any_u64()),
+            any_byte_list(),
+        )
+            .prop_map(
+                |((epoch, task, emitted), (shuffled, payloads, task_nanos), buckets)| {
+                    Frame::MapOut {
+                        epoch,
+                        task,
+                        emitted,
+                        shuffled,
+                        payloads,
+                        task_nanos,
+                        buckets,
+                    }
+                }
+            ),
+        (any_u64(), any_u64(), any_byte_list()).prop_map(|(epoch, task, chunks)| {
+            Frame::ReduceTask {
+                epoch,
+                task,
+                chunks,
+            }
+        }),
+        (any_u64(), any_u64(), any_u64(), any_bytes()).prop_map(
+            |(epoch, task, task_nanos, out)| Frame::ReduceOut {
+                epoch,
+                task,
+                task_nanos,
+                out,
+            }
+        ),
+        (any_u64(), any_u64(), any_error()).prop_map(|(epoch, task, error)| Frame::TaskErr {
+            epoch,
+            task,
+            error
+        }),
+        Just(Frame::End),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → length-prefixed write → read → decode is the identity, and
+    /// the reader consumes the stream exactly.
+    #[test]
+    fn frames_roundtrip_through_wire(frame in any_frame()) {
+        let mut wire = Vec::new();
+        write_net_frame(&mut wire, &frame, MAX_FRAME).expect("write");
+        let mut stream = wire.as_slice();
+        let decoded = read_net_frame(&mut stream, MAX_FRAME).expect("read");
+        prop_assert!(stream.is_empty(), "reader left {} bytes", stream.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// A payload either decodes completely or errors: every strict prefix
+    /// of every frame encoding is rejected — a cut always lands inside a
+    /// field or removes one, and partial decodes must never pass.
+    #[test]
+    fn every_strict_payload_prefix_is_rejected(frame in any_frame()) {
+        let mut payload = Vec::new();
+        frame.encode(&mut payload);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                Frame::decode(&payload[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                payload.len()
+            );
+        }
+    }
+
+    /// Appending any byte to a valid payload is rejected (frames carry
+    /// exactly one message; trailing garbage means a framing bug).
+    #[test]
+    fn trailing_bytes_are_rejected(frame in any_frame(), extra in 0u8..=u8::MAX) {
+        let mut payload = Vec::new();
+        frame.encode(&mut payload);
+        payload.push(extra);
+        prop_assert!(Frame::decode(&payload).is_err());
+    }
+
+    /// Hostile length prefixes above the frame cap — all the way to
+    /// `u64::MAX` — are rejected before the payload allocation, so a
+    /// malicious or corrupted peer cannot OOM the reader.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(len in MAX_FRAME as u64 + 1..=u64::MAX) {
+        let mut wire = Vec::new();
+        desq_bsp::write_varint(&mut wire, len);
+        wire.extend_from_slice(&[0u8; 64]); // even with bytes behind it
+        let err = read_net_frame(&mut wire.as_slice(), MAX_FRAME)
+            .expect_err("oversized length must error");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// A length varint longer than ten groups (shift ≥ 64) is an overflow
+    /// error, not a silent wrap.
+    #[test]
+    fn overlong_length_varints_are_rejected(fill in 0u8..0x80) {
+        let mut wire = vec![0xFFu8; 10];
+        wire.push(fill | 0x01); // terminate the varint after >64 bits
+        let err = read_net_frame(&mut wire.as_slice(), MAX_FRAME)
+            .expect_err("overlong varint must error");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Unknown frame tags are decode errors, so new frame kinds require a
+    /// protocol version bump instead of silent misinterpretation.
+    #[test]
+    fn unknown_tags_are_rejected(frame in any_frame(), tag in 9u8..=u8::MAX) {
+        let mut payload = Vec::new();
+        frame.encode(&mut payload);
+        payload[0] = tag;
+        prop_assert!(Frame::decode(&payload).is_err());
+        payload[0] = 0; // tag 0 is reserved / invalid too
+        prop_assert!(Frame::decode(&payload).is_err());
+    }
+}

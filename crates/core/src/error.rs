@@ -29,6 +29,15 @@ pub enum Error {
     /// the run was cancelled, and the panic payload is reported here
     /// instead of aborting the process.
     WorkerPanicked(String),
+    /// A networked peer could not be reached at all: connection attempts
+    /// exhausted their retry budget, or no worker joined a distributed
+    /// job within its grace window. Permanent for this run — retrying
+    /// inside the run already happened.
+    PeerUnreachable(String),
+    /// A networked peer was connected but went silent past its liveness
+    /// window (no frames, no heartbeats). Its in-flight work is re-executed
+    /// elsewhere when possible; the error surfaces when it is not.
+    PeerTimedOut(String),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +54,8 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded(what) => write!(f, "deadline exceeded: {what}"),
             Error::Cancelled(what) => write!(f, "cancelled: {what}"),
             Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            Error::PeerUnreachable(msg) => write!(f, "peer unreachable: {msg}"),
+            Error::PeerTimedOut(msg) => write!(f, "peer timed out: {msg}"),
         }
     }
 }
@@ -78,5 +89,11 @@ mod tests {
         assert!(Error::WorkerPanicked("boom".into())
             .to_string()
             .contains("panicked"));
+        assert!(Error::PeerUnreachable("127.0.0.1:9".into())
+            .to_string()
+            .contains("unreachable"));
+        assert!(Error::PeerTimedOut("worker 3".into())
+            .to_string()
+            .contains("timed out"));
     }
 }

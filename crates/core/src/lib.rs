@@ -57,6 +57,7 @@ pub mod fst;
 pub mod fx;
 pub mod mining;
 pub mod pexp;
+pub mod retry;
 pub mod sequence;
 pub mod toy;
 
@@ -65,4 +66,5 @@ pub use error::{Error, Result};
 pub use fst::Fst;
 pub use mining::{CancelToken, Limits, Miner, MiningContext, MiningMetrics, MiningResult};
 pub use pexp::PatEx;
+pub use retry::RetryPolicy;
 pub use sequence::{ItemId, Sequence, SequenceDb, EPSILON};

@@ -482,6 +482,17 @@ pub struct MiningMetrics {
     /// (always 0 for sequential runs; high values on skewed search trees
     /// are the scheduler doing its job).
     pub steals: u64,
+    /// Map/reduce tasks that were re-executed because the peer running
+    /// them died or went silent mid-superstep (networked BSP only; 0 for
+    /// in-process runs — their tasks cannot be lost).
+    pub retried_tasks: u64,
+    /// Peers declared dead because they exceeded their liveness window
+    /// during this run (networked BSP only).
+    pub peer_timeouts: u64,
+    /// Wall-clock nanoseconds of the single longest map or reduce task —
+    /// the straggler. A high value against `map_nanos`/`reduce_nanos`
+    /// means one task dominated the phase.
+    pub max_task_nanos: u64,
     /// True iff the run stopped early through its [`CancelToken`] (or a
     /// streaming consumer dropped the stream): the other counters
     /// describe a *partial* run.
@@ -510,6 +521,9 @@ impl MiningMetrics {
             worker_nanos: vec![wall_nanos],
             tasks: 1,
             steals: 0,
+            retried_tasks: 0,
+            peer_timeouts: 0,
+            max_task_nanos: 0,
             cancelled: false,
         }
     }
@@ -549,7 +563,8 @@ impl MiningMetrics {
     /// `shuffle_records`, `shuffle_payloads`, `shuffle_bytes` — then
     /// `reducer_bytes` as `varint(len)` + one varint per entry, then
     /// `output_records`, `workers`, `worker_nanos` (same list shape),
-    /// `tasks`, `steals`, then `cancelled` as a 0/1 varint. Used by the
+    /// `tasks`, `steals`, `retried_tasks`, `peer_timeouts`,
+    /// `max_task_nanos`, then `cancelled` as a 0/1 varint. Used by the
     /// `desq-serve` daemon to ship the terminal metrics frame of a query
     /// response; [`decode`](Self::decode) is the exact inverse.
     pub fn encode(&self, buf: &mut Vec<u8>) {
@@ -578,6 +593,9 @@ impl MiningMetrics {
         }
         write_varint(buf, self.tasks);
         write_varint(buf, self.steals);
+        write_varint(buf, self.retried_tasks);
+        write_varint(buf, self.peer_timeouts);
+        write_varint(buf, self.max_task_nanos);
         write_varint(buf, self.cancelled as u64);
     }
 
@@ -605,6 +623,9 @@ impl MiningMetrics {
         m.worker_nanos = decode_u64_list(buf)?;
         m.tasks = read_varint(buf)?;
         m.steals = read_varint(buf)?;
+        m.retried_tasks = read_varint(buf)?;
+        m.peer_timeouts = read_varint(buf)?;
+        m.max_task_nanos = read_varint(buf)?;
         m.cancelled = match read_varint(buf)? {
             0 => false,
             1 => true,
@@ -807,6 +828,9 @@ mod tests {
         m.shuffle_payloads = 4;
         m.shuffle_bytes = 99;
         m.reducer_bytes = vec![33, 66, 0];
+        m.retried_tasks = 2;
+        m.peer_timeouts = 1;
+        m.max_task_nanos = 55;
         m.cancelled = true;
         let mut buf = Vec::new();
         m.encode(&mut buf);

@@ -1,0 +1,108 @@
+//! Bounded, jittered exponential backoff — the one audited retry
+//! schedule shared by everything in the workspace that talks over a
+//! socket: the `desq-serve` client retries transient failures with it,
+//! and the networked BSP shuffle transport uses it for worker
+//! (re)connection attempts.
+//!
+//! The policy is *pure schedule*: it decides how long attempt `n` sleeps,
+//! not what counts as transient — each caller keeps its own transience
+//! predicate next to its own error type.
+
+use std::time::Duration;
+
+/// Bounded, jittered exponential backoff.
+///
+/// Attempt `n` (0-based) sleeps `base_delay · 2ⁿ` capped at `max_delay`,
+/// plus a deterministic jitter of up to half that delay derived from
+/// `seed` — concurrent peers with different seeds spread out instead of
+/// retrying in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `max_retries+1`).
+    pub max_retries: u32,
+    /// Backoff of the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (0-based): exponential backoff
+    /// with deterministic jitter in `[0, delay/2]`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max_delay);
+        // xorshift* keyed by (seed, attempt): reproducible per peer,
+        // decorrelated across peers with different seeds.
+        let mut x = self.seed
+            ^ (u64::from(attempt)
+                .wrapping_add(1)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D));
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let half = exp.as_nanos() as u64 / 2;
+        let jitter = if half == 0 { 0 } else { x % half };
+        exp + Duration::from_nanos(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jitter_is_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            seed: 42,
+        };
+        let mut prev_base = Duration::ZERO;
+        for attempt in 0..8 {
+            let base = policy
+                .base_delay
+                .saturating_mul(2u32.saturating_pow(attempt))
+                .min(policy.max_delay);
+            let d = policy.backoff(attempt);
+            assert!(d >= base, "attempt {attempt}: {d:?} < base {base:?}");
+            assert!(
+                d <= base + base / 2 + Duration::from_nanos(1),
+                "attempt {attempt}: jitter exceeds half the delay: {d:?}"
+            );
+            assert!(base >= prev_base, "backoff must not shrink");
+            prev_base = base;
+        }
+        // Deterministic per seed, different across seeds.
+        assert_eq!(policy.backoff(3), policy.backoff(3));
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(policy.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn zero_base_delay_does_not_divide_by_zero() {
+        let policy = RetryPolicy {
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff(0), Duration::ZERO);
+        assert_eq!(policy.backoff(31), Duration::ZERO);
+    }
+}

@@ -28,7 +28,7 @@ use desq_core::{Dictionary, Error, Fst, ItemId, Result, Sequence};
 
 use desq_bsp::{Combiner, Engine};
 
-use crate::{from_bsp, to_bsp, MiningResult};
+use crate::{from_bsp, to_bsp, Exec, MiningResult};
 use nfa::{Nfa, TrieBuilder};
 
 /// Configuration of the D-CAND algorithm.
@@ -207,7 +207,8 @@ fn representations(
         .collect())
 }
 
-/// The workhorse behind [`d_cand`] and [`crate::algo::DCand`].
+/// The workhorse behind [`d_cand`] and [`crate::algo::DCand`]:
+/// single-process execution.
 pub(crate) fn d_cand_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
@@ -215,7 +216,60 @@ pub(crate) fn d_cand_impl(
     dict: &Dictionary,
     config: DCandConfig,
 ) -> Result<MiningResult> {
+    Ok(d_cand_exec(engine, parts, fst, dict, config, Exec::Local)?
+        .expect("local execution returns a result"))
+}
+
+/// Runs D-CAND over an explicit shuffle transport (see
+/// [`crate::dseq::d_seq_via`] for the contract). Only the aggregating
+/// variant ships over the wire: the "no agg" ablation uses the engine's
+/// owned-value map/reduce shape, which the byte-oriented transport does
+/// not carry — [`DCandConfig::aggregate`] must be `true`.
+pub fn d_cand_via(
+    engine: &Engine,
+    transport: &dyn desq_bsp::ShuffleTransport,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DCandConfig,
+) -> Result<MiningResult> {
+    Ok(
+        d_cand_exec(engine, parts, fst, dict, config, Exec::Via(transport))?
+            .expect("driver execution returns a result"),
+    )
+}
+
+/// Serves a D-CAND job as a worker process connected to the coordinator at
+/// `addr`. Requires [`DCandConfig::aggregate`], like [`d_cand_via`].
+pub fn d_cand_worker(
+    engine: &Engine,
+    addr: std::net::SocketAddr,
+    net: &desq_bsp::NetConfig,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DCandConfig,
+) -> Result<()> {
+    d_cand_exec(engine, parts, fst, dict, config, Exec::Worker(addr, net))?;
+    Ok(())
+}
+
+fn d_cand_exec(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DCandConfig,
+    exec: Exec<'_>,
+) -> Result<Option<MiningResult>> {
     desq_core::mining::validate_sigma(config.sigma)?;
+    if !config.aggregate && !matches!(exec, Exec::Local) {
+        return Err(Error::Invalid(
+            "D-CAND without aggregation is not supported over a shuffle transport \
+             (the no-agg ablation uses the owned-value map/reduce shape)"
+                .into(),
+        ));
+    }
     let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
     let index = FstIndex::new(fst);
@@ -242,30 +296,45 @@ pub(crate) fn d_cand_impl(
     };
 
     let (patterns, job) = if config.aggregate {
-        engine
-            .map_combine_reduce(
-                parts,
-                |part: &[Sequence], out: &mut Combiner<ItemId>| {
-                    let walker = RunWalker::new(fst, dict, &index, last_frequent);
-                    let mut scratch = RunScratch::default();
-                    for seq in part {
-                        for (p, bytes) in
-                            representations(&walker, seq, &config, &mut scratch).map_err(to_bsp)?
-                        {
-                            // The serialized NFA goes through the byte-
-                            // payload path: combined by content, interned
-                            // per bucket chunk.
-                            out.emit(&p, &bytes, 1);
-                        }
-                    }
-                    Ok(())
-                },
-                |_p: &ItemId, inputs: &[(&[u8], u64)], emit: &mut dyn FnMut((Sequence, u64))| {
-                    expand_and_count(&mut inputs.iter().copied(), emit)
-                },
-            )
-            .map_err(from_bsp)?
+        let map = |part: &[Sequence], out: &mut Combiner<ItemId>| {
+            let walker = RunWalker::new(fst, dict, &index, last_frequent);
+            let mut scratch = RunScratch::default();
+            for seq in part {
+                for (p, bytes) in
+                    representations(&walker, seq, &config, &mut scratch).map_err(to_bsp)?
+                {
+                    // The serialized NFA goes through the byte-payload
+                    // path: combined by content, interned per bucket chunk.
+                    out.emit(&p, &bytes, 1);
+                }
+            }
+            Ok(())
+        };
+        let reduce =
+            |_p: &ItemId, inputs: &[(&[u8], u64)], emit: &mut dyn FnMut((Sequence, u64))| {
+                expand_and_count(&mut inputs.iter().copied(), emit)
+            };
+        let reduce_with =
+            |_: &mut (),
+             p: &ItemId,
+             inputs: &[(&[u8], u64)],
+             emit: &mut dyn FnMut((Sequence, u64))| { reduce(p, inputs, emit) };
+        match exec {
+            Exec::Local => engine
+                .map_combine_reduce(parts, map, reduce)
+                .map_err(from_bsp)?,
+            Exec::Via(transport) => engine
+                .map_combine_reduce_via(transport, parts, map, || (), reduce_with)
+                .map_err(from_bsp)?,
+            Exec::Worker(addr, net) => {
+                engine
+                    .run_worker(addr, net, parts, map, || (), reduce_with)
+                    .map_err(from_bsp)?;
+                return Ok(None);
+            }
+        }
     } else {
+        // The guard above pinned this branch to Exec::Local.
         engine
             .map_reduce(
                 parts,
@@ -296,7 +365,7 @@ pub(crate) fn d_cand_impl(
         engine.workers(),
         crate::input_len(parts),
     );
-    Ok(MiningResult { patterns, metrics })
+    Ok(Some(MiningResult { patterns, metrics }))
 }
 
 #[cfg(test)]

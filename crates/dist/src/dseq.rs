@@ -24,7 +24,7 @@ use desq_core::{Dictionary, Fst, ItemId, Result, Sequence};
 use desq_miner::{LocalMiner, MinerConfig, SeqCore};
 
 use crate::pivots::{PivotRange, PivotScratch, PivotSearch};
-use crate::{from_bsp, to_bsp, MiningResult};
+use crate::{from_bsp, to_bsp, Exec, MiningResult};
 
 /// Configuration of the D-SEQ algorithm. The boolean flags correspond to
 /// the cumulative enhancements of Fig. 10a.
@@ -64,7 +64,7 @@ impl DSeqConfig {
     }
 }
 
-/// The workhorse behind [`d_seq`] and [`crate::algo::DSeq`].
+/// The workhorse behind [`crate::algo::DSeq`]: single-process execution.
 pub(crate) fn d_seq_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
@@ -72,6 +72,51 @@ pub(crate) fn d_seq_impl(
     dict: &Dictionary,
     config: DSeqConfig,
 ) -> Result<MiningResult> {
+    Ok(d_seq_exec(engine, parts, fst, dict, config, Exec::Local)?
+        .expect("local execution returns a result"))
+}
+
+/// Runs D-SEQ over an explicit shuffle transport — pass
+/// [`desq_bsp::transport::InProcess`] for a single-process run or a
+/// [`desq_bsp::NetCoordinator`] to drive worker processes.
+pub fn d_seq_via(
+    engine: &Engine,
+    transport: &dyn desq_bsp::ShuffleTransport,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DSeqConfig,
+) -> Result<MiningResult> {
+    Ok(
+        d_seq_exec(engine, parts, fst, dict, config, Exec::Via(transport))?
+            .expect("driver execution returns a result"),
+    )
+}
+
+/// Serves a D-SEQ job as a worker process: connects to the coordinator at
+/// `addr` and executes assigned tasks until the job ends. The corpus,
+/// partitioning and configuration must match the coordinator's.
+pub fn d_seq_worker(
+    engine: &Engine,
+    addr: std::net::SocketAddr,
+    net: &desq_bsp::NetConfig,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DSeqConfig,
+) -> Result<()> {
+    d_seq_exec(engine, parts, fst, dict, config, Exec::Worker(addr, net))?;
+    Ok(())
+}
+
+fn d_seq_exec(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: DSeqConfig,
+    exec: Exec<'_>,
+) -> Result<Option<MiningResult>> {
     desq_core::mining::validate_sigma(config.sigma)?;
     let t0 = std::time::Instant::now();
     let last_frequent = dict.last_frequent(config.sigma);
@@ -149,9 +194,20 @@ pub(crate) fn d_seq_impl(
         Ok(())
     };
 
-    let (patterns, job) = engine
-        .map_combine_reduce_with(parts, map, CoreCache::default, reduce)
-        .map_err(from_bsp)?;
+    let (patterns, job) = match exec {
+        Exec::Local => engine
+            .map_combine_reduce_with(parts, map, CoreCache::default, reduce)
+            .map_err(from_bsp)?,
+        Exec::Via(transport) => engine
+            .map_combine_reduce_via(transport, parts, map, CoreCache::default, reduce)
+            .map_err(from_bsp)?,
+        Exec::Worker(addr, net) => {
+            engine
+                .run_worker(addr, net, parts, map, CoreCache::default, reduce)
+                .map_err(from_bsp)?;
+            return Ok(None);
+        }
+    };
     let patterns = desq_miner::sort_patterns(patterns);
     let metrics = crate::metrics_from_job(
         job,
@@ -159,7 +215,7 @@ pub(crate) fn d_seq_impl(
         engine.workers(),
         crate::input_len(parts),
     );
-    Ok(MiningResult { patterns, metrics })
+    Ok(Some(MiningResult { patterns, metrics }))
 }
 
 #[cfg(test)]

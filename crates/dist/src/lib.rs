@@ -75,8 +75,30 @@ pub fn metrics_from_job(
         worker_nanos: Vec::new(),
         tasks: job.reduce_tasks,
         steals: job.reduce_steals,
+        retried_tasks: job.retried_tasks,
+        peer_timeouts: job.peer_timeouts,
+        max_task_nanos: job.max_task_nanos,
         cancelled: job.cancelled,
     }
+}
+
+/// How a distributed job executes its BSP round.
+///
+/// [`Exec::Local`] is the classic single-process path (the default
+/// everywhere). [`Exec::Via`] drives the *same* job over an explicit
+/// [`desq_bsp::ShuffleTransport`] — pass a
+/// [`desq_bsp::NetCoordinator`] to farm the map and reduce tasks out to
+/// worker processes. [`Exec::Worker`] turns this process into one of those
+/// workers: it connects to the coordinator and serves tasks against its
+/// own copy of the partitions (every process must build the same corpus
+/// and configuration; only task ids and bytes cross the wire).
+pub enum Exec<'a> {
+    /// Single-process execution on the engine's thread pool.
+    Local,
+    /// Drive the job through an explicit shuffle transport.
+    Via(&'a dyn desq_bsp::ShuffleTransport),
+    /// Serve the job as a worker connected to a coordinator.
+    Worker(std::net::SocketAddr, &'a desq_bsp::NetConfig),
 }
 
 /// Total input sequences across the map partitions.
@@ -93,6 +115,8 @@ pub(crate) fn from_bsp(e: desq_bsp::Error) -> desq_core::Error {
         desq_bsp::Error::Cancelled(m) => desq_core::Error::Cancelled(m),
         desq_bsp::Error::WorkerPanicked(m) => desq_core::Error::WorkerPanicked(m),
         desq_bsp::Error::Worker(m) => desq_core::Error::Invalid(m),
+        desq_bsp::Error::PeerUnreachable(m) => desq_core::Error::PeerUnreachable(m),
+        desq_bsp::Error::PeerTimedOut(m) => desq_core::Error::PeerTimedOut(m),
     }
 }
 
@@ -105,6 +129,8 @@ pub(crate) fn to_bsp(e: desq_core::Error) -> desq_bsp::Error {
         desq_core::Error::DeadlineExceeded(m) => desq_bsp::Error::DeadlineExceeded(m),
         desq_core::Error::Cancelled(m) => desq_bsp::Error::Cancelled(m),
         desq_core::Error::WorkerPanicked(m) => desq_bsp::Error::WorkerPanicked(m),
+        desq_core::Error::PeerUnreachable(m) => desq_bsp::Error::PeerUnreachable(m),
+        desq_core::Error::PeerTimedOut(m) => desq_bsp::Error::PeerTimedOut(m),
         other => desq_bsp::Error::Worker(other.to_string()),
     }
 }

@@ -24,7 +24,7 @@ use desq_core::codec::decode_item_seq;
 use desq_core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
 use desq_core::{sequence, Dictionary, Fst, ItemId, Result, Sequence};
 
-use crate::{from_bsp, to_bsp, MiningResult};
+use crate::{from_bsp, to_bsp, Exec, MiningResult};
 
 /// Configuration of the NAÏVE / SEMI-NAÏVE baselines.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +65,8 @@ impl NaiveConfig {
     }
 }
 
-/// The workhorse behind [`naive`], [`semi_naive`] and [`crate::algo::Naive`].
+/// The workhorse behind [`naive`], [`semi_naive`] and [`crate::algo::Naive`]:
+/// single-process execution.
 pub(crate) fn naive_impl(
     engine: &Engine,
     parts: &[&[Sequence]],
@@ -73,6 +74,49 @@ pub(crate) fn naive_impl(
     dict: &Dictionary,
     config: NaiveConfig,
 ) -> Result<MiningResult> {
+    Ok(naive_exec(engine, parts, fst, dict, config, Exec::Local)?
+        .expect("local execution returns a result"))
+}
+
+/// Runs NAÏVE / SEMI-NAÏVE over an explicit shuffle transport (see
+/// [`crate::dseq::d_seq_via`] for the contract).
+pub fn naive_via(
+    engine: &Engine,
+    transport: &dyn desq_bsp::ShuffleTransport,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: NaiveConfig,
+) -> Result<MiningResult> {
+    Ok(
+        naive_exec(engine, parts, fst, dict, config, Exec::Via(transport))?
+            .expect("driver execution returns a result"),
+    )
+}
+
+/// Serves a NAÏVE / SEMI-NAÏVE job as a worker process connected to the
+/// coordinator at `addr`.
+pub fn naive_worker(
+    engine: &Engine,
+    addr: std::net::SocketAddr,
+    net: &desq_bsp::NetConfig,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: NaiveConfig,
+) -> Result<()> {
+    naive_exec(engine, parts, fst, dict, config, Exec::Worker(addr, net))?;
+    Ok(())
+}
+
+fn naive_exec(
+    engine: &Engine,
+    parts: &[&[Sequence]],
+    fst: &Fst,
+    dict: &Dictionary,
+    config: NaiveConfig,
+    exec: Exec<'_>,
+) -> Result<Option<MiningResult>> {
     desq_core::mining::validate_sigma(config.sigma)?;
     let t0 = std::time::Instant::now();
     let index = FstIndex::new(fst);
@@ -114,9 +158,26 @@ pub(crate) fn naive_impl(
         Ok(())
     };
 
-    let (patterns, job) = engine
-        .map_combine_reduce(parts, map, reduce)
-        .map_err(from_bsp)?;
+    // The via/worker paths need the stateful reduce shape; unit state
+    // makes the stateless σ-filter fit it.
+    let reduce_with =
+        |_: &mut (), p: &ItemId, cands: &[(&[u8], u64)], emit: &mut dyn FnMut((Sequence, u64))| {
+            reduce(p, cands, emit)
+        };
+    let (patterns, job) = match exec {
+        Exec::Local => engine
+            .map_combine_reduce(parts, map, reduce)
+            .map_err(from_bsp)?,
+        Exec::Via(transport) => engine
+            .map_combine_reduce_via(transport, parts, map, || (), reduce_with)
+            .map_err(from_bsp)?,
+        Exec::Worker(addr, net) => {
+            engine
+                .run_worker(addr, net, parts, map, || (), reduce_with)
+                .map_err(from_bsp)?;
+            return Ok(None);
+        }
+    };
     let patterns = desq_miner::sort_patterns(patterns);
     let metrics = crate::metrics_from_job(
         job,
@@ -124,7 +185,7 @@ pub(crate) fn naive_impl(
         engine.workers(),
         crate::input_len(parts),
     );
-    Ok(MiningResult { patterns, metrics })
+    Ok(Some(MiningResult { patterns, metrics }))
 }
 
 #[cfg(test)]

@@ -17,65 +17,16 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
 
 use desq_core::{MiningMetrics, Sequence};
 
 use crate::proto::{read_frame, write_frame, Message, Request, ServerStats};
 use crate::{ServeError, ServeResult};
 
-/// Bounded, jittered exponential backoff for transient failures
-/// ([`ServeError::Busy`] and connection-refused).
-///
-/// Attempt `n` (0-based) sleeps `base_delay · 2ⁿ` capped at `max_delay`,
-/// plus a deterministic jitter of up to half that delay derived from
-/// `seed` — concurrent clients with different seeds spread out instead of
-/// retrying in lockstep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Retries after the first attempt (total attempts = `max_retries+1`).
-    pub max_retries: u32,
-    /// Backoff of the first retry.
-    pub base_delay: Duration,
-    /// Upper bound on any single backoff (pre-jitter).
-    pub max_delay: Duration,
-    /// Seed of the deterministic jitter sequence.
-    pub seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_retries: 5,
-            base_delay: Duration::from_millis(10),
-            max_delay: Duration::from_millis(500),
-            seed: 0x9E37_79B9_7F4A_7C15,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// The sleep before retry `attempt` (0-based): exponential backoff
-    /// with deterministic jitter in `[0, delay/2]`.
-    fn backoff(&self, attempt: u32) -> Duration {
-        let exp = self
-            .base_delay
-            .saturating_mul(2u32.saturating_pow(attempt))
-            .min(self.max_delay);
-        // xorshift* keyed by (seed, attempt): reproducible per client,
-        // decorrelated across clients with different seeds.
-        let mut x = self.seed
-            ^ (u64::from(attempt)
-                .wrapping_add(1)
-                .wrapping_mul(0x2545_F491_4F6C_DD1D));
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        let half = exp.as_nanos() as u64 / 2;
-        let jitter = if half == 0 { 0 } else { x % half };
-        exp + Duration::from_nanos(jitter)
-    }
-}
+/// The shared jittered-exponential backoff schedule, re-exported from its
+/// canonical home — `desq_core::retry` — where the networked shuffle
+/// transport's reconnect logic uses the same audited implementation.
+pub use desq_core::retry::RetryPolicy;
 
 /// True for the failures worth retrying: explicit overload and a refused
 /// connection. Everything else is either permanent or already ran.
@@ -189,34 +140,8 @@ impl Client {
 mod tests {
     use super::*;
 
-    #[test]
-    fn backoff_grows_is_capped_and_jitter_is_bounded() {
-        let policy = RetryPolicy {
-            max_retries: 8,
-            base_delay: Duration::from_millis(10),
-            max_delay: Duration::from_millis(100),
-            seed: 42,
-        };
-        let mut prev_base = Duration::ZERO;
-        for attempt in 0..8 {
-            let base = policy
-                .base_delay
-                .saturating_mul(2u32.saturating_pow(attempt))
-                .min(policy.max_delay);
-            let d = policy.backoff(attempt);
-            assert!(d >= base, "attempt {attempt}: {d:?} < base {base:?}");
-            assert!(
-                d <= base + base / 2 + Duration::from_nanos(1),
-                "attempt {attempt}: jitter exceeds half the delay: {d:?}"
-            );
-            assert!(base >= prev_base, "backoff must not shrink");
-            prev_base = base;
-        }
-        // Deterministic per seed, different across seeds.
-        assert_eq!(policy.backoff(3), policy.backoff(3));
-        let other = RetryPolicy { seed: 43, ..policy };
-        assert_ne!(policy.backoff(3), other.backoff(3));
-    }
+    // The backoff schedule itself is tested at its home,
+    // `desq_core::retry`; here only the client's transience predicate.
 
     #[test]
     fn only_busy_and_connection_refused_are_transient() {

@@ -45,8 +45,10 @@ use desq_core::{Error, MiningMetrics, Result, Sequence};
 
 /// Protocol revision; bumped on any incompatible wire change.
 /// (v2 added `deadline_millis` to requests and the failure counters to
-/// the terminal metrics frame.)
-pub const PROTOCOL_VERSION: u8 = 2;
+/// the terminal metrics frame; v3 added the straggler counters —
+/// `retried_tasks`, `peer_timeouts`, `max_task_nanos` — to the metrics
+/// body and the peer error kinds 9/10.)
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on one frame's payload length (16 MiB). Large result sets
 /// stream as many `Patterns` frames, so well-formed frames stay far below
@@ -293,6 +295,14 @@ fn encode_error(e: &Error, buf: &mut Vec<u8>) {
             buf.push(8);
             write_str(buf, msg);
         }
+        Error::PeerUnreachable(msg) => {
+            buf.push(9);
+            write_str(buf, msg);
+        }
+        Error::PeerTimedOut(msg) => {
+            buf.push(10);
+            write_str(buf, msg);
+        }
     }
 }
 
@@ -315,6 +325,8 @@ fn decode_error(buf: &mut &[u8]) -> Result<Error> {
         6 => Error::DeadlineExceeded(msg),
         7 => Error::Cancelled(msg),
         8 => Error::WorkerPanicked(msg),
+        9 => Error::PeerUnreachable(msg),
+        10 => Error::PeerTimedOut(msg),
         other => return Err(Error::Decode(format!("unknown error kind {other}"))),
     })
 }
@@ -573,6 +585,10 @@ mod tests {
         roundtrip(&Message::Error(Error::DeadlineExceeded("100ms".into())));
         roundtrip(&Message::Error(Error::Cancelled("drain".into())));
         roundtrip(&Message::Error(Error::WorkerPanicked("task 7".into())));
+        roundtrip(&Message::Error(Error::PeerUnreachable(
+            "127.0.0.1:7777".into(),
+        )));
+        roundtrip(&Message::Error(Error::PeerTimedOut("worker 2".into())));
         roundtrip(&Message::Busy {
             in_flight: 8,
             cap: 8,

@@ -86,6 +86,7 @@ fn any_metrics() -> impl Strategy<Value = Message> {
         ),
         (0u64..2, any_u64(), any_u64(), any_u64(), any_u64()),
         (any_u64(), any_u64(), any_u64()),
+        (any_u64(), any_u64(), any_u64()),
     )
         .prop_map(
             |(
@@ -93,6 +94,7 @@ fn any_metrics() -> impl Strategy<Value = Message> {
                 (reducer_bytes, worker_nanos),
                 (cache_hit, hits, misses, queue_wait, compile),
                 (timeouts, panics, cancels),
+                (retried, peer_timeouts, max_task),
             )| {
                 Message::Metrics {
                     mining: MiningMetrics {
@@ -110,6 +112,9 @@ fn any_metrics() -> impl Strategy<Value = Message> {
                         worker_nanos,
                         tasks: reduce,
                         steals: wall,
+                        retried_tasks: retried,
+                        peer_timeouts,
+                        max_task_nanos: max_task,
                         cancelled: wall & 1 == 1,
                     },
                     stats: ServerStats {
@@ -128,7 +133,7 @@ fn any_metrics() -> impl Strategy<Value = Message> {
 }
 
 fn any_error() -> impl Strategy<Value = Message> {
-    (0u8..9, any_string(), any_u64()).prop_map(|(kind, msg, pos)| {
+    (0u8..11, any_string(), any_u64()).prop_map(|(kind, msg, pos)| {
         Message::Error(match kind {
             0 => Error::Parse {
                 msg,
@@ -141,7 +146,9 @@ fn any_error() -> impl Strategy<Value = Message> {
             5 => Error::Invalid(msg),
             6 => Error::DeadlineExceeded(msg),
             7 => Error::Cancelled(msg),
-            _ => Error::WorkerPanicked(msg),
+            8 => Error::WorkerPanicked(msg),
+            9 => Error::PeerUnreachable(msg),
+            _ => Error::PeerTimedOut(msg),
         })
     })
 }
