@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks of the hot kernels:
 //! FST simulation (grid construction), pivot search (grid DP vs run
 //! enumeration), the ⊕ pivot merge, NFA construction/minimization/
-//! serialization, shuffle codecs, local mining, and the flat counting
-//! path (run-table build, run enumeration and interned counting vs the
-//! `candidates::generate` oracle).
+//! serialization, FST compilation at both optimizer levels, shuffle
+//! codecs, local mining, and the flat counting path (run-table build,
+//! run enumeration and interned counting vs the `candidates::generate`
+//! oracle).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use desq_bsp::Codec;
@@ -91,6 +92,30 @@ fn bench_nfa(c: &mut Criterion) {
     c.bench_function("nfa/deserialize", |b| {
         b.iter(|| black_box(Nfa::deserialize(black_box(&bytes)).unwrap()))
     });
+}
+
+fn bench_fst_opt(c: &mut Criterion) {
+    // Compilation with and without the optimizer pipeline, per Tab. III
+    // NYT constraint — the Full-vs-None delta is the cost of
+    // pair-determinization + suffix-sharing minimization, paid once per
+    // pattern expression (and amortized by the serve FST cache).
+    let (dict, _) = nyt_like(&NytConfig::new(500));
+    for constraint in desq_dist::patterns::nyt_constraints() {
+        let pexp = desq_core::PatEx::parse(&constraint.expr)
+            .unwrap()
+            .unanchored();
+        let name = constraint.name.to_lowercase();
+        c.bench_function(format!("fst_opt/compile_none_{name}").as_str(), |b| {
+            b.iter(|| {
+                black_box(Fst::compile_with(&pexp, &dict, desq_core::OptLevel::None).unwrap())
+            })
+        });
+        c.bench_function(format!("fst_opt/compile_full_{name}").as_str(), |b| {
+            b.iter(|| {
+                black_box(Fst::compile_with(&pexp, &dict, desq_core::OptLevel::Full).unwrap())
+            })
+        });
+    }
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -253,7 +278,7 @@ fn bench_counting(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_grid, bench_pivot_search, bench_merge, bench_nfa, bench_codec,
-              bench_local_mining, bench_counting
+    targets = bench_grid, bench_pivot_search, bench_merge, bench_nfa, bench_fst_opt,
+              bench_codec, bench_local_mining, bench_counting
 }
 criterion_main!(kernels);

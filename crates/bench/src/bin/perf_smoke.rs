@@ -46,6 +46,14 @@
 //!   baseline — the transport is new; the in-process run *is* the
 //!   reference, and the counters must read zero on a healthy link.
 //!
+//! * **fst-opt** (`perf_smoke fst-opt`): measures the FST optimizer
+//!   pipeline on N2/N3/N5/N4 — compile time, state/transition reduction
+//!   and sequential DESQ-DFS mined wall time at `OptLevel::None`
+//!   (ε-removal + pruning only, the oracle) vs `OptLevel::Full`
+//!   (+ pair-determinization + suffix-sharing minimization) — asserting
+//!   zero result divergence, and writes `BENCH_9.json`. The None run *is*
+//!   the baseline; no recorded numbers.
+//!
 //! Override any baseline with `PERF_BASELINE_<NAME>=secs` (local) or
 //! `PERF_BASELINE_<ALGO>_<NAME>=secs[,shuffle_bytes]` (dist/count) when
 //! benchmarking on a different machine. The outputs are consumed by CI as
@@ -1065,6 +1073,144 @@ fn dist_net_main(out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+struct FstOptRow {
+    name: String,
+    patterns: usize,
+    states_none: usize,
+    transitions_none: usize,
+    states_full: usize,
+    transitions_full: usize,
+    compile_none_micros: f64,
+    compile_full_micros: f64,
+    none_secs: f64,
+    full_secs: f64,
+}
+
+fn measure_fst_opt(
+    c: &Constraint,
+    dict: &desq_core::Dictionary,
+    inputs: &[WeightedInput<'_>],
+) -> FstOptRow {
+    use desq_core::{Fst, OptLevel, PatEx};
+    let pexp = PatEx::parse(&c.expr).unwrap().unanchored();
+    let mut compile_best = [f64::MAX; 2];
+    for (slot, level) in [(0, OptLevel::None), (1, OptLevel::Full)] {
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let fst = Fst::compile_with(&pexp, dict, level).unwrap();
+            compile_best[slot] = compile_best[slot].min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&fst);
+        }
+    }
+    let none = Fst::compile_with(&pexp, dict, OptLevel::None).unwrap();
+    let full = Fst::compile_with(&pexp, dict, OptLevel::Full).unwrap();
+    let mut best = [f64::MAX; 2];
+    let mut out_none = Vec::new();
+    let mut out_full = Vec::new();
+    for (slot, fst, out) in [(0, &none, &mut out_none), (1, &full, &mut out_full)] {
+        let miner = LocalMiner::new(fst, dict, MinerConfig::sequential(SIGMA));
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            *out = miner.mine(inputs).unwrap();
+            best[slot] = best[slot].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    // Zero oracle divergence, checked on every bench run.
+    assert_eq!(
+        out_full, out_none,
+        "{}: OptLevel::Full diverged from the None oracle",
+        c.name
+    );
+    FstOptRow {
+        name: c.name.clone(),
+        patterns: out_full.len(),
+        states_none: none.num_states(),
+        transitions_none: none.num_transitions(),
+        states_full: full.num_states(),
+        transitions_full: full.num_transitions(),
+        compile_none_micros: compile_best[0] * 1e6,
+        compile_full_micros: compile_best[1] * 1e6,
+        none_secs: best[0],
+        full_secs: best[1],
+    }
+}
+
+fn fst_opt_main(out_path: &str) {
+    let (dict, db) = nyt_like(&NytConfig::new(NYT_SIZE));
+    let inputs: Vec<WeightedInput<'_>> = db.sequences.iter().map(|s| (s.as_slice(), 1)).collect();
+    let constraints = [
+        desq_dist::patterns::n1(),
+        desq_dist::patterns::n2(),
+        desq_dist::patterns::n3(),
+        desq_dist::patterns::n5(),
+        desq_dist::patterns::n4(),
+    ];
+    let rows: Vec<FstOptRow> = constraints
+        .iter()
+        .map(|c| measure_fst_opt(c, &dict, &inputs))
+        .collect();
+
+    let (mut none, mut full) = (0.0, 0.0);
+    let mut log_speedup = 0.0;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"fst optimizer perf smoke\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"nyt_like({NYT_SIZE})\", \"sigma\": {SIGMA}, \
+         \"reps\": {REPS}, \"metric\": \"min wall seconds, sequential DESQ-DFS\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"OptLevel::None (\\u03b5-removal + pruning only; Full adds \
+         pair-determinization + suffix-sharing minimization)\","
+    );
+    json.push_str("  \"constraints\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        none += r.none_secs;
+        full += r.full_secs;
+        let speedup = r.none_secs / r.full_secs;
+        log_speedup += speedup.ln();
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"patterns\": {}, \
+             \"states_none\": {}, \"states_full\": {}, \
+             \"transitions_none\": {}, \"transitions_full\": {}, \
+             \"state_reduction\": {:.2}, \"transition_reduction\": {:.2}, \
+             \"compile_none_micros\": {:.1}, \"compile_full_micros\": {:.1}, \
+             \"none_secs\": {:.4}, \"full_secs\": {:.4}, \"speedup\": {:.2}}}{}",
+            r.name,
+            r.patterns,
+            r.states_none,
+            r.states_full,
+            r.transitions_none,
+            r.transitions_full,
+            1.0 - r.states_full as f64 / r.states_none as f64,
+            1.0 - r.transitions_full as f64 / r.transitions_none as f64,
+            r.compile_none_micros,
+            r.compile_full_micros,
+            r.none_secs,
+            r.full_secs,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"none_secs\": {:.4}, \"full_secs\": {:.4}, \
+         \"speedup\": {:.2}, \"geomean_speedup\": {:.2}}}",
+        none,
+        full,
+        none / full,
+        (log_speedup / rows.len() as f64).exp()
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_9.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -1087,6 +1233,10 @@ fn main() {
         Some("dist-net") => {
             let out = args.next().unwrap_or_else(|| "BENCH_8.json".to_string());
             dist_net_main(&out);
+        }
+        Some("fst-opt") => {
+            let out = args.next().unwrap_or_else(|| "BENCH_9.json".to_string());
+            fst_opt_main(&out);
         }
         Some("dist-net-worker") => {
             let addr = args.next().expect("dist-net-worker <addr> <constraint>");

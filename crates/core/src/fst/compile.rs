@@ -1,23 +1,24 @@
 //! Pattern expression → FST compilation.
 //!
 //! A standard Thompson construction produces a transducer with ε-input
-//! edges; ε-elimination then yields the final [`Fst`] in which every
-//! transition consumes exactly one input item. Dead states (states from
-//! which no final state is reachable) are pruned, transitions deduplicated,
-//! and states renumbered densely.
+//! edges; the [`opt`](super::opt) pipeline then yields the final [`Fst`] in
+//! which every transition consumes exactly one input item: ε-removal and
+//! dead-state pruning always run (the representation requires them),
+//! pair-determinization and suffix-sharing minimization at
+//! [`OptLevel::Full`].
 
-use super::{Fst, InputLabel, OutputLabel, Transition};
+use super::opt::{self, OptLevel};
+use super::{Fst, InputLabel, OutputLabel};
 use crate::dictionary::Dictionary;
 use crate::error::{Error, Result};
-use crate::fx::FxHashSet;
 use crate::pexp::PatEx;
 
 /// Thompson-style NFST state: any number of ε edges plus at most one
 /// consuming edge.
 #[derive(Default, Clone)]
-struct NState {
-    eps: Vec<u32>,
-    consume: Option<(InputLabel, OutputLabel, u32)>,
+pub(super) struct NState {
+    pub(super) eps: Vec<u32>,
+    pub(super) consume: Option<(InputLabel, OutputLabel, u32)>,
 }
 
 struct Builder<'a> {
@@ -175,215 +176,13 @@ impl<'a> Builder<'a> {
     }
 }
 
-/// ε-closure of `s` (including `s`), iterative.
-fn closure(states: &[NState], s: u32, out: &mut Vec<u32>, seen: &mut FxHashSet<u32>) {
-    out.clear();
-    seen.clear();
-    let mut stack = vec![s];
-    seen.insert(s);
-    while let Some(q) = stack.pop() {
-        out.push(q);
-        for &t in &states[q as usize].eps {
-            if seen.insert(t) {
-                stack.push(t);
-            }
-        }
-    }
-}
-
-pub(super) fn compile(pexp: &PatEx, dict: &Dictionary) -> Result<Fst> {
+pub(super) fn compile(pexp: &PatEx, dict: &Dictionary, level: OptLevel) -> Result<Fst> {
     let mut b = Builder {
         states: Vec::new(),
         dict,
     };
     let frag = b.compile(pexp, false)?;
-    let nstates = b.states;
-    let nfinal = frag.end;
-
-    // ε-elimination: state q of the FST corresponds to NFST state q; its
-    // transitions are the consuming edges of every state in closure(q); it is
-    // final if its closure contains the NFST final state.
-    let n = nstates.len();
-    let mut ftrans: Vec<Vec<Transition>> = vec![Vec::new(); n];
-    let mut ffinal = vec![false; n];
-    let mut cl = Vec::new();
-    let mut seen = FxHashSet::default();
-    for q in 0..n as u32 {
-        closure(&nstates, q, &mut cl, &mut seen);
-        let mut dedup: FxHashSet<Transition> = FxHashSet::default();
-        for &c in &cl {
-            if c == nfinal {
-                ffinal[q as usize] = true;
-            }
-            if let Some((input, output, to)) = nstates[c as usize].consume {
-                dedup.insert(Transition { input, output, to });
-            }
-        }
-        let mut trs: Vec<Transition> = dedup.into_iter().collect();
-        trs.sort_by_key(|t| (t.to, t.input, t.output));
-        ftrans[q as usize] = trs;
-    }
-
-    // Forward reachability from the start.
-    let mut reach = vec![false; n];
-    let mut stack = vec![frag.start];
-    reach[frag.start as usize] = true;
-    while let Some(q) = stack.pop() {
-        for tr in &ftrans[q as usize] {
-            if !reach[tr.to as usize] {
-                reach[tr.to as usize] = true;
-                stack.push(tr.to);
-            }
-        }
-    }
-
-    // Co-reachability: states from which some final state is reachable.
-    // (Conservative: ignores input labels.)
-    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (q, trs) in ftrans.iter().enumerate() {
-        for tr in trs {
-            rev[tr.to as usize].push(q as u32);
-        }
-    }
-    let mut co = vec![false; n];
-    let mut stack: Vec<u32> = (0..n as u32).filter(|&q| ffinal[q as usize]).collect();
-    for &q in &stack {
-        co[q as usize] = true;
-    }
-    while let Some(q) = stack.pop() {
-        for &p in &rev[q as usize] {
-            if !co[p as usize] {
-                co[p as usize] = true;
-                stack.push(p);
-            }
-        }
-    }
-
-    // Keep live states (reachable and co-reachable) plus the initial state.
-    let keep: Vec<bool> = (0..n).map(|q| reach[q] && co[q]).collect();
-    let mut remap = vec![u32::MAX; n];
-    let mut next = 0u32;
-    // The initial state always gets id 0, live or not.
-    remap[frag.start as usize] = 0;
-    next += 1;
-    for q in 0..n {
-        if keep[q] && remap[q] == u32::MAX {
-            remap[q] = next;
-            next += 1;
-        }
-    }
-
-    let mut states = vec![Vec::new(); next as usize];
-    let mut finals = vec![false; next as usize];
-    for q in 0..n {
-        if remap[q] == u32::MAX {
-            continue;
-        }
-        finals[remap[q] as usize] = ffinal[q];
-        let mut trs: Vec<Transition> = ftrans[q]
-            .iter()
-            .filter(|t| keep[t.to as usize])
-            .map(|t| Transition {
-                input: t.input,
-                output: t.output,
-                to: remap[t.to as usize],
-            })
-            .collect();
-        trs.sort_by_key(|t| (t.to, t.input, t.output));
-        states[remap[q] as usize] = trs;
-    }
-
-    let (initial, finals, states) = quotient(0, finals, states);
-    Ok(Fst {
-        initial,
-        finals,
-        states,
-    })
-}
-
-/// Merges forward-bisimilar states (identical finality and identical
-/// transition signatures up to the current partition), iterated to a
-/// fixpoint. Language- and output-preserving.
-///
-/// This matters beyond size: the Thompson construction turns `.*` into an
-/// entry transition followed by a loop state, whereas the quotient collapses
-/// them into a genuine self-loop — exactly the shape the paper's FSTs have
-/// (Fig. 4) and the shape D-SEQ's "state change = relevant position"
-/// rewriting heuristic (Sec. V-B) relies on.
-fn quotient(
-    initial: u32,
-    finals: Vec<bool>,
-    states: Vec<Vec<Transition>>,
-) -> (u32, Vec<bool>, Vec<Vec<Transition>>) {
-    /// State signature under the current partition: own group plus the
-    /// deduplicated `(input, output, target group)` edge set.
-    type Signature = (u32, Vec<(InputLabel, OutputLabel, u32)>);
-
-    let n = states.len();
-    let mut group: Vec<u32> = finals.iter().map(|&f| u32::from(f)).collect();
-    // Refinement only splits groups, so a stable group count means a stable
-    // partition.
-    let mut num_groups = 0u32;
-    loop {
-        let mut sig_map: crate::fx::FxHashMap<Signature, u32> = crate::fx::FxHashMap::default();
-        let mut next_group = vec![0u32; n];
-        for q in 0..n {
-            let mut edges: Vec<(InputLabel, OutputLabel, u32)> = states[q]
-                .iter()
-                .map(|t| (t.input, t.output, group[t.to as usize]))
-                .collect();
-            edges.sort_unstable();
-            edges.dedup();
-            let fresh = sig_map.len() as u32;
-            next_group[q] = *sig_map.entry((group[q], edges)).or_insert(fresh);
-        }
-        let new_num = sig_map.len() as u32;
-        group = next_group;
-        if new_num == num_groups {
-            break;
-        }
-        num_groups = new_num;
-    }
-
-    let m = num_groups as usize;
-    let mut q_states: Vec<Vec<Transition>> = vec![Vec::new(); m];
-    let mut q_finals = vec![false; m];
-    let mut filled = vec![false; m];
-    for q in 0..n {
-        let g = group[q] as usize;
-        q_finals[g] |= finals[q];
-        if filled[g] {
-            continue;
-        }
-        filled[g] = true;
-        let mut trs: Vec<Transition> = states[q]
-            .iter()
-            .map(|t| Transition {
-                input: t.input,
-                output: t.output,
-                to: group[t.to as usize],
-            })
-            .collect();
-        trs.sort_by_key(|t| (t.to, t.input, t.output));
-        trs.dedup();
-        q_states[g] = trs;
-    }
-    // Renumber so the initial group is state 0 (callers rely on it).
-    let init = group[initial as usize];
-    if init != 0 {
-        q_states.swap(0, init as usize);
-        q_finals.swap(0, init as usize);
-        for trs in q_states.iter_mut() {
-            for t in trs.iter_mut() {
-                if t.to == init {
-                    t.to = 0;
-                } else if t.to == 0 {
-                    t.to = init;
-                }
-            }
-        }
-    }
-    (0, q_finals, q_states)
+    Ok(opt::optimize(&b.states, frag.start, frag.end, level))
 }
 
 #[cfg(test)]

@@ -259,7 +259,8 @@ impl<'a> RunWalker<'a> {
         }
         // Small FSTs (every compiled Tab. III constraint) take the
         // step-table path: one mask word, one frontier word.
-        let fast = w == 1 && qw == 1 && qn <= 32;
+        let fast = ix.step_table_eligible();
+        debug_assert_eq!(fast, w == 1 && qw == 1 && qn <= 32);
         if fast && scratch.step.len() != cache_len * qn * 2 {
             scratch.step.clear();
             scratch.step.resize(cache_len * qn * 2, 0);

@@ -93,8 +93,23 @@ pub struct FstIndex {
     /// hoisted once so per-sequence scans (the early-stopping heuristic)
     /// never re-collect and re-sort them.
     producers: Vec<(InputLabel, OutputLabel)>,
+    /// Whether this FST fits the flat step-table fast path of
+    /// [`flat`](super::flat): at most 32 states and at most 64 transitions
+    /// (one mask word).
+    step_table_eligible: bool,
+    /// The same predicate evaluated on the automaton's pre-optimization
+    /// size ([`Fst::states_before_opt`] / [`Fst::transitions_before_opt`]):
+    /// would the un-optimized machine have fit? Comparing the two tells the
+    /// optimizer's eligibility win per constraint.
+    step_table_eligible_before_opt: bool,
     /// Process-unique construction id (see [`generation`](Self::generation)).
     generation: u64,
+}
+
+/// The flat step-table fast-path predicate (see `fst::flat`): one
+/// transition-mask word and a `u64`-packable state set.
+fn fits_step_table(states: usize, transitions: usize) -> bool {
+    states <= 32 && transitions <= 64
 }
 
 impl FstIndex {
@@ -201,6 +216,11 @@ impl FstIndex {
             state_offsets,
             can_output,
             producers,
+            step_table_eligible: fits_step_table(fst.num_states(), fst.num_transitions()),
+            step_table_eligible_before_opt: fits_step_table(
+                fst.states_before_opt(),
+                fst.transitions_before_opt(),
+            ),
             generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -218,6 +238,23 @@ impl FstIndex {
     #[inline]
     pub fn words(&self) -> usize {
         self.words
+    }
+
+    /// Whether the indexed FST fits the flat step-table fast path (≤ 32
+    /// states, ≤ 64 transitions — a single mask word per position).
+    #[inline]
+    pub fn step_table_eligible(&self) -> bool {
+        self.step_table_eligible
+    }
+
+    /// Whether the automaton would have fit the step-table fast path
+    /// *before* the optimizer ran (evaluated on
+    /// [`Fst::states_before_opt`] / [`Fst::transitions_before_opt`]).
+    /// `!before && after` means the optimizer shrank the machine into the
+    /// fast path.
+    #[inline]
+    pub fn step_table_eligible_before_opt(&self) -> bool {
+        self.step_table_eligible_before_opt
     }
 
     /// The distinct non-ε output labels in intern order ([`TrRef::label`]
@@ -380,6 +417,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn step_table_eligibility_matches_the_fast_path_predicate() {
+        let fx = toy::fixture();
+        let ix = FstIndex::new(&fx.fst);
+        assert_eq!(
+            ix.step_table_eligible(),
+            fx.fst.num_states() <= 32 && fx.fst.num_transitions() <= 64
+        );
+        // The toy FST is tiny both before and after optimization.
+        assert!(ix.step_table_eligible());
+        assert!(ix.step_table_eligible_before_opt());
     }
 
     #[test]

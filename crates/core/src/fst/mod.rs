@@ -17,11 +17,15 @@ mod compile;
 pub mod flat;
 mod grid;
 pub mod index;
+mod minim;
+pub mod nfa;
+pub mod opt;
 pub mod runs;
 
 pub use flat::{CandidateCounter, RunScratch, RunWalker};
 pub use grid::Grid;
 pub use index::{FstIndex, TrRef};
+pub use opt::OptLevel;
 
 use crate::dictionary::Dictionary;
 use crate::error::Result;
@@ -128,15 +132,29 @@ pub struct Fst {
     initial: u32,
     finals: Vec<bool>,
     states: Vec<Vec<Transition>>,
+    /// State count after ε-removal and pruning but before the optional
+    /// determinization/minimization passes (equals `states.len()` at
+    /// [`OptLevel::None`]).
+    pre_states: u32,
+    /// Transition count before the optional optimizer passes.
+    pre_transitions: u32,
 }
 
 impl Fst {
-    /// Compiles a pattern expression against a dictionary.
+    /// Compiles a pattern expression against a dictionary at full
+    /// optimization ([`OptLevel::Full`]; see [`opt`] for the pipeline).
     ///
     /// Fails with [`crate::Error::UnknownItem`] if the expression references
     /// an item that is not in the dictionary.
     pub fn compile(pexp: &PatEx, dict: &Dictionary) -> Result<Fst> {
-        compile::compile(pexp, dict)
+        compile::compile(pexp, dict, OptLevel::Full)
+    }
+
+    /// Compiles a pattern expression at an explicit [`OptLevel`] —
+    /// [`OptLevel::None`] keeps the Thompson-shaped automaton (ε-removal
+    /// and pruning only) for oracle comparison against the optimized one.
+    pub fn compile_with(pexp: &PatEx, dict: &Dictionary, level: OptLevel) -> Result<Fst> {
+        compile::compile(pexp, dict, level)
     }
 
     /// The initial state.
@@ -154,6 +172,23 @@ impl Fst {
     /// Total number of transitions.
     pub fn num_transitions(&self) -> usize {
         self.states.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of states *before* the optimizer's determinization and
+    /// minimization passes (after ε-removal and pruning, which every
+    /// [`OptLevel`] performs) — together with [`num_states`](Self::num_states)
+    /// this measures the optimizer's state reduction. Equal to
+    /// `num_states()` when compiled at [`OptLevel::None`].
+    #[inline]
+    pub fn states_before_opt(&self) -> usize {
+        self.pre_states as usize
+    }
+
+    /// Number of transitions before the optimizer's determinization and
+    /// minimization passes (see [`states_before_opt`](Self::states_before_opt)).
+    #[inline]
+    pub fn transitions_before_opt(&self) -> usize {
+        self.pre_transitions as usize
     }
 
     /// Outgoing transitions of state `q`.

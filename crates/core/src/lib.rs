@@ -63,7 +63,7 @@ pub mod toy;
 
 pub use dictionary::{Dictionary, DictionaryBuilder};
 pub use error::{Error, Result};
-pub use fst::Fst;
+pub use fst::{Fst, OptLevel};
 pub use mining::{CancelToken, Limits, Miner, MiningContext, MiningMetrics, MiningResult};
 pub use pexp::PatEx;
 pub use retry::RetryPolicy;

@@ -79,6 +79,12 @@ pub fn metrics_from_job(
         peer_timeouts: job.peer_timeouts,
         max_task_nanos: job.max_task_nanos,
         cancelled: job.cancelled,
+        // FST sizes are per-session, not per-job: the session layer fills
+        // them in after the run (MiningMetrics::record_fst).
+        fst_states_before: 0,
+        fst_states_after: 0,
+        fst_transitions_before: 0,
+        fst_transitions_after: 0,
     }
 }
 

@@ -202,6 +202,31 @@ mod tests {
     }
 
     #[test]
+    fn nyt_constraints_stay_step_table_eligible_after_optimization() {
+        // The flat walker's fast path requires ≤ 32 states and ≤ 64
+        // transitions; the optimizer must keep (or put) every compiled NYT
+        // constraint inside that envelope.
+        let (dict, _) = desq_datagen::nyt_like(&desq_datagen::NytConfig::new(8));
+        for c in nyt_constraints() {
+            let fst = c.compile(&dict).unwrap();
+            let ix = desq_core::fst::index::FstIndex::new(&fst);
+            assert!(
+                ix.step_table_eligible(),
+                "{}: {} states / {} transitions miss the fast path",
+                c.name,
+                fst.num_states(),
+                fst.num_transitions()
+            );
+            // Full optimization never makes an eligible machine ineligible.
+            assert!(
+                !ix.step_table_eligible_before_opt() || ix.step_table_eligible(),
+                "{}: optimizer pushed an eligible FST out of the fast path",
+                c.name
+            );
+        }
+    }
+
+    #[test]
     fn constraint_names_are_stable() {
         assert_eq!(t1(5).name, "T1(5)");
         assert_eq!(t2(1, 5).name, "T2(1,5)");

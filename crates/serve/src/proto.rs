@@ -47,8 +47,10 @@ use desq_core::{Error, MiningMetrics, Result, Sequence};
 /// (v2 added `deadline_millis` to requests and the failure counters to
 /// the terminal metrics frame; v3 added the straggler counters —
 /// `retried_tasks`, `peer_timeouts`, `max_task_nanos` — to the metrics
-/// body and the peer error kinds 9/10.)
-pub const PROTOCOL_VERSION: u8 = 3;
+/// body and the peer error kinds 9/10; v4 added the FST optimizer size
+/// counters — states/transitions before and after optimization — to both
+/// the metrics body and the server stats.)
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on one frame's payload length (16 MiB). Large result sets
 /// stream as many `Patterns` frames, so well-formed frames stay far below
@@ -220,9 +222,25 @@ pub struct ServerStats {
     /// Queries cancelled before completion (client disconnected
     /// mid-stream, drain shutdown), since server start.
     pub cancels: u64,
+    /// States of this query's FST before the optimizer's
+    /// determinization/minimization passes (0 for algorithms without a
+    /// compiled FST).
+    pub fst_states_before: u64,
+    /// States of the (cached, optimized) FST the query actually mined
+    /// with.
+    pub fst_states_after: u64,
+    /// Transitions of this query's FST before optimization.
+    pub fst_transitions_before: u64,
+    /// Transitions of the FST the query actually mined with.
+    pub fst_transitions_after: u64,
 }
 
 /// Everything that can travel in one frame.
+// The Metrics variant dwarfs the others, but a `Message` exists only for
+// the moment between decode and dispatch (one per query, never stored in
+// bulk) — boxing its fields would cost more in construction/match noise
+// than the enum width ever could.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client → server: one query (see [`Request`]).
@@ -367,6 +385,10 @@ impl Message {
                 write_varint(buf, stats.timeouts);
                 write_varint(buf, stats.panics);
                 write_varint(buf, stats.cancels);
+                write_varint(buf, stats.fst_states_before);
+                write_varint(buf, stats.fst_states_after);
+                write_varint(buf, stats.fst_transitions_before);
+                write_varint(buf, stats.fst_transitions_after);
             }
             Message::Error(e) => {
                 buf.push(TAG_ERROR);
@@ -459,6 +481,10 @@ impl Message {
                         timeouts: read_varint(&mut buf)?,
                         panics: read_varint(&mut buf)?,
                         cancels: read_varint(&mut buf)?,
+                        fst_states_before: read_varint(&mut buf)?,
+                        fst_states_after: read_varint(&mut buf)?,
+                        fst_transitions_before: read_varint(&mut buf)?,
+                        fst_transitions_after: read_varint(&mut buf)?,
                     },
                 }
             }
@@ -575,6 +601,10 @@ mod tests {
                 timeouts: 3,
                 panics: 1,
                 cancels: 2,
+                fst_states_before: 14,
+                fst_states_after: 3,
+                fst_transitions_before: 21,
+                fst_transitions_after: 8,
             },
         });
         roundtrip(&Message::Error(Error::Parse {

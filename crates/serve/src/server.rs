@@ -515,6 +515,10 @@ fn serve_request(
             timeouts: shared.timeouts.load(Ordering::Relaxed),
             panics: shared.panics.load(Ordering::Relaxed),
             cancels: shared.cancels.load(Ordering::Relaxed),
+            fst_states_before: compiled.fst.states_before_opt() as u64,
+            fst_states_after: compiled.fst.num_states() as u64,
+            fst_transitions_before: compiled.fst.transitions_before_opt() as u64,
+            fst_transitions_after: compiled.fst.num_transitions() as u64,
         },
     })
 }

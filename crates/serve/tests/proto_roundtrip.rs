@@ -116,6 +116,10 @@ fn any_metrics() -> impl Strategy<Value = Message> {
                         peer_timeouts,
                         max_task_nanos: max_task,
                         cancelled: wall & 1 == 1,
+                        fst_states_before: hits ^ reduce,
+                        fst_states_after: misses,
+                        fst_transitions_before: queue_wait ^ map,
+                        fst_transitions_after: compile,
                     },
                     stats: ServerStats {
                         cache_hit: cache_hit == 1,
@@ -126,6 +130,10 @@ fn any_metrics() -> impl Strategy<Value = Message> {
                         timeouts,
                         panics,
                         cancels,
+                        fst_states_before: timeouts ^ hits,
+                        fst_states_after: panics,
+                        fst_transitions_before: cancels ^ misses,
+                        fst_transitions_after: max_task,
                     },
                 }
             },

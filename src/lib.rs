@@ -67,4 +67,5 @@ pub use desq_miner as miner;
 pub use desq_core::mining::{
     ExecutionPolicy, Limits, Miner, MiningContext, MiningMetrics, MiningResult,
 };
+pub use desq_core::OptLevel;
 pub use session::{AlgorithmSpec, MiningSession, MiningSessionBuilder, PatternStream};

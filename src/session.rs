@@ -47,7 +47,7 @@ use desq_core::mining::{
     panic_message, CancelToken, ExecutionPolicy, Limits, Miner, MiningContext, MiningMetrics,
     MiningResult,
 };
-use desq_core::{Dictionary, Error, Fst, PatEx, Result, Sequence, SequenceDb};
+use desq_core::{Dictionary, Error, Fst, OptLevel, PatEx, Result, Sequence, SequenceDb};
 use desq_dist::{DCandConfig, DSeqConfig};
 use desq_miner::{LocalMiner, MinerConfig};
 
@@ -210,6 +210,7 @@ pub struct MiningSessionBuilder {
     reducers: Option<usize>,
     exec: ExecutionPolicy,
     cancel: Option<CancelToken>,
+    opt_level: OptLevel,
 }
 
 /// Default worker count: the machine's parallelism, capped at 8 — the
@@ -343,6 +344,16 @@ impl MiningSessionBuilder {
         self
     }
 
+    /// Selects the FST optimization level pattern expressions are compiled
+    /// at (defaults to [`OptLevel::Full`]; [`OptLevel::None`] keeps the
+    /// un-optimized oracle automaton for A/B comparisons). Pre-compiled
+    /// [`fst`](Self::fst) sources are used as-is — their level was chosen
+    /// at compile time.
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
     /// Dry-run check: parses and compiles the builder's pattern expression
     /// against its dictionary *without* building (or running) a session.
     ///
@@ -360,12 +371,15 @@ impl MiningSessionBuilder {
             Error::Invalid("a dictionary is required to compile: call .dictionary()".into())
         })?;
         match &self.pattern {
-            Some(PatternSource::Expr(expr)) => {
-                Ok(Arc::new(Fst::compile(&PatEx::parse(expr)?, dict)?))
-            }
-            Some(PatternSource::Unanchored(expr)) => Ok(Arc::new(Fst::compile(
+            Some(PatternSource::Expr(expr)) => Ok(Arc::new(Fst::compile_with(
+                &PatEx::parse(expr)?,
+                dict,
+                self.opt_level,
+            )?)),
+            Some(PatternSource::Unanchored(expr)) => Ok(Arc::new(Fst::compile_with(
                 &PatEx::parse(expr)?.unanchored(),
                 dict,
+                self.opt_level,
             )?)),
             Some(PatternSource::Compiled(fst)) => Ok(fst.clone()),
             None => Err(Error::Invalid(
@@ -394,12 +408,15 @@ impl MiningSessionBuilder {
         })?;
         let algorithm = self.algorithm.unwrap_or(AlgorithmSpec::DesqDfs);
         let fst = match self.pattern {
-            Some(PatternSource::Expr(expr)) => {
-                Some(Arc::new(Fst::compile(&PatEx::parse(&expr)?, &dict)?))
-            }
-            Some(PatternSource::Unanchored(expr)) => Some(Arc::new(Fst::compile(
+            Some(PatternSource::Expr(expr)) => Some(Arc::new(Fst::compile_with(
+                &PatEx::parse(&expr)?,
+                &dict,
+                self.opt_level,
+            )?)),
+            Some(PatternSource::Unanchored(expr)) => Some(Arc::new(Fst::compile_with(
                 &PatEx::parse(&expr)?.unanchored(),
                 &dict,
+                self.opt_level,
             )?)),
             Some(PatternSource::Compiled(fst)) => Some(fst),
             None => None,
@@ -571,7 +588,10 @@ impl MiningSession {
         let token = self.run_token();
         let mut ctx = self.context();
         ctx.cancel = token.as_ref();
-        let result = miner.mine(&ctx).map_err(|e| self.annotate(e))?;
+        let mut result = miner.mine(&ctx).map_err(|e| self.annotate(e))?;
+        if let Some(fst) = &self.fst {
+            result.metrics.record_fst(fst);
+        }
         if result.patterns.len() > self.limits.max_patterns {
             return Err(Error::ResourceExhausted(format!(
                 "{} produced {} patterns, exceeding max_patterns = {}; raise the \
@@ -675,12 +695,14 @@ impl MiningSession {
                 )));
             }
             let n = sent as u64;
-            Ok(MiningMetrics::sequential(
+            let mut metrics = MiningMetrics::sequential(
                 t0.elapsed().as_nanos() as u64,
                 self.db.len() as u64,
                 n,
                 n,
-            ))
+            );
+            metrics.record_fst(fst);
+            Ok(metrics)
         } else {
             let result = self.run()?;
             let metrics = result.metrics.clone();

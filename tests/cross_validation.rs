@@ -185,6 +185,68 @@ fn specialized_baselines_agree_with_general_algorithms() {
     }
 }
 
+/// Mines `expr` at both FST optimization levels and asserts identical
+/// patterns and supports — plus the recorded size counters showing the
+/// optimizer never grew the machine.
+fn check_opt_levels(
+    dict: &Arc<Dictionary>,
+    db: &Arc<SequenceDb>,
+    expr: &str,
+    sigma: u64,
+    what: &str,
+) {
+    let run = |level: desq::OptLevel| {
+        MiningSession::builder()
+            .dictionary(dict.clone())
+            .database(db.clone())
+            .pattern_unanchored(expr)
+            .sigma(sigma)
+            .opt_level(level)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let oracle = run(desq::OptLevel::None);
+    let optimized = run(desq::OptLevel::Full);
+    assert_eq!(
+        optimized.patterns, oracle.patterns,
+        "{what}: Full diverged from the None oracle"
+    );
+    let m = &optimized.metrics;
+    assert!(
+        m.fst_states_after <= m.fst_states_before
+            && m.fst_transitions_after <= m.fst_transitions_before,
+        "{what}: optimizer grew the FST ({}→{} states, {}→{} transitions)",
+        m.fst_states_before,
+        m.fst_states_after,
+        m.fst_transitions_before,
+        m.fst_transitions_after
+    );
+}
+
+#[test]
+fn opt_levels_agree_on_tab3_constraints() {
+    let (dict, db) = shared(nyt_like(&NytConfig::new(300)));
+    for c in patterns::nyt_constraints() {
+        let sigma = if matches!(c.name.as_str(), "N4" | "N5") {
+            20
+        } else {
+            2
+        };
+        check_opt_levels(&dict, &db, &c.expr, sigma, &c.name);
+    }
+    let (adict, adb) = amzn_like(&AmznConfig::new(250));
+    let (fdict, fdb) = shared(to_forest(&adict, &adb));
+    let (adict, adb) = shared((adict, adb));
+    for c in patterns::amzn_constraints() {
+        check_opt_levels(&adict, &adb, &c.expr, 3, &c.name);
+    }
+    for c in [patterns::t1(4), patterns::t2(1, 4), patterns::t3(1, 4)] {
+        check_opt_levels(&fdict, &fdb, &c.expr, 5, &c.name);
+    }
+}
+
 #[test]
 fn results_stable_across_workers_and_partitionings() {
     let (dict, db) = shared(nyt_like(&NytConfig::new(200)));

@@ -248,6 +248,79 @@ proptest! {
         }
     }
 
+    /// The FST optimizer is observationally invisible: `OptLevel::Full`
+    /// yields identical per-sequence candidate sets, pattern sets,
+    /// supports and `count_candidates` work as the `OptLevel::None`
+    /// oracle (work is first-per-sequence observations, which merging
+    /// duplicate runs cannot change), and never grows the machine.
+    #[test]
+    fn optimized_fst_matches_oracle(
+        world in arb_world(), e in arb_pexp(4), sigma in 0u64..3
+    ) {
+        use desq::core::fst::{CandidateCounter, FstIndex, RunScratch, RunWalker};
+        use desq::core::OptLevel;
+        use std::collections::BTreeSet;
+
+        let full = match Fst::compile_with(&e, &world.dict, OptLevel::Full) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // pattern references an absent item
+        };
+        let none = Fst::compile_with(&e, &world.dict, OptLevel::None).unwrap();
+        prop_assert!(full.num_states() <= none.num_states());
+        prop_assert!(full.num_transitions() <= none.num_transitions());
+        prop_assert_eq!(full.states_before_opt(), none.num_states());
+        prop_assert_eq!(full.transitions_before_opt(), none.num_transitions());
+        prop_assert_eq!(full.accepts_empty(), none.accepts_empty());
+
+        let sigma_opt = (sigma > 0).then_some(sigma);
+        for seq in &world.db.sequences {
+            let a = candidates::generate(&none, &world.dict, seq, sigma_opt, BUDGET);
+            let b = candidates::generate(&full, &world.dict, seq, sigma_opt, BUDGET);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    let a: BTreeSet<Sequence> = a.into_iter().collect();
+                    let b: BTreeSet<Sequence> = b.into_iter().collect();
+                    prop_assert_eq!(b, a, "candidate set diverged on {:?}", seq);
+                }
+                // Run explosion on either side: the enumeration oracle is
+                // unavailable (the optimized side may legitimately finish
+                // where the oracle exhausts).
+                _ => return Ok(()),
+            }
+        }
+
+        let count = |fst: &Fst| -> Result<(Vec<(Sequence, u64)>, u64), Error> {
+            let index = FstIndex::new(fst);
+            let walker = match sigma_opt {
+                Some(s) => RunWalker::new(fst, &world.dict, &index, world.dict.last_frequent(s)),
+                None => RunWalker::unfiltered(fst, &world.dict, &index),
+            };
+            let mut scratch = RunScratch::default();
+            let mut counter = CandidateCounter::new();
+            for seq in &world.db.sequences {
+                walker.count_candidates(seq, 1, BUDGET, &mut scratch, &mut counter, |_, _| {})?;
+            }
+            let mut out = counter.patterns(0);
+            out.sort();
+            Ok((out, counter.observed()))
+        };
+        match (count(&none), count(&full)) {
+            (Ok((a, aw)), Ok((b, bw))) => {
+                prop_assert_eq!(&b, &a, "pattern sets or supports diverged");
+                prop_assert_eq!(bw, aw, "counting work diverged");
+            }
+            // The optimized machine does no more work than the oracle, so
+            // exhaustion on the oracle side alone is the optimizer winning.
+            (Err(Error::ResourceExhausted(_)), _) => {}
+            (a, b) => prop_assert!(
+                false,
+                "oracle {:?} vs optimized {:?}",
+                a.map(|(p, _)| p.len()),
+                b.map(|(p, _)| p.len())
+            ),
+        }
+    }
+
     /// The grid pivot search equals the definition (pivots of G^σ_π(T)),
     /// and run-enumerated pivot search agrees.
     #[test]
